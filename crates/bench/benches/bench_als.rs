@@ -1,0 +1,55 @@
+//! Censored ALS completion at the paper's matrix sizes — the overhead side
+//! of Fig. 7 (LimeQO's total overhead over 6 h was ~10 s).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use limeqo_core::complete::{AlsCompleter, Completer};
+use limeqo_core::matrix::WorkloadMatrix;
+use limeqo_linalg::rng::SeededRng;
+use std::hint::black_box;
+
+fn matrix_with_fill(n: usize, k: usize, fill: f64, seed: u64) -> WorkloadMatrix {
+    let mut rng = SeededRng::new(seed);
+    let q = rng.uniform_mat(n, 5, 0.1, 2.0);
+    let h = rng.uniform_mat(k, 5, 0.1, 2.0);
+    let truth = q.matmul_t(&h).unwrap();
+    let mut wm = WorkloadMatrix::new(n, k);
+    for i in 0..n {
+        wm.set_complete(i, 0, truth[(i, 0)]);
+        for j in 1..k {
+            if rng.chance(fill) {
+                wm.set_complete(i, j, truth[(i, j)]);
+            } else if rng.chance(0.05) {
+                wm.set_censored(i, j, truth[(i, j)] * 0.8);
+            }
+        }
+    }
+    wm
+}
+
+fn bench_als(c: &mut Criterion) {
+    let mut group = c.benchmark_group("als_complete");
+    group.sample_size(20);
+    for (name, n) in [("job_113", 113), ("dsb_1040", 1040), ("ceb_3133", 3133)] {
+        let wm = matrix_with_fill(n, 49, 0.1, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &wm, |b, wm| {
+            let mut als = AlsCompleter::paper_default(1);
+            b.iter(|| black_box(als.complete(wm)));
+        });
+    }
+    group.finish();
+
+    // Rank scaling (Fig. 15's knob).
+    let wm = matrix_with_fill(1040, 49, 0.15, 4);
+    let mut group = c.benchmark_group("als_rank");
+    group.sample_size(20);
+    for rank in [1usize, 5, 9] {
+        group.bench_with_input(BenchmarkId::from_parameter(rank), &rank, |b, &r| {
+            let mut als = AlsCompleter::with_rank(r, 2);
+            b.iter(|| black_box(als.complete(&wm)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_als);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! ALS vs SVT vs NUC on the JOB-sized matrix — the wall-clock axis of
+//! Fig. 17 (paper: ALS fastest; NUC > 0.5 s even at 113 × 49).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use limeqo_core::complete::{AlsCompleter, Completer, NucCompleter, SvtCompleter};
+use limeqo_core::matrix::WorkloadMatrix;
+use limeqo_linalg::rng::SeededRng;
+use std::hint::black_box;
+
+fn job_matrix(fill: f64) -> WorkloadMatrix {
+    let mut rng = SeededRng::new(17);
+    let q = rng.uniform_mat(113, 5, 0.1, 3.0);
+    let h = rng.uniform_mat(49, 5, 0.1, 3.0);
+    let truth = q.matmul_t(&h).unwrap();
+    let mut wm = WorkloadMatrix::new(113, 49);
+    for i in 0..113 {
+        wm.set_complete(i, 0, truth[(i, 0)]);
+        for j in 1..49 {
+            if rng.chance(fill) {
+                wm.set_complete(i, j, truth[(i, j)]);
+            }
+        }
+    }
+    wm
+}
+
+fn bench_completion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17_completion_job");
+    group.sample_size(10);
+    for fill in [0.1f64, 0.3] {
+        let wm = job_matrix(fill);
+        group.bench_with_input(BenchmarkId::new("als", fill), &wm, |b, wm| {
+            let mut m = AlsCompleter::paper_default(1);
+            b.iter(|| black_box(m.complete(wm)));
+        });
+        group.bench_with_input(BenchmarkId::new("svt", fill), &wm, |b, wm| {
+            let mut m = SvtCompleter::default();
+            b.iter(|| black_box(m.complete(wm)));
+        });
+        group.bench_with_input(BenchmarkId::new("nuc", fill), &wm, |b, wm| {
+            let mut m = NucCompleter::default();
+            b.iter(|| black_box(m.complete(wm)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_completion);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! End-to-end exploration throughput: full LimeQO runs on a JOB-sized
+//! simulated workload (how much wall time one offline exploration pass
+//! costs, exclusive of the simulated clock).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use limeqo_core::explore::{ExploreConfig, Explorer, MatOracle};
+use limeqo_core::policy::{GreedyPolicy, LimeQoPolicy, RandomPolicy};
+use limeqo_sim::workloads::WorkloadSpec;
+use std::hint::black_box;
+
+fn bench_explore(c: &mut Criterion) {
+    let mut w = WorkloadSpec::tiny(60, 99).build();
+    let m = w.build_oracle();
+    let oracle = MatOracle::new(m.true_latency.clone(), Some(m.est_cost.clone()));
+    let budget = 2.0 * m.default_total;
+
+    let mut group = c.benchmark_group("explore_tiny60_2x_default");
+    group.sample_size(10);
+    group.bench_function("random", |b| {
+        b.iter(|| {
+            let cfg = ExploreConfig { batch: 16, seed: 1, ..Default::default() };
+            let mut ex = Explorer::new(&oracle, Box::new(RandomPolicy), cfg, 60);
+            ex.run_until(budget);
+            black_box(ex.workload_latency())
+        })
+    });
+    group.bench_function("greedy", |b| {
+        b.iter(|| {
+            let cfg = ExploreConfig { batch: 16, seed: 1, ..Default::default() };
+            let mut ex = Explorer::new(&oracle, Box::new(GreedyPolicy), cfg, 60);
+            ex.run_until(budget);
+            black_box(ex.workload_latency())
+        })
+    });
+    group.bench_function("limeqo", |b| {
+        b.iter(|| {
+            let cfg = ExploreConfig { batch: 16, seed: 1, ..Default::default() };
+            let mut ex = Explorer::new(&oracle, Box::new(LimeQoPolicy::with_als(2)), cfg, 60);
+            ex.run_until(budget);
+            black_box(ex.workload_latency())
+        })
+    });
+    group.finish();
+
+    // Oracle construction cost (full JOB).
+    let mut group = c.benchmark_group("oracle_build");
+    group.sample_size(10);
+    group.bench_function("job_113x49", |b| {
+        b.iter(|| {
+            let mut w = WorkloadSpec::job().build();
+            black_box(w.build_oracle())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_explore);
+criterion_main!(benches);

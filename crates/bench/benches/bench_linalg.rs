@@ -1,0 +1,52 @@
+//! Kernels of the linear algebra substrate at workload-matrix shapes
+//! (hint dimension 49, rank 5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use limeqo_linalg::rng::SeededRng;
+use limeqo_linalg::{cholesky_solve, eigen_sym, ridge_solve, svd_thin, Mat};
+use std::hint::black_box;
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut rng = SeededRng::new(1);
+    let w = rng.uniform_mat(3133, 49, 0.1, 10.0); // CEB-shaped
+    let h = rng.uniform_mat(49, 5, 0.0, 1.0);
+    let gram = {
+        let mut g = h.t_matmul(&h).unwrap();
+        for i in 0..5 {
+            g[(i, i)] += 0.2;
+        }
+        g
+    };
+    let rhs = rng.uniform_mat(5, 49, 0.0, 1.0);
+    let small = rng.uniform_mat(500, 49, 0.1, 10.0);
+
+    c.bench_function("matmul_3133x49_by_49x5", |b| {
+        b.iter(|| black_box(w.matmul(&h).unwrap()))
+    });
+    c.bench_function("cholesky_solve_5x5_multi_rhs", |b| {
+        b.iter(|| black_box(cholesky_solve(&gram, &rhs).unwrap()))
+    });
+    c.bench_function("ridge_solve_49x5", |b| {
+        b.iter(|| black_box(ridge_solve(&h, &rng_matrix_49(), 0.2).unwrap()))
+    });
+    c.bench_function("eigen_sym_49", |b| {
+        let g = small.t_matmul(&small).unwrap();
+        b.iter(|| black_box(eigen_sym(&g).unwrap()))
+    });
+    c.bench_function("svd_thin_500x49", |b| {
+        b.iter(|| black_box(svd_thin(&small).unwrap()))
+    });
+    c.bench_function("svd_thin_3133x49_fig14", |b| {
+        b.iter(|| black_box(svd_thin(&w).unwrap()))
+    });
+}
+
+fn rng_matrix_49() -> Mat {
+    // Small deterministic RHS regenerated per call so the solve cannot be
+    // hoisted by the optimizer.
+    let mut rng = SeededRng::new(7);
+    rng.uniform_mat(49, 8, 0.0, 1.0)
+}
+
+criterion_group!(benches, bench_linalg);
+criterion_main!(benches);

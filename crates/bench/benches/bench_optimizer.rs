@@ -1,0 +1,75 @@
+//! Simulated query optimizer: plan-search cost per query and per 49-hint
+//! sweep (the substrate cost behind every oracle build).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use limeqo_linalg::rng::SeededRng;
+use limeqo_sim::catalog::{Catalog, CatalogSpec};
+use limeqo_sim::executor::Executor;
+use limeqo_sim::hints::{HintConfig, HintSpace};
+use limeqo_sim::optimizer::Optimizer;
+use limeqo_sim::query::{generate_query, JoinShape, QueryClass, QueryGenParams};
+use std::hint::black_box;
+
+fn setup(n_tables: usize) -> (Catalog, limeqo_sim::query::Query) {
+    let cat = Catalog::generate(
+        &CatalogSpec {
+            name: "bench".into(),
+            n_tables: 16,
+            rows_range: (1e4, 1e7),
+            width_range: (60.0, 300.0),
+            index_prob: 0.5,
+            fact_fraction: 0.3,
+        },
+        &mut SeededRng::new(5),
+    );
+    let q = generate_query(
+        0,
+        &QueryGenParams {
+            class: QueryClass::NestLoopTrap,
+            n_tables,
+            shape: JoinShape::Chain,
+            pred_sel_range: (0.01, 0.4),
+            fanout: QueryGenParams::DEFAULT_FANOUT,
+            pred_prob: 0.5,
+            template: 0,
+        },
+        &cat,
+        &mut SeededRng::new(6),
+    );
+    (cat, q)
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_one_query");
+    for n in [3usize, 6, 10, 14] {
+        let (cat, q) = setup(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let opt = Optimizer::new(&cat);
+            b.iter(|| black_box(opt.plan(&q, HintConfig::default_hint())));
+        });
+    }
+    group.finish();
+
+    // Sweep all 49 hints for one query — the per-row oracle cost.
+    let (cat, q) = setup(6);
+    let space = HintSpace::all();
+    c.bench_function("plan_49_hint_sweep", |b| {
+        let opt = Optimizer::new(&cat);
+        b.iter(|| {
+            for h in space.configs() {
+                black_box(opt.plan(&q, *h));
+            }
+        })
+    });
+    c.bench_function("plan_and_execute", |b| {
+        let opt = Optimizer::new(&cat);
+        let exec = Executor::new(&cat);
+        b.iter(|| {
+            let mut plan = opt.plan(&q, HintConfig::default_hint());
+            black_box(exec.latency_seconds(&mut plan, &q, 0))
+        })
+    });
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

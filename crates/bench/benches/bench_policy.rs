@@ -1,0 +1,60 @@
+//! Per-step selection cost of each exploration policy (LimeQO's step
+//! includes the ALS completion — that is the metered overhead of Fig. 7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use limeqo_core::matrix::WorkloadMatrix;
+use limeqo_core::policy::{
+    GreedyPolicy, LimeQoPolicy, Policy, PolicyCtx, QoAdvisorPolicy, RandomPolicy,
+};
+use limeqo_linalg::rng::SeededRng;
+use std::hint::black_box;
+
+fn workload_matrix(n: usize, fill: f64) -> (WorkloadMatrix, limeqo_linalg::Mat) {
+    let mut rng = SeededRng::new(11);
+    let q = rng.uniform_mat(n, 5, 0.1, 2.0);
+    let h = rng.uniform_mat(49, 5, 0.1, 2.0);
+    let truth = q.matmul_t(&h).unwrap();
+    let est = rng.uniform_mat(n, 49, 1.0, 1e6);
+    let mut wm = WorkloadMatrix::new(n, 49);
+    for i in 0..n {
+        wm.set_complete(i, 0, truth[(i, 0)]);
+        for j in 1..49 {
+            if rng.chance(fill) {
+                wm.set_complete(i, j, truth[(i, j)]);
+            }
+        }
+    }
+    (wm, est)
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let (wm, est) = workload_matrix(1040, 0.1);
+    let mut rng = SeededRng::new(12);
+
+    c.bench_function("select_random_1040", |b| {
+        let mut p = RandomPolicy;
+        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        b.iter(|| black_box(p.select(&ctx, 32, &mut rng)))
+    });
+    c.bench_function("select_greedy_1040", |b| {
+        let mut p = GreedyPolicy;
+        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        b.iter(|| black_box(p.select(&ctx, 32, &mut rng)))
+    });
+    c.bench_function("select_qo_advisor_1040", |b| {
+        let mut p = QoAdvisorPolicy;
+        let ctx = PolicyCtx { wm: &wm, est_cost: Some(&est) };
+        b.iter(|| black_box(p.select(&ctx, 32, &mut rng)))
+    });
+    let mut group = c.benchmark_group("select_limeqo");
+    group.sample_size(20);
+    group.bench_function("limeqo_1040_with_als", |b| {
+        let mut p = LimeQoPolicy::with_als(13);
+        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        b.iter(|| black_box(p.select(&ctx, 32, &mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! TCNN training and inference kernels — the overhead side of Figs. 7/13
+//! (the paper's LimeQO+ spent ~3600 s of CPU overhead over 6 h vs ~10 s
+//! for ALS).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use limeqo_core::matrix::WorkloadMatrix;
+use limeqo_linalg::rng::SeededRng;
+use limeqo_sim::features::NODE_FEATURE_DIM;
+use limeqo_sim::workloads::WorkloadSpec;
+use limeqo_tcnn::batch::TreeBatch;
+use limeqo_tcnn::{TcnnConfig, TcnnNet, TcnnTrainer, WorkloadFeatures};
+use std::hint::black_box;
+
+fn observed(truth: &limeqo_linalg::Mat, frac: f64, seed: u64) -> WorkloadMatrix {
+    let mut rng = SeededRng::new(seed);
+    let (n, k) = truth.shape();
+    let mut wm = WorkloadMatrix::new(n, k);
+    for i in 0..n {
+        wm.set_complete(i, 0, truth[(i, 0)]);
+        for j in 1..k {
+            if rng.chance(frac) {
+                wm.set_complete(i, j, truth[(i, j)]);
+            }
+        }
+    }
+    wm
+}
+
+fn bench_tcnn(c: &mut Criterion) {
+    let mut w = WorkloadSpec::tiny(30, 60).build();
+    let m = w.build_oracle();
+    let features = WorkloadFeatures::build(&w);
+    let wm = observed(&m.true_latency, 0.25, 1);
+
+    // Forward/backward over one batch of 32 trees.
+    let net = TcnnNet::new(NODE_FEATURE_DIM, 5, features.n, features.k, TcnnConfig::default(), 2);
+    let trees: Vec<_> = (0..32).map(|i| features.tree(i % 30, (i * 3) % 49)).collect();
+    let batch = TreeBatch::build(&trees);
+    let qidx: Vec<usize> = (0..32).map(|i| i % 30).collect();
+    let hidx: Vec<usize> = (0..32).map(|i| (i * 3) % 49).collect();
+    c.bench_function("tcnn_forward_batch32", |b| {
+        b.iter(|| black_box(net.forward(&batch, &qidx, &hidx, None)))
+    });
+    c.bench_function("tcnn_forward_backward_batch32", |b| {
+        b.iter(|| {
+            let (preds, cache) = net.forward(&batch, &qidx, &hidx, None);
+            let mut grads = net.weights.zeros_like();
+            net.backward(&batch, &qidx, &hidx, &cache, &preds, &mut grads);
+            black_box(grads)
+        })
+    });
+
+    // Full warm fit + full-matrix inference (one exploration step's model
+    // overhead on a 30 × 49 workload).
+    let mut group = c.benchmark_group("tcnn_step");
+    group.sample_size(10);
+    group.bench_function("fit_plus_predict_all", |b| {
+        let net = TcnnNet::new(
+            NODE_FEATURE_DIM,
+            5,
+            features.n,
+            features.k,
+            TcnnConfig { max_epochs: 5, warm_epochs: 5, ..TcnnConfig::default() },
+            3,
+        );
+        let mut trainer = TcnnTrainer::new(net, 4);
+        b.iter(|| {
+            trainer.fit(&features, &wm);
+            black_box(trainer.predict_all(&features, &wm))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tcnn);
+criterion_main!(benches);

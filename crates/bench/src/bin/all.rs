@@ -1,0 +1,32 @@
+//! Runs the entire experiment suite: Table 1 and every figure, writing all
+//! CSV series under `bench-results/`. Accepts the common figure flags
+//! (`--fast`, `--full`, `--seeds N`, `--batch N`).
+
+use limeqo_bench::figures::{self, FigOpts};
+
+fn main() {
+    let opts = FigOpts::from_args();
+    let t0 = std::time::Instant::now();
+    let steps: [(&str, fn(&FigOpts)); 13] = [
+        ("table1", figures::table1::run),
+        ("fig05", figures::fig05::run),
+        ("fig06_07", figures::fig06_07::run),
+        ("fig08", figures::fig08::run),
+        ("fig09", figures::fig09::run),
+        ("fig10", figures::fig10::run),
+        ("fig11", figures::fig11::run),
+        ("fig12_13", figures::fig12_13::run),
+        ("fig14", figures::fig14::run),
+        ("fig15", figures::fig15::run),
+        ("fig16", figures::fig16::run),
+        ("fig17", figures::fig17::run),
+        ("fig18", figures::fig18::run),
+    ];
+    for (name, f) in steps {
+        let t = std::time::Instant::now();
+        println!("\n==================== {name} ====================");
+        f(&opts);
+        println!("[{name}] finished in {:.1?}", t.elapsed());
+    }
+    println!("\nall experiments done in {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,77 @@
+//! Step-by-step trace of LimeQO's exploration on JOB (diagnostic).
+
+use limeqo_bench::harness::{build_oracle, WorkloadKind};
+use limeqo_core::explore::Oracle;
+use limeqo_core::matrix::Cell;
+use limeqo_core::policy::{LimeQoPolicy, Policy, PolicyCtx};
+use limeqo_core::WorkloadMatrix;
+use limeqo_linalg::rng::SeededRng;
+
+fn main() {
+    let (_w, m, oracle) = build_oracle(WorkloadKind::Job, 1.0);
+    let n = m.true_latency.rows();
+    let k = m.true_latency.cols();
+    let defaults: Vec<f64> = (0..n).map(|i| oracle.true_latency(i, 0)).collect();
+    let mut wm = WorkloadMatrix::with_defaults(&defaults, k);
+    let mut policy = LimeQoPolicy::with_als(1);
+    let mut rng = SeededRng::new(2);
+    let mut time = 0.0;
+    for step in 0..25 {
+        let sel = {
+            let ctx = PolicyCtx { wm: &wm, est_cost: None };
+            policy.select(&ctx, 8, &mut rng)
+        };
+        if sel.is_empty() {
+            println!("step {step}: nothing selected");
+            break;
+        }
+        let mut complete = 0;
+        let mut censor = 0;
+        let mut spent = 0.0;
+        let mut improved = 0;
+        for c in &sel {
+            let truth = oracle.true_latency(c.row, c.col);
+            let row_best = wm.row_best(c.row).unwrap().1;
+            if truth <= c.timeout {
+                wm.set_complete(c.row, c.col, truth);
+                complete += 1;
+                spent += truth;
+                if truth < row_best {
+                    improved += 1;
+                }
+            } else {
+                wm.set_censored(c.row, c.col, c.timeout);
+                censor += 1;
+                spent += c.timeout;
+            }
+        }
+        time += spent;
+        if step < 6 {
+            for c in sel.iter().take(4) {
+                let truth = oracle.true_latency(c.row, c.col);
+                let row_best = wm.row_best(c.row).map(|(_, v)| v).unwrap_or(0.0);
+                println!(
+                    "    cell ({:3},{:2}) timeout={:8.3} truth={:8.3} row_best={:8.3} {}",
+                    c.row,
+                    c.col,
+                    c.timeout,
+                    truth,
+                    row_best,
+                    if truth <= c.timeout { "OK" } else { "CENSOR" }
+                );
+            }
+        }
+        let p: f64 = (0..wm.n_rows())
+            .filter_map(|i| wm.row_best(i).map(|(_, v)| v))
+            .sum();
+        println!(
+            "step {step:2}: sel={} complete={complete} censor={censor} improved={improved} spent={spent:7.2} time={time:8.2} P={p:7.2}",
+            sel.len()
+        );
+    }
+    let censored_total = (0..n)
+        .flat_map(|i| (0..k).map(move |j| (i, j)))
+        .filter(|&(i, j)| matches!(wm.cell(i, j), Cell::Censored(_)))
+        .count();
+    println!("total censored cells: {censored_total}");
+}

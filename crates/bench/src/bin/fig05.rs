@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig05. See `limeqo_bench::figures::fig05`.
+fn main() {
+    let opts = limeqo_bench::figures::FigOpts::from_args();
+    limeqo_bench::figures::fig05::run(&opts);
+}

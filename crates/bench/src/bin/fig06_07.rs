@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig06_07. See `limeqo_bench::figures::fig06_07`.
+fn main() {
+    let opts = limeqo_bench::figures::FigOpts::from_args();
+    limeqo_bench::figures::fig06_07::run(&opts);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig09. See `limeqo_bench::figures::fig09`.
+fn main() {
+    let opts = limeqo_bench::figures::FigOpts::from_args();
+    limeqo_bench::figures::fig09::run(&opts);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig10. See `limeqo_bench::figures::fig10`.
+fn main() {
+    let opts = limeqo_bench::figures::FigOpts::from_args();
+    limeqo_bench::figures::fig10::run(&opts);
+}

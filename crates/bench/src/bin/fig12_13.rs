@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig12_13. See `limeqo_bench::figures::fig12_13`.
+fn main() {
+    let opts = limeqo_bench::figures::FigOpts::from_args();
+    limeqo_bench::figures::fig12_13::run(&opts);
+}

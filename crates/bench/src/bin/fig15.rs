@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig15. See `limeqo_bench::figures::fig15`.
+fn main() {
+    let opts = limeqo_bench::figures::FigOpts::from_args();
+    limeqo_bench::figures::fig15::run(&opts);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig16. See `limeqo_bench::figures::fig16`.
+fn main() {
+    let opts = limeqo_bench::figures::FigOpts::from_args();
+    limeqo_bench::figures::fig16::run(&opts);
+}

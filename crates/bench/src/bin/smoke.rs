@@ -1,0 +1,68 @@
+//! End-to-end pipeline validation: run every technique on (scaled)
+//! workloads and print where each lands at the paper's budget multiples.
+//!
+//! Usage: `smoke [workload] [scale] [--neural]`
+
+use limeqo_bench::harness::{build_oracle, run_technique, Technique, WorkloadKind};
+use limeqo_bench::report::fmt_secs;
+use limeqo_tcnn::{TcnnConfig, WorkloadFeatures};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let kind = args.get(1).and_then(|s| WorkloadKind::parse(s)).unwrap_or(WorkloadKind::Job);
+    let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let neural = args.iter().any(|a| a == "--neural");
+
+    let t0 = std::time::Instant::now();
+    let (workload, matrices, oracle) = build_oracle(kind, scale);
+    println!(
+        "{} n={} default={} optimal={} headroom={:.2}x  (built in {:.1?})",
+        kind.name(),
+        workload.n(),
+        fmt_secs(matrices.default_total),
+        fmt_secs(matrices.optimal_total),
+        matrices.headroom(),
+        t0.elapsed()
+    );
+    let default_time = matrices.default_total;
+    let budgets = [0.25, 0.5, 1.0, 2.0, 4.0].map(|m| m * default_time);
+
+    let mut techniques = vec![
+        Technique::Random,
+        Technique::Greedy,
+        Technique::QoAdvisor,
+        Technique::LimeQo,
+    ];
+    if neural {
+        techniques.push(Technique::LimeQoPlus);
+        techniques.push(Technique::BaoCache);
+    }
+    let tcnn_cfg = TcnnConfig::default();
+    if neural {
+        let tf = std::time::Instant::now();
+        let _features = WorkloadFeatures::build(&workload);
+        println!("featurization warm-up: {:.1?}", tf.elapsed());
+    }
+    println!(
+        "{:>12} | {:>9} {:>9} {:>9} {:>9} {:>9} | overhead  wall",
+        "technique", "0.25x", "0.5x", "1x", "2x", "4x"
+    );
+    for t in techniques {
+        let tw = std::time::Instant::now();
+        let curve =
+            run_technique(t, &workload, &oracle, budgets[4], 16, 5, 1234, &tcnn_cfg);
+        let row: Vec<String> = budgets.iter().map(|&b| fmt_secs(curve.latency_at(b))).collect();
+        println!(
+            "{:>12} | {:>9} {:>9} {:>9} {:>9} {:>9} | {:>8} {:.1?}",
+            t.name(),
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[4],
+            fmt_secs(curve.overhead_at(budgets[4])),
+            tw.elapsed()
+        );
+    }
+    println!("(optimal = {})", fmt_secs(matrices.optimal_total));
+}

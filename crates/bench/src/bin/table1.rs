@@ -1,0 +1,5 @@
+//! Regenerates the paper's table1. See `limeqo_bench::figures::table1`.
+fn main() {
+    let opts = limeqo_bench::figures::FigOpts::from_args();
+    limeqo_bench::figures::table1::run(&opts);
+}

@@ -1,0 +1,87 @@
+//! Fig. 5: total workload latency after {¼, ½, 1, 2, 4} × the default
+//! workload time of offline exploration — six techniques, four workloads.
+//!
+//! Also emits the §5.1 side observation: how many cells each technique
+//! explored ("LimeQO and LimeQO+ explored fewer queries over the offline
+//! exploration period").
+
+use crate::figures::{FigOpts, BUDGET_MULTIPLES};
+use crate::harness::{build_oracle, run_techniques, Technique, WorkloadKind};
+use crate::report::{fmt_secs, write_csv, Table};
+use limeqo_core::metrics::aggregate_at;
+
+/// Run Fig. 5 for one workload; returns CSV rows.
+fn run_workload(kind: WorkloadKind, opts: &FigOpts) -> Vec<Vec<String>> {
+    let scale = opts.scale_for(kind);
+    let (workload, matrices, oracle) = build_oracle(kind, scale);
+    let default_total = matrices.default_total;
+    let budgets: Vec<f64> = BUDGET_MULTIPLES.iter().map(|m| m * default_total).collect();
+    let tcnn_cfg = opts.tcnn_cfg();
+
+    println!(
+        "[fig05] {} scale={scale} n={} default={} optimal={} headroom={:.2}x",
+        kind.name(),
+        workload.n(),
+        fmt_secs(default_total),
+        fmt_secs(matrices.optimal_total),
+        matrices.headroom()
+    );
+    let mut table = Table::new(
+        format!("Fig 5 — {} (optimal {})", kind.name(), fmt_secs(matrices.optimal_total)),
+        &["technique", "0.25x", "0.5x", "1x", "2x", "4x", "cells@4x"],
+    );
+    let mut csv: Vec<Vec<String>> = Vec::new();
+    for technique in Technique::fig5() {
+        let seeds = opts.seeds(technique.is_neural());
+        let curves = run_techniques(
+            technique,
+            &workload,
+            &oracle,
+            budgets[4],
+            opts.batch,
+            opts.rank,
+            &seeds,
+            &tcnn_cfg,
+        );
+        let agg = aggregate_at(&curves, &budgets);
+        let cells = curves.iter().map(|c| c.explored_at(budgets[4])).sum::<usize>()
+            / curves.len().max(1);
+        let mut row = vec![technique.name().to_string()];
+        for (mean, _std) in &agg {
+            row.push(fmt_secs(*mean));
+        }
+        row.push(format!("{cells}"));
+        table.row(&row);
+        for (i, (mean, std)) in agg.iter().enumerate() {
+            csv.push(vec![
+                kind.name().to_string(),
+                technique.name().to_string(),
+                format!("{}", BUDGET_MULTIPLES[i]),
+                format!("{mean}"),
+                format!("{std}"),
+                format!("{cells}"),
+            ]);
+        }
+    }
+    table.print();
+    csv
+}
+
+/// Regenerate Fig. 5 across all four workloads.
+pub fn run(opts: &FigOpts) {
+    let mut rows = vec![vec![
+        "workload".to_string(),
+        "technique".to_string(),
+        "budget_multiple".to_string(),
+        "latency_mean_s".to_string(),
+        "latency_std_s".to_string(),
+        "cells_explored_4x".to_string(),
+    ]];
+    for kind in
+        [WorkloadKind::Ceb, WorkloadKind::Job, WorkloadKind::Stack, WorkloadKind::Dsb]
+    {
+        rows.extend(run_workload(kind, opts));
+    }
+    let path = write_csv("fig05", &rows).expect("write fig05 csv");
+    println!("[fig05] wrote {}", path.display());
+}

@@ -1,0 +1,94 @@
+//! Fig. 6 (total latency vs exploration time on CEB) and Fig. 7
+//! (cumulative model overhead, LimeQO vs LimeQO+) — both come from the
+//! same exploration runs, so one harness emits both CSVs.
+//!
+//! Paper claims to reproduce in shape: LimeQO reduces latency fastest at
+//! the very start; LimeQO+ overtakes after ~20 minutes; LimeQO+'s
+//! cumulative overhead is orders of magnitude above LimeQO's (360× on
+//! their CPU).
+
+use crate::figures::FigOpts;
+use crate::harness::{build_oracle, run_techniques, Technique, WorkloadKind};
+use crate::report::{fmt_secs, write_csv, Table};
+
+/// Regenerate Figs. 6 and 7.
+pub fn run(opts: &FigOpts) {
+    let kind = WorkloadKind::Ceb;
+    let scale = opts.scale_for(kind);
+    let (workload, matrices, oracle) = build_oracle(kind, scale);
+    // Paper plots 0..6 h on a 2.94 h workload ≈ 2 × default total.
+    let horizon = 2.04 * matrices.default_total;
+    let grid: Vec<f64> = (0..=24).map(|i| horizon * i as f64 / 24.0).collect();
+    let tcnn_cfg = opts.tcnn_cfg();
+
+    let mut fig6 = vec![vec![
+        "technique".to_string(),
+        "explore_time_s".to_string(),
+        "latency_s".to_string(),
+    ]];
+    let mut fig7 = vec![vec![
+        "technique".to_string(),
+        "explore_time_s".to_string(),
+        "overhead_s".to_string(),
+    ]];
+    let mut summary = Table::new(
+        "Fig 6/7 — CEB curves",
+        &["technique", "latency@end", "overhead@end"],
+    );
+    for technique in Technique::fig5() {
+        let seeds = opts.seeds(technique.is_neural());
+        let curves = run_techniques(
+            technique,
+            &workload,
+            &oracle,
+            horizon,
+            opts.batch,
+            opts.rank,
+            &seeds,
+            &tcnn_cfg,
+        );
+        for &t in &grid {
+            let lat: f64 =
+                curves.iter().map(|c| c.latency_at(t)).sum::<f64>() / curves.len() as f64;
+            let ovh: f64 =
+                curves.iter().map(|c| c.overhead_at(t)).sum::<f64>() / curves.len() as f64;
+            fig6.push(vec![
+                technique.name().into(),
+                format!("{t:.1}"),
+                format!("{lat:.3}"),
+            ]);
+            if matches!(technique, Technique::LimeQo | Technique::LimeQoPlus) {
+                fig7.push(vec![
+                    technique.name().into(),
+                    format!("{t:.1}"),
+                    format!("{ovh:.4}"),
+                ]);
+            }
+        }
+        summary.row(&[
+            technique.name().to_string(),
+            fmt_secs(curves.iter().map(|c| c.latency_at(horizon)).sum::<f64>() / curves.len() as f64),
+            fmt_secs(curves.iter().map(|c| c.overhead_at(horizon)).sum::<f64>() / curves.len() as f64),
+        ]);
+    }
+    summary.print();
+    // Overhead ratio headline (paper: 360× on CPU).
+    let ovh = |name: &str| -> f64 {
+        fig7.iter()
+            .skip(1)
+            .filter(|r| r[0] == name)
+            .last()
+            .and_then(|r| r[2].parse().ok())
+            .unwrap_or(f64::NAN)
+    };
+    let ratio = ovh("LimeQO+") / ovh("LimeQO").max(1e-9);
+    println!(
+        "[fig07] final overhead: LimeQO {} LimeQO+ {} ratio {:.0}x (paper: 10 s vs ~3600 s, 360x)",
+        fmt_secs(ovh("LimeQO")),
+        fmt_secs(ovh("LimeQO+")),
+        ratio
+    );
+    let p6 = write_csv("fig06", &fig6).expect("fig06 csv");
+    let p7 = write_csv("fig07", &fig7).expect("fig07 csv");
+    println!("[fig06/07] wrote {} and {}", p6.display(), p7.display());
+}

@@ -1,0 +1,113 @@
+//! Fig. 9: workload shift on CEB — explore 70% of the queries for the
+//! first stretch, then introduce the remaining 30%.
+//!
+//! Shape to reproduce: LimeQO absorbs the new queries and recovers to the
+//! all-queries-from-the-start trajectory within ~0.5 h of processing them;
+//! Greedy takes far longer.
+
+use crate::figures::FigOpts;
+use crate::harness::{build_oracle, technique_policy, Technique, WorkloadKind};
+use crate::report::{fmt_secs, write_csv, Table};
+use limeqo_core::explore::{ExploreConfig, Explorer};
+use limeqo_core::metrics::Curve;
+
+fn run_with_shift(
+    technique: Technique,
+    workload: &limeqo_sim::workloads::Workload,
+    oracle: &limeqo_core::explore::MatOracle,
+    initial_rows: usize,
+    shift_time: f64,
+    horizon: f64,
+    opts: &FigOpts,
+    seed: u64,
+) -> Curve {
+    let policy = technique_policy(technique, workload, opts.rank, seed, &opts.tcnn_cfg());
+    let cfg = ExploreConfig { batch: opts.batch, seed, ..Default::default() };
+    let mut ex = Explorer::new(oracle, policy, cfg, initial_rows);
+    ex.run_until(shift_time);
+    let total = oracle.latency().rows();
+    ex.add_queries(total - initial_rows);
+    ex.run_until(horizon);
+    ex.into_curve()
+}
+
+fn run_static(
+    technique: Technique,
+    workload: &limeqo_sim::workloads::Workload,
+    oracle: &limeqo_core::explore::MatOracle,
+    horizon: f64,
+    opts: &FigOpts,
+    seed: u64,
+) -> Curve {
+    let policy = technique_policy(technique, workload, opts.rank, seed, &opts.tcnn_cfg());
+    let cfg = ExploreConfig { batch: opts.batch, seed, ..Default::default() };
+    let n = oracle.latency().rows();
+    let mut ex = Explorer::new(oracle, policy, cfg, n);
+    ex.run_until(horizon);
+    ex.into_curve()
+}
+
+/// Regenerate Fig. 9.
+pub fn run(opts: &FigOpts) {
+    let kind = WorkloadKind::Ceb;
+    let scale = opts.scale_for(kind);
+    let (workload, matrices, oracle) = build_oracle(kind, scale);
+    let n = workload.n();
+    let initial = (n as f64 * 0.7).round() as usize;
+    // Paper: shift at 2 h of a 2.94 h workload, plot to 6 h.
+    let shift_time = (2.0 / 2.94) * matrices.default_total;
+    let horizon = (6.0 / 2.94) * matrices.default_total;
+    println!(
+        "[fig09] CEB n={n}, 70% = {initial} queries first, +30% at {} (horizon {})",
+        fmt_secs(shift_time),
+        fmt_secs(horizon)
+    );
+    let grid: Vec<f64> = (0..=24).map(|i| horizon * i as f64 / 24.0).collect();
+
+    let mut csv = vec![vec![
+        "series".to_string(),
+        "explore_time_s".to_string(),
+        "latency_s".to_string(),
+    ]];
+    let mut table = Table::new(
+        "Fig 9 — workload shift (CEB)",
+        &["series", "latency@shift", "latency@end"],
+    );
+    for technique in [Technique::LimeQo, Technique::Greedy] {
+        for shifted in [true, false] {
+            let seeds = opts.seeds(false);
+            let curves: Vec<Curve> = seeds
+                .iter()
+                .map(|&seed| {
+                    if shifted {
+                        run_with_shift(
+                            technique, &workload, &oracle, initial, shift_time, horizon, opts,
+                            seed,
+                        )
+                    } else {
+                        run_static(technique, &workload, &oracle, horizon, opts, seed)
+                    }
+                })
+                .collect();
+            let label = if shifted {
+                format!("{} (with shift)", technique.name())
+            } else {
+                technique.name().to_string()
+            };
+            for &t in &grid {
+                let lat =
+                    curves.iter().map(|c| c.latency_at(t)).sum::<f64>() / curves.len() as f64;
+                csv.push(vec![label.clone(), format!("{t:.1}"), format!("{lat:.3}")]);
+            }
+            let at = |t: f64| {
+                fmt_secs(
+                    curves.iter().map(|c| c.latency_at(t)).sum::<f64>() / curves.len() as f64,
+                )
+            };
+            table.row(&[label, at(shift_time), at(horizon)]);
+        }
+    }
+    table.print();
+    let p = write_csv("fig09", &csv).expect("fig09 csv");
+    println!("[fig09] wrote {}", p.display());
+}

@@ -1,0 +1,57 @@
+//! Fig. 10: incremental data updates on Stack — % of queries whose optimal
+//! hint changes after data intervals from 1 day to 2 years.
+//!
+//! Paper values: negligible at 1 day, ~1 % after a month, ~5 % after 6
+//! months, ~10 % after 1 year, ~21 % after 2 years.
+
+use crate::figures::FigOpts;
+use crate::harness::{build_oracle, WorkloadKind};
+use crate::report::{write_csv, Table};
+use limeqo_sim::drift::{build_oracle_uncalibrated, drift_workload, optimal_hint_change_fraction};
+
+/// Intervals (days) and the paper's approximate Y values (%).
+pub const INTERVALS: [(f64, &str, f64); 8] = [
+    (1.0, "1 day", 0.0),
+    (7.0, "1 week", 0.3),
+    (14.0, "2 weeks", 0.5),
+    (30.0, "1 month", 1.0),
+    (91.0, "3 months", 3.0),
+    (182.0, "6 months", 5.0),
+    (365.0, "1 year", 10.0),
+    (730.0, "2 years", 21.0),
+];
+
+/// Regenerate Fig. 10.
+pub fn run(opts: &FigOpts) {
+    let kind = WorkloadKind::Stack;
+    // Hint-change fractions need enough queries to be stable; use a larger
+    // scale than exploration figures (oracle building is cheap).
+    let scale = if opts.fast { 0.15 } else { 0.5f64.max(opts.scale_for(kind)) };
+    let (workload, base, _) = build_oracle(kind, scale);
+    println!("[fig10] Stack scale={scale} n={}", workload.n());
+    let mut table = Table::new(
+        "Fig 10 — % queries with changed optimal hint",
+        &["interval", "paper %", "measured %"],
+    );
+    let mut csv = vec![vec![
+        "days".to_string(),
+        "interval".to_string(),
+        "paper_pct".to_string(),
+        "measured_pct".to_string(),
+    ]];
+    for (days, label, paper) in INTERVALS {
+        let drifted = drift_workload(&workload, days, 0xD01F + days as u64);
+        let oracle = build_oracle_uncalibrated(&drifted);
+        let frac = 100.0 * optimal_hint_change_fraction(&base, &oracle);
+        table.row(&[label.to_string(), format!("{paper:.1}"), format!("{frac:.1}")]);
+        csv.push(vec![
+            format!("{days}"),
+            label.to_string(),
+            format!("{paper}"),
+            format!("{frac:.2}"),
+        ]);
+    }
+    table.print();
+    let p = write_csv("fig10", &csv).expect("fig10 csv");
+    println!("[fig10] wrote {}", p.display());
+}

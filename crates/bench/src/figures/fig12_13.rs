@@ -1,0 +1,70 @@
+//! Fig. 12 (TCNN vs LimeQO+ total latency) and Fig. 13 (their overhead) on
+//! CEB — the ablation isolating the value of the low-rank embeddings
+//! inside the transductive TCNN.
+//!
+//! Shape to reproduce: LimeQO+ consistently below the plain TCNN
+//! throughout exploration (Fig. 12), at a modest extra overhead
+//! (~20 minutes after 6 h in the paper, Fig. 13).
+
+use crate::figures::FigOpts;
+use crate::harness::{build_oracle, run_techniques, Technique, WorkloadKind};
+use crate::report::{fmt_secs, write_csv, Table};
+
+/// Regenerate Figs. 12 and 13.
+pub fn run(opts: &FigOpts) {
+    let kind = WorkloadKind::Ceb;
+    let scale = opts.scale_for(kind);
+    let (workload, matrices, oracle) = build_oracle(kind, scale);
+    let horizon = 2.04 * matrices.default_total; // paper: 0..6 h of 2.94 h
+    let grid: Vec<f64> = (0..=16).map(|i| horizon * i as f64 / 16.0).collect();
+    let tcnn_cfg = opts.tcnn_cfg();
+
+    let mut fig12 = vec![vec![
+        "technique".to_string(),
+        "explore_time_s".to_string(),
+        "latency_s".to_string(),
+    ]];
+    let mut fig13 = vec![vec![
+        "technique".to_string(),
+        "explore_time_s".to_string(),
+        "overhead_s".to_string(),
+    ]];
+    let mut table = Table::new(
+        "Fig 12/13 — TCNN vs LimeQO+ (CEB)",
+        &["technique", "latency@0.5x", "latency@end", "overhead@end"],
+    );
+    for technique in [Technique::Tcnn, Technique::LimeQoPlus] {
+        let seeds = opts.seeds(true);
+        let curves = run_techniques(
+            technique,
+            &workload,
+            &oracle,
+            horizon,
+            opts.batch,
+            opts.rank,
+            &seeds,
+            &tcnn_cfg,
+        );
+        for &t in &grid {
+            let lat = curves.iter().map(|c| c.latency_at(t)).sum::<f64>() / curves.len() as f64;
+            let ovh = curves.iter().map(|c| c.overhead_at(t)).sum::<f64>() / curves.len() as f64;
+            fig12.push(vec![technique.name().into(), format!("{t:.1}"), format!("{lat:.3}")]);
+            fig13.push(vec![technique.name().into(), format!("{t:.1}"), format!("{ovh:.4}")]);
+        }
+        let lat_at = |t: f64| {
+            fmt_secs(curves.iter().map(|c| c.latency_at(t)).sum::<f64>() / curves.len() as f64)
+        };
+        table.row(&[
+            technique.name().to_string(),
+            lat_at(0.5 * matrices.default_total),
+            lat_at(horizon),
+            fmt_secs(
+                curves.iter().map(|c| c.overhead_at(horizon)).sum::<f64>() / curves.len() as f64,
+            ),
+        ]);
+    }
+    table.print();
+    let p12 = write_csv("fig12", &fig12).expect("fig12 csv");
+    let p13 = write_csv("fig13", &fig13).expect("fig13 csv");
+    println!("[fig12/13] wrote {} and {}", p12.display(), p13.display());
+}

@@ -1,0 +1,72 @@
+//! Fig. 15: rank sensitivity — LimeQO and LimeQO+ across r ∈ {1,2,3,5,7,9}.
+//!
+//! Shape to reproduce: LimeQO needs r ≥ 3 (ranks 1–2 fail to capture the
+//! matrix structure) and then stabilizes; LimeQO+ is robust across all
+//! ranks thanks to the TCNN plan features.
+
+use crate::figures::FigOpts;
+use crate::harness::{build_oracle, run_techniques, Technique, WorkloadKind};
+use crate::report::{fmt_secs, write_csv, Table};
+
+/// Ranks swept (paper's Fig. 15 set).
+pub const RANKS: [usize; 6] = [1, 2, 3, 5, 7, 9];
+
+/// Regenerate Fig. 15.
+pub fn run(opts: &FigOpts) {
+    let kind = WorkloadKind::Ceb;
+    let scale = opts.scale_for(kind);
+    let (workload, matrices, oracle) = build_oracle(kind, scale);
+    let horizon = 2.04 * matrices.default_total;
+    let tcnn_cfg = opts.tcnn_cfg();
+    let probe_times: Vec<f64> =
+        [0.25, 0.5, 1.0, 2.0].iter().map(|m| m * matrices.default_total).collect();
+
+    let mut csv = vec![vec![
+        "technique".to_string(),
+        "rank".to_string(),
+        "budget_multiple".to_string(),
+        "latency_s".to_string(),
+    ]];
+    let mut table = Table::new(
+        "Fig 15 — rank sweep (CEB, latency at 1x default time)",
+        &["technique", "r=1", "r=2", "r=3", "r=5", "r=7", "r=9"],
+    );
+    // LimeQO sweeps all ranks (cheap); LimeQO+ sweeps a subset unless
+    // --full (each run trains a TCNN).
+    let neural_ranks: Vec<usize> =
+        if opts.full { RANKS.to_vec() } else { vec![1, 2, 5, 9] };
+    for technique in [Technique::LimeQo, Technique::LimeQoPlus] {
+        let mut row = vec![technique.name().to_string()];
+        for &rank in &RANKS {
+            let runs_this = technique != Technique::LimeQoPlus || neural_ranks.contains(&rank);
+            if !runs_this {
+                row.push("-".into());
+                continue;
+            }
+            let seeds = opts.seeds(technique.is_neural());
+            let curves = run_techniques(
+                technique, &workload, &oracle, horizon, opts.batch, rank, &seeds, &tcnn_cfg,
+            );
+            for (i, &t) in probe_times.iter().enumerate() {
+                let lat =
+                    curves.iter().map(|c| c.latency_at(t)).sum::<f64>() / curves.len() as f64;
+                csv.push(vec![
+                    technique.name().into(),
+                    format!("{rank}"),
+                    format!("{}", [0.25, 0.5, 1.0, 2.0][i]),
+                    format!("{lat:.3}"),
+                ]);
+            }
+            let lat1x = curves
+                .iter()
+                .map(|c| c.latency_at(matrices.default_total))
+                .sum::<f64>()
+                / curves.len() as f64;
+            row.push(fmt_secs(lat1x));
+        }
+        table.row(&row);
+    }
+    table.print();
+    let p = write_csv("fig15", &csv).expect("fig15 csv");
+    println!("[fig15] wrote {}", p.display());
+}

@@ -1,0 +1,66 @@
+//! Fig. 18: LimeQO vs BayesQO on JOB — workload-level vs per-query
+//! exploration-time allocation.
+//!
+//! "For BayesQO, each query in the workload was allocated a fixed
+//! optimization time of three seconds … our approach achieves significant
+//! progress in optimizing the workload, whereas BayesQO barely makes
+//! progress on any single query."
+
+use crate::figures::FigOpts;
+use crate::harness::{build_oracle, run_bayes_qo, run_techniques, Technique, WorkloadKind};
+use crate::report::{fmt_secs, write_csv, Table};
+
+/// Per-query budget in the paper (seconds).
+pub const PER_QUERY_BUDGET: f64 = 3.0;
+
+/// Regenerate Fig. 18.
+pub fn run(opts: &FigOpts) {
+    let (workload, matrices, oracle) = build_oracle(WorkloadKind::Job, 1.0);
+    // Paper x-axis: 0..~350 s ≈ 113 queries × 3 s.
+    let horizon = workload.n() as f64 * PER_QUERY_BUDGET;
+    let grid: Vec<f64> = (0..=20).map(|i| horizon * i as f64 / 20.0).collect();
+
+    let seeds = opts.seeds(false);
+    let limeqo = run_techniques(
+        Technique::LimeQo,
+        &workload,
+        &oracle,
+        horizon,
+        opts.batch.min(8), // small workload: smaller batches track the curve
+        opts.rank,
+        &seeds,
+        &opts.tcnn_cfg(),
+    );
+    let bayes: Vec<_> =
+        seeds.iter().map(|&s| run_bayes_qo(&oracle, PER_QUERY_BUDGET, s)).collect();
+
+    let mut csv = vec![vec![
+        "technique".to_string(),
+        "explore_time_s".to_string(),
+        "latency_s".to_string(),
+    ]];
+    for (name, curves) in [("LimeQO", &limeqo), ("BayesQO", &bayes)] {
+        for &t in &grid {
+            let lat = curves.iter().map(|c| c.latency_at(t)).sum::<f64>() / curves.len() as f64;
+            csv.push(vec![name.to_string(), format!("{t:.1}"), format!("{lat:.3}")]);
+        }
+    }
+    let mut table = Table::new(
+        "Fig 18 — LimeQO vs BayesQO (JOB)",
+        &["technique", "latency@120s", "latency@240s", "latency@end"],
+    );
+    for (name, curves) in [("LimeQO", &limeqo), ("BayesQO", &bayes)] {
+        let at = |t: f64| {
+            fmt_secs(curves.iter().map(|c| c.latency_at(t)).sum::<f64>() / curves.len() as f64)
+        };
+        table.row(&[name.to_string(), at(120.0), at(240.0), at(horizon)]);
+    }
+    table.print();
+    println!(
+        "[fig18] default {} — LimeQO should cut deep within {}; BayesQO barely moves",
+        fmt_secs(matrices.default_total),
+        fmt_secs(horizon)
+    );
+    let p = write_csv("fig18", &csv).expect("fig18 csv");
+    println!("[fig18] wrote {}", p.display());
+}

@@ -1,0 +1,36 @@
+//! Table 1: the four workloads — query counts, default and optimal totals.
+
+use crate::figures::FigOpts;
+use crate::harness::{build_oracle, WorkloadKind};
+use crate::report::{fmt_secs, Table};
+
+/// Regenerate Table 1. Workload construction always runs at full scale
+/// here (oracle building is cheap; only exploration is scaled elsewhere).
+pub fn run(_opts: &FigOpts) {
+    let mut table = Table::new(
+        "Table 1: workloads (paper -> measured)",
+        &[
+            "workload", "queries", "default(paper)", "default(ours)", "optimal(paper)",
+            "optimal(ours)", "headroom(paper)", "headroom(ours)",
+        ],
+    );
+    for kind in
+        [WorkloadKind::Job, WorkloadKind::Ceb, WorkloadKind::Stack, WorkloadKind::Dsb]
+    {
+        let (w, m, _) = build_oracle(kind, 1.0);
+        let (q_paper, d_paper, o_paper) = kind.paper_stats();
+        assert_eq!(w.n(), q_paper, "query count must match the paper exactly");
+        table.row(&[
+            kind.name().to_string(),
+            format!("{}", w.n()),
+            fmt_secs(d_paper),
+            fmt_secs(m.default_total),
+            fmt_secs(o_paper),
+            fmt_secs(m.optimal_total),
+            format!("{:.2}x", d_paper / o_paper),
+            format!("{:.2}x", m.headroom()),
+        ]);
+    }
+    table.print();
+    let _ = table.write_csv_named("table1");
+}

@@ -1,0 +1,18 @@
+//! Experiment harness for regenerating every table and figure of the
+//! LimeQO paper.
+//!
+//! * [`harness`] — workload construction (with caching), technique
+//!   registry, multi-seed exploration runs with crossbeam fan-out,
+//! * [`report`] — text tables and CSV emission under `bench-results/`,
+//! * one binary per table/figure in `src/bin/` (see DESIGN.md §5),
+//! * Criterion benches in `benches/` for the computational-overhead axes.
+
+pub mod figures;
+pub mod harness;
+pub mod report;
+
+pub use harness::{
+    build_oracle, run_bayes_qo, run_technique, run_techniques, technique_policy, Technique,
+    WorkloadKind,
+};
+pub use report::{write_csv, Table};

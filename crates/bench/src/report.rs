@@ -1,0 +1,157 @@
+//! Text tables and CSV emission for the figure binaries.
+//!
+//! Every figure binary prints a human-readable table (paper value next to
+//! measured value where the paper states one) and writes the raw series as
+//! CSV under `bench-results/` so EXPERIMENTS.md can reference them.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(s, "{:>width$}  ", cell, width = widths[i]);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Write the table as CSV into `bench-results/<name>.csv`.
+    pub fn write_csv_named(&self, name: &str) -> std::io::Result<PathBuf> {
+        let rows: Vec<Vec<String>> = std::iter::once(self.header.clone())
+            .chain(self.rows.iter().cloned())
+            .collect();
+        write_csv(name, &rows)
+    }
+}
+
+/// Directory all figure binaries write their raw series to.
+pub fn results_dir() -> PathBuf {
+    let root = std::env::var("LIMEQO_RESULTS_DIR").unwrap_or_else(|_| {
+        // Walk up from the crate to the workspace root if running via cargo.
+        let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
+        let p = Path::new(&manifest);
+        p.ancestors()
+            .nth(2)
+            .unwrap_or(Path::new("."))
+            .join("bench-results")
+            .to_string_lossy()
+            .into_owned()
+    });
+    PathBuf::from(root)
+}
+
+/// Write rows as `bench-results/<name>.csv`, creating the directory.
+pub fn write_csv(name: &str, rows: &[Vec<String>]) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut body = String::new();
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .map(|c| {
+                if c.contains(',') || c.contains('"') {
+                    format!("\"{}\"", c.replace('"', "\"\""))
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        let _ = writeln!(body, "{}", line.join(","));
+    }
+    fs::write(&path, body)?;
+    Ok(path)
+}
+
+/// Format seconds compactly (`2.94h`, `181s`, `85ms`).
+pub fn fmt_secs(s: f64) -> String {
+    if !s.is_finite() {
+        "n/a".into()
+    } else if s >= 3600.0 {
+        format!("{:.2}h", s / 3600.0)
+    } else if s >= 100.0 {
+        format!("{s:.0}s")
+    } else if s >= 1.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.0}ms", s * 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_render_aligns() {
+        let mut t = Table::new("demo", &["a", "long-col"]);
+        t.row(&["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("long-col"));
+        assert!(s.contains('1'));
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert_eq!(fmt_secs(2.94 * 3600.0), "2.94h");
+        assert_eq!(fmt_secs(181.0), "181s");
+        assert_eq!(fmt_secs(1.5), "1.50s");
+        assert_eq!(fmt_secs(0.085), "85ms");
+        assert_eq!(fmt_secs(f64::INFINITY), "n/a");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(&["1".into(), "2".into()]);
+    }
+}

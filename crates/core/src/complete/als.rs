@@ -1,0 +1,210 @@
+//! Censored alternating least squares — Algorithm 2 of the paper.
+//!
+//! `min_{Q,H} ‖M ⊙ (W̃ − QHᵀ)‖²_F + λ(‖Q‖²_F + ‖H‖²_F)` solved by
+//! alternating the closed-form ridge updates
+//! `Q ← Ŵ H (HᵀH + λI)⁻¹` and `H ← Ŵᵀ Q (QᵀQ + λI)⁻¹` on the *filled*
+//! matrix `Ŵ = M ⊙ W̃ + (1−M) ⊙ QHᵀ`, with two LimeQO-specific twists:
+//!
+//! * **censoring** (lines 4–5, 9–10): before each factor update, any filled
+//!   cell that sits below a known timeout bound is raised to that bound, so
+//!   the model is penalized for predicting below a lower bound but never
+//!   for a (potentially valid) over-estimate;
+//! * **non-negativity** (lines 7, 12): factors are projected onto `≥ 0`
+//!   after each update — a "heavy-handed prior that query latency must be
+//!   positive" which keeps Eq. 6's improvement ratios meaningful.
+//!
+//! Paper defaults: rank r = 5, λ = 0.2, t = 50 iterations.
+
+use super::{fill_estimate, Completer};
+use crate::matrix::WorkloadMatrix;
+use limeqo_linalg::rng::SeededRng;
+use limeqo_linalg::{ridge_solve, Mat};
+
+/// Censored non-negative ALS matrix completion.
+#[derive(Debug, Clone)]
+pub struct AlsCompleter {
+    /// Rank constraint r.
+    pub rank: usize,
+    /// Ridge regularization λ.
+    pub lambda: f64,
+    /// Number of alternating iterations t.
+    pub iters: usize,
+    /// Apply the censored clamp (ablation: Fig. 16 disables this).
+    pub censored: bool,
+    /// Apply the non-negativity projection (our extra ablation).
+    pub nonneg: bool,
+    /// Base seed for factor initialization.
+    pub seed: u64,
+    calls: u64,
+}
+
+impl AlsCompleter {
+    /// Paper-default configuration (r = 5, λ = 0.2, t = 50, censoring and
+    /// non-negativity on).
+    pub fn paper_default(seed: u64) -> Self {
+        AlsCompleter { rank: 5, lambda: 0.2, iters: 50, censored: true, nonneg: true, seed, calls: 0 }
+    }
+
+    /// Like [`AlsCompleter::paper_default`] but with a custom rank
+    /// (Fig. 15's sweep).
+    pub fn with_rank(rank: usize, seed: u64) -> Self {
+        AlsCompleter { rank, ..Self::paper_default(seed) }
+    }
+
+    /// Disable the censored clamp (Fig. 16's "wocensored" ablation).
+    pub fn without_censoring(seed: u64) -> Self {
+        AlsCompleter { censored: false, ..Self::paper_default(seed) }
+    }
+
+    /// Run Algorithm 2 and return both the completed matrix and the final
+    /// factors (the factors are reused by diagnostics and tests).
+    pub fn complete_with_factors(&mut self, wm: &WorkloadMatrix) -> (Mat, Mat, Mat) {
+        let n = wm.n_rows();
+        let k = wm.n_cols();
+        let values = wm.values();
+        let mask = wm.mask();
+        let timeouts_mat = wm.timeouts();
+        let timeouts = if self.censored { Some(&timeouts_mat) } else { None };
+
+        // Fresh random init per call, deterministic across runs. The
+        // factors are scaled so the initial product QHᵀ matches the mean
+        // observed latency: entries of Q·Hᵀ with U(0, b)² factors average
+        // r·b²/4, so b = 2·√(mean/r) centres the initial fill on the data
+        // scale (raw latencies span milliseconds to minutes, and an O(1)
+        // init would make Algorithm 1's α-scaled timeouts so small that
+        // every probe censors).
+        self.calls += 1;
+        let mut rng = SeededRng::new(self.seed.wrapping_add(self.calls.wrapping_mul(0xA5A5)));
+        let r = self.rank.max(1);
+        let observed = mask.sum().max(1.0);
+        let mean_obs = (values.sum() / observed).max(1e-9);
+        let bound = 2.0 * (mean_obs / r as f64).sqrt();
+        let mut q = rng.uniform_mat(n, r, 0.0, bound);
+        let mut h = rng.uniform_mat(k, r, 0.0, bound);
+
+        for _ in 0..self.iters {
+            // Ŵ ← M⊙W̃ + (1−M)⊙QHᵀ  (+ censored clamp)
+            let qh = q.matmul_t(&h).expect("QHᵀ shape");
+            let w_hat = fill_estimate(&values, &mask, timeouts, &qh);
+            // Q ← Ŵ H (HᵀH + λI)⁻¹, computed as the ridge solution of
+            // (HᵀH + λI) X = Hᵀ Ŵᵀ, Q = Xᵀ.
+            let qt = ridge_solve(&h, &w_hat.transpose(), self.lambda).expect("Q update");
+            q = qt.transpose();
+            if self.nonneg {
+                q.clamp_min(0.0);
+            }
+            let qh = q.matmul_t(&h).expect("QHᵀ shape");
+            let w_hat = fill_estimate(&values, &mask, timeouts, &qh);
+            // H ← Ŵᵀ Q (QᵀQ + λI)⁻¹.
+            let ht = ridge_solve(&q, &w_hat, self.lambda).expect("H update");
+            h = ht.transpose();
+            if self.nonneg {
+                h.clamp_min(0.0);
+            }
+        }
+        let qh = q.matmul_t(&h).expect("QHᵀ shape");
+        let completed = fill_estimate(&values, &mask, timeouts, &qh);
+        (completed, q, h)
+    }
+}
+
+impl Completer for AlsCompleter {
+    fn name(&self) -> &'static str {
+        "als"
+    }
+
+    fn complete(&mut self, wm: &WorkloadMatrix) -> Mat {
+        self.complete_with_factors(wm).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complete::test_support::{heldout_mse, synthetic_low_rank};
+    use crate::matrix::Cell;
+
+    #[test]
+    fn recovers_exact_low_rank_matrix() {
+        let (truth, wm) = synthetic_low_rank(60, 20, 3, 0.5, 1);
+        let mut als = AlsCompleter { rank: 3, lambda: 0.01, ..AlsCompleter::paper_default(2) };
+        let pred = als.complete(&wm);
+        let mse = heldout_mse(&truth, &pred, &wm);
+        let scale = truth.as_slice().iter().map(|v| v * v).sum::<f64>() / truth.len() as f64;
+        assert!(mse / scale < 0.01, "relative mse {}", mse / scale);
+    }
+
+    #[test]
+    fn observed_cells_kept_exactly() {
+        let (truth, wm) = synthetic_low_rank(20, 10, 2, 0.4, 3);
+        let mut als = AlsCompleter::paper_default(4);
+        let pred = als.complete(&wm);
+        for i in 0..20 {
+            for j in 0..10 {
+                if let Cell::Complete(v) = wm.cell(i, j) {
+                    assert_eq!(pred[(i, j)], v);
+                    assert_eq!(v, truth[(i, j)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn censored_cells_clamped_to_bound() {
+        let (_, mut wm) = synthetic_low_rank(30, 12, 2, 0.4, 5);
+        // Plant censored observations (on cells not yet complete) with
+        // bounds far above any prediction.
+        let cells: Vec<(usize, usize)> = wm.unobserved_cells().take(2).collect();
+        let [(r0, c0), (r1, c1)] = cells[..] else { panic!("need 2 unobserved") };
+        wm.set_censored(r0, c0, 1e6);
+        wm.set_censored(r1, c1, 2e6);
+        let mut als = AlsCompleter::paper_default(6);
+        let pred = als.complete(&wm);
+        assert!(pred[(r0, c0)] >= 1e6);
+        assert!(pred[(r1, c1)] >= 2e6);
+        // Without censoring, the bound is ignored.
+        let mut raw = AlsCompleter::without_censoring(6);
+        let pred2 = raw.complete(&wm);
+        assert!(pred2[(r0, c0)] < 1e6);
+    }
+
+    #[test]
+    fn nonneg_projection_yields_nonnegative_predictions() {
+        let (_, wm) = synthetic_low_rank(25, 10, 2, 0.3, 7);
+        let mut als = AlsCompleter::paper_default(8);
+        let (pred, q, h) = als.complete_with_factors(&wm);
+        assert!(q.as_slice().iter().all(|&v| v >= 0.0));
+        assert!(h.as_slice().iter().all(|&v| v >= 0.0));
+        assert!(pred.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn higher_rank_fits_no_worse() {
+        let (truth, wm) = synthetic_low_rank(50, 20, 4, 0.6, 9);
+        let mse_r1 = {
+            let mut a = AlsCompleter { rank: 1, lambda: 0.01, ..AlsCompleter::paper_default(10) };
+            heldout_mse(&truth, &a.complete(&wm), &wm)
+        };
+        let mse_r4 = {
+            let mut a = AlsCompleter { rank: 4, lambda: 0.01, ..AlsCompleter::paper_default(10) };
+            heldout_mse(&truth, &a.complete(&wm), &wm)
+        };
+        assert!(mse_r4 < mse_r1, "r4 {mse_r4} r1 {mse_r1}");
+    }
+
+    #[test]
+    fn deterministic_given_same_seed_and_call_count() {
+        let (_, wm) = synthetic_low_rank(15, 8, 2, 0.5, 11);
+        let mut a = AlsCompleter::paper_default(12);
+        let mut b = AlsCompleter::paper_default(12);
+        assert_eq!(a.complete(&wm).as_slice(), b.complete(&wm).as_slice());
+    }
+
+    #[test]
+    fn rank_zero_clamped_to_one() {
+        let (_, wm) = synthetic_low_rank(5, 4, 1, 0.5, 13);
+        let mut a = AlsCompleter { rank: 0, ..AlsCompleter::paper_default(14) };
+        let pred = a.complete(&wm);
+        assert_eq!(pred.shape(), (5, 4));
+    }
+}

@@ -1,0 +1,163 @@
+//! Singular Value Thresholding (Cai, Candès & Shen 2010) — the `SVT`
+//! baseline of §5.5.5 / Fig. 17.
+//!
+//! Iterates `Xₜ = shrink(Yₜ₋₁, τ)`, `Yₜ = Yₜ₋₁ + δ · M ⊙ (W̃ − Xₜ)` where
+//! `shrink` soft-thresholds the singular values. As the paper observes, SVT
+//! "struggles with noisy data or sparse observations" — at fill 0.1 it can
+//! fail to converge, which Fig. 17 shows as a missing point; we surface the
+//! same behaviour by returning the best iterate found.
+
+use super::{fill_estimate, Completer};
+use crate::matrix::WorkloadMatrix;
+use limeqo_linalg::{svd_thin, Mat};
+
+/// SVT matrix completion.
+#[derive(Debug, Clone)]
+pub struct SvtCompleter {
+    /// Singular-value shrinkage threshold τ; `None` picks the standard
+    /// `5·√(n·k)` scaled by the mean observed magnitude.
+    pub tau: Option<f64>,
+    /// Step size δ; `None` picks `1.2 · n·k / |observed|`.
+    pub delta: Option<f64>,
+    /// Maximum iterations.
+    pub max_iters: usize,
+    /// Relative residual tolerance for early stop.
+    pub tol: f64,
+}
+
+impl Default for SvtCompleter {
+    fn default() -> Self {
+        SvtCompleter { tau: None, delta: None, max_iters: 200, tol: 1e-4 }
+    }
+}
+
+impl Completer for SvtCompleter {
+    fn name(&self) -> &'static str {
+        "svt"
+    }
+
+    fn complete(&mut self, wm: &WorkloadMatrix) -> Mat {
+        let (n, k) = (wm.n_rows(), wm.n_cols());
+        let values = wm.values();
+        let mask = wm.mask();
+        let observed = mask.sum().max(1.0);
+
+        // Scale τ with the data magnitude so thresholding is meaningful for
+        // second-scale latencies as well as synthetic unit matrices.
+        let mean_obs = values.sum() / observed;
+        let tau = self.tau.unwrap_or(5.0 * ((n * k) as f64).sqrt() * mean_obs.max(1e-9) * 0.1);
+        let delta = self.delta.unwrap_or(1.2 * (n * k) as f64 / observed);
+
+        let norm_obs = values
+            .as_slice()
+            .iter()
+            .zip(mask.as_slice())
+            .map(|(&v, &m)| if m != 0.0 { v * v } else { 0.0 })
+            .sum::<f64>()
+            .sqrt()
+            .max(1e-12);
+
+        let mut y = Mat::zeros(n, k);
+        let mut best_x = Mat::zeros(n, k);
+        let mut best_resid = f64::INFINITY;
+        for _ in 0..self.max_iters {
+            let svd = match svd_thin(&y) {
+                Ok(s) => s,
+                Err(_) => break,
+            };
+            let x = svd.shrink_reconstruct(tau);
+            // Residual on observed entries.
+            let mut resid = 0.0;
+            for i in 0..(n * k) {
+                if mask.as_slice()[i] != 0.0 {
+                    let d = values.as_slice()[i] - x.as_slice()[i];
+                    resid += d * d;
+                }
+            }
+            let resid = resid.sqrt() / norm_obs;
+            if resid < best_resid {
+                best_resid = resid;
+                best_x = x.clone();
+            }
+            if resid < self.tol {
+                break;
+            }
+            // Gradient step on observed cells.
+            for i in 0..(n * k) {
+                if mask.as_slice()[i] != 0.0 {
+                    y.as_mut_slice()[i] += delta * (values.as_slice()[i] - x.as_slice()[i]);
+                }
+            }
+        }
+        fill_estimate(&values, &mask, None, &best_x)
+    }
+}
+
+impl SvtCompleter {
+    /// Whether the last-resort iterate converged to the tolerance — used by
+    /// the Fig. 17 harness to mark SVT's missing sparse-fill points.
+    pub fn converged(&self, wm: &WorkloadMatrix) -> bool {
+        let mut probe = self.clone();
+        let pred = probe.complete(wm);
+        let values = wm.values();
+        let mask = wm.mask();
+        let mut resid = 0.0;
+        let mut norm = 0.0;
+        for i in 0..values.len() {
+            if mask.as_slice()[i] != 0.0 {
+                let d = values.as_slice()[i] - pred.as_slice()[i];
+                resid += d * d;
+                norm += values.as_slice()[i] * values.as_slice()[i];
+            }
+        }
+        resid.sqrt() <= self.tol.max(0.05) * norm.sqrt().max(1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complete::test_support::{heldout_mse, synthetic_low_rank};
+
+    #[test]
+    fn dense_fill_recovers_low_rank() {
+        let (truth, wm) = synthetic_low_rank(40, 16, 2, 0.7, 21);
+        let mut svt = SvtCompleter::default();
+        let pred = svt.complete(&wm);
+        let mse = heldout_mse(&truth, &pred, &wm);
+        let scale = truth.as_slice().iter().map(|v| v * v).sum::<f64>() / truth.len() as f64;
+        assert!(mse / scale < 0.05, "relative mse {}", mse / scale);
+    }
+
+    #[test]
+    fn observed_cells_preserved() {
+        let (_, wm) = synthetic_low_rank(20, 10, 2, 0.5, 22);
+        let mut svt = SvtCompleter::default();
+        let pred = svt.complete(&wm);
+        for i in 0..20 {
+            for j in 0..10 {
+                if let crate::matrix::Cell::Complete(v) = wm.cell(i, j) {
+                    assert_eq!(pred[(i, j)], v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_fill_degrades() {
+        // SVT at 10% fill should be clearly worse than at 70% fill.
+        let (truth, wm_sparse) = synthetic_low_rank(40, 16, 2, 0.08, 23);
+        let (truth2, wm_dense) = synthetic_low_rank(40, 16, 2, 0.7, 23);
+        let mut svt = SvtCompleter::default();
+        let sparse_mse = heldout_mse(&truth, &svt.complete(&wm_sparse), &wm_sparse);
+        let dense_mse = heldout_mse(&truth2, &svt.complete(&wm_dense), &wm_dense);
+        assert!(sparse_mse > dense_mse, "sparse {sparse_mse} dense {dense_mse}");
+    }
+
+    #[test]
+    fn output_shape_matches() {
+        let (_, wm) = synthetic_low_rank(7, 5, 1, 0.4, 24);
+        let mut svt = SvtCompleter { max_iters: 10, ..Default::default() };
+        assert_eq!(svt.complete(&wm).shape(), (7, 5));
+    }
+}

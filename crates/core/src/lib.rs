@@ -1,0 +1,39 @@
+//! LimeQO core: offline query optimization via low-rank matrix completion.
+//!
+//! This crate implements the paper's contribution:
+//!
+//! * [`matrix::WorkloadMatrix`] — the partially observed workload matrix
+//!   `W̃` with complete, censored (timed-out) and unobserved cells, plus the
+//!   derived mask matrix `M` and timeout matrix `T` (paper Eqs. 1–5),
+//! * [`complete`] — predictive models that fill in the unobserved cells:
+//!   censored alternating least squares (Algorithm 2), singular value
+//!   thresholding, and nuclear-norm minimization via Soft-Impute (§5.5.5),
+//! * [`policy`] — active-learning exploration policies: Random, Greedy,
+//!   LimeQO (Algorithm 1), and the QO-Advisor / Bao-Cache / BayesQO
+//!   baselines of §5,
+//! * [`explore`] — the offline exploration harness: simulated-time
+//!   accounting (each executed cell charges `min(true latency, timeout)`
+//!   seconds, Eq. 3), wall-clock overhead metering for the predictive
+//!   models, workload shift (§5.3) and data shift (§5.4) events,
+//! * [`metrics`] — latency-vs-exploration-time curves and the summary
+//!   statistics the paper's figures report.
+//!
+//! The crate is DBMS-agnostic: the exploration harness only sees an
+//! [`explore::Oracle`] of true latencies, which `limeqo-sim` provides from
+//! its simulated PostgreSQL, and which tests provide from synthetic
+//! matrices. This mirrors the paper's design constraint that LimeQO "does
+//! not make assumptions about the underlying DBMS".
+
+pub mod complete;
+pub mod explore;
+pub mod matrix;
+pub mod metrics;
+pub mod online;
+pub mod policy;
+
+pub use complete::{AlsCompleter, Completer, NucCompleter, SvtCompleter};
+pub use explore::{ExploreConfig, Explorer, MatOracle, Oracle};
+pub use matrix::{Cell, WorkloadMatrix};
+pub use metrics::{Curve, CurvePoint};
+pub use online::{OnlineConfig, OnlineExplorer, OnlineStats};
+pub use policy::{CellChoice, Policy, PolicyCtx};

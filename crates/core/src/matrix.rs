@@ -1,0 +1,299 @@
+//! The partially observed workload matrix `W̃` (paper §4.1).
+//!
+//! Rows are queries, columns are hints, and each cell is in one of three
+//! states:
+//!
+//! * **unobserved** — never executed (the `∞` entries of Eq. 1),
+//! * **complete** — executed to completion, latency known exactly,
+//! * **censored** — executed but timed out; only a *lower bound* on the
+//!   true latency is known (Eq. 5). These are the "first-class citizens"
+//!   the censored techniques of §4.3 exploit.
+//!
+//! Column [`WorkloadMatrix::DEFAULT_HINT`] (0) is the default optimizer
+//! plan; exploration harnesses observe it for every query up front, because
+//! repetitive workloads execute the default plan in production anyway.
+
+use limeqo_linalg::Mat;
+
+/// State of one (query, hint) cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Cell {
+    /// Never executed.
+    Unobserved,
+    /// Executed to completion with this latency (seconds).
+    Complete(f64),
+    /// Timed out: true latency is strictly greater than this bound.
+    Censored(f64),
+}
+
+impl Cell {
+    /// True when the cell has been executed (complete or censored).
+    pub fn is_observed(&self) -> bool {
+        !matches!(self, Cell::Unobserved)
+    }
+}
+
+/// The partially observed workload matrix.
+#[derive(Debug, Clone)]
+pub struct WorkloadMatrix {
+    n: usize,
+    k: usize,
+    cells: Vec<Cell>,
+}
+
+impl WorkloadMatrix {
+    /// Column index of the default hint.
+    pub const DEFAULT_HINT: usize = 0;
+
+    /// Create an all-unobserved matrix.
+    pub fn new(n: usize, k: usize) -> Self {
+        WorkloadMatrix { n, k, cells: vec![Cell::Unobserved; n * k] }
+    }
+
+    /// Create a matrix with the default column (hint 0) observed at the
+    /// given latencies — the paper's starting condition ("we initially
+    /// reveal the entries corresponding to the default plan").
+    pub fn with_defaults(defaults: &[f64], k: usize) -> Self {
+        let mut wm = WorkloadMatrix::new(defaults.len(), k);
+        for (i, &d) in defaults.iter().enumerate() {
+            wm.set_complete(i, Self::DEFAULT_HINT, d);
+        }
+        wm
+    }
+
+    /// Number of queries (rows).
+    pub fn n_rows(&self) -> usize {
+        self.n
+    }
+
+    /// Number of hints (columns).
+    pub fn n_cols(&self) -> usize {
+        self.k
+    }
+
+    /// Cell state at (row, col).
+    #[inline]
+    pub fn cell(&self, row: usize, col: usize) -> Cell {
+        self.cells[row * self.k + col]
+    }
+
+    /// Record a completed execution.
+    pub fn set_complete(&mut self, row: usize, col: usize, latency: f64) {
+        assert!(latency >= 0.0, "latency must be non-negative");
+        self.cells[row * self.k + col] = Cell::Complete(latency);
+    }
+
+    /// Record a timed-out execution: the true latency exceeds `bound`.
+    /// A tighter (larger) bound replaces a looser one; a completed
+    /// observation is never downgraded to censored.
+    pub fn set_censored(&mut self, row: usize, col: usize, bound: f64) {
+        assert!(bound >= 0.0, "bound must be non-negative");
+        let cell = &mut self.cells[row * self.k + col];
+        match *cell {
+            Cell::Complete(_) => {}
+            Cell::Censored(old) if old >= bound => {}
+            _ => *cell = Cell::Censored(bound),
+        }
+    }
+
+    /// Append `count` unobserved rows (new queries arriving, §5.3).
+    pub fn add_rows(&mut self, count: usize) {
+        self.n += count;
+        self.cells.extend(std::iter::repeat(Cell::Unobserved).take(count * self.k));
+    }
+
+    /// Best (minimum-latency) *completed* cell of a row, the hint the
+    /// online path would serve (censored cells are excluded: a timed-out
+    /// plan is unverified and using it could regress).
+    pub fn row_best(&self, row: usize) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for col in 0..self.k {
+            if let Cell::Complete(v) = self.cell(row, col) {
+                if best.map_or(true, |(_, b)| v < b) {
+                    best = Some((col, v));
+                }
+            }
+        }
+        best
+    }
+
+    /// `P(W̃)` (Eq. 2): the workload latency under the currently best
+    /// observed hints. Rows with no completed cell contribute nothing
+    /// (they have not entered the workload yet).
+    pub fn total_best_latency(&self) -> f64 {
+        (0..self.n).filter_map(|i| self.row_best(i).map(|(_, v)| v)).sum()
+    }
+
+    /// The observed-value matrix `W̃` with unobserved/censored cells as 0
+    /// (pairs with [`WorkloadMatrix::mask`] in `M ⊙ W̃`).
+    pub fn values(&self) -> Mat {
+        let mut m = Mat::zeros(self.n, self.k);
+        for row in 0..self.n {
+            for col in 0..self.k {
+                if let Cell::Complete(v) = self.cell(row, col) {
+                    m[(row, col)] = v;
+                }
+            }
+        }
+        m
+    }
+
+    /// The mask matrix `M`: 1 for completed cells, 0 otherwise.
+    pub fn mask(&self) -> Mat {
+        let mut m = Mat::zeros(self.n, self.k);
+        for row in 0..self.n {
+            for col in 0..self.k {
+                if matches!(self.cell(row, col), Cell::Complete(_)) {
+                    m[(row, col)] = 1.0;
+                }
+            }
+        }
+        m
+    }
+
+    /// The timeout matrix `T`: censored bounds where known, 0 elsewhere.
+    pub fn timeouts(&self) -> Mat {
+        let mut m = Mat::zeros(self.n, self.k);
+        for row in 0..self.n {
+            for col in 0..self.k {
+                if let Cell::Censored(b) = self.cell(row, col) {
+                    m[(row, col)] = b;
+                }
+            }
+        }
+        m
+    }
+
+    /// Count of completed cells.
+    pub fn complete_count(&self) -> usize {
+        self.cells.iter().filter(|c| matches!(c, Cell::Complete(_))).count()
+    }
+
+    /// Count of censored cells.
+    pub fn censored_count(&self) -> usize {
+        self.cells.iter().filter(|c| matches!(c, Cell::Censored(_))).count()
+    }
+
+    /// Count of unobserved cells.
+    pub fn unobserved_count(&self) -> usize {
+        self.cells.iter().filter(|c| matches!(c, Cell::Unobserved)).count()
+    }
+
+    /// True when no unobserved cells remain (Algorithm 1's `M ≠ 1`
+    /// termination test).
+    pub fn fully_observed(&self) -> bool {
+        self.unobserved_count() == 0
+    }
+
+    /// Iterate over unobserved cell coordinates.
+    pub fn unobserved_cells(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |r| {
+            (0..self.k)
+                .filter(move |&c| matches!(self.cell(r, c), Cell::Unobserved))
+                .map(move |c| (r, c))
+        })
+    }
+
+    /// Rows that still have at least one unobserved cell.
+    pub fn rows_with_unobserved(&self) -> Vec<usize> {
+        (0..self.n)
+            .filter(|&r| (0..self.k).any(|c| matches!(self.cell(r, c), Cell::Unobserved)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_initialize_column_zero() {
+        let wm = WorkloadMatrix::with_defaults(&[1.0, 2.0, 3.0], 4);
+        assert_eq!(wm.n_rows(), 3);
+        assert_eq!(wm.n_cols(), 4);
+        assert_eq!(wm.cell(1, 0), Cell::Complete(2.0));
+        assert_eq!(wm.cell(1, 1), Cell::Unobserved);
+        assert_eq!(wm.complete_count(), 3);
+    }
+
+    #[test]
+    fn row_best_ignores_censored() {
+        let mut wm = WorkloadMatrix::with_defaults(&[5.0], 3);
+        wm.set_censored(0, 1, 1.0); // timed out at 1s: NOT usable
+        assert_eq!(wm.row_best(0), Some((0, 5.0)));
+        wm.set_complete(0, 2, 2.0);
+        assert_eq!(wm.row_best(0), Some((2, 2.0)));
+    }
+
+    #[test]
+    fn total_best_latency_sums_row_minima() {
+        let mut wm = WorkloadMatrix::with_defaults(&[5.0, 10.0], 3);
+        wm.set_complete(0, 1, 3.0);
+        assert_eq!(wm.total_best_latency(), 13.0);
+    }
+
+    #[test]
+    fn censored_bound_only_tightens() {
+        let mut wm = WorkloadMatrix::new(1, 2);
+        wm.set_censored(0, 0, 2.0);
+        wm.set_censored(0, 0, 1.0); // looser: ignored
+        assert_eq!(wm.cell(0, 0), Cell::Censored(2.0));
+        wm.set_censored(0, 0, 3.0); // tighter: kept
+        assert_eq!(wm.cell(0, 0), Cell::Censored(3.0));
+    }
+
+    #[test]
+    fn complete_never_downgraded() {
+        let mut wm = WorkloadMatrix::new(1, 1);
+        wm.set_complete(0, 0, 4.0);
+        wm.set_censored(0, 0, 10.0);
+        assert_eq!(wm.cell(0, 0), Cell::Complete(4.0));
+    }
+
+    #[test]
+    fn mask_values_timeouts_consistent() {
+        let mut wm = WorkloadMatrix::with_defaults(&[1.0, 2.0], 3);
+        wm.set_censored(0, 1, 0.5);
+        wm.set_complete(1, 2, 4.0);
+        let m = wm.mask();
+        let v = wm.values();
+        let t = wm.timeouts();
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 1)], 0.0); // censored is NOT in the mask
+        assert_eq!(v[(0, 1)], 0.0);
+        assert_eq!(t[(0, 1)], 0.5);
+        assert_eq!(v[(1, 2)], 4.0);
+        assert_eq!(t[(1, 2)], 0.0);
+    }
+
+    #[test]
+    fn add_rows_extends_unobserved() {
+        let mut wm = WorkloadMatrix::with_defaults(&[1.0], 2);
+        wm.add_rows(2);
+        assert_eq!(wm.n_rows(), 3);
+        assert_eq!(wm.cell(2, 0), Cell::Unobserved);
+        // New rows without observations do not contribute to P.
+        assert_eq!(wm.total_best_latency(), 1.0);
+    }
+
+    #[test]
+    fn fully_observed_counts() {
+        let mut wm = WorkloadMatrix::new(1, 2);
+        assert!(!wm.fully_observed());
+        wm.set_complete(0, 0, 1.0);
+        wm.set_censored(0, 1, 2.0);
+        assert!(wm.fully_observed());
+        assert_eq!(wm.unobserved_count(), 0);
+        assert_eq!(wm.censored_count(), 1);
+    }
+
+    #[test]
+    fn unobserved_iteration_and_rows() {
+        let mut wm = WorkloadMatrix::with_defaults(&[1.0, 1.0], 3);
+        wm.set_complete(0, 1, 1.0);
+        wm.set_complete(0, 2, 1.0);
+        let cells: Vec<_> = wm.unobserved_cells().collect();
+        assert_eq!(cells, vec![(1, 1), (1, 2)]);
+        assert_eq!(wm.rows_with_unobserved(), vec![1]);
+    }
+}

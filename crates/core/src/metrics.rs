@@ -1,0 +1,180 @@
+//! Latency-vs-exploration-time curves and figure-level summaries.
+//!
+//! Every exploration run produces a [`Curve`]; the figure harness samples
+//! curves at the paper's budget multiples (Fig. 5's
+//! `[1/4, 1/2, 1, 2, 4] × default workload time`), averages across seeds,
+//! and reports standard deviations — matching "each technique's
+//! experiments were repeated five times, and we report the average runtime
+//! along with the standard deviation".
+
+/// One sample of an exploration run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Simulated offline exploration seconds spent so far (Eq. 3).
+    pub time: f64,
+    /// Workload latency under currently best verified hints (Eq. 2).
+    pub latency: f64,
+    /// Cumulative wall-clock model overhead in seconds.
+    pub overhead: f64,
+    /// Cells executed so far.
+    pub explored: usize,
+    /// Censored cells currently in the matrix.
+    pub censored: usize,
+}
+
+/// A full exploration trajectory.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Technique name (figure legend).
+    pub name: String,
+    /// Trajectory samples in time order.
+    pub points: Vec<CurvePoint>,
+}
+
+impl Curve {
+    /// Empty curve for a named technique.
+    pub fn new(name: impl Into<String>) -> Self {
+        Curve { name: name.into(), points: Vec::new() }
+    }
+
+    /// Append a sample (times must be non-decreasing).
+    pub fn push(&mut self, p: CurvePoint) {
+        if let Some(last) = self.points.last() {
+            debug_assert!(p.time >= last.time, "curve time must be monotone");
+        }
+        self.points.push(p);
+    }
+
+    /// Workload latency after `time` seconds of exploration: the last
+    /// sample at or before `time` (step interpolation — improvements only
+    /// land once verified). Falls back to the first sample.
+    pub fn latency_at(&self, time: f64) -> f64 {
+        let mut value = self.points.first().map(|p| p.latency).unwrap_or(f64::NAN);
+        for p in &self.points {
+            if p.time <= time {
+                value = p.latency;
+            } else {
+                break;
+            }
+        }
+        value
+    }
+
+    /// Cumulative overhead after `time` exploration seconds.
+    pub fn overhead_at(&self, time: f64) -> f64 {
+        let mut value = 0.0;
+        for p in &self.points {
+            if p.time <= time {
+                value = p.overhead;
+            } else {
+                break;
+            }
+        }
+        value
+    }
+
+    /// Cells explored after `time` exploration seconds.
+    pub fn explored_at(&self, time: f64) -> usize {
+        let mut value = 0;
+        for p in &self.points {
+            if p.time <= time {
+                value = p.explored;
+            } else {
+                break;
+            }
+        }
+        value
+    }
+
+    /// Final latency reached.
+    pub fn final_latency(&self) -> f64 {
+        self.points.last().map(|p| p.latency).unwrap_or(f64::NAN)
+    }
+
+    /// Total exploration time consumed.
+    pub fn total_time(&self) -> f64 {
+        self.points.last().map(|p| p.time).unwrap_or(0.0)
+    }
+}
+
+/// Mean and sample standard deviation of a slice.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (f64::NAN, f64::NAN);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+        / (values.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
+/// Sample several same-technique curves (different seeds) at fixed times,
+/// returning `(mean, std)` latency per time.
+pub fn aggregate_at(curves: &[Curve], times: &[f64]) -> Vec<(f64, f64)> {
+    times
+        .iter()
+        .map(|&t| {
+            let vals: Vec<f64> = curves.iter().map(|c| c.latency_at(t)).collect();
+            mean_std(&vals)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> Curve {
+        let mut c = Curve::new("t");
+        for (t, l) in [(0.0, 10.0), (1.0, 8.0), (2.0, 5.0), (4.0, 4.0)] {
+            c.push(CurvePoint { time: t, latency: l, overhead: t * 0.1, explored: t as usize, censored: 0 });
+        }
+        c
+    }
+
+    #[test]
+    fn latency_at_step_interpolates() {
+        let c = curve();
+        assert_eq!(c.latency_at(0.0), 10.0);
+        assert_eq!(c.latency_at(0.5), 10.0);
+        assert_eq!(c.latency_at(1.0), 8.0);
+        assert_eq!(c.latency_at(3.9), 5.0);
+        assert_eq!(c.latency_at(100.0), 4.0);
+    }
+
+    #[test]
+    fn overhead_and_explored_at() {
+        let c = curve();
+        assert!((c.overhead_at(2.5) - 0.2).abs() < 1e-12);
+        assert_eq!(c.explored_at(2.5), 2);
+    }
+
+    #[test]
+    fn mean_std_hand_computed() {
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert!((s - 2.0_f64.sqrt()).abs() < 1e-12);
+        let (m1, s1) = mean_std(&[5.0]);
+        assert_eq!((m1, s1), (5.0, 0.0));
+    }
+
+    #[test]
+    fn aggregate_across_curves() {
+        let a = curve();
+        let mut b = curve();
+        b.points.iter_mut().for_each(|p| p.latency += 2.0);
+        let agg = aggregate_at(&[a, b], &[2.0]);
+        assert!((agg[0].0 - 6.0).abs() < 1e-12);
+        assert!((agg[0].1 - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn final_latency_and_total_time() {
+        let c = curve();
+        assert_eq!(c.final_latency(), 4.0);
+        assert_eq!(c.total_time(), 4.0);
+    }
+}

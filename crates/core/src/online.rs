@@ -1,0 +1,266 @@
+//! Online exploration over the hint space — the paper's §6 future-work
+//! item ("investigate techniques for online exploration over the space of
+//! hints and plans leveraging the low-rank structure, complementing the
+//! offline exploration of our current approach").
+//!
+//! Instead of a dedicated offline window, queries are optimized *as they
+//! arrive*: each arrival normally serves its best verified hint, but with
+//! a small probability the system gambles on the completed matrix's best
+//! predicted unverified hint — guarded by a bounded-regression timeout
+//! `ρ × current best` so a wrong gamble costs at most a ρ−1 fraction of
+//! the incumbent latency, after which the plan is cancelled, the incumbent
+//! re-run, and the cell recorded as censored. This keeps a hard per-query
+//! regression bound of `ρ×` (configurable, e.g. 1.2 = at most 20 % worse
+//! than the verified plan on an exploring arrival) while steadily filling
+//! the workload matrix for free.
+
+use crate::complete::Completer;
+use crate::explore::Oracle;
+use crate::matrix::{Cell, WorkloadMatrix};
+use limeqo_linalg::rng::SeededRng;
+
+/// Configuration of the online explorer.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Probability that an arrival explores instead of serving the
+    /// incumbent.
+    pub explore_prob: f64,
+    /// Bounded-regression factor ρ: an exploring arrival may spend at most
+    /// `ρ × incumbent` before being cancelled (then the incumbent runs).
+    pub rho: f64,
+    /// Re-complete the matrix every this many arrivals (model refresh).
+    pub refresh_every: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig { explore_prob: 0.1, rho: 1.2, refresh_every: 64, seed: 0 }
+    }
+}
+
+/// Outcome statistics of an online run.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    /// Arrivals served.
+    pub arrivals: usize,
+    /// Arrivals that explored an unverified hint.
+    pub explored: usize,
+    /// Explorations that found a faster verified plan.
+    pub wins: usize,
+    /// Explorations cancelled at the ρ-timeout (bounded regression paid).
+    pub cancelled: usize,
+    /// Total latency actually experienced by arrivals (including gamble
+    /// overheads and incumbent re-runs after cancellations).
+    pub total_latency: f64,
+    /// Total latency if every arrival had served the default plan.
+    pub default_latency: f64,
+    /// Total latency if every arrival had served its current incumbent
+    /// (pure exploitation).
+    pub incumbent_latency: f64,
+}
+
+impl OnlineStats {
+    /// Worst-case per-arrival regression actually incurred, as a fraction
+    /// of the incumbent latency (≤ ρ − 1 by construction).
+    pub fn regression_bound(&self, rho: f64) -> f64 {
+        rho - 1.0
+    }
+}
+
+/// Online explorer: serves arrivals, gambles occasionally, learns always.
+pub struct OnlineExplorer<'a> {
+    oracle: &'a dyn Oracle,
+    completer: Box<dyn Completer + Send>,
+    /// The growing workload matrix (shared shape with the oracle).
+    pub wm: WorkloadMatrix,
+    cfg: OnlineConfig,
+    rng: SeededRng,
+    predictions: Option<limeqo_linalg::Mat>,
+    since_refresh: usize,
+    /// Accumulated statistics.
+    pub stats: OnlineStats,
+}
+
+impl<'a> OnlineExplorer<'a> {
+    /// Create an online explorer; the default column is observed up front
+    /// (it has been served before).
+    pub fn new(
+        oracle: &'a dyn Oracle,
+        completer: Box<dyn Completer + Send>,
+        cfg: OnlineConfig,
+    ) -> Self {
+        let (n, k) = oracle.shape();
+        let defaults: Vec<f64> =
+            (0..n).map(|i| oracle.true_latency(i, WorkloadMatrix::DEFAULT_HINT)).collect();
+        let wm = WorkloadMatrix::with_defaults(&defaults, k);
+        OnlineExplorer {
+            oracle,
+            completer,
+            wm,
+            rng: SeededRng::new(cfg.seed ^ 0x0411E),
+            cfg,
+            predictions: None,
+            since_refresh: usize::MAX / 2, // force refresh on first gamble
+            stats: OnlineStats::default(),
+        }
+    }
+
+    /// Serve one arrival of query `row`; returns the latency the user
+    /// experienced.
+    pub fn serve(&mut self, row: usize) -> f64 {
+        let (incumbent_hint, incumbent_lat) =
+            self.wm.row_best(row).expect("default always observed");
+        self.stats.arrivals += 1;
+        self.stats.default_latency +=
+            self.oracle.true_latency(row, WorkloadMatrix::DEFAULT_HINT);
+        self.stats.incumbent_latency += incumbent_lat;
+
+        let gamble = self.rng.chance(self.cfg.explore_prob);
+        if !gamble {
+            self.stats.total_latency += incumbent_lat;
+            return incumbent_lat;
+        }
+        self.stats.explored += 1;
+        // Refresh the model if stale.
+        if self.predictions.is_none() || self.since_refresh >= self.cfg.refresh_every {
+            self.predictions = Some(self.completer.complete(&self.wm));
+            self.since_refresh = 0;
+        }
+        self.since_refresh += 1;
+        let pred = self.predictions.as_ref().expect("predictions fresh");
+
+        // Best predicted not-yet-verified hint for this query.
+        let mut cand: Option<(usize, f64)> = None;
+        for col in 0..self.wm.n_cols() {
+            if matches!(self.wm.cell(row, col), Cell::Complete(_)) {
+                continue;
+            }
+            let p = pred[(row, col)];
+            if cand.map_or(true, |(_, b)| p < b) {
+                cand = Some((col, p));
+            }
+        }
+        let Some((col, predicted)) = cand else {
+            self.stats.total_latency += incumbent_lat;
+            return incumbent_lat;
+        };
+        // Only gamble when the model predicts a real win.
+        if predicted >= incumbent_lat {
+            self.stats.total_latency += incumbent_lat;
+            return incumbent_lat;
+        }
+        let budget = self.cfg.rho * incumbent_lat;
+        let truth = self.oracle.true_latency(row, col);
+        let experienced = if truth <= budget {
+            // The gamble ran to completion: latency observed and recorded.
+            self.wm.set_complete(row, col, truth);
+            if truth < incumbent_lat {
+                self.stats.wins += 1;
+            }
+            truth
+        } else {
+            // Cancelled at the bound; rerun the incumbent. The arrival
+            // paid budget + incumbent — still within (ρ + 1)× worst case,
+            // and the bound is recorded for the offline model.
+            self.wm.set_censored(row, col, budget);
+            self.stats.cancelled += 1;
+            budget + incumbent_lat
+        };
+        // Note: the row's best hint may now be `col` (a win) or still
+        // `incumbent_hint` — both are valid post-states.
+        let _ = incumbent_hint;
+        self.stats.total_latency += experienced;
+        experienced
+    }
+
+    /// Serve a whole arrival trace.
+    pub fn serve_trace(&mut self, rows: &[usize]) {
+        for &r in rows {
+            self.serve(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complete::AlsCompleter;
+    use crate::explore::MatOracle;
+
+    fn oracle(n: usize, k: usize, seed: u64) -> MatOracle {
+        let mut rng = SeededRng::new(seed);
+        let q = rng.uniform_mat(n, 3, 0.5, 2.0);
+        let h = rng.uniform_mat(k, 3, 0.2, 1.5);
+        let mut lat = q.matmul_t(&h).unwrap();
+        for i in 0..n {
+            lat[(i, 0)] = lat[(i, 0)] * 2.5 + 0.5;
+        }
+        MatOracle::new(lat, None)
+    }
+
+    fn run(explore_prob: f64, arrivals: usize, seed: u64) -> OnlineStats {
+        let o = oracle(30, 10, seed);
+        let cfg = OnlineConfig { explore_prob, seed, ..Default::default() };
+        let mut ex = OnlineExplorer::new(&o, Box::new(AlsCompleter::paper_default(seed)), cfg);
+        let mut rng = SeededRng::new(seed ^ 77);
+        let trace: Vec<usize> = (0..arrivals).map(|_| rng.index(30)).collect();
+        ex.serve_trace(&trace);
+        ex.stats.clone()
+    }
+
+    #[test]
+    fn pure_exploitation_equals_incumbents() {
+        let s = run(0.0, 500, 1);
+        assert_eq!(s.explored, 0);
+        assert!((s.total_latency - s.incumbent_latency).abs() < 1e-9);
+        // Without exploration, incumbents stay at the default.
+        assert!((s.total_latency - s.default_latency).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exploration_beats_default_over_time() {
+        let s = run(0.15, 3000, 2);
+        assert!(s.explored > 0);
+        assert!(
+            s.total_latency < s.default_latency,
+            "online exploration should pay for itself: {} vs {}",
+            s.total_latency,
+            s.default_latency
+        );
+    }
+
+    #[test]
+    fn per_arrival_regression_bounded_by_rho() {
+        // Every arrival's experienced latency is at most
+        // rho * incumbent + incumbent (cancelled gamble + rerun).
+        let o = oracle(20, 8, 3);
+        let cfg = OnlineConfig { explore_prob: 1.0, rho: 1.2, seed: 4, ..Default::default() };
+        let mut ex = OnlineExplorer::new(&o, Box::new(AlsCompleter::paper_default(5)), cfg);
+        for arrival in 0..500 {
+            let row = arrival % 20;
+            let incumbent = ex.wm.row_best(row).unwrap().1;
+            let experienced = ex.serve(row);
+            assert!(
+                experienced <= 1.2 * incumbent + incumbent + 1e-9,
+                "arrival {arrival}: {experienced} vs bound {}",
+                2.2 * incumbent
+            );
+        }
+        assert!(ex.stats.cancelled + ex.stats.wins > 0);
+    }
+
+    #[test]
+    fn matrix_fills_up_as_a_side_effect() {
+        let o = oracle(15, 8, 6);
+        let cfg = OnlineConfig { explore_prob: 0.5, seed: 7, ..Default::default() };
+        let mut ex = OnlineExplorer::new(&o, Box::new(AlsCompleter::paper_default(8)), cfg);
+        let before = ex.wm.complete_count() + ex.wm.censored_count();
+        let mut rng = SeededRng::new(9);
+        let trace: Vec<usize> = (0..800).map(|_| rng.index(15)).collect();
+        ex.serve_trace(&trace);
+        let after = ex.wm.complete_count() + ex.wm.censored_count();
+        assert!(after > before + 10, "matrix should fill: {before} -> {after}");
+    }
+}

@@ -1,0 +1,186 @@
+//! BayesQO-style baseline (§5.6): per-query sequential model-based
+//! optimization with a fixed time budget per query.
+//!
+//! "While BayesQO optimizes one query at a time, our framework
+//! simultaneously optimizes an entire query workload … each query in the
+//! workload was allocated a fixed optimization time of three seconds."
+//! The essential behaviour — exploration time is split *evenly* across
+//! queries instead of being allocated to the most promising ones — is what
+//! Fig. 18 contrasts against LimeQO. Our surrogate is a ridge regression
+//! over the six hint knobs with an expected-improvement-flavoured
+//! acquisition; with only ~3 s per query it barely executes one or two
+//! alternative plans, reproducing the paper's "barely makes progress".
+
+use crate::explore::{MatOracle, Oracle};
+use crate::matrix::WorkloadMatrix;
+use crate::metrics::{Curve, CurvePoint};
+use limeqo_linalg::rng::SeededRng;
+use limeqo_linalg::{ridge_solve, Mat};
+
+/// Per-query Bayesian-optimization-style runner.
+#[derive(Debug, Clone)]
+pub struct BayesQoRunner {
+    /// Offline optimization seconds granted to each query (paper: 3 s).
+    pub per_query_budget: f64,
+    /// Ridge regularization of the surrogate.
+    pub lambda: f64,
+    /// Exploration jitter added to surrogate predictions.
+    pub jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BayesQoRunner {
+    /// Paper configuration: 3 seconds per query.
+    pub fn paper_default(seed: u64) -> Self {
+        BayesQoRunner { per_query_budget: 3.0, lambda: 1.0, jitter: 0.02, seed }
+    }
+
+    /// Hint feature row: intercept + the six ±1 knob features. The caller
+    /// provides per-column features since core does not know hint
+    /// semantics; by default we derive pseudo-features from the column
+    /// index bits, which preserves the baseline's behaviour (a weak linear
+    /// surrogate over a 49-point design space).
+    fn hint_features(col: usize, k: usize) -> Vec<f64> {
+        let bits = 8.min(((k as f64).log2().ceil() as usize).max(1));
+        let mut f = Vec::with_capacity(1 + bits);
+        f.push(1.0);
+        for b in 0..bits {
+            f.push(if col >> b & 1 == 1 { 1.0 } else { -1.0 });
+        }
+        f
+    }
+
+    /// Optimize the whole workload, one query at a time, recording the
+    /// global curve. Exploration time advances by `min(latency, timeout)`
+    /// per executed cell, with timeouts at the query's current best.
+    pub fn run(&self, oracle: &MatOracle) -> Curve {
+        let (n, k) = oracle.shape();
+        let mut rng = SeededRng::new(self.seed ^ 0xBA7E5);
+        let defaults: Vec<f64> = (0..n).map(|i| oracle.true_latency(i, 0)).collect();
+        let mut wm = WorkloadMatrix::with_defaults(&defaults, k);
+        let mut curve = Curve::new("bayesqo");
+        let mut time = 0.0f64;
+        let mut explored = 0usize;
+        curve.push(CurvePoint {
+            time,
+            latency: wm.total_best_latency(),
+            overhead: 0.0,
+            explored,
+            censored: 0,
+        });
+
+        let feat_dim = Self::hint_features(0, k).len();
+        for q in 0..n {
+            let mut spent = 0.0f64;
+            while spent < self.per_query_budget {
+                // Fit ridge surrogate on this query's observed cells.
+                let observed: Vec<(usize, f64)> = (0..k)
+                    .filter_map(|c| match wm.cell(q, c) {
+                        crate::matrix::Cell::Complete(v) => Some((c, v)),
+                        _ => None,
+                    })
+                    .collect();
+                let unexplored: Vec<usize> =
+                    (0..k).filter(|&c| !wm.cell(q, c).is_observed()).collect();
+                if unexplored.is_empty() {
+                    break;
+                }
+                let mut g = Mat::zeros(observed.len(), feat_dim);
+                let mut y = Mat::zeros(observed.len(), 1);
+                for (row, &(c, v)) in observed.iter().enumerate() {
+                    for (j, f) in Self::hint_features(c, k).into_iter().enumerate() {
+                        g[(row, j)] = f;
+                    }
+                    y[(row, 0)] = (1.0 + v).ln();
+                }
+                let beta = ridge_solve(&g, &y, self.lambda)
+                    .unwrap_or_else(|_| Mat::zeros(feat_dim, 1));
+                // Acquisition: predicted-best unexplored hint with jitter.
+                let mut best: Option<(usize, f64)> = None;
+                for &c in &unexplored {
+                    let feats = Self::hint_features(c, k);
+                    let mut pred = 0.0;
+                    for (j, f) in feats.into_iter().enumerate() {
+                        pred += beta[(j, 0)] * f;
+                    }
+                    pred += rng.gaussian(0.0, self.jitter);
+                    if best.map_or(true, |(_, b)| pred < b) {
+                        best = Some((c, pred));
+                    }
+                }
+                let (col, _) = best.expect("unexplored non-empty");
+                let row_best = wm.row_best(q).map(|(_, v)| v).unwrap_or(f64::INFINITY);
+                let remaining = self.per_query_budget - spent;
+                let timeout = row_best.min(remaining);
+                let truth = oracle.true_latency(q, col);
+                if truth <= timeout {
+                    wm.set_complete(q, col, truth);
+                    spent += truth;
+                    time += truth;
+                } else {
+                    wm.set_censored(q, col, timeout);
+                    spent += timeout;
+                    time += timeout;
+                }
+                explored += 1;
+                curve.push(CurvePoint {
+                    time,
+                    latency: wm.total_best_latency(),
+                    overhead: 0.0,
+                    explored,
+                    censored: wm.censored_count(),
+                });
+            }
+        }
+        curve
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_oracle(n: usize, k: usize, seed: u64) -> MatOracle {
+        let mut rng = SeededRng::new(seed);
+        let q = rng.uniform_mat(n, 2, 0.5, 2.0);
+        let h = rng.uniform_mat(k, 2, 0.2, 1.5);
+        let mut lat = q.matmul_t(&h).unwrap();
+        for i in 0..n {
+            lat[(i, 0)] = lat[(i, 0)] * 2.0 + 0.5;
+        }
+        MatOracle::new(lat, None)
+    }
+
+    #[test]
+    fn never_regresses_and_spends_bounded_budget() {
+        let oracle = toy_oracle(10, 8, 50);
+        let runner = BayesQoRunner { per_query_budget: 0.5, ..BayesQoRunner::paper_default(1) };
+        let curve = runner.run(&oracle);
+        let lats: Vec<f64> = curve.points.iter().map(|p| p.latency).collect();
+        for w in lats.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9);
+        }
+        // Total spend ≤ n × budget (+ small overshoot of last execution).
+        assert!(curve.total_time() <= 10.0 * 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn even_allocation_touches_many_queries() {
+        let oracle = toy_oracle(12, 6, 51);
+        let runner = BayesQoRunner { per_query_budget: 0.4, ..BayesQoRunner::paper_default(2) };
+        let curve = runner.run(&oracle);
+        // Should have explored at least one cell for most queries.
+        assert!(curve.points.last().unwrap().explored >= 10);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let oracle = toy_oracle(6, 5, 52);
+        let runner = BayesQoRunner::paper_default(3);
+        let a = runner.run(&oracle);
+        let b = runner.run(&oracle);
+        assert_eq!(a.points.len(), b.points.len());
+        assert_eq!(a.final_latency(), b.final_latency());
+    }
+}

@@ -1,0 +1,84 @@
+//! Greedy exploration (§4.2): attack the longest-running queries first.
+//!
+//! Greedy "selects the queries with the largest current minimum observed
+//! latency … then for each query, we randomly select an unobserved hint".
+//! Its implicit assumption — that long-running queries have the most room
+//! for improvement — fails on write-bound ETL queries (Fig. 8), which is
+//! exactly what LimeQO's predictive model avoids.
+
+use super::{row_timeout, CellChoice, Policy, PolicyCtx};
+use limeqo_linalg::rng::SeededRng;
+
+/// Longest-first query selection with a random unobserved hint per query.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GreedyPolicy;
+
+impl Policy for GreedyPolicy {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn select(
+        &mut self,
+        ctx: &PolicyCtx<'_>,
+        batch: usize,
+        rng: &mut SeededRng,
+    ) -> Vec<CellChoice> {
+        let wm = ctx.wm;
+        // Rank rows by current best observed latency, descending.
+        let mut rows = wm.rows_with_unobserved();
+        rows.sort_by(|&a, &b| {
+            let la = wm.row_best(a).map(|(_, v)| v).unwrap_or(0.0);
+            let lb = wm.row_best(b).map(|(_, v)| v).unwrap_or(0.0);
+            lb.partial_cmp(&la).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut out = Vec::with_capacity(batch);
+        for row in rows.into_iter().take(batch) {
+            let unobserved: Vec<usize> = (0..wm.n_cols())
+                .filter(|&c| !wm.cell(row, c).is_observed())
+                .collect();
+            if unobserved.is_empty() {
+                continue;
+            }
+            let col = unobserved[rng.index(unobserved.len())];
+            out.push(CellChoice { row, col, timeout: row_timeout(wm, row) });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::WorkloadMatrix;
+
+    #[test]
+    fn prefers_longest_running_rows() {
+        let wm = WorkloadMatrix::with_defaults(&[1.0, 100.0, 10.0], 4);
+        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let mut rng = SeededRng::new(5);
+        let sel = GreedyPolicy.select(&ctx, 2, &mut rng);
+        let rows: Vec<usize> = sel.iter().map(|c| c.row).collect();
+        assert_eq!(rows, vec![1, 2]);
+    }
+
+    #[test]
+    fn skips_fully_observed_rows() {
+        let mut wm = WorkloadMatrix::with_defaults(&[100.0, 1.0], 2);
+        wm.set_complete(0, 1, 99.0); // slowest row fully observed
+        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let mut rng = SeededRng::new(6);
+        let sel = GreedyPolicy.select(&ctx, 2, &mut rng);
+        assert_eq!(sel.len(), 1);
+        assert_eq!(sel[0].row, 1);
+    }
+
+    #[test]
+    fn timeout_is_current_row_best() {
+        let wm = WorkloadMatrix::with_defaults(&[7.0], 3);
+        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let mut rng = SeededRng::new(7);
+        let sel = GreedyPolicy.select(&ctx, 1, &mut rng);
+        assert_eq!(sel[0].timeout, 7.0);
+    }
+}

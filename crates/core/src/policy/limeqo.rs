@@ -1,0 +1,268 @@
+//! LimeQO — Algorithm 1 of the paper.
+//!
+//! Each step: complete the matrix with the predictive model, compute every
+//! query's *expected improvement ratio*
+//!
+//! ```text
+//! rᵢ = (min_j W̃ᵢⱼ − min_j Ŵᵢⱼ) / min_j Ŵᵢⱼ          (Eq. 6)
+//! ```
+//!
+//! explore the top-m cells by rᵢ (falling back to random unobserved cells
+//! when fewer than m queries show positive predicted improvement), with
+//! timeout `Tᵢⱼ = min(min W̃ᵢ, Ŵᵢⱼ · α)` (line 10). Plugging in the ALS
+//! completer yields LimeQO; plugging in the transductive TCNN yields
+//! LimeQO+ — the policy code is identical, exactly as in the paper.
+
+use super::{sample_unobserved, CellChoice, Policy, PolicyCtx};
+use crate::complete::Completer;
+use crate::matrix::Cell;
+use limeqo_linalg::rng::SeededRng;
+
+/// How Algorithm 1 scores candidate queries (DESIGN.md §6 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreMode {
+    /// The paper's expected improvement ratio (Eq. 6):
+    /// `(min W̃ᵢ − min Ŵᵢ) / min Ŵᵢ` — normalizes by the predicted best so
+    /// exploration cost (≈ the predicted latency) is priced in.
+    Ratio,
+    /// Raw predicted improvement `min W̃ᵢ − min Ŵᵢ` — favours long queries
+    /// regardless of how expensive they are to verify.
+    Absolute,
+}
+
+/// Algorithm 1 with a pluggable predictive model.
+pub struct LimeQoPolicy {
+    completer: Box<dyn Completer + Send>,
+    /// Timeout multiplier α (Algorithm 1 line 10). The paper leaves α
+    /// implicit. Small α censors aggressively but, early in exploration —
+    /// when the model's per-row argmin prediction is biased low by noise —
+    /// it censors probes that would have improved the row; an α-sweep on
+    /// JOB/CEB (bench `tune_alpha`) picked 10 as the default.
+    pub alpha: f64,
+    /// Display name ("limeqo" for ALS, "limeqo+" for the TCNN).
+    display_name: &'static str,
+    /// Minimum relative increase over an existing censored bound for a
+    /// re-exploration of that cell to be worthwhile (guards against
+    /// re-running a censored cell with an unchanged timeout forever).
+    pub min_bound_gain: f64,
+    /// Candidate scoring (Eq. 6 ratio by default).
+    pub score_mode: ScoreMode,
+}
+
+impl LimeQoPolicy {
+    /// LimeQO with any completer (ALS → LimeQO, TCNN → LimeQO+).
+    pub fn new(completer: Box<dyn Completer + Send>, display_name: &'static str) -> Self {
+        LimeQoPolicy {
+            completer,
+            alpha: 10.0,
+            display_name,
+            min_bound_gain: 0.05,
+            score_mode: ScoreMode::Ratio,
+        }
+    }
+
+    /// Paper-default LimeQO: censored non-negative ALS, r = 5, λ = 0.2.
+    pub fn with_als(seed: u64) -> Self {
+        Self::new(Box::new(crate::complete::AlsCompleter::paper_default(seed)), "limeqo")
+    }
+}
+
+impl Policy for LimeQoPolicy {
+    fn name(&self) -> &'static str {
+        self.display_name
+    }
+
+    fn select(
+        &mut self,
+        ctx: &PolicyCtx<'_>,
+        batch: usize,
+        rng: &mut SeededRng,
+    ) -> Vec<CellChoice> {
+        let wm = ctx.wm;
+        // Line 2: Ŵ ← pred(W̃, M, T).
+        let w_hat = self.completer.complete(wm);
+
+        // Lines 3–6: expected improvement ratio per query.
+        let mut scored: Vec<(f64, usize, usize)> = Vec::new(); // (r_i, row, col)
+        for row in 0..wm.n_rows() {
+            let Some((_, observed_min)) = wm.row_best(row) else { continue };
+            let Some((col, predicted_min)) = w_hat.row_min(row) else { continue };
+            if predicted_min <= 0.0 {
+                continue;
+            }
+            let ratio = match self.score_mode {
+                ScoreMode::Ratio => (observed_min - predicted_min) / predicted_min,
+                ScoreMode::Absolute => observed_min - predicted_min,
+            };
+            if ratio <= 0.0 {
+                continue;
+            }
+            match wm.cell(row, col) {
+                // Already verified: nothing to gain (ratio would be 0 for
+                // the observed min itself, but a clamped censored cell can
+                // still predict below the row min).
+                Cell::Complete(_) => continue,
+                Cell::Censored(bound) => {
+                    // Re-explore a censored cell only if the new timeout
+                    // would be meaningfully larger than the known bound.
+                    let new_timeout = observed_min.min(predicted_min * self.alpha);
+                    if new_timeout <= bound * (1.0 + self.min_bound_gain) {
+                        continue;
+                    }
+                }
+                Cell::Unobserved => {}
+            }
+            scored.push((ratio, row, col));
+        }
+        // Line 7: top-m by ratio.
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut out: Vec<CellChoice> = Vec::with_capacity(batch);
+        for (_, row, col) in scored.into_iter().take(batch) {
+            let observed_min = wm.row_best(row).map(|(_, v)| v).unwrap_or(f64::INFINITY);
+            // Line 10: T_ij = min(min W̃_i, Ŵ_ij · α).
+            let timeout = observed_min.min(w_hat[(row, col)] * self.alpha);
+            out.push(CellChoice { row, col, timeout });
+        }
+        // Lines 8–9: not enough positive predictions → random fill-in.
+        if out.len() < batch {
+            let extra = sample_unobserved(wm, batch - out.len(), &out, rng);
+            out.extend(extra);
+        }
+        // Final fallback (keeps the "repeat until no more exploration
+        // time" loop of Algorithm 1 productive once every cell is observed
+        // or censored): verify censored cells whose bound still sits below
+        // the row's best at the full row-best timeout. Each such probe
+        // either completes (a real improvement or a ruled-out plan) or
+        // raises the bound to the row best, so exploration terminates at
+        // the true row optimum.
+        if out.len() < batch {
+            let mut candidates: Vec<(f64, usize, usize, f64)> = Vec::new();
+            for row in 0..wm.n_rows() {
+                let Some((_, row_best)) = wm.row_best(row) else { continue };
+                for col in 0..wm.n_cols() {
+                    if let Cell::Censored(bound) = wm.cell(row, col) {
+                        if bound < row_best * 0.999
+                            && !out.iter().any(|c| c.row == row && c.col == col)
+                        {
+                            candidates.push((row_best - bound, row, col, row_best));
+                        }
+                    }
+                }
+            }
+            candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+            for (_, row, col, row_best) in candidates.into_iter().take(batch - out.len()) {
+                out.push(CellChoice { row, col, timeout: row_best });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complete::Completer;
+    use crate::matrix::WorkloadMatrix;
+    use limeqo_linalg::Mat;
+
+    /// A completer that returns a fixed prediction matrix (observed cells
+    /// overwritten with their values, as the trait contract requires).
+    struct FixedCompleter(Mat);
+
+    impl Completer for FixedCompleter {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn complete(&mut self, wm: &WorkloadMatrix) -> Mat {
+            let mut m = self.0.clone();
+            for i in 0..wm.n_rows() {
+                for j in 0..wm.n_cols() {
+                    if let Cell::Complete(v) = wm.cell(i, j) {
+                        m[(i, j)] = v;
+                    }
+                }
+            }
+            m
+        }
+    }
+
+    #[test]
+    fn picks_highest_improvement_ratio_first() {
+        // Row 0: observed 10, predicted best 2 (ratio 4).
+        // Row 1: observed 10, predicted best 5 (ratio 1).
+        let wm = WorkloadMatrix::with_defaults(&[10.0, 10.0], 3);
+        let pred = Mat::from_rows(&[&[10.0, 2.0, 9.0], &[10.0, 9.0, 5.0]]);
+        let mut p = LimeQoPolicy::new(Box::new(FixedCompleter(pred)), "limeqo");
+        p.alpha = 2.0;
+        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let mut rng = SeededRng::new(8);
+        let sel = p.select(&ctx, 1, &mut rng);
+        assert_eq!(sel.len(), 1);
+        assert_eq!((sel[0].row, sel[0].col), (0, 1));
+        // Timeout = min(row best 10, 2 * alpha 2.0) = 4.
+        assert!((sel[0].timeout - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn falls_back_to_random_when_no_positive_ratio() {
+        // Predictions equal to observations: no predicted improvement.
+        let wm = WorkloadMatrix::with_defaults(&[1.0, 1.0], 3);
+        let pred = Mat::filled(2, 3, 1.0);
+        let mut p = LimeQoPolicy::new(Box::new(FixedCompleter(pred)), "limeqo");
+        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let mut rng = SeededRng::new(9);
+        let sel = p.select(&ctx, 3, &mut rng);
+        assert_eq!(sel.len(), 3, "random fallback must fill the batch");
+        for c in &sel {
+            assert!(!wm.cell(c.row, c.col).is_observed());
+        }
+    }
+
+    #[test]
+    fn censored_cell_not_rerun_with_same_timeout() {
+        let mut wm = WorkloadMatrix::with_defaults(&[10.0], 2);
+        // Cell (0,1) censored at bound 10 (= row best): prediction 3 with
+        // alpha 2 gives timeout min(10, 6) = 6 < bound: skip.
+        wm.set_censored(0, 1, 10.0);
+        let pred = Mat::from_rows(&[&[10.0, 3.0]]);
+        let mut p = LimeQoPolicy::new(Box::new(FixedCompleter(pred)), "limeqo");
+        p.alpha = 2.0;
+        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let mut rng = SeededRng::new(10);
+        let sel = p.select(&ctx, 1, &mut rng);
+        // Nothing else to explore either: the fallback finds no unobserved.
+        assert!(sel.is_empty());
+    }
+
+    #[test]
+    fn censored_cell_rerun_with_larger_timeout() {
+        let mut wm = WorkloadMatrix::with_defaults(&[10.0], 2);
+        // Censored at 2; new prediction 3 → timeout min(10, 6) = 6 > 2.
+        wm.set_censored(0, 1, 2.0);
+        let pred = Mat::from_rows(&[&[10.0, 3.0]]);
+        let mut p = LimeQoPolicy::new(Box::new(FixedCompleter(pred)), "limeqo");
+        p.alpha = 2.0;
+        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let mut rng = SeededRng::new(11);
+        let sel = p.select(&ctx, 1, &mut rng);
+        assert_eq!(sel.len(), 1);
+        assert_eq!((sel[0].row, sel[0].col), (0, 1));
+        assert!((sel[0].timeout - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_als_runs_end_to_end() {
+        let mut wm = WorkloadMatrix::with_defaults(&[10.0, 8.0, 12.0, 9.0], 6);
+        wm.set_complete(0, 1, 2.0);
+        wm.set_complete(1, 1, 1.5);
+        let mut p = LimeQoPolicy::with_als(12);
+        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let mut rng = SeededRng::new(13);
+        let sel = p.select(&ctx, 2, &mut rng);
+        assert_eq!(sel.len(), 2);
+        for c in &sel {
+            assert!(!matches!(wm.cell(c.row, c.col), Cell::Complete(_)));
+            assert!(c.timeout > 0.0);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Active-learning exploration policies (paper §4.2 and §5).
+//!
+//! A [`Policy`] selects which unobserved (query, hint) cells to execute
+//! next and with what timeout. The harness wall-clocks
+//! [`Policy::select`] as the technique's computational overhead — for
+//! LimeQO that is the ALS completion, for LimeQO+ the TCNN train+infer.
+//!
+//! | Policy | Paper | Module |
+//! |--------|-------|--------|
+//! | Random | §5 baseline | [`random`] |
+//! | Greedy | §4.2 | [`greedy`] |
+//! | LimeQO / LimeQO+ (Algorithm 1) | §4.2 | [`limeqo`] |
+//! | QO-Advisor (adapted) | §5 | [`qo_advisor`] |
+//! | Bao-Cache | §5 | [`bao_cache`] |
+//! | BayesQO (per-query) | §5.6 | [`bayes_qo`] |
+
+pub mod bao_cache;
+pub mod bayes_qo;
+pub mod greedy;
+pub mod limeqo;
+pub mod qo_advisor;
+pub mod random;
+
+pub use bao_cache::BaoCachePolicy;
+pub use bayes_qo::BayesQoRunner;
+pub use greedy::GreedyPolicy;
+pub use limeqo::{LimeQoPolicy, ScoreMode};
+pub use qo_advisor::QoAdvisorPolicy;
+pub use random::RandomPolicy;
+
+use crate::matrix::WorkloadMatrix;
+use limeqo_linalg::rng::SeededRng;
+use limeqo_linalg::Mat;
+
+/// One cell chosen for offline execution, with its timeout `T_ij` (Eq. 4 /
+/// Algorithm 1 line 10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellChoice {
+    /// Query (row) index.
+    pub row: usize,
+    /// Hint (column) index.
+    pub col: usize,
+    /// Abort execution past this many seconds; the cell becomes censored.
+    pub timeout: f64,
+}
+
+/// Read-only context handed to policies each step.
+#[derive(Clone, Copy)]
+pub struct PolicyCtx<'a> {
+    /// The current partially observed workload matrix.
+    pub wm: &'a WorkloadMatrix,
+    /// Optimizer-estimated plan costs for every cell (needed by
+    /// QO-Advisor; `None` for DBMSes that do not expose cost estimates).
+    pub est_cost: Option<&'a Mat>,
+}
+
+/// An exploration policy: pick the next batch of cells to execute offline.
+pub trait Policy {
+    /// Name used in reports and figure legends.
+    fn name(&self) -> &'static str;
+
+    /// Select up to `batch` unobserved cells. Returning an empty vector
+    /// signals that the policy sees nothing worth exploring (the harness
+    /// stops). Must not select cells already complete.
+    fn select(
+        &mut self,
+        ctx: &PolicyCtx<'_>,
+        batch: usize,
+        rng: &mut SeededRng,
+    ) -> Vec<CellChoice>;
+}
+
+/// Default timeout for baseline policies: the row's current best observed
+/// latency (Eq. 4) — any plan slower than the incumbent is useless.
+pub(crate) fn row_timeout(wm: &WorkloadMatrix, row: usize) -> f64 {
+    wm.row_best(row).map(|(_, v)| v).unwrap_or(f64::INFINITY)
+}
+
+/// Uniformly sample `want` unobserved cells (used by Random and as
+/// Algorithm 1's line-9 fallback). Censored cells are not re-drawn.
+pub(crate) fn sample_unobserved(
+    wm: &WorkloadMatrix,
+    want: usize,
+    exclude: &[CellChoice],
+    rng: &mut SeededRng,
+) -> Vec<CellChoice> {
+    let mut cells: Vec<(usize, usize)> = wm
+        .unobserved_cells()
+        .filter(|&(r, c)| !exclude.iter().any(|e| e.row == r && e.col == c))
+        .collect();
+    if cells.is_empty() {
+        return Vec::new();
+    }
+    rng.shuffle(&mut cells);
+    cells
+        .into_iter()
+        .take(want)
+        .map(|(row, col)| CellChoice { row, col, timeout: row_timeout(wm, row) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_timeout_is_row_best() {
+        let mut wm = WorkloadMatrix::with_defaults(&[5.0], 3);
+        assert_eq!(row_timeout(&wm, 0), 5.0);
+        wm.set_complete(0, 1, 2.0);
+        assert_eq!(row_timeout(&wm, 0), 2.0);
+    }
+
+    #[test]
+    fn sample_unobserved_respects_exclusions() {
+        let wm = WorkloadMatrix::with_defaults(&[1.0], 3);
+        let exclude = vec![CellChoice { row: 0, col: 1, timeout: 1.0 }];
+        let mut rng = SeededRng::new(1);
+        let got = sample_unobserved(&wm, 10, &exclude, &mut rng);
+        assert_eq!(got.len(), 1);
+        assert_eq!((got[0].row, got[0].col), (0, 2));
+    }
+
+    #[test]
+    fn sample_unobserved_never_returns_complete_cells() {
+        let mut wm = WorkloadMatrix::with_defaults(&[1.0, 2.0], 4);
+        wm.set_complete(0, 1, 1.0);
+        wm.set_complete(1, 3, 1.0);
+        let mut rng = SeededRng::new(2);
+        for c in sample_unobserved(&wm, 100, &[], &mut rng) {
+            assert!(!wm.cell(c.row, c.col).is_observed());
+        }
+    }
+}

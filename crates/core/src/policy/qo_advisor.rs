@@ -1,0 +1,80 @@
+//! QO-Advisor baseline, adapted to hint exploration as in §5:
+//! "we select the unexplored entry with the lowest optimizer cost (this is
+//! the best action that QO-Advisor's contextual bandit could possibly
+//! pick, since [it] operated over the optimizer's cost model)".
+
+use super::{row_timeout, CellChoice, Policy, PolicyCtx};
+use limeqo_linalg::rng::SeededRng;
+
+/// Lowest-estimated-cost-first exploration.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct QoAdvisorPolicy;
+
+impl Policy for QoAdvisorPolicy {
+    fn name(&self) -> &'static str {
+        "qo-advisor"
+    }
+
+    fn select(
+        &mut self,
+        ctx: &PolicyCtx<'_>,
+        batch: usize,
+        rng: &mut SeededRng,
+    ) -> Vec<CellChoice> {
+        let wm = ctx.wm;
+        let Some(est) = ctx.est_cost else {
+            // No cost model exposed: degrade to random (keeps the policy
+            // usable on matrices without planner estimates).
+            return super::sample_unobserved(wm, batch, &[], rng);
+        };
+        let mut cells: Vec<(f64, usize, usize)> = wm
+            .unobserved_cells()
+            .map(|(r, c)| (est[(r, c)], r, c))
+            .collect();
+        cells.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        cells
+            .into_iter()
+            .take(batch)
+            .map(|(_, row, col)| CellChoice { row, col, timeout: row_timeout(wm, row) })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::WorkloadMatrix;
+    use limeqo_linalg::Mat;
+
+    #[test]
+    fn picks_lowest_estimated_cost_cells() {
+        let wm = WorkloadMatrix::with_defaults(&[1.0, 1.0], 3);
+        let est = Mat::from_rows(&[&[5.0, 100.0, 2.0], &[5.0, 1.0, 50.0]]);
+        let ctx = PolicyCtx { wm: &wm, est_cost: Some(&est) };
+        let mut rng = SeededRng::new(14);
+        let sel = QoAdvisorPolicy.select(&ctx, 2, &mut rng);
+        assert_eq!((sel[0].row, sel[0].col), (1, 1)); // cost 1.0
+        assert_eq!((sel[1].row, sel[1].col), (0, 2)); // cost 2.0
+    }
+
+    #[test]
+    fn degrades_to_random_without_cost_model() {
+        let wm = WorkloadMatrix::with_defaults(&[1.0], 4);
+        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let mut rng = SeededRng::new(15);
+        let sel = QoAdvisorPolicy.select(&ctx, 2, &mut rng);
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn never_selects_observed_cells() {
+        let mut wm = WorkloadMatrix::with_defaults(&[1.0], 3);
+        wm.set_complete(0, 1, 0.1); // cheapest column already observed
+        let est = Mat::from_rows(&[&[5.0, 0.01, 2.0]]);
+        let ctx = PolicyCtx { wm: &wm, est_cost: Some(&est) };
+        let mut rng = SeededRng::new(16);
+        let sel = QoAdvisorPolicy.select(&ctx, 5, &mut rng);
+        assert_eq!(sel.len(), 1);
+        assert_eq!((sel[0].row, sel[0].col), (0, 2));
+    }
+}

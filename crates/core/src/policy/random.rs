@@ -1,0 +1,51 @@
+//! Random exploration baseline (§5): uniformly sample unobserved cells.
+
+use super::{sample_unobserved, CellChoice, Policy, PolicyCtx};
+use limeqo_linalg::rng::SeededRng;
+
+/// Uniform random cell selection with row-best timeouts.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RandomPolicy;
+
+impl Policy for RandomPolicy {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn select(
+        &mut self,
+        ctx: &PolicyCtx<'_>,
+        batch: usize,
+        rng: &mut SeededRng,
+    ) -> Vec<CellChoice> {
+        sample_unobserved(ctx.wm, batch, &[], rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::WorkloadMatrix;
+
+    #[test]
+    fn selects_requested_batch_from_unobserved() {
+        let wm = WorkloadMatrix::with_defaults(&[1.0, 2.0, 3.0], 5);
+        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let mut rng = SeededRng::new(3);
+        let sel = RandomPolicy.select(&ctx, 4, &mut rng);
+        assert_eq!(sel.len(), 4);
+        for c in &sel {
+            assert!(!wm.cell(c.row, c.col).is_observed());
+            assert_eq!(c.timeout, wm.row_best(c.row).unwrap().1);
+        }
+    }
+
+    #[test]
+    fn empty_when_fully_observed() {
+        let mut wm = WorkloadMatrix::with_defaults(&[1.0], 2);
+        wm.set_complete(0, 1, 0.5);
+        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let mut rng = SeededRng::new(4);
+        assert!(RandomPolicy.select(&ctx, 3, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! The thin SVD in [`crate::svd`] reduces to an eigendecomposition of the
+//! k×k Gram matrix (k = number of hints = 49 throughout the paper), for
+//! which Jacobi is simple, numerically robust, and plenty fast.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Mat;
+
+/// Eigendecomposition `A = V diag(λ) Vᵀ` of a symmetric matrix.
+///
+/// Eigenvalues are sorted in descending order; `vectors` holds the matching
+/// eigenvectors as columns.
+#[derive(Debug, Clone)]
+pub struct EigenSym {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors, column `i` pairs with `values[i]`.
+    pub vectors: Mat,
+}
+
+/// Off-diagonal Frobenius norm, the Jacobi convergence measure.
+fn off_diag_norm(a: &Mat) -> f64 {
+    let n = a.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                s += a[(i, j)] * a[(i, j)];
+            }
+        }
+    }
+    s.sqrt()
+}
+
+/// Compute all eigenvalues/eigenvectors of a symmetric matrix.
+///
+/// Only the lower triangle is trusted; the matrix is symmetrized on entry.
+/// Sweeps are capped at 64 cycles; convergence to ~1e-12 relative
+/// off-diagonal mass typically takes < 10 sweeps for the matrices LimeQO
+/// produces.
+pub fn eigen_sym(a: &Mat) -> Result<EigenSym> {
+    let (n, m) = a.shape();
+    if n != m {
+        return Err(LinalgError::NotSquare { rows: n, cols: m });
+    }
+    if n == 0 {
+        return Err(LinalgError::Empty { op: "eigen_sym" });
+    }
+    // Work on a symmetrized copy so tiny asymmetries from accumulation error
+    // cannot stall the sweep.
+    let mut w = Mat::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+    let mut v = Mat::identity(n);
+
+    let scale = (0..n).map(|i| w[(i, i)].abs()).fold(1e-300, f64::max);
+    let tol = 1e-14 * scale * (n as f64);
+    const MAX_SWEEPS: usize = 64;
+
+    for _sweep in 0..MAX_SWEEPS {
+        if off_diag_norm(&w) <= tol {
+            break;
+        }
+        for p in 0..n - 1 {
+            for q in p + 1..n {
+                let apq = w[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = w[(p, p)];
+                let aqq = w[(q, q)];
+                // Classic Jacobi rotation angle.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply rotation on rows/columns p and q of W.
+                for k in 0..n {
+                    let wkp = w[(k, p)];
+                    let wkq = w[(k, q)];
+                    w[(k, p)] = c * wkp - s * wkq;
+                    w[(k, q)] = s * wkp + c * wkq;
+                }
+                for k in 0..n {
+                    let wpk = w[(p, k)];
+                    let wqk = w[(q, k)];
+                    w[(p, k)] = c * wpk - s * wqk;
+                    w[(q, k)] = s * wpk + c * wqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract, sort descending, permute eigenvectors accordingly.
+    let mut idx: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| w[(i, i)]).collect();
+    idx.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let values: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
+    let vectors = Mat::from_fn(n, n, |r, c| v[(r, idx[c])]);
+    Ok(EigenSym { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::max_abs_diff;
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Mat::from_rows(&[&[3.0, 0.0], &[0.0, 1.0]]);
+        let e = eigen_sym(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = eigen_sym(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        let a = Mat::from_rows(&[
+            &[4.0, 1.0, -2.0, 0.5],
+            &[1.0, 3.0, 0.0, 1.0],
+            &[-2.0, 0.0, 5.0, -1.0],
+            &[0.5, 1.0, -1.0, 2.0],
+        ]);
+        let e = eigen_sym(&a).unwrap();
+        // V diag(λ) Vᵀ == A
+        let n = a.rows();
+        let lam = Mat::from_fn(n, n, |i, j| if i == j { e.values[i] } else { 0.0 });
+        let rebuilt =
+            e.vectors.matmul(&lam).unwrap().matmul(&e.vectors.transpose()).unwrap();
+        assert!(max_abs_diff(&a, &rebuilt) < 1e-9);
+        // VᵀV == I
+        let vtv = e.vectors.t_matmul(&e.vectors).unwrap();
+        assert!(max_abs_diff(&vtv, &Mat::identity(n)) < 1e-10);
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let a = Mat::from_rows(&[&[1.0, 0.2, 0.0], &[0.2, 5.0, 0.1], &[0.0, 0.1, 3.0]]);
+        let e = eigen_sym(&a).unwrap();
+        assert!(e.values[0] >= e.values[1] && e.values[1] >= e.values[2]);
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let a = Mat::from_rows(&[&[2.0, -1.0, 0.3], &[-1.0, 1.5, 0.7], &[0.3, 0.7, -0.5]]);
+        let e = eigen_sym(&a).unwrap();
+        let trace = a[(0, 0)] + a[(1, 1)] + a[(2, 2)];
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        assert!(eigen_sym(&Mat::zeros(2, 3)).is_err());
+    }
+}

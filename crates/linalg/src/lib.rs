@@ -1,0 +1,42 @@
+//! Dense linear algebra substrate for LimeQO.
+//!
+//! The paper implements its linear methods "using standard linear algebra
+//! libraries, specifically NumPy's `numpy.linalg` which uses LAPACK at core"
+//! (§5). No mature offline linalg crate is available in this environment, so
+//! this crate provides the subset of LAPACK functionality LimeQO needs, from
+//! scratch:
+//!
+//! * [`Mat`] — a dense, row-major, `f64` matrix with the elementwise and
+//!   broadcast operations used by the matrix-completion algorithms,
+//! * [`matmul`](Mat::matmul) and friends — cache-friendly blocked matrix
+//!   multiplication,
+//! * [`cholesky`] / [`lu`] — factorizations backing the ridge-regularized
+//!   normal-equation solves inside alternating least squares,
+//! * [`eigen`] — cyclic Jacobi eigendecomposition of symmetric matrices,
+//! * [`svd`] — thin singular value decomposition built on the Gram-matrix
+//!   eigendecomposition (exact and fast for the tall-skinny workload
+//!   matrices LimeQO manipulates: the hint dimension is 49),
+//! * [`rng`] — seeded random number helpers (uniform/Gaussian fills) so
+//!   every experiment in the reproduction is deterministic.
+//!
+//! All routines are deterministic given their inputs; none allocate outside
+//! of construction paths that return new matrices.
+
+pub mod cholesky;
+pub mod eigen;
+pub mod error;
+pub mod lstsq;
+pub mod lu;
+pub mod matrix;
+pub mod norms;
+pub mod rng;
+pub mod svd;
+
+pub use cholesky::{cholesky, cholesky_solve, CholeskyFactor};
+pub use eigen::{eigen_sym, EigenSym};
+pub use error::{LinalgError, Result};
+pub use lstsq::{lstsq, ridge_solve};
+pub use lu::{lu, lu_solve, LuFactor};
+pub use matrix::Mat;
+pub use norms::{frobenius_norm, masked_mse, max_abs_diff};
+pub use svd::{svd_thin, Svd};

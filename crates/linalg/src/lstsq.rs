@@ -1,0 +1,94 @@
+//! Least squares and ridge-regularized solves.
+//!
+//! Algorithm 2 of the paper updates the factor matrices with the closed-form
+//! ridge solutions `Q ← Ŵ H (HᵀH + λI)⁻¹` and `H ← Ŵᵀ Q (QᵀQ + λI)⁻¹`.
+//! [`ridge_solve`] computes exactly the `(GᵀG + λI)⁻¹ GᵀB`-style product via
+//! a Cholesky solve (falling back to LU if rounding breaks positive
+//! definiteness, which can only happen at λ = 0).
+
+use crate::cholesky::cholesky;
+use crate::error::Result;
+use crate::lu::lu;
+use crate::matrix::Mat;
+
+/// Solve the ridge problem `argmin_X ‖G X − B‖_F² + λ‖X‖_F²`,
+/// i.e. `X = (GᵀG + λI)⁻¹ GᵀB`.
+///
+/// `G` is m×p, `B` is m×q, the result is p×q. With λ > 0 the normal matrix is
+/// SPD and Cholesky always succeeds; λ = 0 falls back to LU when needed.
+pub fn ridge_solve(g: &Mat, b: &Mat, lambda: f64) -> Result<Mat> {
+    let mut gtg = g.t_matmul(g)?;
+    for i in 0..gtg.rows() {
+        gtg[(i, i)] += lambda;
+    }
+    let gtb = g.t_matmul(b)?;
+    match cholesky(&gtg) {
+        Ok(f) => f.solve(&gtb),
+        Err(_) => lu(&gtg)?.solve(&gtb),
+    }
+}
+
+/// Ordinary least squares `argmin_X ‖G X − B‖_F²` via the normal equations.
+pub fn lstsq(g: &Mat, b: &Mat) -> Result<Mat> {
+    ridge_solve(g, b, 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::max_abs_diff;
+    use crate::rng::SeededRng;
+
+    #[test]
+    fn exact_system_recovered() {
+        let g = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let x_true = Mat::from_rows(&[&[2.0], &[-1.0]]);
+        let b = g.matmul(&x_true).unwrap();
+        let x = lstsq(&g, &b).unwrap();
+        assert!(max_abs_diff(&x, &x_true) < 1e-10);
+    }
+
+    #[test]
+    fn ridge_shrinks_toward_zero() {
+        let g = Mat::from_rows(&[&[1.0], &[1.0]]);
+        let b = Mat::from_rows(&[&[2.0], &[2.0]]);
+        let x0 = ridge_solve(&g, &b, 0.0).unwrap();
+        let x1 = ridge_solve(&g, &b, 10.0).unwrap();
+        assert!((x0[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!(x1[(0, 0)] < x0[(0, 0)]);
+        assert!(x1[(0, 0)] > 0.0);
+    }
+
+    #[test]
+    fn ridge_closed_form_1d() {
+        // For scalar g-column: x = (gᵀb) / (gᵀg + λ).
+        let g = Mat::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let b = Mat::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let lam = 0.5;
+        let x = ridge_solve(&g, &b, lam).unwrap();
+        let expected = 14.0 / (14.0 + lam);
+        assert!((x[(0, 0)] - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_noisy_fit_has_small_residual() {
+        let mut rng = SeededRng::new(11);
+        let g = rng.gaussian_mat(50, 4, 0.0, 1.0);
+        let x_true = Mat::from_rows(&[&[1.0], &[-2.0], &[0.5], &[3.0]]);
+        let mut b = g.matmul(&x_true).unwrap();
+        for v in b.as_mut_slice() {
+            *v += rng.gaussian(0.0, 0.01);
+        }
+        let x = lstsq(&g, &b).unwrap();
+        assert!(max_abs_diff(&x, &x_true) < 0.05);
+    }
+
+    #[test]
+    fn multi_rhs_columns_solved_independently() {
+        let g = Mat::from_rows(&[&[2.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let x_true = Mat::from_rows(&[&[1.0, -1.0], &[2.0, 4.0]]);
+        let b = g.matmul(&x_true).unwrap();
+        let x = lstsq(&g, &b).unwrap();
+        assert!(max_abs_diff(&x, &x_true) < 1e-10);
+    }
+}

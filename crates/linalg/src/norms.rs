@@ -1,0 +1,78 @@
+//! Norms and error metrics used by the completion algorithms and tests.
+
+use crate::matrix::Mat;
+
+/// Frobenius norm `‖A‖_F`.
+pub fn frobenius_norm(a: &Mat) -> f64 {
+    a.as_slice().iter().map(|&v| v * v).sum::<f64>().sqrt()
+}
+
+/// Largest absolute entrywise difference between two same-shaped matrices.
+///
+/// Panics on shape mismatch (test/diagnostic helper).
+pub fn max_abs_diff(a: &Mat, b: &Mat) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "max_abs_diff shape mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice().iter())
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Mean squared error over the entries where `mask != 0`.
+///
+/// This is the accuracy metric of Fig. 17: completion error measured on the
+/// held-out (unobserved) cells. Returns 0 when the mask selects nothing.
+pub fn masked_mse(truth: &Mat, pred: &Mat, mask: &Mat) -> f64 {
+    assert_eq!(truth.shape(), pred.shape(), "masked_mse shape mismatch");
+    assert_eq!(truth.shape(), mask.shape(), "masked_mse mask mismatch");
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for ((&t, &p), &m) in
+        truth.as_slice().iter().zip(pred.as_slice().iter()).zip(mask.as_slice().iter())
+    {
+        if m != 0.0 {
+            let d = t - p;
+            sum += d * d;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frobenius_hand_computed() {
+        let a = Mat::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((frobenius_norm(&a) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_abs_diff_zero_for_equal() {
+        let a = Mat::from_rows(&[&[1.0, 2.0]]);
+        assert_eq!(max_abs_diff(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn masked_mse_only_counts_masked() {
+        let t = Mat::from_rows(&[&[1.0, 10.0]]);
+        let p = Mat::from_rows(&[&[2.0, 0.0]]);
+        let m = Mat::from_rows(&[&[1.0, 0.0]]);
+        assert!((masked_mse(&t, &p, &m) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_mse_empty_mask_is_zero() {
+        let t = Mat::from_rows(&[&[1.0]]);
+        let p = Mat::from_rows(&[&[5.0]]);
+        let m = Mat::from_rows(&[&[0.0]]);
+        assert_eq!(masked_mse(&t, &p, &m), 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Seeded randomness helpers.
+//!
+//! Every stochastic component of the reproduction (catalog generation, noise,
+//! random exploration, ALS initialization, NN weight init, dropout) draws
+//! from a [`SeededRng`] so that each experiment is exactly reproducible from
+//! its seed. Gaussians use Box–Muller because the offline `rand` crate does
+//! not bundle `rand_distr`.
+
+use crate::matrix::Mat;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Deterministic RNG wrapper with matrix-fill and distribution helpers.
+pub struct SeededRng {
+    inner: StdRng,
+    /// Cached second Box–Muller variate.
+    spare_gaussian: Option<f64>,
+}
+
+impl SeededRng {
+    /// Create from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRng { inner: StdRng::seed_from_u64(seed), spare_gaussian: None }
+    }
+
+    /// Derive an independent child RNG; used to give each subsystem its own
+    /// stream so adding draws in one place does not perturb another.
+    pub fn fork(&mut self, salt: u64) -> SeededRng {
+        let base = self.inner.next_u64();
+        SeededRng::new(base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen_range(0.0..1.0) < p
+    }
+
+    /// Standard normal via Box–Muller (with caching of the paired variate).
+    pub fn gaussian(&mut self, mean: f64, std: f64) -> f64 {
+        let z = match self.spare_gaussian.take() {
+            Some(z) => z,
+            None => {
+                // Draw u1 in (0, 1] to keep ln(u1) finite.
+                let u1: f64 = 1.0 - self.inner.gen_range(0.0..1.0);
+                let u2: f64 = self.inner.gen_range(0.0..1.0);
+                let r = (-2.0 * u1.ln()).sqrt();
+                let theta = 2.0 * std::f64::consts::PI * u2;
+                self.spare_gaussian = Some(r * theta.sin());
+                r * theta.cos()
+            }
+        };
+        mean + std * z
+    }
+
+    /// Log-normal draw: `exp(N(mu, sigma))`.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.gaussian(mu, sigma).exp()
+    }
+
+    /// Matrix with i.i.d. uniform entries in `[lo, hi)`.
+    pub fn uniform_mat(&mut self, rows: usize, cols: usize, lo: f64, hi: f64) -> Mat {
+        Mat::from_fn(rows, cols, |_, _| self.uniform(lo, hi))
+    }
+
+    /// Matrix with i.i.d. Gaussian entries.
+    pub fn gaussian_mat(&mut self, rows: usize, cols: usize, mean: f64, std: f64) -> Mat {
+        Mat::from_fn(rows, cols, |_, _| self.gaussian(mean, std))
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices from `[0, n)` (k ≤ n), in random order.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} from {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(k);
+        idx
+    }
+
+    /// Access the raw `rand` RNG for anything not wrapped here.
+    pub fn raw(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SeededRng::new(42);
+        let mut b = SeededRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let va: Vec<f64> = (0..8).map(|_| a.uniform(0.0, 1.0)).collect();
+        let vb: Vec<f64> = (0..8).map(|_| b.uniform(0.0, 1.0)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn gaussian_moments_roughly_correct() {
+        let mut rng = SeededRng::new(123);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gaussian(2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = SeededRng::new(5);
+        let s = rng.sample_indices(10, 7);
+        assert_eq!(s.len(), 7);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 7);
+        assert!(s.iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    fn log_normal_positive() {
+        let mut rng = SeededRng::new(6);
+        for _ in 0..1000 {
+            assert!(rng.log_normal(0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn fork_streams_are_independent_of_later_parent_use() {
+        let mut a = SeededRng::new(99);
+        let mut fork1 = a.fork(1);
+        let v1: Vec<f64> = (0..4).map(|_| fork1.uniform(0.0, 1.0)).collect();
+
+        let mut b = SeededRng::new(99);
+        let mut fork2 = b.fork(1);
+        // Consuming from the parent after forking must not change the fork.
+        let _ = b.uniform(0.0, 1.0);
+        let v2: Vec<f64> = (0..4).map(|_| fork2.uniform(0.0, 1.0)).collect();
+        assert_eq!(v1, v2);
+    }
+}

@@ -1,0 +1,177 @@
+//! Thin singular value decomposition.
+//!
+//! LimeQO needs the SVD in three places: the Fig. 14 low-rank analysis
+//! (singular-value spectrum of the workload matrix), Singular Value
+//! Thresholding, and the Soft-Impute solver for nuclear-norm minimization
+//! (Fig. 17). All three operate on n×k matrices with k = 49 hints, so we
+//! compute the eigendecomposition of the small k×k Gram matrix `AᵀA = V Λ Vᵀ`
+//! and recover `U = A V Σ⁻¹`. For n < k the same trick is applied to `AAᵀ`.
+
+use crate::eigen::eigen_sym;
+use crate::error::{LinalgError, Result};
+use crate::matrix::Mat;
+
+/// Thin SVD `A = U diag(s) Vᵀ` with `U: n×r`, `V: k×r`, `r = min(n, k)`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (n×r).
+    pub u: Mat,
+    /// Singular values, descending, all ≥ 0.
+    pub s: Vec<f64>,
+    /// Right singular vectors (k×r), stored as columns.
+    pub v: Mat,
+}
+
+impl Svd {
+    /// Reconstruct `U diag(s) Vᵀ`, optionally truncated to the top `rank`
+    /// singular triplets.
+    pub fn reconstruct(&self, rank: Option<usize>) -> Mat {
+        let r = rank.unwrap_or(self.s.len()).min(self.s.len());
+        let n = self.u.rows();
+        let k = self.v.rows();
+        let mut out = Mat::zeros(n, k);
+        for t in 0..r {
+            let sv = self.s[t];
+            if sv == 0.0 {
+                continue;
+            }
+            for i in 0..n {
+                let ui = self.u[(i, t)] * sv;
+                if ui == 0.0 {
+                    continue;
+                }
+                let row = out.row_mut(i);
+                for (j, o) in row.iter_mut().enumerate() {
+                    *o += ui * self.v[(j, t)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Apply soft-thresholding `s ← max(s − τ, 0)` to the spectrum and
+    /// reconstruct — the proximal operator of the nuclear norm, used by both
+    /// SVT and Soft-Impute.
+    pub fn shrink_reconstruct(&self, tau: f64) -> Mat {
+        let shrunk = Svd {
+            u: self.u.clone(),
+            s: self.s.iter().map(|&x| (x - tau).max(0.0)).collect(),
+            v: self.v.clone(),
+        };
+        shrunk.reconstruct(None)
+    }
+
+    /// Effective numerical rank at relative tolerance `rel_tol`.
+    pub fn rank(&self, rel_tol: f64) -> usize {
+        let top = self.s.first().copied().unwrap_or(0.0);
+        if top <= 0.0 {
+            return 0;
+        }
+        self.s.iter().filter(|&&x| x > rel_tol * top).count()
+    }
+}
+
+/// Compute the thin SVD of an arbitrary dense matrix.
+pub fn svd_thin(a: &Mat) -> Result<Svd> {
+    let (n, k) = a.shape();
+    if n == 0 || k == 0 {
+        return Err(LinalgError::Empty { op: "svd_thin" });
+    }
+    if k <= n {
+        // Gram on the column side: AᵀA (k×k).
+        let gram = a.t_matmul(a)?;
+        let eig = eigen_sym(&gram)?;
+        let r = k;
+        let s: Vec<f64> = eig.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
+        // U = A V Σ⁻¹ ; for zero singular values leave the U column zero.
+        let av = a.matmul(&eig.vectors)?;
+        let mut u = Mat::zeros(n, r);
+        for t in 0..r {
+            if s[t] > 1e-12 * s[0].max(1e-300) {
+                let inv = 1.0 / s[t];
+                for i in 0..n {
+                    u[(i, t)] = av[(i, t)] * inv;
+                }
+            }
+        }
+        Ok(Svd { u, s, v: eig.vectors })
+    } else {
+        // n < k: decompose Aᵀ and swap factors.
+        let at = a.transpose();
+        let svd_t = svd_thin(&at)?;
+        Ok(Svd { u: svd_t.v, s: svd_t.s, v: svd_t.u })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::max_abs_diff;
+    use crate::rng::SeededRng;
+
+    #[test]
+    fn diagonal_singular_values() {
+        let a = Mat::from_rows(&[&[3.0, 0.0], &[0.0, 4.0], &[0.0, 0.0]]);
+        let svd = svd_thin(&a).unwrap();
+        assert!((svd.s[0] - 4.0).abs() < 1e-10);
+        assert!((svd.s[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_tall() {
+        let mut rng = SeededRng::new(7);
+        let a = rng.uniform_mat(20, 5, 0.0, 10.0);
+        let svd = svd_thin(&a).unwrap();
+        assert!(max_abs_diff(&a, &svd.reconstruct(None)) < 1e-8);
+    }
+
+    #[test]
+    fn reconstruction_wide() {
+        let mut rng = SeededRng::new(8);
+        let a = rng.uniform_mat(4, 11, -5.0, 5.0);
+        let svd = svd_thin(&a).unwrap();
+        assert!(max_abs_diff(&a, &svd.reconstruct(None)) < 1e-8);
+    }
+
+    #[test]
+    fn rank_of_outer_product() {
+        // Rank-2 matrix: two outer products.
+        let q = Mat::from_rows(&[&[1.0, 0.0], &[2.0, 1.0], &[0.0, 3.0], &[1.0, 1.0]]);
+        let h = Mat::from_rows(&[&[1.0, 2.0], &[0.5, 1.0], &[2.0, 0.0]]);
+        let a = q.matmul_t(&h).unwrap();
+        let svd = svd_thin(&a).unwrap();
+        assert_eq!(svd.rank(1e-9), 2);
+    }
+
+    #[test]
+    fn truncated_reconstruction_is_best_rank_k() {
+        // For a rank-2 matrix, truncating to rank 2 must be exact.
+        let q = Mat::from_rows(&[&[1.0, -1.0], &[2.0, 0.5], &[0.3, 3.0]]);
+        let h = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[2.0, -1.0]]);
+        let a = q.matmul_t(&h).unwrap();
+        let svd = svd_thin(&a).unwrap();
+        assert!(max_abs_diff(&a, &svd.reconstruct(Some(2))) < 1e-9);
+    }
+
+    #[test]
+    fn singular_values_nonnegative_sorted() {
+        let mut rng = SeededRng::new(9);
+        let a = rng.gaussian_mat(15, 7, 0.0, 2.0);
+        let svd = svd_thin(&a).unwrap();
+        for w in svd.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert!(svd.s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn shrink_reconstruct_zeroes_small_spectrum() {
+        let a = Mat::from_rows(&[&[5.0, 0.0], &[0.0, 0.1]]);
+        let svd = svd_thin(&a).unwrap();
+        let shrunk = svd.shrink_reconstruct(1.0);
+        // Second singular value (0.1) is shrunk to zero, first to 4.
+        let svd2 = svd_thin(&shrunk).unwrap();
+        assert!((svd2.s[0] - 4.0).abs() < 1e-9);
+        assert!(svd2.s[1].abs() < 1e-9);
+    }
+}

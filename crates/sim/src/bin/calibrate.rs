@@ -1,0 +1,100 @@
+//! Calibration diagnostic: per-workload and per-class headroom report.
+//!
+//! Usage: `cargo run --release -p limeqo-sim --bin calibrate [job|ceb|stack|dsb|tiny] [scale]`
+
+use limeqo_sim::query::QueryClass;
+use limeqo_sim::workloads::WorkloadSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(|s| s.as_str()).unwrap_or("tiny");
+    if name == "sweep" {
+        let target = args.get(2).map(|s| s.as_str()).unwrap_or("job");
+        let n_seeds: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(12);
+        for s in 0..n_seeds {
+            let mut spec = match target {
+                "ceb" => WorkloadSpec::ceb(),
+                "stack" => WorkloadSpec::stack(),
+                "dsb" => WorkloadSpec::dsb(),
+                _ => WorkloadSpec::job(),
+            };
+            spec.seed = spec.seed.wrapping_add(s.wrapping_mul(0x9E37));
+            let mut w = spec.build();
+            let o = w.build_oracle();
+            println!("seed+{s}: headroom={:.2}x optimal={:.1}s", o.headroom(), o.optimal_total);
+        }
+        return;
+    }
+    let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let spec = match name {
+        "job" => WorkloadSpec::job(),
+        "ceb" => WorkloadSpec::ceb(),
+        "stack" => WorkloadSpec::stack(),
+        "dsb" => WorkloadSpec::dsb(),
+        _ => WorkloadSpec::tiny(60, 5),
+    };
+    let spec = if scale < 1.0 { spec.scaled(scale) } else { spec };
+    let t0 = std::time::Instant::now();
+    let mut w = spec.build();
+    let o = w.build_oracle();
+    println!(
+        "{}: n={} k={} built in {:.1?}",
+        w.spec.name, w.n(), w.k(), t0.elapsed()
+    );
+    println!(
+        "default_total={:.1}s optimal_total={:.1}s headroom={:.2}x  (avg default {:.2}s)",
+        o.default_total,
+        o.optimal_total,
+        o.headroom(),
+        o.default_total / w.n() as f64
+    );
+    // Per-class breakdown.
+    for class in [
+        QueryClass::NestLoopTrap,
+        QueryClass::IndexTrap,
+        QueryClass::MissedIndex,
+        QueryClass::WellEstimated,
+    ] {
+        let idx: Vec<usize> =
+            (0..w.n()).filter(|&i| w.queries[i].class == class).collect();
+        if idx.is_empty() {
+            continue;
+        }
+        let def: f64 = idx.iter().map(|&i| o.true_latency[(i, 0)]).sum();
+        let opt: f64 = idx
+            .iter()
+            .map(|&i| o.true_latency.row_min(i).unwrap().1)
+            .sum();
+        println!(
+            "  {:>10}: {:4} queries  default={:8.1}s optimal={:8.1}s headroom={:5.2}x",
+            class.label(), idx.len(), def, opt, def / opt
+        );
+    }
+    // Low-rank check (Fig. 14): top-5 singular values' energy share.
+    let svd = limeqo_linalg::svd_thin(&o.true_latency).expect("svd");
+    let total: f64 = svd.s.iter().map(|x| x * x).sum();
+    let top5: f64 = svd.s.iter().take(5).map(|x| x * x).sum();
+    let top1: f64 = svd.s[0] * svd.s[0];
+    println!(
+        "svd: top1 energy {:.1}% top5 energy {:.1}% (s1={:.1} s5={:.3} s10={:.4})",
+        100.0 * top1 / total, 100.0 * top5 / total, svd.s[0], svd.s[4], svd.s[9]
+    );
+    // Also on log-latencies, which is what completion quality depends on
+    // for the smaller cells.
+    let logm = o.true_latency.map(|v| (1.0 + v).ln());
+    let svdl = limeqo_linalg::svd_thin(&logm).expect("svd");
+    let totl: f64 = svdl.s.iter().map(|x| x * x).sum();
+    let top5l: f64 = svdl.s.iter().take(5).map(|x| x * x).sum();
+    println!("svd(log): top5 energy {:.1}%", 100.0 * top5l / totl);
+    // Latency distribution of default column.
+    let mut defaults: Vec<f64> = (0..w.n()).map(|i| o.true_latency[(i, 0)]).collect();
+    defaults.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| defaults[((defaults.len() - 1) as f64 * p) as usize];
+    println!(
+        "default latency: p10={:.3}s p50={:.3}s p90={:.3}s p99={:.3}s max={:.3}s",
+        pct(0.1), pct(0.5), pct(0.9), pct(0.99), defaults[defaults.len() - 1]
+    );
+}
+
+// Seed sweep helper compiled into the same binary: run with
+// `calibrate sweep <job|ceb|stack|dsb> <n_seeds>`.

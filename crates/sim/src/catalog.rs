@@ -1,0 +1,203 @@
+//! Catalog: tables, columns, statistics, and index metadata.
+//!
+//! The catalog plays the role of PostgreSQL's `pg_class`/`pg_statistic` for
+//! the simulator: it holds everything the optimizer's cost model reads
+//! (row counts, tuple widths, index presence, index/heap correlation) and
+//! everything the executor needs to charge true costs. Catalogs are
+//! generated deterministically from a seed by the workload builders and can
+//! be *grown* by the drift model ([`crate::drift`]).
+
+use crate::cost::CostParams;
+use limeqo_linalg::rng::SeededRng;
+
+/// A column with the statistics the cost model consumes.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Column name (diagnostics only).
+    pub name: String,
+    /// Number of distinct values.
+    pub ndv: f64,
+    /// Whether a B-tree index exists on this column.
+    pub indexed: bool,
+    /// Index/heap correlation in [0, 1]: 1 means the heap is perfectly
+    /// ordered by this column (index range scans touch few pages), 0 means
+    /// every index probe is a random heap page.
+    pub correlation: f64,
+}
+
+/// A base table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name (diagnostics only).
+    pub name: String,
+    /// Cardinality (true row count).
+    pub rows: f64,
+    /// Average tuple width in bytes.
+    pub row_width: f64,
+    /// Columns with statistics.
+    pub columns: Vec<Column>,
+    /// Daily multiplicative growth rate used by the drift model
+    /// (e.g. 0.001 = +0.1 %/day). Fact tables grow, dimensions barely move.
+    pub daily_growth: f64,
+}
+
+impl Table {
+    /// Number of heap pages under `params`.
+    pub fn pages(&self, params: &CostParams) -> f64 {
+        params.pages(self.rows, self.row_width)
+    }
+}
+
+/// A generated database catalog.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    /// Human-readable name, e.g. `imdb-sim`.
+    pub name: String,
+    /// Tables; [`crate::query::TableRef::table`] indexes into this.
+    pub tables: Vec<Table>,
+    /// Cost model constants for this database.
+    pub params: CostParams,
+}
+
+/// Shape parameters for random catalog generation.
+#[derive(Debug, Clone)]
+pub struct CatalogSpec {
+    /// Catalog name.
+    pub name: String,
+    /// Number of tables.
+    pub n_tables: usize,
+    /// Row counts are drawn log-uniformly from this range.
+    pub rows_range: (f64, f64),
+    /// Tuple widths are drawn uniformly from this range (bytes).
+    pub width_range: (f64, f64),
+    /// Probability that any given column is indexed.
+    pub index_prob: f64,
+    /// Fraction of tables that are "fact" tables (largest rows, higher
+    /// growth under drift).
+    pub fact_fraction: f64,
+}
+
+impl Catalog {
+    /// Generate a catalog from a spec, deterministically from `rng`.
+    pub fn generate(spec: &CatalogSpec, rng: &mut SeededRng) -> Catalog {
+        let (lo, hi) = spec.rows_range;
+        let (log_lo, log_hi) = (lo.ln(), hi.ln());
+        let mut tables = Vec::with_capacity(spec.n_tables);
+        for t in 0..spec.n_tables {
+            let is_fact = (t as f64) < spec.fact_fraction * spec.n_tables as f64;
+            // Fact tables sit in the upper half of the size range.
+            let u = if is_fact { rng.uniform(0.6, 1.0) } else { rng.uniform(0.0, 0.7) };
+            let rows = (log_lo + u * (log_hi - log_lo)).exp();
+            let n_cols = 3 + rng.index(5);
+            let mut columns = Vec::with_capacity(n_cols);
+            for c in 0..n_cols {
+                // Primary-key-ish first column: always indexed, near-unique,
+                // well correlated (heap roughly in insertion order).
+                let (indexed, ndv, correlation) = if c == 0 {
+                    (true, rows.max(1.0), rng.uniform(0.85, 1.0))
+                } else {
+                    (
+                        rng.chance(spec.index_prob),
+                        (rows * rng.uniform(0.001, 0.5)).max(2.0),
+                        rng.uniform(0.0, 0.9),
+                    )
+                };
+                columns.push(Column {
+                    name: format!("t{t}_c{c}"),
+                    ndv,
+                    indexed,
+                    correlation,
+                });
+            }
+            tables.push(Table {
+                name: format!("{}_{t}", spec.name),
+                rows,
+                row_width: rng.uniform(spec.width_range.0, spec.width_range.1),
+                columns,
+                daily_growth: if is_fact {
+                    rng.uniform(0.0006, 0.0016)
+                } else {
+                    rng.uniform(0.00002, 0.0002)
+                },
+            });
+        }
+        Catalog { name: spec.name.clone(), tables, params: CostParams::default() }
+    }
+
+    /// Total number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when the catalog has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CatalogSpec {
+        CatalogSpec {
+            name: "test".into(),
+            n_tables: 12,
+            rows_range: (1e3, 1e7),
+            width_range: (40.0, 400.0),
+            index_prob: 0.4,
+            fact_fraction: 0.25,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Catalog::generate(&spec(), &mut SeededRng::new(3));
+        let b = Catalog::generate(&spec(), &mut SeededRng::new(3));
+        assert_eq!(a.tables.len(), b.tables.len());
+        for (ta, tb) in a.tables.iter().zip(b.tables.iter()) {
+            assert_eq!(ta.rows, tb.rows);
+            assert_eq!(ta.row_width, tb.row_width);
+            assert_eq!(ta.columns.len(), tb.columns.len());
+        }
+    }
+
+    #[test]
+    fn row_counts_within_spec_range() {
+        let c = Catalog::generate(&spec(), &mut SeededRng::new(4));
+        for t in &c.tables {
+            assert!(t.rows >= 1e3 * 0.99 && t.rows <= 1e7 * 1.01, "rows {}", t.rows);
+        }
+    }
+
+    #[test]
+    fn first_column_always_indexed() {
+        let c = Catalog::generate(&spec(), &mut SeededRng::new(5));
+        for t in &c.tables {
+            assert!(t.columns[0].indexed);
+            assert!(t.columns[0].ndv >= t.rows * 0.99);
+        }
+    }
+
+    #[test]
+    fn fact_tables_grow_faster() {
+        let c = Catalog::generate(&spec(), &mut SeededRng::new(6));
+        let max_dim_growth = c
+            .tables
+            .iter()
+            .skip(3)
+            .map(|t| t.daily_growth)
+            .fold(0.0, f64::max);
+        let min_fact_growth =
+            c.tables.iter().take(3).map(|t| t.daily_growth).fold(f64::MAX, f64::min);
+        assert!(min_fact_growth > max_dim_growth);
+    }
+
+    #[test]
+    fn pages_positive() {
+        let c = Catalog::generate(&spec(), &mut SeededRng::new(7));
+        for t in &c.tables {
+            assert!(t.pages(&c.params) >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Cost model parameters, shared by planning (estimated world) and
+//! execution (true world).
+//!
+//! The constants mirror PostgreSQL's planner defaults (`seq_page_cost = 1`,
+//! `random_page_cost = 4`, `cpu_tuple_cost = 0.01`, ...). Planning and
+//! execution use the *same formulas*; they differ only in which cardinalities
+//! they plug in (estimated vs. true) and in the planning-only
+//! [`CostParams::disable_cost`] penalty for hint-disabled operators — the
+//! same mechanism PostgreSQL uses for `enable_* = off`.
+
+/// Tunable constants of the cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct CostParams {
+    /// Cost of a sequentially fetched page (PostgreSQL default 1.0).
+    pub seq_page_cost: f64,
+    /// Cost of a randomly fetched page (PostgreSQL default 4.0).
+    pub random_page_cost: f64,
+    /// CPU cost of processing one tuple (PostgreSQL default 0.01).
+    pub cpu_tuple_cost: f64,
+    /// CPU cost of processing one index entry (PostgreSQL default 0.005).
+    pub cpu_index_tuple_cost: f64,
+    /// CPU cost of evaluating one operator/expression (PostgreSQL 0.0025).
+    pub cpu_operator_cost: f64,
+    /// Bytes per disk page (PostgreSQL 8 KiB).
+    pub page_size_bytes: f64,
+    /// Number of tuples that fit in hash-join memory before spilling
+    /// (a rows-denominated stand-in for `work_mem`).
+    pub work_mem_rows: f64,
+    /// Planning-time penalty charged per use of a hint-disabled operator.
+    /// Never charged at execution time.
+    pub disable_cost: f64,
+    /// Seconds per cost unit — the machine-speed calibration knob. Workload
+    /// builders tune this so the default-hint total matches the paper's
+    /// Table 1.
+    pub time_per_cost_unit: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            seq_page_cost: 1.0,
+            random_page_cost: 4.0,
+            cpu_tuple_cost: 0.01,
+            cpu_index_tuple_cost: 0.005,
+            cpu_operator_cost: 0.0025,
+            page_size_bytes: 8192.0,
+            work_mem_rows: 150_000.0,
+            disable_cost: 1.0e10,
+            time_per_cost_unit: 1.0e-5,
+        }
+    }
+}
+
+impl CostParams {
+    /// Number of heap pages occupied by `rows` tuples of width `row_width`.
+    pub fn pages(&self, rows: f64, row_width: f64) -> f64 {
+        (rows * row_width / self.page_size_bytes).max(1.0)
+    }
+
+    /// Convert planner cost units into seconds of execution time.
+    pub fn cost_to_seconds(&self, cost: f64) -> f64 {
+        cost * self.time_per_cost_unit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_postgres() {
+        let p = CostParams::default();
+        assert_eq!(p.seq_page_cost, 1.0);
+        assert_eq!(p.random_page_cost, 4.0);
+        assert_eq!(p.cpu_tuple_cost, 0.01);
+    }
+
+    #[test]
+    fn pages_is_at_least_one() {
+        let p = CostParams::default();
+        assert_eq!(p.pages(0.0, 100.0), 1.0);
+        assert!(p.pages(1e6, 100.0) > 1.0);
+    }
+
+    #[test]
+    fn cost_to_seconds_scales_linearly() {
+        let p = CostParams::default();
+        assert!((p.cost_to_seconds(2e5) - 2.0 * p.cost_to_seconds(1e5)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,219 @@
+//! Plan featurization for the tree convolutional neural networks.
+//!
+//! Following Bao (§4.3.2 of the paper): plans are binarized trees where each
+//! node carries a one-hot operator encoding plus log-scaled cost and
+//! cardinality estimates. The TCNN consumes trees as flat arrays (preorder
+//! node features + child indices), which lets the network batch all nodes
+//! of a tree through the convolution as one matrix multiply.
+
+use crate::plan::{JoinMethod, PlanTree, ScanMethod};
+use limeqo_linalg::Mat;
+
+/// Per-node feature width: 6 one-hot operator slots (3 joins + 3 scans),
+/// log(est cost), log(est rows), and an index-lookup flag.
+pub const NODE_FEATURE_DIM: usize = 9;
+
+/// A featurized plan tree in flat-array form.
+#[derive(Debug, Clone)]
+pub struct PlanFeatures {
+    /// Node features, one row per node, preorder (row 0 = root).
+    pub nodes: Mat,
+    /// Left-child index per node, -1 for none.
+    pub left: Vec<i32>,
+    /// Right-child index per node, -1 for none.
+    pub right: Vec<i32>,
+}
+
+impl PlanFeatures {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.left.len()
+    }
+
+    /// True when the tree has no nodes (never produced by
+    /// [`featurize_plan`]).
+    pub fn is_empty(&self) -> bool {
+        self.left.is_empty()
+    }
+}
+
+/// Normalization constants for the two continuous features, estimated from
+/// a sample of plans so inputs arrive roughly standardized.
+#[derive(Debug, Clone, Copy)]
+pub struct FeatureNorm {
+    /// Mean of `ln(1 + est_cost)` over sampled nodes.
+    pub cost_mean: f64,
+    /// Std of the same.
+    pub cost_std: f64,
+    /// Mean of `ln(1 + est_rows)`.
+    pub rows_mean: f64,
+    /// Std of the same.
+    pub rows_std: f64,
+}
+
+impl Default for FeatureNorm {
+    fn default() -> Self {
+        // Reasonable magnitudes when no sample is available.
+        FeatureNorm { cost_mean: 10.0, cost_std: 4.0, rows_mean: 8.0, rows_std: 4.0 }
+    }
+}
+
+impl FeatureNorm {
+    /// Fit normalization constants from sample plans.
+    pub fn fit(plans: &[PlanTree]) -> FeatureNorm {
+        let mut costs = Vec::new();
+        let mut rows = Vec::new();
+        for p in plans {
+            p.visit(&mut |n| {
+                let e = n.est();
+                costs.push((1.0 + e.cost.max(0.0)).ln());
+                rows.push((1.0 + e.rows.max(0.0)).ln());
+            });
+        }
+        let stat = |v: &[f64]| {
+            if v.is_empty() {
+                return (0.0, 1.0);
+            }
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64;
+            (mean, var.sqrt().max(1e-6))
+        };
+        let (cm, cs) = stat(&costs);
+        let (rm, rs) = stat(&rows);
+        FeatureNorm { cost_mean: cm, cost_std: cs, rows_mean: rm, rows_std: rs }
+    }
+}
+
+fn op_slot(plan: &PlanTree) -> usize {
+    match plan {
+        PlanTree::Join { method: JoinMethod::Hash, .. } => 0,
+        PlanTree::Join { method: JoinMethod::Merge, .. } => 1,
+        PlanTree::Join { method: JoinMethod::NestLoop, .. } => 2,
+        PlanTree::Scan { method: ScanMethod::Seq, .. } => 3,
+        PlanTree::Scan { method: ScanMethod::Index, .. } => 4,
+        PlanTree::Scan { method: ScanMethod::IndexOnly, .. } => 5,
+    }
+}
+
+/// Flatten an (estimated-world-annotated) plan into TCNN input arrays.
+pub fn featurize_plan(plan: &PlanTree, norm: &FeatureNorm) -> PlanFeatures {
+    // Preorder collect.
+    fn collect<'a>(
+        p: &'a PlanTree,
+        nodes: &mut Vec<&'a PlanTree>,
+        left: &mut Vec<i32>,
+        right: &mut Vec<i32>,
+    ) -> i32 {
+        let idx = nodes.len() as i32;
+        nodes.push(p);
+        left.push(-1);
+        right.push(-1);
+        if let PlanTree::Join { left: l, right: r, .. } = p {
+            let li = collect(l, nodes, left, right);
+            left[idx as usize] = li;
+            let ri = collect(r, nodes, left, right);
+            right[idx as usize] = ri;
+        }
+        idx
+    }
+    let mut flat = Vec::new();
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    collect(plan, &mut flat, &mut left, &mut right);
+
+    let mut nodes = Mat::zeros(flat.len(), NODE_FEATURE_DIM);
+    for (i, p) in flat.iter().enumerate() {
+        nodes[(i, op_slot(p))] = 1.0;
+        let e = p.est();
+        nodes[(i, 6)] = ((1.0 + e.cost.max(0.0)).ln() - norm.cost_mean) / norm.cost_std;
+        nodes[(i, 7)] = ((1.0 + e.rows.max(0.0)).ln() - norm.rows_mean) / norm.rows_std;
+        nodes[(i, 8)] = match p {
+            PlanTree::Join { inner_lookup: true, .. } => 1.0,
+            _ => 0.0,
+        };
+    }
+    PlanFeatures { nodes, left, right }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::NodeStats;
+
+    fn scan(i: usize, method: ScanMethod) -> PlanTree {
+        PlanTree::Scan {
+            table_ref: i,
+            method,
+            est: NodeStats { rows: 100.0, cost: 50.0 },
+            actual: NodeStats::default(),
+        }
+    }
+
+    fn sample_plan() -> PlanTree {
+        PlanTree::Join {
+            method: JoinMethod::Hash,
+            inner_lookup: false,
+            left: Box::new(PlanTree::Join {
+                method: JoinMethod::NestLoop,
+                inner_lookup: true,
+                left: Box::new(scan(0, ScanMethod::Seq)),
+                right: Box::new(scan(1, ScanMethod::Index)),
+                est: NodeStats { rows: 500.0, cost: 300.0 },
+                actual: NodeStats::default(),
+            }),
+            right: Box::new(scan(2, ScanMethod::IndexOnly)),
+            est: NodeStats { rows: 1000.0, cost: 900.0 },
+            actual: NodeStats::default(),
+        }
+    }
+
+    #[test]
+    fn featurize_node_count_and_shape() {
+        let f = featurize_plan(&sample_plan(), &FeatureNorm::default());
+        assert_eq!(f.len(), 5);
+        assert_eq!(f.nodes.shape(), (5, NODE_FEATURE_DIM));
+    }
+
+    #[test]
+    fn root_is_node_zero_with_children_linked() {
+        let f = featurize_plan(&sample_plan(), &FeatureNorm::default());
+        // Root is the hash join: slot 0.
+        assert_eq!(f.nodes[(0, 0)], 1.0);
+        assert!(f.left[0] >= 0 && f.right[0] >= 0);
+        // Leaves have no children.
+        for i in 0..f.len() {
+            if f.nodes[(i, 3)] == 1.0 || f.nodes[(i, 4)] == 1.0 || f.nodes[(i, 5)] == 1.0 {
+                assert_eq!(f.left[i], -1);
+                assert_eq!(f.right[i], -1);
+            }
+        }
+    }
+
+    #[test]
+    fn one_hot_exactly_one_slot() {
+        let f = featurize_plan(&sample_plan(), &FeatureNorm::default());
+        for i in 0..f.len() {
+            let ones: f64 = (0..6).map(|s| f.nodes[(i, s)]).sum();
+            assert_eq!(ones, 1.0);
+        }
+    }
+
+    #[test]
+    fn inner_lookup_flag_set() {
+        let f = featurize_plan(&sample_plan(), &FeatureNorm::default());
+        let lookup_flags: f64 = (0..f.len()).map(|i| f.nodes[(i, 8)]).sum();
+        assert_eq!(lookup_flags, 1.0); // exactly the NL* node
+    }
+
+    #[test]
+    fn norm_fit_standardizes() {
+        let plans = vec![sample_plan(), sample_plan()];
+        let norm = FeatureNorm::fit(&plans);
+        let f = featurize_plan(&plans[0], &norm);
+        // Standardized features should be bounded for the fitted sample.
+        for i in 0..f.len() {
+            assert!(f.nodes[(i, 6)].abs() < 5.0);
+            assert!(f.nodes[(i, 7)].abs() < 5.0);
+        }
+    }
+}

@@ -1,0 +1,470 @@
+//! The cost-based query optimizer.
+//!
+//! A Selinger-style dynamic program over left-deep join orders: `dp[S]` is
+//! the cheapest (estimated-world) plan joining exactly the table subset `S`,
+//! extended one table at a time through connected join edges (cross joins
+//! only when the graph leaves no alternative). Beyond
+//! [`Optimizer::DP_TABLE_LIMIT`] tables the optimizer falls back to a greedy
+//! heuristic, mirroring PostgreSQL's GEQO threshold.
+//!
+//! Hints act exactly like PostgreSQL's `enable_*` flags: disabled operators
+//! are still enumerated but carry [`crate::cost::CostParams::disable_cost`]
+//! in the estimated world, so the optimizer avoids them unless no
+//! alternative exists.
+
+use crate::catalog::Catalog;
+use crate::hints::HintConfig;
+use crate::plan::{
+    join_cost, scan_cost, JoinInputs, JoinMethod, NodeStats, PlanTree, ScanMethod,
+};
+use crate::query::{Query, World};
+
+/// The planner. Borrows the catalog; one instance plans any number of
+/// queries under any hints.
+#[derive(Debug, Clone, Copy)]
+pub struct Optimizer<'a> {
+    catalog: &'a Catalog,
+}
+
+/// Backtracking record for one DP cell.
+#[derive(Debug, Clone, Copy)]
+enum BuildStep {
+    Leaf { tref: usize, method: ScanMethod },
+    Join { prev_mask: u32, inner: usize, method: JoinMethod, inner_lookup: bool },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DpEntry {
+    cost: f64,
+    rows: f64,
+    step: BuildStep,
+}
+
+/// Best standalone scan of one table reference in the estimated world.
+#[derive(Debug, Clone, Copy)]
+struct BestScan {
+    method: ScanMethod,
+    rows: f64,
+    cost: f64,
+}
+
+const ALL_SCANS: [ScanMethod; 3] = [ScanMethod::Seq, ScanMethod::Index, ScanMethod::IndexOnly];
+const ALL_JOINS: [JoinMethod; 3] = [JoinMethod::Hash, JoinMethod::Merge, JoinMethod::NestLoop];
+
+impl<'a> Optimizer<'a> {
+    /// Queries with more tables than this use the greedy planner (PostgreSQL
+    /// uses GEQO past `geqo_threshold = 12`).
+    pub const DP_TABLE_LIMIT: usize = 12;
+
+    /// Create a planner over `catalog`.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Optimizer { catalog }
+    }
+
+    /// Plan `query` under `hint`, returning the chosen physical plan with
+    /// estimated-world annotations filled in. Always succeeds: sequential
+    /// scans and every join method are universally applicable (disabled
+    /// operators are merely penalized).
+    pub fn plan(&self, query: &Query, hint: HintConfig) -> PlanTree {
+        let n = query.n_tables();
+        assert!(n >= 1, "query must reference at least one table");
+        let scans = self.best_scans(query, hint);
+        if n == 1 {
+            let s = &scans[0];
+            return PlanTree::Scan {
+                table_ref: 0,
+                method: s.method,
+                est: NodeStats { rows: s.rows, cost: s.cost },
+                actual: NodeStats::default(),
+            };
+        }
+        if n <= Self::DP_TABLE_LIMIT {
+            self.plan_dp(query, hint, &scans)
+        } else {
+            self.plan_greedy(query, hint, &scans)
+        }
+    }
+
+    /// The estimated cost of the plan the optimizer would pick — the number
+    /// the QO-Advisor baseline ranks unexplored cells by.
+    pub fn estimated_cost(&self, query: &Query, hint: HintConfig) -> f64 {
+        self.plan(query, hint).est().cost
+    }
+
+    fn best_scans(&self, query: &Query, hint: HintConfig) -> Vec<BestScan> {
+        (0..query.n_tables())
+            .map(|i| {
+                let mut best: Option<BestScan> = None;
+                for m in ALL_SCANS {
+                    if let Some((rows, cost)) =
+                        scan_cost(query, i, m, self.catalog, hint, World::Estimated)
+                    {
+                        if best.map_or(true, |b| cost < b.cost) {
+                            best = Some(BestScan { method: m, rows, cost });
+                        }
+                    }
+                }
+                best.expect("seq scan is always available")
+            })
+            .collect()
+    }
+
+    /// Whether any edge connecting `inner` to `mask` has an index on the
+    /// inner side (enables index nested loops), plus sortedness for merge.
+    fn inner_edge_info(&self, query: &Query, mask: u32, inner: usize) -> (bool, bool) {
+        let mut indexed = false;
+        for e in &query.joins {
+            let inner_side_indexed = if e.a == inner && mask & (1 << e.b) != 0 {
+                e.a_indexed
+            } else if e.b == inner && mask & (1 << e.a) != 0 {
+                e.b_indexed
+            } else {
+                continue;
+            };
+            indexed |= inner_side_indexed;
+        }
+        // A join-key index can deliver the inner sorted for merge join.
+        (indexed, indexed)
+    }
+
+    fn join_candidate(
+        &self,
+        query: &Query,
+        hint: HintConfig,
+        scans: &[BestScan],
+        mask: u32,
+        entry_cost: f64,
+        entry_rows: f64,
+        inner: usize,
+        method: JoinMethod,
+    ) -> (f64, f64, bool) {
+        let new_mask = mask | (1 << inner);
+        let out_rows = query.cardinality(new_mask, self.catalog, World::Estimated);
+        let (inner_join_indexed, inner_sorted) = self.inner_edge_info(query, mask, inner);
+        let inputs = JoinInputs {
+            outer_rows: entry_rows,
+            outer_cost: entry_cost,
+            inner_rows: scans[inner].rows,
+            inner_cost: scans[inner].cost,
+            out_rows,
+            inner_join_indexed,
+            inner_sorted,
+        };
+        let jc = join_cost(method, inputs, self.catalog, hint, World::Estimated);
+        (jc.cost, jc.out_rows, jc.inner_lookup)
+    }
+
+    fn plan_dp(&self, query: &Query, hint: HintConfig, scans: &[BestScan]) -> PlanTree {
+        let n = query.n_tables();
+        let full: u32 = (1u32 << n) - 1;
+        let mut dp: Vec<Option<DpEntry>> = vec![None; (full as usize) + 1];
+        for (i, s) in scans.iter().enumerate() {
+            dp[1usize << i] = Some(DpEntry {
+                cost: s.cost,
+                rows: s.rows,
+                step: BuildStep::Leaf { tref: i, method: s.method },
+            });
+        }
+        for mask in 1..=full {
+            let Some(entry) = dp[mask as usize] else { continue };
+            if mask == full {
+                break;
+            }
+            // Prefer connected extensions; fall back to cross joins only if
+            // nothing connects (disconnected join graph).
+            let connected: Vec<usize> = (0..n)
+                .filter(|&j| mask & (1 << j) == 0 && query.connected_to(mask, j))
+                .collect();
+            let candidates: Vec<usize> = if connected.is_empty() {
+                (0..n).filter(|&j| mask & (1 << j) == 0).collect()
+            } else {
+                connected
+            };
+            for j in candidates {
+                let new_mask = mask | (1 << j);
+                for method in ALL_JOINS {
+                    let (cost, rows, inner_lookup) = self.join_candidate(
+                        query, hint, scans, mask, entry.cost, entry.rows, j, method,
+                    );
+                    let better = dp[new_mask as usize].map_or(true, |e| cost < e.cost);
+                    if better {
+                        dp[new_mask as usize] = Some(DpEntry {
+                            cost,
+                            rows,
+                            step: BuildStep::Join {
+                                prev_mask: mask,
+                                inner: j,
+                                method,
+                                inner_lookup,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        self.reconstruct(query, scans, &dp, full)
+    }
+
+    fn reconstruct(
+        &self,
+        query: &Query,
+        scans: &[BestScan],
+        dp: &[Option<DpEntry>],
+        mask: u32,
+    ) -> PlanTree {
+        let entry = dp[mask as usize].expect("dp cell must be populated");
+        match entry.step {
+            BuildStep::Leaf { tref, method } => PlanTree::Scan {
+                table_ref: tref,
+                method,
+                est: NodeStats { rows: entry.rows, cost: entry.cost },
+                actual: NodeStats::default(),
+            },
+            BuildStep::Join { prev_mask, inner, method, inner_lookup } => {
+                let left = self.reconstruct(query, scans, dp, prev_mask);
+                let s = &scans[inner];
+                let right = PlanTree::Scan {
+                    table_ref: inner,
+                    method: s.method,
+                    est: NodeStats { rows: s.rows, cost: s.cost },
+                    actual: NodeStats::default(),
+                };
+                PlanTree::Join {
+                    method,
+                    inner_lookup,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    est: NodeStats { rows: entry.rows, cost: entry.cost },
+                    actual: NodeStats::default(),
+                }
+            }
+        }
+    }
+
+    fn plan_greedy(&self, query: &Query, hint: HintConfig, scans: &[BestScan]) -> PlanTree {
+        let n = query.n_tables();
+        // Start from the smallest estimated scan output (classic heuristic).
+        let start = (0..n)
+            .min_by(|&a, &b| scans[a].rows.partial_cmp(&scans[b].rows).unwrap())
+            .unwrap();
+        let mut mask: u32 = 1 << start;
+        let mut plan = PlanTree::Scan {
+            table_ref: start,
+            method: scans[start].method,
+            est: NodeStats { rows: scans[start].rows, cost: scans[start].cost },
+            actual: NodeStats::default(),
+        };
+        while mask != (1u32 << n) - 1 {
+            let connected: Vec<usize> = (0..n)
+                .filter(|&j| mask & (1 << j) == 0 && query.connected_to(mask, j))
+                .collect();
+            let candidates: Vec<usize> = if connected.is_empty() {
+                (0..n).filter(|&j| mask & (1 << j) == 0).collect()
+            } else {
+                connected
+            };
+            let cur = plan.est();
+            let mut best: Option<(f64, f64, usize, JoinMethod, bool)> = None;
+            for &j in &candidates {
+                for method in ALL_JOINS {
+                    let (cost, rows, lookup) = self
+                        .join_candidate(query, hint, scans, mask, cur.cost, cur.rows, j, method);
+                    if best.map_or(true, |(c, ..)| cost < c) {
+                        best = Some((cost, rows, j, method, lookup));
+                    }
+                }
+            }
+            let (cost, rows, j, method, inner_lookup) = best.expect("candidate must exist");
+            let s = &scans[j];
+            plan = PlanTree::Join {
+                method,
+                inner_lookup,
+                left: Box::new(plan),
+                right: Box::new(PlanTree::Scan {
+                    table_ref: j,
+                    method: s.method,
+                    est: NodeStats { rows: s.rows, cost: s.cost },
+                    actual: NodeStats::default(),
+                }),
+                est: NodeStats { rows, cost },
+                actual: NodeStats::default(),
+            };
+            mask |= 1 << j;
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, CatalogSpec};
+    use crate::hints::HintSpace;
+    use crate::query::{generate_query, JoinShape, QueryClass, QueryGenParams};
+    use limeqo_linalg::rng::SeededRng;
+
+    fn catalog(seed: u64) -> Catalog {
+        Catalog::generate(
+            &CatalogSpec {
+                name: "opt".into(),
+                n_tables: 14,
+                rows_range: (1e3, 3e6),
+                width_range: (60.0, 250.0),
+                index_prob: 0.5,
+                fact_fraction: 0.3,
+            },
+            &mut SeededRng::new(seed),
+        )
+    }
+
+    fn query(cat: &Catalog, n: usize, class: QueryClass, seed: u64) -> Query {
+        generate_query(
+            0,
+            &QueryGenParams {
+                class,
+                n_tables: n,
+                shape: JoinShape::Chain,
+                pred_sel_range: (0.005, 0.4),
+                fanout: QueryGenParams::DEFAULT_FANOUT,
+                pred_prob: QueryGenParams::DEFAULT_PRED_PROB,
+                template: 0,
+            },
+            cat,
+            &mut SeededRng::new(seed),
+        )
+    }
+
+    #[test]
+    fn plan_covers_all_tables() {
+        let cat = catalog(1);
+        for n in 1..=6 {
+            let q = query(&cat, n, QueryClass::WellEstimated, 10 + n as u64);
+            let plan = Optimizer::new(&cat).plan(&q, HintConfig::default_hint());
+            let mut seen = vec![false; n];
+            plan.visit(&mut |node| {
+                if let PlanTree::Scan { table_ref, .. } = node {
+                    seen[*table_ref] = true;
+                }
+            });
+            assert!(seen.iter().all(|&s| s), "n={n}: {}", plan.render());
+            assert_eq!(plan.join_count(), n - 1);
+        }
+    }
+
+    #[test]
+    fn default_hint_plan_is_cheapest_estimate() {
+        // The default (unpenalized) plan's estimated cost must lower-bound
+        // every hinted plan's true operator cost structure under the same
+        // estimates, because hints only remove options.
+        let cat = catalog(2);
+        let q = query(&cat, 5, QueryClass::WellEstimated, 3);
+        let opt = Optimizer::new(&cat);
+        let default_cost = opt.estimated_cost(&q, HintConfig::default_hint());
+        for h in HintSpace::all().configs() {
+            let c = opt.estimated_cost(&q, *h);
+            assert!(
+                c >= default_cost - 1e-6,
+                "hint {} beat default: {c} < {default_cost}",
+                h.tag()
+            );
+        }
+    }
+
+    #[test]
+    fn disabling_all_used_joins_changes_plan() {
+        let cat = catalog(3);
+        let q = query(&cat, 5, QueryClass::WellEstimated, 4);
+        let opt = Optimizer::new(&cat);
+        let default_plan = opt.plan(&q, HintConfig::default_hint());
+        // Collect join methods used by the default plan, then disable them.
+        let mut used_hash = false;
+        let mut used_nl = false;
+        let mut used_merge = false;
+        default_plan.visit(&mut |node| {
+            if let PlanTree::Join { method, .. } = node {
+                match method {
+                    JoinMethod::Hash => used_hash = true,
+                    JoinMethod::NestLoop => used_nl = true,
+                    JoinMethod::Merge => used_merge = true,
+                }
+            }
+        });
+        let hint = HintConfig {
+            hash_join: !used_hash,
+            nest_loop: !used_nl,
+            merge_join: !used_merge,
+            ..HintConfig::default_hint()
+        };
+        // At least one method family must remain enabled for a valid hint;
+        // if all three were used, skip (hint would be invalid).
+        if hint.is_valid() {
+            let hinted = opt.plan(&q, hint);
+            let mut reused_disabled = false;
+            hinted.visit(&mut |node| {
+                if let PlanTree::Join { method, .. } = node {
+                    let disabled = match method {
+                        JoinMethod::Hash => !hint.hash_join,
+                        JoinMethod::NestLoop => !hint.nest_loop,
+                        JoinMethod::Merge => !hint.merge_join,
+                    };
+                    reused_disabled |= disabled;
+                }
+            });
+            assert!(!reused_disabled, "plan kept a disabled join: {}", hinted.render());
+        }
+    }
+
+    #[test]
+    fn greedy_used_above_dp_limit() {
+        let cat = catalog(4);
+        let q = query(&cat, 14, QueryClass::WellEstimated, 5);
+        assert!(q.n_tables() > Optimizer::DP_TABLE_LIMIT);
+        let plan = Optimizer::new(&cat).plan(&q, HintConfig::default_hint());
+        assert_eq!(plan.join_count(), 13);
+    }
+
+    #[test]
+    fn dp_beats_or_matches_greedy() {
+        // On DP-sized queries, exhaustive left-deep DP can never be worse
+        // than the greedy heuristic.
+        let cat = catalog(5);
+        for seed in 0..10 {
+            let q = query(&cat, 7, QueryClass::WellEstimated, 100 + seed);
+            let opt = Optimizer::new(&cat);
+            let scans = opt.best_scans(&q, HintConfig::default_hint());
+            let dp_cost = opt.plan_dp(&q, HintConfig::default_hint(), &scans).est().cost;
+            let greedy_cost =
+                opt.plan_greedy(&q, HintConfig::default_hint(), &scans).est().cost;
+            assert!(dp_cost <= greedy_cost + 1e-6, "dp {dp_cost} greedy {greedy_cost}");
+        }
+    }
+
+    #[test]
+    fn single_table_plan_is_scan() {
+        let cat = catalog(6);
+        let q = query(&cat, 1, QueryClass::WellEstimated, 7);
+        let plan = Optimizer::new(&cat).plan(&q, HintConfig::default_hint());
+        assert!(matches!(plan, PlanTree::Scan { .. }));
+    }
+
+    #[test]
+    fn estimated_cost_finite_for_all_49_hints() {
+        let cat = catalog(7);
+        let q = query(&cat, 6, QueryClass::NestLoopTrap, 8);
+        let opt = Optimizer::new(&cat);
+        for h in HintSpace::all().configs() {
+            let c = opt.estimated_cost(&q, *h);
+            assert!(c.is_finite() && c > 0.0);
+        }
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let cat = catalog(8);
+        let q = query(&cat, 6, QueryClass::IndexTrap, 9);
+        let opt = Optimizer::new(&cat);
+        let a = opt.plan(&q, HintConfig::default_hint()).render();
+        let b = opt.plan(&q, HintConfig::default_hint()).render();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,543 @@
+//! Physical plans and the operator cost formulas.
+//!
+//! A [`PlanTree`] is a binary tree of scans and joins, as produced by the
+//! optimizer for left-deep join orders. The cost formulas here are the
+//! *single source of truth* for both worlds: the optimizer charges them with
+//! estimated cardinalities (plus `disable_cost` for hint-disabled
+//! operators), the executor charges the identical formulas with true
+//! cardinalities and no penalties. They are shaped after PostgreSQL's
+//! `costsize.c`: sequential scans pay per page + per tuple, index scans pay
+//! random pages modulated by index/heap correlation, hash joins pay
+//! build + probe with a spill multiplier past `work_mem`, merge joins pay
+//! sorts for unsorted inputs, and nested loops pay per-outer-row inner
+//! access — a cheap index lookup when available, a rescan otherwise.
+
+use crate::catalog::Catalog;
+use crate::hints::HintConfig;
+use crate::query::{Query, World};
+
+/// Access path for a base table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScanMethod {
+    /// Full sequential heap scan.
+    Seq,
+    /// B-tree index scan on the predicate column.
+    Index,
+    /// Covering (index-only) scan.
+    IndexOnly,
+}
+
+/// Join algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinMethod {
+    /// Hash join: build on inner, probe with outer.
+    Hash,
+    /// Sort-merge join.
+    Merge,
+    /// Nested loop; the inner side may be an index lookup or a rescan.
+    NestLoop,
+}
+
+/// Per-node annotation (cost and cardinality for whichever world the tree
+/// was costed in).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeStats {
+    /// Output rows of this node.
+    pub rows: f64,
+    /// Cumulative cost up to and including this node.
+    pub cost: f64,
+}
+
+/// A physical plan.
+#[derive(Debug, Clone)]
+pub enum PlanTree {
+    /// Leaf: scan of one table reference.
+    Scan {
+        /// Index into [`Query::tables`].
+        table_ref: usize,
+        /// Chosen access path.
+        method: ScanMethod,
+        /// Estimated-world stats (filled by the optimizer).
+        est: NodeStats,
+        /// True-world stats (filled by the executor).
+        actual: NodeStats,
+    },
+    /// Internal node: join of two subplans.
+    Join {
+        /// Join algorithm.
+        method: JoinMethod,
+        /// Whether a nested loop drives an index lookup on the inner side
+        /// (vs. a rescan of a materialized inner).
+        inner_lookup: bool,
+        /// Outer subplan.
+        left: Box<PlanTree>,
+        /// Inner subplan (a base-table scan in left-deep plans).
+        right: Box<PlanTree>,
+        /// Estimated-world stats.
+        est: NodeStats,
+        /// True-world stats.
+        actual: NodeStats,
+    },
+}
+
+impl PlanTree {
+    /// Root estimated stats.
+    pub fn est(&self) -> NodeStats {
+        match self {
+            PlanTree::Scan { est, .. } | PlanTree::Join { est, .. } => *est,
+        }
+    }
+
+    /// Root true stats.
+    pub fn actual(&self) -> NodeStats {
+        match self {
+            PlanTree::Scan { actual, .. } | PlanTree::Join { actual, .. } => *actual,
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        match self {
+            PlanTree::Scan { .. } => 1,
+            PlanTree::Join { left, right, .. } => 1 + left.node_count() + right.node_count(),
+        }
+    }
+
+    /// Number of joins in the tree.
+    pub fn join_count(&self) -> usize {
+        match self {
+            PlanTree::Scan { .. } => 0,
+            PlanTree::Join { left, right, .. } => 1 + left.join_count() + right.join_count(),
+        }
+    }
+
+    /// Depth-first preorder visit.
+    pub fn visit(&self, f: &mut impl FnMut(&PlanTree)) {
+        f(self);
+        if let PlanTree::Join { left, right, .. } = self {
+            left.visit(f);
+            right.visit(f);
+        }
+    }
+
+    /// One-line plan rendering, e.g. `HJ(NL*(Seq(0),Idx(1)),Seq(2))`.
+    pub fn render(&self) -> String {
+        match self {
+            PlanTree::Scan { table_ref, method, .. } => {
+                let m = match method {
+                    ScanMethod::Seq => "Seq",
+                    ScanMethod::Index => "Idx",
+                    ScanMethod::IndexOnly => "IdxO",
+                };
+                format!("{m}({table_ref})")
+            }
+            PlanTree::Join { method, inner_lookup, left, right, .. } => {
+                let m = match method {
+                    JoinMethod::Hash => "HJ",
+                    JoinMethod::Merge => "MJ",
+                    JoinMethod::NestLoop => {
+                        if *inner_lookup {
+                            "NL*"
+                        } else {
+                            "NL"
+                        }
+                    }
+                };
+                format!("{m}({},{})", left.render(), right.render())
+            }
+        }
+    }
+}
+
+/// Scan cost and output cardinality for table-ref `tref_idx` of `query`.
+///
+/// Returns `(output_rows, cost)`; `None` when the access path does not exist
+/// (no index). Hint-disabled but existing paths get `disable_cost` added in
+/// the estimated world only.
+pub fn scan_cost(
+    query: &Query,
+    tref_idx: usize,
+    method: ScanMethod,
+    catalog: &Catalog,
+    hint: HintConfig,
+    world: World,
+) -> Option<(f64, f64)> {
+    let p = &catalog.params;
+    let tref = &query.tables[tref_idx];
+    let table = &catalog.tables[tref.table];
+    let (sel, corr) = match world {
+        World::True => (tref.sel_true, tref.corr_true),
+        World::Estimated => (tref.sel_est, tref.corr_est),
+    };
+    let rows = table.rows;
+    let pages = table.pages(p);
+    let out_rows = (rows * sel).max(1.0);
+
+    let (mut cost, enabled) = match method {
+        ScanMethod::Seq => {
+            let c = pages * p.seq_page_cost + rows * (p.cpu_tuple_cost + p.cpu_operator_cost);
+            (c, hint.seq_scan)
+        }
+        ScanMethod::Index => {
+            if !tref.pred_indexed {
+                return None;
+            }
+            let tuples = out_rows;
+            // Correlated portion reads a dense page range; uncorrelated
+            // portion pays one random page per tuple (capped at the heap).
+            let page_fetches =
+                corr * (sel * pages).max(1.0) + (1.0 - corr) * tuples.min(pages * 4.0);
+            let c = page_fetches * p.random_page_cost
+                + tuples * (p.cpu_index_tuple_cost + p.cpu_tuple_cost);
+            (c, hint.index_scan)
+        }
+        ScanMethod::IndexOnly => {
+            if !(tref.pred_indexed && tref.covering) {
+                return None;
+            }
+            // Index-only scans touch only index pages (~256 entries/page),
+            // mostly sequentially.
+            let idx_pages = (out_rows / 256.0).max(1.0);
+            let c = idx_pages * p.seq_page_cost * 2.0 + out_rows * p.cpu_index_tuple_cost;
+            (c, hint.index_only_scan)
+        }
+    };
+    if world == World::Estimated && !enabled {
+        cost += p.disable_cost;
+    }
+    Some((out_rows, cost))
+}
+
+/// Inputs for costing one join node.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinInputs {
+    /// Outer (left) output rows.
+    pub outer_rows: f64,
+    /// Outer cumulative cost.
+    pub outer_cost: f64,
+    /// Inner (right) output rows *after* its local predicate.
+    pub inner_rows: f64,
+    /// Inner cumulative cost (of the inner's chosen standalone scan).
+    pub inner_cost: f64,
+    /// Join output rows (from [`Query::cardinality`] of the merged set).
+    pub out_rows: f64,
+    /// Whether the inner side's join column has an index (enables
+    /// index-nested-loop).
+    pub inner_join_indexed: bool,
+    /// Whether the inner scan delivers rows sorted by the join key (an
+    /// index scan on the join column) — lets merge join skip the inner sort.
+    pub inner_sorted: bool,
+}
+
+/// Result of costing one join alternative.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinCost {
+    /// Total cumulative cost of the join node.
+    pub cost: f64,
+    /// Output rows.
+    pub out_rows: f64,
+    /// For nested loops: whether the index-lookup flavour was used.
+    pub inner_lookup: bool,
+}
+
+/// Nested-loop flavour selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NlFlavor {
+    /// Pick the cheaper of index-lookup and rescan (planning).
+    Auto,
+    /// Charge the index-lookup flavour (execution of a planned lookup NL).
+    ForceLookup,
+    /// Charge the rescan flavour.
+    ForceRescan,
+}
+
+/// Cost one join alternative, letting the planner pick the cheaper
+/// nested-loop flavour.
+pub fn join_cost(
+    method: JoinMethod,
+    inputs: JoinInputs,
+    catalog: &Catalog,
+    hint: HintConfig,
+    world: World,
+) -> JoinCost {
+    join_cost_flavored(method, inputs, catalog, hint, world, NlFlavor::Auto)
+}
+
+/// Cost one join alternative with an explicit nested-loop flavour. The
+/// executor uses this to charge exactly the plan the optimizer committed to.
+pub fn join_cost_flavored(
+    method: JoinMethod,
+    inputs: JoinInputs,
+    catalog: &Catalog,
+    hint: HintConfig,
+    world: World,
+    flavor: NlFlavor,
+) -> JoinCost {
+    let p = &catalog.params;
+    let JoinInputs { outer_rows, outer_cost, inner_rows, inner_cost, out_rows, .. } = inputs;
+    let emit = out_rows * p.cpu_tuple_cost * 0.5;
+
+    let (cost, inner_lookup, enabled) = match method {
+        JoinMethod::Hash => {
+            let build = inner_cost + inner_rows * (p.cpu_tuple_cost * 1.1 + p.cpu_operator_cost);
+            let probe = outer_rows * (p.cpu_tuple_cost + p.cpu_operator_cost);
+            // Spill multiplier past work_mem: extra batches re-read/write.
+            let spill = if inner_rows > p.work_mem_rows {
+                1.0 + 0.45 * (inner_rows / p.work_mem_rows).log2().max(0.0)
+            } else {
+                1.0
+            };
+            (outer_cost + (build + probe) * spill + emit, false, hint.hash_join)
+        }
+        JoinMethod::Merge => {
+            let sort = |n: f64| 2.2 * n * n.max(2.0).log2() * p.cpu_operator_cost;
+            let outer_sort = sort(outer_rows);
+            let inner_sort = if inputs.inner_sorted { 0.0 } else { sort(inner_rows) };
+            let merge_pass = (outer_rows + inner_rows) * p.cpu_tuple_cost * 0.55;
+            (
+                outer_cost + inner_cost + outer_sort + inner_sort + merge_pass + emit,
+                false,
+                hint.merge_join,
+            )
+        }
+        JoinMethod::NestLoop => {
+            // Index-lookup flavour: per outer row, one index descent plus
+            // matched-tuple fetches.
+            let lookup = if inputs.inner_join_indexed && flavor != NlFlavor::ForceRescan {
+                let matches_per_outer = (out_rows / outer_rows.max(1.0)).max(0.0);
+                let per_outer = p.random_page_cost * 1.15
+                    + p.cpu_index_tuple_cost * 2.0
+                    + matches_per_outer * (p.cpu_tuple_cost + p.random_page_cost * 0.25);
+                Some(outer_cost + outer_rows * per_outer + emit)
+            } else {
+                None
+            };
+            // Rescan flavour: materialized inner re-scanned per outer row.
+            let rescan = outer_cost
+                + inner_cost
+                + outer_rows * inner_rows * p.cpu_operator_cost * 0.33
+                + emit;
+            match (lookup, flavor) {
+                (Some(l), NlFlavor::ForceLookup) => (l, true, hint.nest_loop),
+                (Some(l), _) if l <= rescan => (l, true, hint.nest_loop),
+                _ => (rescan, false, hint.nest_loop),
+            }
+        }
+    };
+    let penalty = if world == World::Estimated && !enabled { p.disable_cost } else { 0.0 };
+    JoinCost { cost: cost + penalty, out_rows, inner_lookup }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, CatalogSpec};
+    use crate::query::{generate_query, JoinShape, QueryClass, QueryGenParams};
+    use limeqo_linalg::rng::SeededRng;
+
+    fn setup() -> (Query, Catalog) {
+        let cat = Catalog::generate(
+            &CatalogSpec {
+                name: "t".into(),
+                n_tables: 8,
+                rows_range: (1e4, 1e6),
+                width_range: (60.0, 200.0),
+                index_prob: 0.6,
+                fact_fraction: 0.25,
+            },
+            &mut SeededRng::new(2),
+        );
+        let q = generate_query(
+            0,
+            &QueryGenParams {
+                class: QueryClass::WellEstimated,
+                n_tables: 4,
+                shape: JoinShape::Chain,
+                pred_sel_range: (0.01, 0.3),
+                fanout: QueryGenParams::DEFAULT_FANOUT,
+                pred_prob: QueryGenParams::DEFAULT_PRED_PROB,
+                template: 0,
+            },
+            &cat,
+            &mut SeededRng::new(3),
+        );
+        (q, cat)
+    }
+
+    #[test]
+    fn seq_scan_always_available() {
+        let (q, cat) = setup();
+        for i in 0..q.tables.len() {
+            let r = scan_cost(&q, i, ScanMethod::Seq, &cat, HintConfig::default_hint(), World::True);
+            assert!(r.is_some());
+            let (rows, cost) = r.unwrap();
+            assert!(rows >= 1.0 && cost > 0.0);
+        }
+    }
+
+    #[test]
+    fn disabled_seq_scan_penalized_in_est_world_only() {
+        let (q, cat) = setup();
+        let hint = HintConfig { seq_scan: false, ..HintConfig::default_hint() };
+        let (_, est) = scan_cost(&q, 0, ScanMethod::Seq, &cat, hint, World::Estimated).unwrap();
+        let (_, tru) = scan_cost(&q, 0, ScanMethod::Seq, &cat, hint, World::True).unwrap();
+        assert!(est > cat.params.disable_cost * 0.99);
+        assert!(tru < cat.params.disable_cost * 0.01);
+    }
+
+    #[test]
+    fn index_scan_requires_index() {
+        let (mut q, cat) = setup();
+        q.tables[0].pred_indexed = false;
+        assert!(scan_cost(&q, 0, ScanMethod::Index, &cat, HintConfig::default_hint(), World::True)
+            .is_none());
+    }
+
+    #[test]
+    fn index_only_requires_covering() {
+        let (mut q, cat) = setup();
+        q.tables[0].pred_indexed = true;
+        q.tables[0].covering = false;
+        assert!(scan_cost(
+            &q,
+            0,
+            ScanMethod::IndexOnly,
+            &cat,
+            HintConfig::default_hint(),
+            World::True
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn correlated_index_scan_cheaper_than_uncorrelated() {
+        let (mut q, cat) = setup();
+        q.tables[0].pred_indexed = true;
+        q.tables[0].sel_true = 0.05;
+        q.tables[0].corr_true = 0.95;
+        let (_, good) =
+            scan_cost(&q, 0, ScanMethod::Index, &cat, HintConfig::default_hint(), World::True)
+                .unwrap();
+        q.tables[0].corr_true = 0.0;
+        let (_, bad) =
+            scan_cost(&q, 0, ScanMethod::Index, &cat, HintConfig::default_hint(), World::True)
+                .unwrap();
+        assert!(bad > good * 1.5, "bad {bad} good {good}");
+    }
+
+    #[test]
+    fn nested_loop_prefers_index_lookup_for_small_outer() {
+        let (_, cat) = setup();
+        let inputs = JoinInputs {
+            outer_rows: 10.0,
+            outer_cost: 100.0,
+            inner_rows: 1e6,
+            inner_cost: 1e4,
+            out_rows: 20.0,
+            inner_join_indexed: true,
+            inner_sorted: false,
+        };
+        let j = join_cost(JoinMethod::NestLoop, inputs, &cat, HintConfig::default_hint(), World::True);
+        assert!(j.inner_lookup);
+        // Must beat hash join for a 10-row outer.
+        let h = join_cost(JoinMethod::Hash, inputs, &cat, HintConfig::default_hint(), World::True);
+        assert!(j.cost < h.cost, "nl {} hash {}", j.cost, h.cost);
+    }
+
+    #[test]
+    fn hash_join_wins_for_large_both_sides() {
+        let (_, cat) = setup();
+        let inputs = JoinInputs {
+            outer_rows: 5e5,
+            outer_cost: 1e4,
+            inner_rows: 5e5,
+            inner_cost: 1e4,
+            out_rows: 5e5,
+            inner_join_indexed: true,
+            inner_sorted: false,
+        };
+        let h = join_cost(JoinMethod::Hash, inputs, &cat, HintConfig::default_hint(), World::True);
+        let n =
+            join_cost(JoinMethod::NestLoop, inputs, &cat, HintConfig::default_hint(), World::True);
+        let m = join_cost(JoinMethod::Merge, inputs, &cat, HintConfig::default_hint(), World::True);
+        assert!(h.cost < n.cost, "hash {} nl {}", h.cost, n.cost);
+        assert!(h.cost < m.cost, "hash {} merge {}", h.cost, m.cost);
+    }
+
+    #[test]
+    fn spill_multiplier_kicks_in() {
+        let (_, cat) = setup();
+        let small = JoinInputs {
+            outer_rows: 1000.0,
+            outer_cost: 0.0,
+            inner_rows: cat.params.work_mem_rows * 0.9,
+            inner_cost: 0.0,
+            out_rows: 1000.0,
+            inner_join_indexed: false,
+            inner_sorted: false,
+        };
+        let big = JoinInputs { inner_rows: cat.params.work_mem_rows * 16.0, ..small };
+        let cs = join_cost(JoinMethod::Hash, small, &cat, HintConfig::default_hint(), World::True);
+        let cb = join_cost(JoinMethod::Hash, big, &cat, HintConfig::default_hint(), World::True);
+        // Big inner costs more than 16x the small one due to spill.
+        assert!(cb.cost > cs.cost * 16.0);
+    }
+
+    #[test]
+    fn disabled_join_penalty_planning_only() {
+        let (_, cat) = setup();
+        let hint = HintConfig { nest_loop: false, ..HintConfig::default_hint() };
+        let inputs = JoinInputs {
+            outer_rows: 10.0,
+            outer_cost: 1.0,
+            inner_rows: 100.0,
+            inner_cost: 1.0,
+            out_rows: 10.0,
+            inner_join_indexed: true,
+            inner_sorted: false,
+        };
+        let est = join_cost(JoinMethod::NestLoop, inputs, &cat, hint, World::Estimated);
+        let tru = join_cost(JoinMethod::NestLoop, inputs, &cat, hint, World::True);
+        assert!(est.cost > cat.params.disable_cost * 0.99);
+        assert!(tru.cost < 1e6);
+    }
+
+    #[test]
+    fn merge_join_skips_sorted_inner_sort() {
+        let (_, cat) = setup();
+        let unsorted = JoinInputs {
+            outer_rows: 1e5,
+            outer_cost: 0.0,
+            inner_rows: 1e5,
+            inner_cost: 0.0,
+            out_rows: 1e5,
+            inner_join_indexed: false,
+            inner_sorted: false,
+        };
+        let sorted = JoinInputs { inner_sorted: true, ..unsorted };
+        let cu = join_cost(JoinMethod::Merge, unsorted, &cat, HintConfig::default_hint(), World::True);
+        let cs = join_cost(JoinMethod::Merge, sorted, &cat, HintConfig::default_hint(), World::True);
+        assert!(cs.cost < cu.cost);
+    }
+
+    #[test]
+    fn render_and_counts() {
+        let scan = |i| PlanTree::Scan {
+            table_ref: i,
+            method: ScanMethod::Seq,
+            est: NodeStats::default(),
+            actual: NodeStats::default(),
+        };
+        let plan = PlanTree::Join {
+            method: JoinMethod::Hash,
+            inner_lookup: false,
+            left: Box::new(scan(0)),
+            right: Box::new(scan(1)),
+            est: NodeStats::default(),
+            actual: NodeStats::default(),
+        };
+        assert_eq!(plan.render(), "HJ(Seq(0),Seq(1))");
+        assert_eq!(plan.node_count(), 3);
+        assert_eq!(plan.join_count(), 1);
+    }
+}

@@ -1,0 +1,506 @@
+//! The SPJ query model and per-query cardinality-estimation error profiles.
+//!
+//! A [`Query`] is a join graph over catalog tables with per-table predicate
+//! selectivities and per-edge join selectivities. Each quantity exists in
+//! two "worlds":
+//!
+//! * the **true** world — what execution actually encounters, and
+//! * the **estimated** world — what the optimizer believes at planning time.
+//!
+//! The multiplicative gap between them is drawn from the query's
+//! [`QueryClass`]. This is the simulator's stand-in for the real-world
+//! phenomenon the paper exploits: PostgreSQL's default plans on JOB/CEB are
+//! slow because correlated predicates make join cardinalities badly
+//! underestimated, steering the optimizer into nested-loop disasters that a
+//! `enable_nestloop=off` hint avoids. Queries of the same class respond to
+//! hints the same way, which is precisely what makes the workload matrix
+//! low-rank (paper §5.5.2).
+
+use crate::catalog::Catalog;
+use limeqo_linalg::rng::SeededRng;
+
+/// Latent query class controlling join shape and estimation-error profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// Join selectivities badly underestimated (correlated predicates). The
+    /// default optimizer picks index nested loops whose true cost explodes;
+    /// disabling nested loops is the winning hint. The dominant class in
+    /// JOB/CEB-like workloads.
+    NestLoopTrap,
+    /// Index clustering overestimated: the planner believes an index scan is
+    /// cheap but the heap order is adversarial, so each probe is a random
+    /// page. Disabling index scans wins.
+    IndexTrap,
+    /// Predicate selectivities overestimated (planner expects many rows and
+    /// chooses sequential scans / hash joins); in truth few rows qualify and
+    /// index plans are far better. Disabling sequential scans wins.
+    MissedIndex,
+    /// Estimates are accurate; the default plan is near-optimal and hints
+    /// offer little. The dominant class in Stack-like workloads.
+    WellEstimated,
+    /// Write-bound ETL/COPY-style query: latency is dominated by output
+    /// cost, identical under every hint (paper §5.1's Greedy trap).
+    Etl,
+}
+
+impl QueryClass {
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryClass::NestLoopTrap => "nl-trap",
+            QueryClass::IndexTrap => "idx-trap",
+            QueryClass::MissedIndex => "missed-idx",
+            QueryClass::WellEstimated => "well-est",
+            QueryClass::Etl => "etl",
+        }
+    }
+}
+
+/// A reference to one base table inside a query, with its local predicate.
+#[derive(Debug, Clone)]
+pub struct TableRef {
+    /// Index into [`Catalog::tables`].
+    pub table: usize,
+    /// True fraction of rows passing the local predicate.
+    pub sel_true: f64,
+    /// Planner's believed selectivity.
+    pub sel_est: f64,
+    /// Whether the predicate column has a B-tree index.
+    pub pred_indexed: bool,
+    /// Whether an index-only scan can answer this table's role (covering
+    /// index).
+    pub covering: bool,
+    /// True index/heap correlation for the predicate column.
+    pub corr_true: f64,
+    /// Planner's believed correlation.
+    pub corr_est: f64,
+}
+
+/// An equi-join edge between two tables of the query.
+#[derive(Debug, Clone)]
+pub struct JoinEdge {
+    /// Index of the first table in [`Query::tables`].
+    pub a: usize,
+    /// Index of the second table in [`Query::tables`].
+    pub b: usize,
+    /// True join selectivity: `|A ⋈ B| = |A| · |B| · sel`.
+    pub sel_true: f64,
+    /// Planner's believed join selectivity.
+    pub sel_est: f64,
+    /// Whether side `a`'s join column is indexed (enables index nested-loop
+    /// with `a` as inner).
+    pub a_indexed: bool,
+    /// Whether side `b`'s join column is indexed.
+    pub b_indexed: bool,
+}
+
+/// One workload query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Stable id within the workload (row index of the workload matrix).
+    pub id: usize,
+    /// Latent class (drives the error profile; diagnostics + generators).
+    pub class: QueryClass,
+    /// Template id: DSB-style workloads instantiate many parameterized
+    /// queries per template; other workloads give each query its own
+    /// template id.
+    pub template: usize,
+    /// Tables with local predicates.
+    pub tables: Vec<TableRef>,
+    /// Equi-join edges; together with `tables` this is the join graph.
+    pub joins: Vec<JoinEdge>,
+    /// Extra write-bound seconds charged identically under every hint
+    /// (non-zero only for [`QueryClass::Etl`]).
+    pub etl_write_seconds: f64,
+    /// Seed for the per-(query, hint) latency noise.
+    pub noise_seed: u64,
+}
+
+impl Query {
+    /// Number of tables joined.
+    pub fn n_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Join edges fully contained in the table subset `mask` (bit i set =
+    /// `tables[i]` present).
+    pub fn edges_within(&self, mask: u32) -> impl Iterator<Item = &JoinEdge> {
+        self.joins
+            .iter()
+            .filter(move |e| mask & (1 << e.a) != 0 && mask & (1 << e.b) != 0)
+    }
+
+    /// Cardinality of the join over the table subset `mask`, in the chosen
+    /// world, under the textbook independence assumption:
+    /// `|S| = Π rows_i·sel_i · Π edge_sel` (clamped to ≥ 1 row).
+    ///
+    /// Estimation errors compound multiplicatively across edges — exactly
+    /// the mechanism that makes deep join trees badly estimated in real
+    /// optimizers.
+    pub fn cardinality(&self, mask: u32, catalog: &Catalog, world: World) -> f64 {
+        let mut card = 1.0f64;
+        for (i, tr) in self.tables.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                let sel = match world {
+                    World::True => tr.sel_true,
+                    World::Estimated => tr.sel_est,
+                };
+                card *= catalog.tables[tr.table].rows * sel;
+            }
+        }
+        for e in self.edges_within(mask) {
+            card *= match world {
+                World::True => e.sel_true,
+                World::Estimated => e.sel_est,
+            };
+        }
+        card.max(1.0)
+    }
+
+    /// Whether table `j` is connected by a join edge to any table in `mask`.
+    pub fn connected_to(&self, mask: u32, j: usize) -> bool {
+        self.joins.iter().any(|e| {
+            (e.a == j && mask & (1 << e.b) != 0) || (e.b == j && mask & (1 << e.a) != 0)
+        })
+    }
+}
+
+/// Which cardinalities a computation plugs into the cost formulas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum World {
+    /// Planner's view (estimated selectivities, estimated correlations,
+    /// hint disable-penalties apply).
+    Estimated,
+    /// Ground truth (true selectivities/correlations, no penalties).
+    True,
+}
+
+/// Error-profile parameters for one query class, used by the generators.
+#[derive(Debug, Clone, Copy)]
+pub struct ErrorProfile {
+    /// Mean of `ln(join-selectivity estimation factor)`; negative =
+    /// underestimation.
+    pub join_err_mu: f64,
+    /// Std of the join error.
+    pub join_err_sigma: f64,
+    /// Mean of `ln(predicate-selectivity estimation factor)`.
+    pub pred_err_mu: f64,
+    /// Std of the predicate error.
+    pub pred_err_sigma: f64,
+    /// Additive bias applied to the *estimated* correlation (positive =
+    /// planner believes the index is better-clustered than it is).
+    pub corr_bias: f64,
+}
+
+impl QueryClass {
+    /// The error profile that defines this class.
+    pub fn error_profile(&self) -> ErrorProfile {
+        match self {
+            QueryClass::NestLoopTrap => ErrorProfile {
+                join_err_mu: -1.5,
+                join_err_sigma: 0.4,
+                pred_err_mu: -0.3,
+                pred_err_sigma: 0.2,
+                corr_bias: 0.0,
+            },
+            QueryClass::IndexTrap => ErrorProfile {
+                join_err_mu: -0.15,
+                join_err_sigma: 0.15,
+                pred_err_mu: 0.0,
+                pred_err_sigma: 0.15,
+                corr_bias: 0.85,
+            },
+            QueryClass::MissedIndex => ErrorProfile {
+                join_err_mu: 0.1,
+                join_err_sigma: 0.15,
+                pred_err_mu: 2.3,
+                pred_err_sigma: 0.5,
+                corr_bias: -0.1,
+            },
+            QueryClass::WellEstimated => ErrorProfile {
+                join_err_mu: 0.0,
+                join_err_sigma: 0.08,
+                pred_err_mu: 0.0,
+                pred_err_sigma: 0.08,
+                corr_bias: 0.0,
+            },
+            QueryClass::Etl => ErrorProfile {
+                join_err_mu: 0.0,
+                join_err_sigma: 0.05,
+                pred_err_mu: 0.0,
+                pred_err_sigma: 0.05,
+                corr_bias: 0.0,
+            },
+        }
+    }
+}
+
+/// Shape of a generated join graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinShape {
+    /// Linear chain t0–t1–t2–…
+    Chain,
+    /// Star: every table joins t0 (fact-table-centric, DSB-style).
+    Star,
+    /// Chain plus a few random chords.
+    Snowflake,
+}
+
+/// Parameters for generating a single query.
+#[derive(Debug, Clone)]
+pub struct QueryGenParams {
+    /// Class (error profile).
+    pub class: QueryClass,
+    /// Number of tables to join.
+    pub n_tables: usize,
+    /// Join graph shape.
+    pub shape: JoinShape,
+    /// Range of true predicate selectivities (log-uniform).
+    pub pred_sel_range: (f64, f64),
+    /// Log-normal fanout of join edges: `|A ⋈ B| ≈ min-side · fanout`,
+    /// `fanout ~ exp(N(mu, sigma))`. Trap-heavy workloads use larger
+    /// fanouts so intermediate results stay big enough for plan choice to
+    /// matter.
+    pub fanout: (f64, f64),
+    /// Probability that a table carries a local predicate at all. Real JOB
+    /// queries filter only a handful of their 4–17 tables; unfiltered
+    /// tables keep intermediate results large, which is what makes join
+    /// method choice matter.
+    pub pred_prob: f64,
+    /// Template id recorded on the query.
+    pub template: usize,
+}
+
+impl QueryGenParams {
+    /// The fanout used when a workload spec has no opinion.
+    pub const DEFAULT_FANOUT: (f64, f64) = (0.45, 0.55);
+    /// The predicate probability used when a spec has no opinion.
+    pub const DEFAULT_PRED_PROB: f64 = 0.6;
+}
+
+/// Generate one query against `catalog`.
+///
+/// Join selectivities are derived from the join-column NDV in the classic
+/// `1/max(ndv)` fashion, then nudged so that intermediate results neither
+/// vanish nor explode; estimation errors are layered on top from the class
+/// profile.
+pub fn generate_query(
+    id: usize,
+    params: &QueryGenParams,
+    catalog: &Catalog,
+    rng: &mut SeededRng,
+) -> Query {
+    let profile = params.class.error_profile();
+    let n = params.n_tables.min(catalog.tables.len()).max(1);
+    let table_ids = rng.sample_indices(catalog.tables.len(), n);
+
+    let mut tables = Vec::with_capacity(n);
+    for &t in &table_ids {
+        let tab = &catalog.tables[t];
+        // Predicate on a random column of the table.
+        let col = rng.index(tab.columns.len());
+        let column = &tab.columns[col];
+        let (sel_true, sel_est) = if rng.chance(params.pred_prob) {
+            let (lo, hi) = params.pred_sel_range;
+            let sel_true = (lo.ln() + rng.uniform(0.0, 1.0) * (hi.ln() - lo.ln())).exp();
+            let err = rng.log_normal(profile.pred_err_mu, profile.pred_err_sigma);
+            (sel_true, (sel_true * err).clamp(1e-8, 1.0))
+        } else {
+            // No local predicate: the table passes through unfiltered.
+            (1.0, 1.0)
+        };
+        let corr_true = column.correlation;
+        let corr_est = (corr_true + profile.corr_bias).clamp(0.0, 1.0);
+        tables.push(TableRef {
+            table: t,
+            sel_true,
+            sel_est,
+            pred_indexed: column.indexed,
+            covering: column.indexed && rng.chance(0.5),
+            corr_true,
+            corr_est,
+        });
+    }
+
+    let mut joins = Vec::new();
+    let (fanout_mu, fanout_sigma) = params.fanout;
+    let add_edge = |a: usize, b: usize, rng: &mut SeededRng, joins: &mut Vec<JoinEdge>| {
+        let ta = &catalog.tables[tables[a].table];
+        let tb = &catalog.tables[tables[b].table];
+        // Join on near-key columns: baseline selectivity 1/max(rows), which
+        // makes |A ⋈ B| ≈ min-side cardinality; the fanout factor lets some
+        // joins expand as many-to-many joins do in IMDb.
+        let fanout = rng.log_normal(fanout_mu, fanout_sigma).clamp(0.2, 40.0);
+        let sel_true = (fanout / ta.rows.max(tb.rows)).min(1.0);
+        let err = rng.log_normal(profile.join_err_mu, profile.join_err_sigma);
+        let sel_est = (sel_true * err).clamp(1e-12, 1.0);
+        // Join columns: probability of an index on the join key is high —
+        // joins overwhelmingly run on key columns.
+        joins.push(JoinEdge {
+            a,
+            b,
+            sel_true,
+            sel_est,
+            a_indexed: rng.chance(0.85),
+            b_indexed: rng.chance(0.85),
+        });
+    };
+
+    match params.shape {
+        JoinShape::Chain => {
+            for i in 1..n {
+                add_edge(i - 1, i, rng, &mut joins);
+            }
+        }
+        JoinShape::Star => {
+            for i in 1..n {
+                add_edge(0, i, rng, &mut joins);
+            }
+        }
+        JoinShape::Snowflake => {
+            for i in 1..n {
+                add_edge(i - 1, i, rng, &mut joins);
+            }
+            let extra = (n / 3).min(3);
+            for _ in 0..extra {
+                let a = rng.index(n);
+                let b = rng.index(n);
+                if a != b
+                    && !joins.iter().any(|e| {
+                        (e.a == a && e.b == b) || (e.a == b && e.b == a)
+                    })
+                {
+                    add_edge(a.min(b), a.max(b), rng, &mut joins);
+                }
+            }
+        }
+    }
+
+    Query {
+        id,
+        class: params.class,
+        template: params.template,
+        tables,
+        joins,
+        etl_write_seconds: 0.0,
+        noise_seed: rng.raw().next_u64(),
+    }
+}
+
+use rand::RngCore;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, CatalogSpec};
+
+    fn catalog() -> Catalog {
+        Catalog::generate(
+            &CatalogSpec {
+                name: "t".into(),
+                n_tables: 10,
+                rows_range: (1e3, 1e6),
+                width_range: (50.0, 200.0),
+                index_prob: 0.5,
+                fact_fraction: 0.3,
+            },
+            &mut SeededRng::new(1),
+        )
+    }
+
+    fn gen(class: QueryClass, shape: JoinShape, n: usize, seed: u64) -> (Query, Catalog) {
+        let cat = catalog();
+        let params = QueryGenParams {
+            class,
+            n_tables: n,
+            shape,
+            pred_sel_range: (0.001, 0.5),
+            fanout: QueryGenParams::DEFAULT_FANOUT,
+                pred_prob: QueryGenParams::DEFAULT_PRED_PROB,
+                template: 0,
+        };
+        let q = generate_query(0, &params, &cat, &mut SeededRng::new(seed));
+        (q, cat)
+    }
+
+    #[test]
+    fn chain_has_n_minus_1_edges() {
+        let (q, _) = gen(QueryClass::WellEstimated, JoinShape::Chain, 5, 2);
+        assert_eq!(q.tables.len(), 5);
+        assert_eq!(q.joins.len(), 4);
+    }
+
+    #[test]
+    fn star_edges_touch_center() {
+        let (q, _) = gen(QueryClass::WellEstimated, JoinShape::Star, 6, 3);
+        assert!(q.joins.iter().all(|e| e.a == 0));
+    }
+
+    #[test]
+    fn nestloop_trap_underestimates_joins() {
+        // Averaged over many edges, the estimated join selectivity must sit
+        // well below the truth for the trap class.
+        let mut ratio_sum = 0.0;
+        let mut count = 0;
+        for seed in 0..30 {
+            let (q, _) = gen(QueryClass::NestLoopTrap, JoinShape::Chain, 6, seed);
+            for e in &q.joins {
+                ratio_sum += (e.sel_est / e.sel_true).ln();
+                count += 1;
+            }
+        }
+        let mean_log_ratio = ratio_sum / count as f64;
+        assert!(mean_log_ratio < -0.7, "mean log ratio {mean_log_ratio}");
+    }
+
+    #[test]
+    fn well_estimated_is_nearly_unbiased() {
+        let mut ratio_sum = 0.0;
+        let mut count = 0;
+        for seed in 0..30 {
+            let (q, _) = gen(QueryClass::WellEstimated, JoinShape::Chain, 6, seed);
+            for e in &q.joins {
+                ratio_sum += (e.sel_est / e.sel_true).ln();
+                count += 1;
+            }
+        }
+        let mean = ratio_sum / count as f64;
+        assert!(mean.abs() < 0.12, "mean log ratio {mean}");
+    }
+
+    #[test]
+    fn index_trap_inflates_estimated_correlation() {
+        let (q, _) = gen(QueryClass::IndexTrap, JoinShape::Chain, 5, 7);
+        for t in &q.tables {
+            assert!(t.corr_est >= t.corr_true);
+        }
+    }
+
+    #[test]
+    fn cardinality_monotone_in_subset() {
+        let (q, cat) = gen(QueryClass::WellEstimated, JoinShape::Chain, 4, 9);
+        let single = q.cardinality(0b0001, &cat, World::True);
+        assert!(single >= 1.0);
+        // Full-set cardinality is at least 1 (clamped).
+        let full = q.cardinality(0b1111, &cat, World::True);
+        assert!(full >= 1.0);
+    }
+
+    #[test]
+    fn connected_to_respects_edges() {
+        let (q, _) = gen(QueryClass::WellEstimated, JoinShape::Chain, 4, 10);
+        assert!(q.connected_to(0b0001, 1)); // chain edge 0-1
+        assert!(!q.connected_to(0b0001, 3)); // 3 joins only 2
+    }
+
+    #[test]
+    fn generation_deterministic() {
+        let (q1, _) = gen(QueryClass::NestLoopTrap, JoinShape::Snowflake, 7, 42);
+        let (q2, _) = gen(QueryClass::NestLoopTrap, JoinShape::Snowflake, 7, 42);
+        assert_eq!(q1.tables.len(), q2.tables.len());
+        for (a, b) in q1.joins.iter().zip(q2.joins.iter()) {
+            assert_eq!(a.sel_true, b.sel_true);
+            assert_eq!(a.sel_est, b.sel_est);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! The Adam optimizer (Kingma & Ba 2015), as used by the paper's TCNN
+//! training ("Training is performed with Adam using a batch size of 32").
+
+use limeqo_linalg::Mat;
+
+/// Adam hyperparameters and step counter.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay β₁.
+    pub beta1: f64,
+    /// Second-moment decay β₂.
+    pub beta2: f64,
+    /// Numerical floor ε.
+    pub eps: f64,
+    /// Steps taken (for bias correction).
+    pub t: u64,
+}
+
+impl Adam {
+    /// Standard Adam with the given learning rate.
+    pub fn new(lr: f64) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+    }
+
+    /// Advance the step counter (call once per optimizer step, before
+    /// updating parameter groups).
+    pub fn tick(&mut self) {
+        self.t += 1;
+    }
+
+    /// Update one parameter tensor in place given its gradient and moment
+    /// buffers (same shapes).
+    pub fn update(&self, w: &mut Mat, g: &Mat, m: &mut Mat, v: &mut Mat) {
+        debug_assert_eq!(w.shape(), g.shape());
+        debug_assert_eq!(w.shape(), m.shape());
+        debug_assert_eq!(w.shape(), v.shape());
+        let t = self.t.max(1) as f64;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        let (ws, gs, ms, vs) =
+            (w.as_mut_slice(), g.as_slice(), m.as_mut_slice(), v.as_mut_slice());
+        for i in 0..ws.len() {
+            ms[i] = self.beta1 * ms[i] + (1.0 - self.beta1) * gs[i];
+            vs[i] = self.beta2 * vs[i] + (1.0 - self.beta2) * gs[i] * gs[i];
+            let m_hat = ms[i] / bc1;
+            let v_hat = vs[i] / bc2;
+            ws[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_convex_quadratic() {
+        // f(w) = (w - 3)^2, gradient 2(w - 3).
+        let mut w = Mat::from_rows(&[&[0.0]]);
+        let mut m = Mat::zeros(1, 1);
+        let mut v = Mat::zeros(1, 1);
+        let mut adam = Adam::new(0.1);
+        for _ in 0..500 {
+            adam.tick();
+            let g = Mat::from_rows(&[&[2.0 * (w[(0, 0)] - 3.0)]]);
+            adam.update(&mut w, &g, &mut m, &mut v);
+        }
+        assert!((w[(0, 0)] - 3.0).abs() < 1e-2, "w = {}", w[(0, 0)]);
+    }
+
+    #[test]
+    fn minimizes_2d_rosenbrock_slowly_but_surely() {
+        // Just check monotone-ish improvement on a harder surface.
+        let f = |x: f64, y: f64| (1.0 - x).powi(2) + 100.0 * (y - x * x).powi(2);
+        let mut w = Mat::from_rows(&[&[-1.0, 1.0]]);
+        let mut m = Mat::zeros(1, 2);
+        let mut v = Mat::zeros(1, 2);
+        let mut adam = Adam::new(0.02);
+        let start = f(w[(0, 0)], w[(0, 1)]);
+        for _ in 0..2000 {
+            adam.tick();
+            let (x, y) = (w[(0, 0)], w[(0, 1)]);
+            let gx = -2.0 * (1.0 - x) - 400.0 * x * (y - x * x);
+            let gy = 200.0 * (y - x * x);
+            let g = Mat::from_rows(&[&[gx, gy]]);
+            adam.update(&mut w, &g, &mut m, &mut v);
+        }
+        let end = f(w[(0, 0)], w[(0, 1)]);
+        assert!(end < start * 0.01, "start {start} end {end}");
+    }
+
+    #[test]
+    fn zero_gradient_is_fixed_point() {
+        let mut w = Mat::from_rows(&[&[1.5]]);
+        let mut m = Mat::zeros(1, 1);
+        let mut v = Mat::zeros(1, 1);
+        let mut adam = Adam::new(0.1);
+        adam.tick();
+        adam.update(&mut w, &Mat::zeros(1, 1), &mut m, &mut v);
+        assert_eq!(w[(0, 0)], 1.5);
+    }
+}

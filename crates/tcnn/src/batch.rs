@@ -1,0 +1,211 @@
+//! Flattening plan trees into batched node arrays.
+//!
+//! The tree convolution is a per-node affine map over (node, left child,
+//! right child) triples. Concatenating all nodes of a batch of trees into
+//! one matrix lets each layer run as three dense matrix multiplies plus a
+//! gather — the standard trick Neo/Bao use on GPU, equally effective for
+//! CPU cache behaviour.
+
+use limeqo_linalg::Mat;
+use limeqo_sim::features::PlanFeatures;
+
+/// A batch of trees in flat form.
+#[derive(Debug, Clone)]
+pub struct TreeBatch {
+    /// All node feature rows, trees concatenated (total_nodes × D).
+    pub nodes: Mat,
+    /// Global left-child index per node (-1 = none).
+    pub left: Vec<i32>,
+    /// Global right-child index per node (-1 = none).
+    pub right: Vec<i32>,
+    /// Start offset of each tree; length = batch size + 1.
+    pub offsets: Vec<usize>,
+}
+
+impl TreeBatch {
+    /// Build a batch from tree references.
+    pub fn build(trees: &[&PlanFeatures]) -> TreeBatch {
+        let total: usize = trees.iter().map(|t| t.len()).sum();
+        let dim = trees.first().map(|t| t.nodes.cols()).unwrap_or(0);
+        let mut nodes = Mat::zeros(total, dim);
+        let mut left = Vec::with_capacity(total);
+        let mut right = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(trees.len() + 1);
+        let mut cursor = 0usize;
+        offsets.push(0);
+        for t in trees {
+            let base = cursor as i32;
+            for i in 0..t.len() {
+                nodes.row_mut(cursor).copy_from_slice(t.nodes.row(i));
+                left.push(if t.left[i] < 0 { -1 } else { t.left[i] + base });
+                right.push(if t.right[i] < 0 { -1 } else { t.right[i] + base });
+                cursor += 1;
+            }
+            offsets.push(cursor);
+        }
+        TreeBatch { nodes, left, right, offsets }
+    }
+
+    /// Number of trees in the batch.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// True when the batch contains no trees.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total node count.
+    pub fn total_nodes(&self) -> usize {
+        self.nodes.rows()
+    }
+}
+
+/// Gather rows of `x` by index; -1 gathers a zero row.
+pub fn gather(x: &Mat, idx: &[i32]) -> Mat {
+    let mut out = Mat::zeros(idx.len(), x.cols());
+    for (r, &i) in idx.iter().enumerate() {
+        if i >= 0 {
+            out.row_mut(r).copy_from_slice(x.row(i as usize));
+        }
+    }
+    out
+}
+
+/// Scatter-add rows of `src` into `target` at `idx` (skipping -1).
+pub fn scatter_add(target: &mut Mat, idx: &[i32], src: &Mat) {
+    debug_assert_eq!(idx.len(), src.rows());
+    for (r, &i) in idx.iter().enumerate() {
+        if i >= 0 {
+            let dst = target.row_mut(i as usize);
+            for (d, &s) in dst.iter_mut().zip(src.row(r)) {
+                *d += s;
+            }
+        }
+    }
+}
+
+/// Per-tree, per-channel max pooling. Returns the pooled matrix (B × C)
+/// and the flat argmax node index for each (tree, channel).
+pub fn max_pool(x: &Mat, offsets: &[usize]) -> (Mat, Vec<usize>) {
+    let b = offsets.len() - 1;
+    let c = x.cols();
+    let mut out = Mat::zeros(b, c);
+    let mut argmax = vec![0usize; b * c];
+    for t in 0..b {
+        let (start, end) = (offsets[t], offsets[t + 1]);
+        debug_assert!(end > start, "empty tree in batch");
+        for ch in 0..c {
+            let mut best = f64::NEG_INFINITY;
+            let mut best_node = start;
+            for node in start..end {
+                let v = x[(node, ch)];
+                if v > best {
+                    best = v;
+                    best_node = node;
+                }
+            }
+            out[(t, ch)] = best;
+            argmax[t * c + ch] = best_node;
+        }
+    }
+    (out, argmax)
+}
+
+/// Backward of [`max_pool`]: route each pooled gradient to its argmax node.
+pub fn max_pool_backward(
+    d_out: &Mat,
+    argmax: &[usize],
+    total_nodes: usize,
+) -> Mat {
+    let (b, c) = d_out.shape();
+    let mut dx = Mat::zeros(total_nodes, c);
+    for t in 0..b {
+        for ch in 0..c {
+            dx[(argmax[t * c + ch], ch)] += d_out[(t, ch)];
+        }
+    }
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf_tree(vals: &[f64]) -> PlanFeatures {
+        PlanFeatures {
+            nodes: Mat::from_rows(&[vals]),
+            left: vec![-1],
+            right: vec![-1],
+        }
+    }
+
+    fn three_node_tree() -> PlanFeatures {
+        PlanFeatures {
+            nodes: Mat::from_rows(&[&[1.0, 0.0], &[2.0, 1.0], &[3.0, -1.0]]),
+            left: vec![1, -1, -1],
+            right: vec![2, -1, -1],
+        }
+    }
+
+    #[test]
+    fn batch_offsets_and_global_indices() {
+        let a = leaf_tree(&[5.0, 6.0]);
+        let b = three_node_tree();
+        let batch = TreeBatch::build(&[&a, &b]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.total_nodes(), 4);
+        assert_eq!(batch.offsets, vec![0, 1, 4]);
+        // Tree b's root (global index 1) points at globals 2 and 3.
+        assert_eq!(batch.left[1], 2);
+        assert_eq!(batch.right[1], 3);
+        assert_eq!(batch.left[0], -1);
+    }
+
+    #[test]
+    fn gather_zero_fills_missing() {
+        let x = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let g = gather(&x, &[1, -1, 0]);
+        assert_eq!(g.row(0), &[3.0, 4.0]);
+        assert_eq!(g.row(1), &[0.0, 0.0]);
+        assert_eq!(g.row(2), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn scatter_add_accumulates() {
+        let mut t = Mat::zeros(2, 2);
+        let src = Mat::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[4.0, 0.0]]);
+        scatter_add(&mut t, &[0, -1, 0], &src);
+        assert_eq!(t.row(0), &[5.0, 1.0]);
+        assert_eq!(t.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn max_pool_and_backward_roundtrip() {
+        let x = Mat::from_rows(&[&[1.0, 5.0], &[3.0, 2.0], &[-1.0, 9.0]]);
+        let offsets = vec![0, 2, 3];
+        let (pooled, argmax) = max_pool(&x, &offsets);
+        assert_eq!(pooled.row(0), &[3.0, 5.0]); // tree 0: max of rows 0,1
+        assert_eq!(pooled.row(1), &[-1.0, 9.0]);
+        let d_out = Mat::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let dx = max_pool_backward(&d_out, &argmax, 3);
+        assert_eq!(dx[(1, 0)], 1.0); // argmax of tree0/ch0 is node 1
+        assert_eq!(dx[(0, 1)], 1.0);
+        assert_eq!(dx[(2, 0)], 1.0);
+        assert_eq!(dx[(2, 1)], 1.0);
+        assert_eq!(dx[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn max_pool_gradient_is_subgradient() {
+        // Sum of dx equals sum of d_out per channel.
+        let x = Mat::from_rows(&[&[1.0], &[2.0], &[0.5], &[7.0]]);
+        let offsets = vec![0, 2, 4];
+        let (_, argmax) = max_pool(&x, &offsets);
+        let d_out = Mat::from_rows(&[&[0.3], &[0.7]]);
+        let dx = max_pool_backward(&d_out, &argmax, 4);
+        let total: f64 = dx.as_slice().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

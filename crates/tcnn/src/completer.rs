@@ -1,0 +1,202 @@
+//! Neural completers implementing `limeqo_core::Completer`.
+//!
+//! * [`PlainTcnnCompleter`] — the Bao-style TCNN (no embeddings): plan
+//!   trees in, latency out. Used by the Bao-Cache baseline and the pure
+//!   TCNN ablation of Fig. 12.
+//! * [`TransductiveTcnnCompleter`] — LimeQO+'s model (Fig. 4): tree
+//!   convolution features concatenated with r-dimensional query/hint
+//!   embeddings. "The learned embeddings … are isomorphic to the linear
+//!   decomposition matrices Q and H."
+//!
+//! Both retrain on each `complete()` call, warm-starting from the previous
+//! step's weights, then run inference over all not-yet-completed cells —
+//! which is what the harness meters as the neural methods' overhead.
+
+use crate::config::TcnnConfig;
+use crate::features::WorkloadFeatures;
+use crate::net::TcnnNet;
+use crate::trainer::TcnnTrainer;
+use limeqo_core::complete::Completer;
+use limeqo_core::matrix::WorkloadMatrix;
+use limeqo_linalg::Mat;
+use limeqo_sim::features::NODE_FEATURE_DIM;
+use limeqo_sim::workloads::Workload;
+use std::sync::Arc;
+
+/// Bao-style plain TCNN completer.
+pub struct PlainTcnnCompleter {
+    features: Arc<WorkloadFeatures>,
+    trainer: TcnnTrainer,
+}
+
+impl PlainTcnnCompleter {
+    /// Featurize the workload and initialize the model. Prefer
+    /// [`PlainTcnnCompleter::with_features`] when several completers share
+    /// a workload (featurization is the expensive part).
+    pub fn new(workload: &Workload, cfg: TcnnConfig, seed: u64) -> Self {
+        Self::with_features(WorkloadFeatures::build(workload), cfg, seed)
+    }
+
+    /// Initialize from pre-built features.
+    pub fn with_features(features: Arc<WorkloadFeatures>, cfg: TcnnConfig, seed: u64) -> Self {
+        let net = TcnnNet::new(NODE_FEATURE_DIM, 0, features.n, features.k, cfg, seed);
+        PlainTcnnCompleter { features, trainer: TcnnTrainer::new(net, seed ^ 0x9A1) }
+    }
+
+    /// Epoch losses of the most recent training round.
+    pub fn last_loss_curve(&self) -> &[f64] {
+        &self.trainer.last_loss_curve
+    }
+}
+
+impl Completer for PlainTcnnCompleter {
+    fn name(&self) -> &'static str {
+        "tcnn"
+    }
+
+    fn complete(&mut self, wm: &WorkloadMatrix) -> Mat {
+        self.trainer.fit(&self.features, wm);
+        self.trainer.predict_all(&self.features, wm)
+    }
+}
+
+/// LimeQO+'s transductive TCNN completer.
+pub struct TransductiveTcnnCompleter {
+    features: Arc<WorkloadFeatures>,
+    trainer: TcnnTrainer,
+}
+
+impl TransductiveTcnnCompleter {
+    /// Featurize the workload and initialize the model with embedding rank
+    /// `rank` (paper: r = 5).
+    pub fn new(workload: &Workload, rank: usize, cfg: TcnnConfig, seed: u64) -> Self {
+        Self::with_features(WorkloadFeatures::build(workload), rank, cfg, seed)
+    }
+
+    /// Initialize from pre-built features.
+    pub fn with_features(
+        features: Arc<WorkloadFeatures>,
+        rank: usize,
+        cfg: TcnnConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(rank > 0, "transductive TCNN requires rank >= 1");
+        let net = TcnnNet::new(NODE_FEATURE_DIM, rank, features.n, features.k, cfg, seed);
+        TransductiveTcnnCompleter { features, trainer: TcnnTrainer::new(net, seed ^ 0x9A2) }
+    }
+
+    /// Epoch losses of the most recent training round.
+    pub fn last_loss_curve(&self) -> &[f64] {
+        &self.trainer.last_loss_curve
+    }
+}
+
+impl Completer for TransductiveTcnnCompleter {
+    fn name(&self) -> &'static str {
+        "transductive-tcnn"
+    }
+
+    fn complete(&mut self, wm: &WorkloadMatrix) -> Mat {
+        self.trainer.fit(&self.features, wm);
+        self.trainer.predict_all(&self.features, wm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limeqo_core::matrix::Cell;
+    use limeqo_linalg::rng::SeededRng;
+    use limeqo_sim::workloads::WorkloadSpec;
+
+    fn setup(n: usize, seed: u64) -> (Workload, Mat) {
+        let mut w = WorkloadSpec::tiny(n, seed).build();
+        let o = w.build_oracle();
+        (w, o.true_latency)
+    }
+
+    fn observed(truth: &Mat, frac: f64, seed: u64) -> WorkloadMatrix {
+        let mut rng = SeededRng::new(seed);
+        let (n, k) = truth.shape();
+        let mut wm = WorkloadMatrix::new(n, k);
+        for i in 0..n {
+            wm.set_complete(i, 0, truth[(i, 0)]);
+            for j in 1..k {
+                if rng.chance(frac) {
+                    wm.set_complete(i, j, truth[(i, j)]);
+                }
+            }
+        }
+        wm
+    }
+
+    #[test]
+    fn plain_completer_contract() {
+        let (w, truth) = setup(6, 90);
+        let wm = observed(&truth, 0.25, 1);
+        let mut c = PlainTcnnCompleter::new(&w, TcnnConfig::test_scale(), 2);
+        let pred = c.complete(&wm);
+        assert_eq!(pred.shape(), truth.shape());
+        for i in 0..wm.n_rows() {
+            for j in 0..wm.n_cols() {
+                if let Cell::Complete(v) = wm.cell(i, j) {
+                    assert_eq!(pred[(i, j)], v);
+                } else {
+                    assert!(pred[(i, j)] > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transductive_learns_better_than_untrained_guess() {
+        let (w, truth) = setup(8, 91);
+        let wm = observed(&truth, 0.35, 2);
+        let features = WorkloadFeatures::build(&w);
+        let mut c =
+            TransductiveTcnnCompleter::with_features(features, 3, TcnnConfig::test_scale(), 3);
+        let pred = c.complete(&wm);
+        // Held-out relative error in log space should beat a constant
+        // predictor (the mean observed latency).
+        let mut observed_lats = Vec::new();
+        for i in 0..wm.n_rows() {
+            for j in 0..wm.n_cols() {
+                if let Cell::Complete(v) = wm.cell(i, j) {
+                    observed_lats.push(v);
+                }
+            }
+        }
+        let mean = observed_lats.iter().sum::<f64>() / observed_lats.len() as f64;
+        let (mut model_err, mut const_err, mut count) = (0.0, 0.0, 0);
+        for (i, j) in wm.unobserved_cells() {
+            let t = (1.0 + truth[(i, j)]).ln();
+            let m = (1.0 + pred[(i, j)]).ln();
+            let c0 = (1.0 + mean).ln();
+            model_err += (t - m) * (t - m);
+            const_err += (t - c0) * (t - c0);
+            count += 1;
+        }
+        assert!(count > 0);
+        assert!(
+            model_err < const_err,
+            "model {model_err} vs constant {const_err} over {count} cells"
+        );
+    }
+
+    #[test]
+    fn warm_start_across_calls() {
+        let (w, truth) = setup(6, 92);
+        let features = WorkloadFeatures::build(&w);
+        let mut c =
+            TransductiveTcnnCompleter::with_features(features, 2, TcnnConfig::test_scale(), 4);
+        let wm1 = observed(&truth, 0.2, 5);
+        let _ = c.complete(&wm1);
+        let first_loss = c.last_loss_curve().first().copied().unwrap();
+        let wm2 = observed(&truth, 0.2, 5);
+        let _ = c.complete(&wm2);
+        let warm_first_loss = c.last_loss_curve().first().copied().unwrap();
+        // Warm-started training should start from a better loss than the
+        // first cold epoch.
+        assert!(warm_first_loss < first_loss, "{warm_first_loss} vs {first_loss}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Training losses: MSE for completed cells, the censored loss of Eq. 8
+//! for timed-out cells.
+//!
+//! Eq. 8: `L(ŷ, y, τ) = (1/n) Σ 1{ŷᵢ < τᵢ} · (ŷᵢ − yᵢ)²` — a censored
+//! sample (where only the lower bound τ = the recorded timeout is known,
+//! so y = τ) penalizes the model only when it predicts *below* the bound;
+//! any prediction at or above the bound is consistent with the evidence
+//! and contributes zero loss.
+
+/// One training target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Target {
+    /// Completed execution: exact (transformed) latency.
+    Exact(f64),
+    /// Censored execution: (transformed) lower bound τ.
+    Censored(f64),
+}
+
+/// Per-sample loss value and gradient w.r.t. the prediction.
+pub fn loss_and_grad(pred: f64, target: Target) -> (f64, f64) {
+    match target {
+        Target::Exact(y) => {
+            let d = pred - y;
+            (d * d, 2.0 * d)
+        }
+        Target::Censored(tau) => {
+            if pred < tau {
+                let d = pred - tau;
+                (d * d, 2.0 * d)
+            } else {
+                (0.0, 0.0)
+            }
+        }
+    }
+}
+
+/// Mean loss over a batch (diagnostics).
+pub fn batch_loss(preds: &[f64], targets: &[Target]) -> f64 {
+    assert_eq!(preds.len(), targets.len());
+    if preds.is_empty() {
+        return 0.0;
+    }
+    preds
+        .iter()
+        .zip(targets)
+        .map(|(&p, &t)| loss_and_grad(p, t).0)
+        .sum::<f64>()
+        / preds.len() as f64
+}
+
+/// Latency normalization for training: `y = (ln(1 + lat) − μ) / σ`.
+/// Monotone, so censoring semantics survive the transform.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyTransform {
+    /// Mean of `ln(1 + lat)` over the fitting sample.
+    pub mu: f64,
+    /// Std of the same (floored away from zero).
+    pub sigma: f64,
+}
+
+impl LatencyTransform {
+    /// Fit from raw latencies.
+    pub fn fit(latencies: &[f64]) -> LatencyTransform {
+        let logs: Vec<f64> = latencies.iter().map(|&l| (1.0 + l.max(0.0)).ln()).collect();
+        let n = logs.len().max(1) as f64;
+        let mu = logs.iter().sum::<f64>() / n;
+        let var = logs.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / n;
+        LatencyTransform { mu, sigma: var.sqrt().max(1e-3) }
+    }
+
+    /// Latency → model space.
+    pub fn forward(&self, latency: f64) -> f64 {
+        ((1.0 + latency.max(0.0)).ln() - self.mu) / self.sigma
+    }
+
+    /// Model space → latency.
+    pub fn inverse(&self, y: f64) -> f64 {
+        ((y * self.sigma + self.mu).exp() - 1.0).max(1e-6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_loss_is_squared_error() {
+        let (l, g) = loss_and_grad(3.0, Target::Exact(1.0));
+        assert_eq!(l, 4.0);
+        assert_eq!(g, 4.0);
+    }
+
+    #[test]
+    fn censored_loss_one_sided() {
+        // Below the bound: penalized.
+        let (l, g) = loss_and_grad(1.0, Target::Censored(2.0));
+        assert_eq!(l, 1.0);
+        assert_eq!(g, -2.0);
+        // At/above the bound: free.
+        assert_eq!(loss_and_grad(2.0, Target::Censored(2.0)), (0.0, 0.0));
+        assert_eq!(loss_and_grad(5.0, Target::Censored(2.0)), (0.0, 0.0));
+    }
+
+    #[test]
+    fn batch_loss_averages() {
+        let l = batch_loss(
+            &[1.0, 5.0],
+            &[Target::Exact(0.0), Target::Censored(2.0)],
+        );
+        assert_eq!(l, 0.5); // (1 + 0) / 2
+    }
+
+    #[test]
+    fn transform_round_trips() {
+        let t = LatencyTransform::fit(&[0.1, 1.0, 10.0, 100.0]);
+        for &lat in &[0.05, 0.5, 5.0, 50.0] {
+            let y = t.forward(lat);
+            let back = t.inverse(y);
+            assert!((back - lat).abs() / lat < 1e-9, "{lat} -> {y} -> {back}");
+        }
+    }
+
+    #[test]
+    fn transform_monotone() {
+        let t = LatencyTransform::fit(&[1.0, 2.0, 3.0]);
+        assert!(t.forward(1.0) < t.forward(2.0));
+        assert!(t.inverse(-1.0) < t.inverse(1.0));
+    }
+}

@@ -1,0 +1,604 @@
+//! The (transductive) tree convolutional network — paper Fig. 4.
+//!
+//! Architecture: three tree-convolution layers with ReLU and dropout
+//! between them, dynamic max pooling over nodes, then — for the
+//! transductive variant — concatenation with learned query and hint
+//! embedding vectors of size r (the neural analogue of ALS's `Q` and `H`
+//! factors: one embedding per matrix row and per matrix column, giving the
+//! weight sharing the paper describes), followed by a two-layer fully
+//! connected head producing one latency prediction per plan.
+//!
+//! Everything is explicit forward/backward; the gradient-vs-finite-
+//! difference test at the bottom pins the implementation down.
+
+use crate::batch::{gather, max_pool, max_pool_backward, scatter_add, TreeBatch};
+use crate::config::TcnnConfig;
+use limeqo_linalg::rng::SeededRng;
+use limeqo_linalg::Mat;
+
+/// All learnable tensors (used for weights, gradients, and Adam moments —
+/// the three always share shapes).
+#[derive(Debug, Clone)]
+pub struct Tensors {
+    /// Conv-1 self/left/right weights (C1 × D) and bias (1 × C1).
+    pub w1s: Mat,
+    /// Conv-1 left-child weights.
+    pub w1l: Mat,
+    /// Conv-1 right-child weights.
+    pub w1r: Mat,
+    /// Conv-1 bias.
+    pub b1: Mat,
+    /// Conv-2 self weights (C2 × C1).
+    pub w2s: Mat,
+    /// Conv-2 left-child weights.
+    pub w2l: Mat,
+    /// Conv-2 right-child weights.
+    pub w2r: Mat,
+    /// Conv-2 bias.
+    pub b2: Mat,
+    /// Conv-3 self weights (C3 × C2).
+    pub w3s: Mat,
+    /// Conv-3 left-child weights.
+    pub w3l: Mat,
+    /// Conv-3 right-child weights.
+    pub w3r: Mat,
+    /// Conv-3 bias.
+    pub b3: Mat,
+    /// Head layer 1 weights (H × (C3 + 2r)).
+    pub wf1: Mat,
+    /// Head layer 1 bias (1 × H).
+    pub bf1: Mat,
+    /// Head layer 2 weights (1 × H).
+    pub wf2: Mat,
+    /// Head layer 2 bias (1 × 1).
+    pub bf2: Mat,
+    /// Query embeddings (n × r); 0×0 for the plain TCNN.
+    pub qe: Mat,
+    /// Hint embeddings (k × r); 0×0 for the plain TCNN.
+    pub he: Mat,
+}
+
+impl Tensors {
+    /// Same-shaped zero tensors (gradient / moment buffers).
+    pub fn zeros_like(&self) -> Tensors {
+        let z = |m: &Mat| Mat::zeros(m.rows(), m.cols());
+        Tensors {
+            w1s: z(&self.w1s),
+            w1l: z(&self.w1l),
+            w1r: z(&self.w1r),
+            b1: z(&self.b1),
+            w2s: z(&self.w2s),
+            w2l: z(&self.w2l),
+            w2r: z(&self.w2r),
+            b2: z(&self.b2),
+            w3s: z(&self.w3s),
+            w3l: z(&self.w3l),
+            w3r: z(&self.w3r),
+            b3: z(&self.b3),
+            wf1: z(&self.wf1),
+            bf1: z(&self.bf1),
+            wf2: z(&self.wf2),
+            bf2: z(&self.bf2),
+            qe: z(&self.qe),
+            he: z(&self.he),
+        }
+    }
+
+    /// Borrow all tensors in canonical order.
+    pub fn fields(&self) -> [&Mat; 18] {
+        [
+            &self.w1s, &self.w1l, &self.w1r, &self.b1, &self.w2s, &self.w2l, &self.w2r,
+            &self.b2, &self.w3s, &self.w3l, &self.w3r, &self.b3, &self.wf1, &self.bf1,
+            &self.wf2, &self.bf2, &self.qe, &self.he,
+        ]
+    }
+
+    /// Mutably borrow all tensors in canonical order.
+    pub fn fields_mut(&mut self) -> [&mut Mat; 18] {
+        [
+            &mut self.w1s,
+            &mut self.w1l,
+            &mut self.w1r,
+            &mut self.b1,
+            &mut self.w2s,
+            &mut self.w2l,
+            &mut self.w2r,
+            &mut self.b2,
+            &mut self.w3s,
+            &mut self.w3l,
+            &mut self.w3r,
+            &mut self.b3,
+            &mut self.wf1,
+            &mut self.bf1,
+            &mut self.wf2,
+            &mut self.bf2,
+            &mut self.qe,
+            &mut self.he,
+        ]
+    }
+
+    /// Accumulate `other` into `self` (gradient reduction across shards).
+    pub fn add_assign(&mut self, other: &Tensors) {
+        for (a, b) in self.fields_mut().into_iter().zip(other.fields().into_iter()) {
+            a.axpy(1.0, b).expect("tensor shapes match");
+        }
+    }
+
+    /// Scale all tensors (e.g. 1/batch for mean-loss gradients).
+    pub fn scale_assign(&mut self, s: f64) {
+        for a in self.fields_mut() {
+            a.map_inplace(|v| v * s);
+        }
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.fields().iter().map(|m| m.len()).sum()
+    }
+}
+
+/// Intermediate activations needed by backward.
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    pre1: Mat,
+    mask1: Option<Mat>,
+    in2: Mat,
+    pre2: Mat,
+    mask2: Option<Mat>,
+    in3: Mat,
+    pre3: Mat,
+    argmax: Vec<usize>,
+    concat_in: Mat,
+    pre_f1: Mat,
+    a_f1: Mat,
+}
+
+/// The network.
+#[derive(Debug, Clone)]
+pub struct TcnnNet {
+    /// Learnable weights.
+    pub weights: Tensors,
+    /// Embedding rank r (0 = plain TCNN).
+    pub rank: usize,
+    /// Node feature dimension.
+    pub input_dim: usize,
+    cfg: TcnnConfig,
+}
+
+fn kaiming(rows: usize, cols: usize, fan_in: usize, rng: &mut SeededRng) -> Mat {
+    let bound = (6.0 / fan_in.max(1) as f64).sqrt();
+    rng.uniform_mat(rows, cols, -bound, bound)
+}
+
+fn relu(x: &Mat) -> Mat {
+    x.map(|v| if v > 0.0 { v } else { 0.0 })
+}
+
+fn relu_backward(pre: &Mat, d_out: &Mat) -> Mat {
+    debug_assert_eq!(pre.shape(), d_out.shape());
+    let mut dx = d_out.clone();
+    for (d, &p) in dx.as_mut_slice().iter_mut().zip(pre.as_slice()) {
+        if p <= 0.0 {
+            *d = 0.0;
+        }
+    }
+    dx
+}
+
+fn add_bias(x: &mut Mat, b: &Mat) {
+    debug_assert_eq!(b.rows(), 1);
+    debug_assert_eq!(b.cols(), x.cols());
+    for r in 0..x.rows() {
+        for (v, &bias) in x.row_mut(r).iter_mut().zip(b.row(0)) {
+            *v += bias;
+        }
+    }
+}
+
+fn col_sum(x: &Mat) -> Mat {
+    let mut out = Mat::zeros(1, x.cols());
+    for r in 0..x.rows() {
+        for (o, &v) in out.row_mut(0).iter_mut().zip(x.row(r)) {
+            *o += v;
+        }
+    }
+    out
+}
+
+impl TcnnNet {
+    /// Initialize a network. `rank = 0` builds the plain TCNN; `rank > 0`
+    /// the transductive variant with `n_queries × rank` and
+    /// `n_hints × rank` embedding tables.
+    pub fn new(
+        input_dim: usize,
+        rank: usize,
+        n_queries: usize,
+        n_hints: usize,
+        cfg: TcnnConfig,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SeededRng::new(seed ^ 0x7C11);
+        let (c1, c2, c3) = cfg.channels;
+        let h = cfg.hidden;
+        let head_in = c3 + 2 * rank;
+        let weights = Tensors {
+            w1s: kaiming(c1, input_dim, input_dim * 3, &mut rng),
+            w1l: kaiming(c1, input_dim, input_dim * 3, &mut rng),
+            w1r: kaiming(c1, input_dim, input_dim * 3, &mut rng),
+            b1: Mat::zeros(1, c1),
+            w2s: kaiming(c2, c1, c1 * 3, &mut rng),
+            w2l: kaiming(c2, c1, c1 * 3, &mut rng),
+            w2r: kaiming(c2, c1, c1 * 3, &mut rng),
+            b2: Mat::zeros(1, c2),
+            w3s: kaiming(c3, c2, c2 * 3, &mut rng),
+            w3l: kaiming(c3, c2, c2 * 3, &mut rng),
+            w3r: kaiming(c3, c2, c2 * 3, &mut rng),
+            b3: Mat::zeros(1, c3),
+            wf1: kaiming(h, head_in, head_in, &mut rng),
+            bf1: Mat::zeros(1, h),
+            wf2: kaiming(1, h, h, &mut rng),
+            bf2: Mat::zeros(1, 1),
+            qe: if rank > 0 { rng.uniform_mat(n_queries, rank, 0.0, 0.5) } else { Mat::zeros(0, 0) },
+            he: if rank > 0 { rng.uniform_mat(n_hints, rank, 0.0, 0.5) } else { Mat::zeros(0, 0) },
+        };
+        TcnnNet { weights, rank, input_dim, cfg }
+    }
+
+    /// Configuration in force.
+    pub fn cfg(&self) -> &TcnnConfig {
+        &self.cfg
+    }
+
+    fn conv_forward(x: &Mat, left: &[i32], right: &[i32], ws: &Mat, wl: &Mat, wr: &Mat, b: &Mat) -> Mat {
+        let mut out = x.matmul_t(ws).expect("conv self");
+        let xl = gather(x, left);
+        let xr = gather(x, right);
+        out.axpy(1.0, &xl.matmul_t(wl).expect("conv left")).expect("shape");
+        out.axpy(1.0, &xr.matmul_t(wr).expect("conv right")).expect("shape");
+        add_bias(&mut out, b);
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn conv_backward(
+        x: &Mat,
+        left: &[i32],
+        right: &[i32],
+        d_out: &Mat,
+        ws: &Mat,
+        wl: &Mat,
+        wr: &Mat,
+        g_ws: &mut Mat,
+        g_wl: &mut Mat,
+        g_wr: &mut Mat,
+        g_b: &mut Mat,
+    ) -> Mat {
+        let xl = gather(x, left);
+        let xr = gather(x, right);
+        g_ws.axpy(1.0, &d_out.t_matmul(x).expect("gWs")).expect("shape");
+        g_wl.axpy(1.0, &d_out.t_matmul(&xl).expect("gWl")).expect("shape");
+        g_wr.axpy(1.0, &d_out.t_matmul(&xr).expect("gWr")).expect("shape");
+        g_b.axpy(1.0, &col_sum(d_out)).expect("shape");
+        let mut dx = d_out.matmul(ws).expect("dx self");
+        let dxl = d_out.matmul(wl).expect("dx left");
+        scatter_add(&mut dx, left, &dxl);
+        let dxr = d_out.matmul(wr).expect("dx right");
+        scatter_add(&mut dx, right, &dxr);
+        dx
+    }
+
+    fn dropout_mask(&self, rows: usize, cols: usize, rng: &mut SeededRng) -> Mat {
+        let p = self.cfg.dropout;
+        let keep = 1.0 - p;
+        Mat::from_fn(rows, cols, |_, _| if rng.chance(p) { 0.0 } else { 1.0 / keep })
+    }
+
+    /// Forward pass over a batch. `qidx`/`hidx` give each tree's matrix
+    /// coordinates (ignored by the plain TCNN). Passing a dropout RNG
+    /// enables training mode.
+    pub fn forward(
+        &self,
+        batch: &TreeBatch,
+        qidx: &[usize],
+        hidx: &[usize],
+        mut dropout_rng: Option<&mut SeededRng>,
+    ) -> (Vec<f64>, ForwardCache) {
+        let w = &self.weights;
+        let b = batch.len();
+        debug_assert!(self.rank == 0 || (qidx.len() == b && hidx.len() == b));
+
+        let pre1 =
+            Self::conv_forward(&batch.nodes, &batch.left, &batch.right, &w.w1s, &w.w1l, &w.w1r, &w.b1);
+        let a1 = relu(&pre1);
+        let (mask1, in2) = match dropout_rng.as_deref_mut() {
+            Some(rng) if self.cfg.dropout > 0.0 => {
+                let m = self.dropout_mask(a1.rows(), a1.cols(), rng);
+                let dropped = a1.hadamard(&m).expect("shape");
+                (Some(m), dropped)
+            }
+            _ => (None, a1),
+        };
+        let pre2 = Self::conv_forward(&in2, &batch.left, &batch.right, &w.w2s, &w.w2l, &w.w2r, &w.b2);
+        let a2 = relu(&pre2);
+        let (mask2, in3) = match dropout_rng.as_deref_mut() {
+            Some(rng) if self.cfg.dropout > 0.0 => {
+                let m = self.dropout_mask(a2.rows(), a2.cols(), rng);
+                let dropped = a2.hadamard(&m).expect("shape");
+                (Some(m), dropped)
+            }
+            _ => (None, a2),
+        };
+        let pre3 = Self::conv_forward(&in3, &batch.left, &batch.right, &w.w3s, &w.w3l, &w.w3r, &w.b3);
+        let a3 = relu(&pre3);
+        let (pooled, argmax) = max_pool(&a3, &batch.offsets);
+
+        // Concatenate embeddings for the transductive variant.
+        let head_in = self.cfg.channels.2 + 2 * self.rank;
+        let mut concat_in = Mat::zeros(b, head_in);
+        for t in 0..b {
+            concat_in.row_mut(t)[..self.cfg.channels.2].copy_from_slice(pooled.row(t));
+            if self.rank > 0 {
+                let c3 = self.cfg.channels.2;
+                concat_in.row_mut(t)[c3..c3 + self.rank].copy_from_slice(w.qe.row(qidx[t]));
+                concat_in.row_mut(t)[c3 + self.rank..].copy_from_slice(w.he.row(hidx[t]));
+            }
+        }
+        let mut pre_f1 = concat_in.matmul_t(&w.wf1).expect("fc1");
+        add_bias(&mut pre_f1, &w.bf1);
+        let a_f1 = relu(&pre_f1);
+        let mut out = a_f1.matmul_t(&w.wf2).expect("fc2");
+        add_bias(&mut out, &w.bf2);
+        let preds: Vec<f64> = (0..b).map(|t| out[(t, 0)]).collect();
+
+        (
+            preds,
+            ForwardCache {
+                pre1,
+                mask1,
+                in2,
+                pre2,
+                mask2,
+                in3,
+                pre3,
+                argmax,
+                concat_in,
+                pre_f1,
+                a_f1,
+            },
+        )
+    }
+
+    /// Backward pass: accumulate gradients of the per-sample prediction
+    /// gradients `d_preds` into `grads`.
+    pub fn backward(
+        &self,
+        batch: &TreeBatch,
+        qidx: &[usize],
+        hidx: &[usize],
+        cache: &ForwardCache,
+        d_preds: &[f64],
+        grads: &mut Tensors,
+    ) {
+        let w = &self.weights;
+        let b = batch.len();
+        let d_out = Mat::from_fn(b, 1, |t, _| d_preds[t]);
+
+        // fc2
+        grads.wf2.axpy(1.0, &d_out.t_matmul(&cache.a_f1).expect("gWf2")).expect("shape");
+        grads.bf2.axpy(1.0, &col_sum(&d_out)).expect("shape");
+        let d_a_f1 = d_out.matmul(&w.wf2).expect("dAf1");
+        let d_pre_f1 = relu_backward(&cache.pre_f1, &d_a_f1);
+        // fc1
+        grads.wf1.axpy(1.0, &d_pre_f1.t_matmul(&cache.concat_in).expect("gWf1")).expect("shape");
+        grads.bf1.axpy(1.0, &col_sum(&d_pre_f1)).expect("shape");
+        let d_concat = d_pre_f1.matmul(&w.wf1).expect("dConcat");
+
+        // Split into pooled gradient and embedding gradients.
+        let c3 = self.cfg.channels.2;
+        let mut d_pool = Mat::zeros(b, c3);
+        for t in 0..b {
+            d_pool.row_mut(t).copy_from_slice(&d_concat.row(t)[..c3]);
+            if self.rank > 0 {
+                let qrow = qidx[t];
+                let hrow = hidx[t];
+                for j in 0..self.rank {
+                    grads.qe[(qrow, j)] += d_concat[(t, c3 + j)];
+                    grads.he[(hrow, j)] += d_concat[(t, c3 + self.rank + j)];
+                }
+            }
+        }
+
+        let d_a3 = max_pool_backward(&d_pool, &cache.argmax, batch.total_nodes());
+        let d_pre3 = relu_backward(&cache.pre3, &d_a3);
+        let d_in3 = Self::conv_backward(
+            &cache.in3,
+            &batch.left,
+            &batch.right,
+            &d_pre3,
+            &w.w3s,
+            &w.w3l,
+            &w.w3r,
+            &mut grads.w3s,
+            &mut grads.w3l,
+            &mut grads.w3r,
+            &mut grads.b3,
+        );
+        let d_a2 = match &cache.mask2 {
+            Some(m) => d_in3.hadamard(m).expect("shape"),
+            None => d_in3,
+        };
+        let d_pre2 = relu_backward(&cache.pre2, &d_a2);
+        let d_in2 = Self::conv_backward(
+            &cache.in2,
+            &batch.left,
+            &batch.right,
+            &d_pre2,
+            &w.w2s,
+            &w.w2l,
+            &w.w2r,
+            &mut grads.w2s,
+            &mut grads.w2l,
+            &mut grads.w2r,
+            &mut grads.b2,
+        );
+        let d_a1 = match &cache.mask1 {
+            Some(m) => d_in2.hadamard(m).expect("shape"),
+            None => d_in2,
+        };
+        let d_pre1 = relu_backward(&cache.pre1, &d_a1);
+        let _ = Self::conv_backward(
+            &batch.nodes,
+            &batch.left,
+            &batch.right,
+            &d_pre1,
+            &w.w1s,
+            &w.w1l,
+            &w.w1r,
+            &mut grads.w1s,
+            &mut grads.w1l,
+            &mut grads.w1r,
+            &mut grads.b1,
+        );
+    }
+
+    /// Grow the query-embedding table to `n_queries` rows (workload shift).
+    pub fn grow_queries(&mut self, n_queries: usize, rng: &mut SeededRng) {
+        if self.rank == 0 || n_queries <= self.weights.qe.rows() {
+            return;
+        }
+        let extra = rng.uniform_mat(n_queries - self.weights.qe.rows(), self.rank, 0.0, 0.5);
+        self.weights.qe = self.weights.qe.vstack(&extra).expect("embedding grow");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limeqo_sim::features::PlanFeatures;
+
+    fn toy_tree(seed: u64, nodes: usize) -> PlanFeatures {
+        let mut rng = SeededRng::new(seed);
+        let dim = 4;
+        let feats = rng.uniform_mat(nodes, dim, -1.0, 1.0);
+        // A left-deep chain: node i has children i+1 (left) only for joins.
+        let mut left = vec![-1i32; nodes];
+        let mut right = vec![-1i32; nodes];
+        for i in 0..nodes.saturating_sub(2) {
+            left[i] = (i + 1) as i32;
+            right[i] = (nodes - 1) as i32;
+        }
+        PlanFeatures { nodes: feats, left, right }
+    }
+
+    fn toy_net(rank: usize, seed: u64) -> TcnnNet {
+        let cfg = TcnnConfig { channels: (6, 5, 4), hidden: 5, dropout: 0.0, ..TcnnConfig::test_scale() };
+        TcnnNet::new(4, rank, 3, 4, cfg, seed)
+    }
+
+    #[test]
+    fn forward_shapes_and_determinism() {
+        let net = toy_net(2, 1);
+        let t1 = toy_tree(10, 5);
+        let t2 = toy_tree(11, 3);
+        let batch = TreeBatch::build(&[&t1, &t2]);
+        let (p1, _) = net.forward(&batch, &[0, 1], &[2, 3], None);
+        let (p2, _) = net.forward(&batch, &[0, 1], &[2, 3], None);
+        assert_eq!(p1.len(), 2);
+        assert_eq!(p1, p2);
+        assert!(p1.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn plain_net_has_no_embeddings() {
+        let net = toy_net(0, 2);
+        assert_eq!(net.weights.qe.shape(), (0, 0));
+        let t = toy_tree(12, 4);
+        let batch = TreeBatch::build(&[&t]);
+        let (p, _) = net.forward(&batch, &[], &[], None);
+        assert_eq!(p.len(), 1);
+    }
+
+    /// Finite-difference gradient check over every weight tensor — the
+    /// definitive correctness test for the manual backprop.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut net = toy_net(2, 3);
+        let t1 = toy_tree(13, 5);
+        let t2 = toy_tree(14, 4);
+        let batch = TreeBatch::build(&[&t1, &t2]);
+        let qidx = [1usize, 2];
+        let hidx = [0usize, 3];
+        // Loss = 0.5 * sum(pred^2) so dL/dpred = pred.
+        let loss = |net: &TcnnNet| {
+            let (p, _) = net.forward(&batch, &qidx, &hidx, None);
+            0.5 * p.iter().map(|v| v * v).sum::<f64>()
+        };
+        let (preds, cache) = net.forward(&batch, &qidx, &hidx, None);
+        let mut grads = net.weights.zeros_like();
+        net.backward(&batch, &qidx, &hidx, &cache, &preds, &mut grads);
+
+        let eps = 1e-6;
+        // Probe several entries of every tensor.
+        for field in 0..18 {
+            let (rows, cols) = grads.fields()[field].shape();
+            if rows == 0 {
+                continue;
+            }
+            let probes = [(0, 0), (rows - 1, cols - 1), (rows / 2, cols / 2)];
+            for &(r, c) in &probes {
+                let analytic = grads.fields()[field][(r, c)];
+                let original = net.weights.fields()[field][(r, c)];
+                net.weights.fields_mut()[field][(r, c)] = original + eps;
+                let up = loss(&net);
+                net.weights.fields_mut()[field][(r, c)] = original - eps;
+                let down = loss(&net);
+                net.weights.fields_mut()[field][(r, c)] = original;
+                let numeric = (up - down) / (2.0 * eps);
+                assert!(
+                    (analytic - numeric).abs() < 1e-4 * (1.0 + numeric.abs()),
+                    "field {field} ({r},{c}): analytic {analytic} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dropout_zeroes_and_scales() {
+        let cfg = TcnnConfig { channels: (6, 5, 4), hidden: 5, dropout: 0.5, ..TcnnConfig::test_scale() };
+        let net = TcnnNet::new(4, 0, 1, 1, cfg, 4);
+        let mut rng = SeededRng::new(5);
+        let m = net.dropout_mask(50, 20, &mut rng);
+        let zeros = m.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let scaled = m.as_slice().iter().filter(|&&v| (v - 2.0).abs() < 1e-12).count();
+        assert_eq!(zeros + scaled, 1000);
+        assert!(zeros > 350 && zeros < 650, "zeros {zeros}");
+    }
+
+    #[test]
+    fn grow_queries_extends_table() {
+        let mut net = toy_net(2, 6);
+        let mut rng = SeededRng::new(7);
+        net.grow_queries(10, &mut rng);
+        assert_eq!(net.weights.qe.shape(), (10, 2));
+        // No-op when already large enough.
+        net.grow_queries(5, &mut rng);
+        assert_eq!(net.weights.qe.rows(), 10);
+    }
+
+    #[test]
+    fn tensors_add_and_scale() {
+        let net = toy_net(1, 8);
+        let mut a = net.weights.zeros_like();
+        let mut b = net.weights.zeros_like();
+        b.b1[(0, 0)] = 2.0;
+        a.add_assign(&b);
+        a.scale_assign(0.5);
+        assert_eq!(a.b1[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn param_count_positive() {
+        let net = toy_net(2, 9);
+        assert!(net.weights.param_count() > 100);
+    }
+}

@@ -1,0 +1,60 @@
+//! Data drift recovery: the database grows and value distributions shift
+//! (paper §5.4) — how stale do cached hint selections get, and how fast
+//! does LimeQO recover after a hard data shift?
+//!
+//! Run with: `cargo run --release -p limeqo-examples --bin data_drift_recovery`
+
+use limeqo_core::explore::{ExploreConfig, Explorer, MatOracle};
+use limeqo_core::policy::LimeQoPolicy;
+use limeqo_sim::drift::{build_oracle_uncalibrated, drift_workload, optimal_hint_change_fraction};
+use limeqo_sim::workloads::WorkloadSpec;
+
+fn main() {
+    let mut workload = WorkloadSpec::tiny(60, 123).build();
+    let base = workload.build_oracle();
+    println!("base workload: default {:.1}s optimal {:.1}s\n", base.default_total, base.optimal_total);
+
+    // 1. How quickly do optimal hints rot as the data drifts?
+    println!("optimal-hint churn under incremental data updates:");
+    for (days, label) in [(7.0, "1 week"), (90.0, "3 months"), (365.0, "1 year"), (730.0, "2 years")] {
+        let drifted = drift_workload(&workload, days, 0xD0);
+        let o = build_oracle_uncalibrated(&drifted);
+        println!(
+            "  after {label:>9}: {:4.1}% of queries have a new optimal hint; defaults now {:.1}s",
+            100.0 * optimal_hint_change_fraction(&base, &o),
+            o.default_total
+        );
+    }
+
+    // 2. Hard shift: explore on today's data, then swap in the 2-years-later
+    //    database and keep going.
+    let oracle_now = MatOracle::new(base.true_latency.clone(), Some(base.est_cost.clone()));
+    let future = drift_workload(&workload, 730.0, 0xD1);
+    let future_m = build_oracle_uncalibrated(&future);
+    let oracle_future =
+        MatOracle::new(future_m.true_latency.clone(), Some(future_m.est_cost.clone()));
+
+    let cfg = ExploreConfig { batch: 8, seed: 9, ..Default::default() };
+    let mut ex =
+        Explorer::new(&oracle_now, Box::new(LimeQoPolicy::with_als(11)), cfg, workload.n());
+    ex.run_until(2.0 * base.default_total);
+    println!("\nexplored old data: workload latency {:.1}s (optimal {:.1}s)", ex.workload_latency(), base.optimal_total);
+
+    ex.data_shift(&oracle_future);
+    let stale = ex.workload_latency();
+    println!(
+        "data shift! cached hints re-priced on new data: {:.1}s (new default would be {:.1}s)",
+        stale, future_m.default_total
+    );
+    assert!(stale <= future_m.default_total * 1.001, "cached hints should still help");
+
+    let t0 = ex.time_spent;
+    ex.run_until(t0 + 1.0 * future_m.default_total);
+    println!(
+        "after re-exploring for one workload time: {:.1}s (new optimal {:.1}s)",
+        ex.workload_latency(),
+        future_m.optimal_total
+    );
+    println!("\nthe cached plans carried most of the benefit across the shift, and");
+    println!("re-exploration recovered the rest — matching the paper's Fig. 11 story.");
+}

@@ -1,0 +1,14 @@
+//! Runnable example applications for the LimeQO reproduction.
+//!
+//! Each binary in this crate exercises the public API end to end:
+//!
+//! * `quickstart` — build a workload, explore offline, print the verified
+//!   plan cache,
+//! * `dashboard_fleet` — repetitive dashboard workload with new queries
+//!   arriving mid-exploration (workload shift, §5.3),
+//! * `data_drift_recovery` — hint-churn under incremental data updates and
+//!   recovery from a hard data shift (§5.4),
+//! * `etl_greedy_trap` — the write-bound ETL query that defeats Greedy
+//!   (§5.1 / Fig. 8),
+//! * `neural_vs_linear` — LimeQO vs LimeQO+ accuracy/overhead trade-off
+//!   (§5.2).

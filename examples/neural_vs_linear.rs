@@ -1,0 +1,60 @@
+//! LimeQO vs LimeQO+ on one workload: accuracy/overhead trade-off of the
+//! linear (censored ALS) and neural (transductive TCNN) predictive models
+//! (paper §5.2).
+//!
+//! Run with: `cargo run --release -p limeqo-examples --bin neural_vs_linear`
+
+use limeqo_core::explore::{ExploreConfig, Explorer, MatOracle};
+use limeqo_core::policy::LimeQoPolicy;
+use limeqo_sim::workloads::WorkloadSpec;
+use limeqo_tcnn::{TcnnConfig, TransductiveTcnnCompleter, WorkloadFeatures};
+
+fn main() {
+    let mut workload = WorkloadSpec::tiny(80, 55).build();
+    let matrices = workload.build_oracle();
+    let oracle = MatOracle::new(matrices.true_latency.clone(), Some(matrices.est_cost.clone()));
+    let budget = 1.0 * matrices.default_total;
+    println!(
+        "workload: {} queries, default {:.1}s, optimal {:.1}s; exploring for {:.1}s\n",
+        workload.n(),
+        matrices.default_total,
+        matrices.optimal_total,
+        budget
+    );
+
+    // Linear: censored ALS (the paper's LimeQO).
+    let cfg = ExploreConfig { batch: 16, seed: 4, ..Default::default() };
+    let mut linear =
+        Explorer::new(&oracle, Box::new(LimeQoPolicy::with_als(5)), cfg.clone(), workload.n());
+    linear.run_until(budget);
+    println!(
+        "LimeQO  (ALS):  latency {:.1}s, model overhead {:>8.3}s",
+        linear.workload_latency(),
+        linear.overhead
+    );
+
+    // Neural: transductive TCNN (the paper's LimeQO+). Plan featurization
+    // is shared, as a deployment would cache it.
+    let features = WorkloadFeatures::build(&workload);
+    let tcnn = TransductiveTcnnCompleter::with_features(
+        features,
+        5,
+        TcnnConfig::default(),
+        6,
+    );
+    let policy = LimeQoPolicy::new(Box::new(tcnn), "limeqo+");
+    let mut neural = Explorer::new(&oracle, Box::new(policy), cfg, workload.n());
+    neural.run_until(budget);
+    println!(
+        "LimeQO+ (TCNN): latency {:.1}s, model overhead {:>8.3}s",
+        neural.workload_latency(),
+        neural.overhead
+    );
+
+    let ratio = neural.overhead / linear.overhead.max(1e-9);
+    println!(
+        "\nthe neural model costs {ratio:.0}x more compute for its predictions"
+    );
+    println!("(the paper measured 360x on their CPU; the exact factor depends on");
+    println!("network size and hardware, the ordering is what matters).");
+}

@@ -1,0 +1,12 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use limeqo_core::explore::MatOracle;
+use limeqo_sim::workloads::{OracleMatrices, Workload, WorkloadSpec};
+
+/// Build a tiny simulated workload plus its oracle matrices.
+pub fn tiny_workload(n: usize, seed: u64) -> (Workload, OracleMatrices, MatOracle) {
+    let mut w = WorkloadSpec::tiny(n, seed).build();
+    let m = w.build_oracle();
+    let oracle = MatOracle::new(m.true_latency.clone(), Some(m.est_cost.clone()));
+    (w, m, oracle)
+}

@@ -1,0 +1,100 @@
+//! Integration tests for the censored technique and the drift model.
+
+use limeqo_core::complete::{AlsCompleter, Completer};
+use limeqo_core::explore::{ExploreConfig, Explorer, MatOracle};
+use limeqo_core::matrix::{Cell, WorkloadMatrix};
+use limeqo_core::policy::LimeQoPolicy;
+use limeqo_integration_tests::tiny_workload;
+use limeqo_sim::drift::{build_oracle_uncalibrated, drift_workload, optimal_hint_change_fraction};
+
+#[test]
+fn censored_cells_appear_and_carry_bounds() {
+    let (w, m, oracle) = tiny_workload(25, 301);
+    let cfg = ExploreConfig { batch: 8, seed: 1, ..Default::default() };
+    let mut ex = Explorer::new(&oracle, Box::new(LimeQoPolicy::with_als(2)), cfg, w.n());
+    ex.run_until(2.0 * m.default_total);
+    assert!(ex.wm.censored_count() > 0, "no censored observations at all");
+    // Every censored bound must be a true lower bound.
+    for i in 0..w.n() {
+        for j in 0..w.k() {
+            if let Cell::Censored(bound) = ex.wm.cell(i, j) {
+                assert!(
+                    m.true_latency[(i, j)] > bound - 1e-9,
+                    "bound {bound} not below truth {}",
+                    m.true_latency[(i, j)]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn censored_als_respects_bounds_on_simulated_matrices() {
+    let (w, m, _oracle) = tiny_workload(20, 302);
+    // Observe defaults, censor a handful of cells at their row defaults.
+    let defaults: Vec<f64> = (0..w.n()).map(|i| m.true_latency[(i, 0)]).collect();
+    let mut wm = WorkloadMatrix::with_defaults(&defaults, w.k());
+    for i in 0..5 {
+        wm.set_censored(i, 3, defaults[i]);
+    }
+    let mut als = AlsCompleter::paper_default(3);
+    let pred = als.complete(&wm);
+    for i in 0..5 {
+        assert!(pred[(i, 3)] >= defaults[i] - 1e-9);
+    }
+}
+
+#[test]
+fn uncensored_als_ignores_bounds() {
+    let (w, m, _oracle) = tiny_workload(20, 303);
+    let defaults: Vec<f64> = (0..w.n()).map(|i| m.true_latency[(i, 0)]).collect();
+    let mut wm = WorkloadMatrix::with_defaults(&defaults, w.k());
+    // Huge bounds that predictions cannot reach without the clamp.
+    wm.set_censored(0, 3, 1e9);
+    let mut censored = AlsCompleter::paper_default(4);
+    let mut raw = AlsCompleter::without_censoring(4);
+    assert!(censored.complete(&wm)[(0, 3)] >= 1e9);
+    assert!(raw.complete(&wm)[(0, 3)] < 1e9);
+}
+
+#[test]
+fn drift_grows_tables_and_changes_hints_monotonically() {
+    let (w, base, _oracle) = tiny_workload(40, 304);
+    let mut last_frac = 0.0;
+    for days in [30.0, 365.0, 730.0] {
+        let drifted = drift_workload(&w, days, 1);
+        let o = build_oracle_uncalibrated(&drifted);
+        let frac = optimal_hint_change_fraction(&base, &o);
+        assert!(
+            frac >= last_frac - 0.08,
+            "hint churn should roughly grow with horizon: {frac} after {days}d vs {last_frac}"
+        );
+        last_frac = frac;
+        assert!(o.default_total > 0.0);
+    }
+    assert!(last_frac > 0.0, "two years must change some optimal hints");
+}
+
+#[test]
+fn data_shift_recovery_end_to_end() {
+    let (w, m, oracle) = tiny_workload(30, 305);
+    let future = drift_workload(&w, 730.0, 2);
+    let fm = build_oracle_uncalibrated(&future);
+    let future_oracle = MatOracle::new(fm.true_latency.clone(), Some(fm.est_cost.clone()));
+
+    let cfg = ExploreConfig { batch: 8, seed: 3, ..Default::default() };
+    let mut ex = Explorer::new(&oracle, Box::new(LimeQoPolicy::with_als(5)), cfg, w.n());
+    ex.run_until(2.0 * m.default_total);
+    ex.data_shift(&future_oracle);
+    let after_shift = ex.workload_latency();
+    // Cached hints keep the workload at or below the new default total.
+    assert!(
+        after_shift <= fm.default_total * 1.0 + 1e-9,
+        "stale cache {after_shift} worse than new default {}",
+        fm.default_total
+    );
+    // Further exploration keeps improving on the new data.
+    let t = ex.time_spent;
+    ex.run_until(t + 2.0 * fm.default_total);
+    assert!(ex.workload_latency() <= after_shift + 1e-9);
+}

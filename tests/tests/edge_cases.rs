@@ -1,0 +1,163 @@
+//! Edge cases and failure-injection across the stack.
+
+use limeqo_core::complete::{AlsCompleter, Completer};
+use limeqo_core::explore::{ExploreConfig, Explorer, MatOracle, Oracle};
+use limeqo_core::matrix::WorkloadMatrix;
+use limeqo_core::online::{OnlineConfig, OnlineExplorer};
+use limeqo_core::policy::{
+    CellChoice, LimeQoPolicy, Policy, PolicyCtx, RandomPolicy, ScoreMode,
+};
+use limeqo_integration_tests::tiny_workload;
+use limeqo_linalg::rng::SeededRng;
+use limeqo_linalg::Mat;
+
+#[test]
+fn single_query_workload() {
+    // One row: exploration still works and terminates at the row optimum.
+    let mut rng = SeededRng::new(1);
+    let lat = rng.uniform_mat(1, 49, 0.5, 5.0);
+    let oracle = MatOracle::new(lat.clone(), None);
+    let cfg = ExploreConfig { batch: 4, seed: 1, ..Default::default() };
+    let mut ex = Explorer::new(&oracle, Box::new(LimeQoPolicy::with_als(2)), cfg, 1);
+    ex.run_until(1e9);
+    let optimal = lat.row_min(0).unwrap().1;
+    assert!((ex.workload_latency() - optimal).abs() < 1e-9);
+}
+
+#[test]
+fn max_steps_safety_valve() {
+    let (w, _m, oracle) = tiny_workload(10, 501);
+    let cfg = ExploreConfig { batch: 1, seed: 2, max_steps: 3 };
+    let mut ex = Explorer::new(&oracle, Box::new(RandomPolicy), cfg, w.n());
+    ex.run_until(1e12);
+    assert!(ex.cells_executed <= 3, "max_steps must bound work");
+}
+
+#[test]
+fn zero_budget_explores_nothing() {
+    let (w, m, oracle) = tiny_workload(10, 502);
+    let cfg = ExploreConfig { batch: 8, seed: 3, ..Default::default() };
+    let mut ex = Explorer::new(&oracle, Box::new(RandomPolicy), cfg, w.n());
+    ex.run_until(0.0);
+    assert_eq!(ex.cells_executed, 0);
+    assert!((ex.workload_latency() - m.default_total).abs() < 1e-9);
+}
+
+#[test]
+fn als_on_fully_observed_matrix_returns_observations() {
+    let mut rng = SeededRng::new(4);
+    let truth = rng.uniform_mat(8, 6, 0.1, 3.0);
+    let mut wm = WorkloadMatrix::new(8, 6);
+    for i in 0..8 {
+        for j in 0..6 {
+            wm.set_complete(i, j, truth[(i, j)]);
+        }
+    }
+    let mut als = AlsCompleter::paper_default(5);
+    let pred = als.complete(&wm);
+    assert_eq!(pred.as_slice(), truth.as_slice());
+}
+
+#[test]
+fn als_handles_all_identical_latencies() {
+    // Degenerate rank-0-plus-constant matrix must not panic or produce NaN.
+    let mut wm = WorkloadMatrix::new(10, 8);
+    for i in 0..10 {
+        wm.set_complete(i, 0, 2.0);
+    }
+    let mut als = AlsCompleter::paper_default(6);
+    let pred = als.complete(&wm);
+    assert!(pred.as_slice().iter().all(|v| v.is_finite() && *v >= 0.0));
+}
+
+#[test]
+fn absolute_score_mode_behaves_like_greedy_on_long_queries() {
+    // With Absolute scoring, the longest row dominates selection even when
+    // its relative improvement is modest (the behaviour Eq. 6 avoids).
+    struct HalfCompleter;
+    impl Completer for HalfCompleter {
+        fn name(&self) -> &'static str {
+            "half"
+        }
+        fn complete(&mut self, wm: &WorkloadMatrix) -> Mat {
+            // Predict half the row best for the first unobserved column.
+            let mut m = Mat::zeros(wm.n_rows(), wm.n_cols());
+            for i in 0..wm.n_rows() {
+                let best = wm.row_best(i).map(|(_, v)| v).unwrap_or(1.0);
+                for j in 0..wm.n_cols() {
+                    m[(i, j)] = match wm.cell(i, j) {
+                        limeqo_core::matrix::Cell::Complete(v) => v,
+                        _ if j == 1 => best * 0.5,
+                        _ => best,
+                    };
+                }
+            }
+            m
+        }
+    }
+    // Row 0: 100 s default (absolute gain 50). Row 1: 1 s default with the
+    // same *relative* gain (absolute 0.5).
+    let wm = WorkloadMatrix::with_defaults(&[100.0, 1.0], 3);
+    let mut rng = SeededRng::new(7);
+    let ctx = PolicyCtx { wm: &wm, est_cost: None };
+
+    let mut abs = LimeQoPolicy::new(Box::new(HalfCompleter), "abs");
+    abs.score_mode = ScoreMode::Absolute;
+    let first_abs: Vec<CellChoice> = abs.select(&ctx, 1, &mut rng);
+    assert_eq!(first_abs[0].row, 0, "absolute scoring chases the long query");
+
+    let mut ratio = LimeQoPolicy::new(Box::new(HalfCompleter), "ratio");
+    ratio.score_mode = ScoreMode::Ratio;
+    let first_ratio: Vec<CellChoice> = ratio.select(&ctx, 2, &mut rng);
+    // Ratio scoring sees identical ratios (1.0) — both rows are candidates.
+    let rows: Vec<usize> = first_ratio.iter().map(|c| c.row).collect();
+    assert!(rows.contains(&0) && rows.contains(&1));
+}
+
+#[test]
+fn online_explorer_with_zero_rho_never_completes_gambles() {
+    // rho = 1.0 means a gamble must strictly beat the incumbent to finish;
+    // everything else is cancelled at the bound. No regression beyond 2x.
+    let (w, _m, oracle) = tiny_workload(15, 503);
+    let cfg = OnlineConfig { explore_prob: 1.0, rho: 1.0, seed: 8, ..Default::default() };
+    let mut ex = OnlineExplorer::new(&oracle, Box::new(AlsCompleter::paper_default(9)), cfg);
+    for arrival in 0..300 {
+        let row = arrival % w.n();
+        let incumbent = ex.wm.row_best(row).unwrap().1;
+        let got = ex.serve(row);
+        assert!(got <= 2.0 * incumbent + 1e-9);
+    }
+}
+
+#[test]
+fn oracle_trait_object_usable_via_dyn() {
+    let (_w, m, oracle) = tiny_workload(5, 504);
+    let dyn_oracle: &dyn Oracle = &oracle;
+    assert_eq!(dyn_oracle.shape(), (5, 49));
+    assert_eq!(dyn_oracle.true_latency(0, 0), m.true_latency[(0, 0)]);
+    assert!(dyn_oracle.est_cost().is_some());
+}
+
+#[test]
+fn explorer_rejects_invalid_initial_rows() {
+    let (_w, _m, oracle) = tiny_workload(5, 505);
+    let cfg = ExploreConfig::default();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Explorer::new(&oracle, Box::new(RandomPolicy), cfg, 99)
+    }));
+    assert!(result.is_err(), "out-of-range initial rows must be rejected");
+}
+
+#[test]
+fn workload_scaling_preserves_hint_count_and_determinism() {
+    use limeqo_sim::workloads::WorkloadSpec;
+    for scale in [0.05, 0.5] {
+        let a = WorkloadSpec::dsb().scaled(scale).build();
+        let b = WorkloadSpec::dsb().scaled(scale).build();
+        assert_eq!(a.k(), 49);
+        assert_eq!(a.n(), b.n());
+        for (qa, qb) in a.queries.iter().zip(b.queries.iter()) {
+            assert_eq!(qa.noise_seed, qb.noise_seed);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! End-to-end integration: simulated DBMS → workload matrix → exploration
+//! policies → verified plan cache.
+
+use limeqo_core::explore::{ExploreConfig, Explorer};
+use limeqo_core::policy::{GreedyPolicy, LimeQoPolicy, QoAdvisorPolicy, RandomPolicy};
+use limeqo_integration_tests::tiny_workload;
+
+#[test]
+fn limeqo_reaches_oracle_optimal_with_unlimited_budget() {
+    let (w, m, oracle) = tiny_workload(30, 201);
+    let cfg = ExploreConfig { batch: 8, seed: 1, ..Default::default() };
+    let mut ex = Explorer::new(&oracle, Box::new(LimeQoPolicy::with_als(1)), cfg, w.n());
+    ex.run_until(1e12);
+    // With row-best timeouts and Algorithm 1's re-exploration rule, full
+    // exploration must land on the oracle optimum.
+    let p = ex.workload_latency();
+    assert!(
+        (p - m.optimal_total).abs() / m.optimal_total < 1e-6,
+        "P {} vs optimal {}",
+        p,
+        m.optimal_total
+    );
+}
+
+#[test]
+fn every_policy_improves_over_default_given_time() {
+    let (w, m, oracle) = tiny_workload(30, 202);
+    let budget = 3.0 * m.default_total;
+    let policies: Vec<(&str, Box<dyn limeqo_core::policy::Policy>)> = vec![
+        ("random", Box::new(RandomPolicy)),
+        ("greedy", Box::new(GreedyPolicy)),
+        ("qo-advisor", Box::new(QoAdvisorPolicy)),
+        ("limeqo", Box::new(LimeQoPolicy::with_als(2))),
+    ];
+    for (name, policy) in policies {
+        let cfg = ExploreConfig { batch: 8, seed: 3, ..Default::default() };
+        let mut ex = Explorer::new(&oracle, policy, cfg, w.n());
+        ex.run_until(budget);
+        let p = ex.workload_latency();
+        assert!(
+            p < m.default_total * 0.999,
+            "{name} failed to improve: {p} vs default {}",
+            m.default_total
+        );
+        assert!(p >= m.optimal_total - 1e-9, "{name} went below optimal?!");
+    }
+}
+
+#[test]
+fn limeqo_beats_random_at_default_budget() {
+    // Averaged over seeds to avoid flaky single-run comparisons. Matrix
+    // completion needs enough rows to learn cross-query structure — with
+    // ~50 rows the rank-5 model is underdetermined and LimeQO degrades
+    // toward Greedy (verified empirically); at 120+ rows it wins
+    // consistently, mirroring the paper's 113–6191-query workloads.
+    let (w, m, oracle) = tiny_workload(120, 203);
+    let budget = 1.0 * m.default_total;
+    let mut random_sum = 0.0;
+    let mut limeqo_sum = 0.0;
+    for seed in 0..3 {
+        let cfg = ExploreConfig { batch: 8, seed, ..Default::default() };
+        let mut ex = Explorer::new(&oracle, Box::new(RandomPolicy), cfg.clone(), w.n());
+        ex.run_until(budget);
+        random_sum += ex.workload_latency();
+        let mut ex =
+            Explorer::new(&oracle, Box::new(LimeQoPolicy::with_als(seed)), cfg, w.n());
+        ex.run_until(budget);
+        limeqo_sum += ex.workload_latency();
+    }
+    assert!(
+        limeqo_sum < random_sum,
+        "LimeQO {} vs Random {}",
+        limeqo_sum / 3.0,
+        random_sum / 3.0
+    );
+}
+
+#[test]
+fn exploration_time_accounting_matches_eq3() {
+    // Total time spent must equal the sum over executed cells of
+    // min(true latency, timeout) — verified indirectly: re-running with the
+    // same seed reproduces the same trajectory exactly.
+    let (w, _m, oracle) = tiny_workload(20, 204);
+    let run = |seed: u64| {
+        let cfg = ExploreConfig { batch: 4, seed, ..Default::default() };
+        let mut ex = Explorer::new(&oracle, Box::new(LimeQoPolicy::with_als(9)), cfg, w.n());
+        ex.run_until(30.0);
+        (ex.time_spent, ex.cells_executed, ex.workload_latency())
+    };
+    assert_eq!(run(5), run(5));
+}
+
+#[test]
+fn workload_shift_preserves_no_regression() {
+    let (w, _m, oracle) = tiny_workload(30, 205);
+    let initial = 20;
+    let cfg = ExploreConfig { batch: 8, seed: 6, ..Default::default() };
+    let mut ex = Explorer::new(&oracle, Box::new(LimeQoPolicy::with_als(7)), cfg, initial);
+    ex.run_until(20.0);
+    ex.add_queries(w.n() - initial);
+    // After the shift, new rows serve their defaults; latency on the
+    // expanded workload must never regress from here on.
+    let mut last = ex.workload_latency();
+    for _ in 0..20 {
+        if !ex.step() {
+            break;
+        }
+        let now = ex.workload_latency();
+        assert!(now <= last + 1e-9, "regression after shift: {now} > {last}");
+        last = now;
+    }
+}
+
+#[test]
+fn qo_advisor_uses_est_cost_from_simulator() {
+    let (w, _m, oracle) = tiny_workload(15, 206);
+    let cfg = ExploreConfig { batch: 4, seed: 8, ..Default::default() };
+    let mut ex = Explorer::new(&oracle, Box::new(QoAdvisorPolicy), cfg, w.n());
+    assert!(ex.step(), "QO-Advisor should select cells");
+    assert!(ex.cells_executed > 0);
+}

@@ -1,0 +1,29 @@
+//! Smoke-run the cheap figure harnesses end to end (the expensive
+//! exploration figures are exercised by `cargo run -p limeqo-bench --bin all`).
+
+use limeqo_bench::figures::{fig14, fig17, fig18, table1, FigOpts};
+
+fn fast_opts() -> FigOpts {
+    FigOpts { fast: true, seeds_linear: 1, seeds_neural: 1, ..Default::default() }
+}
+
+#[test]
+fn table1_reproduces_query_counts() {
+    // Panics internally if the query counts diverge from the paper.
+    table1::run(&fast_opts());
+}
+
+#[test]
+fn fig14_low_rank_spectrum() {
+    fig14::run(&fast_opts());
+}
+
+#[test]
+fn fig17_completion_comparison() {
+    fig17::run(&fast_opts());
+}
+
+#[test]
+fn fig18_bayesqo_comparison() {
+    fig18::run(&fast_opts());
+}

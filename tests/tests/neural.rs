@@ -1,0 +1,81 @@
+//! Integration tests for the neural (TCNN) path: featurization from the
+//! simulator's plans through training to exploration.
+
+use limeqo_core::explore::{ExploreConfig, Explorer};
+use limeqo_core::policy::{BaoCachePolicy, LimeQoPolicy};
+use limeqo_integration_tests::tiny_workload;
+use limeqo_tcnn::{PlainTcnnCompleter, TcnnConfig, TransductiveTcnnCompleter, WorkloadFeatures};
+
+#[test]
+fn limeqo_plus_explores_and_improves() {
+    let (w, m, oracle) = tiny_workload(20, 401);
+    let features = WorkloadFeatures::build(&w);
+    let tcnn =
+        TransductiveTcnnCompleter::with_features(features, 3, TcnnConfig::test_scale(), 1);
+    let policy = LimeQoPolicy::new(Box::new(tcnn), "limeqo+");
+    let cfg = ExploreConfig { batch: 8, seed: 2, ..Default::default() };
+    let mut ex = Explorer::new(&oracle, Box::new(policy), cfg, w.n());
+    ex.run_until(2.0 * m.default_total);
+    assert!(
+        ex.workload_latency() < m.default_total,
+        "LimeQO+ failed to improve: {} vs {}",
+        ex.workload_latency(),
+        m.default_total
+    );
+    assert!(ex.overhead > 0.0, "TCNN overhead must be metered");
+}
+
+#[test]
+fn bao_cache_explores_round_robin_with_tcnn() {
+    let (w, m, oracle) = tiny_workload(15, 402);
+    let features = WorkloadFeatures::build(&w);
+    let tcnn = PlainTcnnCompleter::with_features(features, TcnnConfig::test_scale(), 3);
+    let policy = BaoCachePolicy::new(Box::new(tcnn));
+    let cfg = ExploreConfig { batch: 8, seed: 4, ..Default::default() };
+    let mut ex = Explorer::new(&oracle, Box::new(policy), cfg, w.n());
+    ex.run_until(1.0 * m.default_total);
+    assert!(ex.cells_executed >= 8);
+    assert!(ex.workload_latency() <= m.default_total);
+}
+
+#[test]
+fn neural_overhead_exceeds_linear_overhead() {
+    // The paper's central overhead claim (Figs. 7/13): the TCNN costs
+    // orders of magnitude more per step than ALS.
+    let (w, m, oracle) = tiny_workload(20, 403);
+    let budget = 0.5 * m.default_total;
+    let cfg = ExploreConfig { batch: 8, seed: 5, ..Default::default() };
+
+    let mut linear =
+        Explorer::new(&oracle, Box::new(LimeQoPolicy::with_als(6)), cfg.clone(), w.n());
+    linear.run_until(budget);
+
+    let features = WorkloadFeatures::build(&w);
+    let tcnn =
+        TransductiveTcnnCompleter::with_features(features, 3, TcnnConfig::test_scale(), 7);
+    let mut neural = Explorer::new(
+        &oracle,
+        Box::new(LimeQoPolicy::new(Box::new(tcnn), "limeqo+")),
+        cfg,
+        w.n(),
+    );
+    neural.run_until(budget);
+
+    assert!(
+        neural.overhead > linear.overhead * 5.0,
+        "neural {} vs linear {}",
+        neural.overhead,
+        linear.overhead
+    );
+}
+
+#[test]
+fn featurization_covers_all_cells_and_is_reused() {
+    let (w, _m, _oracle) = tiny_workload(10, 404);
+    let features = WorkloadFeatures::build(&w);
+    assert_eq!(features.trees.len(), w.n() * w.k());
+    // Two completers can share the same Arc.
+    let c1 = PlainTcnnCompleter::with_features(features.clone(), TcnnConfig::test_scale(), 8);
+    let c2 = TransductiveTcnnCompleter::with_features(features, 2, TcnnConfig::test_scale(), 9);
+    drop((c1, c2));
+}

@@ -1,0 +1,196 @@
+//! Cross-crate property-based tests (proptest) on the paper's invariants.
+
+use limeqo_core::complete::{AlsCompleter, Completer};
+use limeqo_core::explore::{ExploreConfig, Explorer, MatOracle};
+use limeqo_core::matrix::{Cell, WorkloadMatrix};
+use limeqo_core::policy::{GreedyPolicy, LimeQoPolicy, Policy, PolicyCtx, RandomPolicy};
+use limeqo_linalg::rng::SeededRng;
+use limeqo_linalg::{svd_thin, Mat};
+use limeqo_sim::executor::Executor;
+use limeqo_sim::hints::HintSpace;
+use limeqo_sim::optimizer::Optimizer;
+use limeqo_sim::plan::PlanTree;
+use limeqo_sim::query::{generate_query, JoinShape, QueryClass, QueryGenParams};
+use limeqo_sim::catalog::{Catalog, CatalogSpec};
+use proptest::prelude::*;
+
+fn arb_catalog(seed: u64) -> Catalog {
+    Catalog::generate(
+        &CatalogSpec {
+            name: "prop".into(),
+            n_tables: 8,
+            rows_range: (1e3, 1e6),
+            width_range: (50.0, 300.0),
+            index_prob: 0.5,
+            fact_fraction: 0.3,
+        },
+        &mut SeededRng::new(seed),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// The optimizer must return a complete, executable plan covering all
+    /// tables under every one of the 49 hint configurations, and its true
+    /// cost must never include a disable penalty.
+    #[test]
+    fn optimizer_valid_under_all_hints(seed in 0u64..500, n_tables in 2usize..7) {
+        let cat = arb_catalog(seed);
+        let q = generate_query(
+            0,
+            &QueryGenParams {
+                class: QueryClass::NestLoopTrap,
+                n_tables,
+                shape: JoinShape::Chain,
+                pred_sel_range: (0.01, 0.5),
+                fanout: QueryGenParams::DEFAULT_FANOUT,
+                pred_prob: 0.5,
+                template: 0,
+            },
+            &cat,
+            &mut SeededRng::new(seed ^ 0xABC),
+        );
+        let opt = Optimizer::new(&cat);
+        let exec = Executor::new(&cat);
+        for (hi, h) in HintSpace::all().configs().iter().enumerate() {
+            let mut plan = opt.plan(&q, *h);
+            prop_assert_eq!(plan.join_count(), n_tables - 1);
+            let mut seen = vec![false; n_tables];
+            plan.visit(&mut |node| {
+                if let PlanTree::Scan { table_ref, .. } = node {
+                    seen[*table_ref] = true;
+                }
+            });
+            prop_assert!(seen.iter().all(|&s| s));
+            let lat = exec.latency_seconds(&mut plan, &q, hi);
+            prop_assert!(lat.is_finite() && lat > 0.0 && lat < 1e7);
+        }
+    }
+
+    /// ALS output: keeps observed cells exactly, respects censored bounds,
+    /// non-negative everywhere.
+    #[test]
+    fn als_contract(seed in 0u64..500, n in 5usize..25, frac in 0.1f64..0.8) {
+        let mut rng = SeededRng::new(seed);
+        let q = rng.uniform_mat(n, 3, 0.1, 2.0);
+        let h = rng.uniform_mat(10, 3, 0.1, 2.0);
+        let truth = q.matmul_t(&h).unwrap();
+        let mut wm = WorkloadMatrix::new(n, 10);
+        for i in 0..n {
+            wm.set_complete(i, 0, truth[(i, 0)]);
+            for j in 1..10 {
+                if rng.chance(frac) {
+                    wm.set_complete(i, j, truth[(i, j)]);
+                }
+            }
+        }
+        let first_unobserved = wm.unobserved_cells().next();
+        if let Some((ci, cj)) = first_unobserved {
+            wm.set_censored(ci, cj, 123.0);
+        }
+        let mut als = AlsCompleter::paper_default(seed);
+        let pred = als.complete(&wm);
+        for i in 0..n {
+            for j in 0..10 {
+                match wm.cell(i, j) {
+                    Cell::Complete(v) => prop_assert_eq!(pred[(i, j)], v),
+                    Cell::Censored(b) => prop_assert!(pred[(i, j)] >= b - 1e-9),
+                    Cell::Unobserved => prop_assert!(pred[(i, j)] >= 0.0),
+                }
+            }
+        }
+    }
+
+    /// No-regressions guarantee: under any policy and seed, the workload
+    /// latency curve is monotone non-increasing (without shifts).
+    #[test]
+    fn exploration_never_regresses(seed in 0u64..200, policy_id in 0usize..3) {
+        let mut rng = SeededRng::new(seed);
+        let qm = rng.uniform_mat(12, 2, 0.5, 2.0);
+        let hm = rng.uniform_mat(8, 2, 0.2, 1.5);
+        let mut lat = qm.matmul_t(&hm).unwrap();
+        for i in 0..12 {
+            lat[(i, 0)] += 1.0;
+        }
+        let oracle = MatOracle::new(lat, None);
+        let policy: Box<dyn Policy> = match policy_id {
+            0 => Box::new(RandomPolicy),
+            1 => Box::new(GreedyPolicy),
+            _ => Box::new(LimeQoPolicy::with_als(seed)),
+        };
+        let cfg = ExploreConfig { batch: 4, seed, ..Default::default() };
+        let mut ex = Explorer::new(&oracle, policy, cfg, 12);
+        ex.run_until(1e9);
+        let lats: Vec<f64> = ex.curve().points.iter().map(|p| p.latency).collect();
+        for w in lats.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-9);
+        }
+    }
+
+    /// Timeout accounting: each probe charges at most its timeout; the
+    /// final clock is bounded by Σ min(truth, row-default) over all cells.
+    #[test]
+    fn time_spent_bounded(seed in 0u64..200) {
+        let mut rng = SeededRng::new(seed);
+        let lat = rng.uniform_mat(10, 6, 0.1, 5.0);
+        let oracle = MatOracle::new(lat.clone(), None);
+        let cfg = ExploreConfig { batch: 4, seed, ..Default::default() };
+        let mut ex = Explorer::new(&oracle, Box::new(RandomPolicy), cfg, 10);
+        ex.run_until(1e9);
+        let mut bound = 0.0;
+        for i in 0..10 {
+            for j in 1..6 {
+                bound += lat[(i, j)].min(lat[(i, 0)]);
+            }
+        }
+        // Random policy timeouts are the current row best (≤ default), so
+        // the total spend cannot exceed the default-timeout bound.
+        prop_assert!(ex.time_spent <= bound + 1e-6);
+    }
+
+    /// Thin SVD reconstructs arbitrary matrices.
+    #[test]
+    fn svd_reconstruction(rows in 2usize..30, cols in 2usize..12, seed in 0u64..500) {
+        let mut rng = SeededRng::new(seed);
+        let a = rng.gaussian_mat(rows, cols, 0.0, 3.0);
+        let svd = svd_thin(&a).unwrap();
+        let back = svd.reconstruct(None);
+        let err = limeqo_linalg::max_abs_diff(&a, &back);
+        prop_assert!(err < 1e-7, "err {err}");
+        for w in svd.s.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    /// Policies only ever select non-complete cells, with positive timeouts.
+    #[test]
+    fn policy_selections_valid(seed in 0u64..200, frac in 0.0f64..0.7) {
+        let mut rng = SeededRng::new(seed);
+        let truth = rng.uniform_mat(10, 8, 0.1, 4.0);
+        let mut wm = WorkloadMatrix::new(10, 8);
+        for i in 0..10 {
+            wm.set_complete(i, 0, truth[(i, 0)]);
+            for j in 1..8 {
+                if rng.chance(frac) {
+                    wm.set_complete(i, j, truth[(i, j)]);
+                }
+            }
+        }
+        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let mut policy = LimeQoPolicy::with_als(seed);
+        let sel = policy.select(&ctx, 5, &mut rng);
+        for c in sel {
+            prop_assert!(!matches!(wm.cell(c.row, c.col), Cell::Complete(_)));
+            prop_assert!(c.timeout > 0.0);
+        }
+    }
+}
+
+/// Non-proptest sanity check: Mat round trip through the sim layer types.
+#[test]
+fn mat_interop_between_crates() {
+    let m = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+    let oracle = MatOracle::new(m.clone(), None);
+    assert_eq!(oracle.latency().as_slice(), m.as_slice());
+}
