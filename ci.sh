@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI gate for the LimeQO reproduction workspace.
+#
+#   ./ci.sh         # lint + tier-1 (build, tests, bench type-check)
+#   ./ci.sh --fast  # skip the release build (debug tests only)
+#
+# Everything runs offline: external deps are vendored under vendor/ (see
+# vendor/README.md), so no registry access is needed or attempted.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (workspace, all targets, warnings are errors)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+if [[ "$FAST" == "0" ]]; then
+  echo "==> tier-1: cargo build --release"
+  cargo build --offline --release
+fi
+
+echo "==> tier-1: cargo test -q"
+cargo test --offline -q
+
+echo "==> benches type-check: cargo bench --no-run"
+cargo bench --offline --no-run
+
+echo "CI OK"

@@ -20,9 +20,7 @@ fn bench_linalg(c: &mut Criterion) {
     let rhs = rng.uniform_mat(5, 49, 0.0, 1.0);
     let small = rng.uniform_mat(500, 49, 0.1, 10.0);
 
-    c.bench_function("matmul_3133x49_by_49x5", |b| {
-        b.iter(|| black_box(w.matmul(&h).unwrap()))
-    });
+    c.bench_function("matmul_3133x49_by_49x5", |b| b.iter(|| black_box(w.matmul(&h).unwrap())));
     c.bench_function("cholesky_solve_5x5_multi_rhs", |b| {
         b.iter(|| black_box(cholesky_solve(&gram, &rhs).unwrap()))
     });
@@ -33,12 +31,8 @@ fn bench_linalg(c: &mut Criterion) {
         let g = small.t_matmul(&small).unwrap();
         b.iter(|| black_box(eigen_sym(&g).unwrap()))
     });
-    c.bench_function("svd_thin_500x49", |b| {
-        b.iter(|| black_box(svd_thin(&small).unwrap()))
-    });
-    c.bench_function("svd_thin_3133x49_fig14", |b| {
-        b.iter(|| black_box(svd_thin(&w).unwrap()))
-    });
+    c.bench_function("svd_thin_500x49", |b| b.iter(|| black_box(svd_thin(&small).unwrap())));
+    c.bench_function("svd_thin_3133x49_fig14", |b| b.iter(|| black_box(svd_thin(&w).unwrap())));
 }
 
 fn rng_matrix_49() -> Mat {

@@ -7,7 +7,8 @@ use limeqo_bench::figures::{self, FigOpts};
 fn main() {
     let opts = FigOpts::from_args();
     let t0 = std::time::Instant::now();
-    let steps: [(&str, fn(&FigOpts)); 13] = [
+    type Step = (&'static str, fn(&FigOpts));
+    let steps: [Step; 13] = [
         ("table1", figures::table1::run),
         ("fig05", figures::fig05::run),
         ("fig06_07", figures::fig06_07::run),

@@ -61,9 +61,7 @@ fn main() {
                 );
             }
         }
-        let p: f64 = (0..wm.n_rows())
-            .filter_map(|i| wm.row_best(i).map(|(_, v)| v))
-            .sum();
+        let p: f64 = (0..wm.n_rows()).filter_map(|i| wm.row_best(i).map(|(_, v)| v)).sum();
         println!(
             "step {step:2}: sel={} complete={complete} censor={censor} improved={improved} spent={spent:7.2} time={time:8.2} P={p:7.2}",
             sel.len()

@@ -27,12 +27,8 @@ fn main() {
     let default_time = matrices.default_total;
     let budgets = [0.25, 0.5, 1.0, 2.0, 4.0].map(|m| m * default_time);
 
-    let mut techniques = vec![
-        Technique::Random,
-        Technique::Greedy,
-        Technique::QoAdvisor,
-        Technique::LimeQo,
-    ];
+    let mut techniques =
+        vec![Technique::Random, Technique::Greedy, Technique::QoAdvisor, Technique::LimeQo];
     if neural {
         techniques.push(Technique::LimeQoPlus);
         techniques.push(Technique::BaoCache);
@@ -49,8 +45,7 @@ fn main() {
     );
     for t in techniques {
         let tw = std::time::Instant::now();
-        let curve =
-            run_technique(t, &workload, &oracle, budgets[4], 16, 5, 1234, &tcnn_cfg);
+        let curve = run_technique(t, &workload, &oracle, budgets[4], 16, 5, 1234, &tcnn_cfg);
         let row: Vec<String> = budgets.iter().map(|&b| fmt_secs(curve.latency_at(b))).collect();
         println!(
             "{:>12} | {:>9} {:>9} {:>9} {:>9} {:>9} | {:>8} {:.1?}",

@@ -32,8 +32,7 @@ fn main() {
                 lats.push(ex.into_curve());
             }
             let at = |b: f64| {
-                let v: f64 =
-                    lats.iter().map(|c| c.latency_at(b)).sum::<f64>() / lats.len() as f64;
+                let v: f64 = lats.iter().map(|c| c.latency_at(b)).sum::<f64>() / lats.len() as f64;
                 fmt_secs(v)
             };
             println!(

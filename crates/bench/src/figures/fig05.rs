@@ -34,18 +34,11 @@ fn run_workload(kind: WorkloadKind, opts: &FigOpts) -> Vec<Vec<String>> {
     for technique in Technique::fig5() {
         let seeds = opts.seeds(technique.is_neural());
         let curves = run_techniques(
-            technique,
-            &workload,
-            &oracle,
-            budgets[4],
-            opts.batch,
-            opts.rank,
-            &seeds,
-            &tcnn_cfg,
+            technique, &workload, &oracle, budgets[4], opts.batch, opts.rank, &seeds, &tcnn_cfg,
         );
         let agg = aggregate_at(&curves, &budgets);
-        let cells = curves.iter().map(|c| c.explored_at(budgets[4])).sum::<usize>()
-            / curves.len().max(1);
+        let cells =
+            curves.iter().map(|c| c.explored_at(budgets[4])).sum::<usize>() / curves.len().max(1);
         let mut row = vec![technique.name().to_string()];
         for (mean, _std) in &agg {
             row.push(fmt_secs(*mean));
@@ -77,9 +70,7 @@ pub fn run(opts: &FigOpts) {
         "latency_std_s".to_string(),
         "cells_explored_4x".to_string(),
     ]];
-    for kind in
-        [WorkloadKind::Ceb, WorkloadKind::Job, WorkloadKind::Stack, WorkloadKind::Dsb]
-    {
+    for kind in [WorkloadKind::Ceb, WorkloadKind::Job, WorkloadKind::Stack, WorkloadKind::Dsb] {
         rows.extend(run_workload(kind, opts));
     }
     let path = write_csv("fig05", &rows).expect("write fig05 csv");

@@ -21,54 +21,35 @@ pub fn run(opts: &FigOpts) {
     let grid: Vec<f64> = (0..=24).map(|i| horizon * i as f64 / 24.0).collect();
     let tcnn_cfg = opts.tcnn_cfg();
 
-    let mut fig6 = vec![vec![
-        "technique".to_string(),
-        "explore_time_s".to_string(),
-        "latency_s".to_string(),
-    ]];
-    let mut fig7 = vec![vec![
-        "technique".to_string(),
-        "explore_time_s".to_string(),
-        "overhead_s".to_string(),
-    ]];
-    let mut summary = Table::new(
-        "Fig 6/7 — CEB curves",
-        &["technique", "latency@end", "overhead@end"],
-    );
+    let mut fig6 =
+        vec![vec!["technique".to_string(), "explore_time_s".to_string(), "latency_s".to_string()]];
+    let mut fig7 =
+        vec![vec!["technique".to_string(), "explore_time_s".to_string(), "overhead_s".to_string()]];
+    let mut summary =
+        Table::new("Fig 6/7 — CEB curves", &["technique", "latency@end", "overhead@end"]);
     for technique in Technique::fig5() {
         let seeds = opts.seeds(technique.is_neural());
         let curves = run_techniques(
-            technique,
-            &workload,
-            &oracle,
-            horizon,
-            opts.batch,
-            opts.rank,
-            &seeds,
-            &tcnn_cfg,
+            technique, &workload, &oracle, horizon, opts.batch, opts.rank, &seeds, &tcnn_cfg,
         );
         for &t in &grid {
             let lat: f64 =
                 curves.iter().map(|c| c.latency_at(t)).sum::<f64>() / curves.len() as f64;
             let ovh: f64 =
                 curves.iter().map(|c| c.overhead_at(t)).sum::<f64>() / curves.len() as f64;
-            fig6.push(vec![
-                technique.name().into(),
-                format!("{t:.1}"),
-                format!("{lat:.3}"),
-            ]);
+            fig6.push(vec![technique.name().into(), format!("{t:.1}"), format!("{lat:.3}")]);
             if matches!(technique, Technique::LimeQo | Technique::LimeQoPlus) {
-                fig7.push(vec![
-                    technique.name().into(),
-                    format!("{t:.1}"),
-                    format!("{ovh:.4}"),
-                ]);
+                fig7.push(vec![technique.name().into(), format!("{t:.1}"), format!("{ovh:.4}")]);
             }
         }
         summary.row(&[
             technique.name().to_string(),
-            fmt_secs(curves.iter().map(|c| c.latency_at(horizon)).sum::<f64>() / curves.len() as f64),
-            fmt_secs(curves.iter().map(|c| c.overhead_at(horizon)).sum::<f64>() / curves.len() as f64),
+            fmt_secs(
+                curves.iter().map(|c| c.latency_at(horizon)).sum::<f64>() / curves.len() as f64,
+            ),
+            fmt_secs(
+                curves.iter().map(|c| c.overhead_at(horizon)).sum::<f64>() / curves.len() as f64,
+            ),
         ]);
     }
     summary.print();
@@ -76,8 +57,7 @@ pub fn run(opts: &FigOpts) {
     let ovh = |name: &str| -> f64 {
         fig7.iter()
             .skip(1)
-            .filter(|r| r[0] == name)
-            .last()
+            .rfind(|r| r[0] == name)
             .and_then(|r| r[2].parse().ok())
             .unwrap_or(f64::NAN)
     };

@@ -37,12 +37,10 @@ pub fn run(opts: &FigOpts) {
     let grid: Vec<f64> = (0..=20).map(|i| horizon * i as f64 / 20.0).collect();
     let tcnn_cfg = opts.tcnn_cfg();
 
-    let mut csv = vec![vec![
-        "technique".to_string(),
-        "explore_time_s".to_string(),
-        "latency_s".to_string(),
-    ]];
-    let mut table = Table::new("Fig 8 — Greedy vs LimeQO with ETL query", &["technique", "@1x", "@2x"]);
+    let mut csv =
+        vec![vec!["technique".to_string(), "explore_time_s".to_string(), "latency_s".to_string()]];
+    let mut table =
+        Table::new("Fig 8 — Greedy vs LimeQO with ETL query", &["technique", "@1x", "@2x"]);
     for technique in [Technique::Greedy, Technique::LimeQo] {
         let seeds = opts.seeds(false);
         // Small batches sharpen the contrast: Greedy re-probes the ETL
@@ -50,18 +48,10 @@ pub fn run(opts: &FigOpts) {
         // ~1/batch.
         let batch = opts.batch.min(8);
         let curves = run_techniques(
-            technique,
-            &workload,
-            &oracle,
-            horizon,
-            batch,
-            opts.rank,
-            &seeds,
-            &tcnn_cfg,
+            technique, &workload, &oracle, horizon, batch, opts.rank, &seeds, &tcnn_cfg,
         );
         for &t in &grid {
-            let lat =
-                curves.iter().map(|c| c.latency_at(t)).sum::<f64>() / curves.len() as f64;
+            let lat = curves.iter().map(|c| c.latency_at(t)).sum::<f64>() / curves.len() as f64;
             csv.push(vec![technique.name().into(), format!("{t:.1}"), format!("{lat:.3}")]);
         }
         let at = |frac: f64| {

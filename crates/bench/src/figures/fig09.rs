@@ -11,6 +11,7 @@ use crate::report::{fmt_secs, write_csv, Table};
 use limeqo_core::explore::{ExploreConfig, Explorer};
 use limeqo_core::metrics::Curve;
 
+#[allow(clippy::too_many_arguments)]
 fn run_with_shift(
     technique: Technique,
     workload: &limeqo_sim::workloads::Workload,
@@ -64,15 +65,10 @@ pub fn run(opts: &FigOpts) {
     );
     let grid: Vec<f64> = (0..=24).map(|i| horizon * i as f64 / 24.0).collect();
 
-    let mut csv = vec![vec![
-        "series".to_string(),
-        "explore_time_s".to_string(),
-        "latency_s".to_string(),
-    ]];
-    let mut table = Table::new(
-        "Fig 9 — workload shift (CEB)",
-        &["series", "latency@shift", "latency@end"],
-    );
+    let mut csv =
+        vec![vec!["series".to_string(), "explore_time_s".to_string(), "latency_s".to_string()]];
+    let mut table =
+        Table::new("Fig 9 — workload shift (CEB)", &["series", "latency@shift", "latency@end"]);
     for technique in [Technique::LimeQo, Technique::Greedy] {
         for shifted in [true, false] {
             let seeds = opts.seeds(false);
@@ -81,8 +77,7 @@ pub fn run(opts: &FigOpts) {
                 .map(|&seed| {
                     if shifted {
                         run_with_shift(
-                            technique, &workload, &oracle, initial, shift_time, horizon, opts,
-                            seed,
+                            technique, &workload, &oracle, initial, shift_time, horizon, opts, seed,
                         )
                     } else {
                         run_static(technique, &workload, &oracle, horizon, opts, seed)
@@ -95,14 +90,11 @@ pub fn run(opts: &FigOpts) {
                 technique.name().to_string()
             };
             for &t in &grid {
-                let lat =
-                    curves.iter().map(|c| c.latency_at(t)).sum::<f64>() / curves.len() as f64;
+                let lat = curves.iter().map(|c| c.latency_at(t)).sum::<f64>() / curves.len() as f64;
                 csv.push(vec![label.clone(), format!("{t:.1}"), format!("{lat:.3}")]);
             }
             let at = |t: f64| {
-                fmt_secs(
-                    curves.iter().map(|c| c.latency_at(t)).sum::<f64>() / curves.len() as f64,
-                )
+                fmt_secs(curves.iter().map(|c| c.latency_at(t)).sum::<f64>() / curves.len() as f64)
             };
             table.row(&[label, at(shift_time), at(horizon)]);
         }

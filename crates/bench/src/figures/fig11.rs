@@ -54,11 +54,8 @@ pub fn run(opts: &FigOpts) {
         "Fig 11 — data shift on Stack (latency on 2019 data)",
         &["series", "0.25x", "0.5x", "1x", "2x", "4x"],
     );
-    let mut csv = vec![vec![
-        "series".to_string(),
-        "budget_multiple".to_string(),
-        "latency_s".to_string(),
-    ]];
+    let mut csv =
+        vec![vec!["series".to_string(), "budget_multiple".to_string(), "latency_s".to_string()]];
 
     let mut push_series = |name: &str, curves: &[Curve]| {
         let mut row = vec![name.to_string()];
@@ -81,8 +78,13 @@ pub fn run(opts: &FigOpts) {
     let shifted: Vec<Curve> = seeds
         .iter()
         .map(|&seed| {
-            let policy =
-                technique_policy(Technique::LimeQo, &workload_2017, opts.rank, seed, &opts.tcnn_cfg());
+            let policy = technique_policy(
+                Technique::LimeQo,
+                &workload_2017,
+                opts.rank,
+                seed,
+                &opts.tcnn_cfg(),
+            );
             let cfg = ExploreConfig { batch: opts.batch, seed, ..Default::default() };
             let mut ex = Explorer::new(&oracle_2017, policy, cfg, workload_2017.n());
             ex.run_until(explore_2017);
@@ -105,13 +107,8 @@ pub fn run(opts: &FigOpts) {
         let curves: Vec<Curve> = seeds
             .iter()
             .map(|&seed| {
-                let policy = technique_policy(
-                    technique,
-                    &workload_2019,
-                    opts.rank,
-                    seed,
-                    &opts.tcnn_cfg(),
-                );
+                let policy =
+                    technique_policy(technique, &workload_2019, opts.rank, seed, &opts.tcnn_cfg());
                 let cfg = ExploreConfig { batch: opts.batch, seed, ..Default::default() };
                 let mut ex = Explorer::new(&oracle_2019, policy, cfg, workload_2019.n());
                 ex.run_until(budgets_2019[4]);

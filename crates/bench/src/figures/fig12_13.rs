@@ -19,16 +19,10 @@ pub fn run(opts: &FigOpts) {
     let grid: Vec<f64> = (0..=16).map(|i| horizon * i as f64 / 16.0).collect();
     let tcnn_cfg = opts.tcnn_cfg();
 
-    let mut fig12 = vec![vec![
-        "technique".to_string(),
-        "explore_time_s".to_string(),
-        "latency_s".to_string(),
-    ]];
-    let mut fig13 = vec![vec![
-        "technique".to_string(),
-        "explore_time_s".to_string(),
-        "overhead_s".to_string(),
-    ]];
+    let mut fig12 =
+        vec![vec!["technique".to_string(), "explore_time_s".to_string(), "latency_s".to_string()]];
+    let mut fig13 =
+        vec![vec!["technique".to_string(), "explore_time_s".to_string(), "overhead_s".to_string()]];
     let mut table = Table::new(
         "Fig 12/13 — TCNN vs LimeQO+ (CEB)",
         &["technique", "latency@0.5x", "latency@end", "overhead@end"],
@@ -36,14 +30,7 @@ pub fn run(opts: &FigOpts) {
     for technique in [Technique::Tcnn, Technique::LimeQoPlus] {
         let seeds = opts.seeds(true);
         let curves = run_techniques(
-            technique,
-            &workload,
-            &oracle,
-            horizon,
-            opts.batch,
-            opts.rank,
-            &seeds,
-            &tcnn_cfg,
+            technique, &workload, &oracle, horizon, opts.batch, opts.rank, &seeds, &tcnn_cfg,
         );
         for &t in &grid {
             let lat = curves.iter().map(|c| c.latency_at(t)).sum::<f64>() / curves.len() as f64;

@@ -24,17 +24,9 @@ pub fn run(_opts: &FigOpts) {
     let random = rng.uniform_mat(w.rows(), w.cols(), 0.0, 2.0 * mean);
     let svd_r = svd_thin(&random).expect("random svd");
 
-    let mut csv = vec![vec![
-        "index".to_string(),
-        "sv_ceb".to_string(),
-        "sv_random".to_string(),
-    ]];
+    let mut csv = vec![vec!["index".to_string(), "sv_ceb".to_string(), "sv_random".to_string()]];
     for i in 0..svd.s.len() {
-        csv.push(vec![
-            format!("{i}"),
-            format!("{:.4}", svd.s[i]),
-            format!("{:.4}", svd_r.s[i]),
-        ]);
+        csv.push(vec![format!("{i}"), format!("{:.4}", svd.s[i]), format!("{:.4}", svd_r.s[i])]);
     }
     let energy = |s: &[f64], k: usize| {
         let top: f64 = s.iter().take(k).map(|x| x * x).sum();

@@ -33,8 +33,7 @@ pub fn run(opts: &FigOpts) {
     );
     // LimeQO sweeps all ranks (cheap); LimeQO+ sweeps a subset unless
     // --full (each run trains a TCNN).
-    let neural_ranks: Vec<usize> =
-        if opts.full { RANKS.to_vec() } else { vec![1, 2, 5, 9] };
+    let neural_ranks: Vec<usize> = if opts.full { RANKS.to_vec() } else { vec![1, 2, 5, 9] };
     for technique in [Technique::LimeQo, Technique::LimeQoPlus] {
         let mut row = vec![technique.name().to_string()];
         for &rank in &RANKS {
@@ -48,8 +47,7 @@ pub fn run(opts: &FigOpts) {
                 technique, &workload, &oracle, horizon, opts.batch, rank, &seeds, &tcnn_cfg,
             );
             for (i, &t) in probe_times.iter().enumerate() {
-                let lat =
-                    curves.iter().map(|c| c.latency_at(t)).sum::<f64>() / curves.len() as f64;
+                let lat = curves.iter().map(|c| c.latency_at(t)).sum::<f64>() / curves.len() as f64;
                 csv.push(vec![
                     technique.name().into(),
                     format!("{rank}"),
@@ -57,10 +55,7 @@ pub fn run(opts: &FigOpts) {
                     format!("{lat:.3}"),
                 ]);
             }
-            let lat1x = curves
-                .iter()
-                .map(|c| c.latency_at(matrices.default_total))
-                .sum::<f64>()
+            let lat1x = curves.iter().map(|c| c.latency_at(matrices.default_total)).sum::<f64>()
                 / curves.len() as f64;
             row.push(fmt_secs(lat1x));
         }

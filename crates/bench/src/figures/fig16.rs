@@ -60,10 +60,8 @@ pub fn run(opts: &FigOpts) {
             ]);
         }
         let stat = |frac: f64| {
-            let vals: Vec<f64> = curves
-                .iter()
-                .map(|c| c.latency_at(frac * matrices.default_total))
-                .collect();
+            let vals: Vec<f64> =
+                curves.iter().map(|c| c.latency_at(frac * matrices.default_total)).collect();
             mean_std(&vals)
         };
         table.row(&[
@@ -88,7 +86,8 @@ pub fn run(opts: &FigOpts) {
                 .map(|&seed| {
                     let mut als = AlsCompleter::paper_default(seed);
                     als.nonneg = nonneg;
-                    let policy = LimeQoPolicy::new(Box::new(als), if nonneg { "nn" } else { "raw" });
+                    let policy =
+                        LimeQoPolicy::new(Box::new(als), if nonneg { "nn" } else { "raw" });
                     let cfg = ExploreConfig { batch: opts.batch, seed, ..Default::default() };
                     let mut ex = Explorer::new(&oracle, Box::new(policy), cfg, workload.n());
                     ex.run_until(horizon);
@@ -101,11 +100,7 @@ pub fn run(opts: &FigOpts) {
                         / curves.len() as f64,
                 )
             };
-            t2.row(&[
-                format!("nonneg={nonneg}"),
-                at(1.0),
-                at(2.0),
-            ]);
+            t2.row(&[format!("nonneg={nonneg}"), at(1.0), at(2.0)]);
         }
         t2.print();
     }

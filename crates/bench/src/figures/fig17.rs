@@ -28,8 +28,7 @@ fn observed_at_fill(truth: &Mat, p: f64, seed: u64) -> WorkloadMatrix {
         wm.set_complete(i, 0, truth[(i, 0)]);
     }
     let want = ((n * k) as f64 * p) as usize;
-    let mut extra: Vec<(usize, usize)> =
-        (0..n).flat_map(|i| (1..k).map(move |j| (i, j))).collect();
+    let mut extra: Vec<(usize, usize)> = (0..n).flat_map(|i| (1..k).map(move |j| (i, j))).collect();
     rng.shuffle(&mut extra);
     for &(i, j) in extra.iter().take(want.saturating_sub(n)) {
         wm.set_complete(i, j, truth[(i, j)]);
@@ -58,12 +57,8 @@ pub fn run(opts: &FigOpts) {
         "Fig 17 — completion on the JOB matrix (MSE | seconds)",
         &["p", "ALS", "SVT", "NUC"],
     );
-    let mut csv = vec![vec![
-        "p".to_string(),
-        "method".to_string(),
-        "mse".to_string(),
-        "seconds".to_string(),
-    ]];
+    let mut csv =
+        vec![vec!["p".to_string(), "method".to_string(), "mse".to_string(), "seconds".to_string()]];
     for &p in &FILLS {
         let mut cells: Vec<String> = vec![format!("{p}")];
         for method in ["als", "svt", "nuc"] {

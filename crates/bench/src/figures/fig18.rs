@@ -31,14 +31,10 @@ pub fn run(opts: &FigOpts) {
         &seeds,
         &opts.tcnn_cfg(),
     );
-    let bayes: Vec<_> =
-        seeds.iter().map(|&s| run_bayes_qo(&oracle, PER_QUERY_BUDGET, s)).collect();
+    let bayes: Vec<_> = seeds.iter().map(|&s| run_bayes_qo(&oracle, PER_QUERY_BUDGET, s)).collect();
 
-    let mut csv = vec![vec![
-        "technique".to_string(),
-        "explore_time_s".to_string(),
-        "latency_s".to_string(),
-    ]];
+    let mut csv =
+        vec![vec!["technique".to_string(), "explore_time_s".to_string(), "latency_s".to_string()]];
     for (name, curves) in [("LimeQO", &limeqo), ("BayesQO", &bayes)] {
         for &t in &grid {
             let lat = curves.iter().map(|c| c.latency_at(t)).sum::<f64>() / curves.len() as f64;

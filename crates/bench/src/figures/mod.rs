@@ -112,11 +112,7 @@ impl FigOpts {
         if self.full {
             TcnnConfig::paper_scale()
         } else if self.fast {
-            TcnnConfig {
-                max_epochs: 20,
-                warm_epochs: 8,
-                ..TcnnConfig::default()
-            }
+            TcnnConfig { max_epochs: 20, warm_epochs: 8, ..TcnnConfig::default() }
         } else {
             TcnnConfig::default()
         }

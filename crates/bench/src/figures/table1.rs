@@ -10,13 +10,17 @@ pub fn run(_opts: &FigOpts) {
     let mut table = Table::new(
         "Table 1: workloads (paper -> measured)",
         &[
-            "workload", "queries", "default(paper)", "default(ours)", "optimal(paper)",
-            "optimal(ours)", "headroom(paper)", "headroom(ours)",
+            "workload",
+            "queries",
+            "default(paper)",
+            "default(ours)",
+            "optimal(paper)",
+            "optimal(ours)",
+            "headroom(paper)",
+            "headroom(ours)",
         ],
     );
-    for kind in
-        [WorkloadKind::Job, WorkloadKind::Ceb, WorkloadKind::Stack, WorkloadKind::Dsb]
-    {
+    for kind in [WorkloadKind::Job, WorkloadKind::Ceb, WorkloadKind::Stack, WorkloadKind::Dsb] {
         let (w, m, _) = build_oracle(kind, 1.0);
         let (q_paper, d_paper, o_paper) = kind.paper_stats();
         assert_eq!(w.n(), q_paper, "query count must match the paper exactly");

@@ -162,17 +162,18 @@ pub fn technique_policy<'a>(
         Technique::Random => Box::new(RandomPolicy),
         Technique::Greedy => Box::new(GreedyPolicy),
         Technique::QoAdvisor => Box::new(QoAdvisorPolicy),
-        Technique::LimeQo => Box::new(LimeQoPolicy::new(
-            Box::new(AlsCompleter::with_rank(rank, seed)),
-            "limeqo",
-        )),
+        Technique::LimeQo => {
+            Box::new(LimeQoPolicy::new(Box::new(AlsCompleter::with_rank(rank, seed)), "limeqo"))
+        }
         Technique::LimeQoNoCensor => Box::new(LimeQoPolicy::new(
             Box::new(AlsCompleter::without_censoring(seed)),
             "limeqo-wocensored",
         )),
-        Technique::BaoCache => Box::new(BaoCachePolicy::new(Box::new(
-            PlainTcnnCompleter::new(workload, tcnn_cfg.clone(), seed),
-        ))),
+        Technique::BaoCache => Box::new(BaoCachePolicy::new(Box::new(PlainTcnnCompleter::new(
+            workload,
+            tcnn_cfg.clone(),
+            seed,
+        )))),
         Technique::LimeQoPlus => Box::new(LimeQoPolicy::new(
             Box::new(TransductiveTcnnCompleter::new(workload, rank, tcnn_cfg.clone(), seed)),
             "limeqo+",
@@ -193,6 +194,7 @@ pub fn technique_policy<'a>(
 }
 
 /// Run one technique for one seed up to `time_budget` exploration seconds.
+#[allow(clippy::too_many_arguments)]
 pub fn run_technique(
     technique: Technique,
     workload: &Workload,
@@ -230,7 +232,14 @@ pub fn run_techniques(
         for (slot, &seed) in out.iter_mut().zip(seeds.iter()) {
             scope.spawn(move |_| {
                 *slot = Some(run_technique(
-                    technique, workload, oracle, time_budget, batch, rank, seed, tcnn_cfg,
+                    technique,
+                    workload,
+                    oracle,
+                    time_budget,
+                    batch,
+                    rank,
+                    seed,
+                    tcnn_cfg,
                 ));
             });
         }

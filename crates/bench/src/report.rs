@@ -64,9 +64,8 @@ impl Table {
 
     /// Write the table as CSV into `bench-results/<name>.csv`.
     pub fn write_csv_named(&self, name: &str) -> std::io::Result<PathBuf> {
-        let rows: Vec<Vec<String>> = std::iter::once(self.header.clone())
-            .chain(self.rows.iter().cloned())
-            .collect();
+        let rows: Vec<Vec<String>> =
+            std::iter::once(self.header.clone()).chain(self.rows.iter().cloned()).collect();
         write_csv(name, &rows)
     }
 }

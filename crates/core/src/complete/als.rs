@@ -42,7 +42,15 @@ impl AlsCompleter {
     /// Paper-default configuration (r = 5, λ = 0.2, t = 50, censoring and
     /// non-negativity on).
     pub fn paper_default(seed: u64) -> Self {
-        AlsCompleter { rank: 5, lambda: 0.2, iters: 50, censored: true, nonneg: true, seed, calls: 0 }
+        AlsCompleter {
+            rank: 5,
+            lambda: 0.2,
+            iters: 50,
+            censored: true,
+            nonneg: true,
+            seed,
+            calls: 0,
+        }
     }
 
     /// Like [`AlsCompleter::paper_default`] but with a custom rank

@@ -167,9 +167,7 @@ impl<'a> Explorer<'a> {
     /// their new true latency), which is what Fig. 11 measures.
     pub fn workload_latency(&self) -> f64 {
         (0..self.wm.n_rows())
-            .filter_map(|i| {
-                self.wm.row_best(i).map(|(col, _)| self.oracle.true_latency(i, col))
-            })
+            .filter_map(|i| self.wm.row_best(i).map(|(col, _)| self.oracle.true_latency(i, col)))
             .sum()
     }
 
@@ -309,12 +307,7 @@ mod tests {
     #[test]
     fn defaults_observed_at_start_uncharged() {
         let oracle = toy_oracle(10, 6, 40);
-        let ex = Explorer::new(
-            &oracle,
-            Box::new(RandomPolicy),
-            ExploreConfig::default(),
-            10,
-        );
+        let ex = Explorer::new(&oracle, Box::new(RandomPolicy), ExploreConfig::default(), 10);
         assert_eq!(ex.time_spent, 0.0);
         assert_eq!(ex.wm.complete_count(), 10);
         assert!((ex.workload_latency() - oracle.default_total()).abs() < 1e-9);

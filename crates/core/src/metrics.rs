@@ -106,8 +106,8 @@ pub fn mean_std(values: &[f64]) -> (f64, f64) {
     if values.len() < 2 {
         return (mean, 0.0);
     }
-    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-        / (values.len() - 1) as f64;
+    let var =
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (values.len() - 1) as f64;
     (mean, var.sqrt())
 }
 
@@ -130,7 +130,13 @@ mod tests {
     fn curve() -> Curve {
         let mut c = Curve::new("t");
         for (t, l) in [(0.0, 10.0), (1.0, 8.0), (2.0, 5.0), (4.0, 4.0)] {
-            c.push(CurvePoint { time: t, latency: l, overhead: t * 0.1, explored: t as usize, censored: 0 });
+            c.push(CurvePoint {
+                time: t,
+                latency: l,
+                overhead: t * 0.1,
+                explored: t as usize,
+                censored: 0,
+            });
         }
         c
     }

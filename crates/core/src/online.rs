@@ -113,8 +113,7 @@ impl<'a> OnlineExplorer<'a> {
         let (incumbent_hint, incumbent_lat) =
             self.wm.row_best(row).expect("default always observed");
         self.stats.arrivals += 1;
-        self.stats.default_latency +=
-            self.oracle.true_latency(row, WorkloadMatrix::DEFAULT_HINT);
+        self.stats.default_latency += self.oracle.true_latency(row, WorkloadMatrix::DEFAULT_HINT);
         self.stats.incumbent_latency += incumbent_lat;
 
         let gamble = self.rng.chance(self.cfg.explore_prob);

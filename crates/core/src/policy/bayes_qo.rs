@@ -94,8 +94,8 @@ impl BayesQoRunner {
                     }
                     y[(row, 0)] = (1.0 + v).ln();
                 }
-                let beta = ridge_solve(&g, &y, self.lambda)
-                    .unwrap_or_else(|_| Mat::zeros(feat_dim, 1));
+                let beta =
+                    ridge_solve(&g, &y, self.lambda).unwrap_or_else(|_| Mat::zeros(feat_dim, 1));
                 // Acquisition: predicted-best unexplored hint with jitter.
                 let mut best: Option<(usize, f64)> = None;
                 for &c in &unexplored {

@@ -34,9 +34,8 @@ impl Policy for GreedyPolicy {
         });
         let mut out = Vec::with_capacity(batch);
         for row in rows.into_iter().take(batch) {
-            let unobserved: Vec<usize> = (0..wm.n_cols())
-                .filter(|&c| !wm.cell(row, c).is_observed())
-                .collect();
+            let unobserved: Vec<usize> =
+                (0..wm.n_cols()).filter(|&c| !wm.cell(row, c).is_observed()).collect();
             if unobserved.is_empty() {
                 continue;
             }

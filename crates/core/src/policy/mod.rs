@@ -62,12 +62,8 @@ pub trait Policy {
     /// Select up to `batch` unobserved cells. Returning an empty vector
     /// signals that the policy sees nothing worth exploring (the harness
     /// stops). Must not select cells already complete.
-    fn select(
-        &mut self,
-        ctx: &PolicyCtx<'_>,
-        batch: usize,
-        rng: &mut SeededRng,
-    ) -> Vec<CellChoice>;
+    fn select(&mut self, ctx: &PolicyCtx<'_>, batch: usize, rng: &mut SeededRng)
+        -> Vec<CellChoice>;
 }
 
 /// Default timeout for baseline policies: the row's current best observed

@@ -27,10 +27,8 @@ impl Policy for QoAdvisorPolicy {
             // usable on matrices without planner estimates).
             return super::sample_unobserved(wm, batch, &[], rng);
         };
-        let mut cells: Vec<(f64, usize, usize)> = wm
-            .unobserved_cells()
-            .map(|(r, c)| (est[(r, c)], r, c))
-            .collect();
+        let mut cells: Vec<(f64, usize, usize)> =
+            wm.unobserved_cells().map(|(r, c)| (est[(r, c)], r, c)).collect();
         cells.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         cells
             .into_iter()

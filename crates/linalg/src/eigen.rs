@@ -145,8 +145,7 @@ mod tests {
         // V diag(λ) Vᵀ == A
         let n = a.rows();
         let lam = Mat::from_fn(n, n, |i, j| if i == j { e.values[i] } else { 0.0 });
-        let rebuilt =
-            e.vectors.matmul(&lam).unwrap().matmul(&e.vectors.transpose()).unwrap();
+        let rebuilt = e.vectors.matmul(&lam).unwrap().matmul(&e.vectors.transpose()).unwrap();
         assert!(max_abs_diff(&a, &rebuilt) < 1e-9);
         // VᵀV == I
         let vtv = e.vectors.t_matmul(&e.vectors).unwrap();

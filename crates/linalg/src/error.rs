@@ -48,11 +48,9 @@ pub enum LinalgError {
 impl fmt::Display for LinalgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
-                f,
-                "shape mismatch in {op}: {}x{} vs {}x{}",
-                lhs.0, lhs.1, rhs.0, rhs.1
-            ),
+            LinalgError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: {}x{} vs {}x{}", lhs.0, lhs.1, rhs.0, rhs.1)
+            }
             LinalgError::NotSquare { rows, cols } => {
                 write!(f, "matrix must be square, got {rows}x{cols}")
             }

@@ -12,11 +12,7 @@ pub fn frobenius_norm(a: &Mat) -> f64 {
 /// Panics on shape mismatch (test/diagnostic helper).
 pub fn max_abs_diff(a: &Mat, b: &Mat) -> f64 {
     assert_eq!(a.shape(), b.shape(), "max_abs_diff shape mismatch");
-    a.as_slice()
-        .iter()
-        .zip(b.as_slice().iter())
-        .map(|(&x, &y)| (x - y).abs())
-        .fold(0.0, f64::max)
+    a.as_slice().iter().zip(b.as_slice().iter()).map(|(&x, &y)| (x - y).abs()).fold(0.0, f64::max)
 }
 
 /// Mean squared error over the entries where `mask != 0`.

@@ -37,10 +37,7 @@ fn main() {
     let t0 = std::time::Instant::now();
     let mut w = spec.build();
     let o = w.build_oracle();
-    println!(
-        "{}: n={} k={} built in {:.1?}",
-        w.spec.name, w.n(), w.k(), t0.elapsed()
-    );
+    println!("{}: n={} k={} built in {:.1?}", w.spec.name, w.n(), w.k(), t0.elapsed());
     println!(
         "default_total={:.1}s optimal_total={:.1}s headroom={:.2}x  (avg default {:.2}s)",
         o.default_total,
@@ -55,19 +52,19 @@ fn main() {
         QueryClass::MissedIndex,
         QueryClass::WellEstimated,
     ] {
-        let idx: Vec<usize> =
-            (0..w.n()).filter(|&i| w.queries[i].class == class).collect();
+        let idx: Vec<usize> = (0..w.n()).filter(|&i| w.queries[i].class == class).collect();
         if idx.is_empty() {
             continue;
         }
         let def: f64 = idx.iter().map(|&i| o.true_latency[(i, 0)]).sum();
-        let opt: f64 = idx
-            .iter()
-            .map(|&i| o.true_latency.row_min(i).unwrap().1)
-            .sum();
+        let opt: f64 = idx.iter().map(|&i| o.true_latency.row_min(i).unwrap().1).sum();
         println!(
             "  {:>10}: {:4} queries  default={:8.1}s optimal={:8.1}s headroom={:5.2}x",
-            class.label(), idx.len(), def, opt, def / opt
+            class.label(),
+            idx.len(),
+            def,
+            opt,
+            def / opt
         );
     }
     // Low-rank check (Fig. 14): top-5 singular values' energy share.
@@ -77,7 +74,11 @@ fn main() {
     let top1: f64 = svd.s[0] * svd.s[0];
     println!(
         "svd: top1 energy {:.1}% top5 energy {:.1}% (s1={:.1} s5={:.3} s10={:.4})",
-        100.0 * top1 / total, 100.0 * top5 / total, svd.s[0], svd.s[4], svd.s[9]
+        100.0 * top1 / total,
+        100.0 * top5 / total,
+        svd.s[0],
+        svd.s[4],
+        svd.s[9]
     );
     // Also on log-latencies, which is what completion quality depends on
     // for the smaller cells.
@@ -92,7 +93,11 @@ fn main() {
     let pct = |p: f64| defaults[((defaults.len() - 1) as f64 * p) as usize];
     println!(
         "default latency: p10={:.3}s p50={:.3}s p90={:.3}s p99={:.3}s max={:.3}s",
-        pct(0.1), pct(0.5), pct(0.9), pct(0.99), defaults[defaults.len() - 1]
+        pct(0.1),
+        pct(0.5),
+        pct(0.9),
+        pct(0.99),
+        defaults[defaults.len() - 1]
     );
 }
 

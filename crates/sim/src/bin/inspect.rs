@@ -20,8 +20,10 @@ fn main() {
     let exec = Executor::new(&w.catalog);
     let mut cand: Vec<usize> = (0..w.n()).filter(|&i| w.queries[i].class == want).collect();
     cand.sort_by(|&a, &b| {
-        let la = exec.latency_seconds(&mut opt.plan(&w.queries[a], w.hints.get(0)), &w.queries[a], 0);
-        let lb = exec.latency_seconds(&mut opt.plan(&w.queries[b], w.hints.get(0)), &w.queries[b], 0);
+        let la =
+            exec.latency_seconds(&mut opt.plan(&w.queries[a], w.hints.get(0)), &w.queries[a], 0);
+        let lb =
+            exec.latency_seconds(&mut opt.plan(&w.queries[b], w.hints.get(0)), &w.queries[b], 0);
         lb.partial_cmp(&la).unwrap()
     });
     let qi = cand[0];
@@ -29,26 +31,43 @@ fn main() {
     println!("query {} class {:?} tables {}", qi, q.class, q.n_tables());
     for (i, t) in q.tables.iter().enumerate() {
         let tab = &w.catalog.tables[t.table];
-        println!("  t{i}: rows={:.0} sel_true={:.4} sel_est={:.4} idx={} corr {:.2}/{:.2}",
-            tab.rows, t.sel_true, t.sel_est, t.pred_indexed, t.corr_true, t.corr_est);
+        println!(
+            "  t{i}: rows={:.0} sel_true={:.4} sel_est={:.4} idx={} corr {:.2}/{:.2}",
+            tab.rows, t.sel_true, t.sel_est, t.pred_indexed, t.corr_true, t.corr_est
+        );
     }
     for e in &q.joins {
-        println!("  edge {}-{}: sel_true={:.2e} sel_est={:.2e} (ratio {:.2}) aidx={} bidx={}",
-            e.a, e.b, e.sel_true, e.sel_est, e.sel_est / e.sel_true, e.a_indexed, e.b_indexed);
+        println!(
+            "  edge {}-{}: sel_true={:.2e} sel_est={:.2e} (ratio {:.2}) aidx={} bidx={}",
+            e.a,
+            e.b,
+            e.sel_true,
+            e.sel_est,
+            e.sel_est / e.sel_true,
+            e.a_indexed,
+            e.b_indexed
+        );
     }
     let full = (1u32 << q.n_tables()) - 1;
-    println!("  full card: true={:.3e} est={:.3e}",
+    println!(
+        "  full card: true={:.3e} est={:.3e}",
         q.cardinality(full, &w.catalog, World::True),
-        q.cardinality(full, &w.catalog, World::Estimated));
+        q.cardinality(full, &w.catalog, World::Estimated)
+    );
     // All 49 hints.
-    let mut rows: Vec<(usize, f64, String)> = (0..w.k()).map(|h| {
-        let mut plan = opt.plan(q, w.hints.get(h));
-        let lat = exec.latency_seconds(&mut plan, q, h);
-        (h, lat, format!("{} [{}]", plan.render(), w.hints.get(h).tag()))
-    }).collect();
+    let mut rows: Vec<(usize, f64, String)> = (0..w.k())
+        .map(|h| {
+            let mut plan = opt.plan(q, w.hints.get(h));
+            let lat = exec.latency_seconds(&mut plan, q, h);
+            (h, lat, format!("{} [{}]", plan.render(), w.hints.get(h).tag()))
+        })
+        .collect();
     rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-    println!("default: lat={:.3}s  {}", rows.iter().find(|r| r.0 == 0).unwrap().1,
-        rows.iter().find(|r| r.0 == 0).unwrap().2);
+    println!(
+        "default: lat={:.3}s  {}",
+        rows.iter().find(|r| r.0 == 0).unwrap().1,
+        rows.iter().find(|r| r.0 == 0).unwrap().2
+    );
     for (h, lat, desc) in rows.iter().take(5) {
         println!("  best h{h}: {lat:.3}s  {desc}");
     }

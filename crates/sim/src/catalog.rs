@@ -102,12 +102,7 @@ impl Catalog {
                         rng.uniform(0.0, 0.9),
                     )
                 };
-                columns.push(Column {
-                    name: format!("t{t}_c{c}"),
-                    ndv,
-                    indexed,
-                    correlation,
-                });
+                columns.push(Column { name: format!("t{t}_c{c}"), ndv, indexed, correlation });
             }
             tables.push(Table {
                 name: format!("{}_{t}", spec.name),
@@ -182,12 +177,7 @@ mod tests {
     #[test]
     fn fact_tables_grow_faster() {
         let c = Catalog::generate(&spec(), &mut SeededRng::new(6));
-        let max_dim_growth = c
-            .tables
-            .iter()
-            .skip(3)
-            .map(|t| t.daily_growth)
-            .fold(0.0, f64::max);
+        let max_dim_growth = c.tables.iter().skip(3).map(|t| t.daily_growth).fold(0.0, f64::max);
         let min_fact_growth =
             c.tables.iter().take(3).map(|t| t.daily_growth).fold(f64::MAX, f64::min);
         assert!(min_fact_growth > max_dim_growth);

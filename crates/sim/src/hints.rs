@@ -216,11 +216,7 @@ mod tests {
     #[test]
     fn tag_format() {
         assert_eq!(HintConfig::default_hint().tag(), "hmnsio");
-        let c = HintConfig {
-            nest_loop: false,
-            index_scan: false,
-            ..HintConfig::default_hint()
-        };
+        let c = HintConfig { nest_loop: false, index_scan: false, ..HintConfig::default_hint() };
         assert_eq!(c.tag(), "hm-s-o");
     }
 }

@@ -14,9 +14,7 @@
 
 use crate::catalog::Catalog;
 use crate::hints::HintConfig;
-use crate::plan::{
-    join_cost, scan_cost, JoinInputs, JoinMethod, NodeStats, PlanTree, ScanMethod,
-};
+use crate::plan::{join_cost, scan_cost, JoinInputs, JoinMethod, NodeStats, PlanTree, ScanMethod};
 use crate::query::{Query, World};
 
 /// The planner. Borrows the catalog; one instance plans any number of
@@ -127,6 +125,7 @@ impl<'a> Optimizer<'a> {
         (indexed, indexed)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn join_candidate(
         &self,
         query: &Query,
@@ -172,9 +171,8 @@ impl<'a> Optimizer<'a> {
             }
             // Prefer connected extensions; fall back to cross joins only if
             // nothing connects (disconnected join graph).
-            let connected: Vec<usize> = (0..n)
-                .filter(|&j| mask & (1 << j) == 0 && query.connected_to(mask, j))
-                .collect();
+            let connected: Vec<usize> =
+                (0..n).filter(|&j| mask & (1 << j) == 0 && query.connected_to(mask, j)).collect();
             let candidates: Vec<usize> = if connected.is_empty() {
                 (0..n).filter(|&j| mask & (1 << j) == 0).collect()
             } else {
@@ -202,16 +200,10 @@ impl<'a> Optimizer<'a> {
                 }
             }
         }
-        self.reconstruct(query, scans, &dp, full)
+        self.reconstruct(scans, &dp, full)
     }
 
-    fn reconstruct(
-        &self,
-        query: &Query,
-        scans: &[BestScan],
-        dp: &[Option<DpEntry>],
-        mask: u32,
-    ) -> PlanTree {
+    fn reconstruct(&self, scans: &[BestScan], dp: &[Option<DpEntry>], mask: u32) -> PlanTree {
         let entry = dp[mask as usize].expect("dp cell must be populated");
         match entry.step {
             BuildStep::Leaf { tref, method } => PlanTree::Scan {
@@ -221,7 +213,7 @@ impl<'a> Optimizer<'a> {
                 actual: NodeStats::default(),
             },
             BuildStep::Join { prev_mask, inner, method, inner_lookup } => {
-                let left = self.reconstruct(query, scans, dp, prev_mask);
+                let left = self.reconstruct(scans, dp, prev_mask);
                 let s = &scans[inner];
                 let right = PlanTree::Scan {
                     table_ref: inner,
@@ -244,9 +236,8 @@ impl<'a> Optimizer<'a> {
     fn plan_greedy(&self, query: &Query, hint: HintConfig, scans: &[BestScan]) -> PlanTree {
         let n = query.n_tables();
         // Start from the smallest estimated scan output (classic heuristic).
-        let start = (0..n)
-            .min_by(|&a, &b| scans[a].rows.partial_cmp(&scans[b].rows).unwrap())
-            .unwrap();
+        let start =
+            (0..n).min_by(|&a, &b| scans[a].rows.partial_cmp(&scans[b].rows).unwrap()).unwrap();
         let mut mask: u32 = 1 << start;
         let mut plan = PlanTree::Scan {
             table_ref: start,
@@ -255,9 +246,8 @@ impl<'a> Optimizer<'a> {
             actual: NodeStats::default(),
         };
         while mask != (1u32 << n) - 1 {
-            let connected: Vec<usize> = (0..n)
-                .filter(|&j| mask & (1 << j) == 0 && query.connected_to(mask, j))
-                .collect();
+            let connected: Vec<usize> =
+                (0..n).filter(|&j| mask & (1 << j) == 0 && query.connected_to(mask, j)).collect();
             let candidates: Vec<usize> = if connected.is_empty() {
                 (0..n).filter(|&j| mask & (1 << j) == 0).collect()
             } else {
@@ -433,8 +423,7 @@ mod tests {
             let opt = Optimizer::new(&cat);
             let scans = opt.best_scans(&q, HintConfig::default_hint());
             let dp_cost = opt.plan_dp(&q, HintConfig::default_hint(), &scans).est().cost;
-            let greedy_cost =
-                opt.plan_greedy(&q, HintConfig::default_hint(), &scans).est().cost;
+            let greedy_cost = opt.plan_greedy(&q, HintConfig::default_hint(), &scans).est().cost;
             assert!(dp_cost <= greedy_cost + 1e-6, "dp {dp_cost} greedy {greedy_cost}");
         }
     }

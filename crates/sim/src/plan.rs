@@ -368,7 +368,8 @@ mod tests {
     fn seq_scan_always_available() {
         let (q, cat) = setup();
         for i in 0..q.tables.len() {
-            let r = scan_cost(&q, i, ScanMethod::Seq, &cat, HintConfig::default_hint(), World::True);
+            let r =
+                scan_cost(&q, i, ScanMethod::Seq, &cat, HintConfig::default_hint(), World::True);
             assert!(r.is_some());
             let (rows, cost) = r.unwrap();
             assert!(rows >= 1.0 && cost > 0.0);
@@ -437,7 +438,8 @@ mod tests {
             inner_join_indexed: true,
             inner_sorted: false,
         };
-        let j = join_cost(JoinMethod::NestLoop, inputs, &cat, HintConfig::default_hint(), World::True);
+        let j =
+            join_cost(JoinMethod::NestLoop, inputs, &cat, HintConfig::default_hint(), World::True);
         assert!(j.inner_lookup);
         // Must beat hash join for a 10-row outer.
         let h = join_cost(JoinMethod::Hash, inputs, &cat, HintConfig::default_hint(), World::True);
@@ -515,8 +517,10 @@ mod tests {
             inner_sorted: false,
         };
         let sorted = JoinInputs { inner_sorted: true, ..unsorted };
-        let cu = join_cost(JoinMethod::Merge, unsorted, &cat, HintConfig::default_hint(), World::True);
-        let cs = join_cost(JoinMethod::Merge, sorted, &cat, HintConfig::default_hint(), World::True);
+        let cu =
+            join_cost(JoinMethod::Merge, unsorted, &cat, HintConfig::default_hint(), World::True);
+        let cs =
+            join_cost(JoinMethod::Merge, sorted, &cat, HintConfig::default_hint(), World::True);
         assert!(cs.cost < cu.cost);
     }
 

@@ -125,9 +125,7 @@ impl Query {
     /// Join edges fully contained in the table subset `mask` (bit i set =
     /// `tables[i]` present).
     pub fn edges_within(&self, mask: u32) -> impl Iterator<Item = &JoinEdge> {
-        self.joins
-            .iter()
-            .filter(move |e| mask & (1 << e.a) != 0 && mask & (1 << e.b) != 0)
+        self.joins.iter().filter(move |e| mask & (1 << e.a) != 0 && mask & (1 << e.b) != 0)
     }
 
     /// Cardinality of the join over the table subset `mask`, in the chosen
@@ -159,9 +157,9 @@ impl Query {
 
     /// Whether table `j` is connected by a join edge to any table in `mask`.
     pub fn connected_to(&self, mask: u32, j: usize) -> bool {
-        self.joins.iter().any(|e| {
-            (e.a == j && mask & (1 << e.b) != 0) || (e.b == j && mask & (1 << e.a) != 0)
-        })
+        self.joins
+            .iter()
+            .any(|e| (e.a == j && mask & (1 << e.b) != 0) || (e.b == j && mask & (1 << e.a) != 0))
     }
 }
 
@@ -365,10 +363,7 @@ pub fn generate_query(
             for _ in 0..extra {
                 let a = rng.index(n);
                 let b = rng.index(n);
-                if a != b
-                    && !joins.iter().any(|e| {
-                        (e.a == a && e.b == b) || (e.a == b && e.b == a)
-                    })
+                if a != b && !joins.iter().any(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a))
                 {
                     add_edge(a.min(b), a.max(b), rng, &mut joins);
                 }
@@ -416,8 +411,8 @@ mod tests {
             shape,
             pred_sel_range: (0.001, 0.5),
             fanout: QueryGenParams::DEFAULT_FANOUT,
-                pred_prob: QueryGenParams::DEFAULT_PRED_PROB,
-                template: 0,
+            pred_prob: QueryGenParams::DEFAULT_PRED_PROB,
+            template: 0,
         };
         let q = generate_query(0, &params, &cat, &mut SeededRng::new(seed));
         (q, cat)

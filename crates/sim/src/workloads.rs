@@ -311,8 +311,7 @@ impl WorkloadSpec {
                     let mix = pick_mix(&mut qrng);
                     let params = QueryGenParams {
                         class: mix.class,
-                        n_tables: qrng.index(mix.n_tables.1 - mix.n_tables.0 + 1)
-                            + mix.n_tables.0,
+                        n_tables: qrng.index(mix.n_tables.1 - mix.n_tables.0 + 1) + mix.n_tables.0,
                         shape: mix.shape,
                         pred_sel_range: mix.pred_sel_range,
                         fanout: mix.fanout,
@@ -325,14 +324,13 @@ impl WorkloadSpec {
             Some(n_templates) => {
                 // DSB style: generate templates, then parameterized
                 // instances that share structure but re-draw selectivities.
-                let per = (self.n_queries + n_templates - 1) / n_templates;
+                let per = self.n_queries.div_ceil(n_templates);
                 let mut id = 0;
                 for t in 0..n_templates {
                     let mix = pick_mix(&mut qrng);
                     let params = QueryGenParams {
                         class: mix.class,
-                        n_tables: qrng.index(mix.n_tables.1 - mix.n_tables.0 + 1)
-                            + mix.n_tables.0,
+                        n_tables: qrng.index(mix.n_tables.1 - mix.n_tables.0 + 1) + mix.n_tables.0,
                         shape: mix.shape,
                         pred_sel_range: mix.pred_sel_range,
                         fanout: mix.fanout,
@@ -548,8 +546,8 @@ fn imdb_class_mix(nl_weight: f64) -> Vec<ClassMix> {
             shape: JoinShape::Snowflake,
             n_tables: (4, 10),
             pred_sel_range: (0.02, 0.4),
-                    fanout: (0.6, 0.6),
-                    pred_prob: 0.35,
+            fanout: (0.6, 0.6),
+            pred_prob: 0.35,
         },
         ClassMix {
             class: QueryClass::IndexTrap,
@@ -557,8 +555,8 @@ fn imdb_class_mix(nl_weight: f64) -> Vec<ClassMix> {
             shape: JoinShape::Chain,
             n_tables: (3, 8),
             pred_sel_range: (0.01, 0.2),
-                    fanout: (0.3, 0.5),
-                    pred_prob: 0.85,
+            fanout: (0.3, 0.5),
+            pred_prob: 0.85,
         },
         ClassMix {
             class: QueryClass::MissedIndex,
@@ -566,8 +564,8 @@ fn imdb_class_mix(nl_weight: f64) -> Vec<ClassMix> {
             shape: JoinShape::Chain,
             n_tables: (3, 8),
             pred_sel_range: (2e-4, 5e-3),
-                    fanout: (0.3, 0.5),
-                    pred_prob: 0.9,
+            fanout: (0.3, 0.5),
+            pred_prob: 0.9,
         },
         ClassMix {
             class: QueryClass::WellEstimated,
@@ -575,8 +573,8 @@ fn imdb_class_mix(nl_weight: f64) -> Vec<ClassMix> {
             shape: JoinShape::Chain,
             n_tables: (3, 9),
             pred_sel_range: (1e-3, 0.1),
-                    fanout: (0.3, 0.5),
-                    pred_prob: 0.6,
+            fanout: (0.3, 0.5),
+            pred_prob: 0.6,
         },
     ]
 }
@@ -666,9 +664,8 @@ mod tests {
         let w = spec.build();
         assert_eq!(w.n(), 20);
         // Instances of the same template join identical table sets.
-        let by_template: Vec<Vec<&Query>> = (0..4)
-            .map(|t| w.queries.iter().filter(|q| q.template == t).collect())
-            .collect();
+        let by_template: Vec<Vec<&Query>> =
+            (0..4).map(|t| w.queries.iter().filter(|q| q.template == t).collect()).collect();
         for group in by_template {
             assert!(!group.is_empty());
             let tables: Vec<usize> = group[0].tables.iter().map(|t| t.table).collect();

@@ -39,8 +39,7 @@ impl Adam {
         let t = self.t.max(1) as f64;
         let bc1 = 1.0 - self.beta1.powf(t);
         let bc2 = 1.0 - self.beta2.powf(t);
-        let (ws, gs, ms, vs) =
-            (w.as_mut_slice(), g.as_slice(), m.as_mut_slice(), v.as_mut_slice());
+        let (ws, gs, ms, vs) = (w.as_mut_slice(), g.as_slice(), m.as_mut_slice(), v.as_mut_slice());
         for i in 0..ws.len() {
             ms[i] = self.beta1 * ms[i] + (1.0 - self.beta1) * gs[i];
             vs[i] = self.beta2 * vs[i] + (1.0 - self.beta2) * gs[i] * gs[i];

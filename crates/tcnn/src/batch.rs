@@ -114,11 +114,7 @@ pub fn max_pool(x: &Mat, offsets: &[usize]) -> (Mat, Vec<usize>) {
 }
 
 /// Backward of [`max_pool`]: route each pooled gradient to its argmax node.
-pub fn max_pool_backward(
-    d_out: &Mat,
-    argmax: &[usize],
-    total_nodes: usize,
-) -> Mat {
+pub fn max_pool_backward(d_out: &Mat, argmax: &[usize], total_nodes: usize) -> Mat {
     let (b, c) = d_out.shape();
     let mut dx = Mat::zeros(total_nodes, c);
     for t in 0..b {
@@ -134,11 +130,7 @@ mod tests {
     use super::*;
 
     fn leaf_tree(vals: &[f64]) -> PlanFeatures {
-        PlanFeatures {
-            nodes: Mat::from_rows(&[vals]),
-            left: vec![-1],
-            right: vec![-1],
-        }
+        PlanFeatures { nodes: Mat::from_rows(&[vals]), left: vec![-1], right: vec![-1] }
     }
 
     fn three_node_tree() -> PlanFeatures {

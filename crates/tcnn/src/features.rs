@@ -32,7 +32,7 @@ impl WorkloadFeatures {
         let k = workload.k();
         // Fit normalization on a deterministic sample of plans.
         let sample: Vec<_> = (0..n.min(64))
-            .map(|i| workload.plan_cell(i * n.max(1) / n.min(64).max(1) % n, (i * 7) % k))
+            .map(|i| workload.plan_cell(i * n.max(1) / n.clamp(1, 64) % n, (i * 7) % k))
             .collect();
         let norm = FeatureNorm::fit(&sample);
 
@@ -87,7 +87,7 @@ mod tests {
         assert_eq!(f.k, 49);
         assert_eq!(f.trees.len(), 6 * 49);
         for t in &f.trees {
-            assert!(t.len() >= 1);
+            assert!(!t.is_empty());
             assert_eq!(t.nodes.cols(), NODE_FEATURE_DIM);
         }
     }

@@ -40,11 +40,7 @@ pub fn batch_loss(preds: &[f64], targets: &[Target]) -> f64 {
     if preds.is_empty() {
         return 0.0;
     }
-    preds
-        .iter()
-        .zip(targets)
-        .map(|(&p, &t)| loss_and_grad(p, t).0)
-        .sum::<f64>()
+    preds.iter().zip(targets).map(|(&p, &t)| loss_and_grad(p, t).0).sum::<f64>()
         / preds.len() as f64
 }
 
@@ -103,10 +99,7 @@ mod tests {
 
     #[test]
     fn batch_loss_averages() {
-        let l = batch_loss(
-            &[1.0, 5.0],
-            &[Target::Exact(0.0), Target::Censored(2.0)],
-        );
+        let l = batch_loss(&[1.0, 5.0], &[Target::Exact(0.0), Target::Censored(2.0)]);
         assert_eq!(l, 0.5); // (1 + 0) / 2
     }
 

@@ -87,9 +87,9 @@ impl Tensors {
     /// Borrow all tensors in canonical order.
     pub fn fields(&self) -> [&Mat; 18] {
         [
-            &self.w1s, &self.w1l, &self.w1r, &self.b1, &self.w2s, &self.w2l, &self.w2r,
-            &self.b2, &self.w3s, &self.w3l, &self.w3r, &self.b3, &self.wf1, &self.bf1,
-            &self.wf2, &self.bf2, &self.qe, &self.he,
+            &self.w1s, &self.w1l, &self.w1r, &self.b1, &self.w2s, &self.w2l, &self.w2r, &self.b2,
+            &self.w3s, &self.w3l, &self.w3r, &self.b3, &self.wf1, &self.bf1, &self.wf2, &self.bf2,
+            &self.qe, &self.he,
         ]
     }
 
@@ -119,7 +119,7 @@ impl Tensors {
 
     /// Accumulate `other` into `self` (gradient reduction across shards).
     pub fn add_assign(&mut self, other: &Tensors) {
-        for (a, b) in self.fields_mut().into_iter().zip(other.fields().into_iter()) {
+        for (a, b) in self.fields_mut().into_iter().zip(other.fields()) {
             a.axpy(1.0, b).expect("tensor shapes match");
         }
     }
@@ -238,7 +238,11 @@ impl TcnnNet {
             bf1: Mat::zeros(1, h),
             wf2: kaiming(1, h, h, &mut rng),
             bf2: Mat::zeros(1, 1),
-            qe: if rank > 0 { rng.uniform_mat(n_queries, rank, 0.0, 0.5) } else { Mat::zeros(0, 0) },
+            qe: if rank > 0 {
+                rng.uniform_mat(n_queries, rank, 0.0, 0.5)
+            } else {
+                Mat::zeros(0, 0)
+            },
             he: if rank > 0 { rng.uniform_mat(n_hints, rank, 0.0, 0.5) } else { Mat::zeros(0, 0) },
         };
         TcnnNet { weights, rank, input_dim, cfg }
@@ -249,7 +253,15 @@ impl TcnnNet {
         &self.cfg
     }
 
-    fn conv_forward(x: &Mat, left: &[i32], right: &[i32], ws: &Mat, wl: &Mat, wr: &Mat, b: &Mat) -> Mat {
+    fn conv_forward(
+        x: &Mat,
+        left: &[i32],
+        right: &[i32],
+        ws: &Mat,
+        wl: &Mat,
+        wr: &Mat,
+        b: &Mat,
+    ) -> Mat {
         let mut out = x.matmul_t(ws).expect("conv self");
         let xl = gather(x, left);
         let xr = gather(x, right);
@@ -307,8 +319,15 @@ impl TcnnNet {
         let b = batch.len();
         debug_assert!(self.rank == 0 || (qidx.len() == b && hidx.len() == b));
 
-        let pre1 =
-            Self::conv_forward(&batch.nodes, &batch.left, &batch.right, &w.w1s, &w.w1l, &w.w1r, &w.b1);
+        let pre1 = Self::conv_forward(
+            &batch.nodes,
+            &batch.left,
+            &batch.right,
+            &w.w1s,
+            &w.w1l,
+            &w.w1r,
+            &w.b1,
+        );
         let a1 = relu(&pre1);
         let (mask1, in2) = match dropout_rng.as_deref_mut() {
             Some(rng) if self.cfg.dropout > 0.0 => {
@@ -318,9 +337,10 @@ impl TcnnNet {
             }
             _ => (None, a1),
         };
-        let pre2 = Self::conv_forward(&in2, &batch.left, &batch.right, &w.w2s, &w.w2l, &w.w2r, &w.b2);
+        let pre2 =
+            Self::conv_forward(&in2, &batch.left, &batch.right, &w.w2s, &w.w2l, &w.w2r, &w.b2);
         let a2 = relu(&pre2);
-        let (mask2, in3) = match dropout_rng.as_deref_mut() {
+        let (mask2, in3) = match dropout_rng {
             Some(rng) if self.cfg.dropout > 0.0 => {
                 let m = self.dropout_mask(a2.rows(), a2.cols(), rng);
                 let dropped = a2.hadamard(&m).expect("shape");
@@ -328,7 +348,8 @@ impl TcnnNet {
             }
             _ => (None, a2),
         };
-        let pre3 = Self::conv_forward(&in3, &batch.left, &batch.right, &w.w3s, &w.w3l, &w.w3r, &w.b3);
+        let pre3 =
+            Self::conv_forward(&in3, &batch.left, &batch.right, &w.w3s, &w.w3l, &w.w3r, &w.b3);
         let a3 = relu(&pre3);
         let (pooled, argmax) = max_pool(&a3, &batch.offsets);
 
@@ -491,7 +512,8 @@ mod tests {
     }
 
     fn toy_net(rank: usize, seed: u64) -> TcnnNet {
-        let cfg = TcnnConfig { channels: (6, 5, 4), hidden: 5, dropout: 0.0, ..TcnnConfig::test_scale() };
+        let cfg =
+            TcnnConfig { channels: (6, 5, 4), hidden: 5, dropout: 0.0, ..TcnnConfig::test_scale() };
         TcnnNet::new(4, rank, 3, 4, cfg, seed)
     }
 
@@ -564,7 +586,8 @@ mod tests {
 
     #[test]
     fn dropout_zeroes_and_scales() {
-        let cfg = TcnnConfig { channels: (6, 5, 4), hidden: 5, dropout: 0.5, ..TcnnConfig::test_scale() };
+        let cfg =
+            TcnnConfig { channels: (6, 5, 4), hidden: 5, dropout: 0.5, ..TcnnConfig::test_scale() };
         let net = TcnnNet::new(4, 0, 1, 1, cfg, 4);
         let mut rng = SeededRng::new(5);
         let m = net.dropout_mask(50, 20, &mut rng);

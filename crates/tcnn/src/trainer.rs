@@ -70,7 +70,9 @@ impl TcnnTrainer {
         for row in 0..wm.n_rows() {
             for col in 0..wm.n_cols() {
                 match wm.cell(row, col) {
-                    Cell::Complete(v) => samples.push(Sample { row, col, target: Target::Exact(v) }),
+                    Cell::Complete(v) => {
+                        samples.push(Sample { row, col, target: Target::Exact(v) })
+                    }
                     Cell::Censored(b) if censored => {
                         samples.push(Sample { row, col, target: Target::Censored(b) })
                     }
@@ -138,8 +140,8 @@ impl TcnnTrainer {
                     .weights
                     .fields_mut()
                     .into_iter()
-                    .zip(grads.fields().into_iter())
-                    .zip(self.m.fields_mut().into_iter().zip(self.v.fields_mut().into_iter()))
+                    .zip(grads.fields())
+                    .zip(self.m.fields_mut().into_iter().zip(self.v.fields_mut()))
                 {
                     if w.is_empty() {
                         continue;
@@ -176,24 +178,23 @@ impl TcnnTrainer {
         // Thread-spawn overhead outweighs the work for small batches;
         // shard only when each worker gets a meaningful slice.
         let shard_count = threads.min(chunk.len() / 16).max(1);
-        let per = (chunk.len() + shard_count - 1) / shard_count;
+        let per = chunk.len().div_ceil(shard_count);
         // ceil division above can make the final shards empty; size the
         // result buffer by the actual number of chunks produced.
-        let actual_shards = (chunk.len() + per - 1) / per;
+        let actual_shards = chunk.len().div_ceil(per);
         let net = &self.net;
-        let base_seed = self
-            .rng
-            .raw_seed_for(epoch as u64, batch_idx as u64);
+        let base_seed = self.rng.raw_seed_for(epoch as u64, batch_idx as u64);
         let mut results: Vec<Option<(Tensors, f64)>> = vec![None; actual_shards];
         crossbeam::thread::scope(|scope| {
-            for (shard_idx, (shard, slot)) in
-                chunk.chunks(per).zip(results.iter_mut()).enumerate()
+            for (shard_idx, (shard, slot)) in chunk.chunks(per).zip(results.iter_mut()).enumerate()
             {
                 scope.spawn(move |_| {
                     let mut rng =
                         SeededRng::new(base_seed ^ (shard_idx as u64).wrapping_mul(0x9E3779B9));
-                    let trees: Vec<_> =
-                        shard.iter().map(|&i| features.tree(samples[i].row, samples[i].col)).collect();
+                    let trees: Vec<_> = shard
+                        .iter()
+                        .map(|&i| features.tree(samples[i].row, samples[i].col))
+                        .collect();
                     let batch = TreeBatch::build(&trees);
                     let qidx: Vec<usize> = shard.iter().map(|&i| samples[i].row).collect();
                     let hidx: Vec<usize> = shard.iter().map(|&i| samples[i].col).collect();
@@ -258,7 +259,9 @@ impl TcnnTrainer {
         let threads = self.net.cfg().effective_threads();
         let mut out = vec![0.0; cells.len()];
         let net = &self.net;
-        let work: std::sync::Mutex<Vec<(usize, &[(usize, usize)])>> = std::sync::Mutex::new(
+        // (chunk start offset, cells in the chunk)
+        type Shard<'a> = (usize, &'a [(usize, usize)]);
+        let work: std::sync::Mutex<Vec<Shard>> = std::sync::Mutex::new(
             cells.chunks(CHUNK).enumerate().map(|(i, c)| (i * CHUNK, c)).collect(),
         );
         let out_cell = std::sync::Mutex::new(&mut out);
@@ -329,14 +332,8 @@ mod tests {
         let (features, truth) = setup(8, 80);
         let wm = observed_matrix(&truth, 0.3, 1);
         let cfg = TcnnConfig::test_scale();
-        let net = TcnnNet::new(
-            limeqo_sim::features::NODE_FEATURE_DIM,
-            3,
-            features.n,
-            features.k,
-            cfg,
-            2,
-        );
+        let net =
+            TcnnNet::new(limeqo_sim::features::NODE_FEATURE_DIM, 3, features.n, features.k, cfg, 2);
         let mut trainer = TcnnTrainer::new(net, 3);
         trainer.fit(&features, &wm);
         let curve = &trainer.last_loss_curve;
@@ -351,14 +348,8 @@ mod tests {
         let (features, truth) = setup(6, 81);
         let wm = observed_matrix(&truth, 0.3, 2);
         let cfg = TcnnConfig::test_scale();
-        let net = TcnnNet::new(
-            limeqo_sim::features::NODE_FEATURE_DIM,
-            0,
-            features.n,
-            features.k,
-            cfg,
-            4,
-        );
+        let net =
+            TcnnNet::new(limeqo_sim::features::NODE_FEATURE_DIM, 0, features.n, features.k, cfg, 4);
         let mut trainer = TcnnTrainer::new(net, 5);
         trainer.fit(&features, &wm);
         let pred = trainer.predict_all(&features, &wm);
@@ -379,14 +370,8 @@ mod tests {
         let (r, c) = wm.unobserved_cells().next().expect("unobserved");
         wm.set_censored(r, c, 1e5);
         let cfg = TcnnConfig::test_scale();
-        let net = TcnnNet::new(
-            limeqo_sim::features::NODE_FEATURE_DIM,
-            2,
-            features.n,
-            features.k,
-            cfg,
-            6,
-        );
+        let net =
+            TcnnNet::new(limeqo_sim::features::NODE_FEATURE_DIM, 2, features.n, features.k, cfg, 6);
         let mut trainer = TcnnTrainer::new(net, 7);
         trainer.fit(&features, &wm);
         let pred = trainer.predict_all(&features, &wm);
@@ -399,14 +384,8 @@ mod tests {
         let wm1 = observed_matrix(&truth, 0.2, 4);
         let wm2 = observed_matrix(&truth, 0.4, 4);
         let cfg = TcnnConfig::test_scale();
-        let net = TcnnNet::new(
-            limeqo_sim::features::NODE_FEATURE_DIM,
-            2,
-            features.n,
-            features.k,
-            cfg,
-            8,
-        );
+        let net =
+            TcnnNet::new(limeqo_sim::features::NODE_FEATURE_DIM, 2, features.n, features.k, cfg, 8);
         let mut trainer = TcnnTrainer::new(net, 9);
         trainer.fit(&features, &wm1);
         let t1 = trainer.transform().expect("fitted");

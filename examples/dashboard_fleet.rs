@@ -23,10 +23,7 @@ fn main() {
     let horizon = 2.0 * matrices.default_total;
 
     println!("dashboard fleet: {initial} panels now, {} more arriving later\n", n - initial);
-    println!(
-        "{:<22} {:>12} {:>12} {:>12}",
-        "policy", "before shift", "after shift", "end"
-    );
+    println!("{:<22} {:>12} {:>12} {:>12}", "policy", "before shift", "after shift", "end");
     for (name, policy) in [
         ("LimeQO", Box::new(LimeQoPolicy::with_als(3)) as Box<dyn Policy>),
         ("Greedy", Box::new(GreedyPolicy)),
@@ -41,10 +38,7 @@ fn main() {
         let right_after = ex.workload_latency();
         ex.run_until(horizon);
         let end = ex.workload_latency();
-        println!(
-            "{:<22} {:>11.1}s {:>11.1}s {:>11.1}s",
-            name, before, right_after, end
-        );
+        println!("{:<22} {:>11.1}s {:>11.1}s {:>11.1}s", name, before, right_after, end);
     }
     println!(
         "\n(default total for all {n} panels: {:.1}s, oracle-optimal {:.1}s)",

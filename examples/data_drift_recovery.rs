@@ -12,11 +12,16 @@ use limeqo_sim::workloads::WorkloadSpec;
 fn main() {
     let mut workload = WorkloadSpec::tiny(60, 123).build();
     let base = workload.build_oracle();
-    println!("base workload: default {:.1}s optimal {:.1}s\n", base.default_total, base.optimal_total);
+    println!(
+        "base workload: default {:.1}s optimal {:.1}s\n",
+        base.default_total, base.optimal_total
+    );
 
     // 1. How quickly do optimal hints rot as the data drifts?
     println!("optimal-hint churn under incremental data updates:");
-    for (days, label) in [(7.0, "1 week"), (90.0, "3 months"), (365.0, "1 year"), (730.0, "2 years")] {
+    for (days, label) in
+        [(7.0, "1 week"), (90.0, "3 months"), (365.0, "1 year"), (730.0, "2 years")]
+    {
         let drifted = drift_workload(&workload, days, 0xD0);
         let o = build_oracle_uncalibrated(&drifted);
         println!(
@@ -38,7 +43,11 @@ fn main() {
     let mut ex =
         Explorer::new(&oracle_now, Box::new(LimeQoPolicy::with_als(11)), cfg, workload.n());
     ex.run_until(2.0 * base.default_total);
-    println!("\nexplored old data: workload latency {:.1}s (optimal {:.1}s)", ex.workload_latency(), base.optimal_total);
+    println!(
+        "\nexplored old data: workload latency {:.1}s (optimal {:.1}s)",
+        ex.workload_latency(),
+        base.optimal_total
+    );
 
     ex.data_shift(&oracle_future);
     let stale = ex.workload_latency();

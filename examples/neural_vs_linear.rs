@@ -36,12 +36,7 @@ fn main() {
     // Neural: transductive TCNN (the paper's LimeQO+). Plan featurization
     // is shared, as a deployment would cache it.
     let features = WorkloadFeatures::build(&workload);
-    let tcnn = TransductiveTcnnCompleter::with_features(
-        features,
-        5,
-        TcnnConfig::default(),
-        6,
-    );
+    let tcnn = TransductiveTcnnCompleter::with_features(features, 5, TcnnConfig::default(), 6);
     let policy = LimeQoPolicy::new(Box::new(tcnn), "limeqo+");
     let mut neural = Explorer::new(&oracle, Box::new(policy), cfg, workload.n());
     neural.run_until(budget);
@@ -52,9 +47,7 @@ fn main() {
     );
 
     let ratio = neural.overhead / linear.overhead.max(1e-9);
-    println!(
-        "\nthe neural model costs {ratio:.0}x more compute for its predictions"
-    );
+    println!("\nthe neural model costs {ratio:.0}x more compute for its predictions");
     println!("(the paper measured 360x on their CPU; the exact factor depends on");
     println!("network size and hardware, the ordering is what matters).");
 }

@@ -30,7 +30,11 @@ fn main() {
         })
         .collect();
 
-    println!("online exploration over {} arrivals ({} unique queries)\n", trace.len(), workload.n());
+    println!(
+        "online exploration over {} arrivals ({} unique queries)\n",
+        trace.len(),
+        workload.n()
+    );
     println!(
         "{:>8} {:>12} {:>12} {:>10} {:>7} {:>9}",
         "explore%", "experienced", "all-default", "saved", "wins", "cancelled"

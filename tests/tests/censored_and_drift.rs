@@ -34,8 +34,8 @@ fn censored_als_respects_bounds_on_simulated_matrices() {
     // Observe defaults, censor a handful of cells at their row defaults.
     let defaults: Vec<f64> = (0..w.n()).map(|i| m.true_latency[(i, 0)]).collect();
     let mut wm = WorkloadMatrix::with_defaults(&defaults, w.k());
-    for i in 0..5 {
-        wm.set_censored(i, 3, defaults[i]);
+    for (i, &d) in defaults.iter().enumerate().take(5) {
+        wm.set_censored(i, 3, d);
     }
     let mut als = AlsCompleter::paper_default(3);
     let pred = als.complete(&wm);

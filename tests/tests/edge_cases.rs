@@ -4,9 +4,7 @@ use limeqo_core::complete::{AlsCompleter, Completer};
 use limeqo_core::explore::{ExploreConfig, Explorer, MatOracle, Oracle};
 use limeqo_core::matrix::WorkloadMatrix;
 use limeqo_core::online::{OnlineConfig, OnlineExplorer};
-use limeqo_core::policy::{
-    CellChoice, LimeQoPolicy, Policy, PolicyCtx, RandomPolicy, ScoreMode,
-};
+use limeqo_core::policy::{CellChoice, LimeQoPolicy, Policy, PolicyCtx, RandomPolicy, ScoreMode};
 use limeqo_integration_tests::tiny_workload;
 use limeqo_linalg::rng::SeededRng;
 use limeqo_linalg::Mat;

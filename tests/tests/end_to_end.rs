@@ -62,17 +62,11 @@ fn limeqo_beats_random_at_default_budget() {
         let mut ex = Explorer::new(&oracle, Box::new(RandomPolicy), cfg.clone(), w.n());
         ex.run_until(budget);
         random_sum += ex.workload_latency();
-        let mut ex =
-            Explorer::new(&oracle, Box::new(LimeQoPolicy::with_als(seed)), cfg, w.n());
+        let mut ex = Explorer::new(&oracle, Box::new(LimeQoPolicy::with_als(seed)), cfg, w.n());
         ex.run_until(budget);
         limeqo_sum += ex.workload_latency();
     }
-    assert!(
-        limeqo_sum < random_sum,
-        "LimeQO {} vs Random {}",
-        limeqo_sum / 3.0,
-        random_sum / 3.0
-    );
+    assert!(limeqo_sum < random_sum, "LimeQO {} vs Random {}", limeqo_sum / 3.0, random_sum / 3.0);
 }
 
 #[test]

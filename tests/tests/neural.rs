@@ -10,8 +10,7 @@ use limeqo_tcnn::{PlainTcnnCompleter, TcnnConfig, TransductiveTcnnCompleter, Wor
 fn limeqo_plus_explores_and_improves() {
     let (w, m, oracle) = tiny_workload(20, 401);
     let features = WorkloadFeatures::build(&w);
-    let tcnn =
-        TransductiveTcnnCompleter::with_features(features, 3, TcnnConfig::test_scale(), 1);
+    let tcnn = TransductiveTcnnCompleter::with_features(features, 3, TcnnConfig::test_scale(), 1);
     let policy = LimeQoPolicy::new(Box::new(tcnn), "limeqo+");
     let cfg = ExploreConfig { batch: 8, seed: 2, ..Default::default() };
     let mut ex = Explorer::new(&oracle, Box::new(policy), cfg, w.n());
@@ -51,14 +50,9 @@ fn neural_overhead_exceeds_linear_overhead() {
     linear.run_until(budget);
 
     let features = WorkloadFeatures::build(&w);
-    let tcnn =
-        TransductiveTcnnCompleter::with_features(features, 3, TcnnConfig::test_scale(), 7);
-    let mut neural = Explorer::new(
-        &oracle,
-        Box::new(LimeQoPolicy::new(Box::new(tcnn), "limeqo+")),
-        cfg,
-        w.n(),
-    );
+    let tcnn = TransductiveTcnnCompleter::with_features(features, 3, TcnnConfig::test_scale(), 7);
+    let mut neural =
+        Explorer::new(&oracle, Box::new(LimeQoPolicy::new(Box::new(tcnn), "limeqo+")), cfg, w.n());
     neural.run_until(budget);
 
     assert!(

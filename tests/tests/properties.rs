@@ -6,12 +6,12 @@ use limeqo_core::matrix::{Cell, WorkloadMatrix};
 use limeqo_core::policy::{GreedyPolicy, LimeQoPolicy, Policy, PolicyCtx, RandomPolicy};
 use limeqo_linalg::rng::SeededRng;
 use limeqo_linalg::{svd_thin, Mat};
+use limeqo_sim::catalog::{Catalog, CatalogSpec};
 use limeqo_sim::executor::Executor;
 use limeqo_sim::hints::HintSpace;
 use limeqo_sim::optimizer::Optimizer;
 use limeqo_sim::plan::PlanTree;
 use limeqo_sim::query::{generate_query, JoinShape, QueryClass, QueryGenParams};
-use limeqo_sim::catalog::{Catalog, CatalogSpec};
 use proptest::prelude::*;
 
 fn arb_catalog(seed: u64) -> Catalog {

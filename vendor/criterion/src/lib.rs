@@ -1,0 +1,180 @@
+//! Offline shim for the `criterion` benchmarking crate.
+//!
+//! Provides the API surface the workspace's benches use — `criterion_group!`,
+//! `criterion_main!`, [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`] —
+//! with a deliberately simple measurement loop: warm up once, then time
+//! batches of iterations for a fixed wall-clock budget and report the mean,
+//! best, and iteration count per benchmark. No statistics, plots, or saved
+//! baselines; `cargo bench` prints one line per benchmark.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark measurement budget. Kept short: these benches exist to
+/// compare hot-path changes between commits, not to publish rigorous CIs.
+const MEASURE_BUDGET: Duration = Duration::from_millis(400);
+const MAX_ITERS: u64 = 10_000;
+
+/// Top-level driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    /// Substring filter forwarded from `cargo bench -- <filter>`.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.filter.as_deref(), id, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted and ignored: the shim's fixed time budget plays the role of
+    /// criterion's sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored, as with [`Self::sample_size`].
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        run_one(self.criterion.filter.as_deref(), &full, f);
+        self
+    }
+
+    pub fn bench_with_input<I, D: ?Sized, F>(&mut self, id: I, input: &D, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &D),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        run_one(self.criterion.filter.as_deref(), &full, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier for a benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    total: Duration,
+    best: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up (also primes caches/allocators outside the measurement).
+        black_box(f());
+        let budget_start = Instant::now();
+        while self.iters < MAX_ITERS && budget_start.elapsed() < MEASURE_BUDGET {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            self.total += dt;
+            if dt < self.best {
+                self.best = dt;
+            }
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(filter: Option<&str>, id: &str, mut f: F) {
+    if let Some(pat) = filter {
+        if !id.contains(pat) {
+            return;
+        }
+    }
+    let mut b = Bencher { total: Duration::ZERO, best: Duration::MAX, iters: 0 };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{id:<48} (no iterations recorded)");
+        return;
+    }
+    let mean = b.total / b.iters as u32;
+    println!("{id:<48} mean {:>12?}  best {:>12?}  ({} iters)", mean, b.best, b.iters);
+}
+
+/// Build a group runner function from benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point: run every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,74 @@
+//! Offline shim for the `crossbeam` facade crate.
+//!
+//! Only `crossbeam::thread::scope` is used in this workspace, and since
+//! Rust 1.63 the standard library provides scoped threads natively, so this
+//! shim is a thin adapter over [`std::thread::scope`] that reproduces the
+//! crossbeam calling convention:
+//!
+//! * the closure passed to [`thread::Scope::spawn`] receives `&Scope` (so
+//!   `|_|` call sites compile unchanged),
+//! * [`thread::scope`] returns `Result<R, _>` (crossbeam reports child
+//!   panics as `Err`; with std scoped threads an unjoined child panic is
+//!   propagated on exit instead, which every call site here — all of which
+//!   immediately `.unwrap()`/`.expect()` — treats identically).
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Adapter around [`std::thread::Scope`] exposing crossbeam's `spawn`
+    /// signature (closure takes `&Scope`).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread; the closure receives this scope so it can
+        /// spawn nested threads, exactly like crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads; joins all children
+    /// before returning.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|inner| f(&Scope { inner })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn spawn_and_collect() {
+            let mut out = vec![0usize; 4];
+            super::scope(|scope| {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    scope.spawn(move |_| *slot = i * i);
+                }
+            })
+            .unwrap();
+            assert_eq!(out, vec![0, 1, 4, 9]);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_arg() {
+            let total = std::sync::atomic::AtomicUsize::new(0);
+            super::scope(|scope| {
+                scope.spawn(|inner| {
+                    inner.spawn(|_| {
+                        total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    });
+                });
+            })
+            .unwrap();
+            assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 1);
+        }
+    }
+}

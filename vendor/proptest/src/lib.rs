@@ -1,0 +1,217 @@
+//! Offline shim for the `proptest` property-testing crate.
+//!
+//! Implements the subset this workspace's `tests/tests/properties.rs` uses:
+//!
+//! * the [`proptest!`] macro over `#[test] fn name(arg in strategy, ...)`
+//!   items, with an optional leading `#![proptest_config(..)]`,
+//! * [`test_runner::ProptestConfig`] with a `cases` count,
+//! * range strategies (`0u64..500`, `2usize..7`, `0.1f64..0.8`, inclusive
+//!   variants) via the [`strategy::Strategy`] trait,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Differences from upstream, by design: inputs are drawn from a
+//! deterministic per-case SplitMix64 stream (every run tests the same
+//! `cases` inputs — good for CI reproducibility), and there is no shrinking;
+//! a failing case panics immediately with the case index in the message.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Deterministic per-test-case input source.
+    pub struct CaseRng(pub StdRng);
+
+    impl CaseRng {
+        /// Derive the stream for `case` of the test named `name`.
+        pub fn for_case(name: &str, case: u32) -> CaseRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            CaseRng(StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64)))
+        }
+    }
+
+    /// A source of generated input values. Upstream proptest strategies
+    /// carry shrinking machinery; this shim only samples.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut CaseRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut CaseRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut CaseRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut CaseRng) -> f64 {
+            rng.0.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for core::ops::Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut CaseRng) -> f32 {
+            rng.0.gen_range(self.clone())
+        }
+    }
+
+    /// `Just(v)` — always yields `v`.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut CaseRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    ///
+    /// Only `cases` is honored; the other fields exist so struct-update
+    /// syntax against upstream-looking configs keeps compiling.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated input cases per property.
+        pub cases: u32,
+        /// Accepted and ignored (no shrinking in this shim).
+        pub max_shrink_iters: u32,
+        /// Accepted and ignored (inputs are never rejected in this shim).
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_shrink_iters: 0, max_global_rejects: 65_536 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases, ..Default::default() }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Expand property functions into plain `#[test]` functions that loop over
+/// deterministically generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut case_rng =
+                    $crate::strategy::CaseRng::for_case(stringify!($name), case);
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::sample(&($strat), &mut case_rng);
+                )+
+                let inputs = format!(
+                    concat!("case {}: ", $(stringify!($arg), " = {:?}, ",)+ ""),
+                    case $(, $arg)+
+                );
+                let result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let Err(panic) = result {
+                    eprintln!("proptest failure in {} [{}]", stringify!($name), inputs);
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Property assertion; panics (upstream returns a `TestCaseError`, but the
+/// observable effect inside `proptest!` — a failed case — is the same).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respected(a in 0u64..10, b in 2usize..5, x in 0.25f64..0.5) {
+            prop_assert!(a < 10);
+            prop_assert!((2..5).contains(&b));
+            prop_assert!((0.25..0.5).contains(&x));
+        }
+
+        #[test]
+        fn multiple_fns_parse(v in 1i32..4) {
+            prop_assert_ne!(v, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::strategy::CaseRng::for_case("t", 3);
+        let mut b = crate::strategy::CaseRng::for_case("t", 3);
+        let sa = crate::strategy::Strategy::sample(&(0u64..1000), &mut a);
+        let sb = crate::strategy::Strategy::sample(&(0u64..1000), &mut b);
+        assert_eq!(sa, sb);
+    }
+}

@@ -1,0 +1,53 @@
+//! Standard generator for the shim: xoshiro256++.
+
+use crate::{RngCore, SeedableRng};
+
+/// Drop-in stand-in for `rand::rngs::StdRng`.
+///
+/// Upstream uses ChaCha12; this shim uses xoshiro256++ (Blackman/Vigna),
+/// which is far smaller to implement, passes BigCrush, and is more than
+/// adequate for simulation seeding. Streams are deterministic per seed but
+/// intentionally NOT bit-compatible with upstream `StdRng`.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+            *word = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // xoshiro must not start from the all-zero state.
+        if s == [0; 4] {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0x6A09_E667_F3BC_C909,
+                0xBB67_AE85_84CA_A73B,
+                0x3C6E_F372_FE94_F82B,
+            ];
+        }
+        StdRng { s }
+    }
+}
