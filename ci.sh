@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # CI gate for the LimeQO reproduction workspace.
 #
-#   ./ci.sh         # lint + tier-1 (build, tests, bench type-check)
-#   ./ci.sh --fast  # skip the release build (debug tests only)
+#   ./ci.sh            # lint + tier-1 (build, tests, bench type-check)
+#   ./ci.sh --fast     # skip the release build (debug tests only)
+#   ./ci.sh --ignored  # slow tier only: tests marked #[ignore]
+#                      # (full-scale figure smokes; > ~5 s each)
 #
 # Everything runs offline: external deps are vendored under vendor/ (see
 # vendor/README.md), so no registry access is needed or attempted.
@@ -11,6 +13,13 @@ cd "$(dirname "$0")"
 
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
+
+if [[ "${1:-}" == "--ignored" ]]; then
+  echo "==> slow tier: cargo test -- --ignored"
+  cargo test --offline -q -p limeqo-integration-tests -- --ignored
+  echo "CI OK (slow tier)"
+  exit 0
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
@@ -25,6 +34,11 @@ fi
 
 echo "==> tier-1: cargo test -q"
 cargo test --offline -q
+
+# Re-runs a suite tier-1 already covered (~9 s) so a golden mismatch gets
+# its own named gate line in CI output rather than drowning in tier-1.
+echo "==> scenario golden suite"
+cargo test --offline -q -p limeqo-integration-tests --test scenarios
 
 echo "==> benches type-check: cargo bench --no-run"
 cargo bench --offline --no-run

@@ -1,0 +1,95 @@
+//! Run the named scenario matrix and emit a machine-readable summary.
+//!
+//!   cargo run --release -p limeqo-bench --bin scenario            # all
+//!   cargo run --release -p limeqo-bench --bin scenario -- --list
+//!   cargo run --release -p limeqo-bench --bin scenario -- --filter online
+//!
+//! Prints one table row per scenario and writes
+//! `bench-results/scenarios.json` (array of per-scenario objects) plus
+//! `bench-results/scenarios.csv`. The golden regression suite
+//! (`tests/tests/scenarios.rs`) runs the same registry through the same
+//! runner and pins the metrics in `tests/golden/scenarios.golden`.
+
+use limeqo_bench::report::{fmt_secs, write_csv, write_json, Table};
+use limeqo_bench::scenario_runner::{report_json, run_scenarios};
+use limeqo_sim::scenario::registry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let list_only = args.iter().any(|a| a == "--list");
+    let filter = args
+        .iter()
+        .position(|a| a == "--filter")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_default();
+
+    let specs: Vec<_> =
+        registry().into_iter().filter(|s| filter.is_empty() || s.name.contains(&filter)).collect();
+    if specs.is_empty() {
+        eprintln!("no scenario matches filter {filter:?}");
+        std::process::exit(2);
+    }
+    if list_only {
+        let mut table = Table::new("scenario registry", &["name", "policy", "n", "summary"]);
+        for s in &specs {
+            table.row(&[
+                s.name.to_string(),
+                s.policy.name().to_string(),
+                format!("{}", s.workload.n_queries()),
+                s.summary.to_string(),
+            ]);
+        }
+        table.print();
+        return;
+    }
+
+    let outcomes = run_scenarios(&specs);
+
+    let mut table = Table::new(
+        "scenario matrix",
+        &[
+            "scenario",
+            "policy",
+            "n",
+            "k",
+            "default",
+            "optimal",
+            "final",
+            "vs random",
+            "cells",
+            "censored",
+            "monotone",
+        ],
+    );
+    let mut csv = vec![vec!["scenario".to_string(), "metric".to_string(), "value".to_string()]];
+    for o in &outcomes {
+        let final_latency = o.online.as_ref().map(|on| on.final_latency).unwrap_or(o.final_latency);
+        table.row(&[
+            o.name.clone(),
+            o.policy.to_string(),
+            format!("{}", o.n),
+            format!("{}", o.k),
+            fmt_secs(o.default_total),
+            fmt_secs(o.optimal_total),
+            fmt_secs(final_latency),
+            o.random_final_latency.map(fmt_secs).unwrap_or_else(|| "-".into()),
+            format!("{:.0}", o.cells_executed),
+            format!("{:.0}", o.censored_cells),
+            if o.monotone_ok { "yes".into() } else { "NO".into() },
+        ]);
+        for (k, v) in o.metrics() {
+            let (name, metric) = k.split_once('.').expect("prefixed key");
+            csv.push(vec![name.to_string(), metric.to_string(), format!("{v}")]);
+        }
+    }
+    table.print();
+    let json_path = write_json("scenarios", &report_json(&outcomes)).expect("write scenarios.json");
+    let csv_path = write_csv("scenarios", &csv).expect("write scenarios.csv");
+    println!("[scenario] wrote {} and {}", json_path.display(), csv_path.display());
+
+    if outcomes.iter().any(|o| !o.monotone_ok) {
+        eprintln!("[scenario] FAIL: a latency trajectory regressed within a segment");
+        std::process::exit(1);
+    }
+}

@@ -19,7 +19,8 @@ pub fn run(opts: &FigOpts) {
     let kind = WorkloadKind::Stack;
     // Matrix completion needs enough rows to recognize the flat ETL row;
     // run this (linear-only) figure at a larger scale than the neural ones.
-    let scale = if opts.full { 1.0 } else { opts.scale_for(kind).max(0.35) };
+    let floor = if opts.smoke { 0.0 } else { 0.35 };
+    let scale = if opts.full { 1.0 } else { opts.scale_for(kind).max(floor) };
     let (mut workload, _m0, _) = build_oracle(kind, scale);
     // Add the write-bound ETL query, scaled like the workload; the
     // calibration target grows by the ETL time so the rest of the

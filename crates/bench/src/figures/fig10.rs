@@ -26,7 +26,13 @@ pub fn run(opts: &FigOpts) {
     let kind = WorkloadKind::Stack;
     // Hint-change fractions need enough queries to be stable; use a larger
     // scale than exploration figures (oracle building is cheap).
-    let scale = if opts.fast { 0.15 } else { 0.5f64.max(opts.scale_for(kind)) };
+    let scale = if opts.smoke {
+        opts.scale_for(kind)
+    } else if opts.fast {
+        0.15
+    } else {
+        0.5f64.max(opts.scale_for(kind))
+    };
     let (workload, base, _) = build_oracle(kind, scale);
     println!("[fig10] Stack scale={scale} n={}", workload.n());
     let mut table = Table::new(

@@ -33,15 +33,45 @@ pub struct FigOpts {
     pub batch: usize,
     /// Rank r for ALS and embeddings (paper default 5).
     pub rank: usize,
+    /// Test-suite mode ([`FigOpts::smoke`]): tiny workloads, test-scale
+    /// TCNN, and figure-level floors relaxed — numbers are meaningless,
+    /// only the code paths are exercised.
+    pub smoke: bool,
+    /// Force this workload scale regardless of figure-level defaults.
+    pub scale_override: Option<f64>,
 }
 
 impl Default for FigOpts {
     fn default() -> Self {
-        FigOpts { fast: false, full: false, seeds_linear: 3, seeds_neural: 1, batch: 32, rank: 5 }
+        FigOpts {
+            fast: false,
+            full: false,
+            seeds_linear: 3,
+            seeds_neural: 1,
+            batch: 32,
+            rank: 5,
+            smoke: false,
+            scale_override: None,
+        }
     }
 }
 
 impl FigOpts {
+    /// Options for the `figures_fast` integration tests: one seed, a large
+    /// batch, a tiny forced scale and the test-scale TCNN, so every figure
+    /// module's full code path runs in seconds.
+    pub fn smoke() -> Self {
+        FigOpts {
+            fast: true,
+            smoke: true,
+            seeds_linear: 1,
+            seeds_neural: 1,
+            batch: 64,
+            scale_override: Some(0.03),
+            ..Default::default()
+        }
+    }
+
     /// Parse `--fast`, `--full`, `--seeds N`, `--batch N`, `--rank N`.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
@@ -88,6 +118,9 @@ impl FigOpts {
         if self.full {
             return 1.0;
         }
+        if let Some(scale) = self.scale_override {
+            return scale.clamp(0.001, 1.0);
+        }
         let base = match kind {
             WorkloadKind::Job => 1.0,
             WorkloadKind::Ceb => 0.25,
@@ -109,7 +142,9 @@ impl FigOpts {
 
     /// TCNN configuration.
     pub fn tcnn_cfg(&self) -> TcnnConfig {
-        if self.full {
+        if self.smoke {
+            TcnnConfig::test_scale()
+        } else if self.full {
             TcnnConfig::paper_scale()
         } else if self.fast {
             TcnnConfig { max_epochs: 20, warm_epochs: 8, ..TcnnConfig::default() }

@@ -3,16 +3,23 @@
 //!
 //! * [`harness`] — workload construction (with caching), technique
 //!   registry, multi-seed exploration runs with crossbeam fan-out,
-//! * [`report`] — text tables and CSV emission under `bench-results/`,
+//! * [`scenario_runner`] — executes the declarative scenario matrix of
+//!   `limeqo-sim::scenario` (drift schedules, hint shapes, online
+//!   arrivals) and aggregates deterministic summaries for the golden
+//!   regression suite (`src/bin/scenario.rs` is the CLI),
+//! * [`report`] — text tables, CSV and JSON emission under
+//!   `bench-results/`,
 //! * one binary per table/figure in `src/bin/` (see DESIGN.md §5),
 //! * Criterion benches in `benches/` for the computational-overhead axes.
 
 pub mod figures;
 pub mod harness;
 pub mod report;
+pub mod scenario_runner;
 
 pub use harness::{
     build_oracle, run_bayes_qo, run_technique, run_techniques, technique_policy, Technique,
     WorkloadKind,
 };
-pub use report::{write_csv, Table};
+pub use report::{write_csv, write_json, Json, Table};
+pub use scenario_runner::{run_scenario, run_scenarios, ScenarioOutcome};

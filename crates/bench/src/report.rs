@@ -109,6 +109,99 @@ pub fn write_csv(name: &str, rows: &[Vec<String>]) -> std::io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Minimal JSON value for machine-readable summaries (the scenario runner
+/// emits one object per scenario). Numbers render with Rust's shortest
+/// round-trip float formatting, so equal values always serialize to equal
+/// bytes — which is what makes the emitted report stable enough to diff.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also used for non-finite numbers).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Serialize to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_json_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Write a JSON document as `bench-results/<name>.json`.
+pub fn write_json(name: &str, value: &Json) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, value.render())?;
+    Ok(path)
+}
+
 /// Format seconds compactly (`2.94h`, `181s`, `85ms`).
 pub fn fmt_secs(s: f64) -> String {
     if !s.is_finite() {
@@ -152,5 +245,21 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new("x", &["a"]);
         t.row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn json_renders_compact_and_escaped() {
+        let v = Json::Obj(vec![
+            ("name".into(), Json::Str("a\"b\\c\n".into())),
+            ("ok".into(), Json::Bool(true)),
+            ("vals".into(), Json::Arr(vec![Json::Num(1.5), Json::Num(f64::NAN), Json::Null])),
+        ]);
+        assert_eq!(v.render(), r#"{"name":"a\"b\\c\n","ok":true,"vals":[1.5,null,null]}"#);
+    }
+
+    #[test]
+    fn json_numbers_roundtrip_shortest() {
+        assert_eq!(Json::Num(0.1).render(), "0.1");
+        assert_eq!(Json::Num(3.0).render(), "3");
     }
 }

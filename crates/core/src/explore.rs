@@ -86,6 +86,22 @@ impl Oracle for MatOracle {
     }
 }
 
+/// One offline cell execution, in the order the harness performed it.
+/// The full `Vec<TraceEntry>` is a run's *exploration trace*: two runs are
+/// behaviourally identical iff their traces are identical, which is what
+/// the seed-determinism tests compare byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEntry {
+    /// Query (row) executed.
+    pub row: usize,
+    /// Hint (column) executed.
+    pub col: usize,
+    /// Seconds charged to the offline clock: `min(true latency, timeout)`.
+    pub charged: f64,
+    /// Whether the probe hit its timeout (cell recorded as censored).
+    pub censored: bool,
+}
+
 /// Harness configuration.
 #[derive(Debug, Clone)]
 pub struct ExploreConfig {
@@ -122,6 +138,8 @@ pub struct Explorer<'a> {
     pub overhead: f64,
     /// Cells executed so far (complete + censored executions).
     pub cells_executed: usize,
+    /// Every offline execution in order — the run's exploration trace.
+    pub trace: Vec<TraceEntry>,
     curve: Curve,
 }
 
@@ -153,6 +171,7 @@ impl<'a> Explorer<'a> {
             time_spent: 0.0,
             overhead: 0.0,
             cells_executed: 0,
+            trace: Vec::new(),
             curve: Curve::new(name),
         };
         explorer.record_point();
@@ -192,14 +211,17 @@ impl<'a> Explorer<'a> {
         for choice in selection {
             debug_assert!(choice.row < self.active_rows);
             let truth = self.oracle.true_latency(choice.row, choice.col);
-            if truth <= choice.timeout {
-                self.wm.set_complete(choice.row, choice.col, truth);
-                self.time_spent += truth;
-            } else {
+            let censored = truth > choice.timeout;
+            let charged = if censored {
                 // Timed out: charge the timeout, learn the lower bound.
                 self.wm.set_censored(choice.row, choice.col, choice.timeout);
-                self.time_spent += choice.timeout;
-            }
+                choice.timeout
+            } else {
+                self.wm.set_complete(choice.row, choice.col, truth);
+                truth
+            };
+            self.time_spent += charged;
+            self.trace.push(TraceEntry { row: choice.row, col: choice.col, charged, censored });
             self.cells_executed += 1;
         }
         self.record_point();

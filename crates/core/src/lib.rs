@@ -16,7 +16,10 @@
 //!   seconds, Eq. 3), wall-clock overhead metering for the predictive
 //!   models, workload shift (§5.3) and data shift (§5.4) events,
 //! * [`metrics`] — latency-vs-exploration-time curves and the summary
-//!   statistics the paper's figures report.
+//!   statistics the paper's figures report,
+//! * [`scenario`] — declarative [`scenario::PolicySpec`]s, the policy side
+//!   of the scenario engine (`limeqo-sim` declares the environments, the
+//!   bench runner executes the cross product).
 //!
 //! The crate is DBMS-agnostic: the exploration harness only sees an
 //! [`explore::Oracle`] of true latencies, which `limeqo-sim` provides from
@@ -30,10 +33,12 @@ pub mod matrix;
 pub mod metrics;
 pub mod online;
 pub mod policy;
+pub mod scenario;
 
 pub use complete::{AlsCompleter, Completer, NucCompleter, SvtCompleter};
-pub use explore::{ExploreConfig, Explorer, MatOracle, Oracle};
+pub use explore::{ExploreConfig, Explorer, MatOracle, Oracle, TraceEntry};
 pub use matrix::{Cell, WorkloadMatrix};
 pub use metrics::{Curve, CurvePoint};
 pub use online::{OnlineConfig, OnlineExplorer, OnlineStats};
 pub use policy::{CellChoice, Policy, PolicyCtx};
+pub use scenario::PolicySpec;

@@ -1,0 +1,211 @@
+//! Policy-side glue for the scenario engine.
+//!
+//! A scenario (see `limeqo-sim`'s `scenario` module) pairs an environment —
+//! workload, drift schedule, hint-space shape — with a *policy spec*: a
+//! declarative, comparable description of which exploration technique to
+//! run and at what exploration budget. This module owns the policy side so
+//! the environment crates never need to name concrete policy types: the
+//! runner in `limeqo-bench` matches a [`PolicySpec`] to boxed [`Policy`]
+//! values (or to an online-exploration configuration) right before a run.
+//!
+//! Neural (TCNN) policies are deliberately absent: they need a materialized
+//! workload for plan featurization, so the bench harness's
+//! `technique_policy` remains their construction point. Scenario specs stay
+//! linear-algebra-only and therefore cheap enough for the golden
+//! regression suite to run on every `cargo test`.
+
+use crate::complete::{AlsCompleter, Completer};
+use crate::online::OnlineConfig;
+use crate::policy::{GreedyPolicy, LimeQoPolicy, Policy, QoAdvisorPolicy, RandomPolicy};
+
+/// Declarative description of the exploration technique a scenario runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicySpec {
+    /// Uniform-random unobserved cells (the paper's floor baseline).
+    Random,
+    /// Longest-running-query-first (§4.2's Greedy).
+    Greedy,
+    /// Lowest-optimizer-cost-first (QO-Advisor adapted; needs est-cost).
+    QoAdvisor,
+    /// LimeQO: Algorithm 1 with censored non-negative ALS at this rank.
+    LimeQoAls {
+        /// Factorization rank r (paper default 5).
+        rank: usize,
+    },
+    /// LimeQO with censored handling disabled (the Fig. 16 ablation).
+    LimeQoAlsNoCensor,
+    /// Online exploration (§6 future work): arrivals served from the
+    /// incumbent hint, occasionally gambling on the completed matrix's best
+    /// unverified hint under a `rho × incumbent` cancellation bound.
+    OnlineAls {
+        /// ALS rank for the matrix refreshes.
+        rank: usize,
+        /// Probability an arrival explores instead of exploiting.
+        explore_prob: f64,
+        /// Bounded-regression factor ρ (≥ 1).
+        rho: f64,
+        /// Matrix re-completion period in arrivals.
+        refresh_every: usize,
+    },
+}
+
+impl PolicySpec {
+    /// Stable name used in reports, metrics keys, and figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicySpec::Random => "random",
+            PolicySpec::Greedy => "greedy",
+            PolicySpec::QoAdvisor => "qo-advisor",
+            PolicySpec::LimeQoAls { .. } => "limeqo",
+            PolicySpec::LimeQoAlsNoCensor => "limeqo-wocensored",
+            PolicySpec::OnlineAls { .. } => "online-als",
+        }
+    }
+
+    /// Whether this spec is served by the online explorer (arrival-driven)
+    /// rather than the offline [`crate::explore::Explorer`].
+    pub fn is_online(&self) -> bool {
+        matches!(self, PolicySpec::OnlineAls { .. })
+    }
+
+    /// Whether the LimeQO-vs-Random calibrated invariant applies: the spec
+    /// is an offline low-rank learner expected to do no worse than random
+    /// exploration at equal budget.
+    pub fn expects_to_beat_random(&self) -> bool {
+        matches!(self, PolicySpec::LimeQoAls { .. } | PolicySpec::LimeQoAlsNoCensor)
+    }
+
+    /// Build the offline policy for one seeded run.
+    ///
+    /// # Panics
+    /// Panics for [`PolicySpec::OnlineAls`] — online specs are driven by
+    /// [`crate::online::OnlineExplorer`]; use [`PolicySpec::online_config`]
+    /// and [`PolicySpec::build_completer`] instead.
+    pub fn build_policy(&self, seed: u64) -> Box<dyn Policy> {
+        match self {
+            PolicySpec::Random => Box::new(RandomPolicy),
+            PolicySpec::Greedy => Box::new(GreedyPolicy),
+            PolicySpec::QoAdvisor => Box::new(QoAdvisorPolicy),
+            PolicySpec::LimeQoAls { rank } => Box::new(LimeQoPolicy::new(
+                Box::new(AlsCompleter::with_rank(*rank, seed)),
+                "limeqo",
+            )),
+            PolicySpec::LimeQoAlsNoCensor => Box::new(LimeQoPolicy::new(
+                Box::new(AlsCompleter::without_censoring(seed)),
+                "limeqo-wocensored",
+            )),
+            PolicySpec::OnlineAls { .. } => {
+                panic!("online policy specs are run by OnlineExplorer, not Explorer")
+            }
+        }
+    }
+
+    /// Online-explorer configuration for [`PolicySpec::OnlineAls`].
+    pub fn online_config(&self, seed: u64) -> Option<OnlineConfig> {
+        match self {
+            PolicySpec::OnlineAls { explore_prob, rho, refresh_every, .. } => Some(OnlineConfig {
+                explore_prob: *explore_prob,
+                rho: *rho,
+                refresh_every: *refresh_every,
+                seed,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Completer for the online explorer's matrix refreshes.
+    pub fn build_completer(&self, seed: u64) -> Box<dyn Completer + Send> {
+        match self {
+            PolicySpec::OnlineAls { rank, .. } | PolicySpec::LimeQoAls { rank } => {
+                Box::new(AlsCompleter::with_rank(*rank, seed))
+            }
+            _ => Box::new(AlsCompleter::paper_default(seed)),
+        }
+    }
+}
+
+/// True when a latency trajectory segment is monotone non-increasing —
+/// the no-regressions guarantee every offline scenario asserts between
+/// drift events.
+pub fn segment_monotone(latencies: &[f64]) -> bool {
+    latencies.windows(2).all(|w| w[1] <= w[0] + 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{ExploreConfig, Explorer, MatOracle};
+    use limeqo_linalg::rng::SeededRng;
+
+    #[test]
+    fn names_are_unique_and_stable() {
+        let specs = [
+            PolicySpec::Random,
+            PolicySpec::Greedy,
+            PolicySpec::QoAdvisor,
+            PolicySpec::LimeQoAls { rank: 5 },
+            PolicySpec::LimeQoAlsNoCensor,
+            PolicySpec::OnlineAls { rank: 5, explore_prob: 0.1, rho: 1.2, refresh_every: 64 },
+        ];
+        let names: Vec<&str> = specs.iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn offline_specs_build_runnable_policies() {
+        let mut rng = SeededRng::new(11);
+        let q = rng.uniform_mat(8, 2, 0.5, 2.0);
+        let h = rng.uniform_mat(6, 2, 0.2, 1.5);
+        let mut lat = q.matmul_t(&h).unwrap();
+        for i in 0..8 {
+            lat[(i, 0)] += 1.0;
+        }
+        let est = lat.clone();
+        let oracle = MatOracle::new(lat, Some(est));
+        for spec in [
+            PolicySpec::Random,
+            PolicySpec::Greedy,
+            PolicySpec::QoAdvisor,
+            PolicySpec::LimeQoAls { rank: 3 },
+            PolicySpec::LimeQoAlsNoCensor,
+        ] {
+            let policy = spec.build_policy(7);
+            let cfg = ExploreConfig { batch: 4, seed: 7, ..Default::default() };
+            let mut ex = Explorer::new(&oracle, policy, cfg, 8);
+            ex.run_until(1e9);
+            assert!(
+                ex.workload_latency() <= oracle.default_total() + 1e-9,
+                "{} regressed",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn online_spec_exposes_config_not_policy() {
+        let spec = PolicySpec::OnlineAls { rank: 4, explore_prob: 0.2, rho: 1.5, refresh_every: 8 };
+        assert!(spec.is_online());
+        let cfg = spec.online_config(3).expect("online config");
+        assert_eq!(cfg.refresh_every, 8);
+        assert_eq!(cfg.seed, 3);
+        assert!(PolicySpec::Random.online_config(3).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "online policy specs")]
+    fn online_spec_panics_as_offline_policy() {
+        let spec = PolicySpec::OnlineAls { rank: 4, explore_prob: 0.2, rho: 1.5, refresh_every: 8 };
+        let _ = spec.build_policy(0);
+    }
+
+    #[test]
+    fn segment_monotone_checks() {
+        assert!(segment_monotone(&[3.0, 2.0, 2.0, 1.5]));
+        assert!(!segment_monotone(&[3.0, 2.0, 2.5]));
+        assert!(segment_monotone(&[]));
+        assert!(segment_monotone(&[1.0]));
+    }
+}

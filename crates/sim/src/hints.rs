@@ -151,6 +151,21 @@ impl HintSpace {
     pub fn default_index(&self) -> usize {
         0
     }
+
+    /// Restrict the space to the configurations at `indices` (scenario
+    /// hint-space shapes: deployments often expose only a vetted hint
+    /// subset). The default hint is prepended if `indices` omits index 0,
+    /// preserving the column-0-is-default convention.
+    pub fn subset(&self, indices: &[usize]) -> HintSpace {
+        let mut configs = vec![self.configs[0]];
+        for &i in indices {
+            assert!(i < self.configs.len(), "hint index {i} out of range");
+            if i != 0 {
+                configs.push(self.configs[i]);
+            }
+        }
+        HintSpace { configs }
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +184,19 @@ mod tests {
         assert_eq!(d, HintConfig::default_hint());
         assert!(d.hash_join && d.merge_join && d.nest_loop);
         assert!(d.seq_scan && d.index_scan && d.index_only_scan);
+    }
+
+    #[test]
+    fn subset_keeps_default_first() {
+        let space = HintSpace::all();
+        let sub = space.subset(&[5, 12, 0, 48]);
+        assert_eq!(sub.len(), 4);
+        assert_eq!(sub.get(0), HintConfig::default_hint());
+        assert_eq!(sub.get(1), space.get(5));
+        assert_eq!(sub.get(3), space.get(48));
+        let no_default = space.subset(&[3, 7]);
+        assert_eq!(no_default.len(), 3);
+        assert_eq!(no_default.get(0), HintConfig::default_hint());
     }
 
     #[test]

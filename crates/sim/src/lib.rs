@@ -23,6 +23,9 @@
 //!   Stack and DSB lookalikes ([`workloads`]),
 //! * a **data drift model** that grows tables and perturbs selectivities
 //!   over simulated days ([`drift`]),
+//! * a **scenario engine** of declarative workload × drift × hint-shape ×
+//!   policy specs and a registry of named scenarios beyond the paper's
+//!   four workloads ([`scenario`]),
 //! * **plan featurization** for the tree convolutional neural networks
 //!   ([`features`]).
 //!
@@ -39,6 +42,7 @@ pub mod hints;
 pub mod optimizer;
 pub mod plan;
 pub mod query;
+pub mod scenario;
 pub mod workloads;
 
 pub use catalog::{Catalog, Column, Table};
@@ -49,4 +53,8 @@ pub use hints::{HintConfig, HintSpace};
 pub use optimizer::Optimizer;
 pub use plan::{JoinMethod, PlanTree, ScanMethod};
 pub use query::{JoinEdge, Query, QueryClass, TableRef};
+pub use scenario::{
+    ArrivalModel, ArrivalSpec, DriftEvent, DriftKind, HintShape, ScenarioSpec, ScenarioWorkload,
+    SyntheticSpec,
+};
 pub use workloads::{OracleMatrices, Workload, WorkloadSpec};

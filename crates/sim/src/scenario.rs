@@ -1,0 +1,645 @@
+//! The scenario engine's environment side: declarative [`ScenarioSpec`]s —
+//! workload × drift schedule × hint-space shape × policy + budget × seeds —
+//! and a registry of named scenarios well beyond the paper's four
+//! workloads.
+//!
+//! The paper certifies LimeQO on exactly four workload points (Table 1).
+//! Offline optimizers live or die on everything those four points hold
+//! fixed: query-frequency skew, latency tail shape, mid-run drift, hint
+//! availability, exploration-budget regimes. Each [`ScenarioSpec`] in
+//! [`registry`] pins one of those axes; the bench crate's scenario runner
+//! executes them and `tests/tests/scenarios.rs` locks their summaries in a
+//! golden file so later scale/speed PRs regress against the whole matrix,
+//! not just the paper's tables.
+//!
+//! This module is *data only*: building oracles, running policies, and
+//! aggregating metrics live in `limeqo-bench::scenario_runner`. Keeping
+//! specs declarative means a scenario is printable, diffable, and cheap to
+//! enumerate — adding one is a single registry entry (see README.md).
+
+use crate::catalog::CatalogSpec;
+use crate::query::{JoinShape, QueryClass};
+use crate::workloads::{ClassMix, WorkloadSpec};
+use limeqo_core::scenario::PolicySpec;
+use limeqo_linalg::rng::SeededRng;
+use limeqo_linalg::Mat;
+
+/// The environment a scenario explores.
+#[derive(Debug, Clone)]
+pub enum ScenarioWorkload {
+    /// A full simulated-DBMS workload (catalog, optimizer, executor).
+    Sim(WorkloadSpec),
+    /// A synthetic low-rank latency matrix with no planner behind it —
+    /// used where the DBMS layer is irrelevant noise: scale scenarios
+    /// (10 k-query matrices) and censoring-shape scenarios that need exact
+    /// control over the default column's position in each row.
+    Synthetic(SyntheticSpec),
+}
+
+impl ScenarioWorkload {
+    /// Row count the scenario's matrix will have.
+    pub fn n_queries(&self) -> usize {
+        match self {
+            ScenarioWorkload::Sim(spec) => spec.n_queries,
+            ScenarioWorkload::Synthetic(spec) => spec.n,
+        }
+    }
+}
+
+/// Generator for a synthetic low-rank true-latency matrix.
+#[derive(Debug, Clone)]
+pub struct SyntheticSpec {
+    /// Rows (queries).
+    pub n: usize,
+    /// Columns (hints) before the hint shape is applied.
+    pub k: usize,
+    /// Rank of the noise-free base `Q Hᵀ`.
+    pub rank: usize,
+    /// Multiplier applied to column 0 — the synthetic headroom knob.
+    /// Values near 1 make the default nearly optimal per row, which is the
+    /// censoring-hostile regime: almost every probe exceeds the row-best
+    /// timeout and lands as a censored cell.
+    pub default_inflation: f64,
+    /// Lognormal σ of the per-cell noise on top of the low-rank base.
+    pub noise_sigma: f64,
+    /// Generator seed (independent of the exploration seeds).
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// Materialize the true-latency matrix.
+    pub fn build_latency(&self) -> Mat {
+        let mut rng = SeededRng::new(self.seed ^ 0x5CE7_A210);
+        let q = rng.uniform_mat(self.n, self.rank, 0.5, 2.0);
+        let h = rng.uniform_mat(self.k, self.rank, 0.2, 1.5);
+        let mut lat = q.matmul_t(&h).expect("rank dims agree");
+        if self.noise_sigma > 0.0 {
+            for v in lat.as_mut_slice() {
+                *v *= rng.log_normal(0.0, self.noise_sigma);
+            }
+        }
+        for i in 0..self.n {
+            lat[(i, 0)] *= self.default_inflation;
+        }
+        lat
+    }
+}
+
+/// Which columns of the full hint space a scenario exposes.
+///
+/// Real deployments rarely expose all 49 hint sets — fleet operators vet a
+/// handful of safe configurations. The shape is applied before the oracle
+/// is built, so both the exploration matrix and the optimal total are
+/// defined over the restricted space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HintShape {
+    /// The full space (49 hints for the simulator).
+    Full,
+    /// The first `n` hints (default always included).
+    Prefix(usize),
+    /// Every `stride`-th hint starting at the default.
+    Strided(usize),
+}
+
+impl HintShape {
+    /// Column indices into the full `k`-wide space this shape keeps.
+    pub fn indices(&self, full_k: usize) -> Vec<usize> {
+        match *self {
+            HintShape::Full => (0..full_k).collect(),
+            HintShape::Prefix(n) => {
+                assert!(n >= 2 && n <= full_k, "prefix must keep >= 2 of {full_k} hints");
+                (0..n).collect()
+            }
+            HintShape::Strided(stride) => {
+                assert!(stride >= 1, "stride must be >= 1");
+                (0..full_k).step_by(stride).collect()
+            }
+        }
+    }
+}
+
+/// One scheduled mid-run change of the environment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftEvent {
+    /// When the event fires, as a fraction of the offline budget.
+    pub at_frac: f64,
+    /// What changes.
+    pub kind: DriftKind,
+}
+
+/// The two drift flavours the paper studies (§5.3, §5.4), schedulable at
+/// any budget fraction and composable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftKind {
+    /// §5.4 complete data shift: the database ages `days` (growth +
+    /// selectivity walk); the oracle is rebuilt uncalibrated and swapped
+    /// in, keeping each query's cached best hint.
+    DataShift {
+        /// Simulated days between the snapshots.
+        days: f64,
+    },
+    /// §5.3 workload shift: `count` held-back queries arrive; their
+    /// default plans are observed online (uncharged).
+    AddQueries {
+        /// Number of arriving queries.
+        count: usize,
+    },
+}
+
+/// Arrival process for online-exploration scenarios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalModel {
+    /// Every query equally likely per arrival.
+    Uniform,
+    /// Zipf-skewed query frequencies: query popularity rank `r` (a seeded
+    /// permutation of the rows) arrives with probability ∝ `1/r^exponent`.
+    /// Production workloads are almost never uniform; skew concentrates
+    /// observations on hot rows and starves the matrix of cold-row cells.
+    Zipf {
+        /// Skew exponent (1.0–1.3 is typical of production query logs).
+        exponent: f64,
+    },
+}
+
+/// Arrival trace configuration for online scenarios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalSpec {
+    /// Arrivals served per seeded run.
+    pub count: usize,
+    /// Which rows arrive how often.
+    pub model: ArrivalModel,
+}
+
+impl ArrivalSpec {
+    /// Generate the deterministic arrival trace for one seeded run.
+    pub fn trace(&self, n_rows: usize, seed: u64) -> Vec<usize> {
+        assert!(n_rows > 0, "arrival trace needs at least one query");
+        let mut rng = SeededRng::new(seed ^ 0xA221_7AB5);
+        match self.model {
+            ArrivalModel::Uniform => (0..self.count).map(|_| rng.index(n_rows)).collect(),
+            ArrivalModel::Zipf { exponent } => {
+                // Popularity rank -> row via a seeded permutation, then
+                // inverse-CDF sampling over the Zipf weights.
+                let mut rows: Vec<usize> = (0..n_rows).collect();
+                rng.shuffle(&mut rows);
+                let weights: Vec<f64> =
+                    (0..n_rows).map(|r| 1.0 / ((r + 1) as f64).powf(exponent)).collect();
+                let total: f64 = weights.iter().sum();
+                let mut cdf = Vec::with_capacity(n_rows);
+                let mut acc = 0.0;
+                for w in &weights {
+                    acc += w / total;
+                    cdf.push(acc);
+                }
+                (0..self.count)
+                    .map(|_| {
+                        let x = rng.uniform(0.0, 1.0);
+                        let rank = cdf.partition_point(|&c| c < x).min(n_rows - 1);
+                        rows[rank]
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// A fully declarative scenario: everything the runner needs to reproduce
+/// a run bit for bit.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Unique registry name (metrics keys derive from it).
+    pub name: &'static str,
+    /// One-line description shown by `scenario --list`.
+    pub summary: &'static str,
+    /// The environment.
+    pub workload: ScenarioWorkload,
+    /// Hint-space shape applied before the oracle is built.
+    pub hint_shape: HintShape,
+    /// Mid-run drift events, fired in `at_frac` order.
+    pub drift: Vec<DriftEvent>,
+    /// The exploration technique.
+    pub policy: PolicySpec,
+    /// Offline budget as a multiple of the workload's default total
+    /// (ignored by online scenarios, which are arrival-bounded).
+    pub budget_multiple: f64,
+    /// Exploration batch m (cells per step).
+    pub batch: usize,
+    /// Seeds; deterministic per-seed runs, metrics are seed means.
+    pub seeds: Vec<u64>,
+    /// Arrival process — present iff `policy.is_online()`.
+    pub arrivals: Option<ArrivalSpec>,
+}
+
+impl ScenarioSpec {
+    /// Total queries scheduled to arrive via `AddQueries` events.
+    pub fn arriving_queries(&self) -> usize {
+        self.drift
+            .iter()
+            .map(|e| match e.kind {
+                DriftKind::AddQueries { count } => count,
+                DriftKind::DataShift { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Sanity-check the spec's internal consistency (panics on violation).
+    pub fn validate(&self) {
+        assert!(!self.seeds.is_empty(), "{}: at least one seed", self.name);
+        assert!(self.batch >= 1, "{}: batch >= 1", self.name);
+        assert_eq!(
+            self.policy.is_online(),
+            self.arrivals.is_some(),
+            "{}: arrivals present iff the policy is online",
+            self.name
+        );
+        if self.policy.is_online() {
+            // The online runner is arrival-driven and does not process
+            // drift schedules; a drift event there would be silently
+            // ignored, which is worse than rejecting the spec.
+            assert!(
+                self.drift.is_empty(),
+                "{}: drift schedules are not supported for online policies",
+                self.name
+            );
+        } else {
+            assert!(self.budget_multiple > 0.0, "{}: positive budget", self.name);
+        }
+        let n = self.workload.n_queries();
+        assert!(
+            self.arriving_queries() < n,
+            "{}: arriving queries must leave an initial workload",
+            self.name
+        );
+        let mut last = 0.0;
+        for e in &self.drift {
+            assert!(
+                e.at_frac > 0.0 && e.at_frac < 1.0,
+                "{}: drift events fire strictly inside the budget",
+                self.name
+            );
+            assert!(e.at_frac >= last, "{}: drift events sorted by at_frac", self.name);
+            last = e.at_frac;
+            if matches!(e.kind, DriftKind::DataShift { .. }) {
+                assert!(
+                    matches!(self.workload, ScenarioWorkload::Sim(_)),
+                    "{}: data shift needs a simulated workload",
+                    self.name
+                );
+            }
+        }
+    }
+}
+
+/// A small heavy-tailed workload: a few enormous snowflake joins with big
+/// fanout variance over a mostly cheap body — the latency tail regime the
+/// paper's calibrated workloads smooth over.
+fn heavy_tail_spec(n_queries: usize, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "heavy-tail".into(),
+        n_queries,
+        catalog: CatalogSpec {
+            name: "heavy-tail-sim".into(),
+            n_tables: 12,
+            rows_range: (1e4, 8e7),
+            width_range: (50.0, 400.0),
+            index_prob: 0.45,
+            fact_fraction: 0.35,
+        },
+        class_mix: vec![
+            ClassMix {
+                class: QueryClass::WellEstimated,
+                weight: 0.7,
+                shape: JoinShape::Chain,
+                n_tables: (2, 4),
+                pred_sel_range: (1e-3, 0.05),
+                fanout: (0.3, 0.4),
+                pred_prob: 0.6,
+            },
+            ClassMix {
+                class: QueryClass::NestLoopTrap,
+                weight: 0.3,
+                shape: JoinShape::Snowflake,
+                n_tables: (6, 10),
+                pred_sel_range: (0.05, 0.6),
+                fanout: (1.1, 0.9),
+                pred_prob: 0.3,
+            },
+        ],
+        target_default_total: 300.0,
+        templates: None,
+        seed,
+    }
+}
+
+/// A near-zero-headroom workload: every query well estimated, so the
+/// default plan is already close to optimal and exploration has almost
+/// nothing to win. Pins that LimeQO degrades gracefully instead of
+/// thrashing when there is no low-rank signal worth chasing.
+fn tiny_headroom_spec(n_queries: usize, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "tiny-headroom".into(),
+        n_queries,
+        catalog: CatalogSpec {
+            name: "tiny-headroom-sim".into(),
+            n_tables: 10,
+            rows_range: (1e4, 5e6),
+            width_range: (50.0, 250.0),
+            index_prob: 0.6,
+            fact_fraction: 0.3,
+        },
+        class_mix: vec![ClassMix {
+            class: QueryClass::WellEstimated,
+            weight: 1.0,
+            shape: JoinShape::Chain,
+            n_tables: (2, 5),
+            pred_sel_range: (1e-3, 0.1),
+            fanout: (0.3, 0.4),
+            pred_prob: 0.6,
+        }],
+        target_default_total: 90.0,
+        templates: None,
+        seed,
+    }
+}
+
+/// The named scenario registry — the matrix the golden suite pins.
+///
+/// Every entry must stay fast enough for `cargo test` (a few seconds at
+/// opt-level 2); heavyweight variants belong behind the `scenario` bin's
+/// `--full` flag, not in here.
+pub fn registry() -> Vec<ScenarioSpec> {
+    let specs = vec![
+        ScenarioSpec {
+            name: "job-mini",
+            summary: "JOB-like mini workload, LimeQO at 2x default budget (paper baseline)",
+            workload: ScenarioWorkload::Sim(WorkloadSpec::job().scaled(0.35)),
+            hint_shape: HintShape::Full,
+            drift: vec![],
+            policy: PolicySpec::LimeQoAls { rank: 5 },
+            budget_multiple: 2.0,
+            batch: 16,
+            seeds: vec![11, 12],
+            arrivals: None,
+        },
+        ScenarioSpec {
+            name: "heavy-tail",
+            summary: "heavy-tailed latency classes: a few huge snowflake joins over a cheap body",
+            workload: ScenarioWorkload::Sim(heavy_tail_spec(48, 0x4EA7)),
+            hint_shape: HintShape::Full,
+            drift: vec![],
+            policy: PolicySpec::LimeQoAls { rank: 5 },
+            budget_multiple: 1.5,
+            batch: 16,
+            seeds: vec![21, 22],
+            arrivals: None,
+        },
+        ScenarioSpec {
+            name: "tiny-headroom",
+            summary: "all queries well-estimated: almost nothing for exploration to win",
+            workload: ScenarioWorkload::Sim(tiny_headroom_spec(40, 0x71D0)),
+            hint_shape: HintShape::Full,
+            drift: vec![],
+            policy: PolicySpec::LimeQoAls { rank: 5 },
+            budget_multiple: 1.0,
+            batch: 16,
+            seeds: vec![31, 32],
+            arrivals: None,
+        },
+        ScenarioSpec {
+            name: "template-drift",
+            summary: "templated workload; a third of the templates arrive mid-run (\u{a7}5.3)",
+            workload: ScenarioWorkload::Sim({
+                let mut spec = WorkloadSpec::tiny(48, 0x7E3A);
+                spec.name = "template-drift".into();
+                spec.templates = Some(8);
+                spec
+            }),
+            hint_shape: HintShape::Full,
+            drift: vec![DriftEvent { at_frac: 0.5, kind: DriftKind::AddQueries { count: 16 } }],
+            policy: PolicySpec::LimeQoAls { rank: 5 },
+            budget_multiple: 2.0,
+            batch: 16,
+            seeds: vec![41, 42],
+            arrivals: None,
+        },
+        ScenarioSpec {
+            name: "data-shift",
+            summary: "complete data shift mid-run: two years of growth + drift (\u{a7}5.4)",
+            workload: ScenarioWorkload::Sim(WorkloadSpec::tiny(36, 0xD5_1F7)),
+            hint_shape: HintShape::Full,
+            drift: vec![DriftEvent { at_frac: 0.4, kind: DriftKind::DataShift { days: 730.0 } }],
+            policy: PolicySpec::LimeQoAls { rank: 5 },
+            budget_multiple: 6.0,
+            batch: 8,
+            seeds: vec![51, 52],
+            arrivals: None,
+        },
+        ScenarioSpec {
+            name: "growing-catalog",
+            summary: "greedy explorer caught by a year of catalog growth under cached plans",
+            workload: ScenarioWorkload::Sim(WorkloadSpec::tiny(30, 0x69_0CA7)),
+            hint_shape: HintShape::Full,
+            drift: vec![DriftEvent { at_frac: 0.6, kind: DriftKind::DataShift { days: 365.0 } }],
+            policy: PolicySpec::Greedy,
+            budget_multiple: 1.5,
+            batch: 8,
+            seeds: vec![61],
+            arrivals: None,
+        },
+        ScenarioSpec {
+            name: "hint-prefix-9",
+            summary: "restricted hint space: only the first 9 of 49 hint sets are deployable",
+            workload: ScenarioWorkload::Sim(WorkloadSpec::tiny(30, 0x9F_0E11)),
+            hint_shape: HintShape::Prefix(9),
+            drift: vec![],
+            policy: PolicySpec::LimeQoAls { rank: 3 },
+            budget_multiple: 3.0,
+            batch: 4,
+            seeds: vec![71, 72, 73],
+            arrivals: None,
+        },
+        ScenarioSpec {
+            name: "censor-hostile",
+            summary: "default nearly optimal per row: almost every probe times out (censored)",
+            workload: ScenarioWorkload::Synthetic(SyntheticSpec {
+                n: 400,
+                k: 49,
+                rank: 5,
+                default_inflation: 1.03,
+                noise_sigma: 0.4,
+                seed: 0xCE_50,
+            }),
+            hint_shape: HintShape::Full,
+            drift: vec![],
+            policy: PolicySpec::LimeQoAls { rank: 5 },
+            budget_multiple: 1.0,
+            batch: 32,
+            seeds: vec![81, 82],
+            arrivals: None,
+        },
+        ScenarioSpec {
+            name: "large-matrix-10k",
+            summary: "10k-query synthetic low-rank matrix: the scale regime beyond Stack",
+            workload: ScenarioWorkload::Synthetic(SyntheticSpec {
+                n: 10_000,
+                k: 49,
+                rank: 5,
+                default_inflation: 2.5,
+                noise_sigma: 0.1,
+                seed: 0x10_000,
+            }),
+            hint_shape: HintShape::Full,
+            drift: vec![],
+            policy: PolicySpec::LimeQoAls { rank: 5 },
+            budget_multiple: 0.25,
+            batch: 512,
+            seeds: vec![91],
+            arrivals: None,
+        },
+        ScenarioSpec {
+            name: "online-uniform",
+            summary: "online exploration (\u{a7}6): uniform arrivals, bounded \u{3c1}-regression",
+            workload: ScenarioWorkload::Sim(WorkloadSpec::tiny(32, 0x0A11E)),
+            hint_shape: HintShape::Full,
+            drift: vec![],
+            policy: PolicySpec::OnlineAls {
+                rank: 5,
+                explore_prob: 0.15,
+                rho: 1.2,
+                refresh_every: 64,
+            },
+            budget_multiple: 0.0,
+            batch: 1,
+            seeds: vec![101, 102],
+            arrivals: Some(ArrivalSpec { count: 2500, model: ArrivalModel::Uniform }),
+        },
+        ScenarioSpec {
+            name: "online-zipf",
+            summary: "online exploration under zipf(1.1) query-frequency skew",
+            workload: ScenarioWorkload::Sim(WorkloadSpec::tiny(48, 0x21FF)),
+            hint_shape: HintShape::Full,
+            drift: vec![],
+            policy: PolicySpec::OnlineAls {
+                rank: 5,
+                explore_prob: 0.15,
+                rho: 1.2,
+                refresh_every: 64,
+            },
+            budget_multiple: 0.0,
+            batch: 1,
+            seeds: vec![111, 112],
+            arrivals: Some(ArrivalSpec {
+                count: 3000,
+                model: ArrivalModel::Zipf { exponent: 1.1 },
+            }),
+        },
+    ];
+    for s in &specs {
+        s.validate();
+    }
+    specs
+}
+
+/// Look a scenario up by name.
+pub fn by_name(name: &str) -> Option<ScenarioSpec> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_unique_and_enough() {
+        let specs = registry();
+        assert!(specs.len() >= 8, "registry must stay ahead of the paper's four workloads");
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), specs.len());
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        for spec in registry() {
+            assert_eq!(by_name(spec.name).expect("present").name, spec.name);
+        }
+        assert!(by_name("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn synthetic_latency_is_positive_and_deterministic() {
+        let spec = SyntheticSpec {
+            n: 50,
+            k: 12,
+            rank: 3,
+            default_inflation: 2.0,
+            noise_sigma: 0.2,
+            seed: 9,
+        };
+        let a = spec.build_latency();
+        let b = spec.build_latency();
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert!(a.as_slice().iter().all(|&v| v > 0.0));
+        assert_eq!(a.shape(), (50, 12));
+    }
+
+    #[test]
+    fn hint_shapes_index_correctly() {
+        assert_eq!(HintShape::Full.indices(5), vec![0, 1, 2, 3, 4]);
+        assert_eq!(HintShape::Prefix(3).indices(49), vec![0, 1, 2]);
+        assert_eq!(HintShape::Strided(20).indices(49), vec![0, 20, 40]);
+    }
+
+    #[test]
+    fn zipf_trace_is_skewed_and_seeded() {
+        let spec = ArrivalSpec { count: 4000, model: ArrivalModel::Zipf { exponent: 1.2 } };
+        let a = spec.trace(30, 5);
+        let b = spec.trace(30, 5);
+        let c = spec.trace(30, 6);
+        assert_eq!(a, b, "same seed, same trace");
+        assert_ne!(a, c, "different seed, different trace");
+        assert!(a.iter().all(|&r| r < 30));
+        // The hottest row must dominate a uniform share by a wide margin.
+        let mut counts = vec![0usize; 30];
+        for &r in &a {
+            counts[r] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(max > 3 * a.len() / 30, "zipf skew too weak: max count {max}");
+    }
+
+    #[test]
+    fn uniform_trace_covers_rows() {
+        let spec = ArrivalSpec { count: 2000, model: ArrivalModel::Uniform };
+        let t = spec.trace(20, 3);
+        let mut seen = [false; 20];
+        for &r in &t {
+            seen[r] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn arriving_queries_counted() {
+        let spec = by_name("template-drift").unwrap();
+        assert_eq!(spec.arriving_queries(), 16);
+        assert_eq!(by_name("job-mini").unwrap().arriving_queries(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrivals present iff")]
+    fn validate_rejects_offline_spec_with_arrivals() {
+        let mut spec = by_name("job-mini").unwrap();
+        spec.arrivals = Some(ArrivalSpec { count: 10, model: ArrivalModel::Uniform });
+        spec.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "drift schedules are not supported for online")]
+    fn validate_rejects_online_spec_with_drift() {
+        let mut spec = by_name("online-uniform").unwrap();
+        spec.drift = vec![DriftEvent { at_frac: 0.5, kind: DriftKind::DataShift { days: 365.0 } }];
+        spec.validate();
+    }
+}

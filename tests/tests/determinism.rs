@@ -1,0 +1,88 @@
+//! Seed determinism: a full LimeQO exploration round must be a pure
+//! function of its seed. Two runs with the same seed produce
+//! byte-identical exploration traces (same cells, same order, same
+//! charged seconds, same censoring decisions) for both the ALS and the
+//! TCNN completers; different seeds diverge.
+//!
+//! The trace (`Explorer::trace`) is compared via its `Debug` rendering:
+//! Rust formats floats with shortest-round-trip precision, so equal bytes
+//! iff equal values. Wall-clock overhead is deliberately *not* part of the
+//! trace — it is the one nondeterministic quantity the harness meters.
+
+use limeqo_core::explore::{ExploreConfig, Explorer, MatOracle};
+use limeqo_core::policy::LimeQoPolicy;
+use limeqo_core::Policy;
+use limeqo_sim::workloads::{Workload, WorkloadSpec};
+use limeqo_tcnn::{TcnnConfig, TransductiveTcnnCompleter};
+
+fn trace_bytes(
+    workload: &Workload,
+    oracle: &MatOracle,
+    policy: Box<dyn Policy + '_>,
+    seed: u64,
+    budget: f64,
+) -> Vec<u8> {
+    let cfg = ExploreConfig { batch: 8, seed, ..Default::default() };
+    let mut ex = Explorer::new(oracle, policy, cfg, workload.n());
+    ex.run_until(budget);
+    assert!(ex.cells_executed > 0, "run must actually explore");
+    format!("{:?}", ex.trace).into_bytes()
+}
+
+fn build(n: usize, seed: u64) -> (Workload, MatOracle, f64) {
+    let mut w = WorkloadSpec::tiny(n, seed).build();
+    let m = w.build_oracle();
+    let budget = 1.5 * m.default_total;
+    (w, MatOracle::new(m.true_latency.clone(), Some(m.est_cost.clone())), budget)
+}
+
+#[test]
+fn als_trace_is_seed_deterministic() {
+    let (w, oracle, budget) = build(24, 0xDE7);
+    let run =
+        |seed: u64| trace_bytes(&w, &oracle, Box::new(LimeQoPolicy::with_als(seed)), seed, budget);
+    let a = run(7);
+    let b = run(7);
+    assert_eq!(a, b, "same seed must replay byte-identically");
+    let c = run(8);
+    assert_ne!(a, c, "different seeds must diverge");
+}
+
+#[test]
+fn tcnn_trace_is_seed_deterministic() {
+    let (w, oracle, budget) = build(14, 0x7C2);
+    // threads: 1 pins the gradient-shard reduction order, making the trace
+    // identical across machines, not just across runs on one machine.
+    let cfg = TcnnConfig { threads: 1, ..TcnnConfig::test_scale() };
+    let run = |seed: u64| {
+        let completer = TransductiveTcnnCompleter::new(&w, 5, cfg.clone(), seed);
+        trace_bytes(
+            &w,
+            &oracle,
+            Box::new(LimeQoPolicy::new(Box::new(completer), "limeqo+")),
+            seed,
+            budget,
+        )
+    };
+    let a = run(3);
+    let b = run(3);
+    assert_eq!(a, b, "same seed must replay byte-identically");
+    let c = run(4);
+    assert_ne!(a, c, "different seeds must diverge");
+}
+
+#[test]
+fn workload_oracle_rebuild_is_bitwise_stable() {
+    // The environment side of determinism: the same spec builds the same
+    // oracle bit for bit, including the parallel build path.
+    let build = || {
+        let mut w = WorkloadSpec::tiny(20, 0xB17).build();
+        w.build_oracle()
+    };
+    let a = build();
+    let b = build();
+    let bits =
+        |m: &limeqo_linalg::Mat| -> Vec<u64> { m.as_slice().iter().map(|v| v.to_bits()).collect() };
+    assert_eq!(bits(&a.true_latency), bits(&b.true_latency));
+    assert_eq!(bits(&a.est_cost), bits(&b.est_cost));
+}

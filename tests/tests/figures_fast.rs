@@ -1,29 +1,98 @@
-//! Smoke-run the cheap figure harnesses end to end (the expensive
-//! exploration figures are exercised by `cargo run -p limeqo-bench --bin all`).
+//! Smoke-run every figure module end to end, so a figure bin can't
+//! silently rot: each `run(&FigOpts::smoke())` exercises workload
+//! construction, the technique fan-out, and CSV emission at a tiny forced
+//! scale with the test-scale TCNN.
+//!
+//! Figures whose smoke run still exceeds ~5 s (full-scale oracle builds or
+//! per-step TCNN training) are `#[ignore]`d; the `./ci.sh --ignored` tier
+//! runs them.
 
-use limeqo_bench::figures::{fig14, fig17, fig18, table1, FigOpts};
+use limeqo_bench::figures::{
+    fig05, fig06_07, fig08, fig09, fig10, fig11, fig12_13, fig14, fig15, fig16, fig17, fig18,
+    table1, FigOpts,
+};
+use limeqo_bench::harness::WorkloadKind;
 
-fn fast_opts() -> FigOpts {
-    FigOpts { fast: true, seeds_linear: 1, seeds_neural: 1, ..Default::default() }
+fn smoke() -> FigOpts {
+    FigOpts::smoke()
 }
 
 #[test]
+fn workload_query_counts_match_paper() {
+    // The cheap half of table1's guard, kept in the default tier now that
+    // the full oracle build is #[ignore]d: specs must generate exactly the
+    // paper's query counts.
+    for kind in [WorkloadKind::Job, WorkloadKind::Ceb, WorkloadKind::Stack, WorkloadKind::Dsb] {
+        let (q_paper, _, _) = kind.paper_stats();
+        assert_eq!(kind.spec().n_queries, q_paper, "{} query count drifted", kind.name());
+        assert_eq!(kind.spec().build().n(), q_paper, "{} generator drifted", kind.name());
+    }
+}
+
+#[test]
+#[ignore = "slow: builds all four full-scale workload oracles (~20 s)"]
 fn table1_reproduces_query_counts() {
     // Panics internally if the query counts diverge from the paper.
-    table1::run(&fast_opts());
+    table1::run(&smoke());
+}
+
+#[test]
+#[ignore = "slow: six techniques x four workloads incl. TCNN training"]
+fn fig05_latency_after_budget_multiples() {
+    fig05::run(&smoke());
+}
+
+#[test]
+fn fig06_07_curves_and_overhead() {
+    fig06_07::run(&smoke());
+}
+
+#[test]
+fn fig08_greedy_trap() {
+    fig08::run(&smoke());
+}
+
+#[test]
+fn fig09_workload_shift() {
+    fig09::run(&smoke());
+}
+
+#[test]
+fn fig10_incremental_drift() {
+    fig10::run(&smoke());
+}
+
+#[test]
+fn fig11_data_shift() {
+    fig11::run(&smoke());
+}
+
+#[test]
+fn fig12_13_tcnn_vs_limeqo_plus() {
+    fig12_13::run(&smoke());
 }
 
 #[test]
 fn fig14_low_rank_spectrum() {
-    fig14::run(&fast_opts());
+    fig14::run(&smoke());
+}
+
+#[test]
+fn fig15_rank_sweep() {
+    fig15::run(&smoke());
+}
+
+#[test]
+fn fig16_censored_ablation() {
+    fig16::run(&smoke());
 }
 
 #[test]
 fn fig17_completion_comparison() {
-    fig17::run(&fast_opts());
+    fig17::run(&smoke());
 }
 
 #[test]
 fn fig18_bayesqo_comparison() {
-    fig18::run(&fast_opts());
+    fig18::run(&smoke());
 }

@@ -55,8 +55,12 @@ fn neural_overhead_exceeds_linear_overhead() {
         Explorer::new(&oracle, Box::new(LimeQoPolicy::new(Box::new(tcnn), "limeqo+")), cfg, w.n());
     neural.run_until(budget);
 
+    // At test scale the true gap is ~5–10x; assert 2x so scheduler noise
+    // under a fully loaded test run cannot flip the comparison (both
+    // overheads are wall-clock and this binary shares the machine with
+    // the scenario suite's fan-out).
     assert!(
-        neural.overhead > linear.overhead * 5.0,
+        neural.overhead > linear.overhead * 2.0,
         "neural {} vs linear {}",
         neural.overhead,
         linear.overhead

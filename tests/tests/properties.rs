@@ -5,7 +5,7 @@ use limeqo_core::explore::{ExploreConfig, Explorer, MatOracle};
 use limeqo_core::matrix::{Cell, WorkloadMatrix};
 use limeqo_core::policy::{GreedyPolicy, LimeQoPolicy, Policy, PolicyCtx, RandomPolicy};
 use limeqo_linalg::rng::SeededRng;
-use limeqo_linalg::{svd_thin, Mat};
+use limeqo_linalg::{cholesky, lu, ridge_solve, svd_thin, Mat};
 use limeqo_sim::catalog::{Catalog, CatalogSpec};
 use limeqo_sim::executor::Executor;
 use limeqo_sim::hints::HintSpace;
@@ -147,6 +147,78 @@ proptest! {
         // Random policy timeouts are the current row best (≤ default), so
         // the total spend cannot exceed the default-timeout bound.
         prop_assert!(ex.time_spent <= bound + 1e-6);
+    }
+
+    /// LU with partial pivoting solves well-conditioned square systems:
+    /// the residual ‖A·X̂ − B‖∞ stays at float-noise level.
+    #[test]
+    fn lu_solve_residual_bound(dims in (2usize..12, 1usize..5), seed in 0u64..500) {
+        let (n, q) = dims;
+        let mut rng = SeededRng::new(seed ^ 0x10);
+        let mut a = rng.gaussian_mat(n, n, 0.0, 1.0);
+        for i in 0..n {
+            a[(i, i)] += n as f64; // diagonally dominant => invertible
+        }
+        let x_true = rng.gaussian_mat(n, q, 0.0, 2.0);
+        let b = a.matmul(&x_true).unwrap();
+        let x = lu(&a).unwrap().solve(&b).unwrap();
+        let residual = limeqo_linalg::max_abs_diff(&a.matmul(&x).unwrap(), &b);
+        prop_assert!(residual < 1e-8 * n as f64, "residual {residual}");
+        prop_assert!(limeqo_linalg::max_abs_diff(&x, &x_true) < 1e-6, "solution off");
+    }
+
+    /// Cholesky of an SPD matrix reconstructs it: L·Lᵀ = GᵀG + δI.
+    #[test]
+    fn cholesky_reconstruction(dims in (1usize..8).prop_map(|p| (p + 2, p)), seed in 0u64..500) {
+        let (m, p) = dims;
+        let mut rng = SeededRng::new(seed ^ 0x20);
+        let g = rng.gaussian_mat(m, p, 0.0, 1.5);
+        let mut a = g.t_matmul(&g).unwrap();
+        for i in 0..p {
+            a[(i, i)] += 0.1;
+        }
+        let f = cholesky(&a).unwrap();
+        let l = f.l();
+        let back = l.matmul_t(l).unwrap();
+        let err = limeqo_linalg::max_abs_diff(&a, &back);
+        prop_assert!(err < 1e-9 * (1.0 + m as f64), "reconstruction err {err}");
+        // Factor is lower triangular with positive diagonal.
+        for i in 0..p {
+            prop_assert!(l[(i, i)] > 0.0);
+            for j in (i + 1)..p {
+                prop_assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+    }
+
+    /// `ridge_solve` satisfies its normal equations
+    /// `(GᵀG + λI)X = GᵀB` to float noise, for λ = 0 and λ > 0 alike —
+    /// the contract Algorithm 2's ALS factor updates rely on.
+    #[test]
+    fn ridge_solve_residual_bounds(
+        dims in (3usize..16, 1usize..5, 1usize..4),
+        lambda in 0.0f64..3.0,
+        seed in 0u64..500,
+    ) {
+        let (m, p, q) = dims;
+        let mut rng = SeededRng::new(seed ^ 0x30);
+        let g = rng.gaussian_mat(m, p, 0.0, 1.0);
+        let b = rng.gaussian_mat(m, q, 0.0, 2.0);
+        let x = ridge_solve(&g, &b, lambda).unwrap();
+        prop_assert_eq!(x.shape(), (p, q));
+        let mut lhs = g.t_matmul(&g).unwrap().matmul(&x).unwrap();
+        lhs.axpy(lambda, &x).unwrap();
+        let rhs = g.t_matmul(&b).unwrap();
+        let scale = 1.0 + rhs.as_slice().iter().fold(0.0f64, |a, v| a.max(v.abs()));
+        let residual = limeqo_linalg::max_abs_diff(&lhs, &rhs);
+        prop_assert!(residual < 1e-7 * scale * m as f64, "normal-equation residual {residual}");
+        // Ridge shrinks: a strictly positive λ bounds the solution norm by
+        // the data: λ‖X‖F ≤ ‖GᵀB‖F (from the normal equations and PSD GᵀG).
+        if lambda > 1e-9 {
+            let xf = limeqo_linalg::frobenius_norm(&x);
+            let gtbf = limeqo_linalg::frobenius_norm(&rhs);
+            prop_assert!(lambda * xf <= gtbf + 1e-7, "ridge bound: {} vs {}", lambda * xf, gtbf);
+        }
     }
 
     /// Thin SVD reconstructs arbitrary matrices.

@@ -1,0 +1,268 @@
+//! The golden regression suite over the scenario registry.
+//!
+//! Every named scenario in `limeqo_sim::scenario::registry()` runs once
+//! (at its registry-defined fast budget, seeds fanned out in parallel) and
+//! is then checked two ways:
+//!
+//! 1. **Calibrated invariants** — properties that must hold for the
+//!    algorithms to be correct at all: default ≥ final ≥ optimal ordering,
+//!    monotone best-so-far between drift events, LimeQO no worse than
+//!    Random at equal budget (drift-free scenarios; post-shift cold
+//!    restarts are a known weakness, see ROADMAP), bounded ρ-regression
+//!    for the online explorer, censoring-hostile regimes actually censor.
+//! 2. **The golden summary** — every deterministic metric compared with
+//!    tolerance against `tests/golden/scenarios.golden`. Regenerate after
+//!    an intentional behavior change with:
+//!
+//!    ```text
+//!    LIMEQO_BLESS=1 cargo test -p limeqo-integration-tests --test scenarios
+//!    ```
+//!
+//!    and commit the diff — the diff *is* the review artifact.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use limeqo_bench::scenario_runner::{run_scenarios, ScenarioOutcome};
+use limeqo_sim::scenario::registry;
+
+/// Run the whole registry exactly once, shared by every #[test] below.
+fn outcomes() -> &'static [ScenarioOutcome] {
+    static OUTCOMES: OnceLock<Vec<ScenarioOutcome>> = OnceLock::new();
+    OUTCOMES.get_or_init(|| run_scenarios(&registry()))
+}
+
+fn outcome(name: &str) -> &'static ScenarioOutcome {
+    outcomes()
+        .iter()
+        .find(|o| o.name == name)
+        .unwrap_or_else(|| panic!("scenario {name} missing from registry"))
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden").join("scenarios.golden")
+}
+
+/// Relative tolerance for golden comparison. Runs are deterministic on a
+/// given platform; the slack only absorbs cross-platform float libm
+/// differences.
+const REL_TOL: f64 = 1e-6;
+
+#[test]
+fn registry_is_large_and_unique() {
+    let specs = registry();
+    assert!(specs.len() >= 8, "need >= 8 named scenarios, have {}", specs.len());
+    let mut names: Vec<&str> = specs.iter().map(|s| s.name).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), specs.len(), "duplicate scenario names");
+}
+
+#[test]
+fn default_optimal_final_ordering() {
+    for o in outcomes() {
+        assert!(
+            o.optimal_total <= o.default_total + 1e-9,
+            "{}: optimal {} > default {}",
+            o.name,
+            o.optimal_total,
+            o.default_total
+        );
+        let final_latency = o.online.as_ref().map(|on| on.final_latency).unwrap_or(o.final_latency);
+        assert!(
+            final_latency >= o.optimal_total - 1e-9,
+            "{}: final {} beat the oracle optimum {}",
+            o.name,
+            final_latency,
+            o.optimal_total
+        );
+        assert!(
+            final_latency <= o.default_total + 1e-9,
+            "{}: final {} regressed past the default {}",
+            o.name,
+            final_latency,
+            o.default_total
+        );
+    }
+}
+
+#[test]
+fn best_so_far_is_monotone_between_events() {
+    for o in outcomes() {
+        assert!(o.monotone_ok, "{}: latency regressed within a segment", o.name);
+    }
+}
+
+#[test]
+fn limeqo_no_worse_than_random_at_equal_budget() {
+    // Scoped to drift-free scenarios: after a data shift LimeQO cold
+    // restarts from ~2 observed cells per row and its ratio-driven probes
+    // currently lose to Random at small scale (pinned in the golden file;
+    // ROADMAP records it as an open item). The set is derived from the
+    // registry so newly added drift-free LimeQO scenarios are covered
+    // automatically.
+    let mut covered = 0;
+    for spec in registry() {
+        if !(spec.policy.expects_to_beat_random() && spec.drift.is_empty()) {
+            continue;
+        }
+        covered += 1;
+        let o = outcome(spec.name);
+        let random = o.random_final_latency.expect("offline scenarios run a random reference");
+        assert!(
+            o.final_latency <= random * 1.02 + 1e-9,
+            "{}: limeqo {} worse than random {}",
+            spec.name,
+            o.final_latency,
+            random
+        );
+    }
+    assert!(covered >= 6, "expected >= 6 drift-free LimeQO scenarios, found {covered}");
+}
+
+#[test]
+fn tiny_headroom_degrades_gracefully() {
+    let o = outcome("tiny-headroom");
+    assert!(
+        o.default_total / o.optimal_total < 1.25,
+        "tiny-headroom grew headroom {:.2}x",
+        o.default_total / o.optimal_total
+    );
+    // Nothing to win — but also nothing lost.
+    assert!(o.final_latency <= o.default_total + 1e-9);
+}
+
+#[test]
+fn censor_hostile_regime_censors_most_probes() {
+    let o = outcome("censor-hostile");
+    assert!(
+        o.censored_cells >= 0.25 * o.cells_executed,
+        "hostile regime should censor heavily: {} of {}",
+        o.censored_cells,
+        o.cells_executed
+    );
+}
+
+#[test]
+fn hint_shape_restricts_columns() {
+    assert_eq!(outcome("hint-prefix-9").k, 9);
+    assert_eq!(outcome("job-mini").k, 49);
+}
+
+#[test]
+fn large_matrix_scales_and_improves() {
+    let o = outcome("large-matrix-10k");
+    assert_eq!(o.n, 10_000);
+    assert!(
+        o.final_latency < 0.8 * o.default_total,
+        "10k matrix: limeqo should find real headroom, got {} of default {}",
+        o.final_latency,
+        o.default_total
+    );
+}
+
+#[test]
+fn online_regression_is_rho_bounded() {
+    for name in ["online-uniform", "online-zipf"] {
+        let o = outcome(name);
+        let online = o.online.as_ref().expect("online outcome");
+        assert!(online.rho_bound_ok, "{name}: an arrival exceeded the rho bound");
+        // rho = 1.2: a cancelled gamble pays at most rho + 1 of the incumbent.
+        assert!(
+            online.max_regression_ratio <= 2.2 + 1e-9,
+            "{name}: max per-arrival regression {}",
+            online.max_regression_ratio
+        );
+        // Exploration pays for itself over the trace.
+        assert!(
+            online.total_latency <= online.default_latency,
+            "{name}: online exploration cost more than always-default"
+        );
+        assert!(online.explored > 0.0 && online.wins > 0.0, "{name}: no exploration happened");
+    }
+}
+
+#[test]
+fn workload_shift_absorbs_new_queries() {
+    let o = outcome("template-drift");
+    // 16 of the 48 queries arrive mid-run; the final matrix sees them all.
+    assert_eq!(o.n, 48);
+    assert!(
+        o.final_latency < 0.8 * o.default_total,
+        "after absorbing arrivals, limeqo should still beat default clearly"
+    );
+}
+
+#[test]
+fn data_shift_reprices_and_recovers() {
+    let o = outcome("data-shift");
+    // The drifted regime is slower than the 60 s base calibration.
+    assert!(o.default_total > o.initial_default_total);
+    assert!(o.final_latency <= o.default_total + 1e-9);
+}
+
+#[test]
+fn golden_summary_matches() {
+    let mut got: BTreeMap<String, f64> = BTreeMap::new();
+    for o in outcomes() {
+        got.extend(o.metrics());
+    }
+    let path = golden_path();
+
+    if std::env::var("LIMEQO_BLESS").is_ok() {
+        let mut body = String::from(
+            "# Golden scenario summary — deterministic metrics for every scenario in\n\
+             # limeqo_sim::scenario::registry(), pinned by tests/tests/scenarios.rs.\n\
+             # Regenerate intentionally with:\n\
+             #   LIMEQO_BLESS=1 cargo test -p limeqo-integration-tests --test scenarios\n",
+        );
+        for (k, v) in &got {
+            body.push_str(&format!("{k} {v}\n"));
+        }
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, body).expect("write golden");
+        eprintln!("blessed {} metrics into {}", got.len(), path.display());
+        return;
+    }
+
+    let body = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run LIMEQO_BLESS=1 cargo test --test scenarios",
+            path.display()
+        )
+    });
+    let mut want: BTreeMap<String, f64> = BTreeMap::new();
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (k, v) = line.split_once(' ').unwrap_or_else(|| panic!("bad golden line: {line}"));
+        want.insert(k.to_string(), v.parse().unwrap_or_else(|_| panic!("bad value: {line}")));
+    }
+
+    let mut failures = Vec::new();
+    for (k, w) in &want {
+        match got.get(k) {
+            None => failures.push(format!("missing metric {k} (golden has {w})")),
+            Some(g) => {
+                let tol = REL_TOL * w.abs().max(1.0);
+                if (g - w).abs() > tol {
+                    failures.push(format!("{k}: got {g}, golden {w}"));
+                }
+            }
+        }
+    }
+    for k in got.keys() {
+        if !want.contains_key(k) {
+            failures.push(format!("new metric {k} not in golden file"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden mismatch ({} issues) — if intentional, re-bless and commit:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

@@ -6,7 +6,8 @@
 //!   items, with an optional leading `#![proptest_config(..)]`,
 //! * [`test_runner::ProptestConfig`] with a `cases` count,
 //! * range strategies (`0u64..500`, `2usize..7`, `0.1f64..0.8`, inclusive
-//!   variants) via the [`strategy::Strategy`] trait,
+//!   variants) via the [`strategy::Strategy`] trait, plus tuple strategies
+//!   (`(2usize..9, 1usize..4)`) and `prop_map` for derived inputs,
 //! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
 //!
 //! Differences from upstream, by design: inputs are drawn from a
@@ -38,6 +39,44 @@ pub mod strategy {
     pub trait Strategy {
         type Value;
         fn sample(&self, rng: &mut CaseRng) -> Self::Value;
+
+        /// Derive a strategy by mapping generated values (upstream's
+        /// `prop_map`, minus shrinking).
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { strategy: self, map: f }
+        }
+    }
+
+    /// Adapter returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        strategy: S,
+        map: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn sample(&self, rng: &mut CaseRng) -> T {
+            (self.map)(self.strategy.sample(rng))
+        }
+    }
+
+    /// Tuples of strategies sample componentwise, in order — upstream's
+    /// tuple strategies, used for correlated dimensions like `(rows, cols)`.
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn sample(&self, rng: &mut CaseRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn sample(&self, rng: &mut CaseRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+        }
     }
 
     macro_rules! impl_range_strategy {
@@ -203,6 +242,20 @@ mod tests {
         #[test]
         fn multiple_fns_parse(v in 1i32..4) {
             prop_assert_ne!(v, 0);
+        }
+
+        #[test]
+        fn tuple_strategies_sample_componentwise(dims in (2usize..6, 10u64..20)) {
+            let (a, b) = dims;
+            prop_assert!((2..6).contains(&a));
+            prop_assert!((10..20).contains(&b));
+        }
+
+        #[test]
+        fn prop_map_transforms(sq in (1i64..10).prop_map(|v| v * v)) {
+            prop_assert!((1..100).contains(&sq));
+            let root = (sq as f64).sqrt().round() as i64;
+            prop_assert_eq!(root * root, sq);
         }
     }
 
