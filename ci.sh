@@ -27,6 +27,12 @@ cargo fmt --all --check
 echo "==> cargo clippy (workspace, all targets, warnings are errors)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Doc gate: rustdoc warnings (missing_docs on limeqo-core/limeqo-linalg,
+# broken intra-doc links everywhere) are errors, so the API doc pass in
+# ARCHITECTURE.md can't rot.
+echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace --quiet
+
 if [[ "$FAST" == "0" ]]; then
   echo "==> tier-1: cargo build --release"
   cargo build --offline --release

@@ -33,24 +33,24 @@ fn bench_policy(c: &mut Criterion) {
 
     c.bench_function("select_random_1040", |b| {
         let mut p = RandomPolicy;
-        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let ctx = PolicyCtx { wm: &wm, est_cost: None, store: None };
         b.iter(|| black_box(p.select(&ctx, 32, &mut rng)))
     });
     c.bench_function("select_greedy_1040", |b| {
         let mut p = GreedyPolicy;
-        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let ctx = PolicyCtx { wm: &wm, est_cost: None, store: None };
         b.iter(|| black_box(p.select(&ctx, 32, &mut rng)))
     });
     c.bench_function("select_qo_advisor_1040", |b| {
         let mut p = QoAdvisorPolicy;
-        let ctx = PolicyCtx { wm: &wm, est_cost: Some(&est) };
+        let ctx = PolicyCtx { wm: &wm, est_cost: Some(&est), store: None };
         b.iter(|| black_box(p.select(&ctx, 32, &mut rng)))
     });
     let mut group = c.benchmark_group("select_limeqo");
     group.sample_size(20);
     group.bench_function("limeqo_1040_with_als", |b| {
         let mut p = LimeQoPolicy::with_als(13);
-        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let ctx = PolicyCtx { wm: &wm, est_cost: None, store: None };
         b.iter(|| black_box(p.select(&ctx, 32, &mut rng)))
     });
     group.finish();

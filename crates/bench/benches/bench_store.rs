@@ -1,0 +1,77 @@
+//! Observation-store hot paths: the per-probe bookkeeping
+//! (`record_complete`/`record_censored`), the data-shift demotion sweep
+//! (`demote_to_priors` touches every cell of the matrix), and the
+//! density-gate scan that Algorithm 1 runs while a shifted matrix
+//! recovers — all at the 10k-query scale of the `large-matrix-10k`
+//! scenario, since a production deployment demotes its whole matrix at
+//! once when the nightly statistics refresh lands.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use limeqo_core::matrix::WorkloadMatrix;
+use limeqo_core::store::ObservationStore;
+use limeqo_linalg::rng::SeededRng;
+use std::hint::black_box;
+
+const N: usize = 10_000;
+const K: usize = 49;
+
+/// A store with the default column complete and ~30 % of the remaining
+/// cells observed (mixed complete/censored), like a matured exploration.
+fn matured_store(seed: u64) -> ObservationStore {
+    let mut rng = SeededRng::new(seed);
+    let mut store = ObservationStore::new(WorkloadMatrix::new(N, K));
+    for row in 0..N {
+        store.record_complete(row, 0, rng.uniform(1.0, 10.0));
+        for col in 1..K {
+            if rng.chance(0.3) {
+                if rng.chance(0.5) {
+                    store.record_complete(row, col, rng.uniform(0.1, 5.0));
+                } else {
+                    store.record_censored(row, col, rng.uniform(0.1, 2.0));
+                }
+            }
+        }
+    }
+    store
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observation_store_10k_x_49");
+    group.sample_size(10);
+
+    group.bench_function("record_complete_sweep", |b| {
+        let mut store = ObservationStore::new(WorkloadMatrix::new(N, K));
+        b.iter(|| {
+            for row in 0..N {
+                store.record_complete(row, (row * 7) % K, 1.0 + (row % 13) as f64);
+            }
+            black_box(store.fresh_complete_count(N - 1))
+        })
+    });
+
+    group.bench_function("demote_to_priors", |b| {
+        let matured = matured_store(0xBE9C);
+        b.iter(|| {
+            let mut store = matured.clone();
+            store.demote_to_priors(0.5);
+            black_box(store.prior_count())
+        })
+    });
+
+    group.bench_function("density_gate_scan", |b| {
+        let mut store = matured_store(0xBE9D);
+        store.demote_to_priors(0.5);
+        b.iter(|| {
+            // The gate's per-step work: find rows below the density
+            // threshold (O(1) per row thanks to the store's counters).
+            let need = (0.12 * K as f64).ceil() as u32;
+            let starved = (0..N).filter(|&row| store.fresh_complete_count(row) < need).count();
+            black_box(starved)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -18,7 +18,7 @@ fn main() {
     let mut time = 0.0;
     for step in 0..25 {
         let sel = {
-            let ctx = PolicyCtx { wm: &wm, est_cost: None };
+            let ctx = PolicyCtx { wm: &wm, est_cost: None, store: None };
             policy.select(&ctx, 8, &mut rng)
         };
         if sel.is_empty() {

@@ -183,7 +183,11 @@ struct OfflineSeed {
 }
 
 fn run_offline_seed(spec: &ScenarioSpec, env: &Env, policy: &PolicySpec, seed: u64) -> OfflineSeed {
-    let cfg = ExploreConfig { batch: spec.batch, seed, ..Default::default() };
+    // Each policy carries its own drift-retention knobs: the Random
+    // reference keeps the legacy discard-on-shift semantics even when the
+    // named policy retains priors, so the comparison isolates the policy.
+    let cfg =
+        ExploreConfig { batch: spec.batch, seed, retention: policy.drift(), ..Default::default() };
     let mut ex = Explorer::new(&env.oracles[0], policy.build_policy(seed), cfg, env.initial_rows);
     let mut monotone = true;
     let mut seg_start = 0usize;
@@ -211,7 +215,7 @@ fn run_offline_seed(spec: &ScenarioSpec, env: &Env, policy: &PolicySpec, seed: u
     OfflineSeed {
         final_latency: ex.workload_latency(),
         cells: ex.cells_executed,
-        censored: ex.wm.censored_count(),
+        censored: ex.wm().censored_count(),
         monotone,
     }
 }

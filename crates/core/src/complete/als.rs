@@ -14,6 +14,15 @@
 //!   positive" which keeps Eq. 6's improvement ratios meaningful.
 //!
 //! Paper defaults: rank r = 5, λ = 0.2, t = 50 iterations.
+//!
+//! With [`AlsCompleter::warm_start`] on, the factors from the previous
+//! `complete()` call seed the next one instead of a fresh random init —
+//! each exploration round refines the same model rather than refitting
+//! from scratch, which stabilizes the ranking between rounds (few
+//! observations change per round) and carries hint-side structure across
+//! workload and data shifts. If the matrix gains rows mid-run (§5.3), the
+//! hint factor `H` is kept and the query factor `Q` re-initialized — the
+//! first half-iteration refits `Q` from `H` in closed form anyway.
 
 use super::{fill_estimate, Completer};
 use crate::matrix::WorkloadMatrix;
@@ -33,9 +42,14 @@ pub struct AlsCompleter {
     pub censored: bool,
     /// Apply the non-negativity projection (our extra ablation).
     pub nonneg: bool,
+    /// Seed the factors from the previous `complete()` call instead of a
+    /// fresh random init (see the module docs).
+    pub warm_start: bool,
     /// Base seed for factor initialization.
     pub seed: u64,
     calls: u64,
+    /// `(Q, H)` from the previous call, kept while `warm_start` is on.
+    warm: Option<(Mat, Mat)>,
 }
 
 impl AlsCompleter {
@@ -48,9 +62,16 @@ impl AlsCompleter {
             iters: 50,
             censored: true,
             nonneg: true,
+            warm_start: false,
             seed,
             calls: 0,
+            warm: None,
         }
+    }
+
+    /// Paper defaults with cross-round warm starting enabled.
+    pub fn warm_started(rank: usize, seed: u64) -> Self {
+        AlsCompleter { warm_start: true, ..Self::with_rank(rank, seed) }
     }
 
     /// Like [`AlsCompleter::paper_default`] but with a custom rank
@@ -87,8 +108,23 @@ impl AlsCompleter {
         let observed = mask.sum().max(1.0);
         let mean_obs = (values.sum() / observed).max(1e-9);
         let bound = 2.0 * (mean_obs / r as f64).sqrt();
-        let mut q = rng.uniform_mat(n, r, 0.0, bound);
-        let mut h = rng.uniform_mat(k, r, 0.0, bound);
+        // Warm path: reuse last round's factors when the shapes still
+        // agree; if only the row count changed (queries arrived), keep H
+        // and let the first half-iteration refit Q from it. The RNG is
+        // advanced identically on every path so warm and cold runs stay
+        // seed-deterministic cell for cell.
+        let q_init = rng.uniform_mat(n, r, 0.0, bound);
+        let h_init = rng.uniform_mat(k, r, 0.0, bound);
+        let (mut q, mut h) = match self.warm.take() {
+            Some((wq, wh)) if self.warm_start && wh.shape() == (k, r) => {
+                if wq.shape() == (n, r) {
+                    (wq, wh)
+                } else {
+                    (q_init, wh)
+                }
+            }
+            _ => (q_init, h_init),
+        };
 
         for _ in 0..self.iters {
             // Ŵ ← M⊙W̃ + (1−M)⊙QHᵀ  (+ censored clamp)
@@ -112,6 +148,9 @@ impl AlsCompleter {
         }
         let qh = q.matmul_t(&h).expect("QHᵀ shape");
         let completed = fill_estimate(&values, &mask, timeouts, &qh);
+        if self.warm_start {
+            self.warm = Some((q.clone(), h.clone()));
+        }
         (completed, q, h)
     }
 }
@@ -206,6 +245,36 @@ mod tests {
         let mut a = AlsCompleter::paper_default(12);
         let mut b = AlsCompleter::paper_default(12);
         assert_eq!(a.complete(&wm).as_slice(), b.complete(&wm).as_slice());
+    }
+
+    #[test]
+    fn warm_start_reuses_factors_and_stays_deterministic() {
+        let (_, wm) = synthetic_low_rank(20, 10, 3, 0.5, 20);
+        let mut warm_a = AlsCompleter::warm_started(3, 21);
+        let mut warm_b = AlsCompleter::warm_started(3, 21);
+        for _ in 0..3 {
+            let pa = warm_a.complete(&wm);
+            let pb = warm_b.complete(&wm);
+            assert_eq!(pa.as_slice(), pb.as_slice(), "warm runs must replay identically");
+        }
+        // Warm and cold runs genuinely differ after the first call.
+        let mut cold = AlsCompleter::with_rank(3, 21);
+        cold.complete(&wm);
+        let mut warm = AlsCompleter::warm_started(3, 21);
+        warm.complete(&wm);
+        assert_ne!(cold.complete(&wm).as_slice(), warm.complete(&wm).as_slice());
+    }
+
+    #[test]
+    fn warm_start_survives_row_growth() {
+        let (_, wm_small) = synthetic_low_rank(12, 8, 2, 0.5, 22);
+        let (_, wm_big) = synthetic_low_rank(18, 8, 2, 0.5, 23);
+        let mut als = AlsCompleter::warm_started(2, 24);
+        als.complete(&wm_small);
+        // Rows grew (a §5.3 workload shift): H is kept, Q re-initialized.
+        let pred = als.complete(&wm_big);
+        assert_eq!(pred.shape(), (18, 8));
+        assert!(pred.as_slice().iter().all(|v| v.is_finite()));
     }
 
     #[test]

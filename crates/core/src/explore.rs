@@ -15,11 +15,15 @@
 //! * **data shift** (§5.4): [`Explorer::data_shift`] swaps the oracle for a
 //!   new database state; the plan cache keeps each query's current best
 //!   hint, whose latency (plus the default's) is re-observed on the new
-//!   data online, while all other observations are discarded as stale.
+//!   data online. What happens to every *other* observation is governed by
+//!   [`ExploreConfig::retention`]: the legacy path discards them as stale,
+//!   the drift-aware path demotes them to censored priors (see
+//!   [`crate::store`]).
 
 use crate::matrix::WorkloadMatrix;
 use crate::metrics::{Curve, CurvePoint};
 use crate::policy::{Policy, PolicyCtx};
+use crate::store::{DriftPolicy, ObservationStore};
 use limeqo_linalg::rng::SeededRng;
 use limeqo_linalg::Mat;
 
@@ -111,24 +115,46 @@ pub struct ExploreConfig {
     pub seed: u64,
     /// Stop after this many steps even if budget remains (safety valve).
     pub max_steps: usize,
+    /// What [`Explorer::data_shift`] does with stale observations. Defaults
+    /// to [`DriftPolicy::legacy`] (discard) so existing harness users keep
+    /// the paper's §5.4 semantics; the scenario runner threads the policy's
+    /// own knobs in here.
+    pub retention: DriftPolicy,
 }
 
 impl Default for ExploreConfig {
     fn default() -> Self {
-        ExploreConfig { batch: 16, seed: 0, max_steps: 100_000 }
+        ExploreConfig { batch: 16, seed: 0, max_steps: 100_000, retention: DriftPolicy::legacy() }
     }
 }
 
 /// The exploration harness: drives a [`Policy`] against an [`Oracle`],
-/// maintaining the workload matrix, the simulated offline clock, and the
-/// latency-vs-time curve.
+/// maintaining the observation store (workload matrix + drift metadata),
+/// the simulated offline clock, and the latency-vs-time curve.
+///
+/// ```
+/// use limeqo_core::explore::{ExploreConfig, Explorer, MatOracle};
+/// use limeqo_core::policy::RandomPolicy;
+/// use limeqo_linalg::Mat;
+///
+/// // Two queries × three hints; column 0 is the (slow) default plan.
+/// let latency = Mat::from_rows(&[&[10.0, 2.0, 4.0], &[8.0, 6.0, 1.0]]);
+/// let oracle = MatOracle::new(latency, None);
+/// let mut ex = Explorer::new(&oracle, Box::new(RandomPolicy), ExploreConfig::default(), 2);
+/// assert_eq!(ex.workload_latency(), oracle.default_total()); // defaults pre-observed
+///
+/// ex.run_until(1e9); // explore until nothing is left
+/// assert_eq!(ex.workload_latency(), oracle.optimal_total());
+/// assert!(ex.time_spent > 0.0, "offline probes are charged to the clock");
+/// ```
 pub struct Explorer<'a> {
     oracle: &'a dyn Oracle,
     /// Number of oracle rows currently active (workload shift exposes the
     /// oracle's rows incrementally).
     active_rows: usize,
-    /// The partially observed workload matrix over the active rows.
-    pub wm: WorkloadMatrix,
+    /// The adaptive observation layer over the active rows: the partially
+    /// observed matrix plus per-row freshness and prior bookkeeping.
+    pub store: ObservationStore,
     policy: Box<dyn Policy + 'a>,
     cfg: ExploreConfig,
     rng: SeededRng,
@@ -159,12 +185,12 @@ impl<'a> Explorer<'a> {
         let defaults: Vec<f64> = (0..initial_rows)
             .map(|i| oracle.true_latency(i, WorkloadMatrix::DEFAULT_HINT))
             .collect();
-        let wm = WorkloadMatrix::with_defaults(&defaults, k);
+        let store = ObservationStore::with_defaults(&defaults, k);
         let name = policy.name().to_string();
         let mut explorer = Explorer {
             oracle,
             active_rows: initial_rows,
-            wm,
+            store,
             policy,
             rng: SeededRng::new(cfg.seed ^ 0xEE77),
             cfg,
@@ -178,6 +204,12 @@ impl<'a> Explorer<'a> {
         explorer
     }
 
+    /// The current partially observed workload matrix (owned by the
+    /// observation store).
+    pub fn wm(&self) -> &WorkloadMatrix {
+        self.store.matrix()
+    }
+
     /// The workload latency metric the paper plots: the *actual* total
     /// latency of the workload when every query runs its currently best
     /// *verified* hint, evaluated against the current oracle. Before any
@@ -185,8 +217,9 @@ impl<'a> Explorer<'a> {
     /// cached selections are re-priced on the new data (stale choices cost
     /// their new true latency), which is what Fig. 11 measures.
     pub fn workload_latency(&self) -> f64 {
-        (0..self.wm.n_rows())
-            .filter_map(|i| self.wm.row_best(i).map(|(col, _)| self.oracle.true_latency(i, col)))
+        let wm = self.store.matrix();
+        (0..wm.n_rows())
+            .filter_map(|i| wm.row_best(i).map(|(col, _)| self.oracle.true_latency(i, col)))
             .sum()
     }
 
@@ -201,7 +234,11 @@ impl<'a> Explorer<'a> {
         // completion by returning an empty selection.
         let started = std::time::Instant::now();
         let selection = {
-            let ctx = PolicyCtx { wm: &self.wm, est_cost: self.oracle.est_cost() };
+            let ctx = PolicyCtx {
+                wm: self.store.matrix(),
+                est_cost: self.oracle.est_cost(),
+                store: Some(&self.store),
+            };
             self.policy.select(&ctx, self.cfg.batch, &mut self.rng)
         };
         self.overhead += started.elapsed().as_secs_f64();
@@ -214,10 +251,10 @@ impl<'a> Explorer<'a> {
             let censored = truth > choice.timeout;
             let charged = if censored {
                 // Timed out: charge the timeout, learn the lower bound.
-                self.wm.set_censored(choice.row, choice.col, choice.timeout);
+                self.store.record_censored(choice.row, choice.col, choice.timeout);
                 choice.timeout
             } else {
-                self.wm.set_complete(choice.row, choice.col, truth);
+                self.store.record_complete(choice.row, choice.col, truth);
                 truth
             };
             self.time_spent += charged;
@@ -246,10 +283,10 @@ impl<'a> Explorer<'a> {
         let (n, _) = self.oracle.shape();
         let new_active = (self.active_rows + count).min(n);
         let added = new_active - self.active_rows;
-        self.wm.add_rows(added);
+        self.store.add_rows(added);
         for i in self.active_rows..new_active {
             let d = self.oracle.true_latency(i, WorkloadMatrix::DEFAULT_HINT);
-            self.wm.set_complete(i, WorkloadMatrix::DEFAULT_HINT, d);
+            self.store.record_complete(i, WorkloadMatrix::DEFAULT_HINT, d);
         }
         self.active_rows = new_active;
         self.record_point();
@@ -257,31 +294,48 @@ impl<'a> Explorer<'a> {
 
     /// Data shift (§5.4): swap in a new oracle (same shape). The plan
     /// cache keeps each row's current best hint; that hint and the default
-    /// are re-observed online against the new data, every other cell is
-    /// reset to unobserved (stale measurements are discarded).
+    /// are re-observed online against the new data. Every other cell's
+    /// fate follows [`ExploreConfig::retention`]:
+    ///
+    /// * **legacy** (`retain_priors` off): reset to unobserved — stale
+    ///   measurements are discarded, the paper's behavior;
+    /// * **drift-aware** (`retain_priors` on): demoted to censored priors
+    ///   at `prior_decay ×` their stale value, keeping the low-rank
+    ///   structure as soft lower-bound anchors for the censored completer
+    ///   (see [`ObservationStore::demote_to_priors`]).
     pub fn data_shift(&mut self, new_oracle: &'a dyn Oracle) {
         assert_eq!(
             new_oracle.shape().1,
             self.oracle.shape().1,
             "hint space must be unchanged across a data shift"
         );
+        let wm = self.store.matrix();
         let best_hints: Vec<Option<usize>> =
-            (0..self.wm.n_rows()).map(|i| self.wm.row_best(i).map(|(c, _)| c)).collect();
+            (0..wm.n_rows()).map(|i| wm.row_best(i).map(|(c, _)| c)).collect();
         self.oracle = new_oracle;
-        let k = self.wm.n_cols();
-        let n = self.wm.n_rows().min(new_oracle.shape().0);
-        let mut fresh = WorkloadMatrix::new(n, k);
+        let n = wm.n_rows().min(new_oracle.shape().0);
+        let same_rows = n == self.store.matrix().n_rows();
+        let retain = self.cfg.retention.retain_priors && same_rows;
+        if retain {
+            self.store.demote_to_priors(self.cfg.retention.prior_decay);
+        } else if same_rows {
+            self.store.discard_all();
+        } else {
+            // The new oracle exposes fewer rows, which priors cannot
+            // describe: discard at the new shape (epoch still advances —
+            // the post-shift matrix is starved either way).
+            self.store.discard_resized(n);
+        }
         for i in 0..n {
             let d = new_oracle.true_latency(i, WorkloadMatrix::DEFAULT_HINT);
-            fresh.set_complete(i, WorkloadMatrix::DEFAULT_HINT, d);
+            self.store.record_complete(i, WorkloadMatrix::DEFAULT_HINT, d);
             if let Some(Some(best)) = best_hints.get(i) {
                 if *best != WorkloadMatrix::DEFAULT_HINT {
-                    fresh.set_complete(i, *best, new_oracle.true_latency(i, *best));
+                    self.store.record_complete(i, *best, new_oracle.true_latency(i, *best));
                 }
             }
         }
         self.active_rows = n;
-        self.wm = fresh;
         self.record_point();
     }
 
@@ -301,7 +355,7 @@ impl<'a> Explorer<'a> {
             latency: self.workload_latency(),
             overhead: self.overhead,
             explored: self.cells_executed,
-            censored: self.wm.censored_count(),
+            censored: self.store.matrix().censored_count(),
         };
         self.curve.push(point);
     }
@@ -331,7 +385,7 @@ mod tests {
         let oracle = toy_oracle(10, 6, 40);
         let ex = Explorer::new(&oracle, Box::new(RandomPolicy), ExploreConfig::default(), 10);
         assert_eq!(ex.time_spent, 0.0);
-        assert_eq!(ex.wm.complete_count(), 10);
+        assert_eq!(ex.wm().complete_count(), 10);
         assert!((ex.workload_latency() - oracle.default_total()).abs() < 1e-9);
     }
 
@@ -399,7 +453,7 @@ mod tests {
         );
         ex.run_until(1e9);
         // Plans slower than the row best must have been censored.
-        assert!(ex.wm.censored_count() > 0, "expected some censored cells");
+        assert!(ex.wm().censored_count() > 0, "expected some censored cells");
     }
 
     #[test]
@@ -427,7 +481,7 @@ mod tests {
         );
         let before = ex.workload_latency();
         ex.add_queries(3);
-        assert_eq!(ex.wm.n_rows(), 10);
+        assert_eq!(ex.wm().n_rows(), 10);
         assert!(ex.workload_latency() > before, "new defaults add latency");
         assert_eq!(ex.time_spent, 0.0, "online defaults are not charged");
     }
@@ -444,17 +498,17 @@ mod tests {
         );
         ex.run_until(1e9);
         let best_before: Vec<Option<usize>> =
-            (0..10).map(|i| ex.wm.row_best(i).map(|(c, _)| c)).collect();
+            (0..10).map(|i| ex.wm().row_best(i).map(|(c, _)| c)).collect();
         ex.data_shift(&oracle_b);
         // Matrix now holds ≤ 2 completes per row (default + cached best).
         for i in 0..10 {
             let completes = (0..6)
-                .filter(|&c| matches!(ex.wm.cell(i, c), crate::matrix::Cell::Complete(_)))
+                .filter(|&c| matches!(ex.wm().cell(i, c), crate::matrix::Cell::Complete(_)))
                 .count();
             assert!(completes <= 2, "row {i} kept {completes} cells");
             // Cached best hint present with new-data value.
             if let Some(Some(b)) = best_before.get(i) {
-                if let crate::matrix::Cell::Complete(v) = ex.wm.cell(i, *b) {
+                if let crate::matrix::Cell::Complete(v) = ex.wm().cell(i, *b) {
                     assert_eq!(v, oracle_b.true_latency(i, *b));
                 }
             }
@@ -462,6 +516,58 @@ mod tests {
         // Workload latency is priced on the new oracle.
         let p: f64 = ex.workload_latency();
         assert!(p > 0.0);
+    }
+
+    #[test]
+    fn data_shift_with_retention_demotes_to_priors() {
+        use crate::store::{DriftPolicy, PriorKind};
+        let oracle_a = toy_oracle(10, 6, 50);
+        let oracle_b = toy_oracle(10, 6, 51);
+        let retention = DriftPolicy { prior_decay: 0.5, ..DriftPolicy::default() };
+        let mut ex = Explorer::new(
+            &oracle_a,
+            Box::new(RandomPolicy),
+            ExploreConfig { batch: 8, seed: 9, retention, ..Default::default() },
+            10,
+        );
+        ex.run_until(1e9);
+        let wm_before = ex.wm().clone();
+        let completes_before: Vec<(usize, usize, f64)> = (0..10)
+            .flat_map(|i| {
+                let wm = &wm_before;
+                (0..6).filter_map(move |c| match wm.cell(i, c) {
+                    crate::matrix::Cell::Complete(v) => Some((i, c, v)),
+                    _ => None,
+                })
+            })
+            .collect();
+        let best_before: Vec<Option<usize>> =
+            (0..10).map(|i| wm_before.row_best(i).map(|(c, _)| c)).collect();
+        ex.data_shift(&oracle_b);
+        assert_eq!(ex.store.epoch(), 1);
+        assert!(ex.store.prior_count() > 0, "stale observations must survive as priors");
+        for (i, c, v) in completes_before {
+            let freshly_reobserved =
+                c == 0 || best_before[i] == Some(c) && c != WorkloadMatrix::DEFAULT_HINT;
+            if freshly_reobserved {
+                continue;
+            }
+            // Demoted: censored prior at the documented decay weight.
+            assert_eq!(
+                ex.wm().cell(i, c),
+                crate::matrix::Cell::Censored(0.5 * v),
+                "cell ({i},{c}) not demoted at prior_decay x stale value"
+            );
+            assert_eq!(ex.store.prior_kind(i, c), PriorKind::Value);
+            assert_eq!(ex.store.prior_weight(i, c), 0.5);
+        }
+        // The online path still re-observes default + cached best fresh.
+        for i in 0..10 {
+            assert_eq!(
+                ex.wm().cell(i, 0),
+                crate::matrix::Cell::Complete(oracle_b.true_latency(i, 0))
+            );
+        }
     }
 
     #[test]

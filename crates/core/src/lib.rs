@@ -15,6 +15,11 @@
 //!   accounting (each executed cell charges `min(true latency, timeout)`
 //!   seconds, Eq. 3), wall-clock overhead metering for the predictive
 //!   models, workload shift (§5.3) and data shift (§5.4) events,
+//! * [`store`] — the adaptive observation layer: [`store::ObservationStore`]
+//!   wraps the matrix with drift-aware bookkeeping (censored priors demoted
+//!   from stale observations, per-row fresh-density counts, shift epochs)
+//!   and [`store::DriftPolicy`] carries the retention / density-gate /
+//!   cold-row-bonus / warm-start knobs,
 //! * [`metrics`] — latency-vs-exploration-time curves and the summary
 //!   statistics the paper's figures report,
 //! * [`scenario`] — declarative [`scenario::PolicySpec`]s, the policy side
@@ -27,6 +32,8 @@
 //! matrices. This mirrors the paper's design constraint that LimeQO "does
 //! not make assumptions about the underlying DBMS".
 
+#![warn(missing_docs)]
+
 pub mod complete;
 pub mod explore;
 pub mod matrix;
@@ -34,6 +41,7 @@ pub mod metrics;
 pub mod online;
 pub mod policy;
 pub mod scenario;
+pub mod store;
 
 pub use complete::{AlsCompleter, Completer, NucCompleter, SvtCompleter};
 pub use explore::{ExploreConfig, Explorer, MatOracle, Oracle, TraceEntry};
@@ -42,3 +50,4 @@ pub use metrics::{Curve, CurvePoint};
 pub use online::{OnlineConfig, OnlineExplorer, OnlineStats};
 pub use policy::{CellChoice, Policy, PolicyCtx};
 pub use scenario::PolicySpec;
+pub use store::{DriftPolicy, ObservationStore, PriorKind};

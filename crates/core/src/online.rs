@@ -30,13 +30,21 @@ pub struct OnlineConfig {
     pub rho: f64,
     /// Re-complete the matrix every this many arrivals (model refresh).
     pub refresh_every: usize,
+    /// Cold-row exploration bonus weight. Under skewed (Zipf) arrivals,
+    /// cold rows arrive so rarely that a flat `explore_prob` leaves them
+    /// stuck on their default plan; with the bonus, query `q` explores
+    /// with probability `min(1, explore_prob + cold_bonus / √(observed
+    /// cells in q's row))` — rare arrivals of cold rows are spent on
+    /// exploration, and the boost anneals away as the row fills in.
+    /// 0 disables the bonus (the flat legacy behavior).
+    pub cold_bonus: f64,
     /// RNG seed.
     pub seed: u64,
 }
 
 impl Default for OnlineConfig {
     fn default() -> Self {
-        OnlineConfig { explore_prob: 0.1, rho: 1.2, refresh_every: 64, seed: 0 }
+        OnlineConfig { explore_prob: 0.1, rho: 1.2, refresh_every: 64, cold_bonus: 0.0, seed: 0 }
     }
 }
 
@@ -116,7 +124,16 @@ impl<'a> OnlineExplorer<'a> {
         self.stats.default_latency += self.oracle.true_latency(row, WorkloadMatrix::DEFAULT_HINT);
         self.stats.incumbent_latency += incumbent_lat;
 
-        let gamble = self.rng.chance(self.cfg.explore_prob);
+        let explore_prob = if self.cfg.cold_bonus > 0.0 {
+            let observed = (0..self.wm.n_cols())
+                .filter(|&c| self.wm.cell(row, c).is_observed())
+                .count()
+                .max(1);
+            (self.cfg.explore_prob + self.cfg.cold_bonus / (observed as f64).sqrt()).min(1.0)
+        } else {
+            self.cfg.explore_prob
+        };
+        let gamble = self.rng.chance(explore_prob);
         if !gamble {
             self.stats.total_latency += incumbent_lat;
             return incumbent_lat;
@@ -248,6 +265,28 @@ mod tests {
             );
         }
         assert!(ex.stats.cancelled + ex.stats.wins > 0);
+    }
+
+    #[test]
+    fn cold_bonus_explores_cold_rows_harder() {
+        // Zipf-like trace: rows 0-2 hot, the rest arrive once in a while.
+        let o = oracle(20, 10, 11);
+        let trace: Vec<usize> =
+            (0..2000).map(|i| if i % 10 < 7 { i % 3 } else { 3 + i % 17 }).collect();
+        let run = |cold_bonus: f64| {
+            let cfg =
+                OnlineConfig { explore_prob: 0.1, cold_bonus, seed: 12, ..Default::default() };
+            let mut ex = OnlineExplorer::new(&o, Box::new(AlsCompleter::paper_default(13)), cfg);
+            ex.serve_trace(&trace);
+            // How many cold rows (3..20) found a better-than-default plan.
+            (3..20).filter(|&r| ex.wm.row_best(r).is_some_and(|(c, _)| c != 0)).count()
+        };
+        let flat = run(0.0);
+        let boosted = run(0.8);
+        assert!(
+            boosted > flat,
+            "cold bonus should improve more cold rows: flat {flat}, boosted {boosted}"
+        );
     }
 
     #[test]

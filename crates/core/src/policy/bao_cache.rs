@@ -75,7 +75,7 @@ mod tests {
     fn round_robin_covers_all_rows() {
         let wm = WorkloadMatrix::with_defaults(&[1.0, 2.0, 3.0], 4);
         let mut p = BaoCachePolicy::new(Box::new(AlsCompleter::paper_default(17)));
-        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let ctx = PolicyCtx { wm: &wm, est_cost: None, store: None };
         let mut rng = SeededRng::new(18);
         let sel = p.select(&ctx, 3, &mut rng);
         let mut rows: Vec<usize> = sel.iter().map(|c| c.row).collect();
@@ -87,7 +87,7 @@ mod tests {
     fn continues_rotation_across_steps() {
         let wm = WorkloadMatrix::with_defaults(&[1.0, 2.0, 3.0, 4.0], 3);
         let mut p = BaoCachePolicy::new(Box::new(AlsCompleter::paper_default(19)));
-        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let ctx = PolicyCtx { wm: &wm, est_cost: None, store: None };
         let mut rng = SeededRng::new(20);
         let s1 = p.select(&ctx, 2, &mut rng);
         let s2 = p.select(&ctx, 2, &mut rng);
@@ -100,7 +100,7 @@ mod tests {
         let mut wm = WorkloadMatrix::with_defaults(&[1.0, 2.0], 2);
         wm.set_complete(0, 1, 0.4);
         let mut p = BaoCachePolicy::new(Box::new(AlsCompleter::paper_default(21)));
-        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let ctx = PolicyCtx { wm: &wm, est_cost: None, store: None };
         let mut rng = SeededRng::new(22);
         let sel = p.select(&ctx, 2, &mut rng);
         assert_eq!(sel.len(), 1);

@@ -54,7 +54,7 @@ mod tests {
     #[test]
     fn prefers_longest_running_rows() {
         let wm = WorkloadMatrix::with_defaults(&[1.0, 100.0, 10.0], 4);
-        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let ctx = PolicyCtx { wm: &wm, est_cost: None, store: None };
         let mut rng = SeededRng::new(5);
         let sel = GreedyPolicy.select(&ctx, 2, &mut rng);
         let rows: Vec<usize> = sel.iter().map(|c| c.row).collect();
@@ -65,7 +65,7 @@ mod tests {
     fn skips_fully_observed_rows() {
         let mut wm = WorkloadMatrix::with_defaults(&[100.0, 1.0], 2);
         wm.set_complete(0, 1, 99.0); // slowest row fully observed
-        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let ctx = PolicyCtx { wm: &wm, est_cost: None, store: None };
         let mut rng = SeededRng::new(6);
         let sel = GreedyPolicy.select(&ctx, 2, &mut rng);
         assert_eq!(sel.len(), 1);
@@ -75,7 +75,7 @@ mod tests {
     #[test]
     fn timeout_is_current_row_best() {
         let wm = WorkloadMatrix::with_defaults(&[7.0], 3);
-        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let ctx = PolicyCtx { wm: &wm, est_cost: None, store: None };
         let mut rng = SeededRng::new(7);
         let sel = GreedyPolicy.select(&ctx, 1, &mut rng);
         assert_eq!(sel[0].timeout, 7.0);

@@ -12,6 +12,19 @@
 //! timeout `Tᵢⱼ = min(min W̃ᵢ, Ŵᵢⱼ · α)` (line 10). Plugging in the ALS
 //! completer yields LimeQO; plugging in the transductive TCNN yields
 //! LimeQO+ — the policy code is identical, exactly as in the paper.
+//!
+//! Two drift-aware extensions (off by default, threaded from
+//! [`crate::store::DriftPolicy`]) harden the ranking against the sparse
+//! regimes the scenario matrix exposed:
+//!
+//! * a **density gate** ([`LimeQoPolicy::density_gate`]): after a data
+//!   shift, rows with too few *fresh* completed cells cannot support the
+//!   ratio ranking (the ALS fit is underdetermined and its α-clamped
+//!   timeouts censor everything) — those rows are filled uniformly until
+//!   their observed density recovers;
+//! * a **cold-row exploration bonus** ([`LimeQoPolicy::cold_row_bonus`]):
+//!   `bonus / √(row observation count)` is added to each row's score, so
+//!   rows the ranking would starve still get probed occasionally.
 
 use super::{sample_unobserved, CellChoice, Policy, PolicyCtx};
 use crate::complete::Completer;
@@ -47,6 +60,15 @@ pub struct LimeQoPolicy {
     pub min_bound_gain: f64,
     /// Candidate scoring (Eq. 6 ratio by default).
     pub score_mode: ScoreMode,
+    /// Post-shift density gate: minimum fraction of a row's cells that
+    /// must be freshly completed before Eq. 6 is trusted for it. Rows
+    /// below the gate are filled uniformly instead. Requires drift
+    /// bookkeeping in [`PolicyCtx::store`] and only activates after a
+    /// data shift (store epoch ≥ 1). 0 disables the gate.
+    pub density_gate: f64,
+    /// Cold-row exploration bonus weight: `cold_row_bonus / √(observed
+    /// cells in row)` is added to the row's Eq. 6 score. 0 disables it.
+    pub cold_row_bonus: f64,
 }
 
 impl LimeQoPolicy {
@@ -58,6 +80,8 @@ impl LimeQoPolicy {
             display_name,
             min_bound_gain: 0.05,
             score_mode: ScoreMode::Ratio,
+            density_gate: 0.0,
+            cold_row_bonus: 0.0,
         }
     }
 
@@ -79,11 +103,45 @@ impl Policy for LimeQoPolicy {
         rng: &mut SeededRng,
     ) -> Vec<CellChoice> {
         let wm = ctx.wm;
+        // Density gate: after a data shift, rows whose fresh completed
+        // density is below the gate cannot support the ratio ranking (the
+        // fit is underdetermined); fill their unobserved cells uniformly
+        // until density recovers. Skipping the completer here is also an
+        // overhead win — the model would be fit on starved data anyway.
+        if self.density_gate > 0.0 {
+            if let Some(store) = ctx.store.filter(|s| s.epoch() > 0) {
+                let need = (self.density_gate * wm.n_cols() as f64).ceil() as u32;
+                // Uniform fill-in over the starved rows' unobserved
+                // cells. The retained priors are deliberately *not*
+                // probed here: re-verifying them at the full row-best
+                // timeout is expensive, and the ranking exploits them
+                // more cheaply once density recovers — their bounds
+                // anchor the censored completer, and Algorithm 1's
+                // α-clamped timeouts re-probe the promising ones.
+                let mut starved: Vec<(usize, usize)> = wm
+                    .unobserved_cells()
+                    .filter(|&(row, _)| store.fresh_complete_count(row) < need)
+                    .collect();
+                if !starved.is_empty() {
+                    rng.shuffle(&mut starved);
+                    return starved
+                        .into_iter()
+                        .take(batch)
+                        .map(|(row, col)| CellChoice {
+                            row,
+                            col,
+                            timeout: super::row_timeout(wm, row),
+                        })
+                        .collect();
+                }
+            }
+        }
         // Line 2: Ŵ ← pred(W̃, M, T).
         let w_hat = self.completer.complete(wm);
 
-        // Lines 3–6: expected improvement ratio per query.
-        let mut scored: Vec<(f64, usize, usize)> = Vec::new(); // (r_i, row, col)
+        // Lines 3–6: expected improvement ratio per query (plus the
+        // optional cold-row bonus).
+        let mut scored: Vec<(f64, usize, usize)> = Vec::new(); // (score, row, col)
         for row in 0..wm.n_rows() {
             let Some((_, observed_min)) = wm.row_best(row) else { continue };
             let Some((col, predicted_min)) = w_hat.row_min(row) else { continue };
@@ -94,7 +152,15 @@ impl Policy for LimeQoPolicy {
                 ScoreMode::Ratio => (observed_min - predicted_min) / predicted_min,
                 ScoreMode::Absolute => observed_min - predicted_min,
             };
-            if ratio <= 0.0 {
+            let bonus = if self.cold_row_bonus > 0.0 {
+                let observed =
+                    (0..wm.n_cols()).filter(|&c| wm.cell(row, c).is_observed()).count().max(1);
+                self.cold_row_bonus / (observed as f64).sqrt()
+            } else {
+                0.0
+            };
+            let score = ratio.max(0.0) + bonus;
+            if score <= 0.0 {
                 continue;
             }
             match wm.cell(row, col) {
@@ -112,9 +178,9 @@ impl Policy for LimeQoPolicy {
                 }
                 Cell::Unobserved => {}
             }
-            scored.push((ratio, row, col));
+            scored.push((score, row, col));
         }
-        // Line 7: top-m by ratio.
+        // Line 7: top-m by score (the pure Eq. 6 ratio when no bonus).
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         let mut out: Vec<CellChoice> = Vec::with_capacity(batch);
         for (_, row, col) in scored.into_iter().take(batch) {
@@ -163,6 +229,7 @@ mod tests {
     use super::*;
     use crate::complete::Completer;
     use crate::matrix::WorkloadMatrix;
+    use crate::store::PriorKind;
     use limeqo_linalg::Mat;
 
     /// A completer that returns a fixed prediction matrix (observed cells
@@ -194,7 +261,7 @@ mod tests {
         let pred = Mat::from_rows(&[&[10.0, 2.0, 9.0], &[10.0, 9.0, 5.0]]);
         let mut p = LimeQoPolicy::new(Box::new(FixedCompleter(pred)), "limeqo");
         p.alpha = 2.0;
-        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let ctx = PolicyCtx { wm: &wm, est_cost: None, store: None };
         let mut rng = SeededRng::new(8);
         let sel = p.select(&ctx, 1, &mut rng);
         assert_eq!(sel.len(), 1);
@@ -209,7 +276,7 @@ mod tests {
         let wm = WorkloadMatrix::with_defaults(&[1.0, 1.0], 3);
         let pred = Mat::filled(2, 3, 1.0);
         let mut p = LimeQoPolicy::new(Box::new(FixedCompleter(pred)), "limeqo");
-        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let ctx = PolicyCtx { wm: &wm, est_cost: None, store: None };
         let mut rng = SeededRng::new(9);
         let sel = p.select(&ctx, 3, &mut rng);
         assert_eq!(sel.len(), 3, "random fallback must fill the batch");
@@ -227,7 +294,7 @@ mod tests {
         let pred = Mat::from_rows(&[&[10.0, 3.0]]);
         let mut p = LimeQoPolicy::new(Box::new(FixedCompleter(pred)), "limeqo");
         p.alpha = 2.0;
-        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let ctx = PolicyCtx { wm: &wm, est_cost: None, store: None };
         let mut rng = SeededRng::new(10);
         let sel = p.select(&ctx, 1, &mut rng);
         // Nothing else to explore either: the fallback finds no unobserved.
@@ -242,7 +309,7 @@ mod tests {
         let pred = Mat::from_rows(&[&[10.0, 3.0]]);
         let mut p = LimeQoPolicy::new(Box::new(FixedCompleter(pred)), "limeqo");
         p.alpha = 2.0;
-        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let ctx = PolicyCtx { wm: &wm, est_cost: None, store: None };
         let mut rng = SeededRng::new(11);
         let sel = p.select(&ctx, 1, &mut rng);
         assert_eq!(sel.len(), 1);
@@ -256,7 +323,7 @@ mod tests {
         wm.set_complete(0, 1, 2.0);
         wm.set_complete(1, 1, 1.5);
         let mut p = LimeQoPolicy::with_als(12);
-        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let ctx = PolicyCtx { wm: &wm, est_cost: None, store: None };
         let mut rng = SeededRng::new(13);
         let sel = p.select(&ctx, 2, &mut rng);
         assert_eq!(sel.len(), 2);
@@ -264,5 +331,93 @@ mod tests {
             assert!(!matches!(wm.cell(c.row, c.col), Cell::Complete(_)));
             assert!(c.timeout > 0.0);
         }
+    }
+
+    #[test]
+    fn cold_row_bonus_promotes_underobserved_rows() {
+        // Row 0 is warm (many observations), row 1 cold (default only).
+        // Predictions are flat at the observed values — no Eq. 6 ratio
+        // anywhere — so only the bonus can rank anything.
+        let mut wm = WorkloadMatrix::with_defaults(&[10.0, 10.0], 4);
+        for col in 1..3 {
+            wm.set_complete(0, col, 10.0);
+        }
+        let mut pred = Mat::filled(2, 4, 10.0);
+        pred[(1, 3)] = 9.99; // cold row's argmin is an unobserved cell
+        pred[(0, 3)] = 9.99;
+        let mut p = LimeQoPolicy::new(Box::new(FixedCompleter(pred)), "limeqo");
+        p.cold_row_bonus = 1.0;
+        let ctx = PolicyCtx { wm: &wm, est_cost: None, store: None };
+        let mut rng = SeededRng::new(21);
+        let sel = p.select(&ctx, 1, &mut rng);
+        assert_eq!(sel.len(), 1);
+        // Bonus 1/√1 = 1 (cold) beats 1/√3 ≈ 0.58 (warm): row 1 first.
+        assert_eq!((sel[0].row, sel[0].col), (1, 3));
+    }
+
+    #[test]
+    fn zero_bonus_keeps_paper_ranking() {
+        // With the bonus off and flat predictions, nothing is ranked and
+        // the random fallback fills the batch — the paper's behavior.
+        let wm = WorkloadMatrix::with_defaults(&[10.0, 10.0], 3);
+        let pred = Mat::filled(2, 3, 10.0);
+        let mut p = LimeQoPolicy::new(Box::new(FixedCompleter(pred)), "limeqo");
+        let ctx = PolicyCtx { wm: &wm, est_cost: None, store: None };
+        let mut rng = SeededRng::new(22);
+        let sel = p.select(&ctx, 2, &mut rng);
+        assert_eq!(sel.len(), 2, "fallback fills the batch");
+    }
+
+    #[test]
+    fn density_gate_forces_uniform_fill_after_shift() {
+        use crate::store::ObservationStore;
+        // A store that lived through a shift: priors everywhere, only the
+        // re-observed default is fresh.
+        let mut store = ObservationStore::with_defaults(&[10.0, 10.0], 5);
+        store.record_complete(0, 1, 2.0);
+        store.record_censored(0, 2, 1.0);
+        store.demote_to_priors(0.5);
+        store.record_complete(0, 0, 11.0);
+        store.record_complete(1, 0, 12.0);
+        // Predictions scream "explore (0,1)" but the gate must ignore them
+        // while rows are starved.
+        let mut pred = Mat::filled(2, 5, 20.0);
+        pred[(0, 1)] = 0.1;
+        let mut p = LimeQoPolicy::new(Box::new(FixedCompleter(pred)), "limeqo");
+        p.density_gate = 0.5; // need ≥ 3 fresh completes of 5
+        let ctx = PolicyCtx { wm: store.matrix(), est_cost: None, store: Some(&store) };
+        let mut rng = SeededRng::new(23);
+        let sel = p.select(&ctx, 20, &mut rng);
+        assert!(!sel.is_empty());
+        for c in &sel {
+            // Gate probes target only unobserved cells, at the full
+            // row-best timeout — never the α-clamped model timeout, and
+            // never the retained priors (the ranking exploits those more
+            // cheaply once density recovers).
+            assert!(
+                matches!(store.matrix().cell(c.row, c.col), Cell::Unobserved),
+                "gate probed {:?}",
+                (c.row, c.col)
+            );
+        }
+        // Priors of both kinds stay untouched during gated fill-in.
+        assert!(!sel.iter().any(|c| (c.row, c.col) == (0, 1)));
+        assert!(!sel.iter().any(|c| (c.row, c.col) == (0, 2)));
+        assert_eq!(store.prior_kind(0, 1), PriorKind::Value);
+    }
+
+    #[test]
+    fn density_gate_inert_before_any_shift() {
+        use crate::store::ObservationStore;
+        let store = ObservationStore::with_defaults(&[10.0, 10.0], 4);
+        let mut pred = Mat::filled(2, 4, 10.0);
+        pred[(0, 1)] = 1.0;
+        let mut p = LimeQoPolicy::new(Box::new(FixedCompleter(pred)), "limeqo");
+        p.density_gate = 0.9;
+        let ctx = PolicyCtx { wm: store.matrix(), est_cost: None, store: Some(&store) };
+        let mut rng = SeededRng::new(24);
+        let sel = p.select(&ctx, 1, &mut rng);
+        // Epoch 0: the gate must not trigger; Eq. 6 picks the ratio win.
+        assert_eq!((sel[0].row, sel[0].col), (0, 1));
     }
 }

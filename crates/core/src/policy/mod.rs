@@ -29,6 +29,7 @@ pub use qo_advisor::QoAdvisorPolicy;
 pub use random::RandomPolicy;
 
 use crate::matrix::WorkloadMatrix;
+use crate::store::ObservationStore;
 use limeqo_linalg::rng::SeededRng;
 use limeqo_linalg::Mat;
 
@@ -52,6 +53,10 @@ pub struct PolicyCtx<'a> {
     /// Optimizer-estimated plan costs for every cell (needed by
     /// QO-Advisor; `None` for DBMSes that do not expose cost estimates).
     pub est_cost: Option<&'a Mat>,
+    /// The observation store's drift bookkeeping (shift epoch, per-row
+    /// fresh-observation counts), used by drift-aware policies for the
+    /// density gate. `None` for harnesses that do not track drift.
+    pub store: Option<&'a ObservationStore>,
 }
 
 /// An exploration policy: pick the next batch of cells to execute offline.

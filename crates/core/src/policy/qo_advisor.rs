@@ -1,7 +1,7 @@
 //! QO-Advisor baseline, adapted to hint exploration as in §5:
 //! "we select the unexplored entry with the lowest optimizer cost (this is
 //! the best action that QO-Advisor's contextual bandit could possibly
-//! pick, since [it] operated over the optimizer's cost model)".
+//! pick, since \[it\] operated over the optimizer's cost model)".
 
 use super::{row_timeout, CellChoice, Policy, PolicyCtx};
 use limeqo_linalg::rng::SeededRng;
@@ -48,7 +48,7 @@ mod tests {
     fn picks_lowest_estimated_cost_cells() {
         let wm = WorkloadMatrix::with_defaults(&[1.0, 1.0], 3);
         let est = Mat::from_rows(&[&[5.0, 100.0, 2.0], &[5.0, 1.0, 50.0]]);
-        let ctx = PolicyCtx { wm: &wm, est_cost: Some(&est) };
+        let ctx = PolicyCtx { wm: &wm, est_cost: Some(&est), store: None };
         let mut rng = SeededRng::new(14);
         let sel = QoAdvisorPolicy.select(&ctx, 2, &mut rng);
         assert_eq!((sel[0].row, sel[0].col), (1, 1)); // cost 1.0
@@ -58,7 +58,7 @@ mod tests {
     #[test]
     fn degrades_to_random_without_cost_model() {
         let wm = WorkloadMatrix::with_defaults(&[1.0], 4);
-        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let ctx = PolicyCtx { wm: &wm, est_cost: None, store: None };
         let mut rng = SeededRng::new(15);
         let sel = QoAdvisorPolicy.select(&ctx, 2, &mut rng);
         assert_eq!(sel.len(), 2);
@@ -69,7 +69,7 @@ mod tests {
         let mut wm = WorkloadMatrix::with_defaults(&[1.0], 3);
         wm.set_complete(0, 1, 0.1); // cheapest column already observed
         let est = Mat::from_rows(&[&[5.0, 0.01, 2.0]]);
-        let ctx = PolicyCtx { wm: &wm, est_cost: Some(&est) };
+        let ctx = PolicyCtx { wm: &wm, est_cost: Some(&est), store: None };
         let mut rng = SeededRng::new(16);
         let sel = QoAdvisorPolicy.select(&ctx, 5, &mut rng);
         assert_eq!(sel.len(), 1);

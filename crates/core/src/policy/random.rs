@@ -30,7 +30,7 @@ mod tests {
     #[test]
     fn selects_requested_batch_from_unobserved() {
         let wm = WorkloadMatrix::with_defaults(&[1.0, 2.0, 3.0], 5);
-        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let ctx = PolicyCtx { wm: &wm, est_cost: None, store: None };
         let mut rng = SeededRng::new(3);
         let sel = RandomPolicy.select(&ctx, 4, &mut rng);
         assert_eq!(sel.len(), 4);
@@ -44,7 +44,7 @@ mod tests {
     fn empty_when_fully_observed() {
         let mut wm = WorkloadMatrix::with_defaults(&[1.0], 2);
         wm.set_complete(0, 1, 0.5);
-        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let ctx = PolicyCtx { wm: &wm, est_cost: None, store: None };
         let mut rng = SeededRng::new(4);
         assert!(RandomPolicy.select(&ctx, 3, &mut rng).is_empty());
     }

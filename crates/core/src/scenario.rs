@@ -17,6 +17,7 @@
 use crate::complete::{AlsCompleter, Completer};
 use crate::online::OnlineConfig;
 use crate::policy::{GreedyPolicy, LimeQoPolicy, Policy, QoAdvisorPolicy, RandomPolicy};
+use crate::store::DriftPolicy;
 
 /// Declarative description of the exploration technique a scenario runs.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +32,11 @@ pub enum PolicySpec {
     LimeQoAls {
         /// Factorization rank r (paper default 5).
         rank: usize,
+        /// Drift-adaptation knobs: prior retention across data shifts,
+        /// the post-shift density gate, the cold-row exploration bonus,
+        /// and ALS warm starting. [`DriftPolicy::legacy`] reproduces the
+        /// paper's cold-restart behavior.
+        drift: DriftPolicy,
     },
     /// LimeQO with censored handling disabled (the Fig. 16 ablation).
     LimeQoAlsNoCensor,
@@ -46,10 +52,28 @@ pub enum PolicySpec {
         rho: f64,
         /// Matrix re-completion period in arrivals.
         refresh_every: usize,
+        /// Cold-row exploration bonus: an arrival of query `q` explores
+        /// with probability `min(1, explore_prob + cold_bonus / √(observed
+        /// cells in q's row))`, so rarely arriving (cold) rows spend their
+        /// scarce arrivals on exploration. 0 disables the bonus.
+        cold_bonus: f64,
     },
 }
 
 impl PolicySpec {
+    /// Drift-aware LimeQO at the paper rank: priors retained across data
+    /// shifts and density-gated post-shift fill-in (cold-row bonus and
+    /// ALS warm starting stay off — see [`DriftPolicy::default`]).
+    pub fn limeqo() -> Self {
+        PolicySpec::LimeQoAls { rank: 5, drift: DriftPolicy::default() }
+    }
+
+    /// The paper's LimeQO without the drift extensions: cold restart on a
+    /// data shift, no gate, no bonus, cold ALS init every round.
+    pub fn limeqo_legacy() -> Self {
+        PolicySpec::LimeQoAls { rank: 5, drift: DriftPolicy::legacy() }
+    }
+
     /// Stable name used in reports, metrics keys, and figure legends.
     pub fn name(&self) -> &'static str {
         match self {
@@ -66,6 +90,17 @@ impl PolicySpec {
     /// rather than the offline [`crate::explore::Explorer`].
     pub fn is_online(&self) -> bool {
         matches!(self, PolicySpec::OnlineAls { .. })
+    }
+
+    /// The drift-adaptation knobs the exploration harness should honor for
+    /// this spec ([`DriftPolicy::legacy`] for every non-drift-aware
+    /// policy, baselines included — the Random reference keeps the
+    /// paper's discard-on-shift semantics).
+    pub fn drift(&self) -> DriftPolicy {
+        match self {
+            PolicySpec::LimeQoAls { drift, .. } => *drift,
+            _ => DriftPolicy::legacy(),
+        }
     }
 
     /// Whether the LimeQO-vs-Random calibrated invariant applies: the spec
@@ -86,10 +121,14 @@ impl PolicySpec {
             PolicySpec::Random => Box::new(RandomPolicy),
             PolicySpec::Greedy => Box::new(GreedyPolicy),
             PolicySpec::QoAdvisor => Box::new(QoAdvisorPolicy),
-            PolicySpec::LimeQoAls { rank } => Box::new(LimeQoPolicy::new(
-                Box::new(AlsCompleter::with_rank(*rank, seed)),
-                "limeqo",
-            )),
+            PolicySpec::LimeQoAls { rank, drift } => {
+                let mut als = AlsCompleter::with_rank(*rank, seed);
+                als.warm_start = drift.warm_start;
+                let mut policy = LimeQoPolicy::new(Box::new(als), "limeqo");
+                policy.density_gate = drift.density_gate;
+                policy.cold_row_bonus = drift.cold_row_bonus;
+                Box::new(policy)
+            }
             PolicySpec::LimeQoAlsNoCensor => Box::new(LimeQoPolicy::new(
                 Box::new(AlsCompleter::without_censoring(seed)),
                 "limeqo-wocensored",
@@ -103,12 +142,15 @@ impl PolicySpec {
     /// Online-explorer configuration for [`PolicySpec::OnlineAls`].
     pub fn online_config(&self, seed: u64) -> Option<OnlineConfig> {
         match self {
-            PolicySpec::OnlineAls { explore_prob, rho, refresh_every, .. } => Some(OnlineConfig {
-                explore_prob: *explore_prob,
-                rho: *rho,
-                refresh_every: *refresh_every,
-                seed,
-            }),
+            PolicySpec::OnlineAls { explore_prob, rho, refresh_every, cold_bonus, .. } => {
+                Some(OnlineConfig {
+                    explore_prob: *explore_prob,
+                    rho: *rho,
+                    refresh_every: *refresh_every,
+                    cold_bonus: *cold_bonus,
+                    seed,
+                })
+            }
             _ => None,
         }
     }
@@ -116,7 +158,7 @@ impl PolicySpec {
     /// Completer for the online explorer's matrix refreshes.
     pub fn build_completer(&self, seed: u64) -> Box<dyn Completer + Send> {
         match self {
-            PolicySpec::OnlineAls { rank, .. } | PolicySpec::LimeQoAls { rank } => {
+            PolicySpec::OnlineAls { rank, .. } | PolicySpec::LimeQoAls { rank, .. } => {
                 Box::new(AlsCompleter::with_rank(*rank, seed))
             }
             _ => Box::new(AlsCompleter::paper_default(seed)),
@@ -143,9 +185,15 @@ mod tests {
             PolicySpec::Random,
             PolicySpec::Greedy,
             PolicySpec::QoAdvisor,
-            PolicySpec::LimeQoAls { rank: 5 },
+            PolicySpec::limeqo(),
             PolicySpec::LimeQoAlsNoCensor,
-            PolicySpec::OnlineAls { rank: 5, explore_prob: 0.1, rho: 1.2, refresh_every: 64 },
+            PolicySpec::OnlineAls {
+                rank: 5,
+                explore_prob: 0.1,
+                rho: 1.2,
+                refresh_every: 64,
+                cold_bonus: 0.0,
+            },
         ];
         let names: Vec<&str> = specs.iter().map(|s| s.name()).collect();
         let mut dedup = names.clone();
@@ -169,7 +217,7 @@ mod tests {
             PolicySpec::Random,
             PolicySpec::Greedy,
             PolicySpec::QoAdvisor,
-            PolicySpec::LimeQoAls { rank: 3 },
+            PolicySpec::LimeQoAls { rank: 3, drift: DriftPolicy::default() },
             PolicySpec::LimeQoAlsNoCensor,
         ] {
             let policy = spec.build_policy(7);
@@ -186,7 +234,13 @@ mod tests {
 
     #[test]
     fn online_spec_exposes_config_not_policy() {
-        let spec = PolicySpec::OnlineAls { rank: 4, explore_prob: 0.2, rho: 1.5, refresh_every: 8 };
+        let spec = PolicySpec::OnlineAls {
+            rank: 4,
+            explore_prob: 0.2,
+            rho: 1.5,
+            refresh_every: 8,
+            cold_bonus: 0.0,
+        };
         assert!(spec.is_online());
         let cfg = spec.online_config(3).expect("online config");
         assert_eq!(cfg.refresh_every, 8);
@@ -197,7 +251,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "online policy specs")]
     fn online_spec_panics_as_offline_policy() {
-        let spec = PolicySpec::OnlineAls { rank: 4, explore_prob: 0.2, rho: 1.5, refresh_every: 8 };
+        let spec = PolicySpec::OnlineAls {
+            rank: 4,
+            explore_prob: 0.2,
+            rho: 1.5,
+            refresh_every: 8,
+            cold_bonus: 0.0,
+        };
         let _ = spec.build_policy(0);
     }
 

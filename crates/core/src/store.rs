@@ -1,0 +1,449 @@
+//! The adaptive observation layer: a [`WorkloadMatrix`] wrapped with
+//! drift-aware bookkeeping.
+//!
+//! The paper's Eq. 6 ratio ranking assumes a reasonably dense observation
+//! matrix. After a §5.4 data shift the original harness discarded every
+//! stale observation, leaving ~2 completed cells per row — the ALS fit goes
+//! underdetermined and LimeQO probes *worse than Random* (the `data-shift`
+//! scenario pinned this gap at 95.4 s vs 75.5 s). Learning-to-rank hint
+//! steerers (Lero, COOOL) keep and re-weight stale pairwise evidence across
+//! plan-space change instead of restarting cold; the same idea maps onto
+//! LimeQO's censored-matrix formulation, because the matrix already has a
+//! first-class notion of "partial knowledge": the censored cell.
+//!
+//! [`ObservationStore`] therefore supports **demoting** stale completed
+//! observations to *censored priors* on a drift event: a stale value `v`
+//! becomes a censored cell at bound `decay · v` — a soft lower-bound
+//! anchor the censored ALS clamp can lean on, with confidence that decays
+//! geometrically across repeated shifts (`decay² · v` after two shifts, and
+//! so on). Fresh probes replace priors outright. The store also maintains
+//! per-row counts of *fresh* completed observations in O(1), which feed the
+//! [`DriftPolicy::density_gate`] (force uniform fill-in until a shifted
+//! row's observed density recovers) and the cold-row exploration bonus
+//! (`bonus / √(row observation count)` added to the Eq. 6 score).
+
+use crate::matrix::{Cell, WorkloadMatrix};
+
+/// Drift-adaptation knobs, threaded from `PolicySpec` through the scenario
+/// runner into the harness and Algorithm 1.
+///
+/// [`DriftPolicy::default`] is the drift-aware configuration; use
+/// [`DriftPolicy::legacy`] for the pre-retention behavior (discard stale
+/// observations, no gate, no bonus, cold ALS init every round).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftPolicy {
+    /// On a data shift, keep stale completed observations as censored
+    /// priors instead of discarding them.
+    pub retain_priors: bool,
+    /// Confidence multiplier applied to a stale value when it is demoted
+    /// (and re-applied on every later shift it survives). A stale latency
+    /// `v` becomes the censored bound `prior_decay · v`: the claim "the new
+    /// latency is probably at least this much" weakens geometrically as the
+    /// data keeps drifting.
+    pub prior_decay: f64,
+    /// Minimum fraction of a row's cells that must be *freshly* completed
+    /// (observed against the current data) before Algorithm 1 trusts the
+    /// Eq. 6 ranking for shifted rows; below it, the policy falls back to
+    /// uniform fill-in on the starved rows. Only active after a shift
+    /// (epoch ≥ 1) — the initial defaults-only matrix is the paper's
+    /// intended starting state, not a starved one.
+    pub density_gate: f64,
+    /// Weight of the cold-row exploration bonus added to the Eq. 6 score:
+    /// `score += cold_row_bonus / √(row observed count)`. Zero disables it.
+    pub cold_row_bonus: f64,
+    /// Warm-start ALS factors across exploration rounds instead of
+    /// re-initializing randomly on every `complete()` call. Off by
+    /// default: warm-started factors keep their early low-biased
+    /// predictions, which tightens Algorithm 1's α-clamped timeouts and
+    /// inflates censoring on drift-free workloads (measured on the
+    /// scenario matrix); it earns its keep in post-shift recovery, where
+    /// the retained hint-side structure matters more than init diversity.
+    pub warm_start: bool,
+}
+
+impl Default for DriftPolicy {
+    fn default() -> Self {
+        DriftPolicy {
+            retain_priors: true,
+            prior_decay: 0.5,
+            density_gate: 0.12,
+            cold_row_bonus: 0.0,
+            warm_start: false,
+        }
+    }
+}
+
+impl DriftPolicy {
+    /// The pre-retention behavior: discard stale observations on a shift,
+    /// no density gate, no cold-row bonus, cold ALS initialization.
+    pub fn legacy() -> Self {
+        DriftPolicy {
+            retain_priors: false,
+            prior_decay: 0.0,
+            density_gate: 0.0,
+            cold_row_bonus: 0.0,
+            warm_start: false,
+        }
+    }
+}
+
+/// What a demoted prior was demoted *from* — the distinction decides
+/// whether the cell is worth re-verifying after a shift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriorKind {
+    /// Not a prior: a fresh observation or an unobserved cell.
+    None,
+    /// Demoted from a completed measurement: the plan actually ran this
+    /// fast before the shift, so re-verifying it is a promising probe.
+    Value,
+    /// Demoted from a censored bound: the plan already timed out on the
+    /// old data — a known loser, not a recovery candidate.
+    Bound,
+}
+
+/// A [`WorkloadMatrix`] plus the drift-aware bookkeeping the adaptive
+/// observation layer needs: which censored cells are demoted priors (their
+/// provenance and confidence weight), how many *fresh* completed
+/// observations each row has, and how many data-shift epochs the store has
+/// lived through.
+#[derive(Debug, Clone)]
+pub struct ObservationStore {
+    wm: WorkloadMatrix,
+    /// Per-cell prior confidence weight; 0.0 for fresh observations and
+    /// unobserved cells, the cumulative decay product for demoted priors.
+    prior_weight: Vec<f64>,
+    /// Per-cell prior provenance, parallel to `prior_weight`.
+    prior_kind: Vec<PriorKind>,
+    /// Per-row count of completed cells observed against the *current*
+    /// data (priors never count).
+    fresh_complete: Vec<u32>,
+    /// Number of data-shift demotions this store has lived through.
+    epoch: u32,
+}
+
+impl ObservationStore {
+    /// Wrap an existing matrix; every completed cell counts as fresh.
+    pub fn new(wm: WorkloadMatrix) -> Self {
+        let (n, k) = (wm.n_rows(), wm.n_cols());
+        let mut fresh = vec![0u32; n];
+        for (row, fresh_count) in fresh.iter_mut().enumerate() {
+            for col in 0..k {
+                if matches!(wm.cell(row, col), Cell::Complete(_)) {
+                    *fresh_count += 1;
+                }
+            }
+        }
+        ObservationStore {
+            prior_weight: vec![0.0; n * k],
+            prior_kind: vec![PriorKind::None; n * k],
+            fresh_complete: fresh,
+            epoch: 0,
+            wm,
+        }
+    }
+
+    /// A store over a matrix with only the default column observed — the
+    /// paper's starting condition.
+    pub fn with_defaults(defaults: &[f64], k: usize) -> Self {
+        Self::new(WorkloadMatrix::with_defaults(defaults, k))
+    }
+
+    /// The wrapped partially observed matrix.
+    pub fn matrix(&self) -> &WorkloadMatrix {
+        &self.wm
+    }
+
+    /// Number of data-shift demotions applied so far.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Record a completed execution: the cell becomes a fresh observation
+    /// (clearing any prior flag) and the row's fresh count grows.
+    pub fn record_complete(&mut self, row: usize, col: usize, latency: f64) {
+        let idx = row * self.wm.n_cols() + col;
+        if !matches!(self.wm.cell(row, col), Cell::Complete(_)) {
+            self.fresh_complete[row] += 1;
+        }
+        self.wm.set_complete(row, col, latency);
+        self.prior_weight[idx] = 0.0;
+        self.prior_kind[idx] = PriorKind::None;
+    }
+
+    /// Record a timed-out execution. A probe that tightens the bound
+    /// supersedes a prior: the cell's bound updates per
+    /// [`WorkloadMatrix::set_censored`] and the prior flag is cleared
+    /// (the bound is now measured, not remembered). A probe that timed
+    /// out *below* a remembered prior bound leaves the prior flagged —
+    /// the surviving larger bound is still unverified hearsay.
+    pub fn record_censored(&mut self, row: usize, col: usize, bound: f64) {
+        let superseded = match self.wm.cell(row, col) {
+            Cell::Censored(old) => bound >= old,
+            _ => true,
+        };
+        self.wm.set_censored(row, col, bound);
+        if superseded {
+            let idx = row * self.wm.n_cols() + col;
+            self.prior_weight[idx] = 0.0;
+            self.prior_kind[idx] = PriorKind::None;
+        }
+    }
+
+    /// Append `count` unobserved rows (workload shift, §5.3).
+    pub fn add_rows(&mut self, count: usize) {
+        self.wm.add_rows(count);
+        self.fresh_complete.extend(std::iter::repeat(0).take(count));
+        self.prior_weight.extend(std::iter::repeat(0.0).take(count * self.wm.n_cols()));
+        self.prior_kind.extend(std::iter::repeat(PriorKind::None).take(count * self.wm.n_cols()));
+    }
+
+    /// Count of fresh (current-epoch) completed cells in `row`.
+    pub fn fresh_complete_count(&self, row: usize) -> u32 {
+        self.fresh_complete[row]
+    }
+
+    /// Fraction of `row`'s cells that are freshly completed.
+    pub fn row_density(&self, row: usize) -> f64 {
+        self.fresh_complete[row] as f64 / self.wm.n_cols() as f64
+    }
+
+    /// Whether the cell holds a demoted prior rather than a measurement.
+    pub fn is_prior(&self, row: usize, col: usize) -> bool {
+        self.prior_weight[row * self.wm.n_cols() + col] > 0.0
+    }
+
+    /// The cell's prior provenance ([`PriorKind::None`] for fresh cells).
+    pub fn prior_kind(&self, row: usize, col: usize) -> PriorKind {
+        self.prior_kind[row * self.wm.n_cols() + col]
+    }
+
+    /// The cell's cumulative prior confidence weight (0 for fresh cells).
+    pub fn prior_weight(&self, row: usize, col: usize) -> f64 {
+        self.prior_weight[row * self.wm.n_cols() + col]
+    }
+
+    /// Count of demoted-prior cells currently in the matrix.
+    pub fn prior_count(&self) -> usize {
+        self.prior_weight.iter().filter(|&&w| w > 0.0).count()
+    }
+
+    /// Apply a data shift (§5.4) to the store — the drift-aware
+    /// alternative to rebuilding the matrix from scratch.
+    ///
+    /// Every cell is demoted in place:
+    ///
+    /// * `Complete(v)` → `Censored(decay_now · v)` — a stale measurement
+    ///   becomes a censored prior at the decayed confidence weight,
+    /// * `Censored(b)` → `Censored(decay_now · b)` — a stale bound weakens
+    ///   the same way (surviving priors compound: `decay²·v` after two
+    ///   shifts),
+    /// * `Unobserved` stays unobserved,
+    ///
+    /// and every row's fresh count resets to zero. The caller then
+    /// re-observes whatever the online path measures for free on the new
+    /// data (the default plan and the cached best hint) via
+    /// [`ObservationStore::record_complete`].
+    ///
+    /// `decay` must lie in (0, 1]: the demoted bound must not exceed the
+    /// stale value, otherwise the prior would overclaim on the new data.
+    pub fn demote_to_priors(&mut self, decay: f64) {
+        assert!(decay > 0.0 && decay <= 1.0, "prior decay must be in (0, 1]");
+        let (n, k) = (self.wm.n_rows(), self.wm.n_cols());
+        let mut demoted = WorkloadMatrix::new(n, k);
+        for row in 0..n {
+            for col in 0..k {
+                let idx = row * k + col;
+                match self.wm.cell(row, col) {
+                    Cell::Unobserved => {}
+                    Cell::Complete(v) => {
+                        demoted.set_censored(row, col, decay * v);
+                        self.prior_weight[idx] = decay;
+                        self.prior_kind[idx] = PriorKind::Value;
+                    }
+                    Cell::Censored(b) => {
+                        demoted.set_censored(row, col, decay * b);
+                        // A surviving prior compounds; a stale measured
+                        // bound starts its prior life at `decay`. Value
+                        // provenance survives repeated shifts.
+                        let w = self.prior_weight[idx];
+                        self.prior_weight[idx] = if w > 0.0 { w * decay } else { decay };
+                        if self.prior_kind[idx] == PriorKind::None {
+                            self.prior_kind[idx] = PriorKind::Bound;
+                        }
+                    }
+                }
+            }
+        }
+        self.wm = demoted;
+        self.fresh_complete.iter_mut().for_each(|c| *c = 0);
+        self.epoch += 1;
+    }
+
+    /// Discard everything (the legacy data-shift path): the matrix resets
+    /// to all-unobserved at the same shape and the epoch still advances,
+    /// so the density gate sees the rebuild either way.
+    pub fn discard_all(&mut self) {
+        let n = self.wm.n_rows();
+        self.discard_resized(n);
+    }
+
+    /// Like [`ObservationStore::discard_all`], but the rebuilt matrix has
+    /// `n` rows (a data shift whose new oracle exposes fewer queries).
+    /// The epoch advances here too — a post-shift matrix is a starved one
+    /// regardless of whether it also shrank.
+    pub fn discard_resized(&mut self, n: usize) {
+        let k = self.wm.n_cols();
+        self.wm = WorkloadMatrix::new(n, k);
+        self.prior_weight = vec![0.0; n * k];
+        self.prior_kind = vec![PriorKind::None; n * k];
+        self.fresh_complete = vec![0; n];
+        self.epoch += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded_store() -> ObservationStore {
+        let mut store = ObservationStore::with_defaults(&[10.0, 8.0], 4);
+        store.record_complete(0, 1, 2.0);
+        store.record_censored(0, 2, 5.0);
+        store.record_complete(1, 3, 4.0);
+        store
+    }
+
+    #[test]
+    fn fresh_counts_track_completes_only() {
+        let store = seeded_store();
+        assert_eq!(store.fresh_complete_count(0), 2); // default + (0,1)
+        assert_eq!(store.fresh_complete_count(1), 2); // default + (1,3)
+        assert!((store.row_density(0) - 0.5).abs() < 1e-12);
+        assert_eq!(store.prior_count(), 0);
+    }
+
+    #[test]
+    fn recomplete_does_not_double_count() {
+        let mut store = seeded_store();
+        store.record_complete(0, 1, 1.5);
+        assert_eq!(store.fresh_complete_count(0), 2);
+    }
+
+    #[test]
+    fn demotion_converts_completes_to_censored_priors_at_decay() {
+        let mut store = seeded_store();
+        store.demote_to_priors(0.5);
+        assert_eq!(store.epoch(), 1);
+        // Stale complete 2.0 → censored prior at 0.5 * 2.0.
+        assert_eq!(store.matrix().cell(0, 1), Cell::Censored(1.0));
+        assert!(store.is_prior(0, 1));
+        assert_eq!(store.prior_weight(0, 1), 0.5);
+        // Stale censored bound 5.0 → prior at 0.5 * 5.0.
+        assert_eq!(store.matrix().cell(0, 2), Cell::Censored(2.5));
+        // Unobserved cells stay unobserved.
+        assert_eq!(store.matrix().cell(1, 1), Cell::Unobserved);
+        // No completes survive; fresh counts reset.
+        assert_eq!(store.matrix().complete_count(), 0);
+        assert_eq!(store.fresh_complete_count(0), 0);
+    }
+
+    #[test]
+    fn demotion_tracks_prior_provenance() {
+        let mut store = seeded_store();
+        store.demote_to_priors(0.5);
+        // (0,1) was a completed measurement → Value; (0,2) a censored
+        // bound → Bound; unobserved cells stay None.
+        assert_eq!(store.prior_kind(0, 1), PriorKind::Value);
+        assert_eq!(store.prior_kind(0, 2), PriorKind::Bound);
+        assert_eq!(store.prior_kind(1, 1), PriorKind::None);
+    }
+
+    #[test]
+    fn priors_compound_across_shifts() {
+        let mut store = seeded_store();
+        store.demote_to_priors(0.5);
+        store.demote_to_priors(0.5);
+        assert_eq!(store.epoch(), 2);
+        // 2.0 → 1.0 → 0.5; weight 0.5 → 0.25; Value provenance survives.
+        assert_eq!(store.matrix().cell(0, 1), Cell::Censored(0.5));
+        assert_eq!(store.prior_weight(0, 1), 0.25);
+        assert_eq!(store.prior_kind(0, 1), PriorKind::Value);
+        assert_eq!(store.prior_kind(0, 2), PriorKind::Bound);
+    }
+
+    #[test]
+    fn fresh_probe_supersedes_prior() {
+        let mut store = seeded_store();
+        store.demote_to_priors(0.5);
+        store.record_complete(0, 1, 3.0);
+        assert!(!store.is_prior(0, 1));
+        assert_eq!(store.prior_kind(0, 1), PriorKind::None);
+        assert_eq!(store.fresh_complete_count(0), 1);
+        // A censored probe that tightens the bound clears the flag too.
+        store.record_censored(0, 2, 9.0);
+        assert!(!store.is_prior(0, 2));
+        assert_eq!(store.prior_kind(0, 2), PriorKind::None);
+        assert_eq!(store.matrix().cell(0, 2), Cell::Censored(9.0));
+    }
+
+    #[test]
+    fn looser_censored_probe_leaves_prior_flagged() {
+        let mut store = seeded_store();
+        store.demote_to_priors(0.5);
+        // Prior at (0,2) has bound 2.5; a probe timing out at 1.0 does not
+        // supersede it — the surviving 2.5 is still remembered hearsay.
+        store.record_censored(0, 2, 1.0);
+        assert_eq!(store.matrix().cell(0, 2), Cell::Censored(2.5));
+        assert!(store.is_prior(0, 2));
+        assert_eq!(store.prior_kind(0, 2), PriorKind::Bound);
+    }
+
+    #[test]
+    fn discard_resized_shrinks_and_advances_epoch() {
+        let mut store = seeded_store();
+        store.discard_resized(1);
+        assert_eq!(store.epoch(), 1, "a shrinking shift is still a shift");
+        assert_eq!(store.matrix().n_rows(), 1);
+        assert_eq!(store.fresh_complete_count(0), 0);
+        store.record_complete(0, 0, 1.0);
+        assert_eq!(store.fresh_complete_count(0), 1);
+    }
+
+    #[test]
+    fn discard_resets_matrix_and_advances_epoch() {
+        let mut store = seeded_store();
+        store.discard_all();
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.matrix().complete_count(), 0);
+        assert_eq!(store.matrix().censored_count(), 0);
+        assert_eq!(store.prior_count(), 0);
+        assert_eq!(store.matrix().n_rows(), 2);
+    }
+
+    #[test]
+    fn add_rows_extends_bookkeeping() {
+        let mut store = seeded_store();
+        store.add_rows(2);
+        assert_eq!(store.matrix().n_rows(), 4);
+        assert_eq!(store.fresh_complete_count(2), 0);
+        store.record_complete(3, 0, 1.0);
+        assert_eq!(store.fresh_complete_count(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "prior decay must be in (0, 1]")]
+    fn demotion_rejects_overclaiming_decay() {
+        seeded_store().demote_to_priors(1.5);
+    }
+
+    #[test]
+    fn drift_policy_defaults_and_legacy() {
+        let fix = DriftPolicy::default();
+        assert!(fix.retain_priors && !fix.warm_start);
+        assert!(fix.prior_decay > 0.0 && fix.density_gate > 0.0);
+        let legacy = DriftPolicy::legacy();
+        assert!(!legacy.retain_priors && !legacy.warm_start);
+        assert_eq!(legacy.density_gate, 0.0);
+        assert_eq!(legacy.cold_row_bonus, 0.0);
+    }
+}

@@ -10,7 +10,7 @@
 //!   broadcast operations used by the matrix-completion algorithms,
 //! * [`matmul`](Mat::matmul) and friends — cache-friendly blocked matrix
 //!   multiplication,
-//! * [`cholesky`] / [`lu`] — factorizations backing the ridge-regularized
+//! * [`mod@cholesky`] / [`mod@lu`] — factorizations backing the ridge-regularized
 //!   normal-equation solves inside alternating least squares,
 //! * [`eigen`] — cyclic Jacobi eigendecomposition of symmetric matrices,
 //! * [`svd`] — thin singular value decomposition built on the Gram-matrix
@@ -21,6 +21,8 @@
 //!
 //! All routines are deterministic given their inputs; none allocate outside
 //! of construction paths that return new matrices.
+
+#![warn(missing_docs)]
 
 pub mod cholesky;
 pub mod eigen;

@@ -16,6 +16,21 @@ use crate::matrix::Mat;
 ///
 /// `G` is m×p, `B` is m×q, the result is p×q. With λ > 0 the normal matrix is
 /// SPD and Cholesky always succeeds; λ = 0 falls back to LU when needed.
+///
+/// ```
+/// use limeqo_linalg::{ridge_solve, Mat};
+///
+/// // Overdetermined exact system: G X = B has the solution X = [[2], [-1]].
+/// let g = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+/// let b = Mat::from_rows(&[&[2.0], &[-1.0], &[1.0]]);
+/// let x = ridge_solve(&g, &b, 0.0).unwrap();
+/// assert!((x[(0, 0)] - 2.0).abs() < 1e-10);
+/// assert!((x[(1, 0)] + 1.0).abs() < 1e-10);
+///
+/// // Regularization shrinks the solution toward zero.
+/// let shrunk = ridge_solve(&g, &b, 10.0).unwrap();
+/// assert!(shrunk[(0, 0)].abs() < x[(0, 0)].abs());
+/// ```
 pub fn ridge_solve(g: &Mat, b: &Mat, lambda: f64) -> Result<Mat> {
     let mut gtg = g.t_matmul(g)?;
     for i in 0..gtg.rows() {

@@ -21,6 +21,7 @@ use crate::catalog::CatalogSpec;
 use crate::query::{JoinShape, QueryClass};
 use crate::workloads::{ClassMix, WorkloadSpec};
 use limeqo_core::scenario::PolicySpec;
+use limeqo_core::store::DriftPolicy;
 use limeqo_linalg::rng::SeededRng;
 use limeqo_linalg::Mat;
 
@@ -375,7 +376,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
             workload: ScenarioWorkload::Sim(WorkloadSpec::job().scaled(0.35)),
             hint_shape: HintShape::Full,
             drift: vec![],
-            policy: PolicySpec::LimeQoAls { rank: 5 },
+            policy: PolicySpec::limeqo(),
             budget_multiple: 2.0,
             batch: 16,
             seeds: vec![11, 12],
@@ -387,7 +388,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
             workload: ScenarioWorkload::Sim(heavy_tail_spec(48, 0x4EA7)),
             hint_shape: HintShape::Full,
             drift: vec![],
-            policy: PolicySpec::LimeQoAls { rank: 5 },
+            policy: PolicySpec::limeqo(),
             budget_multiple: 1.5,
             batch: 16,
             seeds: vec![21, 22],
@@ -399,7 +400,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
             workload: ScenarioWorkload::Sim(tiny_headroom_spec(40, 0x71D0)),
             hint_shape: HintShape::Full,
             drift: vec![],
-            policy: PolicySpec::LimeQoAls { rank: 5 },
+            policy: PolicySpec::limeqo(),
             budget_multiple: 1.0,
             batch: 16,
             seeds: vec![31, 32],
@@ -416,7 +417,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
             }),
             hint_shape: HintShape::Full,
             drift: vec![DriftEvent { at_frac: 0.5, kind: DriftKind::AddQueries { count: 16 } }],
-            policy: PolicySpec::LimeQoAls { rank: 5 },
+            policy: PolicySpec::limeqo(),
             budget_multiple: 2.0,
             batch: 16,
             seeds: vec![41, 42],
@@ -428,7 +429,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
             workload: ScenarioWorkload::Sim(WorkloadSpec::tiny(36, 0xD5_1F7)),
             hint_shape: HintShape::Full,
             drift: vec![DriftEvent { at_frac: 0.4, kind: DriftKind::DataShift { days: 730.0 } }],
-            policy: PolicySpec::LimeQoAls { rank: 5 },
+            policy: PolicySpec::limeqo(),
             budget_multiple: 6.0,
             batch: 8,
             seeds: vec![51, 52],
@@ -452,7 +453,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
             workload: ScenarioWorkload::Sim(WorkloadSpec::tiny(30, 0x9F_0E11)),
             hint_shape: HintShape::Prefix(9),
             drift: vec![],
-            policy: PolicySpec::LimeQoAls { rank: 3 },
+            policy: PolicySpec::LimeQoAls { rank: 3, drift: DriftPolicy::default() },
             budget_multiple: 3.0,
             batch: 4,
             seeds: vec![71, 72, 73],
@@ -471,7 +472,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
             }),
             hint_shape: HintShape::Full,
             drift: vec![],
-            policy: PolicySpec::LimeQoAls { rank: 5 },
+            policy: PolicySpec::limeqo(),
             budget_multiple: 1.0,
             batch: 32,
             seeds: vec![81, 82],
@@ -490,7 +491,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
             }),
             hint_shape: HintShape::Full,
             drift: vec![],
-            policy: PolicySpec::LimeQoAls { rank: 5 },
+            policy: PolicySpec::limeqo(),
             budget_multiple: 0.25,
             batch: 512,
             seeds: vec![91],
@@ -507,6 +508,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
                 explore_prob: 0.15,
                 rho: 1.2,
                 refresh_every: 64,
+                cold_bonus: 0.0,
             },
             budget_multiple: 0.0,
             batch: 1,
@@ -524,6 +526,55 @@ pub fn registry() -> Vec<ScenarioSpec> {
                 explore_prob: 0.15,
                 rho: 1.2,
                 refresh_every: 64,
+                cold_bonus: 0.5,
+            },
+            budget_multiple: 0.0,
+            batch: 1,
+            seeds: vec![111, 112],
+            arrivals: Some(ArrivalSpec {
+                count: 3000,
+                model: ArrivalModel::Zipf { exponent: 1.1 },
+            }),
+        },
+        ScenarioSpec {
+            name: "data-shift-retained",
+            summary: "two compounding data shifts with stale observations kept as censored priors",
+            workload: ScenarioWorkload::Sim(WorkloadSpec::tiny(36, 0xD5_1F7)),
+            hint_shape: HintShape::Full,
+            drift: vec![
+                DriftEvent { at_frac: 0.3, kind: DriftKind::DataShift { days: 365.0 } },
+                DriftEvent { at_frac: 0.6, kind: DriftKind::DataShift { days: 365.0 } },
+            ],
+            // Explicit knobs (not `..Default::default()`): this scenario
+            // pins the retention path itself, so the golden must not move
+            // if the library defaults are retuned later.
+            policy: PolicySpec::LimeQoAls {
+                rank: 5,
+                drift: DriftPolicy {
+                    retain_priors: true,
+                    prior_decay: 0.5,
+                    density_gate: 0.12,
+                    cold_row_bonus: 0.25,
+                    warm_start: true,
+                },
+            },
+            budget_multiple: 6.0,
+            batch: 8,
+            seeds: vec![51, 52],
+            arrivals: None,
+        },
+        ScenarioSpec {
+            name: "zipf-cold-bonus",
+            summary: "zipf(1.1) arrivals with a strong cold-row exploration bonus",
+            workload: ScenarioWorkload::Sim(WorkloadSpec::tiny(48, 0x21FF)),
+            hint_shape: HintShape::Full,
+            drift: vec![],
+            policy: PolicySpec::OnlineAls {
+                rank: 5,
+                explore_prob: 0.15,
+                rho: 1.2,
+                refresh_every: 64,
+                cold_bonus: 1.0,
             },
             budget_multiple: 0.0,
             batch: 1,

@@ -34,7 +34,7 @@ fn main() {
         ex.run_until(budget);
         // How much exploration time went into the hopeless ETL row?
         let etl_cells =
-            (0..workload.k()).filter(|&h| ex.wm.cell(etl_row, h).is_observed()).count() - 1; // default was free
+            (0..workload.k()).filter(|&h| ex.wm().cell(etl_row, h).is_observed()).count() - 1; // default was free
         println!(
             "{name}: latency {:.1}s after {:.1}s exploration; probed the ETL query {etl_cells} times",
             ex.workload_latency(),

@@ -44,7 +44,7 @@ fn main() {
         "after {:.1}s of offline exploration ({} plans executed, {} timed out):",
         explorer.time_spent,
         explorer.cells_executed,
-        explorer.wm.censored_count()
+        explorer.wm().censored_count()
     );
     println!(
         "  workload latency: {:.1}s -> {:.1}s (optimal {:.1}s)",
@@ -57,7 +57,7 @@ fn main() {
     // 3. The verified plan cache: best observed hint per query.
     println!("verified hint selections (queries with an improvement):");
     for q in 0..workload.n() {
-        let (hint, latency) = explorer.wm.row_best(q).expect("default always observed");
+        let (hint, latency) = explorer.wm().row_best(q).expect("default always observed");
         let default = matrices.true_latency[(q, 0)];
         if hint != 0 {
             println!(

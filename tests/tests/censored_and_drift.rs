@@ -13,11 +13,11 @@ fn censored_cells_appear_and_carry_bounds() {
     let cfg = ExploreConfig { batch: 8, seed: 1, ..Default::default() };
     let mut ex = Explorer::new(&oracle, Box::new(LimeQoPolicy::with_als(2)), cfg, w.n());
     ex.run_until(2.0 * m.default_total);
-    assert!(ex.wm.censored_count() > 0, "no censored observations at all");
+    assert!(ex.wm().censored_count() > 0, "no censored observations at all");
     // Every censored bound must be a true lower bound.
     for i in 0..w.n() {
         for j in 0..w.k() {
-            if let Cell::Censored(bound) = ex.wm.cell(i, j) {
+            if let Cell::Censored(bound) = ex.wm().cell(i, j) {
                 assert!(
                     m.true_latency[(i, j)] > bound - 1e-9,
                     "bound {bound} not below truth {}",

@@ -49,6 +49,62 @@ fn als_trace_is_seed_deterministic() {
 }
 
 #[test]
+fn warm_started_als_trace_is_seed_deterministic() {
+    // The drift-aware configuration carries ALS factors across rounds;
+    // the cross-round state must still be a pure function of the seed.
+    use limeqo_core::complete::AlsCompleter;
+    let (w, oracle, budget) = build(24, 0xEA3);
+    let run = |seed: u64| {
+        let mut policy = LimeQoPolicy::new(Box::new(AlsCompleter::warm_started(5, seed)), "limeqo");
+        policy.density_gate = 0.12;
+        policy.cold_row_bonus = 0.25;
+        trace_bytes(&w, &oracle, Box::new(policy), seed, budget)
+    };
+    let a = run(17);
+    let b = run(17);
+    assert_eq!(a, b, "same seed must replay byte-identically");
+    let c = run(18);
+    assert_ne!(a, c, "different seeds must diverge");
+    // Warm starting must actually change exploration relative to cold
+    // restarts — otherwise this test pins nothing.
+    let cold = trace_bytes(&w, &oracle, Box::new(LimeQoPolicy::with_als(17)), 17, budget);
+    assert_ne!(a, cold, "warm-started trace should differ from the cold-init trace");
+}
+
+#[test]
+fn retention_data_shift_is_seed_deterministic() {
+    // A drift-aware run (priors + density gate) across a data shift must
+    // replay byte-identically too: demotion is pure bookkeeping.
+    use limeqo_core::store::DriftPolicy;
+    use limeqo_sim::drift::{build_oracle_uncalibrated, drift_workload};
+    let mut w = WorkloadSpec::tiny(20, 0xFA11).build();
+    let m = w.build_oracle();
+    let oracle_a = MatOracle::new(m.true_latency.clone(), Some(m.est_cost.clone()));
+    let drifted = drift_workload(&w, 730.0, 1);
+    let dm = build_oracle_uncalibrated(&drifted);
+    let oracle_b = MatOracle::new(dm.true_latency.clone(), Some(dm.est_cost.clone()));
+    let budget = 4.0 * m.default_total;
+    let run = |seed: u64| {
+        let cfg = ExploreConfig {
+            batch: 8,
+            seed,
+            retention: DriftPolicy::default(),
+            ..Default::default()
+        };
+        let mut policy = LimeQoPolicy::with_als(seed);
+        policy.density_gate = 0.12;
+        let mut ex = Explorer::new(&oracle_a, Box::new(policy), cfg, w.n());
+        ex.run_until(0.4 * budget);
+        ex.data_shift(&oracle_b);
+        ex.run_until(budget);
+        assert!(ex.store.epoch() == 1);
+        format!("{:?}", ex.trace).into_bytes()
+    };
+    assert_eq!(run(5), run(5));
+    assert_ne!(run(5), run(6));
+}
+
+#[test]
 fn tcnn_trace_is_seed_deterministic() {
     let (w, oracle, budget) = build(14, 0x7C2);
     // threads: 1 pins the gradient-shard reduction order, making the trace

@@ -25,7 +25,7 @@ fn single_query_workload() {
 #[test]
 fn max_steps_safety_valve() {
     let (w, _m, oracle) = tiny_workload(10, 501);
-    let cfg = ExploreConfig { batch: 1, seed: 2, max_steps: 3 };
+    let cfg = ExploreConfig { batch: 1, seed: 2, max_steps: 3, ..Default::default() };
     let mut ex = Explorer::new(&oracle, Box::new(RandomPolicy), cfg, w.n());
     ex.run_until(1e12);
     assert!(ex.cells_executed <= 3, "max_steps must bound work");
@@ -97,7 +97,7 @@ fn absolute_score_mode_behaves_like_greedy_on_long_queries() {
     // same *relative* gain (absolute 0.5).
     let wm = WorkloadMatrix::with_defaults(&[100.0, 1.0], 3);
     let mut rng = SeededRng::new(7);
-    let ctx = PolicyCtx { wm: &wm, est_cost: None };
+    let ctx = PolicyCtx { wm: &wm, est_cost: None, store: None };
 
     let mut abs = LimeQoPolicy::new(Box::new(HalfCompleter), "abs");
     abs.score_mode = ScoreMode::Absolute;

@@ -249,7 +249,7 @@ proptest! {
                 }
             }
         }
-        let ctx = PolicyCtx { wm: &wm, est_cost: None };
+        let ctx = PolicyCtx { wm: &wm, est_cost: None, store: None };
         let mut policy = LimeQoPolicy::with_als(seed);
         let sel = policy.select(&ctx, 5, &mut rng);
         for c in sel {

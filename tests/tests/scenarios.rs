@@ -96,12 +96,13 @@ fn best_so_far_is_monotone_between_events() {
 
 #[test]
 fn limeqo_no_worse_than_random_at_equal_budget() {
-    // Scoped to drift-free scenarios: after a data shift LimeQO cold
-    // restarts from ~2 observed cells per row and its ratio-driven probes
-    // currently lose to Random at small scale (pinned in the golden file;
-    // ROADMAP records it as an open item). The set is derived from the
-    // registry so newly added drift-free LimeQO scenarios are covered
-    // automatically.
+    // Scoped to drift-free scenarios at the tight 2 % tolerance; the
+    // data-shift scenarios have their own invariants below (the single
+    // 730-day shift must beat Random outright now that stale observations
+    // are retained as censored priors; the compounding double shift gets
+    // a looser bound — ROADMAP records the residual gap). The set is
+    // derived from the registry so newly added drift-free LimeQO
+    // scenarios are covered automatically.
     let mut covered = 0;
     for spec in registry() {
         if !(spec.policy.expects_to_beat_random() && spec.drift.is_empty()) {
@@ -200,6 +201,79 @@ fn data_shift_reprices_and_recovers() {
     // The drifted regime is slower than the 60 s base calibration.
     assert!(o.default_total > o.initial_default_total);
     assert!(o.final_latency <= o.default_total + 1e-9);
+}
+
+#[test]
+fn data_shift_retention_closes_the_random_gap() {
+    // The calibrated failure this suite originally pinned: LimeQO's
+    // cold restart after a data shift lost to Random (95.4 s vs 75.5 s at
+    // 6x budget). With stale observations retained as censored priors and
+    // the post-shift density gate, LimeQO must now be no worse than
+    // Random at equal budget on the single-shift scenario.
+    let o = outcome("data-shift");
+    let random = o.random_final_latency.expect("offline scenario runs a random reference");
+    assert!(
+        o.final_latency <= random + 1e-9,
+        "data-shift: limeqo {} still behind random {}",
+        o.final_latency,
+        random
+    );
+    // The compounding double-shift stress case is harder: each shift
+    // demotes the recovery work of the previous segment, and LimeQO still
+    // trails Random slightly there (an open ROADMAP item). Bound the gap
+    // so it cannot quietly widen.
+    let o2 = outcome("data-shift-retained");
+    let random2 = o2.random_final_latency.expect("offline scenario runs a random reference");
+    assert!(
+        o2.final_latency <= random2 * 1.05 + 1e-9,
+        "data-shift-retained: limeqo {} more than 5% behind random {}",
+        o2.final_latency,
+        random2
+    );
+}
+
+#[test]
+fn retention_beats_cold_restart_on_compounding_shifts() {
+    // Pin the legacy behavior alongside the fix: the same double-shift
+    // environment explored with the pre-retention policy (discard on
+    // shift, no gate, cold ALS init) must do no better than the
+    // drift-aware configuration the registry pins.
+    use limeqo_core::scenario::PolicySpec;
+    let mut legacy = limeqo_sim::scenario::by_name("data-shift-retained").expect("registered");
+    legacy.policy = PolicySpec::limeqo_legacy();
+    let legacy_out = limeqo_bench::scenario_runner::run_scenario(&legacy);
+    let retained = outcome("data-shift-retained");
+    assert!(
+        retained.final_latency <= legacy_out.final_latency + 1e-9,
+        "retention ({}) must not lose to the legacy cold restart ({})",
+        retained.final_latency,
+        legacy_out.final_latency
+    );
+}
+
+#[test]
+fn cold_row_bonus_improves_zipf_tail() {
+    // online-zipf pinned 48.06 s final latency before the cold-row bonus
+    // (optimal 38.7 s): cold rows arrived too rarely for a flat
+    // explore_prob to ever probe them. With the bonus the scenario must
+    // stay clearly below the old plateau, and the stronger-bonus variant
+    // must do at least as well.
+    let zipf = outcome("online-zipf").online.as_ref().expect("online outcome");
+    assert!(
+        zipf.final_latency < 45.0,
+        "online-zipf final {} regressed toward the pre-bonus 48.06 s plateau",
+        zipf.final_latency
+    );
+    let strong = outcome("zipf-cold-bonus").online.as_ref().expect("online outcome");
+    assert!(
+        strong.final_latency <= zipf.final_latency + 1e-9,
+        "doubling the bonus should not lose coverage: strong {} vs base {}",
+        strong.final_latency,
+        zipf.final_latency
+    );
+    // The bonus must not break the bounded-regression economics: both
+    // traces still pay for themselves vs always-default.
+    assert!(strong.total_latency <= strong.default_latency);
 }
 
 #[test]
