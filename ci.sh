@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # CI gate for the LimeQO reproduction workspace.
 #
-#   ./ci.sh            # lint + tier-1 (build, tests, bench type-check)
+#   ./ci.sh            # lint + tier-1 (build, tests, perf smoke, bench type-check)
 #   ./ci.sh --fast     # skip the release build (debug tests only)
 #   ./ci.sh --ignored  # slow tier only: tests marked #[ignore]
-#                      # (full-scale figure smokes; > ~5 s each)
+#                      # (full-scale figure smokes and the 100k-query
+#                      # scale scenarios; > ~5 s each) + the full-size
+#                      # perf trajectory (bench-results/BENCH_policy.json)
 #
 # Everything runs offline: external deps are vendored under vendor/ (see
 # vendor/README.md), so no registry access is needed or attempted.
@@ -17,6 +19,11 @@ FAST=0
 if [[ "${1:-}" == "--ignored" ]]; then
   echo "==> slow tier: cargo test -- --ignored"
   cargo test --offline -q -p limeqo-integration-tests -- --ignored
+  # Full-size perf trajectory: 10k×49 hot paths, self-validated JSON
+  # (the binary re-parses the file and checks the required metric keys,
+  # failing the tier if the document is malformed).
+  echo "==> perf trajectory (full): bench-results/BENCH_policy.json"
+  cargo run --offline --release -q -p limeqo-bench --bin perf -- --full
   echo "CI OK (slow tier)"
   exit 0
 fi
@@ -27,9 +34,9 @@ cargo fmt --all --check
 echo "==> cargo clippy (workspace, all targets, warnings are errors)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-# Doc gate: rustdoc warnings (missing_docs on limeqo-core/limeqo-linalg,
-# broken intra-doc links everywhere) are errors, so the API doc pass in
-# ARCHITECTURE.md can't rot.
+# Doc gate: rustdoc warnings (missing_docs on ALL five workspace crates'
+# lib targets, broken intra-doc links everywhere) are errors, so the API
+# doc pass in ARCHITECTURE.md can't rot.
 echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace --quiet
 
@@ -45,6 +52,17 @@ cargo test --offline -q
 # its own named gate line in CI output rather than drowning in tier-1.
 echo "==> scenario golden suite"
 cargo test --offline -q -p limeqo-integration-tests --test scenarios
+
+# Perf trajectory, smoke-sized: emits bench-results/BENCH_policy_smoke.json
+# (NOT the committed BENCH_policy.json — smoke never clobbers the tracked
+# full-size trajectory) and fails if the document does not parse or misses
+# a required metric key (the binary validates itself;
+# tests/tests/perf_report.rs pins the same contract in-process). Full
+# sizes live in the --ignored tier.
+if [[ "$FAST" == "0" ]]; then
+  echo "==> perf trajectory (smoke): bench-results/BENCH_policy_smoke.json"
+  cargo run --offline --release -q -p limeqo-bench --bin perf -- --smoke
+fi
 
 echo "==> benches type-check: cargo bench --no-run"
 cargo bench --offline --no-run

@@ -38,6 +38,22 @@ fn bench_als(c: &mut Criterion) {
     }
     group.finish();
 
+    // The parallel engine at the 10k×49 scale-scenario shape: serial vs
+    // auto-threaded, byte-identical output (iters shortened — per-iteration
+    // cost is what the thread fan-out divides).
+    let wm = matrix_with_fill(10_000, 49, 0.08, 5);
+    let mut group = c.benchmark_group("als_parallel_10k");
+    group.sample_size(10);
+    for (name, threads) in [("serial", 1usize), ("auto", 0usize)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &threads, |b, &t| {
+            let mut als = AlsCompleter::paper_default(6);
+            als.threads = t;
+            als.iters = 10;
+            b.iter(|| black_box(als.complete(&wm)));
+        });
+    }
+    group.finish();
+
     // Rank scaling (Fig. 15's knob).
     let wm = matrix_with_fill(1040, 49, 0.15, 4);
     let mut group = c.benchmark_group("als_rank");

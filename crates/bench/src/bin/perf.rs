@@ -1,0 +1,64 @@
+//! Emit the tracked perf trajectory `bench-results/BENCH_policy.json`.
+//!
+//!   cargo run --release -p limeqo-bench --bin perf -- --smoke   # CI tier-1
+//!   cargo run --release -p limeqo-bench --bin perf -- --full    # 10k×49
+//!
+//! Measures the completion-engine hot paths (serial vs parallel ALS,
+//! store demotion, density-gate scan, Eq. 6 ranking scan, one end-to-end
+//! scenario), writes the flat JSON report, then re-reads it through the
+//! parser and validates `limeqo_bench::perf::REQUIRED_KEYS` — exiting
+//! non-zero if the file is malformed. See PERF.md for how to diff the
+//! trajectory across PRs.
+
+use limeqo_bench::perf::{emit, PerfOpts, REQUIRED_KEYS};
+use limeqo_bench::report::{fmt_secs, Json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = if args.iter().any(|a| a == "--full") {
+        PerfOpts::full()
+    } else if args.iter().any(|a| a == "--smoke") {
+        PerfOpts::smoke()
+    } else {
+        eprintln!("usage: perf --smoke | --full");
+        std::process::exit(2);
+    };
+
+    let path = match emit(&opts) {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("[perf] FAIL: {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc = Json::parse(&std::fs::read_to_string(&path).expect("just written"))
+        .expect("just validated");
+    println!("[perf] {} (schema ok, {} required keys)", path.display(), REQUIRED_KEYS.len());
+    for key in [
+        "als.serial_s",
+        "als.parallel_s",
+        "als.speedup",
+        "store.demote_s",
+        "store.gate_scan_s",
+        "policy.rank_scan_s",
+        "scenario.end_to_end_s",
+    ] {
+        if let Some(v) = doc.get(key).and_then(Json::as_num) {
+            if key == "als.speedup" {
+                println!("[perf]   {key} = {v:.2}x");
+            } else {
+                println!("[perf]   {key} = {}", fmt_secs(v));
+            }
+        }
+    }
+    if let (Some(cores), Some(speedup)) =
+        (doc.get("cores").and_then(Json::as_num), doc.get("als.speedup").and_then(Json::as_num))
+    {
+        // The acceptance bar: >= 2x ALS speedup at 10k×49 on >= 4 cores.
+        // On smaller machines the parallel path must simply not regress.
+        if cores >= 4.0 && doc.get("smoke") == Some(&Json::Bool(false)) && speedup < 2.0 {
+            eprintln!("[perf] FAIL: {cores} cores but ALS speedup only {speedup:.2}x (< 2x)");
+            std::process::exit(1);
+        }
+    }
+}

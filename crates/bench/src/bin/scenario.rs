@@ -1,8 +1,9 @@
 //! Run the named scenario matrix and emit a machine-readable summary.
 //!
-//!   cargo run --release -p limeqo-bench --bin scenario            # all
+//!   cargo run --release -p limeqo-bench --bin scenario            # all fast
 //!   cargo run --release -p limeqo-bench --bin scenario -- --list
 //!   cargo run --release -p limeqo-bench --bin scenario -- --filter online
+//!   cargo run --release -p limeqo-bench --bin scenario -- --scale  # 100k tier
 //!
 //! Prints one table row per scenario and writes
 //! `bench-results/scenarios.json` (array of per-scenario objects) plus
@@ -12,11 +13,12 @@
 
 use limeqo_bench::report::{fmt_secs, write_csv, write_json, Table};
 use limeqo_bench::scenario_runner::{report_json, run_scenarios};
-use limeqo_sim::scenario::registry;
+use limeqo_sim::scenario::{registry, scale_registry};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let list_only = args.iter().any(|a| a == "--list");
+    let scale = args.iter().any(|a| a == "--scale");
     let filter = args
         .iter()
         .position(|a| a == "--filter")
@@ -24,8 +26,11 @@ fn main() {
         .cloned()
         .unwrap_or_default();
 
+    // --scale swaps in the 100k-query tier (minutes, not seconds); the
+    // fast registry stays the default so `scenario` remains cheap.
+    let base = if scale { scale_registry() } else { registry() };
     let specs: Vec<_> =
-        registry().into_iter().filter(|s| filter.is_empty() || s.name.contains(&filter)).collect();
+        base.into_iter().filter(|s| filter.is_empty() || s.name.contains(&filter)).collect();
     if specs.is_empty() {
         eprintln!("no scenario matches filter {filter:?}");
         std::process::exit(2);
@@ -84,8 +89,9 @@ fn main() {
         }
     }
     table.print();
-    let json_path = write_json("scenarios", &report_json(&outcomes)).expect("write scenarios.json");
-    let csv_path = write_csv("scenarios", &csv).expect("write scenarios.csv");
+    let out_name = if scale { "scenarios-scale" } else { "scenarios" };
+    let json_path = write_json(out_name, &report_json(&outcomes)).expect("write scenarios json");
+    let csv_path = write_csv(out_name, &csv).expect("write scenarios csv");
     println!("[scenario] wrote {} and {}", json_path.display(), csv_path.display());
 
     if outcomes.iter().any(|o| !o.monotone_ok) {

@@ -7,13 +7,19 @@
 //!   `limeqo-sim::scenario` (drift schedules, hint shapes, online
 //!   arrivals) and aggregates deterministic summaries for the golden
 //!   regression suite (`src/bin/scenario.rs` is the CLI),
-//! * [`report`] — text tables, CSV and JSON emission under
-//!   `bench-results/`,
+//! * [`report`] — text tables, CSV and JSON emission (now with a minimal
+//!   parser for self-checking emitted documents) under `bench-results/`,
+//! * [`perf`] — the tracked perf trajectory: one-shot hot-path
+//!   measurements emitted as `bench-results/BENCH_policy.json`
+//!   (see PERF.md at the workspace root),
 //! * one binary per table/figure in `src/bin/` (see DESIGN.md §5),
 //! * Criterion benches in `benches/` for the computational-overhead axes.
 
+#![warn(missing_docs)]
+
 pub mod figures;
 pub mod harness;
+pub mod perf;
 pub mod report;
 pub mod scenario_runner;
 

@@ -1,0 +1,259 @@
+//! The tracked perf trajectory: wall-clock the completion-engine hot paths
+//! and emit `bench-results/BENCH_policy.json` (full sizes; smoke runs
+//! write `BENCH_policy_smoke.json` so CI never clobbers the committed
+//! trajectory) so future PRs can diff the numbers instead of guessing
+//! (PERF.md documents the workflow).
+//!
+//! Unlike the criterion benches (statistical, interactive), this emitter
+//! is a one-shot measurement harness: each hot path runs a few times and
+//! the minimum wall-clock is recorded — the stable "how fast can this
+//! machine do it" number, cheap enough for CI. The smoke configuration
+//! shrinks the matrix so the tier-1 gate can type-check *and execute* the
+//! emitter in seconds; `--full` measures the real 10k×49 shapes the
+//! acceptance numbers quote.
+//!
+//! The emitted document is flat (dotted keys) and self-checked: the
+//! binary re-reads the file, parses it with [`Json::parse`] and verifies
+//! [`REQUIRED_KEYS`] before exiting 0, so a malformed trajectory can
+//! never land silently.
+
+use crate::report::{write_json, Json};
+use limeqo_core::complete::{AlsCompleter, Completer};
+use limeqo_core::matrix::WorkloadMatrix;
+use limeqo_core::policy::{LimeQoPolicy, Policy, PolicyCtx};
+use limeqo_core::store::ObservationStore;
+use limeqo_linalg::par::auto_threads;
+use limeqo_linalg::rng::SeededRng;
+use limeqo_linalg::Mat;
+use std::time::Instant;
+
+/// Keys every `BENCH_policy.json` must contain (the ci.sh check and the
+/// integration test both enforce this list).
+pub const REQUIRED_KEYS: &[&str] = &[
+    "schema",
+    "smoke",
+    "cores",
+    "threads",
+    "matrix.n",
+    "matrix.k",
+    "als.serial_s",
+    "als.parallel_s",
+    "als.speedup",
+    "store.demote_s",
+    "store.gate_scan_s",
+    "policy.rank_scan_s",
+    "scenario.name",
+    "scenario.end_to_end_s",
+];
+
+/// Emitter configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfOpts {
+    /// Shrink every shape so the whole run takes seconds (the tier-1 CI
+    /// configuration). `false` measures the full 10k×49 shapes.
+    pub smoke: bool,
+    /// Worker threads for the parallel measurements (0 = auto).
+    pub threads: usize,
+}
+
+impl PerfOpts {
+    /// The tier-1 CI configuration.
+    pub fn smoke() -> Self {
+        PerfOpts { smoke: true, threads: 0 }
+    }
+
+    /// The full-size measurement (`perf --full`, slow tier).
+    pub fn full() -> Self {
+        PerfOpts { smoke: false, threads: 0 }
+    }
+}
+
+/// Minimum wall-clock seconds of `f` over `reps` runs.
+fn time_min(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// A matured observation store at n×k: default column complete, ~30 % of
+/// the remaining cells observed (mixed complete/censored) — the
+/// `bench_store` shape.
+fn matured_store(n: usize, k: usize, seed: u64) -> ObservationStore {
+    let mut rng = SeededRng::new(seed);
+    let mut store = ObservationStore::new(WorkloadMatrix::new(n, k));
+    for row in 0..n {
+        store.record_complete(row, 0, rng.uniform(1.0, 10.0));
+        for col in 1..k {
+            if rng.chance(0.3) {
+                if rng.chance(0.5) {
+                    store.record_complete(row, col, rng.uniform(0.1, 5.0));
+                } else {
+                    store.record_censored(row, col, rng.uniform(0.1, 2.0));
+                }
+            }
+        }
+    }
+    store
+}
+
+/// A completer that returns a fixed fill — isolates the policy's Eq. 6
+/// scan from the model fit in `policy.rank_scan_s`.
+struct ConstCompleter(Mat);
+
+impl Completer for ConstCompleter {
+    fn name(&self) -> &'static str {
+        "const"
+    }
+    fn complete(&mut self, _wm: &WorkloadMatrix) -> Mat {
+        self.0.clone()
+    }
+}
+
+/// Run every measurement and assemble the report.
+pub fn run(opts: &PerfOpts) -> Json {
+    let (n, k) = if opts.smoke { (1_000, 49) } else { (10_000, 49) };
+    let iters = if opts.smoke { 5 } else { 50 };
+    let reps = if opts.smoke { 1 } else { 3 };
+
+    let store = matured_store(n, k, 0xBE9C);
+    let wm = store.matrix();
+
+    // ALS: the identical fit, serial vs parallel. Fresh completers per
+    // measurement so the RNG call counter cannot skew a comparison.
+    let als_serial = time_min(reps, || {
+        let mut als = AlsCompleter::paper_default(1);
+        als.iters = iters;
+        als.threads = 1;
+        std::hint::black_box(als.complete(wm));
+    });
+    let als_parallel = time_min(reps, || {
+        let mut als = AlsCompleter::paper_default(1);
+        als.iters = iters;
+        als.threads = opts.threads;
+        std::hint::black_box(als.complete(wm));
+    });
+
+    // Store demotion: the whole-matrix data-shift sweep.
+    let demote = time_min(reps, || {
+        let mut s = store.clone();
+        s.demote_to_priors(0.5);
+        std::hint::black_box(s.prior_count());
+    });
+
+    // Density-gate scan over the starved rows (post-shift state).
+    let mut shifted = store.clone();
+    shifted.demote_to_priors(0.5);
+    let gate_scan = time_min(reps.max(3), || {
+        let need = (0.12 * k as f64).ceil() as u32;
+        let starved = (0..n).filter(|&row| shifted.fresh_complete_count(row) < need).count();
+        std::hint::black_box(starved);
+    });
+
+    // Eq. 6 ranking scan with the model fit stubbed out. Policy and fill
+    // are built once, outside the timed region, so the metric tracks the
+    // scan plus the completer's single unavoidable n×k materialization —
+    // not argument clones or Box/Vec construction.
+    let mut policy = LimeQoPolicy::new(Box::new(ConstCompleter(Mat::filled(n, k, 1.0))), "limeqo");
+    let rank_scan = time_min(reps.max(3), || {
+        let ctx = PolicyCtx { wm, est_cost: None, store: Some(&store) };
+        let mut rng = SeededRng::new(9);
+        std::hint::black_box(policy.select(&ctx, 64, &mut rng));
+    });
+
+    // End-to-end scenario wall-clock. Smoke shrinks the 10k scenario so
+    // the tier-1 gate stays fast; full runs it as registered.
+    let mut spec = limeqo_sim::scenario::by_name("large-matrix-10k").expect("registered");
+    if opts.smoke {
+        if let limeqo_sim::scenario::ScenarioWorkload::Synthetic(s) = &mut spec.workload {
+            s.n = 1_500;
+        }
+        spec.batch = 128;
+    }
+    let t = Instant::now();
+    let outcome = crate::scenario_runner::run_scenario(&spec);
+    let end_to_end = t.elapsed().as_secs_f64();
+
+    Json::Obj(vec![
+        ("schema".into(), Json::Str("limeqo-bench-policy-v1".into())),
+        ("smoke".into(), Json::Bool(opts.smoke)),
+        ("cores".into(), Json::Num(auto_threads() as f64)),
+        ("threads".into(), Json::Num(limeqo_linalg::par::resolve_threads(opts.threads) as f64)),
+        ("matrix.n".into(), Json::Num(n as f64)),
+        ("matrix.k".into(), Json::Num(k as f64)),
+        ("als.iters".into(), Json::Num(iters as f64)),
+        ("als.serial_s".into(), Json::Num(als_serial)),
+        ("als.parallel_s".into(), Json::Num(als_parallel)),
+        ("als.speedup".into(), Json::Num(als_serial / als_parallel.max(1e-12))),
+        ("store.demote_s".into(), Json::Num(demote)),
+        ("store.gate_scan_s".into(), Json::Num(gate_scan)),
+        ("policy.rank_scan_s".into(), Json::Num(rank_scan)),
+        ("scenario.name".into(), Json::Str(spec.name.into())),
+        ("scenario.n".into(), Json::Num(outcome.n as f64)),
+        ("scenario.end_to_end_s".into(), Json::Num(end_to_end)),
+        ("scenario.final_latency".into(), Json::Num(outcome.final_latency)),
+    ])
+}
+
+/// Check a parsed `BENCH_policy.json` for the required keys (numbers must
+/// be finite, strings non-empty). Returns every violation found.
+pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    for &key in REQUIRED_KEYS {
+        match doc.get(key) {
+            None => errors.push(format!("missing required key {key:?}")),
+            Some(Json::Num(v)) if !v.is_finite() => errors.push(format!("{key:?} is not finite")),
+            Some(Json::Str(s)) if s.is_empty() => errors.push(format!("{key:?} is empty")),
+            Some(_) => {}
+        }
+    }
+    // The headline numbers must be positive durations.
+    for key in ["als.serial_s", "als.parallel_s", "scenario.end_to_end_s"] {
+        if let Some(v) = doc.get(key).and_then(Json::as_num) {
+            if v <= 0.0 {
+                errors.push(format!("{key:?} must be a positive duration, got {v}"));
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Emit the report — `bench-results/BENCH_policy.json` for full runs,
+/// `BENCH_policy_smoke.json` for smoke (so the committed full-size
+/// trajectory is never overwritten by a CI smoke pass) — then re-read,
+/// re-parse and validate it. Returns the written path.
+pub fn emit(opts: &PerfOpts) -> Result<std::path::PathBuf, String> {
+    let doc = run(opts);
+    let name = if opts.smoke { "BENCH_policy_smoke" } else { "BENCH_policy" };
+    let path = write_json(name, &doc).map_err(|e| e.to_string())?;
+    let body = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
+    let parsed = Json::parse(&body)?;
+    validate(&parsed).map_err(|errs| errs.join("; "))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_flags_missing_and_bad_keys() {
+        let empty = Json::Obj(vec![]);
+        let errs = validate(&empty).unwrap_err();
+        assert!(errs.len() >= REQUIRED_KEYS.len());
+        let bad = Json::Obj(vec![
+            ("als.serial_s".into(), Json::Num(-1.0)),
+            ("scenario.name".into(), Json::Str(String::new())),
+        ]);
+        let errs = validate(&bad).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("positive duration")));
+        assert!(errs.iter().any(|e| e.contains("is empty")));
+    }
+}

@@ -186,8 +186,12 @@ fn run_offline_seed(spec: &ScenarioSpec, env: &Env, policy: &PolicySpec, seed: u
     // Each policy carries its own drift-retention knobs: the Random
     // reference keeps the legacy discard-on-shift semantics even when the
     // named policy retains priors, so the comparison isolates the policy.
-    let cfg =
-        ExploreConfig { batch: spec.batch, seed, retention: policy.drift(), ..Default::default() };
+    let cfg = ExploreConfig {
+        batch: spec.batch,
+        seed,
+        retention: policy.drift(),
+        max_steps: spec.max_steps,
+    };
     let mut ex = Explorer::new(&env.oracles[0], policy.build_policy(seed), cfg, env.initial_rows);
     let mut monotone = true;
     let mut seg_start = 0usize;

@@ -23,11 +23,34 @@
 //! workload and data shifts. If the matrix gains rows mid-run (§5.3), the
 //! hint factor `H` is kept and the query factor `Q` re-initialized — the
 //! first half-iteration refits `Q` from `H` in closed form anyway.
+//!
+//! ## The parallel engine
+//!
+//! Every expensive step of an ALS iteration is independent per factor row:
+//! the `Q` update solves one r-dimensional ridge system per *query*, the
+//! `H` update one per *hint*, and the low-rank product `QHᵀ` is one dot
+//! product per cell. [`AlsCompleter::threads`] fans those solves out over
+//! crossbeam scoped workers via the batched solvers
+//! `limeqo_linalg::ridge_solve_rows` / `ridge_solve_cols`, each worker
+//! writing only its own pre-allocated factor rows. The result is
+//! **byte-identical to the serial path at any thread count** — the
+//! partition moves chunk boundaries, never the per-element arithmetic —
+//! which is what lets the golden scenario suite stay pinned while the hot
+//! path scales across cores (contract in PERF.md; pinned by
+//! `tests/tests/determinism.rs` at 1/2/8 threads).
+//!
+//! Matrix assembly no longer materializes the dense `W̃`/`M`/`T` triple
+//! either: the observed and censored cells are gathered once per call from
+//! the matrix's compact observed-cell index
+//! ([`WorkloadMatrix::observed_cols`]), so assembly is O(observed), and the
+//! per-iteration fill starts from `QHᵀ` and overwrites just the observed
+//! slots — numerically identical to the old dense
+//! `M ⊙ W̃ + (1−M) ⊙ QHᵀ` + censored-clamp sequence.
 
-use super::{fill_estimate, Completer};
-use crate::matrix::WorkloadMatrix;
+use super::Completer;
+use crate::matrix::{Cell, WorkloadMatrix};
 use limeqo_linalg::rng::SeededRng;
-use limeqo_linalg::{ridge_solve, Mat};
+use limeqo_linalg::{par, ridge_solve_cols, ridge_solve_rows, Mat};
 
 /// Censored non-negative ALS matrix completion.
 #[derive(Debug, Clone)]
@@ -45,11 +68,72 @@ pub struct AlsCompleter {
     /// Seed the factors from the previous `complete()` call instead of a
     /// fresh random init (see the module docs).
     pub warm_start: bool,
+    /// Worker threads for the parallel factor solves and the `QHᵀ`
+    /// product: 0 asks the machine (`available_parallelism`, and stays
+    /// serial for kernels too small to amortize a thread spawn — see
+    /// `limeqo_linalg::par::MIN_PAR_WORK`), 1 forces the serial path,
+    /// explicit counts are honored literally. A pure performance knob —
+    /// output is byte-identical at any value (see the module docs).
+    pub threads: usize,
     /// Base seed for factor initialization.
     pub seed: u64,
     calls: u64,
     /// `(Q, H)` from the previous call, kept while `warm_start` is on.
     warm: Option<(Mat, Mat)>,
+}
+
+/// The observed cells of a workload matrix, gathered once per `complete()`
+/// call from the compact index: completed `(row, col, value)` triples and
+/// censored `(row, col, bound)` triples, both in row-major order.
+struct GatheredCells {
+    completes: Vec<(u32, u32, f64)>,
+    censored: Vec<(u32, u32, f64)>,
+}
+
+impl GatheredCells {
+    fn gather(wm: &WorkloadMatrix, want_censored: bool) -> Self {
+        let mut completes = Vec::new();
+        let mut censored = Vec::new();
+        for row in 0..wm.n_rows() {
+            for &col in wm.observed_cols(row) {
+                match wm.cell(row, col as usize) {
+                    Cell::Complete(v) => completes.push((row as u32, col, v)),
+                    Cell::Censored(b) if want_censored => censored.push((row as u32, col, b)),
+                    Cell::Censored(_) | Cell::Unobserved => {}
+                }
+            }
+        }
+        GatheredCells { completes, censored }
+    }
+
+    /// `Ŵ ← M ⊙ W̃ + (1−M) ⊙ QHᵀ` with the censored clamp
+    /// `Ŵᵢⱼ ← max(Ŵᵢⱼ, Tᵢⱼ)` (Algorithm 2 lines 3–5), starting from the
+    /// low-rank product and touching only observed slots. Numerically
+    /// identical to the dense `fill_estimate` it replaces.
+    fn fill(&self, mut qh: Mat) -> Mat {
+        let k = qh.cols();
+        let s = qh.as_mut_slice();
+        for &(r, c, v) in &self.completes {
+            s[r as usize * k + c as usize] = v;
+        }
+        for &(r, c, bound) in &self.censored {
+            let i = r as usize * k + c as usize;
+            if bound > 0.0 && s[i] < bound {
+                s[i] = bound;
+            }
+        }
+        qh
+    }
+
+    /// Mean of the completed values — the scale the random factor init is
+    /// centred on. Accumulated in row-major cell order, matching the old
+    /// dense `values().sum() / mask().sum()` bit for bit (the skipped
+    /// zeros never changed a partial sum).
+    fn mean_complete(&self) -> f64 {
+        let sum: f64 = self.completes.iter().map(|&(_, _, v)| v).sum();
+        let count = self.completes.len().max(1);
+        (sum / count as f64).max(1e-9)
+    }
 }
 
 impl AlsCompleter {
@@ -63,6 +147,7 @@ impl AlsCompleter {
             censored: true,
             nonneg: true,
             warm_start: false,
+            threads: 0,
             seed,
             calls: 0,
             warm: None,
@@ -87,13 +172,31 @@ impl AlsCompleter {
 
     /// Run Algorithm 2 and return both the completed matrix and the final
     /// factors (the factors are reused by diagnostics and tests).
+    ///
+    /// ```
+    /// use limeqo_core::complete::AlsCompleter;
+    /// use limeqo_core::matrix::WorkloadMatrix;
+    ///
+    /// let mut wm = WorkloadMatrix::with_defaults(&[4.0, 6.0], 3);
+    /// wm.set_complete(0, 1, 1.0);
+    /// let mut als = AlsCompleter::paper_default(7);
+    /// let (completed, q, h) = als.complete_with_factors(&wm);
+    /// assert_eq!(completed.shape(), (2, 3));
+    /// assert_eq!(q.shape(), (2, 5)); // rank r = 5 query factor
+    /// assert_eq!(h.shape(), (3, 5)); // rank r = 5 hint factor
+    /// // Observed cells are kept exactly; the rest is the low-rank fill.
+    /// assert_eq!(completed[(0, 1)], 1.0);
+    /// // The thread count is a pure performance knob: any value yields
+    /// // byte-identical output (the parallel determinism contract).
+    /// let mut par = AlsCompleter::paper_default(7);
+    /// par.threads = 8;
+    /// let (par_completed, _, _) = par.complete_with_factors(&wm);
+    /// assert_eq!(par_completed.as_slice(), completed.as_slice());
+    /// ```
     pub fn complete_with_factors(&mut self, wm: &WorkloadMatrix) -> (Mat, Mat, Mat) {
         let n = wm.n_rows();
         let k = wm.n_cols();
-        let values = wm.values();
-        let mask = wm.mask();
-        let timeouts_mat = wm.timeouts();
-        let timeouts = if self.censored { Some(&timeouts_mat) } else { None };
+        let cells = GatheredCells::gather(wm, self.censored);
 
         // Fresh random init per call, deterministic across runs. The
         // factors are scaled so the initial product QHᵀ matches the mean
@@ -105,8 +208,7 @@ impl AlsCompleter {
         self.calls += 1;
         let mut rng = SeededRng::new(self.seed.wrapping_add(self.calls.wrapping_mul(0xA5A5)));
         let r = self.rank.max(1);
-        let observed = mask.sum().max(1.0);
-        let mean_obs = (values.sum() / observed).max(1e-9);
+        let mean_obs = cells.mean_complete();
         let bound = 2.0 * (mean_obs / r as f64).sqrt();
         // Warm path: reuse last round's factors when the shapes still
         // agree; if only the row count changed (queries arrived), keep H
@@ -126,28 +228,27 @@ impl AlsCompleter {
             _ => (q_init, h_init),
         };
 
+        let threads = self.threads;
         for _ in 0..self.iters {
             // Ŵ ← M⊙W̃ + (1−M)⊙QHᵀ  (+ censored clamp)
-            let qh = q.matmul_t(&h).expect("QHᵀ shape");
-            let w_hat = fill_estimate(&values, &mask, timeouts, &qh);
-            // Q ← Ŵ H (HᵀH + λI)⁻¹, computed as the ridge solution of
-            // (HᵀH + λI) X = Hᵀ Ŵᵀ, Q = Xᵀ.
-            let qt = ridge_solve(&h, &w_hat.transpose(), self.lambda).expect("Q update");
-            q = qt.transpose();
+            let qh = par::matmul_t(&q, &h, threads).expect("QHᵀ shape");
+            let w_hat = cells.fill(qh);
+            // Q ← Ŵ H (HᵀH + λI)⁻¹: one independent r-dimensional ridge
+            // system per query row, fanned out across the workers.
+            q = ridge_solve_rows(&h, &w_hat, self.lambda, threads).expect("Q update");
             if self.nonneg {
                 q.clamp_min(0.0);
             }
-            let qh = q.matmul_t(&h).expect("QHᵀ shape");
-            let w_hat = fill_estimate(&values, &mask, timeouts, &qh);
-            // H ← Ŵᵀ Q (QᵀQ + λI)⁻¹.
-            let ht = ridge_solve(&q, &w_hat, self.lambda).expect("H update");
-            h = ht.transpose();
+            let qh = par::matmul_t(&q, &h, threads).expect("QHᵀ shape");
+            let w_hat = cells.fill(qh);
+            // H ← Ŵᵀ Q (QᵀQ + λI)⁻¹: one system per hint column.
+            h = ridge_solve_cols(&q, &w_hat, self.lambda, threads).expect("H update");
             if self.nonneg {
                 h.clamp_min(0.0);
             }
         }
-        let qh = q.matmul_t(&h).expect("QHᵀ shape");
-        let completed = fill_estimate(&values, &mask, timeouts, &qh);
+        let qh = par::matmul_t(&q, &h, threads).expect("QHᵀ shape");
+        let completed = cells.fill(qh);
         if self.warm_start {
             self.warm = Some((q.clone(), h.clone()));
         }
@@ -275,6 +376,62 @@ mod tests {
         let pred = als.complete(&wm_big);
         assert_eq!(pred.shape(), (18, 8));
         assert!(pred.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    /// The pre-parallel dense path, kept verbatim as a reference: build
+    /// `W̃`/`M`/`T` densely, run the old `fill_estimate` + one-shot
+    /// `ridge_solve` loop. The shipping engine must reproduce it bit for
+    /// bit at every thread count.
+    fn dense_reference(wm: &WorkloadMatrix, rank: usize, iters: usize, seed: u64) -> Mat {
+        use crate::complete::fill_estimate;
+        use limeqo_linalg::ridge_solve;
+        let (n, k) = (wm.n_rows(), wm.n_cols());
+        let lambda = 0.2;
+        let values = wm.values();
+        let mask = wm.mask();
+        let timeouts_mat = wm.timeouts();
+        let timeouts = Some(&timeouts_mat);
+        let mut rng = SeededRng::new(seed.wrapping_add(0xA5A5));
+        let r = rank.max(1);
+        let observed = mask.sum().max(1.0);
+        let mean_obs = (values.sum() / observed).max(1e-9);
+        let bound = 2.0 * (mean_obs / r as f64).sqrt();
+        let mut q = rng.uniform_mat(n, r, 0.0, bound);
+        let mut h = rng.uniform_mat(k, r, 0.0, bound);
+        for _ in 0..iters {
+            let qh = q.matmul_t(&h).unwrap();
+            let w_hat = fill_estimate(&values, &mask, timeouts, &qh);
+            let qt = ridge_solve(&h, &w_hat.transpose(), lambda).unwrap();
+            q = qt.transpose();
+            q.clamp_min(0.0);
+            let qh = q.matmul_t(&h).unwrap();
+            let w_hat = fill_estimate(&values, &mask, timeouts, &qh);
+            let ht = ridge_solve(&q, &w_hat, lambda).unwrap();
+            h = ht.transpose();
+            h.clamp_min(0.0);
+        }
+        let qh = q.matmul_t(&h).unwrap();
+        fill_estimate(&values, &mask, timeouts, &qh)
+    }
+
+    #[test]
+    fn engine_matches_dense_reference_at_every_thread_count() {
+        let (_, mut wm) = synthetic_low_rank(40, 12, 3, 0.3, 31);
+        // Plant censored cells so the clamp path is exercised too.
+        let planted: Vec<(usize, usize)> = wm.unobserved_cells().take(5).collect();
+        for (i, (r, c)) in planted.into_iter().enumerate() {
+            wm.set_censored(r, c, 0.5 + i as f64);
+        }
+        let reference = dense_reference(&wm, 3, 10, 32);
+        for threads in [1, 2, 8, 0] {
+            let mut als =
+                AlsCompleter { rank: 3, iters: 10, threads, ..AlsCompleter::paper_default(32) };
+            assert_eq!(
+                als.complete(&wm).as_slice(),
+                reference.as_slice(),
+                "threads={threads} diverged from the dense serial reference"
+            );
+        }
     }
 
     #[test]

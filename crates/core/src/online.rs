@@ -82,6 +82,11 @@ pub struct OnlineExplorer<'a> {
     oracle: &'a dyn Oracle,
     completer: Box<dyn Completer + Send>,
     /// The growing workload matrix (shared shape with the oracle).
+    ///
+    /// Deliberately a public *field*, unlike the offline
+    /// [`crate::explore::Explorer::wm`] accessor: the online explorer has
+    /// no drift bookkeeping wrapped around its matrix, so there is
+    /// nothing an accessor would protect.
     pub wm: WorkloadMatrix,
     cfg: OnlineConfig,
     rng: SeededRng,
@@ -125,10 +130,7 @@ impl<'a> OnlineExplorer<'a> {
         self.stats.incumbent_latency += incumbent_lat;
 
         let explore_prob = if self.cfg.cold_bonus > 0.0 {
-            let observed = (0..self.wm.n_cols())
-                .filter(|&c| self.wm.cell(row, c).is_observed())
-                .count()
-                .max(1);
+            let observed = self.wm.row_observed_count(row).max(1);
             (self.cfg.explore_prob + self.cfg.cold_bonus / (observed as f64).sqrt()).min(1.0)
         } else {
             self.cfg.explore_prob

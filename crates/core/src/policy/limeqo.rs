@@ -25,6 +25,20 @@
 //! * a **cold-row exploration bonus** ([`LimeQoPolicy::cold_row_bonus`]):
 //!   `bonus / √(row observation count)` is added to each row's score, so
 //!   rows the ranking would starve still get probed occasionally.
+//!
+//! At production scale the per-step score scan is itself a hot path. The
+//! observation-side quantities (row best, observed counts, censored
+//! sweeps) now come from the matrix's O(1) caches and compact
+//! observed-cell index, and
+//! [`LimeQoPolicy::rescore_changed_only`] optionally makes the ranking
+//! *incremental*: a row is re-scored against the fresh completion only
+//! when its observation set changed since the previous round (tracked by
+//! [`crate::store::ObservationStore::row_rev`]); untouched rows keep their
+//! cached score and predicted argmin. That is a deliberate, opt-in
+//! approximation — predictions for untouched rows do drift a little each
+//! refit — used by the 100k-query scale scenario where re-scoring 99% of
+//! rows every round buys nothing; the paper-exact default re-scores
+//! everything.
 
 use super::{sample_unobserved, CellChoice, Policy, PolicyCtx};
 use crate::complete::Completer;
@@ -69,6 +83,33 @@ pub struct LimeQoPolicy {
     /// Cold-row exploration bonus weight: `cold_row_bonus / √(observed
     /// cells in row)` is added to the row's Eq. 6 score. 0 disables it.
     pub cold_row_bonus: f64,
+    /// Incremental re-ranking (see the module docs): re-score only rows
+    /// whose observation set changed since the previous call, keeping the
+    /// cached score/argmin for untouched rows. Requires drift bookkeeping
+    /// in [`PolicyCtx::store`] (full re-scoring otherwise). Off by
+    /// default — the paper-exact behavior.
+    pub rescore_changed_only: bool,
+    /// Per-row score cache for the incremental path: the store revision
+    /// the row was last scored at, and the scored candidate
+    /// (`None` = nothing worth exploring in that row).
+    cache: Vec<CachedScore>,
+}
+
+/// One cached Eq. 6 scoring decision.
+#[derive(Debug, Clone, Copy)]
+struct CachedScore {
+    /// [`crate::store::ObservationStore::row_rev`] at scoring time;
+    /// `u64::MAX` = never scored.
+    rev: u64,
+    /// `(score, argmin column, predicted minimum)`; `None` when the row
+    /// produced no candidate.
+    entry: Option<(f64, u32, f64)>,
+}
+
+impl Default for CachedScore {
+    fn default() -> Self {
+        CachedScore { rev: u64::MAX, entry: None }
+    }
 }
 
 impl LimeQoPolicy {
@@ -82,6 +123,8 @@ impl LimeQoPolicy {
             score_mode: ScoreMode::Ratio,
             density_gate: 0.0,
             cold_row_bonus: 0.0,
+            rescore_changed_only: false,
+            cache: Vec::new(),
         }
     }
 
@@ -118,9 +161,12 @@ impl Policy for LimeQoPolicy {
                 // more cheaply once density recovers — their bounds
                 // anchor the censored completer, and Algorithm 1's
                 // α-clamped timeouts re-probe the promising ones.
-                let mut starved: Vec<(usize, usize)> = wm
-                    .unobserved_cells()
-                    .filter(|&(row, _)| store.fresh_complete_count(row) < need)
+                // Starved rows are found by the O(1) freshness counters;
+                // only their unobserved cells are walked (same row-major
+                // candidate order as the old full-matrix scan).
+                let mut starved: Vec<(usize, usize)> = (0..wm.n_rows())
+                    .filter(|&row| store.fresh_complete_count(row) < need)
+                    .flat_map(|row| wm.unobserved_in_row(row).map(move |col| (row, col)))
                     .collect();
                 if !starved.is_empty() {
                     rng.shuffle(&mut starved);
@@ -140,53 +186,80 @@ impl Policy for LimeQoPolicy {
         let w_hat = self.completer.complete(wm);
 
         // Lines 3–6: expected improvement ratio per query (plus the
-        // optional cold-row bonus).
-        let mut scored: Vec<(f64, usize, usize)> = Vec::new(); // (score, row, col)
-        for row in 0..wm.n_rows() {
-            let Some((_, observed_min)) = wm.row_best(row) else { continue };
-            let Some((col, predicted_min)) = w_hat.row_min(row) else { continue };
+        // optional cold-row bonus). `score_row` is the single source of
+        // truth for both the full and the incremental path. (Knobs are
+        // copied out so the closure does not borrow `self` — the cache
+        // below needs the mutable half.)
+        let (alpha, min_bound_gain) = (self.alpha, self.min_bound_gain);
+        let (score_mode, cold_row_bonus) = (self.score_mode, self.cold_row_bonus);
+        let w_hat_ref = &w_hat;
+        let score_row = move |row: usize| -> Option<(f64, u32, f64)> {
+            let (_, observed_min) = wm.row_best(row)?;
+            let (col, predicted_min) = w_hat_ref.row_min(row)?;
             if predicted_min <= 0.0 {
-                continue;
+                return None;
             }
-            let ratio = match self.score_mode {
+            let ratio = match score_mode {
                 ScoreMode::Ratio => (observed_min - predicted_min) / predicted_min,
                 ScoreMode::Absolute => observed_min - predicted_min,
             };
-            let bonus = if self.cold_row_bonus > 0.0 {
-                let observed =
-                    (0..wm.n_cols()).filter(|&c| wm.cell(row, c).is_observed()).count().max(1);
-                self.cold_row_bonus / (observed as f64).sqrt()
+            let bonus = if cold_row_bonus > 0.0 {
+                let observed = wm.row_observed_count(row).max(1);
+                cold_row_bonus / (observed as f64).sqrt()
             } else {
                 0.0
             };
             let score = ratio.max(0.0) + bonus;
             if score <= 0.0 {
-                continue;
+                return None;
             }
             match wm.cell(row, col) {
                 // Already verified: nothing to gain (ratio would be 0 for
                 // the observed min itself, but a clamped censored cell can
                 // still predict below the row min).
-                Cell::Complete(_) => continue,
+                Cell::Complete(_) => None,
                 Cell::Censored(bound) => {
                     // Re-explore a censored cell only if the new timeout
                     // would be meaningfully larger than the known bound.
-                    let new_timeout = observed_min.min(predicted_min * self.alpha);
-                    if new_timeout <= bound * (1.0 + self.min_bound_gain) {
-                        continue;
+                    let new_timeout = observed_min.min(predicted_min * alpha);
+                    if new_timeout <= bound * (1.0 + min_bound_gain) {
+                        None
+                    } else {
+                        Some((score, col as u32, predicted_min))
                     }
                 }
-                Cell::Unobserved => {}
+                Cell::Unobserved => Some((score, col as u32, predicted_min)),
             }
-            scored.push((score, row, col));
+        };
+        let incremental = self.rescore_changed_only && ctx.store.is_some();
+        if incremental && self.cache.len() != wm.n_rows() {
+            self.cache = vec![CachedScore::default(); wm.n_rows()];
+        }
+        let mut scored: Vec<(f64, usize, usize, f64)> = Vec::new(); // (score, row, col, pred)
+        for row in 0..wm.n_rows() {
+            let entry = if incremental {
+                let store = ctx.store.expect("incremental requires a store");
+                let rev = store.row_rev(row);
+                let cached = &mut self.cache[row];
+                if cached.rev != rev {
+                    *cached = CachedScore { rev, entry: score_row(row) };
+                }
+                cached.entry
+            } else {
+                score_row(row)
+            };
+            if let Some((score, col, pred)) = entry {
+                scored.push((score, row, col as usize, pred));
+            }
         }
         // Line 7: top-m by score (the pure Eq. 6 ratio when no bonus).
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         let mut out: Vec<CellChoice> = Vec::with_capacity(batch);
-        for (_, row, col) in scored.into_iter().take(batch) {
+        for (_, row, col, pred) in scored.into_iter().take(batch) {
             let observed_min = wm.row_best(row).map(|(_, v)| v).unwrap_or(f64::INFINITY);
-            // Line 10: T_ij = min(min W̃_i, Ŵ_ij · α).
-            let timeout = observed_min.min(w_hat[(row, col)] * self.alpha);
+            // Line 10: T_ij = min(min W̃_i, Ŵ_ij · α); the predicted
+            // argmin value equals Ŵ_ij (cached on the incremental path).
+            let timeout = observed_min.min(pred * self.alpha);
             out.push(CellChoice { row, col, timeout });
         }
         // Lines 8–9: not enough positive predictions → random fill-in.
@@ -205,7 +278,10 @@ impl Policy for LimeQoPolicy {
             let mut candidates: Vec<(f64, usize, usize, f64)> = Vec::new();
             for row in 0..wm.n_rows() {
                 let Some((_, row_best)) = wm.row_best(row) else { continue };
-                for col in 0..wm.n_cols() {
+                // Only observed cells can be censored: sweep the compact
+                // index (ascending columns — the dense scan's order).
+                for &col in wm.observed_cols(row) {
+                    let col = col as usize;
                     if let Cell::Censored(bound) = wm.cell(row, col) {
                         if bound < row_best * 0.999
                             && !out.iter().any(|c| c.row == row && c.col == col)
@@ -404,6 +480,85 @@ mod tests {
         assert!(!sel.iter().any(|c| (c.row, c.col) == (0, 1)));
         assert!(!sel.iter().any(|c| (c.row, c.col) == (0, 2)));
         assert_eq!(store.prior_kind(0, 1), PriorKind::Value);
+    }
+
+    /// Predictions shrink on every call: distinguishes a cached score
+    /// (computed against an older completion) from a fresh one.
+    struct ShiftingCompleter {
+        calls: usize,
+    }
+
+    impl Completer for ShiftingCompleter {
+        fn name(&self) -> &'static str {
+            "shifting"
+        }
+        fn complete(&mut self, wm: &WorkloadMatrix) -> Mat {
+            self.calls += 1;
+            let pred = 10.0 / (self.calls + 1) as f64; // 5, 10/3, 2.5, …
+            let mut m = Mat::filled(wm.n_rows(), wm.n_cols(), pred);
+            for i in 0..wm.n_rows() {
+                for j in 0..wm.n_cols() {
+                    if let Cell::Complete(v) = wm.cell(i, j) {
+                        m[(i, j)] = v;
+                    }
+                }
+            }
+            m
+        }
+    }
+
+    #[test]
+    fn incremental_rescoring_reuses_cached_scores_for_untouched_rows() {
+        use crate::store::ObservationStore;
+        let base = ObservationStore::with_defaults(&[10.0, 10.0], 3);
+        let run = |incremental: bool| -> Vec<CellChoice> {
+            let mut store = base.clone();
+            let mut p = LimeQoPolicy::new(Box::new(ShiftingCompleter { calls: 0 }), "limeqo");
+            p.rescore_changed_only = incremental;
+            p.alpha = 1.0;
+            let mut rng = SeededRng::new(31);
+            // Round 1: both rows score against predictions of 5.
+            let sel1 = {
+                let ctx = PolicyCtx { wm: store.matrix(), est_cost: None, store: Some(&store) };
+                p.select(&ctx, 1, &mut rng)
+            };
+            assert_eq!((sel1[0].row, sel1[0].col), (0, 1));
+            // Probe only row 0; row 1's observation set is untouched.
+            store.record_complete(0, 1, 5.0);
+            let ctx = PolicyCtx { wm: store.matrix(), est_cost: None, store: Some(&store) };
+            p.select(&ctx, 1, &mut rng)
+        };
+        // Both modes pick row 1 next — but the incremental path prices its
+        // timeout off the *cached* round-1 prediction (5 → timeout 5),
+        // while full re-scoring uses the fresh round-2 prediction (10/3).
+        let incremental = run(true);
+        assert_eq!((incremental[0].row, incremental[0].col), (1, 1));
+        assert!((incremental[0].timeout - 5.0).abs() < 1e-12, "cached prediction must price");
+        let full = run(false);
+        assert_eq!((full[0].row, full[0].col), (1, 1));
+        assert!((full[0].timeout - 10.0 / 3.0).abs() < 1e-12, "fresh prediction must price");
+    }
+
+    #[test]
+    fn incremental_rescoring_refreshes_probed_rows() {
+        use crate::store::ObservationStore;
+        let mut store = ObservationStore::with_defaults(&[10.0, 10.0], 3);
+        let mut p = LimeQoPolicy::new(Box::new(ShiftingCompleter { calls: 0 }), "limeqo");
+        p.rescore_changed_only = true;
+        p.alpha = 1.0;
+        let mut rng = SeededRng::new(32);
+        {
+            let ctx = PolicyCtx { wm: store.matrix(), est_cost: None, store: Some(&store) };
+            p.select(&ctx, 1, &mut rng);
+        }
+        // Probing a row bumps its revision: the next call re-scores it
+        // against the fresh completion instead of serving the stale entry.
+        store.record_complete(1, 2, 8.0);
+        let ctx = PolicyCtx { wm: store.matrix(), est_cost: None, store: Some(&store) };
+        let sel = p.select(&ctx, 2, &mut rng);
+        let row1 = sel.iter().find(|c| c.row == 1).expect("row 1 re-ranked");
+        // Fresh round-2 prediction is 10/3; the stale round-1 one was 5.
+        assert!((row1.timeout - 10.0 / 3.0).abs() < 1e-12, "probed row must be re-scored");
     }
 
     #[test]

@@ -37,6 +37,13 @@ pub enum PolicySpec {
         /// and ALS warm starting. [`DriftPolicy::legacy`] reproduces the
         /// paper's cold-restart behavior.
         drift: DriftPolicy,
+        /// Incremental Eq. 6 re-ranking
+        /// ([`crate::policy::LimeQoPolicy::rescore_changed_only`]): only
+        /// rows whose observation set changed since the previous round
+        /// are re-scored. An explicit, opt-in approximation for the
+        /// 100k-query scale scenarios; `false` is the paper-exact
+        /// ranking.
+        incremental: bool,
     },
     /// LimeQO with censored handling disabled (the Fig. 16 ablation).
     LimeQoAlsNoCensor,
@@ -65,13 +72,13 @@ impl PolicySpec {
     /// shifts and density-gated post-shift fill-in (cold-row bonus and
     /// ALS warm starting stay off — see [`DriftPolicy::default`]).
     pub fn limeqo() -> Self {
-        PolicySpec::LimeQoAls { rank: 5, drift: DriftPolicy::default() }
+        PolicySpec::LimeQoAls { rank: 5, drift: DriftPolicy::default(), incremental: false }
     }
 
     /// The paper's LimeQO without the drift extensions: cold restart on a
     /// data shift, no gate, no bonus, cold ALS init every round.
     pub fn limeqo_legacy() -> Self {
-        PolicySpec::LimeQoAls { rank: 5, drift: DriftPolicy::legacy() }
+        PolicySpec::LimeQoAls { rank: 5, drift: DriftPolicy::legacy(), incremental: false }
     }
 
     /// Stable name used in reports, metrics keys, and figure legends.
@@ -121,12 +128,13 @@ impl PolicySpec {
             PolicySpec::Random => Box::new(RandomPolicy),
             PolicySpec::Greedy => Box::new(GreedyPolicy),
             PolicySpec::QoAdvisor => Box::new(QoAdvisorPolicy),
-            PolicySpec::LimeQoAls { rank, drift } => {
+            PolicySpec::LimeQoAls { rank, drift, incremental } => {
                 let mut als = AlsCompleter::with_rank(*rank, seed);
                 als.warm_start = drift.warm_start;
                 let mut policy = LimeQoPolicy::new(Box::new(als), "limeqo");
                 policy.density_gate = drift.density_gate;
                 policy.cold_row_bonus = drift.cold_row_bonus;
+                policy.rescore_changed_only = *incremental;
                 Box::new(policy)
             }
             PolicySpec::LimeQoAlsNoCensor => Box::new(LimeQoPolicy::new(
@@ -217,7 +225,7 @@ mod tests {
             PolicySpec::Random,
             PolicySpec::Greedy,
             PolicySpec::QoAdvisor,
-            PolicySpec::LimeQoAls { rank: 3, drift: DriftPolicy::default() },
+            PolicySpec::LimeQoAls { rank: 3, drift: DriftPolicy::default(), incremental: false },
             PolicySpec::LimeQoAlsNoCensor,
         ] {
             let policy = spec.build_policy(7);

@@ -119,6 +119,12 @@ pub struct ObservationStore {
     fresh_complete: Vec<u32>,
     /// Number of data-shift demotions this store has lived through.
     epoch: u32,
+    /// Monotone mutation counter; never reset, survives matrix rebuilds.
+    rev: u64,
+    /// Per-row revision: the value of `rev` when the row's observation set
+    /// last changed. Incremental consumers (the Eq. 6 re-ranking) compare
+    /// it with their cached value to skip untouched rows.
+    row_rev: Vec<u64>,
 }
 
 impl ObservationStore {
@@ -127,8 +133,8 @@ impl ObservationStore {
         let (n, k) = (wm.n_rows(), wm.n_cols());
         let mut fresh = vec![0u32; n];
         for (row, fresh_count) in fresh.iter_mut().enumerate() {
-            for col in 0..k {
-                if matches!(wm.cell(row, col), Cell::Complete(_)) {
+            for &col in wm.observed_cols(row) {
+                if matches!(wm.cell(row, col as usize), Cell::Complete(_)) {
                     *fresh_count += 1;
                 }
             }
@@ -138,6 +144,8 @@ impl ObservationStore {
             prior_kind: vec![PriorKind::None; n * k],
             fresh_complete: fresh,
             epoch: 0,
+            rev: 0,
+            row_rev: vec![0; n],
             wm,
         }
     }
@@ -158,6 +166,25 @@ impl ObservationStore {
         self.epoch
     }
 
+    /// Revision of `row`'s observation set: a monotone stamp that changes
+    /// whenever the row is probed, demoted, or discarded (never reset,
+    /// even when a drift event rebuilds the whole matrix). The incremental
+    /// Eq. 6 re-ranking caches per-row scores keyed on this value.
+    pub fn row_rev(&self, row: usize) -> u64 {
+        self.row_rev[row]
+    }
+
+    fn bump_row(&mut self, row: usize) {
+        self.rev += 1;
+        self.row_rev[row] = self.rev;
+    }
+
+    fn bump_all(&mut self) {
+        self.rev += 1;
+        let rev = self.rev;
+        self.row_rev.iter_mut().for_each(|r| *r = rev);
+    }
+
     /// Record a completed execution: the cell becomes a fresh observation
     /// (clearing any prior flag) and the row's fresh count grows.
     pub fn record_complete(&mut self, row: usize, col: usize, latency: f64) {
@@ -168,6 +195,7 @@ impl ObservationStore {
         self.wm.set_complete(row, col, latency);
         self.prior_weight[idx] = 0.0;
         self.prior_kind[idx] = PriorKind::None;
+        self.bump_row(row);
     }
 
     /// Record a timed-out execution. A probe that tightens the bound
@@ -187,6 +215,7 @@ impl ObservationStore {
             self.prior_weight[idx] = 0.0;
             self.prior_kind[idx] = PriorKind::None;
         }
+        self.bump_row(row);
     }
 
     /// Append `count` unobserved rows (workload shift, §5.3).
@@ -195,6 +224,8 @@ impl ObservationStore {
         self.fresh_complete.extend(std::iter::repeat(0).take(count));
         self.prior_weight.extend(std::iter::repeat(0.0).take(count * self.wm.n_cols()));
         self.prior_kind.extend(std::iter::repeat(PriorKind::None).take(count * self.wm.n_cols()));
+        self.rev += 1;
+        self.row_rev.extend(std::iter::repeat(self.rev).take(count));
     }
 
     /// Count of fresh (current-epoch) completed cells in `row`.
@@ -250,11 +281,15 @@ impl ObservationStore {
         assert!(decay > 0.0 && decay <= 1.0, "prior decay must be in (0, 1]");
         let (n, k) = (self.wm.n_rows(), self.wm.n_cols());
         let mut demoted = WorkloadMatrix::new(n, k);
+        // Walk only the observed cells via the compact index — a demotion
+        // sweep is O(observed), not O(n·k), which matters when a nightly
+        // statistics refresh demotes a 100k-row matrix at once.
         for row in 0..n {
-            for col in 0..k {
+            for &col32 in self.wm.observed_cols(row) {
+                let col = col32 as usize;
                 let idx = row * k + col;
                 match self.wm.cell(row, col) {
-                    Cell::Unobserved => {}
+                    Cell::Unobserved => unreachable!("indexed cell is observed"),
                     Cell::Complete(v) => {
                         demoted.set_censored(row, col, decay * v);
                         self.prior_weight[idx] = decay;
@@ -277,6 +312,7 @@ impl ObservationStore {
         self.wm = demoted;
         self.fresh_complete.iter_mut().for_each(|c| *c = 0);
         self.epoch += 1;
+        self.bump_all();
     }
 
     /// Discard everything (the legacy data-shift path): the matrix resets
@@ -298,6 +334,8 @@ impl ObservationStore {
         self.prior_kind = vec![PriorKind::None; n * k];
         self.fresh_complete = vec![0; n];
         self.epoch += 1;
+        self.rev += 1;
+        self.row_rev = vec![self.rev; n];
     }
 }
 
@@ -434,6 +472,34 @@ mod tests {
     #[should_panic(expected = "prior decay must be in (0, 1]")]
     fn demotion_rejects_overclaiming_decay() {
         seeded_store().demote_to_priors(1.5);
+    }
+
+    #[test]
+    fn row_revisions_track_observation_changes() {
+        let mut store = seeded_store();
+        let r0 = store.row_rev(0);
+        let r1 = store.row_rev(1);
+        // Probing row 0 bumps only row 0.
+        store.record_complete(0, 3, 1.0);
+        assert!(store.row_rev(0) > r0);
+        assert_eq!(store.row_rev(1), r1);
+        // A censored probe bumps too (the bound may have moved).
+        let r0 = store.row_rev(0);
+        store.record_censored(0, 2, 9.0);
+        assert!(store.row_rev(0) > r0);
+        // A shift demotion bumps every row, past all previous values.
+        let before: Vec<u64> = (0..2).map(|r| store.row_rev(r)).collect();
+        store.demote_to_priors(0.5);
+        for (r, &b) in before.iter().enumerate() {
+            assert!(store.row_rev(r) > b, "row {r} not bumped by demotion");
+        }
+        // Discards bump as well, and new rows arrive already stamped.
+        let before = store.row_rev(0);
+        store.discard_all();
+        assert!(store.row_rev(0) > before);
+        let newest = store.row_rev(0);
+        store.add_rows(1);
+        assert!(store.row_rev(2) > newest);
     }
 
     #[test]

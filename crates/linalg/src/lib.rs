@@ -17,10 +17,15 @@
 //!   eigendecomposition (exact and fast for the tall-skinny workload
 //!   matrices LimeQO manipulates: the hint dimension is 49),
 //! * [`rng`] — seeded random number helpers (uniform/Gaussian fills) so
-//!   every experiment in the reproduction is deterministic.
+//!   every experiment in the reproduction is deterministic,
+//! * [`par`] — deterministic fork-join helpers (contiguous output chunks,
+//!   one scoped worker per chunk, no cross-chunk reductions) behind the
+//!   batched ridge solvers [`ridge_solve_rows`] / [`ridge_solve_cols`].
 //!
-//! All routines are deterministic given their inputs; none allocate outside
-//! of construction paths that return new matrices.
+//! All routines are deterministic given their inputs; the parallel ones are
+//! additionally byte-identical to their serial counterparts at any thread
+//! count (see PERF.md at the workspace root for the contract). None
+//! allocate outside of construction paths that return new matrices.
 
 #![warn(missing_docs)]
 
@@ -31,13 +36,14 @@ pub mod lstsq;
 pub mod lu;
 pub mod matrix;
 pub mod norms;
+pub mod par;
 pub mod rng;
 pub mod svd;
 
 pub use cholesky::{cholesky, cholesky_solve, CholeskyFactor};
 pub use eigen::{eigen_sym, EigenSym};
 pub use error::{LinalgError, Result};
-pub use lstsq::{lstsq, ridge_solve};
+pub use lstsq::{lstsq, ridge_solve, ridge_solve_cols, ridge_solve_rows, RidgeFactor};
 pub use lu::{lu, lu_solve, LuFactor};
 pub use matrix::Mat;
 pub use norms::{frobenius_norm, masked_mse, max_abs_diff};

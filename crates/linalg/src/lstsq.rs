@@ -1,15 +1,25 @@
-//! Least squares and ridge-regularized solves.
+//! Least squares and ridge-regularized solves, serial and batched-parallel.
 //!
 //! Algorithm 2 of the paper updates the factor matrices with the closed-form
 //! ridge solutions `Q ← Ŵ H (HᵀH + λI)⁻¹` and `H ← Ŵᵀ Q (QᵀQ + λI)⁻¹`.
 //! [`ridge_solve`] computes exactly the `(GᵀG + λI)⁻¹ GᵀB`-style product via
 //! a Cholesky solve (falling back to LU if rounding breaks positive
 //! definiteness, which can only happen at λ = 0).
+//!
+//! The ridge problem is *embarrassingly batched*: every right-hand-side
+//! column shares the normal matrix `GᵀG + λI` but is otherwise independent,
+//! so [`RidgeFactor`] factors once and [`ridge_solve_rows`] /
+//! [`ridge_solve_cols`] fan the right-hand sides out across scoped threads.
+//! Both are **byte-identical to the serial path at any thread count** —
+//! each solution's floating-point sequence never changes, only which
+//! worker writes it into its pre-allocated output rows (see
+//! `limeqo_linalg::par` and PERF.md for the determinism contract).
 
-use crate::cholesky::cholesky;
-use crate::error::Result;
-use crate::lu::lu;
+use crate::cholesky::{cholesky, CholeskyFactor};
+use crate::error::{LinalgError, Result};
+use crate::lu::{lu, LuFactor};
 use crate::matrix::Mat;
+use crate::par::par_chunks;
 
 /// Solve the ridge problem `argmin_X ‖G X − B‖_F² + λ‖X‖_F²`,
 /// i.e. `X = (GᵀG + λI)⁻¹ GᵀB`.
@@ -32,15 +42,167 @@ use crate::matrix::Mat;
 /// assert!(shrunk[(0, 0)].abs() < x[(0, 0)].abs());
 /// ```
 pub fn ridge_solve(g: &Mat, b: &Mat, lambda: f64) -> Result<Mat> {
-    let mut gtg = g.t_matmul(g)?;
-    for i in 0..gtg.rows() {
-        gtg[(i, i)] += lambda;
-    }
+    let factor = RidgeFactor::new(g, lambda)?;
     let gtb = g.t_matmul(b)?;
-    match cholesky(&gtg) {
-        Ok(f) => f.solve(&gtb),
-        Err(_) => lu(&gtg)?.solve(&gtb),
+    factor.solve(&gtb)
+}
+
+/// The factored normal matrix `GᵀG + λI` of a ridge problem, reusable
+/// across many right-hand sides.
+///
+/// With λ > 0 the normal matrix is SPD and the factor is a Cholesky
+/// decomposition; at λ = 0 rounding can break positive definiteness, in
+/// which case an LU factorization is kept instead — the same fallback rule
+/// [`ridge_solve`] has always applied.
+#[derive(Debug, Clone)]
+pub struct RidgeFactor {
+    kind: FactorKind,
+}
+
+#[derive(Debug, Clone)]
+enum FactorKind {
+    Chol(CholeskyFactor),
+    Lu(LuFactor),
+}
+
+impl RidgeFactor {
+    /// Factor `GᵀG + λI` for `G` of shape m×p.
+    pub fn new(g: &Mat, lambda: f64) -> Result<Self> {
+        let mut gtg = g.t_matmul(g)?;
+        for i in 0..gtg.rows() {
+            gtg[(i, i)] += lambda;
+        }
+        let kind = match cholesky(&gtg) {
+            Ok(f) => FactorKind::Chol(f),
+            Err(_) => FactorKind::Lu(lu(&gtg)?),
+        };
+        Ok(RidgeFactor { kind })
     }
+
+    /// Dimension p of the factored normal matrix.
+    pub fn dim(&self) -> usize {
+        match &self.kind {
+            FactorKind::Chol(f) => f.l().rows(),
+            FactorKind::Lu(f) => f.dim(),
+        }
+    }
+
+    /// Solve `(GᵀG + λI) X = GᵀB` given the already-computed product
+    /// `GᵀB`. Right-hand-side columns are solved independently, column by
+    /// column, exactly as the one-shot [`ridge_solve`] does.
+    pub fn solve(&self, gtb: &Mat) -> Result<Mat> {
+        match &self.kind {
+            FactorKind::Chol(f) => f.solve(gtb),
+            FactorKind::Lu(f) => f.solve(gtb),
+        }
+    }
+}
+
+/// Batched ridge solve over **rows**: every row of `b_rows` is an
+/// independent right-hand side `bᵢᵀ`, and row i of the result is the
+/// solution `argmin_x ‖G x − bᵢ‖² + λ‖x‖²`. For `G` m×p and `b_rows` q×m
+/// the result is q×p — already transposed for callers (like the ALS `Q`
+/// update) whose unknowns live in rows.
+///
+/// The normal matrix is factored once; the q systems are partitioned into
+/// contiguous row chunks across `threads` scoped workers (`0` = auto),
+/// each writing only its own pre-allocated output rows. Results are
+/// byte-identical to the serial path at any thread count.
+///
+/// ```
+/// use limeqo_linalg::{ridge_solve, ridge_solve_rows, Mat};
+///
+/// // Two independent right-hand sides as rows.
+/// let g = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+/// let b_rows = Mat::from_rows(&[&[2.0, -1.0, 1.0], &[0.0, 3.0, 3.0]]);
+/// let x = ridge_solve_rows(&g, &b_rows, 0.5, 2).unwrap();
+/// assert_eq!(x.shape(), (2, 2));
+///
+/// // Row i equals the one-shot serial solution for that right-hand side —
+/// // and the thread count never changes a single bit.
+/// let serial = ridge_solve(&g, &b_rows.transpose(), 0.5).unwrap();
+/// for threads in [1, 2, 8] {
+///     let par = ridge_solve_rows(&g, &b_rows, 0.5, threads).unwrap();
+///     assert_eq!(par.as_slice(), serial.transpose().as_slice());
+/// }
+/// ```
+pub fn ridge_solve_rows(g: &Mat, b_rows: &Mat, lambda: f64, threads: usize) -> Result<Mat> {
+    if g.rows() != b_rows.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "ridge_solve_rows",
+            lhs: g.shape(),
+            rhs: b_rows.shape(),
+        });
+    }
+    let factor = RidgeFactor::new(g, lambda)?;
+    let p = g.cols();
+    let mut out = Mat::zeros(b_rows.rows(), p);
+    if p == 0 {
+        return Ok(out);
+    }
+    // The dominant per-chunk cost is the GᵀB product: m·p per RHS.
+    let threads = crate::par::effective_threads(threads, b_rows.rows() * g.rows() * p);
+    par_chunks(out.as_mut_slice(), p, threads, |r0, chunk| {
+        let width = chunk.len() / p;
+        // Gather this chunk's right-hand sides as columns: m × width.
+        let bt = b_rows.row_block(r0, r0 + width).transpose();
+        let gtb = g.t_matmul(&bt).expect("shape pre-validated");
+        let x = factor.solve(&gtb).expect("shape pre-validated");
+        for (i, out_row) in chunk.chunks_mut(p).enumerate() {
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = x[(j, i)];
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// Batched ridge solve over **columns**: every column of `b` is an
+/// independent right-hand side, exactly as in [`ridge_solve`], but the
+/// result comes back transposed (q×p, row j = solution for column j) and
+/// the columns are partitioned across `threads` scoped workers (`0` =
+/// auto). Used by the ALS `H` update, whose unknown factor rows are the
+/// columns of the filled matrix.
+///
+/// ```
+/// use limeqo_linalg::{ridge_solve, ridge_solve_cols, Mat};
+///
+/// let g = Mat::from_rows(&[&[2.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+/// let b = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[1.0, 2.0]]);
+/// let serial = ridge_solve(&g, &b, 0.2).unwrap();
+/// for threads in [1, 2, 8] {
+///     let par = ridge_solve_cols(&g, &b, 0.2, threads).unwrap();
+///     assert_eq!(par.as_slice(), serial.transpose().as_slice());
+/// }
+/// ```
+pub fn ridge_solve_cols(g: &Mat, b: &Mat, lambda: f64, threads: usize) -> Result<Mat> {
+    if g.rows() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "ridge_solve_cols",
+            lhs: g.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let factor = RidgeFactor::new(g, lambda)?;
+    let p = g.cols();
+    let mut out = Mat::zeros(b.cols(), p);
+    if p == 0 {
+        return Ok(out);
+    }
+    // The dominant per-chunk cost is the GᵀB product: m·p per RHS column.
+    let threads = crate::par::effective_threads(threads, b.cols() * g.rows() * p);
+    par_chunks(out.as_mut_slice(), p, threads, |c0, chunk| {
+        let width = chunk.len() / p;
+        let block = b.col_block(c0, c0 + width);
+        let gtb = g.t_matmul(&block).expect("shape pre-validated");
+        let x = factor.solve(&gtb).expect("shape pre-validated");
+        for (i, out_row) in chunk.chunks_mut(p).enumerate() {
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = x[(j, i)];
+            }
+        }
+    });
+    Ok(out)
 }
 
 /// Ordinary least squares `argmin_X ‖G X − B‖_F²` via the normal equations.
@@ -96,6 +258,57 @@ mod tests {
         }
         let x = lstsq(&g, &b).unwrap();
         assert!(max_abs_diff(&x, &x_true) < 0.05);
+    }
+
+    #[test]
+    fn batched_rows_match_serial_bit_for_bit() {
+        let mut rng = SeededRng::new(21);
+        let g = rng.uniform_mat(9, 4, 0.0, 2.0);
+        let b_rows = rng.uniform_mat(31, 9, 0.0, 5.0);
+        let serial = ridge_solve(&g, &b_rows.transpose(), 0.2).unwrap().transpose();
+        for threads in [1, 2, 5, 8, 0] {
+            let par = ridge_solve_rows(&g, &b_rows, 0.2, threads).unwrap();
+            assert_eq!(par.as_slice(), serial.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn batched_cols_match_serial_bit_for_bit() {
+        let mut rng = SeededRng::new(22);
+        let g = rng.uniform_mat(40, 3, 0.0, 2.0);
+        let b = rng.uniform_mat(40, 17, 0.0, 5.0);
+        let serial = ridge_solve(&g, &b, 0.2).unwrap().transpose();
+        for threads in [1, 2, 4, 16, 0] {
+            let par = ridge_solve_cols(&g, &b, 0.2, threads).unwrap();
+            assert_eq!(par.as_slice(), serial.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn batched_solvers_agree_with_serial_on_singular_input() {
+        // An exactly rank-deficient G at λ = 0 fails Cholesky *and* the LU
+        // fallback; the batched solvers must report the same error instead
+        // of fanning out garbage.
+        let g = Mat::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[2.0, 2.0]]);
+        let b_rows = Mat::from_rows(&[&[1.0, 1.0, 2.0], &[0.5, 0.5, 1.0]]);
+        assert!(ridge_solve(&g, &b_rows.transpose(), 0.0).is_err());
+        assert!(ridge_solve_rows(&g, &b_rows, 0.0, 2).is_err());
+        assert!(ridge_solve_cols(&g, &b_rows.transpose(), 0.0, 2).is_err());
+        // With λ > 0 the same G is solvable everywhere.
+        assert!(ridge_solve_rows(&g, &b_rows, 0.1, 2).is_ok());
+    }
+
+    #[test]
+    fn batched_shape_mismatch_rejected() {
+        let g = Mat::zeros(4, 2);
+        assert!(ridge_solve_rows(&g, &Mat::zeros(3, 5), 0.1, 2).is_err());
+        assert!(ridge_solve_cols(&g, &Mat::zeros(5, 3), 0.1, 2).is_err());
+    }
+
+    #[test]
+    fn ridge_factor_reports_dim() {
+        let g = Mat::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 1.0, 1.0]]);
+        assert_eq!(RidgeFactor::new(&g, 0.3).unwrap().dim(), 3);
     }
 
     #[test]

@@ -62,7 +62,12 @@ pub fn lu(a: &Mat) -> Result<LuFactor> {
 }
 
 impl LuFactor {
-    /// Solve `A x = b`.
+    /// Dimension n of the factored n×n matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solve `A x = b` for a single right-hand side.
     pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.lu.rows();
         if b.len() != n {

@@ -390,6 +390,18 @@ impl Mat {
         }
     }
 
+    /// Extract a contiguous sub-block of columns `[c0, c1)` as a new
+    /// matrix (used to hand independent right-hand-side blocks to the
+    /// batched ridge solver's workers).
+    pub fn col_block(&self, c0: usize, c1: usize) -> Mat {
+        assert!(c0 <= c1 && c1 <= self.cols);
+        let mut out = Mat::zeros(self.rows, c1 - c0);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[c0..c1]);
+        }
+        out
+    }
+
     /// Vertically stack `self` on top of `other`.
     pub fn vstack(&self, other: &Mat) -> Result<Mat> {
         if self.cols != other.cols {

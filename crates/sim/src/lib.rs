@@ -33,6 +33,8 @@
 //! then call [`workloads::Workload::build_oracle`] to materialize the true
 //! latency and estimated cost matrices that drive offline exploration.
 
+#![warn(missing_docs)]
+
 pub mod catalog;
 pub mod cost;
 pub mod drift;

@@ -225,6 +225,12 @@ pub struct ScenarioSpec {
     pub budget_multiple: f64,
     /// Exploration batch m (cells per step).
     pub batch: usize,
+    /// Hard cap on offline exploration steps, threaded into
+    /// `ExploreConfig::max_steps`. The budget is the intended stop; the
+    /// cap bounds worst-case runtime when α-clamped timeouts make each
+    /// step arbitrarily cheap (which matters at the 100k-query scale).
+    /// Use `100_000` (the harness default) when no cap is wanted.
+    pub max_steps: usize,
     /// Seeds; deterministic per-seed runs, metrics are seed means.
     pub seeds: Vec<u64>,
     /// Arrival process — present iff `policy.is_online()`.
@@ -247,6 +253,7 @@ impl ScenarioSpec {
     pub fn validate(&self) {
         assert!(!self.seeds.is_empty(), "{}: at least one seed", self.name);
         assert!(self.batch >= 1, "{}: batch >= 1", self.name);
+        assert!(self.max_steps >= 1, "{}: max_steps >= 1", self.name);
         assert_eq!(
             self.policy.is_online(),
             self.arrivals.is_some(),
@@ -379,6 +386,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
             policy: PolicySpec::limeqo(),
             budget_multiple: 2.0,
             batch: 16,
+            max_steps: 100_000,
             seeds: vec![11, 12],
             arrivals: None,
         },
@@ -391,6 +399,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
             policy: PolicySpec::limeqo(),
             budget_multiple: 1.5,
             batch: 16,
+            max_steps: 100_000,
             seeds: vec![21, 22],
             arrivals: None,
         },
@@ -403,6 +412,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
             policy: PolicySpec::limeqo(),
             budget_multiple: 1.0,
             batch: 16,
+            max_steps: 100_000,
             seeds: vec![31, 32],
             arrivals: None,
         },
@@ -420,6 +430,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
             policy: PolicySpec::limeqo(),
             budget_multiple: 2.0,
             batch: 16,
+            max_steps: 100_000,
             seeds: vec![41, 42],
             arrivals: None,
         },
@@ -432,6 +443,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
             policy: PolicySpec::limeqo(),
             budget_multiple: 6.0,
             batch: 8,
+            max_steps: 100_000,
             seeds: vec![51, 52],
             arrivals: None,
         },
@@ -444,6 +456,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
             policy: PolicySpec::Greedy,
             budget_multiple: 1.5,
             batch: 8,
+            max_steps: 100_000,
             seeds: vec![61],
             arrivals: None,
         },
@@ -453,9 +466,14 @@ pub fn registry() -> Vec<ScenarioSpec> {
             workload: ScenarioWorkload::Sim(WorkloadSpec::tiny(30, 0x9F_0E11)),
             hint_shape: HintShape::Prefix(9),
             drift: vec![],
-            policy: PolicySpec::LimeQoAls { rank: 3, drift: DriftPolicy::default() },
+            policy: PolicySpec::LimeQoAls {
+                rank: 3,
+                drift: DriftPolicy::default(),
+                incremental: false,
+            },
             budget_multiple: 3.0,
             batch: 4,
+            max_steps: 100_000,
             seeds: vec![71, 72, 73],
             arrivals: None,
         },
@@ -475,6 +493,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
             policy: PolicySpec::limeqo(),
             budget_multiple: 1.0,
             batch: 32,
+            max_steps: 100_000,
             seeds: vec![81, 82],
             arrivals: None,
         },
@@ -494,6 +513,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
             policy: PolicySpec::limeqo(),
             budget_multiple: 0.25,
             batch: 512,
+            max_steps: 100_000,
             seeds: vec![91],
             arrivals: None,
         },
@@ -512,6 +532,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
             },
             budget_multiple: 0.0,
             batch: 1,
+            max_steps: 100_000,
             seeds: vec![101, 102],
             arrivals: Some(ArrivalSpec { count: 2500, model: ArrivalModel::Uniform }),
         },
@@ -530,6 +551,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
             },
             budget_multiple: 0.0,
             batch: 1,
+            max_steps: 100_000,
             seeds: vec![111, 112],
             arrivals: Some(ArrivalSpec {
                 count: 3000,
@@ -550,6 +572,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
             // if the library defaults are retuned later.
             policy: PolicySpec::LimeQoAls {
                 rank: 5,
+                incremental: false,
                 drift: DriftPolicy {
                     retain_priors: true,
                     prior_decay: 0.5,
@@ -560,6 +583,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
             },
             budget_multiple: 6.0,
             batch: 8,
+            max_steps: 100_000,
             seeds: vec![51, 52],
             arrivals: None,
         },
@@ -578,6 +602,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
             },
             budget_multiple: 0.0,
             batch: 1,
+            max_steps: 100_000,
             seeds: vec![111, 112],
             arrivals: Some(ArrivalSpec {
                 count: 3000,
@@ -591,9 +616,81 @@ pub fn registry() -> Vec<ScenarioSpec> {
     specs
 }
 
-/// Look a scenario up by name.
+/// Scenarios too heavy for the per-`cargo test` golden suite: the
+/// 100k-query production-scale regime the parallel completion engine
+/// exists for. Run with `scenario --scale`; pinned by the `#[ignore]`d
+/// golden tests in `tests/tests/scenarios.rs` (slow tier,
+/// `./ci.sh --ignored`) against `tests/golden/scale.golden`.
+pub fn scale_registry() -> Vec<ScenarioSpec> {
+    let scale_matrix = SyntheticSpec {
+        n: 100_000,
+        k: 49,
+        rank: 5,
+        default_inflation: 2.5,
+        noise_sigma: 0.1,
+        seed: 0x100_000,
+    };
+    let specs = vec![
+        ScenarioSpec {
+            name: "scale-100k",
+            summary: "100k queries x 49 hints offline: parallel ALS + incremental Eq. 6 ranking",
+            workload: ScenarioWorkload::Synthetic(scale_matrix.clone()),
+            hint_shape: HintShape::Full,
+            // 20k of the queries arrive mid-run, exercising row growth at
+            // scale; the budget is deliberately thin (production explores
+            // a sliver of a 4.9M-cell matrix) and the step cap bounds the
+            // worst case.
+            drift: vec![DriftEvent { at_frac: 0.5, kind: DriftKind::AddQueries { count: 20_000 } }],
+            policy: PolicySpec::LimeQoAls {
+                rank: 5,
+                drift: DriftPolicy::default(),
+                incremental: true,
+            },
+            budget_multiple: 0.05,
+            batch: 4096,
+            max_steps: 24,
+            seeds: vec![1],
+            arrivals: None,
+        },
+        ScenarioSpec {
+            name: "scale-100k-zipf",
+            summary: "online zipf(1.1) arrivals over the 100k-query matrix, cold-row bonus on",
+            workload: ScenarioWorkload::Synthetic(scale_matrix),
+            hint_shape: HintShape::Full,
+            drift: vec![],
+            policy: PolicySpec::OnlineAls {
+                rank: 5,
+                explore_prob: 0.15,
+                rho: 1.2,
+                refresh_every: 2048,
+                cold_bonus: 0.5,
+            },
+            budget_multiple: 0.0,
+            batch: 1,
+            max_steps: 100_000,
+            seeds: vec![7],
+            arrivals: Some(ArrivalSpec {
+                count: 6000,
+                model: ArrivalModel::Zipf { exponent: 1.1 },
+            }),
+        },
+    ];
+    for s in &specs {
+        s.validate();
+    }
+    specs
+}
+
+/// The fast registry plus the scale registry, in that order.
+pub fn full_registry() -> Vec<ScenarioSpec> {
+    let mut specs = registry();
+    specs.extend(scale_registry());
+    specs
+}
+
+/// Look a scenario up by name (fast and scale registries).
 pub fn by_name(name: &str) -> Option<ScenarioSpec> {
-    registry().into_iter().find(|s| s.name == name)
+    full_registry().into_iter().find(|s| s.name == name)
 }
 
 #[cfg(test)]
@@ -612,10 +709,30 @@ mod tests {
 
     #[test]
     fn by_name_roundtrip() {
-        for spec in registry() {
+        for spec in full_registry() {
             assert_eq!(by_name(spec.name).expect("present").name, spec.name);
         }
         assert!(by_name("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn scale_registry_is_at_100k_and_distinct() {
+        let scale = scale_registry();
+        assert!(scale.iter().any(|s| s.name == "scale-100k"));
+        for s in &scale {
+            assert!(s.workload.n_queries() >= 100_000, "{} is not scale", s.name);
+        }
+        // The offline scale scenario must carry a real step cap — it is
+        // what bounds the slow tier's worst case.
+        let offline = by_name("scale-100k").unwrap();
+        assert!(offline.max_steps < 100_000);
+        assert!(matches!(offline.policy, PolicySpec::LimeQoAls { incremental: true, .. }));
+        // Names must stay unique across BOTH registries.
+        let mut names: Vec<&str> = full_registry().iter().map(|s| s.name).collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total);
     }
 
     #[test]

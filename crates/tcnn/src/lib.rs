@@ -24,6 +24,8 @@
 //! experiment suite tractable on CPU (see DESIGN.md §3.6); the widths are
 //! configurable through [`TcnnConfig`].
 
+#![warn(missing_docs)]
+
 pub mod adam;
 pub mod batch;
 pub mod completer;

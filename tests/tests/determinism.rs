@@ -105,6 +105,61 @@ fn retention_data_shift_is_seed_deterministic() {
 }
 
 #[test]
+fn parallel_als_is_byte_identical_across_thread_counts_10k() {
+    // The parallel completion engine's core guarantee, at the 10k×49
+    // shape the perf trajectory quotes: ALS output at 1, 2 and 8 worker
+    // threads is byte-identical (iterations shortened — every code path
+    // runs each iteration, the count only scales runtime).
+    use limeqo_core::complete::{AlsCompleter, Completer};
+    use limeqo_core::matrix::WorkloadMatrix;
+    use limeqo_linalg::rng::SeededRng;
+    let (n, k) = (10_000, 49);
+    let mut rng = SeededRng::new(0x10C0);
+    let mut wm = WorkloadMatrix::new(n, k);
+    for row in 0..n {
+        wm.set_complete(row, 0, rng.uniform(1.0, 10.0));
+        for col in 1..k {
+            if rng.chance(0.05) {
+                wm.set_complete(row, col, rng.uniform(0.1, 5.0));
+            } else if rng.chance(0.02) {
+                wm.set_censored(row, col, rng.uniform(0.1, 2.0));
+            }
+        }
+    }
+    let complete_bits = |threads: usize| -> Vec<u64> {
+        let mut als = AlsCompleter::paper_default(11);
+        als.iters = 6;
+        als.threads = threads;
+        als.complete(&wm).as_slice().iter().map(|v| v.to_bits()).collect()
+    };
+    let serial = complete_bits(1);
+    for threads in [2usize, 8] {
+        assert_eq!(
+            complete_bits(threads),
+            serial,
+            "ALS at {threads} threads diverged from the serial path"
+        );
+    }
+}
+
+#[test]
+fn parallel_policy_trace_is_thread_count_invariant() {
+    // End-to-end: a whole LimeQO exploration run (policy + harness) must
+    // produce the same trace whatever the ALS thread count — the thread
+    // knob is invisible to everything above the solver.
+    use limeqo_core::complete::AlsCompleter;
+    let (w, oracle, budget) = build(24, 0xF00D);
+    let run = |threads: usize| {
+        let mut als = AlsCompleter::paper_default(9);
+        als.threads = threads;
+        trace_bytes(&w, &oracle, Box::new(LimeQoPolicy::new(Box::new(als), "limeqo")), 9, budget)
+    };
+    let serial = run(1);
+    assert_eq!(run(2), serial);
+    assert_eq!(run(8), serial);
+}
+
+#[test]
 fn tcnn_trace_is_seed_deterministic() {
     let (w, oracle, budget) = build(14, 0x7C2);
     // threads: 1 pins the gradient-shard reduction order, making the trace

@@ -24,13 +24,20 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::OnceLock;
 
-use limeqo_bench::scenario_runner::{run_scenarios, ScenarioOutcome};
-use limeqo_sim::scenario::registry;
+use limeqo_bench::scenario_runner::{run_scenario, run_scenarios, ScenarioOutcome};
+use limeqo_sim::scenario::{registry, scale_registry};
 
 /// Run the whole registry exactly once, shared by every #[test] below.
 fn outcomes() -> &'static [ScenarioOutcome] {
     static OUTCOMES: OnceLock<Vec<ScenarioOutcome>> = OnceLock::new();
     OUTCOMES.get_or_init(|| run_scenarios(&registry()))
+}
+
+/// The 100k-query scale tier, shared by the `#[ignore]`d tests (slow
+/// tier, `./ci.sh --ignored`).
+fn scale_outcomes() -> &'static [ScenarioOutcome] {
+    static OUTCOMES: OnceLock<Vec<ScenarioOutcome>> = OnceLock::new();
+    OUTCOMES.get_or_init(|| run_scenarios(&scale_registry()))
 }
 
 fn outcome(name: &str) -> &'static ScenarioOutcome {
@@ -40,8 +47,15 @@ fn outcome(name: &str) -> &'static ScenarioOutcome {
         .unwrap_or_else(|| panic!("scenario {name} missing from registry"))
 }
 
-fn golden_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden").join("scenarios.golden")
+fn scale_outcome(name: &str) -> &'static ScenarioOutcome {
+    scale_outcomes()
+        .iter()
+        .find(|o| o.name == name)
+        .unwrap_or_else(|| panic!("scenario {name} missing from scale registry"))
+}
+
+fn golden_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden").join(file)
 }
 
 /// Relative tolerance for golden comparison. Runs are deterministic on a
@@ -276,22 +290,23 @@ fn cold_row_bonus_improves_zipf_tail() {
     assert!(strong.total_latency <= strong.default_latency);
 }
 
-#[test]
-fn golden_summary_matches() {
-    let mut got: BTreeMap<String, f64> = BTreeMap::new();
-    for o in outcomes() {
-        got.extend(o.metrics());
-    }
-    let path = golden_path();
+/// Compare a metric map against a golden file, or re-bless it when
+/// `LIMEQO_BLESS` is set. `registry_desc` names the source registry in the
+/// blessed header.
+fn check_golden(file: &str, registry_desc: &str, got: &BTreeMap<String, f64>) {
+    let path = golden_path(file);
 
     if std::env::var("LIMEQO_BLESS").is_ok() {
-        let mut body = String::from(
+        let mut body = format!(
             "# Golden scenario summary — deterministic metrics for every scenario in\n\
-             # limeqo_sim::scenario::registry(), pinned by tests/tests/scenarios.rs.\n\
+             # {registry_desc}, pinned by tests/tests/scenarios.rs.\n\
              # Regenerate intentionally with:\n\
-             #   LIMEQO_BLESS=1 cargo test -p limeqo-integration-tests --test scenarios\n",
+             #   LIMEQO_BLESS=1 cargo test -p limeqo-integration-tests --test scenarios\n"
         );
-        for (k, v) in &got {
+        if file != "scenarios.golden" {
+            body.push_str("#   (this tier runs #[ignore]d: add -- --ignored)\n");
+        }
+        for (k, v) in got {
             body.push_str(&format!("{k} {v}\n"));
         }
         std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
@@ -335,8 +350,76 @@ fn golden_summary_matches() {
     }
     assert!(
         failures.is_empty(),
-        "golden mismatch ({} issues) — if intentional, re-bless and commit:\n{}",
+        "golden mismatch in {file} ({} issues) — if intentional, re-bless and commit:\n{}",
         failures.len(),
         failures.join("\n")
     );
+}
+
+#[test]
+fn golden_summary_matches() {
+    let mut got: BTreeMap<String, f64> = BTreeMap::new();
+    for o in outcomes() {
+        got.extend(o.metrics());
+    }
+    check_golden("scenarios.golden", "limeqo_sim::scenario::registry()", &got);
+}
+
+// ---- The 100k-query scale tier (slow; `./ci.sh --ignored`) ----
+
+#[test]
+#[ignore = "scale tier: 100k-query scenarios take minutes; run via ./ci.sh --ignored"]
+fn scale_100k_limeqo_beats_random_at_equal_budget() {
+    let o = scale_outcome("scale-100k");
+    assert_eq!(o.n, 100_000);
+    assert_eq!(o.k, 49);
+    assert!(o.monotone_ok, "scale-100k latency regressed within a segment");
+    assert!(o.optimal_total <= o.final_latency + 1e-9);
+    assert!(o.final_latency <= o.default_total + 1e-9);
+    let random = o.random_final_latency.expect("offline scenario runs a random reference");
+    assert!(
+        o.final_latency <= random + 1e-9,
+        "scale-100k: limeqo {} worse than random {} at equal budget",
+        o.final_latency,
+        random
+    );
+}
+
+#[test]
+#[ignore = "scale tier: 100k-query scenarios take minutes; run via ./ci.sh --ignored"]
+fn scale_100k_zipf_online_improves_and_bounds_regression() {
+    let o = scale_outcome("scale-100k-zipf");
+    let online = o.online.as_ref().expect("online outcome");
+    assert!(online.rho_bound_ok, "an arrival exceeded the rho bound at scale");
+    assert!(
+        online.total_latency <= online.default_latency,
+        "online exploration at scale cost more than always-default"
+    );
+    assert!(online.final_latency <= o.default_total + 1e-9);
+}
+
+#[test]
+#[ignore = "scale tier: 100k-query scenarios take minutes; run via ./ci.sh --ignored"]
+fn scale_goldens_match() {
+    let mut got: BTreeMap<String, f64> = BTreeMap::new();
+    for o in scale_outcomes() {
+        got.extend(o.metrics());
+    }
+    check_golden("scale.golden", "limeqo_sim::scenario::scale_registry()", &got);
+}
+
+#[test]
+#[ignore = "scale tier: 100k-query scenarios take minutes; run via ./ci.sh --ignored"]
+fn scale_100k_goldens_stable_across_two_runs() {
+    // Determinism at scale: a second, fresh run of the scenario (its own
+    // environment build, seed fan-out and parallel ALS) must reproduce
+    // every metric EXACTLY — not just within tolerance.
+    let first = scale_outcome("scale-100k");
+    let spec = limeqo_sim::scenario::by_name("scale-100k").expect("registered");
+    let second = run_scenario(&spec);
+    let a: Vec<(String, u64)> =
+        first.metrics().into_iter().map(|(k, v)| (k, v.to_bits())).collect();
+    let b: Vec<(String, u64)> =
+        second.metrics().into_iter().map(|(k, v)| (k, v.to_bits())).collect();
+    assert_eq!(a, b, "scale-100k metrics differ between two runs");
 }
