@@ -62,6 +62,16 @@ cargo test --offline -q -p limeqo-integration-tests --test scenarios
 if [[ "$FAST" == "0" ]]; then
   echo "==> perf trajectory (smoke): bench-results/BENCH_policy_smoke.json"
   cargo run --offline --release -q -p limeqo-bench --bin perf -- --smoke
+  # Belt-and-braces beyond the binary's self-validation: the selection
+  # subsystem's metric keys must actually land in the emitted document
+  # (a silently dropped emitter line would otherwise only fail in-process
+  # tests, not the committed-trajectory workflow).
+  for key in policy.sample_s policy.topk_s; do
+    if ! grep -q "\"$key\"" bench-results/BENCH_policy_smoke.json; then
+      echo "ci.sh: BENCH_policy_smoke.json is missing \"$key\"" >&2
+      exit 1
+    fi
+  done
 fi
 
 echo "==> benches type-check: cargo bench --no-run"

@@ -41,6 +41,8 @@ fn main() {
         "store.demote_s",
         "store.gate_scan_s",
         "policy.rank_scan_s",
+        "policy.sample_s",
+        "policy.topk_s",
         "scenario.end_to_end_s",
     ] {
         if let Some(v) = doc.get(key).and_then(Json::as_num) {

@@ -20,7 +20,7 @@
 use crate::report::{write_json, Json};
 use limeqo_core::complete::{AlsCompleter, Completer};
 use limeqo_core::matrix::WorkloadMatrix;
-use limeqo_core::policy::{LimeQoPolicy, Policy, PolicyCtx};
+use limeqo_core::policy::{LimeQoPolicy, Policy, PolicyCtx, RandomPolicy};
 use limeqo_core::store::ObservationStore;
 use limeqo_linalg::par::auto_threads;
 use limeqo_linalg::rng::SeededRng;
@@ -42,6 +42,8 @@ pub const REQUIRED_KEYS: &[&str] = &[
     "store.demote_s",
     "store.gate_scan_s",
     "policy.rank_scan_s",
+    "policy.sample_s",
+    "policy.topk_s",
     "scenario.name",
     "scenario.end_to_end_s",
 ];
@@ -164,6 +166,36 @@ pub fn run(opts: &PerfOpts) -> Json {
         std::hint::black_box(policy.select(&ctx, 64, &mut rng));
     });
 
+    // Uniform unobserved-cell sampling (the Random baseline / Algorithm
+    // 1's line-9 fill-in): one full `select` through the Fenwick-indexed
+    // sampler at the scale tier's batch. The old materialize+shuffle path
+    // walked every unobserved cell here.
+    let sample_batch = 4096usize;
+    let sample = time_min(reps.max(3), || {
+        let ctx = PolicyCtx { wm, est_cost: None, store: Some(&store) };
+        let mut rng = SeededRng::new(10);
+        std::hint::black_box(RandomPolicy.select(&ctx, sample_batch, &mut rng));
+    });
+
+    // Bounded top-m heap selection over a synthetic score vector of one
+    // entry per row (the Eq. 6 ranking's shape), isolated from scoring.
+    // `top_m_by` consumes its input, so one pre-cloned vector per rep is
+    // prepared outside the timed region — the metric tracks the heap
+    // selection, not an O(n) memcpy.
+    let topk_scores: Vec<(f64, usize, usize, f64)> = {
+        let mut rng = SeededRng::new(11);
+        (0..n).map(|row| (rng.uniform(0.0, 4.0), row, rng.index(k), 1.0)).collect()
+    };
+    let topk_m = sample_batch.min(n);
+    let topk_reps = reps.max(3);
+    let mut topk_pools: Vec<Vec<(f64, usize, usize, f64)>> =
+        (0..topk_reps).map(|_| topk_scores.clone()).collect();
+    let topk = time_min(topk_reps, || {
+        let items = topk_pools.pop().expect("one pre-cloned vector per rep");
+        let picked = limeqo_core::select::top_m_by(items, topk_m, limeqo_core::select::score_desc);
+        std::hint::black_box(picked);
+    });
+
     // End-to-end scenario wall-clock. Smoke shrinks the 10k scenario so
     // the tier-1 gate stays fast; full runs it as registered.
     let mut spec = limeqo_sim::scenario::by_name("large-matrix-10k").expect("registered");
@@ -191,6 +223,9 @@ pub fn run(opts: &PerfOpts) -> Json {
         ("store.demote_s".into(), Json::Num(demote)),
         ("store.gate_scan_s".into(), Json::Num(gate_scan)),
         ("policy.rank_scan_s".into(), Json::Num(rank_scan)),
+        ("policy.sample_s".into(), Json::Num(sample)),
+        ("policy.sample_batch".into(), Json::Num(sample_batch as f64)),
+        ("policy.topk_s".into(), Json::Num(topk)),
         ("scenario.name".into(), Json::Str(spec.name.into())),
         ("scenario.n".into(), Json::Num(outcome.n as f64)),
         ("scenario.end_to_end_s".into(), Json::Num(end_to_end)),

@@ -20,6 +20,10 @@
 //!   from stale observations, per-row fresh-density counts, shift epochs)
 //!   and [`store::DriftPolicy`] carries the retention / density-gate /
 //!   cold-row-bonus / warm-start knobs,
+//! * [`select`] — the sublinear candidate-selection subsystem: uniform
+//!   sampling without replacement over the matrix's Fenwick rank index
+//!   (no candidate materialization) and bounded top-m heap selection,
+//!   which every policy's selection path routes through,
 //! * [`metrics`] — latency-vs-exploration-time curves and the summary
 //!   statistics the paper's figures report,
 //! * [`scenario`] — declarative [`scenario::PolicySpec`]s, the policy side
@@ -41,6 +45,7 @@ pub mod metrics;
 pub mod online;
 pub mod policy;
 pub mod scenario;
+pub mod select;
 pub mod store;
 
 pub use complete::{AlsCompleter, Completer, NucCompleter, SvtCompleter};

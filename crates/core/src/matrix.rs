@@ -29,7 +29,21 @@
 //! index is pure acceleration — every accessor returns exactly what the
 //! dense scan used to return, which the unit tests pin against naive
 //! re-scans.
+//!
+//! ## The unobserved-count Fenwick index
+//!
+//! Beside the CSR index the matrix maintains a [`Fenwick`] tree over the
+//! per-row *unobserved* counts (`k − observed_cols(row).len()`), updated
+//! on the same three mutation paths. It gives the selection subsystem
+//! ([`crate::select`]) global-rank → (row, col) lookup in O(log n + k):
+//! [`WorkloadMatrix::unobserved_at_rank`] descends the tree to the row
+//! holding the rank, then merge-walks the row's sorted observed columns
+//! to the offset-th unobserved column. That is what lets
+//! `sample_unobserved` draw uniform cells *without materializing* the
+//! unobserved set — at the 100k×49 scale tier the old materialize+shuffle
+//! path touched 4.9M tuples per step.
 
+use limeqo_linalg::Fenwick;
 use limeqo_linalg::Mat;
 
 /// State of one (query, hint) cell.
@@ -62,6 +76,9 @@ pub struct WorkloadMatrix {
     /// Per-row cached best completed cell `(col, latency)` — what a dense
     /// ascending-column scan would return ([`WorkloadMatrix::row_best`]).
     best: Vec<Option<(u32, f64)>>,
+    /// Fenwick tree over per-row unobserved counts (`k - obs[row].len()`),
+    /// the rank-selection index behind [`WorkloadMatrix::unobserved_at_rank`].
+    unobs: Fenwick,
     /// Global completed-cell count.
     n_complete: usize,
     /// Global censored-cell count.
@@ -80,6 +97,7 @@ impl WorkloadMatrix {
             cells: vec![Cell::Unobserved; n * k],
             obs: vec![Vec::new(); n],
             best: vec![None; n],
+            unobs: Fenwick::from_counts(&vec![k as i64; n]),
             n_complete: 0,
             n_censored: 0,
         }
@@ -176,6 +194,9 @@ impl WorkloadMatrix {
         self.cells.extend(std::iter::repeat(Cell::Unobserved).take(count * self.k));
         self.obs.extend(std::iter::repeat_with(Vec::new).take(count));
         self.best.extend(std::iter::repeat(None).take(count));
+        for _ in 0..count {
+            self.unobs.append(self.k as i64);
+        }
     }
 
     /// Best (minimum-latency) *completed* cell of a row, the hint the
@@ -222,7 +243,10 @@ impl WorkloadMatrix {
         let list = &mut self.obs[row];
         match list.binary_search(&col) {
             Ok(_) => {}
-            Err(pos) => list.insert(pos, col),
+            Err(pos) => {
+                list.insert(pos, col);
+                self.unobs.add(row, -1);
+            }
         }
     }
 
@@ -306,6 +330,48 @@ impl WorkloadMatrix {
     /// termination test).
     pub fn fully_observed(&self) -> bool {
         self.unobserved_count() == 0
+    }
+
+    /// Number of unobserved cells in `row` (O(1)).
+    #[inline]
+    pub fn row_unobserved_count(&self, row: usize) -> usize {
+        self.k - self.obs[row].len()
+    }
+
+    /// The `rank`-th unobserved cell in row-major order, in O(log n + k):
+    /// a Fenwick descent over the per-row unobserved counts finds the row,
+    /// then a merge-walk over the row's sorted observed columns finds the
+    /// offset-th unobserved column. Agrees exactly with
+    /// `unobserved_cells().nth(rank)` (pinned by the unit tests) without
+    /// materializing or scanning the unobserved set.
+    ///
+    /// # Panics
+    /// Panics if `rank >= unobserved_count()`.
+    pub fn unobserved_at_rank(&self, rank: usize) -> (usize, usize) {
+        let (row, offset) = self.unobs.rank_select(rank as i64);
+        (row, self.unobserved_col_at(row, offset as usize))
+    }
+
+    /// The `offset`-th unobserved column of `row` (ascending), via the
+    /// merge-walk over the row's sorted observed columns — O(k).
+    ///
+    /// # Panics
+    /// Panics if `offset >= row_unobserved_count(row)`.
+    pub fn unobserved_col_at(&self, row: usize, offset: usize) -> usize {
+        let mut remaining = offset;
+        let observed = &self.obs[row];
+        let mut next_obs = 0usize;
+        for col in 0..self.k {
+            if observed.get(next_obs).is_some_and(|&o| o as usize == col) {
+                next_obs += 1;
+                continue;
+            }
+            if remaining == 0 {
+                return col;
+            }
+            remaining -= 1;
+        }
+        panic!("offset {offset} exceeds row {row}'s unobserved count")
     }
 
     /// Iterate over unobserved cell coordinates in row-major order,
@@ -459,7 +525,41 @@ mod tests {
             assert_eq!(wm.complete_count(), complete);
             assert_eq!(wm.censored_count(), censored);
             assert_eq!(wm.unobserved_count(), wm.n_rows() * k - complete - censored);
+            // Fenwick rank lookup == row-major enumeration, at every rank.
+            if step % 23 == 0 {
+                let dense: Vec<(usize, usize)> = wm.unobserved_cells().collect();
+                assert_eq!(dense.len(), wm.unobserved_count());
+                for (rank, &cell) in dense.iter().enumerate() {
+                    assert_eq!(wm.unobserved_at_rank(rank), cell, "rank {rank} at step {step}");
+                }
+            }
         }
+    }
+
+    #[test]
+    fn unobserved_rank_lookup_covers_edges() {
+        let mut wm = WorkloadMatrix::with_defaults(&[1.0, 1.0, 1.0], 3);
+        // Rows 0..3 each have cols {1,2} unobserved: ranks enumerate
+        // row-major.
+        assert_eq!(wm.unobserved_at_rank(0), (0, 1));
+        assert_eq!(wm.unobserved_at_rank(3), (1, 2));
+        assert_eq!(wm.unobserved_at_rank(5), (2, 2));
+        // Empty a middle row: its ranks vanish, later rows shift down.
+        wm.set_complete(1, 1, 1.0);
+        wm.set_censored(1, 2, 0.5);
+        assert_eq!(wm.unobserved_at_rank(2), (2, 1));
+        // Appended rows join the rank space at the tail.
+        wm.add_rows(1);
+        assert_eq!(wm.unobserved_at_rank(4), (3, 0));
+        assert_eq!(wm.row_unobserved_count(3), 3);
+        assert_eq!(wm.row_unobserved_count(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn unobserved_rank_out_of_range_panics() {
+        let wm = WorkloadMatrix::with_defaults(&[1.0], 2);
+        wm.unobserved_at_rank(1);
     }
 
     #[test]

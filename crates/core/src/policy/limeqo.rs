@@ -89,10 +89,20 @@ pub struct LimeQoPolicy {
     /// in [`PolicyCtx::store`] (full re-scoring otherwise). Off by
     /// default — the paper-exact behavior.
     pub rescore_changed_only: bool,
+    /// Periodic full re-score for the incremental path: every
+    /// `rescore_every`-th call (counting from the first) ignores the
+    /// per-row cache and re-scores everything against the fresh
+    /// completion, bounding how stale an untouched row's cached
+    /// score/argmin can get. 0 (the default) never forces a full
+    /// re-score; irrelevant unless [`LimeQoPolicy::rescore_changed_only`]
+    /// is on.
+    pub rescore_every: usize,
     /// Per-row score cache for the incremental path: the store revision
     /// the row was last scored at, and the scored candidate
     /// (`None` = nothing worth exploring in that row).
     cache: Vec<CachedScore>,
+    /// Calls to `select` so far (drives the periodic full re-score).
+    rounds: u64,
 }
 
 /// One cached Eq. 6 scoring decision.
@@ -124,7 +134,9 @@ impl LimeQoPolicy {
             density_gate: 0.0,
             cold_row_bonus: 0.0,
             rescore_changed_only: false,
+            rescore_every: 0,
             cache: Vec::new(),
+            rounds: 0,
         }
     }
 
@@ -162,23 +174,28 @@ impl Policy for LimeQoPolicy {
                 // anchor the censored completer, and Algorithm 1's
                 // α-clamped timeouts re-probe the promising ones.
                 // Starved rows are found by the O(1) freshness counters;
-                // only their unobserved cells are walked (same row-major
-                // candidate order as the old full-matrix scan).
-                let mut starved: Vec<(usize, usize)> = (0..wm.n_rows())
-                    .filter(|&row| store.fresh_complete_count(row) < need)
-                    .flat_map(|row| wm.unobserved_in_row(row).map(move |col| (row, col)))
+                // their unobserved cells are *sampled* through a
+                // per-call Fenwick over the starved-row unobserved
+                // counts (O(starved rows) to build, O(log + k) per
+                // draw) instead of materialized and shuffled.
+                let starved_rows: Vec<usize> = (0..wm.n_rows())
+                    .filter(|&row| {
+                        store.fresh_complete_count(row) < need && wm.row_unobserved_count(row) > 0
+                    })
                     .collect();
-                if !starved.is_empty() {
-                    rng.shuffle(&mut starved);
-                    return starved
-                        .into_iter()
-                        .take(batch)
-                        .map(|(row, col)| CellChoice {
-                            row,
-                            col,
-                            timeout: super::row_timeout(wm, row),
-                        })
-                        .collect();
+                let counts: Vec<i64> =
+                    starved_rows.iter().map(|&r| wm.row_unobserved_count(r) as i64).collect();
+                let index = limeqo_linalg::Fenwick::from_counts(&counts);
+                if index.total() > 0 {
+                    let mut out = Vec::with_capacity(batch.min(index.total() as usize));
+                    crate::select::sample_ranks(index.total() as usize, batch, rng, |rank| {
+                        let (slot, offset) = index.rank_select(rank as i64);
+                        let row = starved_rows[slot];
+                        let col = wm.unobserved_col_at(row, offset as usize);
+                        out.push(CellChoice { row, col, timeout: super::row_timeout(wm, row) });
+                        true
+                    });
+                    return out;
                 }
             }
         }
@@ -235,13 +252,18 @@ impl Policy for LimeQoPolicy {
         if incremental && self.cache.len() != wm.n_rows() {
             self.cache = vec![CachedScore::default(); wm.n_rows()];
         }
+        // Periodic full re-score (the `rescore_every` knob): every K-th
+        // call the cache is bypassed so untouched rows' stale argmins get
+        // refreshed against the current completion.
+        let force_full = self.rescore_every > 0 && self.rounds % self.rescore_every as u64 == 0;
+        self.rounds += 1;
         let mut scored: Vec<(f64, usize, usize, f64)> = Vec::new(); // (score, row, col, pred)
         for row in 0..wm.n_rows() {
             let entry = if incremental {
                 let store = ctx.store.expect("incremental requires a store");
                 let rev = store.row_rev(row);
                 let cached = &mut self.cache[row];
-                if cached.rev != rev {
+                if cached.rev != rev || force_full {
                     *cached = CachedScore { rev, entry: score_row(row) };
                 }
                 cached.entry
@@ -252,10 +274,13 @@ impl Policy for LimeQoPolicy {
                 scored.push((score, row, col as usize, pred));
             }
         }
-        // Line 7: top-m by score (the pure Eq. 6 ratio when no bonus).
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        // Line 7: top-m by score (the pure Eq. 6 ratio when no bonus) —
+        // bounded heap selection under the subsystem's named total order
+        // (score desc, then row/col asc), which reproduces the stable
+        // full sort's tie-breaks at O(n log m) instead of O(n log n).
+        let top = crate::select::top_m_by(scored, batch, crate::select::score_desc);
         let mut out: Vec<CellChoice> = Vec::with_capacity(batch);
-        for (_, row, col, pred) in scored.into_iter().take(batch) {
+        for (_, row, col, pred) in top {
             let observed_min = wm.row_best(row).map(|(_, v)| v).unwrap_or(f64::INFINITY);
             // Line 10: T_ij = min(min W̃_i, Ŵ_ij · α); the predicted
             // argmin value equals Ŵ_ij (cached on the incremental path).
@@ -275,6 +300,8 @@ impl Policy for LimeQoPolicy {
         // raises the bound to the row best, so exploration terminates at
         // the true row optimum.
         if out.len() < batch {
+            let chosen: std::collections::HashSet<(usize, usize)> =
+                out.iter().map(|c| (c.row, c.col)).collect();
             let mut candidates: Vec<(f64, usize, usize, f64)> = Vec::new();
             for row in 0..wm.n_rows() {
                 let Some((_, row_best)) = wm.row_best(row) else { continue };
@@ -283,16 +310,18 @@ impl Policy for LimeQoPolicy {
                 for &col in wm.observed_cols(row) {
                     let col = col as usize;
                     if let Cell::Censored(bound) = wm.cell(row, col) {
-                        if bound < row_best * 0.999
-                            && !out.iter().any(|c| c.row == row && c.col == col)
-                        {
+                        if bound < row_best * 0.999 && !chosen.contains(&(row, col)) {
                             candidates.push((row_best - bound, row, col, row_best));
                         }
                     }
                 }
             }
-            candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-            for (_, row, col, row_best) in candidates.into_iter().take(batch - out.len()) {
+            // Bounded heap pick under the same named total order as the
+            // Eq. 6 ranking: gap desc, then row/col asc (the stable full
+            // sort's tie-break — candidates were pushed row-major).
+            let picked =
+                crate::select::top_m_by(candidates, batch - out.len(), crate::select::score_desc);
+            for (_, row, col, row_best) in picked {
                 out.push(CellChoice { row, col, timeout: row_best });
             }
         }
@@ -537,6 +566,43 @@ mod tests {
         let full = run(false);
         assert_eq!((full[0].row, full[0].col), (1, 1));
         assert!((full[0].timeout - 10.0 / 3.0).abs() < 1e-12, "fresh prediction must price");
+    }
+
+    #[test]
+    fn rescore_every_refreshes_untouched_rows_periodically() {
+        use crate::store::ObservationStore;
+        // Same shape as the cached-score test above: row 1 is never
+        // probed, so the pure incremental path would keep pricing its
+        // timeout off the stale round-1 prediction (5) forever. With
+        // rescore_every = 2, call 3 (rounds counted from 0: 0, 1, 2 —
+        // round 2 forces a full re-score) must re-price row 1 off the
+        // fresh prediction instead.
+        let mut store = ObservationStore::with_defaults(&[10.0, 10.0], 3);
+        let mut p = LimeQoPolicy::new(Box::new(ShiftingCompleter { calls: 0 }), "limeqo");
+        p.rescore_changed_only = true;
+        p.rescore_every = 2;
+        p.alpha = 1.0;
+        let mut rng = SeededRng::new(33);
+        // Round 0 (forced full — trivially so, nothing cached yet).
+        {
+            let ctx = PolicyCtx { wm: store.matrix(), est_cost: None, store: Some(&store) };
+            let sel = p.select(&ctx, 1, &mut rng);
+            assert_eq!((sel[0].row, sel[0].col), (0, 1));
+        }
+        store.record_complete(0, 1, 5.0);
+        // Round 1 (cached): row 1 still priced off round-1's prediction 5.
+        {
+            let ctx = PolicyCtx { wm: store.matrix(), est_cost: None, store: Some(&store) };
+            let sel = p.select(&ctx, 1, &mut rng);
+            assert_eq!((sel[0].row, sel[0].col), (1, 1));
+            assert!((sel[0].timeout - 5.0).abs() < 1e-12, "round 1 serves the cached pred");
+        }
+        // Round 2 (forced full): row 1 untouched, but the periodic full
+        // re-score refreshes it against the fresh prediction 2.5.
+        let ctx = PolicyCtx { wm: store.matrix(), est_cost: None, store: Some(&store) };
+        let sel = p.select(&ctx, 1, &mut rng);
+        assert_eq!((sel[0].row, sel[0].col), (1, 1));
+        assert!((sel[0].timeout - 2.5).abs() < 1e-12, "round 2 must re-score untouched rows");
     }
 
     #[test]

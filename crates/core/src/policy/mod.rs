@@ -77,27 +77,36 @@ pub(crate) fn row_timeout(wm: &WorkloadMatrix, row: usize) -> f64 {
     wm.row_best(row).map(|(_, v)| v).unwrap_or(f64::INFINITY)
 }
 
-/// Uniformly sample `want` unobserved cells (used by Random and as
-/// Algorithm 1's line-9 fallback). Censored cells are not re-drawn.
+/// Uniformly sample `want` unobserved cells without replacement (used by
+/// Random, QO-Advisor's no-cost-model fallback, and Algorithm 1's line-9
+/// fallback). Censored cells are not re-drawn.
+///
+/// Sublinear: ranks are drawn by [`crate::select::sample_ranks`] (a
+/// virtual Fisher–Yates, O(want) draws) and mapped to cells through the
+/// matrix's Fenwick index ([`WorkloadMatrix::unobserved_at_rank`],
+/// O(log n + k) each) — the unobserved set is never materialized, where
+/// the old path collected and shuffled every unobserved cell (4.9M tuples
+/// per step at 100k×49). Cells in `exclude` are rejected by a hash-set
+/// probe; each rejection consumes one extra draw, so exhaustion (every
+/// remaining cell excluded) terminates cleanly with a short batch.
 pub(crate) fn sample_unobserved(
     wm: &WorkloadMatrix,
     want: usize,
     exclude: &[CellChoice],
     rng: &mut SeededRng,
 ) -> Vec<CellChoice> {
-    let mut cells: Vec<(usize, usize)> = wm
-        .unobserved_cells()
-        .filter(|&(r, c)| !exclude.iter().any(|e| e.row == r && e.col == c))
-        .collect();
-    if cells.is_empty() {
-        return Vec::new();
-    }
-    rng.shuffle(&mut cells);
-    cells
-        .into_iter()
-        .take(want)
-        .map(|(row, col)| CellChoice { row, col, timeout: row_timeout(wm, row) })
-        .collect()
+    let excluded: std::collections::HashSet<(usize, usize)> =
+        exclude.iter().map(|e| (e.row, e.col)).collect();
+    let mut out = Vec::with_capacity(want.min(wm.unobserved_count()));
+    crate::select::sample_ranks(wm.unobserved_count(), want, rng, |rank| {
+        let (row, col) = wm.unobserved_at_rank(rank);
+        if excluded.contains(&(row, col)) {
+            return false;
+        }
+        out.push(CellChoice { row, col, timeout: row_timeout(wm, row) });
+        true
+    });
+    out
 }
 
 #[cfg(test)]

@@ -27,14 +27,19 @@ impl Policy for QoAdvisorPolicy {
             // usable on matrices without planner estimates).
             return super::sample_unobserved(wm, batch, &[], rng);
         };
-        let mut cells: Vec<(f64, usize, usize)> =
-            wm.unobserved_cells().map(|(r, c)| (est[(r, c)], r, c)).collect();
-        cells.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-        cells
-            .into_iter()
-            .take(batch)
-            .map(|(_, row, col)| CellChoice { row, col, timeout: row_timeout(wm, row) })
-            .collect()
+        // Stream the unobserved cells straight into the bounded top-m
+        // heap (no materialized candidate Vec — O(batch) memory even at
+        // the 4.9M-cell scale tier); the named total order (cost asc,
+        // then row/col asc) matches the old stable sort's row-major
+        // tie-break.
+        crate::select::top_m_by(
+            wm.unobserved_cells().map(|(r, c)| (est[(r, c)], r, c)),
+            batch,
+            crate::select::score_asc,
+        )
+        .into_iter()
+        .map(|(_, row, col)| CellChoice { row, col, timeout: row_timeout(wm, row) })
+        .collect()
     }
 }
 

@@ -44,6 +44,11 @@ pub enum PolicySpec {
         /// 100k-query scale scenarios; `false` is the paper-exact
         /// ranking.
         incremental: bool,
+        /// Periodic full re-score for the incremental path
+        /// ([`crate::policy::LimeQoPolicy::rescore_every`]): every K-th
+        /// round bypasses the per-row cache, bounding argmin staleness.
+        /// 0 never forces one; ignored unless `incremental` is on.
+        rescore_every: usize,
     },
     /// LimeQO with censored handling disabled (the Fig. 16 ablation).
     LimeQoAlsNoCensor,
@@ -72,13 +77,23 @@ impl PolicySpec {
     /// shifts and density-gated post-shift fill-in (cold-row bonus and
     /// ALS warm starting stay off — see [`DriftPolicy::default`]).
     pub fn limeqo() -> Self {
-        PolicySpec::LimeQoAls { rank: 5, drift: DriftPolicy::default(), incremental: false }
+        PolicySpec::LimeQoAls {
+            rank: 5,
+            drift: DriftPolicy::default(),
+            incremental: false,
+            rescore_every: 0,
+        }
     }
 
     /// The paper's LimeQO without the drift extensions: cold restart on a
     /// data shift, no gate, no bonus, cold ALS init every round.
     pub fn limeqo_legacy() -> Self {
-        PolicySpec::LimeQoAls { rank: 5, drift: DriftPolicy::legacy(), incremental: false }
+        PolicySpec::LimeQoAls {
+            rank: 5,
+            drift: DriftPolicy::legacy(),
+            incremental: false,
+            rescore_every: 0,
+        }
     }
 
     /// Stable name used in reports, metrics keys, and figure legends.
@@ -128,13 +143,14 @@ impl PolicySpec {
             PolicySpec::Random => Box::new(RandomPolicy),
             PolicySpec::Greedy => Box::new(GreedyPolicy),
             PolicySpec::QoAdvisor => Box::new(QoAdvisorPolicy),
-            PolicySpec::LimeQoAls { rank, drift, incremental } => {
+            PolicySpec::LimeQoAls { rank, drift, incremental, rescore_every } => {
                 let mut als = AlsCompleter::with_rank(*rank, seed);
                 als.warm_start = drift.warm_start;
                 let mut policy = LimeQoPolicy::new(Box::new(als), "limeqo");
                 policy.density_gate = drift.density_gate;
                 policy.cold_row_bonus = drift.cold_row_bonus;
                 policy.rescore_changed_only = *incremental;
+                policy.rescore_every = *rescore_every;
                 Box::new(policy)
             }
             PolicySpec::LimeQoAlsNoCensor => Box::new(LimeQoPolicy::new(
@@ -225,7 +241,12 @@ mod tests {
             PolicySpec::Random,
             PolicySpec::Greedy,
             PolicySpec::QoAdvisor,
-            PolicySpec::LimeQoAls { rank: 3, drift: DriftPolicy::default(), incremental: false },
+            PolicySpec::LimeQoAls {
+                rank: 3,
+                drift: DriftPolicy::default(),
+                incremental: false,
+                rescore_every: 0,
+            },
             PolicySpec::LimeQoAlsNoCensor,
         ] {
             let policy = spec.build_policy(7);

@@ -1,0 +1,252 @@
+//! Fenwick tree (binary indexed tree) over non-negative integer counts.
+//!
+//! The selection subsystem keeps one of these over the workload matrix's
+//! per-row unobserved-cell counts: `prefix`/`rank_select` turn a global
+//! cell rank into a row in O(log n), which is what makes uniform
+//! unobserved-cell sampling sublinear (no candidate materialization —
+//! see `limeqo_core::select`). The tree is a plain data structure with no
+//! linear-algebra dependencies; it lives in this crate because, like
+//! [`crate::par`], it is substrate shared by the layers above.
+//!
+//! ```
+//! use limeqo_linalg::fenwick::Fenwick;
+//!
+//! let mut f = Fenwick::from_counts(&[3, 0, 2, 5]);
+//! assert_eq!(f.total(), 10);
+//! assert_eq!(f.prefix(2), 3);            // counts before slot 2
+//! assert_eq!(f.rank_select(3), (2, 0));  // ranks 3..5 live in slot 2
+//! f.add(2, -2);
+//! assert_eq!(f.rank_select(3), (3, 0));  // slot 2 emptied: rank 3 moved on
+//! ```
+
+/// A Fenwick (binary indexed) tree over `i64` counts, supporting point
+/// update, prefix sum, rank selection (descent), and appending new slots —
+/// everything in O(log n).
+#[derive(Debug, Clone)]
+pub struct Fenwick {
+    /// 1-based implicit tree; `tree[i]` covers `(i - lowbit(i), i]`.
+    /// Slot 0 is the unused sentinel every operation assumes, so the
+    /// vector is never empty.
+    tree: Vec<i64>,
+    /// Cached total so `total()` is O(1).
+    total: i64,
+}
+
+impl Default for Fenwick {
+    fn default() -> Self {
+        Fenwick::new()
+    }
+}
+
+impl Fenwick {
+    /// An empty tree with no slots (grow it with [`Fenwick::append`]).
+    pub fn new() -> Self {
+        Fenwick { tree: vec![0], total: 0 }
+    }
+
+    /// Build from per-slot counts in O(n).
+    pub fn from_counts(counts: &[i64]) -> Self {
+        let n = counts.len();
+        let mut tree = vec![0i64; n + 1];
+        for (i, &c) in counts.iter().enumerate() {
+            debug_assert!(c >= 0, "counts must be non-negative");
+            let pos = i + 1;
+            tree[pos] += c;
+            let parent = pos + (pos & pos.wrapping_neg());
+            if parent <= n {
+                let v = tree[pos];
+                tree[parent] += v;
+            }
+        }
+        let total = counts.iter().sum();
+        Fenwick { tree, total }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.tree.len().saturating_sub(1)
+    }
+
+    /// True when the tree has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of every slot (O(1)).
+    pub fn total(&self) -> i64 {
+        self.total
+    }
+
+    /// Add `delta` to `slot` (counts must stay non-negative overall, which
+    /// the tree itself does not enforce per-slot).
+    pub fn add(&mut self, slot: usize, delta: i64) {
+        debug_assert!(slot < self.len(), "slot {slot} out of range {}", self.len());
+        let mut i = slot + 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+        self.total += delta;
+    }
+
+    /// Sum of slots `0..slot` (O(log n)).
+    pub fn prefix(&self, slot: usize) -> i64 {
+        debug_assert!(slot <= self.len());
+        let mut sum = 0;
+        let mut i = slot;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Map a global `rank` in `[0, total())` to `(slot, offset)`: the slot
+    /// holding that rank and the rank's offset within the slot — the
+    /// Fenwick descent, O(log n) with no prefix-sum recomputation.
+    ///
+    /// # Panics
+    /// Panics if `rank >= total()`.
+    pub fn rank_select(&self, rank: i64) -> (usize, i64) {
+        assert!(rank >= 0 && rank < self.total, "rank {rank} out of {}", self.total);
+        let n = self.len();
+        let mut pos = 0usize; // 1-based position of the last slot known to be <= rank
+        let mut remaining = rank;
+        let mut step = n.next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next <= n && self.tree[next] <= remaining {
+                remaining -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        (pos, remaining) // pos is 0-based slot index after the descent
+    }
+
+    /// Append a new slot with `count` in O(log n) (the new tree node's
+    /// range sum is reconstructed from two prefix sums).
+    pub fn append(&mut self, count: i64) {
+        debug_assert!(count >= 0);
+        let pos = self.tree.len(); // 1-based index of the new slot
+        let low = pos - (pos & pos.wrapping_neg()); // node covers (low, pos]
+        let covered = self.prefix(pos - 1) - self.prefix(low);
+        self.tree.push(covered + count);
+        self.total += count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_prefix(counts: &[i64], slot: usize) -> i64 {
+        counts[..slot].iter().sum()
+    }
+
+    #[test]
+    fn build_prefix_and_total() {
+        let counts = [5i64, 0, 3, 7, 1, 0, 2];
+        let f = Fenwick::from_counts(&counts);
+        assert_eq!(f.len(), counts.len());
+        assert_eq!(f.total(), 18);
+        for s in 0..=counts.len() {
+            assert_eq!(f.prefix(s), naive_prefix(&counts, s), "prefix({s})");
+        }
+    }
+
+    #[test]
+    fn rank_select_matches_linear_scan() {
+        let counts = [2i64, 0, 0, 4, 1, 3];
+        let f = Fenwick::from_counts(&counts);
+        for rank in 0..f.total() {
+            let (slot, off) = f.rank_select(rank);
+            // Linear-scan reference.
+            let mut acc = 0;
+            let mut want = None;
+            for (i, &c) in counts.iter().enumerate() {
+                if rank < acc + c {
+                    want = Some((i, rank - acc));
+                    break;
+                }
+                acc += c;
+            }
+            assert_eq!((slot, off), want.unwrap(), "rank {rank}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn rank_select_rejects_out_of_range() {
+        Fenwick::from_counts(&[1, 2]).rank_select(3);
+    }
+
+    #[test]
+    fn add_and_append_stay_consistent() {
+        use crate::rng::SeededRng;
+        let mut rng = SeededRng::new(0xF3);
+        let mut counts: Vec<i64> = vec![4; 5];
+        let mut f = Fenwick::from_counts(&counts);
+        for step in 0..500 {
+            match rng.index(3) {
+                0 => {
+                    let s = rng.index(counts.len());
+                    if counts[s] > 0 {
+                        counts[s] -= 1;
+                        f.add(s, -1);
+                    }
+                }
+                1 => {
+                    let s = rng.index(counts.len());
+                    counts[s] += 3;
+                    f.add(s, 3);
+                }
+                _ => {
+                    let c = rng.index(6) as i64;
+                    counts.push(c);
+                    f.append(c);
+                }
+            }
+            assert_eq!(f.total(), counts.iter().sum::<i64>(), "total at step {step}");
+            for s in 0..=counts.len() {
+                assert_eq!(f.prefix(s), naive_prefix(&counts, s), "prefix({s}) at {step}");
+            }
+            if f.total() > 0 {
+                let rank = rng.index(f.total() as usize) as i64;
+                let (slot, off) = f.rank_select(rank);
+                assert!(off < counts[slot], "offset within slot");
+                assert_eq!(f.prefix(slot) + off, rank, "rank roundtrip");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let f = Fenwick::new();
+        assert!(f.is_empty());
+        assert_eq!(f.total(), 0);
+        let mut f = Fenwick::from_counts(&[0]);
+        assert_eq!(f.total(), 0);
+        f.add(0, 7);
+        assert_eq!(f.rank_select(6), (0, 6));
+    }
+
+    #[test]
+    fn growing_from_empty_matches_from_counts() {
+        // new()/default() must accept appends directly — the empty tree
+        // still carries the 1-based sentinel every operation assumes.
+        let counts = [2i64, 0, 5, 1];
+        let mut grown = Fenwick::default();
+        for &c in &counts {
+            grown.append(c);
+        }
+        let built = Fenwick::from_counts(&counts);
+        assert_eq!(grown.total(), built.total());
+        for s in 0..=counts.len() {
+            assert_eq!(grown.prefix(s), built.prefix(s));
+        }
+        for rank in 0..grown.total() {
+            assert_eq!(grown.rank_select(rank), built.rank_select(rank));
+        }
+    }
+}

@@ -20,7 +20,10 @@
 //!   every experiment in the reproduction is deterministic,
 //! * [`par`] — deterministic fork-join helpers (contiguous output chunks,
 //!   one scoped worker per chunk, no cross-chunk reductions) behind the
-//!   batched ridge solvers [`ridge_solve_rows`] / [`ridge_solve_cols`].
+//!   batched ridge solvers [`ridge_solve_rows`] / [`ridge_solve_cols`],
+//! * [`mod@fenwick`] — a Fenwick (binary indexed) tree over integer counts,
+//!   the rank-selection substrate of the sublinear candidate-selection
+//!   subsystem in `limeqo_core`.
 //!
 //! All routines are deterministic given their inputs; the parallel ones are
 //! additionally byte-identical to their serial counterparts at any thread
@@ -32,6 +35,7 @@
 pub mod cholesky;
 pub mod eigen;
 pub mod error;
+pub mod fenwick;
 pub mod lstsq;
 pub mod lu;
 pub mod matrix;
@@ -43,6 +47,7 @@ pub mod svd;
 pub use cholesky::{cholesky, cholesky_solve, CholeskyFactor};
 pub use eigen::{eigen_sym, EigenSym};
 pub use error::{LinalgError, Result};
+pub use fenwick::Fenwick;
 pub use lstsq::{lstsq, ridge_solve, ridge_solve_cols, ridge_solve_rows, RidgeFactor};
 pub use lu::{lu, lu_solve, LuFactor};
 pub use matrix::Mat;

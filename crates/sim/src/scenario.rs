@@ -470,6 +470,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
                 rank: 3,
                 drift: DriftPolicy::default(),
                 incremental: false,
+                rescore_every: 0,
             },
             budget_multiple: 3.0,
             batch: 4,
@@ -573,6 +574,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
             policy: PolicySpec::LimeQoAls {
                 rank: 5,
                 incremental: false,
+                rescore_every: 0,
                 drift: DriftPolicy {
                     retain_priors: true,
                     prior_decay: 0.5,
@@ -584,7 +586,12 @@ pub fn registry() -> Vec<ScenarioSpec> {
             budget_multiple: 6.0,
             batch: 8,
             max_steps: 100_000,
-            seeds: vec![51, 52],
+            // 16 seeds where the other scenarios use 2: the
+            // retention-vs-cold-restart margin this scenario pins is ~1 %
+            // of final latency (a ROADMAP open item), so a 2-seed mean is
+            // noise-dominated — a per-seed scan measured ±2.5 s swings on
+            // a ~74 s quantity, flipping the invariant on unlucky pairs.
+            seeds: (51..=66).collect(),
             arrivals: None,
         },
         ScenarioSpec {
@@ -641,10 +648,14 @@ pub fn scale_registry() -> Vec<ScenarioSpec> {
             // a sliver of a 4.9M-cell matrix) and the step cap bounds the
             // worst case.
             drift: vec![DriftEvent { at_frac: 0.5, kind: DriftKind::AddQueries { count: 20_000 } }],
+            // `rescore_every: 0`: the periodic full re-score was measured
+            // at this scale and did not move the outcome (see ROADMAP) —
+            // the pure incremental ranking stays the pinned configuration.
             policy: PolicySpec::LimeQoAls {
                 rank: 5,
                 drift: DriftPolicy::default(),
                 incremental: true,
+                rescore_every: 0,
             },
             budget_multiple: 0.05,
             batch: 4096,
