@@ -66,12 +66,44 @@ if [[ "$FAST" == "0" ]]; then
   # subsystem's metric keys must actually land in the emitted document
   # (a silently dropped emitter line would otherwise only fail in-process
   # tests, not the committed-trajectory workflow).
-  for key in policy.sample_s policy.topk_s; do
+  for key in policy.sample_s policy.topk_s svc.journal_append_s svc.snapshot_s svc.recover_s; do
     if ! grep -q "\"$key\"" bench-results/BENCH_policy_smoke.json; then
       echo "ci.sh: BENCH_policy_smoke.json is missing \"$key\"" >&2
       exit 1
     fi
   done
+fi
+
+# Service-layer crash smoke: boot the daemon, kill it mid-round (abort
+# after 12 journaled events — no flush, no destructors), recover into a
+# continuation script, and require the recovered trace reply to be
+# byte-identical to an uninterrupted run's. This exercises the real
+# binary + real files end to end; tests/tests/crash_recovery.rs proves
+# the same property in-process at every kill point.
+if [[ "$FAST" == "0" ]]; then
+  echo "==> limeqo-svc crash-recovery smoke"
+  SVC=target/release/limeqo-svc
+  SMOKE_DIR="$(mktemp -d)"
+  trap 'rm -rf "$SMOKE_DIR"' EXIT
+  "$SVC" --dir "$SMOKE_DIR/ref" --script crates/svc/smoke/full.ndjson > "$SMOKE_DIR/ref.out"
+  set +e
+  "$SVC" --dir "$SMOKE_DIR/kill" --script crates/svc/smoke/full.ndjson \
+    --crash-after-events 12 > "$SMOKE_DIR/kill.out" 2>/dev/null
+  kill_status=$?
+  set -e
+  if [[ "$kill_status" -eq 0 ]]; then
+    echo "ci.sh: svc smoke expected the crashed daemon to die non-zero" >&2
+    exit 1
+  fi
+  "$SVC" --dir "$SMOKE_DIR/kill" --script crates/svc/smoke/resume.ndjson > "$SMOKE_DIR/resume.out"
+  grep '"op":"trace"' "$SMOKE_DIR/ref.out" > "$SMOKE_DIR/ref.trace"
+  grep '"op":"trace"' "$SMOKE_DIR/resume.out" > "$SMOKE_DIR/resume.trace"
+  if ! cmp -s "$SMOKE_DIR/ref.trace" "$SMOKE_DIR/resume.trace"; then
+    echo "ci.sh: recovered svc trace differs from the uninterrupted run:" >&2
+    diff "$SMOKE_DIR/ref.trace" "$SMOKE_DIR/resume.trace" >&2 || true
+    exit 1
+  fi
+  echo "    killed at event 12 (exit $kill_status), recovered trace byte-identical"
 fi
 
 echo "==> benches type-check: cargo bench --no-run"

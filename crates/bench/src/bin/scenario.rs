@@ -4,6 +4,12 @@
 //!   cargo run --release -p limeqo-bench --bin scenario -- --list
 //!   cargo run --release -p limeqo-bench --bin scenario -- --filter online
 //!   cargo run --release -p limeqo-bench --bin scenario -- --scale  # 100k tier
+//!   cargo run --release -p limeqo-bench --bin scenario -- --via-service
+//!
+//! `--via-service` does not produce metrics: it replays every selected
+//! scenario twice — once through the legacy harness drivers, once through
+//! the raw engine event API the `limeqo-svc` daemon speaks — and exits
+//! non-zero on the first bitwise trace divergence.
 //!
 //! Prints one table row per scenario and writes
 //! `bench-results/scenarios.json` (array of per-scenario objects) plus
@@ -12,13 +18,14 @@
 //! runner and pins the metrics in `tests/golden/scenarios.golden`.
 
 use limeqo_bench::report::{fmt_secs, write_csv, write_json, Table};
-use limeqo_bench::scenario_runner::{report_json, run_scenarios};
+use limeqo_bench::scenario_runner::{report_json, run_scenarios, verify_scenario_via_engine};
 use limeqo_sim::scenario::{registry, scale_registry};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let list_only = args.iter().any(|a| a == "--list");
     let scale = args.iter().any(|a| a == "--scale");
+    let via_service = args.iter().any(|a| a == "--via-service");
     let filter = args
         .iter()
         .position(|a| a == "--filter")
@@ -46,6 +53,30 @@ fn main() {
             ]);
         }
         table.print();
+        return;
+    }
+
+    if via_service {
+        let mut table = Table::new("engine-API equivalence", &["scenario", "policy", "result"]);
+        let mut failed = false;
+        for spec in &specs {
+            let result = verify_scenario_via_engine(spec);
+            table.row(&[
+                spec.name.to_string(),
+                spec.policy.name().to_string(),
+                match &result {
+                    Ok(()) => "OK".to_string(),
+                    Err(msg) => format!("FAIL: {msg}"),
+                },
+            ]);
+            failed |= result.is_err();
+        }
+        table.print();
+        if failed {
+            eprintln!("[scenario] FAIL: engine event API diverged from the harness drivers");
+            std::process::exit(1);
+        }
+        println!("[scenario] via-service: all {} scenarios byte-identical", specs.len());
         return;
     }
 

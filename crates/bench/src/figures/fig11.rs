@@ -88,7 +88,7 @@ pub fn run(opts: &FigOpts) {
             let cfg = ExploreConfig { batch: opts.batch, seed, ..Default::default() };
             let mut ex = Explorer::new(&oracle_2017, policy, cfg, workload_2017.n());
             ex.run_until(explore_2017);
-            let t_shift = ex.time_spent;
+            let t_shift = ex.time_spent();
             ex.data_shift(&oracle_2019);
             ex.run_until(t_shift + budgets_2019[4]);
             let mut c = ex.into_curve();

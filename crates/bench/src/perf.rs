@@ -19,9 +19,11 @@
 
 use crate::report::{write_json, Json};
 use limeqo_core::complete::{AlsCompleter, Completer};
+use limeqo_core::explore::ExploreConfig;
 use limeqo_core::matrix::WorkloadMatrix;
 use limeqo_core::policy::{LimeQoPolicy, Policy, PolicyCtx, RandomPolicy};
 use limeqo_core::store::ObservationStore;
+use limeqo_core::{Action, DurableConfig, DurableEngine, Engine, Event};
 use limeqo_linalg::par::auto_threads;
 use limeqo_linalg::rng::SeededRng;
 use limeqo_linalg::Mat;
@@ -44,6 +46,9 @@ pub const REQUIRED_KEYS: &[&str] = &[
     "policy.rank_scan_s",
     "policy.sample_s",
     "policy.topk_s",
+    "svc.journal_append_s",
+    "svc.snapshot_s",
+    "svc.recover_s",
     "scenario.name",
     "scenario.end_to_end_s",
 ];
@@ -196,6 +201,106 @@ pub fn run(opts: &PerfOpts) -> Json {
         std::hint::black_box(picked);
     });
 
+    // Service durability layer. Journal append is the per-event tax the
+    // always-on daemon pays on the hot path, so it is measured as a
+    // difference: the identical cheap-policy run with and without the
+    // write-ahead journal, amortized over every journaled event. Snapshot
+    // and recovery are measured on the matured n×k store — the state size
+    // the acceptance numbers quote.
+    let svc_dir = std::env::temp_dir().join(format!("limeqo-perf-svc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&svc_dir);
+    let dcfg = DurableConfig { snapshot_every: 0, keep_snapshots: 2 };
+    let (jn, jk, jticks) = if opts.smoke { (64, 8, 8) } else { (256, 16, 32) };
+    let append_engine = || -> Engine<'static> {
+        let defaults: Vec<f64> = (0..jn).map(|i| 5.0 + i as f64 * 0.01).collect();
+        let store = ObservationStore::new(WorkloadMatrix::with_defaults(&defaults, jk));
+        let cfg = ExploreConfig { batch: 16, seed: 7, ..Default::default() };
+        Engine::offline(store, Box::new(RandomPolicy), None, &cfg)
+    };
+    // Synthetic probe outcomes: any deterministic latency works, the
+    // journal cost per record is what is being measured.
+    let probe_truth = |row: usize, col: usize| 0.5 + ((row * 31 + col * 17) % 100) as f64 * 0.05;
+    let drive_plain = |engine: &mut Engine<'_>| -> usize {
+        let mut events = 0;
+        for _ in 0..jticks {
+            let actions = engine.step(Event::Tick);
+            events += 1;
+            for a in actions {
+                if let Action::Probe { row, col, timeout } = a {
+                    let t = probe_truth(row, col);
+                    let censored = t > timeout;
+                    let value = if censored { timeout } else { t };
+                    engine.step(Event::Observation { row, col, value, censored });
+                    events += 1;
+                }
+            }
+        }
+        events
+    };
+    let svc_reps = reps.max(3);
+    let mut journal_events = 0usize;
+    let plain_s = time_min(svc_reps, || {
+        let mut engine = append_engine();
+        journal_events = drive_plain(&mut engine);
+        std::hint::black_box(engine.cells_executed());
+    });
+    // Fresh state directories prepared outside the timed region, one per
+    // rep, so `create`'s initial snapshot is not billed to the append.
+    let mut durable_pool: Vec<DurableEngine<'static>> = (0..svc_reps)
+        .map(|i| {
+            DurableEngine::create(
+                svc_dir.join(format!("j{i}")),
+                append_engine(),
+                "perf",
+                dcfg.clone(),
+            )
+            .expect("create journal dir")
+        })
+        .collect();
+    let durable_s = time_min(svc_reps, || {
+        let mut de = durable_pool.pop().expect("one durable engine per rep");
+        for _ in 0..jticks {
+            let actions = de.step(Event::Tick).expect("journal tick");
+            for a in actions {
+                if let Action::Probe { row, col, timeout } = a {
+                    let t = probe_truth(row, col);
+                    let censored = t > timeout;
+                    let value = if censored { timeout } else { t };
+                    de.step(Event::Observation { row, col, value, censored }).expect("journal obs");
+                }
+            }
+        }
+        std::hint::black_box(de.engine().cells_executed());
+    });
+    let journal_append = ((durable_s - plain_s) / journal_events.max(1) as f64).max(1e-9);
+
+    // Snapshot + recovery at the matured store's size. The recover seed is
+    // an identically-configured engine over an empty same-shape store —
+    // recovery replaces the state wholesale, as a restarted daemon would.
+    let matured_engine = || -> Engine<'static> {
+        let cfg = ExploreConfig { batch: 64, seed: 3, ..Default::default() };
+        Engine::offline(store.clone(), Box::new(LimeQoPolicy::with_als(3)), None, &cfg)
+    };
+    let recover_seed = || -> Engine<'static> {
+        let cfg = ExploreConfig { batch: 64, seed: 3, ..Default::default() };
+        let empty = ObservationStore::new(WorkloadMatrix::new(n, k));
+        Engine::offline(empty, Box::new(LimeQoPolicy::with_als(3)), None, &cfg)
+    };
+    let snap_dir = svc_dir.join("snap");
+    let mut de_m = DurableEngine::create(&snap_dir, matured_engine(), "perf", dcfg.clone())
+        .expect("create snapshot dir");
+    let snapshot_s = time_min(svc_reps, || {
+        de_m.snapshot().expect("snapshot matured engine");
+    });
+    drop(de_m);
+    let recover_s = time_min(svc_reps, || {
+        let (de, outstanding) =
+            DurableEngine::recover(&snap_dir, recover_seed(), "perf", dcfg.clone())
+                .expect("recover matured engine");
+        std::hint::black_box((de.event_index(), outstanding.len()));
+    });
+    let _ = std::fs::remove_dir_all(&svc_dir);
+
     // End-to-end scenario wall-clock. Smoke shrinks the 10k scenario so
     // the tier-1 gate stays fast; full runs it as registered.
     let mut spec = limeqo_sim::scenario::by_name("large-matrix-10k").expect("registered");
@@ -226,6 +331,10 @@ pub fn run(opts: &PerfOpts) -> Json {
         ("policy.sample_s".into(), Json::Num(sample)),
         ("policy.sample_batch".into(), Json::Num(sample_batch as f64)),
         ("policy.topk_s".into(), Json::Num(topk)),
+        ("svc.journal_append_s".into(), Json::Num(journal_append)),
+        ("svc.journal_events".into(), Json::Num(journal_events as f64)),
+        ("svc.snapshot_s".into(), Json::Num(snapshot_s)),
+        ("svc.recover_s".into(), Json::Num(recover_s)),
         ("scenario.name".into(), Json::Str(spec.name.into())),
         ("scenario.n".into(), Json::Num(outcome.n as f64)),
         ("scenario.end_to_end_s".into(), Json::Num(end_to_end)),
@@ -246,11 +355,31 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
         }
     }
     // The headline numbers must be positive durations.
-    for key in ["als.serial_s", "als.parallel_s", "scenario.end_to_end_s"] {
+    for key in [
+        "als.serial_s",
+        "als.parallel_s",
+        "scenario.end_to_end_s",
+        "svc.journal_append_s",
+        "svc.snapshot_s",
+        "svc.recover_s",
+    ] {
         if let Some(v) = doc.get(key).and_then(Json::as_num) {
             if v <= 0.0 {
                 errors.push(format!("{key:?} must be a positive duration, got {v}"));
             }
+        }
+    }
+    // The always-on service journals every input event on the hot path;
+    // the write-ahead append must stay negligible next to one policy
+    // selection or the durability layer is taxing exploration.
+    let append = doc.get("svc.journal_append_s").and_then(Json::as_num);
+    let sample = doc.get("policy.sample_s").and_then(Json::as_num);
+    if let (Some(append), Some(sample)) = (append, sample) {
+        if append >= 0.05 * sample {
+            errors.push(format!(
+                "\"svc.journal_append_s\" ({append:.3e} s) must stay under 5% of \
+                 \"policy.sample_s\" ({sample:.3e} s)"
+            ));
         }
     }
     if errors.is_empty() {

@@ -218,7 +218,7 @@ fn run_offline_seed(spec: &ScenarioSpec, env: &Env, policy: &PolicySpec, seed: u
     monotone &= check_segment(&ex.curve().points, seg_start);
     OfflineSeed {
         final_latency: ex.workload_latency(),
-        cells: ex.cells_executed,
+        cells: ex.cells_executed(),
         censored: ex.wm().censored_count(),
         monotone,
     }
@@ -244,28 +244,28 @@ fn run_online_seed(spec: &ScenarioSpec, env: &Env, seed: u64) -> OnlineSeed {
     let rho = cfg.rho;
     let mut ex = OnlineExplorer::new(oracle, spec.policy.build_completer(seed), cfg);
     let arrivals = spec.arrivals.expect("online scenario has arrivals");
-    let n = ex.wm.n_rows();
+    let n = ex.wm().n_rows();
     let trace = arrivals.trace(n, seed);
     let mut max_ratio = 0.0f64;
     let mut rho_ok = true;
     for &row in &trace {
-        let incumbent = ex.wm.row_best(row).expect("default observed").1;
+        let incumbent = ex.wm().row_best(row).expect("default observed").1;
         let experienced = ex.serve(row);
         max_ratio = max_ratio.max(experienced / incumbent);
         rho_ok &= experienced <= (rho + 1.0) * incumbent + 1e-9;
     }
     let final_latency = (0..n)
         .map(|i| {
-            let (col, _) = ex.wm.row_best(i).expect("default observed");
+            let (col, _) = ex.wm().row_best(i).expect("default observed");
             oracle.true_latency(i, col)
         })
         .sum();
-    let censored = ex.wm.censored_count();
+    let censored = ex.wm().censored_count();
     // The n default cells were observed for free at construction; each
     // cancellation was a distinct execution even when it re-probed an
     // already-censored cell.
-    let cells = ex.wm.complete_count() - n + ex.stats.cancelled;
-    OnlineSeed { stats: ex.stats.clone(), max_ratio, rho_ok, final_latency, cells, censored }
+    let cells = ex.wm().complete_count() - n + ex.stats().cancelled;
+    OnlineSeed { stats: ex.stats().clone(), max_ratio, rho_ok, final_latency, cells, censored }
 }
 
 fn mean(values: &[f64]) -> f64 {
@@ -359,6 +359,257 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
             Some(mean(&reference.iter().map(|r| r.final_latency).collect::<Vec<_>>()));
     }
     outcome
+}
+
+// ---------------------------------------------------------------------------
+// Engine-API equivalence (`scenario --via-service`).
+
+/// One seed's full deterministic trajectory, captured for bitwise
+/// comparison between the legacy harness drivers and the raw engine
+/// event API.
+struct EngineRun {
+    trace: Vec<limeqo_core::TraceEntry>,
+    time_spent: f64,
+    cells: usize,
+    censored: usize,
+    final_latency: f64,
+}
+
+/// The legacy path: [`Explorer`] drives the run (as [`run_offline_seed`]
+/// does), but the exploration trace is kept for comparison.
+fn offline_seed_via_explorer(
+    spec: &ScenarioSpec,
+    env: &Env,
+    policy: &PolicySpec,
+    seed: u64,
+) -> EngineRun {
+    let cfg = ExploreConfig {
+        batch: spec.batch,
+        seed,
+        retention: policy.drift(),
+        max_steps: spec.max_steps,
+    };
+    let mut ex = Explorer::new(&env.oracles[0], policy.build_policy(seed), cfg, env.initial_rows);
+    let mut shift_idx = 1usize;
+    for ev in &spec.drift {
+        ex.run_until(ev.at_frac * env.budget);
+        match ev.kind {
+            DriftKind::AddQueries { count } => ex.add_queries(count),
+            DriftKind::DataShift { .. } => {
+                ex.data_shift(&env.oracles[shift_idx]);
+                shift_idx += 1;
+            }
+        }
+    }
+    ex.run_until(env.budget);
+    EngineRun {
+        trace: ex.trace().to_vec(),
+        time_spent: ex.time_spent(),
+        cells: ex.cells_executed(),
+        censored: ex.wm().censored_count(),
+        final_latency: ex.workload_latency(),
+    }
+}
+
+/// The service path: the same scenario driven through the raw
+/// [`limeqo_core::Engine`] event API — the exact trajectory a `limeqo-svc`
+/// daemon would journal.
+fn offline_seed_via_engine(
+    spec: &ScenarioSpec,
+    env: &Env,
+    policy: &PolicySpec,
+    seed: u64,
+) -> EngineRun {
+    use limeqo_core::engine::data_shift_observations;
+    use limeqo_core::matrix::WorkloadMatrix;
+    use limeqo_core::store::ObservationStore;
+    use limeqo_core::{Action, Engine, Event};
+
+    fn tick(engine: &mut Engine<'_>, oracle: &MatOracle) -> bool {
+        let actions = engine.step(Event::Tick);
+        if actions.is_empty() {
+            return false;
+        }
+        for action in actions {
+            let Action::Probe { row, col, timeout } = action else { continue };
+            let truth = oracle.true_latency(row, col);
+            let censored = truth > timeout;
+            let value = if censored { timeout } else { truth };
+            engine.step(Event::Observation { row, col, value, censored });
+        }
+        true
+    }
+    fn run_until(engine: &mut Engine<'_>, oracle: &MatOracle, budget: f64) {
+        engine.scheduler_mut().start_run();
+        while engine.admit_round(budget) {
+            if !tick(engine, oracle) {
+                break;
+            }
+        }
+    }
+
+    let cfg = ExploreConfig {
+        batch: spec.batch,
+        seed,
+        retention: policy.drift(),
+        max_steps: spec.max_steps,
+    };
+    let mut oracle = &env.oracles[0];
+    let (_, k) = oracle.shape();
+    let defaults: Vec<f64> = (0..env.initial_rows)
+        .map(|i| oracle.true_latency(i, WorkloadMatrix::DEFAULT_HINT))
+        .collect();
+    let store = ObservationStore::with_defaults(&defaults, k);
+    let mut engine = Engine::offline(store, policy.build_policy(seed), oracle.est_cost(), &cfg);
+    let mut active_rows = env.initial_rows;
+    let mut shift_idx = 1usize;
+    for ev in &spec.drift {
+        run_until(&mut engine, oracle, ev.at_frac * env.budget);
+        match ev.kind {
+            DriftKind::AddQueries { count } => {
+                let new_active = (active_rows + count).min(oracle.shape().0);
+                let defaults: Vec<f64> = (active_rows..new_active)
+                    .map(|i| oracle.true_latency(i, WorkloadMatrix::DEFAULT_HINT))
+                    .collect();
+                engine.step(Event::AddQueries { defaults });
+                active_rows = new_active;
+            }
+            DriftKind::DataShift { .. } => {
+                let new_oracle = &env.oracles[shift_idx];
+                shift_idx += 1;
+                let wm = engine.wm();
+                let n = wm.n_rows().min(new_oracle.shape().0);
+                let observations = data_shift_observations(wm, engine.retention(), n, |r, c| {
+                    new_oracle.true_latency(r, c)
+                });
+                oracle = new_oracle;
+                engine.set_est_cost(oracle.est_cost());
+                engine.step(Event::DataShift { new_rows: n, observations });
+                active_rows = n;
+            }
+        }
+    }
+    let _ = active_rows;
+    run_until(&mut engine, oracle, env.budget);
+    let wm = engine.wm();
+    let final_latency = (0..wm.n_rows())
+        .filter_map(|i| wm.row_best(i).map(|(col, _)| oracle.true_latency(i, col)))
+        .sum();
+    EngineRun {
+        trace: engine.trace().to_vec(),
+        time_spent: engine.time_spent(),
+        cells: engine.cells_executed(),
+        censored: wm.censored_count(),
+        final_latency,
+    }
+}
+
+/// The service path for an online scenario: `Arrival`/`Observation` events
+/// against a raw online engine. Returns the stats plus the same derived
+/// cell counts [`run_online_seed`] reports.
+fn online_seed_via_engine(
+    spec: &ScenarioSpec,
+    env: &Env,
+    seed: u64,
+) -> (limeqo_core::online::OnlineStats, usize, usize) {
+    use limeqo_core::matrix::WorkloadMatrix;
+    use limeqo_core::store::ObservationStore;
+    use limeqo_core::{Action, Engine, Event};
+
+    let oracle = &env.oracles[0];
+    let cfg = spec.policy.online_config(seed).expect("online policy spec");
+    let (n, k) = oracle.shape();
+    let defaults: Vec<f64> =
+        (0..n).map(|i| oracle.true_latency(i, WorkloadMatrix::DEFAULT_HINT)).collect();
+    let store = ObservationStore::with_defaults(&defaults, k);
+    let mut engine = Engine::online(store, spec.policy.build_completer(seed), &cfg);
+    let trace = spec.arrivals.expect("online scenario has arrivals").trace(n, seed);
+    for &row in &trace {
+        let actions = engine.step(Event::Arrival { row });
+        for action in actions {
+            if let Action::Probe { row, col, timeout } = action {
+                let truth = oracle.true_latency(row, col);
+                let censored = truth > timeout;
+                let value = if censored { timeout } else { truth };
+                engine.step(Event::Observation { row, col, value, censored });
+            }
+        }
+    }
+    let cells = engine.wm().complete_count() - n + engine.stats().cancelled;
+    (engine.stats().clone(), cells, engine.wm().censored_count())
+}
+
+/// Drive every seed of `spec` twice — once through the legacy harness
+/// drivers, once through the raw engine event API — and fail on the first
+/// bitwise divergence. This is the refactor's equivalence oath: the
+/// service hosts the *same* exploration, not an approximation of it.
+pub fn verify_scenario_via_engine(spec: &ScenarioSpec) -> Result<(), String> {
+    spec.validate();
+    let env = build_env(spec);
+    for &seed in &spec.seeds {
+        if spec.policy.is_online() {
+            let legacy = run_online_seed(spec, &env, seed);
+            let (stats, cells, censored) = online_seed_via_engine(spec, &env, seed);
+            let l = &legacy.stats;
+            let pairs = [
+                ("arrivals", l.arrivals as f64, stats.arrivals as f64),
+                ("explored", l.explored as f64, stats.explored as f64),
+                ("wins", l.wins as f64, stats.wins as f64),
+                ("cancelled", l.cancelled as f64, stats.cancelled as f64),
+                ("total_latency", l.total_latency, stats.total_latency),
+                ("default_latency", l.default_latency, stats.default_latency),
+                ("incumbent_latency", l.incumbent_latency, stats.incumbent_latency),
+                ("cells", legacy.cells as f64, cells as f64),
+                ("censored", legacy.censored as f64, censored as f64),
+            ];
+            for (what, a, b) in pairs {
+                if a.to_bits() != b.to_bits() {
+                    return Err(format!(
+                        "{} seed {seed}: {what} diverges (harness {a} vs engine {b})",
+                        spec.name
+                    ));
+                }
+            }
+        } else {
+            let a = offline_seed_via_explorer(spec, &env, &spec.policy, seed);
+            let b = offline_seed_via_engine(spec, &env, &spec.policy, seed);
+            if a.trace.len() != b.trace.len() {
+                return Err(format!(
+                    "{} seed {seed}: trace length diverges ({} vs {})",
+                    spec.name,
+                    a.trace.len(),
+                    b.trace.len()
+                ));
+            }
+            for (i, (x, y)) in a.trace.iter().zip(b.trace.iter()).enumerate() {
+                let same = x.row == y.row
+                    && x.col == y.col
+                    && x.charged.to_bits() == y.charged.to_bits()
+                    && x.censored == y.censored;
+                if !same {
+                    return Err(format!(
+                        "{} seed {seed}: trace entry {i} diverges ({x:?} vs {y:?})",
+                        spec.name
+                    ));
+                }
+            }
+            let checks = [
+                ("time_spent", a.time_spent, b.time_spent),
+                ("cells", a.cells as f64, b.cells as f64),
+                ("censored", a.censored as f64, b.censored as f64),
+                ("final_latency", a.final_latency, b.final_latency),
+            ];
+            for (what, x, y) in checks {
+                if x.to_bits() != y.to_bits() {
+                    return Err(format!(
+                        "{} seed {seed}: {what} diverges (harness {x} vs engine {y})",
+                        spec.name
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Run many scenarios crossbeam-parallel (each scenario also fans its

@@ -264,6 +264,27 @@ impl Completer for AlsCompleter {
     fn complete(&mut self, wm: &WorkloadMatrix) -> Mat {
         self.complete_with_factors(wm).0
     }
+
+    fn save_state(&self, enc: &mut crate::persist::Enc) {
+        // Per-call seed derivation (`seed + calls * 0xA5A5`) and the
+        // warm-started factors are the only mutable state; both must
+        // survive a restart for the next completion to be bit-identical.
+        enc.u(self.calls);
+        match &self.warm {
+            Some((q, h)) => {
+                enc.b(true);
+                enc.mat(q);
+                enc.mat(h);
+            }
+            None => enc.b(false),
+        }
+    }
+
+    fn load_state(&mut self, dec: &mut crate::persist::Dec<'_>) -> crate::persist::Result<()> {
+        self.calls = dec.u()?;
+        self.warm = if dec.b()? { Some((dec.mat()?, dec.mat()?)) } else { None };
+        Ok(())
+    }
 }
 
 #[cfg(test)]

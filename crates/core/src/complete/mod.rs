@@ -29,6 +29,16 @@ pub trait Completer {
     /// Complete the matrix. Called once per exploration step; the harness
     /// wall-clocks this call as the model's overhead (Figs. 7/13).
     fn complete(&mut self, wm: &WorkloadMatrix) -> Mat;
+
+    /// Serialize mutable run state (call counters, warm-started factors)
+    /// into a snapshot. Default no-op for stateless models.
+    fn save_state(&self, _enc: &mut crate::persist::Enc) {}
+
+    /// Restore state written by [`Completer::save_state`]. Must consume
+    /// exactly the tokens its counterpart produced.
+    fn load_state(&mut self, _dec: &mut crate::persist::Dec<'_>) -> crate::persist::Result<()> {
+        Ok(())
+    }
 }
 
 /// Fill estimate `Ŵ ← M ⊙ W̃ + (1 − M) ⊙ Q Hᵀ`, with the censored clamp

@@ -1,0 +1,615 @@
+//! The tick-driven exploration engine.
+//!
+//! Historically the crate had two run-to-completion harnesses —
+//! [`crate::explore::Explorer`] (the offline Algorithm 1 loop) and
+//! [`crate::online::OnlineExplorer`] (the arrival-driven gambler) — each
+//! owning its loop, clock, and matrix. A long-lived optimizer service
+//! cannot run to completion: query arrivals, observation reports, and
+//! hint requests come in continuously and the process must be able to
+//! stop and resume between any two of them.
+//!
+//! [`Engine`] is the shared mechanism both harnesses now wrap: a pure
+//! event-step state machine with an explicit [`Engine::step`]`(Event) ->
+//! Vec<Action>` API. The engine owns everything that must survive a
+//! restart — the [`ObservationStore`], the policy/completer model state,
+//! the RNG, the simulated clock, and the exploration trace — and *nothing*
+//! that belongs to the environment (the oracle, the latency-vs-time curve,
+//! time budgets). Drivers execute [`Action::Probe`] directives against
+//! whatever runs queries for them (a [`crate::explore::MatOracle`] in the
+//! harnesses, a real DBMS in a deployment) and feed the results back as
+//! [`Event::Observation`]s.
+//!
+//! Determinism contract: the engine is a deterministic function of its
+//! initial state and the event sequence. Two engines built identically and
+//! fed the same events produce bit-identical stores, traces, and actions —
+//! the legacy `run()` loops are thin drivers that feed events in the old
+//! fixed order, so the refactor moves no goldens. The same property is
+//! what makes the journal in [`crate::persist`] sufficient for crash
+//! recovery.
+//!
+//! Cadence decisions (when to probe another batch, when to refresh the
+//! model) live in the [`AdmissionScheduler`], not in the mechanism, so a
+//! service can swap in a different schedule without touching the
+//! exploration semantics.
+
+use crate::complete::Completer;
+use crate::explore::{ExploreConfig, TraceEntry};
+use crate::matrix::{Cell, WorkloadMatrix};
+use crate::online::{OnlineConfig, OnlineStats};
+use crate::policy::{CellChoice, Policy, PolicyCtx};
+use crate::store::{DriftPolicy, ObservationStore};
+use limeqo_linalg::rng::SeededRng;
+use limeqo_linalg::Mat;
+
+/// An input to the engine. Mutating events (everything except
+/// [`Event::HintRequest`]) are exactly what the durability journal records:
+/// replaying them against a snapshot reproduces the engine bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Timer tick: ask the policy for the next offline probe batch
+    /// (overhead-metered). Emits one [`Action::Probe`] per selected cell.
+    Tick,
+    /// A probe finished: the executed latency, or the timeout bound if the
+    /// probe was cancelled (`censored`). Resolves a pending [`Action::Probe`]
+    /// from either a tick (offline) or a gambling arrival (online).
+    Observation {
+        /// Query (row) probed.
+        row: usize,
+        /// Hint (column) probed.
+        col: usize,
+        /// Measured latency, or the timeout bound when censored.
+        value: f64,
+        /// Whether the probe hit its timeout.
+        censored: bool,
+    },
+    /// A query arrived and must be served (online mode). Emits either a
+    /// [`Action::Recommend`] immediately or a [`Action::Probe`] gamble whose
+    /// observation produces the recommendation.
+    Arrival {
+        /// Query (row) that arrived.
+        row: usize,
+    },
+    /// Workload shift (§5.3): new queries appended, each with its
+    /// already-measured default-plan latency.
+    AddQueries {
+        /// Default-plan latency of each appended query, in order.
+        defaults: Vec<f64>,
+    },
+    /// Data shift (§5.4): the underlying data changed. Retention (see
+    /// [`DriftPolicy`]) is applied to the stale observations, then the
+    /// online re-measurements are recorded in order. Build the observation
+    /// list with [`data_shift_observations`].
+    DataShift {
+        /// Active row count after the shift (may shrink).
+        new_rows: usize,
+        /// Fresh `(row, col, latency)` measurements taken online against
+        /// the new data, recorded after retention is applied.
+        observations: Vec<(usize, usize, f64)>,
+    },
+    /// Read-only request for the current best hint of a query. Never
+    /// journaled: it mutates nothing, not even the RNG.
+    HintRequest {
+        /// Query (row) to recommend for.
+        row: usize,
+    },
+}
+
+impl Event {
+    /// Whether the event leaves the engine state untouched (and therefore
+    /// needs no journal record).
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, Event::HintRequest { .. })
+    }
+}
+
+/// An output directive. The engine never talks to an oracle or a DBMS —
+/// it asks its driver to, through these.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Execute query `row` with hint `col`, aborting after `timeout`
+    /// seconds; report the result back as an [`Event::Observation`].
+    Probe {
+        /// Query (row) to execute.
+        row: usize,
+        /// Hint (column) to execute.
+        col: usize,
+        /// Abort past this many seconds (the cell becomes censored).
+        timeout: f64,
+    },
+    /// Serve query `row` with hint `col`; `latency` is what the arrival
+    /// experienced (for a cancelled gamble it includes the wasted budget).
+    Recommend {
+        /// Query (row) served.
+        row: usize,
+        /// Hint (column) served.
+        col: usize,
+        /// Latency the arrival experienced.
+        latency: f64,
+    },
+    /// The completion model was re-fit on the current matrix. Informational:
+    /// lets a service surface refresh cadence without polling.
+    ModelRefreshed,
+}
+
+/// Cadence policy: decides when the engine probes another offline round and
+/// when the online completion model is re-fit. Split from the [`Engine`]
+/// mechanism so a service can change schedules without touching exploration
+/// semantics. The defaults pin the legacy harness behavior exactly.
+#[derive(Debug, Clone)]
+pub struct AdmissionScheduler {
+    /// Online: re-fit the completion model every this many gamble attempts.
+    refresh_every: usize,
+    /// Gamble attempts since the last re-fit (starts saturated so the first
+    /// gamble always refreshes).
+    since_refresh: usize,
+    /// Offline: per-run safety valve — at most this many rounds per driver
+    /// run, however large the budget.
+    max_steps: usize,
+    /// Rounds admitted in the current driver run; reset by
+    /// [`AdmissionScheduler::start_run`]. Deliberately *per-run* state (the
+    /// legacy `run_until` counted steps locally), so it is not persisted:
+    /// recovery starts a fresh run.
+    run_steps: usize,
+}
+
+impl AdmissionScheduler {
+    fn new(max_steps: usize, refresh_every: usize) -> Self {
+        AdmissionScheduler { refresh_every, since_refresh: usize::MAX / 2, max_steps, run_steps: 0 }
+    }
+
+    /// Begin a driver run: resets the per-run round counter.
+    pub fn start_run(&mut self) {
+        self.run_steps = 0;
+    }
+
+    /// Offline admission: may the driver probe another round, given the
+    /// clock and its budget? Counts the round when admitted.
+    pub fn admit_round(&mut self, time_spent: f64, budget: f64) -> bool {
+        if time_spent >= budget || self.run_steps >= self.max_steps {
+            return false;
+        }
+        self.run_steps += 1;
+        true
+    }
+
+    /// Online admission: re-fit the model for this gamble? Replicates the
+    /// legacy cadence exactly — refresh when no predictions exist or the
+    /// period elapsed; the staleness counter advances per gamble either way.
+    fn admit_refresh(&mut self, have_predictions: bool) -> bool {
+        let refresh = !have_predictions || self.since_refresh >= self.refresh_every;
+        if refresh {
+            self.since_refresh = 0;
+        }
+        self.since_refresh += 1;
+        refresh
+    }
+
+    pub(crate) fn persist_state(&self) -> u64 {
+        self.since_refresh as u64
+    }
+
+    pub(crate) fn restore_state(&mut self, since_refresh: u64) {
+        self.since_refresh = since_refresh as usize;
+    }
+}
+
+/// An issued online gamble awaiting its observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct PendingGamble {
+    pub(crate) row: usize,
+    pub(crate) col: usize,
+    pub(crate) incumbent_col: usize,
+    pub(crate) incumbent_lat: f64,
+}
+
+/// The event-driven exploration engine. See the module docs for the
+/// mechanism/driver split; construct with [`Engine::offline`] or
+/// [`Engine::online`].
+pub struct Engine<'a> {
+    pub(crate) store: ObservationStore,
+    pub(crate) policy: Option<Box<dyn Policy + 'a>>,
+    pub(crate) completer: Option<Box<dyn Completer + Send + 'a>>,
+    est_cost: Option<&'a Mat>,
+    pub(crate) batch: usize,
+    pub(crate) retention: DriftPolicy,
+    pub(crate) online_cfg: Option<OnlineConfig>,
+    pub(crate) scheduler: AdmissionScheduler,
+    pub(crate) rng: SeededRng,
+    /// Simulated offline exploration seconds spent (Eq. 3).
+    pub(crate) time_spent: f64,
+    /// Wall-clock model overhead seconds (Figs. 7/13). Informational: not
+    /// part of the determinism contract and not persisted exactly.
+    pub(crate) overhead: f64,
+    pub(crate) cells_executed: usize,
+    pub(crate) trace: Vec<TraceEntry>,
+    /// Offline probes issued but not yet observed. After recovery these are
+    /// re-emitted so the driver can re-execute them (at-least-once
+    /// delivery; the store update is idempotent because the oracle is
+    /// deterministic).
+    pub(crate) pending: Vec<CellChoice>,
+    pub(crate) predictions: Option<Mat>,
+    pub(crate) gamble: Option<PendingGamble>,
+    pub(crate) stats: OnlineStats,
+}
+
+impl<'a> Engine<'a> {
+    /// An offline engine: ticks run the policy, probes are charged to the
+    /// simulated clock. Seed derivation (`seed ^ 0xEE77`) matches the
+    /// legacy [`crate::explore::Explorer`] exactly.
+    pub fn offline(
+        store: ObservationStore,
+        policy: Box<dyn Policy + 'a>,
+        est_cost: Option<&'a Mat>,
+        cfg: &ExploreConfig,
+    ) -> Self {
+        Engine {
+            store,
+            policy: Some(policy),
+            completer: None,
+            est_cost,
+            batch: cfg.batch,
+            retention: cfg.retention,
+            online_cfg: None,
+            scheduler: AdmissionScheduler::new(cfg.max_steps, usize::MAX),
+            rng: SeededRng::new(cfg.seed ^ 0xEE77),
+            time_spent: 0.0,
+            overhead: 0.0,
+            cells_executed: 0,
+            trace: Vec::new(),
+            pending: Vec::new(),
+            predictions: None,
+            gamble: None,
+            stats: OnlineStats::default(),
+        }
+    }
+
+    /// An online engine: arrivals are served, gambles probe unverified
+    /// hints under the ρ-bounded budget. Seed derivation (`seed ^ 0x0411E`)
+    /// matches the legacy [`crate::online::OnlineExplorer`] exactly.
+    pub fn online(
+        store: ObservationStore,
+        completer: Box<dyn Completer + Send + 'a>,
+        cfg: &OnlineConfig,
+    ) -> Self {
+        Engine {
+            store,
+            policy: None,
+            completer: Some(completer),
+            est_cost: None,
+            batch: 0,
+            retention: DriftPolicy::legacy(),
+            scheduler: AdmissionScheduler::new(usize::MAX, cfg.refresh_every),
+            rng: SeededRng::new(cfg.seed ^ 0x0411E),
+            online_cfg: Some(cfg.clone()),
+            time_spent: 0.0,
+            overhead: 0.0,
+            cells_executed: 0,
+            trace: Vec::new(),
+            pending: Vec::new(),
+            predictions: None,
+            gamble: None,
+            stats: OnlineStats::default(),
+        }
+    }
+
+    /// Process one event, returning the directives the driver must act on.
+    pub fn step(&mut self, event: Event) -> Vec<Action> {
+        match event {
+            Event::Tick => self.on_tick(),
+            Event::Observation { row, col, value, censored } => {
+                self.on_observation(row, col, value, censored)
+            }
+            Event::Arrival { row } => self.on_arrival(row),
+            Event::AddQueries { defaults } => self.on_add_queries(&defaults),
+            Event::DataShift { new_rows, observations } => {
+                self.on_data_shift(new_rows, &observations)
+            }
+            Event::HintRequest { row } => self.on_hint_request(row),
+        }
+    }
+
+    fn on_tick(&mut self) -> Vec<Action> {
+        let started = std::time::Instant::now();
+        let selection = {
+            let ctx = PolicyCtx {
+                wm: self.store.matrix(),
+                est_cost: self.est_cost,
+                store: Some(&self.store),
+            };
+            self.policy.as_mut().expect("Event::Tick requires an offline policy").select(
+                &ctx,
+                self.batch,
+                &mut self.rng,
+            )
+        };
+        self.overhead += started.elapsed().as_secs_f64();
+        self.pending.extend_from_slice(&selection);
+        selection
+            .into_iter()
+            .map(|c| Action::Probe { row: c.row, col: c.col, timeout: c.timeout })
+            .collect()
+    }
+
+    fn on_observation(
+        &mut self,
+        row: usize,
+        col: usize,
+        value: f64,
+        censored: bool,
+    ) -> Vec<Action> {
+        if let Some(g) = self.gamble {
+            if g.row == row && g.col == col {
+                self.gamble = None;
+                return self.resolve_gamble(g, value, censored);
+            }
+        }
+        if let Some(pos) = self.pending.iter().position(|c| c.row == row && c.col == col) {
+            self.pending.remove(pos);
+        }
+        if censored {
+            self.store.record_censored(row, col, value);
+        } else {
+            self.store.record_complete(row, col, value);
+        }
+        self.time_spent += value;
+        self.trace.push(TraceEntry { row, col, charged: value, censored });
+        self.cells_executed += 1;
+        Vec::new()
+    }
+
+    fn resolve_gamble(&mut self, g: PendingGamble, value: f64, censored: bool) -> Vec<Action> {
+        let (experienced, served_col) = if censored {
+            // Cancelled at the bound; the incumbent reruns. The arrival
+            // paid budget + incumbent — still within (ρ + 1)× worst case,
+            // and the bound is recorded for the model.
+            self.store.record_censored(g.row, g.col, value);
+            self.stats.cancelled += 1;
+            (value + g.incumbent_lat, g.incumbent_col)
+        } else {
+            self.store.record_complete(g.row, g.col, value);
+            if value < g.incumbent_lat {
+                self.stats.wins += 1;
+            }
+            (value, g.col)
+        };
+        self.stats.total_latency += experienced;
+        vec![Action::Recommend { row: g.row, col: served_col, latency: experienced }]
+    }
+
+    fn on_arrival(&mut self, row: usize) -> Vec<Action> {
+        let cfg = self.online_cfg.clone().expect("Event::Arrival requires an online engine");
+        let wm = self.store.matrix();
+        let (incumbent_col, incumbent_lat) = wm.row_best(row).expect("default always observed");
+        // The default column is observed at construction and a gamble never
+        // re-probes a completed cell, so cell (row, 0) still holds the
+        // default latency the legacy explorer read from its oracle.
+        let default_lat = match wm.cell(row, WorkloadMatrix::DEFAULT_HINT) {
+            Cell::Complete(v) => v,
+            _ => unreachable!("default column is always complete"),
+        };
+        self.stats.arrivals += 1;
+        self.stats.default_latency += default_lat;
+        self.stats.incumbent_latency += incumbent_lat;
+
+        let explore_prob = if cfg.cold_bonus > 0.0 {
+            let observed = wm.row_observed_count(row).max(1);
+            (cfg.explore_prob + cfg.cold_bonus / (observed as f64).sqrt()).min(1.0)
+        } else {
+            cfg.explore_prob
+        };
+        let gamble = self.rng.chance(explore_prob);
+        if !gamble {
+            self.stats.total_latency += incumbent_lat;
+            return vec![Action::Recommend { row, col: incumbent_col, latency: incumbent_lat }];
+        }
+        self.stats.explored += 1;
+        let mut actions = Vec::new();
+        if self.scheduler.admit_refresh(self.predictions.is_some()) {
+            let started = std::time::Instant::now();
+            self.predictions = Some(
+                self.completer
+                    .as_mut()
+                    .expect("online engine needs a completer")
+                    .complete(self.store.matrix()),
+            );
+            self.overhead += started.elapsed().as_secs_f64();
+            actions.push(Action::ModelRefreshed);
+        }
+        let pred = self.predictions.as_ref().expect("predictions fresh");
+        let wm = self.store.matrix();
+
+        // Best predicted not-yet-verified hint for this query.
+        let mut cand: Option<(usize, f64)> = None;
+        for col in 0..wm.n_cols() {
+            if matches!(wm.cell(row, col), Cell::Complete(_)) {
+                continue;
+            }
+            let p = pred[(row, col)];
+            if cand.map_or(true, |(_, b)| p < b) {
+                cand = Some((col, p));
+            }
+        }
+        // Serve the incumbent unless the model predicts a real win.
+        let gamble_col = match cand {
+            Some((col, predicted)) if predicted < incumbent_lat => col,
+            _ => {
+                self.stats.total_latency += incumbent_lat;
+                actions.push(Action::Recommend { row, col: incumbent_col, latency: incumbent_lat });
+                return actions;
+            }
+        };
+        let budget = cfg.rho * incumbent_lat;
+        self.gamble = Some(PendingGamble { row, col: gamble_col, incumbent_col, incumbent_lat });
+        actions.push(Action::Probe { row, col: gamble_col, timeout: budget });
+        actions
+    }
+
+    fn on_add_queries(&mut self, defaults: &[f64]) -> Vec<Action> {
+        self.store.add_rows(defaults.len());
+        let base = self.store.matrix().n_rows() - defaults.len();
+        for (i, &d) in defaults.iter().enumerate() {
+            self.store.record_complete(base + i, WorkloadMatrix::DEFAULT_HINT, d);
+        }
+        Vec::new()
+    }
+
+    fn on_data_shift(
+        &mut self,
+        new_rows: usize,
+        observations: &[(usize, usize, f64)],
+    ) -> Vec<Action> {
+        let same_rows = new_rows == self.store.matrix().n_rows();
+        let retain = self.retention.retain_priors && same_rows;
+        if retain {
+            self.store.demote_to_priors(self.retention.prior_decay);
+        } else if same_rows {
+            self.store.discard_all();
+        } else {
+            // The new data exposes fewer rows, which priors cannot
+            // describe: discard at the new shape (epoch still advances —
+            // the post-shift matrix is starved either way).
+            self.store.discard_resized(new_rows);
+        }
+        for &(row, col, value) in observations {
+            self.store.record_complete(row, col, value);
+        }
+        // Queued probes describe the old data; in the legacy driver order
+        // every batch is fully observed before a shift, so this is a no-op
+        // there — it only matters for a service shifted mid-round.
+        self.pending.clear();
+        self.predictions = None;
+        Vec::new()
+    }
+
+    fn on_hint_request(&self, row: usize) -> Vec<Action> {
+        match self.store.matrix().row_best(row) {
+            Some((col, latency)) => vec![Action::Recommend { row, col, latency }],
+            None => Vec::new(),
+        }
+    }
+
+    /// Offline admission helper for drivers: combines the scheduler's
+    /// per-run cap with the time budget.
+    pub fn admit_round(&mut self, budget: f64) -> bool {
+        let t = self.time_spent;
+        self.scheduler.admit_round(t, budget)
+    }
+
+    /// The cadence scheduler (mutable, e.g. to [`AdmissionScheduler::start_run`]).
+    pub fn scheduler_mut(&mut self) -> &mut AdmissionScheduler {
+        &mut self.scheduler
+    }
+
+    /// The observation store.
+    pub fn store(&self) -> &ObservationStore {
+        &self.store
+    }
+
+    /// The partially observed workload matrix.
+    pub fn wm(&self) -> &WorkloadMatrix {
+        self.store.matrix()
+    }
+
+    /// Simulated offline exploration seconds spent.
+    pub fn time_spent(&self) -> f64 {
+        self.time_spent
+    }
+
+    /// Wall-clock model overhead seconds.
+    pub fn overhead(&self) -> f64 {
+        self.overhead
+    }
+
+    /// Cells executed so far (complete + censored).
+    pub fn cells_executed(&self) -> usize {
+        self.cells_executed
+    }
+
+    /// Every offline execution in order — the run's exploration trace.
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.trace
+    }
+
+    /// Accumulated online statistics (zeroed for offline engines).
+    pub fn stats(&self) -> &OnlineStats {
+        &self.stats
+    }
+
+    /// Probes issued but not yet observed. After [`crate::persist`]
+    /// recovery the driver must re-execute these (the journal may have
+    /// recorded the tick but lost some of its observations).
+    pub fn pending(&self) -> &[CellChoice] {
+        &self.pending
+    }
+
+    /// All probes the engine is waiting on, including an online gamble in
+    /// flight (its ρ-bounded timeout is recomputed from the stored
+    /// incumbent). After recovery the driver re-executes these and feeds
+    /// the results back as `Observation` events — at-least-once delivery
+    /// is safe because the oracle is deterministic and observations are
+    /// idempotent.
+    pub fn outstanding_probes(&self) -> Vec<CellChoice> {
+        let mut probes = self.pending.clone();
+        if let (Some(g), Some(cfg)) = (&self.gamble, &self.online_cfg) {
+            probes.push(CellChoice { row: g.row, col: g.col, timeout: cfg.rho * g.incumbent_lat });
+        }
+        probes
+    }
+
+    /// Point the engine at a new environment's cost estimates (data shift).
+    pub fn set_est_cost(&mut self, est_cost: Option<&'a Mat>) {
+        self.est_cost = est_cost;
+    }
+
+    /// The drift-retention configuration.
+    pub fn retention(&self) -> &DriftPolicy {
+        &self.retention
+    }
+}
+
+/// Build the online re-measurement list for a data shift, in the exact
+/// order the legacy harness observed them: per row, the default plan, then
+/// the cached best hint (if distinct). With
+/// [`DriftPolicy::reverify_runner_up`] set (and retention active), the best
+/// *surviving* stale completed plan — the row's strongest value-prior after
+/// the cached best — is also re-measured, so it re-enters the matrix as a
+/// fresh observation instead of waiting for offline re-probing.
+///
+/// `probe(row, col)` measures a cell against the *new* data.
+pub fn data_shift_observations(
+    wm: &WorkloadMatrix,
+    retention: &DriftPolicy,
+    new_rows: usize,
+    probe: impl Fn(usize, usize) -> f64,
+) -> Vec<(usize, usize, f64)> {
+    let same_rows = new_rows == wm.n_rows();
+    let reverify = retention.retain_priors && retention.reverify_runner_up && same_rows;
+    let mut obs = Vec::new();
+    for i in 0..new_rows {
+        let best = wm.row_best(i).map(|(c, _)| c);
+        obs.push((i, WorkloadMatrix::DEFAULT_HINT, probe(i, WorkloadMatrix::DEFAULT_HINT)));
+        if let Some(b) = best {
+            if b != WorkloadMatrix::DEFAULT_HINT {
+                obs.push((i, b, probe(i, b)));
+            }
+        }
+        if reverify {
+            let mut runner: Option<(usize, f64)> = None;
+            for &col32 in wm.observed_cols(i) {
+                let c = col32 as usize;
+                if c == WorkloadMatrix::DEFAULT_HINT || Some(c) == best {
+                    continue;
+                }
+                if let Cell::Complete(v) = wm.cell(i, c) {
+                    if runner.map_or(true, |(_, rv)| v < rv) {
+                        runner = Some((c, v));
+                    }
+                }
+            }
+            if let Some((c, _)) = runner {
+                obs.push((i, c, probe(i, c)));
+            }
+        }
+    }
+    obs
+}

@@ -20,11 +20,11 @@
 //!   the drift-aware path demotes them to censored priors (see
 //!   [`crate::store`]).
 
+use crate::engine::{data_shift_observations, Action, Engine, Event};
 use crate::matrix::WorkloadMatrix;
 use crate::metrics::{Curve, CurvePoint};
-use crate::policy::{Policy, PolicyCtx};
+use crate::policy::Policy;
 use crate::store::{DriftPolicy, ObservationStore};
-use limeqo_linalg::rng::SeededRng;
 use limeqo_linalg::Mat;
 
 /// Source of ground-truth latencies. Implementations: [`MatOracle`]
@@ -145,27 +145,21 @@ impl Default for ExploreConfig {
 ///
 /// ex.run_until(1e9); // explore until nothing is left
 /// assert_eq!(ex.workload_latency(), oracle.optimal_total());
-/// assert!(ex.time_spent > 0.0, "offline probes are charged to the clock");
+/// assert!(ex.time_spent() > 0.0, "offline probes are charged to the clock");
 /// ```
+///
+/// Since the engine refactor this is a thin driver over
+/// [`crate::engine::Engine`]: the explorer owns the oracle reference and
+/// the latency-vs-time curve (both environmental), feeds the engine
+/// `Tick`/`Observation`/`AddQueries`/`DataShift` events in the legacy
+/// fixed order, and executes its probe directives against the oracle. The
+/// event trajectory is pinned byte-identical to the old in-place loop.
 pub struct Explorer<'a> {
     oracle: &'a dyn Oracle,
     /// Number of oracle rows currently active (workload shift exposes the
     /// oracle's rows incrementally).
     active_rows: usize,
-    /// The adaptive observation layer over the active rows: the partially
-    /// observed matrix plus per-row freshness and prior bookkeeping.
-    pub store: ObservationStore,
-    policy: Box<dyn Policy + 'a>,
-    cfg: ExploreConfig,
-    rng: SeededRng,
-    /// Simulated offline exploration seconds spent (Eq. 3).
-    pub time_spent: f64,
-    /// Wall-clock model overhead seconds (Figs. 7/13).
-    pub overhead: f64,
-    /// Cells executed so far (complete + censored executions).
-    pub cells_executed: usize,
-    /// Every offline execution in order — the run's exploration trace.
-    pub trace: Vec<TraceEntry>,
+    engine: Engine<'a>,
     curve: Curve,
 }
 
@@ -187,19 +181,9 @@ impl<'a> Explorer<'a> {
             .collect();
         let store = ObservationStore::with_defaults(&defaults, k);
         let name = policy.name().to_string();
-        let mut explorer = Explorer {
-            oracle,
-            active_rows: initial_rows,
-            store,
-            policy,
-            rng: SeededRng::new(cfg.seed ^ 0xEE77),
-            cfg,
-            time_spent: 0.0,
-            overhead: 0.0,
-            cells_executed: 0,
-            trace: Vec::new(),
-            curve: Curve::new(name),
-        };
+        let engine = Engine::offline(store, policy, oracle.est_cost(), &cfg);
+        let mut explorer =
+            Explorer { oracle, active_rows: initial_rows, engine, curve: Curve::new(name) };
         explorer.record_point();
         explorer
     }
@@ -207,7 +191,38 @@ impl<'a> Explorer<'a> {
     /// The current partially observed workload matrix (owned by the
     /// observation store).
     pub fn wm(&self) -> &WorkloadMatrix {
-        self.store.matrix()
+        self.engine.wm()
+    }
+
+    /// The adaptive observation layer: matrix plus per-row freshness and
+    /// prior bookkeeping.
+    pub fn store(&self) -> &ObservationStore {
+        self.engine.store()
+    }
+
+    /// Simulated offline exploration seconds spent (Eq. 3).
+    pub fn time_spent(&self) -> f64 {
+        self.engine.time_spent()
+    }
+
+    /// Wall-clock model overhead seconds (Figs. 7/13).
+    pub fn overhead(&self) -> f64 {
+        self.engine.overhead()
+    }
+
+    /// Cells executed so far (complete + censored executions).
+    pub fn cells_executed(&self) -> usize {
+        self.engine.cells_executed()
+    }
+
+    /// Every offline execution in order — the run's exploration trace.
+    pub fn trace(&self) -> &[TraceEntry] {
+        self.engine.trace()
+    }
+
+    /// The wrapped event-driven engine.
+    pub fn engine(&self) -> &Engine<'a> {
+        &self.engine
     }
 
     /// The workload latency metric the paper plots: the *actual* total
@@ -217,49 +232,34 @@ impl<'a> Explorer<'a> {
     /// cached selections are re-priced on the new data (stale choices cost
     /// their new true latency), which is what Fig. 11 measures.
     pub fn workload_latency(&self) -> f64 {
-        let wm = self.store.matrix();
+        let wm = self.engine.wm();
         (0..wm.n_rows())
             .filter_map(|i| wm.row_best(i).map(|(col, _)| self.oracle.true_latency(i, col)))
             .sum()
     }
 
-    /// One exploration step: policy selection (overhead-metered), offline
-    /// execution of the batch (charged to the simulated clock), matrix
-    /// update, curve point. Returns `false` when the policy has nothing
-    /// left to explore.
+    /// One exploration step: a `Tick` event asks the policy for a batch
+    /// (overhead-metered inside the engine), each probe directive is
+    /// executed against the oracle and fed back as an `Observation`
+    /// (charged to the simulated clock), then a curve point is recorded.
+    /// Returns `false` when the policy has nothing left to explore.
     pub fn step(&mut self) -> bool {
         // Note: a matrix with no unobserved cells can still be worth
         // exploring — censored cells may hide better plans behind grown
         // timeouts (Algorithm 1 keeps re-probing them). The policy signals
         // completion by returning an empty selection.
-        let started = std::time::Instant::now();
-        let selection = {
-            let ctx = PolicyCtx {
-                wm: self.store.matrix(),
-                est_cost: self.oracle.est_cost(),
-                store: Some(&self.store),
-            };
-            self.policy.select(&ctx, self.cfg.batch, &mut self.rng)
-        };
-        self.overhead += started.elapsed().as_secs_f64();
-        if selection.is_empty() {
+        let actions = self.engine.step(Event::Tick);
+        if actions.is_empty() {
             return false;
         }
-        for choice in selection {
-            debug_assert!(choice.row < self.active_rows);
-            let truth = self.oracle.true_latency(choice.row, choice.col);
-            let censored = truth > choice.timeout;
-            let charged = if censored {
-                // Timed out: charge the timeout, learn the lower bound.
-                self.store.record_censored(choice.row, choice.col, choice.timeout);
-                choice.timeout
-            } else {
-                self.store.record_complete(choice.row, choice.col, truth);
-                truth
-            };
-            self.time_spent += charged;
-            self.trace.push(TraceEntry { row: choice.row, col: choice.col, charged, censored });
-            self.cells_executed += 1;
+        for action in actions {
+            let Action::Probe { row, col, timeout } = action else { continue };
+            debug_assert!(row < self.active_rows);
+            let truth = self.oracle.true_latency(row, col);
+            let censored = truth > timeout;
+            // Timed out: charge the timeout, learn the lower bound.
+            let value = if censored { timeout } else { truth };
+            self.engine.step(Event::Observation { row, col, value, censored });
         }
         self.record_point();
         true
@@ -268,12 +268,11 @@ impl<'a> Explorer<'a> {
     /// Explore until the simulated offline clock reaches `time_budget`
     /// seconds (or nothing is left / `max_steps` hit).
     pub fn run_until(&mut self, time_budget: f64) {
-        let mut steps = 0;
-        while self.time_spent < time_budget && steps < self.cfg.max_steps {
+        self.engine.scheduler_mut().start_run();
+        while self.engine.admit_round(time_budget) {
             if !self.step() {
                 break;
             }
-            steps += 1;
         }
     }
 
@@ -282,12 +281,10 @@ impl<'a> Explorer<'a> {
     pub fn add_queries(&mut self, count: usize) {
         let (n, _) = self.oracle.shape();
         let new_active = (self.active_rows + count).min(n);
-        let added = new_active - self.active_rows;
-        self.store.add_rows(added);
-        for i in self.active_rows..new_active {
-            let d = self.oracle.true_latency(i, WorkloadMatrix::DEFAULT_HINT);
-            self.store.record_complete(i, WorkloadMatrix::DEFAULT_HINT, d);
-        }
+        let defaults: Vec<f64> = (self.active_rows..new_active)
+            .map(|i| self.oracle.true_latency(i, WorkloadMatrix::DEFAULT_HINT))
+            .collect();
+        self.engine.step(Event::AddQueries { defaults });
         self.active_rows = new_active;
         self.record_point();
     }
@@ -309,32 +306,16 @@ impl<'a> Explorer<'a> {
             self.oracle.shape().1,
             "hint space must be unchanged across a data shift"
         );
-        let wm = self.store.matrix();
-        let best_hints: Vec<Option<usize>> =
-            (0..wm.n_rows()).map(|i| wm.row_best(i).map(|(c, _)| c)).collect();
-        self.oracle = new_oracle;
+        let wm = self.engine.wm();
         let n = wm.n_rows().min(new_oracle.shape().0);
-        let same_rows = n == self.store.matrix().n_rows();
-        let retain = self.cfg.retention.retain_priors && same_rows;
-        if retain {
-            self.store.demote_to_priors(self.cfg.retention.prior_decay);
-        } else if same_rows {
-            self.store.discard_all();
-        } else {
-            // The new oracle exposes fewer rows, which priors cannot
-            // describe: discard at the new shape (epoch still advances —
-            // the post-shift matrix is starved either way).
-            self.store.discard_resized(n);
-        }
-        for i in 0..n {
-            let d = new_oracle.true_latency(i, WorkloadMatrix::DEFAULT_HINT);
-            self.store.record_complete(i, WorkloadMatrix::DEFAULT_HINT, d);
-            if let Some(Some(best)) = best_hints.get(i) {
-                if *best != WorkloadMatrix::DEFAULT_HINT {
-                    self.store.record_complete(i, *best, new_oracle.true_latency(i, *best));
-                }
-            }
-        }
+        // Measure the online re-observations (default + cached best per
+        // row, legacy order) against the new data before the store moves.
+        let observations = data_shift_observations(wm, self.engine.retention(), n, |r, c| {
+            new_oracle.true_latency(r, c)
+        });
+        self.oracle = new_oracle;
+        self.engine.set_est_cost(new_oracle.est_cost());
+        self.engine.step(Event::DataShift { new_rows: n, observations });
         self.active_rows = n;
         self.record_point();
     }
@@ -351,11 +332,11 @@ impl<'a> Explorer<'a> {
 
     fn record_point(&mut self) {
         let point = CurvePoint {
-            time: self.time_spent,
+            time: self.engine.time_spent(),
             latency: self.workload_latency(),
-            overhead: self.overhead,
-            explored: self.cells_executed,
-            censored: self.store.matrix().censored_count(),
+            overhead: self.engine.overhead(),
+            explored: self.engine.cells_executed(),
+            censored: self.engine.wm().censored_count(),
         };
         self.curve.push(point);
     }
@@ -384,7 +365,7 @@ mod tests {
     fn defaults_observed_at_start_uncharged() {
         let oracle = toy_oracle(10, 6, 40);
         let ex = Explorer::new(&oracle, Box::new(RandomPolicy), ExploreConfig::default(), 10);
-        assert_eq!(ex.time_spent, 0.0);
+        assert_eq!(ex.time_spent(), 0.0);
         assert_eq!(ex.wm().complete_count(), 10);
         assert!((ex.workload_latency() - oracle.default_total()).abs() < 1e-9);
     }
@@ -439,7 +420,7 @@ mod tests {
         // Upper bound: every executed cell costs at most its row default.
         ex.run_until(5.0);
         let max_cell: f64 = (0..10).map(|i| oracle.true_latency(i, 0)).fold(0.0, f64::max);
-        assert!(ex.time_spent <= 5.0 + 2.0 * max_cell, "overshoot too large");
+        assert!(ex.time_spent() <= 5.0 + 2.0 * max_cell, "overshoot too large");
     }
 
     #[test]
@@ -467,7 +448,7 @@ mod tests {
         );
         ex.run_until(1e9);
         assert!(ex.workload_latency() <= oracle.default_total());
-        assert!(ex.overhead > 0.0, "ALS overhead must be metered");
+        assert!(ex.overhead() > 0.0, "ALS overhead must be metered");
     }
 
     #[test]
@@ -483,7 +464,7 @@ mod tests {
         ex.add_queries(3);
         assert_eq!(ex.wm().n_rows(), 10);
         assert!(ex.workload_latency() > before, "new defaults add latency");
-        assert_eq!(ex.time_spent, 0.0, "online defaults are not charged");
+        assert_eq!(ex.time_spent(), 0.0, "online defaults are not charged");
     }
 
     #[test]
@@ -544,8 +525,8 @@ mod tests {
         let best_before: Vec<Option<usize>> =
             (0..10).map(|i| wm_before.row_best(i).map(|(c, _)| c)).collect();
         ex.data_shift(&oracle_b);
-        assert_eq!(ex.store.epoch(), 1);
-        assert!(ex.store.prior_count() > 0, "stale observations must survive as priors");
+        assert_eq!(ex.store().epoch(), 1);
+        assert!(ex.store().prior_count() > 0, "stale observations must survive as priors");
         for (i, c, v) in completes_before {
             let freshly_reobserved =
                 c == 0 || best_before[i] == Some(c) && c != WorkloadMatrix::DEFAULT_HINT;
@@ -558,8 +539,8 @@ mod tests {
                 crate::matrix::Cell::Censored(0.5 * v),
                 "cell ({i},{c}) not demoted at prior_decay x stale value"
             );
-            assert_eq!(ex.store.prior_kind(i, c), PriorKind::Value);
-            assert_eq!(ex.store.prior_weight(i, c), 0.5);
+            assert_eq!(ex.store().prior_kind(i, c), PriorKind::Value);
+            assert_eq!(ex.store().prior_weight(i, c), 0.5);
         }
         // The online path still re-observes default + cached best fresh.
         for i in 0..10 {

@@ -11,10 +11,18 @@
 //! * [`policy`] — active-learning exploration policies: Random, Greedy,
 //!   LimeQO (Algorithm 1), and the QO-Advisor / Bao-Cache / BayesQO
 //!   baselines of §5,
+//! * [`engine`] — the tick-driven exploration engine: an event-step state
+//!   machine (`step(Event) -> Vec<Action>`) that both harnesses and the
+//!   `limeqo-svc` daemon drive, plus the [`engine::AdmissionScheduler`]
+//!   cadence policy,
 //! * [`explore`] — the offline exploration harness: simulated-time
 //!   accounting (each executed cell charges `min(true latency, timeout)`
 //!   seconds, Eq. 3), wall-clock overhead metering for the predictive
 //!   models, workload shift (§5.3) and data shift (§5.4) events,
+//! * [`persist`] — durable engine state: an append-only, checksummed
+//!   journal of input events plus periodic full-state snapshots with GC;
+//!   [`persist::DurableEngine`] recovers from any kill point and resumes
+//!   bit-identically,
 //! * [`store`] — the adaptive observation layer: [`store::ObservationStore`]
 //!   wraps the matrix with drift-aware bookkeeping (censored priors demoted
 //!   from stale observations, per-row fresh-density counts, shift epochs)
@@ -39,20 +47,24 @@
 #![warn(missing_docs)]
 
 pub mod complete;
+pub mod engine;
 pub mod explore;
 pub mod matrix;
 pub mod metrics;
 pub mod online;
+pub mod persist;
 pub mod policy;
 pub mod scenario;
 pub mod select;
 pub mod store;
 
 pub use complete::{AlsCompleter, Completer, NucCompleter, SvtCompleter};
+pub use engine::{Action, AdmissionScheduler, Engine, Event};
 pub use explore::{ExploreConfig, Explorer, MatOracle, Oracle, TraceEntry};
 pub use matrix::{Cell, WorkloadMatrix};
 pub use metrics::{Curve, CurvePoint};
 pub use online::{OnlineConfig, OnlineExplorer, OnlineStats};
+pub use persist::{DurableConfig, DurableEngine, PersistError};
 pub use policy::{CellChoice, Policy, PolicyCtx};
 pub use scenario::PolicySpec;
 pub use store::{DriftPolicy, ObservationStore, PriorKind};

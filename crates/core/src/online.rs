@@ -15,9 +15,10 @@
 //! the workload matrix for free.
 
 use crate::complete::Completer;
+use crate::engine::{Action, Engine, Event};
 use crate::explore::Oracle;
-use crate::matrix::{Cell, WorkloadMatrix};
-use limeqo_linalg::rng::SeededRng;
+use crate::matrix::WorkloadMatrix;
+use crate::store::ObservationStore;
 
 /// Configuration of the online explorer.
 #[derive(Debug, Clone)]
@@ -78,22 +79,17 @@ impl OnlineStats {
 }
 
 /// Online explorer: serves arrivals, gambles occasionally, learns always.
+///
+/// Since the engine refactor this is a thin driver over
+/// [`crate::engine::Engine`]: each [`OnlineExplorer::serve`] feeds an
+/// `Arrival` event, executes any gamble probe directive against the oracle
+/// under its ρ-bounded timeout, and reports the result back as an
+/// `Observation`. The event trajectory — RNG draws, refresh cadence,
+/// matrix updates, statistics — is pinned byte-identical to the old
+/// in-place loop.
 pub struct OnlineExplorer<'a> {
     oracle: &'a dyn Oracle,
-    completer: Box<dyn Completer + Send>,
-    /// The growing workload matrix (shared shape with the oracle).
-    ///
-    /// Deliberately a public *field*, unlike the offline
-    /// [`crate::explore::Explorer::wm`] accessor: the online explorer has
-    /// no drift bookkeeping wrapped around its matrix, so there is
-    /// nothing an accessor would protect.
-    pub wm: WorkloadMatrix,
-    cfg: OnlineConfig,
-    rng: SeededRng,
-    predictions: Option<limeqo_linalg::Mat>,
-    since_refresh: usize,
-    /// Accumulated statistics.
-    pub stats: OnlineStats,
+    engine: Engine<'a>,
 }
 
 impl<'a> OnlineExplorer<'a> {
@@ -107,90 +103,49 @@ impl<'a> OnlineExplorer<'a> {
         let (n, k) = oracle.shape();
         let defaults: Vec<f64> =
             (0..n).map(|i| oracle.true_latency(i, WorkloadMatrix::DEFAULT_HINT)).collect();
-        let wm = WorkloadMatrix::with_defaults(&defaults, k);
-        OnlineExplorer {
-            oracle,
-            completer,
-            wm,
-            rng: SeededRng::new(cfg.seed ^ 0x0411E),
-            cfg,
-            predictions: None,
-            since_refresh: usize::MAX / 2, // force refresh on first gamble
-            stats: OnlineStats::default(),
-        }
+        let store = ObservationStore::with_defaults(&defaults, k);
+        OnlineExplorer { oracle, engine: Engine::online(store, completer, &cfg) }
+    }
+
+    /// The growing workload matrix (shared shape with the oracle).
+    pub fn wm(&self) -> &WorkloadMatrix {
+        self.engine.wm()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &OnlineStats {
+        self.engine.stats()
+    }
+
+    /// The wrapped event-driven engine.
+    pub fn engine(&self) -> &Engine<'a> {
+        &self.engine
     }
 
     /// Serve one arrival of query `row`; returns the latency the user
     /// experienced.
     pub fn serve(&mut self, row: usize) -> f64 {
-        let (incumbent_hint, incumbent_lat) =
-            self.wm.row_best(row).expect("default always observed");
-        self.stats.arrivals += 1;
-        self.stats.default_latency += self.oracle.true_latency(row, WorkloadMatrix::DEFAULT_HINT);
-        self.stats.incumbent_latency += incumbent_lat;
-
-        let explore_prob = if self.cfg.cold_bonus > 0.0 {
-            let observed = self.wm.row_observed_count(row).max(1);
-            (self.cfg.explore_prob + self.cfg.cold_bonus / (observed as f64).sqrt()).min(1.0)
-        } else {
-            self.cfg.explore_prob
-        };
-        let gamble = self.rng.chance(explore_prob);
-        if !gamble {
-            self.stats.total_latency += incumbent_lat;
-            return incumbent_lat;
-        }
-        self.stats.explored += 1;
-        // Refresh the model if stale.
-        if self.predictions.is_none() || self.since_refresh >= self.cfg.refresh_every {
-            self.predictions = Some(self.completer.complete(&self.wm));
-            self.since_refresh = 0;
-        }
-        self.since_refresh += 1;
-        let pred = self.predictions.as_ref().expect("predictions fresh");
-
-        // Best predicted not-yet-verified hint for this query.
-        let mut cand: Option<(usize, f64)> = None;
-        for col in 0..self.wm.n_cols() {
-            if matches!(self.wm.cell(row, col), Cell::Complete(_)) {
-                continue;
-            }
-            let p = pred[(row, col)];
-            if cand.map_or(true, |(_, b)| p < b) {
-                cand = Some((col, p));
+        let actions = self.engine.step(Event::Arrival { row });
+        let mut experienced = None;
+        for action in actions {
+            match action {
+                Action::Probe { row, col, timeout } => {
+                    // Execute the gamble under the ρ-bounded budget.
+                    let truth = self.oracle.true_latency(row, col);
+                    let censored = truth > timeout;
+                    let value = if censored { timeout } else { truth };
+                    let follow = self.engine.step(Event::Observation { row, col, value, censored });
+                    for f in follow {
+                        if let Action::Recommend { latency, .. } = f {
+                            experienced = Some(latency);
+                        }
+                    }
+                }
+                Action::Recommend { latency, .. } => experienced = Some(latency),
+                Action::ModelRefreshed => {}
             }
         }
-        let Some((col, predicted)) = cand else {
-            self.stats.total_latency += incumbent_lat;
-            return incumbent_lat;
-        };
-        // Only gamble when the model predicts a real win.
-        if predicted >= incumbent_lat {
-            self.stats.total_latency += incumbent_lat;
-            return incumbent_lat;
-        }
-        let budget = self.cfg.rho * incumbent_lat;
-        let truth = self.oracle.true_latency(row, col);
-        let experienced = if truth <= budget {
-            // The gamble ran to completion: latency observed and recorded.
-            self.wm.set_complete(row, col, truth);
-            if truth < incumbent_lat {
-                self.stats.wins += 1;
-            }
-            truth
-        } else {
-            // Cancelled at the bound; rerun the incumbent. The arrival
-            // paid budget + incumbent — still within (ρ + 1)× worst case,
-            // and the bound is recorded for the offline model.
-            self.wm.set_censored(row, col, budget);
-            self.stats.cancelled += 1;
-            budget + incumbent_lat
-        };
-        // Note: the row's best hint may now be `col` (a win) or still
-        // `incumbent_hint` — both are valid post-states.
-        let _ = incumbent_hint;
-        self.stats.total_latency += experienced;
-        experienced
+        experienced.expect("an arrival always resolves to a recommendation")
     }
 
     /// Serve a whole arrival trace.
@@ -206,6 +161,7 @@ mod tests {
     use super::*;
     use crate::complete::AlsCompleter;
     use crate::explore::MatOracle;
+    use limeqo_linalg::rng::SeededRng;
 
     fn oracle(n: usize, k: usize, seed: u64) -> MatOracle {
         let mut rng = SeededRng::new(seed);
@@ -225,7 +181,7 @@ mod tests {
         let mut rng = SeededRng::new(seed ^ 77);
         let trace: Vec<usize> = (0..arrivals).map(|_| rng.index(30)).collect();
         ex.serve_trace(&trace);
-        ex.stats.clone()
+        ex.stats().clone()
     }
 
     #[test]
@@ -258,7 +214,7 @@ mod tests {
         let mut ex = OnlineExplorer::new(&o, Box::new(AlsCompleter::paper_default(5)), cfg);
         for arrival in 0..500 {
             let row = arrival % 20;
-            let incumbent = ex.wm.row_best(row).unwrap().1;
+            let incumbent = ex.wm().row_best(row).unwrap().1;
             let experienced = ex.serve(row);
             assert!(
                 experienced <= 1.2 * incumbent + incumbent + 1e-9,
@@ -266,7 +222,7 @@ mod tests {
                 2.2 * incumbent
             );
         }
-        assert!(ex.stats.cancelled + ex.stats.wins > 0);
+        assert!(ex.stats().cancelled + ex.stats().wins > 0);
     }
 
     #[test]
@@ -281,7 +237,7 @@ mod tests {
             let mut ex = OnlineExplorer::new(&o, Box::new(AlsCompleter::paper_default(13)), cfg);
             ex.serve_trace(&trace);
             // How many cold rows (3..20) found a better-than-default plan.
-            (3..20).filter(|&r| ex.wm.row_best(r).is_some_and(|(c, _)| c != 0)).count()
+            (3..20).filter(|&r| ex.wm().row_best(r).is_some_and(|(c, _)| c != 0)).count()
         };
         let flat = run(0.0);
         let boosted = run(0.8);
@@ -296,11 +252,11 @@ mod tests {
         let o = oracle(15, 8, 6);
         let cfg = OnlineConfig { explore_prob: 0.5, seed: 7, ..Default::default() };
         let mut ex = OnlineExplorer::new(&o, Box::new(AlsCompleter::paper_default(8)), cfg);
-        let before = ex.wm.complete_count() + ex.wm.censored_count();
+        let before = ex.wm().complete_count() + ex.wm().censored_count();
         let mut rng = SeededRng::new(9);
         let trace: Vec<usize> = (0..800).map(|_| rng.index(15)).collect();
         ex.serve_trace(&trace);
-        let after = ex.wm.complete_count() + ex.wm.censored_count();
+        let after = ex.wm().complete_count() + ex.wm().censored_count();
         assert!(after > before + 10, "matrix should fill: {before} -> {after}");
     }
 }

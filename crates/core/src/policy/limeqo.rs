@@ -327,6 +327,39 @@ impl Policy for LimeQoPolicy {
         }
         out
     }
+
+    fn save_state(&self, enc: &mut crate::persist::Enc) {
+        // The rounds counter drives the periodic full-rescore cadence and
+        // the score cache skips untouched rows; both (plus the completer's
+        // own state) must survive a restart bit-identically.
+        enc.u(self.rounds);
+        enc.i(self.cache.len());
+        for c in &self.cache {
+            enc.u(c.rev);
+            match c.entry {
+                Some((score, col, pred)) => {
+                    enc.b(true);
+                    enc.f(score);
+                    enc.u(col as u64);
+                    enc.f(pred);
+                }
+                None => enc.b(false),
+            }
+        }
+        self.completer.save_state(enc);
+    }
+
+    fn load_state(&mut self, dec: &mut crate::persist::Dec<'_>) -> crate::persist::Result<()> {
+        self.rounds = dec.u()?;
+        let n = dec.i()?;
+        self.cache = Vec::with_capacity(n.min(1 << 24));
+        for _ in 0..n {
+            let rev = dec.u()?;
+            let entry = if dec.b()? { Some((dec.f()?, dec.u()? as u32, dec.f()?)) } else { None };
+            self.cache.push(CachedScore { rev, entry });
+        }
+        self.completer.load_state(dec)
+    }
 }
 
 #[cfg(test)]

@@ -69,6 +69,18 @@ pub trait Policy {
     /// stops). Must not select cells already complete.
     fn select(&mut self, ctx: &PolicyCtx<'_>, batch: usize, rng: &mut SeededRng)
         -> Vec<CellChoice>;
+
+    /// Serialize mutable run state (caches, counters) into a snapshot.
+    /// The default is a no-op: stateless policies (or ones whose caches
+    /// are pure functions of the store) need nothing to resume
+    /// bit-identically.
+    fn save_state(&self, _enc: &mut crate::persist::Enc) {}
+
+    /// Restore state written by [`Policy::save_state`]. Must consume
+    /// exactly the tokens its counterpart produced.
+    fn load_state(&mut self, _dec: &mut crate::persist::Dec<'_>) -> crate::persist::Result<()> {
+        Ok(())
+    }
 }
 
 /// Default timeout for baseline policies: the row's current best observed

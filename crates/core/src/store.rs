@@ -59,6 +59,15 @@ pub struct DriftPolicy {
     /// scenario matrix); it earns its keep in post-shift recovery, where
     /// the retained hint-side structure matters more than init diversity.
     pub warm_start: bool,
+    /// On a data shift with retention, also re-measure each row's best
+    /// *surviving* stale completed plan (the strongest value-prior after
+    /// the cached best) on the online path, so it re-enters the matrix as
+    /// a fresh observation instead of waiting for offline re-probing. Off
+    /// by default: measured on the 16-seed `data-shift-retained` mean it
+    /// helps, but not enough to pay (see ROADMAP) — final latency improves
+    /// only 0.06 %, closing ~4 % of the residual vs Random, while every
+    /// shift now costs one extra online re-measurement per row.
+    pub reverify_runner_up: bool,
 }
 
 impl Default for DriftPolicy {
@@ -69,6 +78,7 @@ impl Default for DriftPolicy {
             density_gate: 0.12,
             cold_row_bonus: 0.0,
             warm_start: false,
+            reverify_runner_up: false,
         }
     }
 }
@@ -83,6 +93,7 @@ impl DriftPolicy {
             density_gate: 0.0,
             cold_row_bonus: 0.0,
             warm_start: false,
+            reverify_runner_up: false,
         }
     }
 }
@@ -336,6 +347,101 @@ impl ObservationStore {
         self.epoch += 1;
         self.rev += 1;
         self.row_rev = vec![self.rev; n];
+    }
+
+    /// Serialize the full logical state — matrix cells, prior bookkeeping,
+    /// shift epoch, revision counters — into a snapshot. Prior weights and
+    /// kinds are stored sparsely per observed cell: demotion only ever
+    /// marks observed (censored) cells, so unobserved entries are always
+    /// `(0.0, None)`.
+    pub fn save_state(&self, enc: &mut crate::persist::Enc) {
+        let (n, k) = (self.wm.n_rows(), self.wm.n_cols());
+        enc.i(n);
+        enc.i(k);
+        enc.u(self.epoch as u64);
+        enc.u(self.rev);
+        for row in 0..n {
+            enc.u(self.fresh_complete[row] as u64);
+            enc.u(self.row_rev[row]);
+            let obs = self.wm.observed_cols(row);
+            enc.i(obs.len());
+            for &col in obs {
+                let c = col as usize;
+                enc.u(col as u64);
+                match self.wm.cell(row, c) {
+                    Cell::Complete(v) => {
+                        enc.b(false);
+                        enc.f(v);
+                    }
+                    Cell::Censored(b) => {
+                        enc.b(true);
+                        enc.f(b);
+                    }
+                    Cell::Unobserved => unreachable!("indexed cell must be observed"),
+                }
+                let idx = row * k + c;
+                enc.f(self.prior_weight[idx]);
+                enc.u(match self.prior_kind[idx] {
+                    PriorKind::None => 0,
+                    PriorKind::Value => 1,
+                    PriorKind::Bound => 2,
+                });
+            }
+        }
+    }
+
+    /// Rebuild a store from [`ObservationStore::save_state`] tokens. The
+    /// matrix's derived structures (observed-column index, best cache,
+    /// Fenwick rank index, counters) are pure functions of the cell values
+    /// and are rebuilt through the normal mutation funnel.
+    pub fn load_state(dec: &mut crate::persist::Dec<'_>) -> crate::persist::Result<Self> {
+        use crate::persist::PersistError;
+        let n = dec.i()?;
+        let k = dec.i()?;
+        let cells = n
+            .checked_mul(k)
+            .filter(|&c| c <= 1 << 30)
+            .ok_or_else(|| PersistError::Corrupt("implausible store shape".into()))?;
+        let epoch = dec.u()? as u32;
+        let rev = dec.u()?;
+        let mut wm = WorkloadMatrix::new(n, k);
+        let mut prior_weight = vec![0.0; cells];
+        let mut prior_kind = vec![PriorKind::None; cells];
+        let mut fresh_complete = vec![0u32; n];
+        let mut row_rev = vec![0u64; n];
+        for row in 0..n {
+            fresh_complete[row] = dec.u()? as u32;
+            row_rev[row] = dec.u()?;
+            let count = dec.i()?;
+            if count > k {
+                return Err(PersistError::Corrupt("row observation overflow".into()));
+            }
+            for _ in 0..count {
+                let col = dec.i()?;
+                if col >= k {
+                    return Err(PersistError::Corrupt("column out of range".into()));
+                }
+                let censored = dec.b()?;
+                let value = dec.f()?;
+                if value.is_nan() || value < 0.0 {
+                    return Err(PersistError::Corrupt("negative or NaN cell value".into()));
+                }
+                if censored {
+                    wm.set_censored(row, col, value);
+                } else {
+                    wm.set_complete(row, col, value);
+                }
+                let idx = row * k + col;
+                prior_weight[idx] = dec.f()?;
+                prior_kind[idx] = match dec.u()? {
+                    0 => PriorKind::None,
+                    1 => PriorKind::Value,
+                    2 => PriorKind::Bound,
+                    t => return Err(PersistError::Corrupt(format!("bad prior kind {t}"))),
+                };
+            }
+        }
+        Ok(ObservationStore { wm, prior_weight, prior_kind, fresh_complete, epoch, rev, row_rev })
     }
 }
 

@@ -1,0 +1,465 @@
+//! The always-on LimeQO optimizer service.
+//!
+//! `limeqo-svc` hosts the tick-driven [`limeqo_core::Engine`] behind a
+//! newline-delimited JSON protocol (one request object per line on stdin,
+//! one response object per line on stdout) with durable state through
+//! [`limeqo_core::persist`]: every mutating request is journaled before it
+//! is applied, snapshots are taken periodically, and restarting the daemon
+//! on an existing state directory resumes the exploration bit-identically
+//! from the kill point — including re-executing probes that were in flight
+//! when the process died.
+//!
+//! The service explores a *simulated* workload: a deterministic synthetic
+//! low-rank latency oracle derived from the `init` request's seed (the
+//! repo is DBMS-agnostic; a production deployment would execute probes
+//! against a real database instead). The oracle parameters are persisted
+//! in `svc-config.json` inside the state directory, so recovery rebuilds
+//! the exact same environment.
+//!
+//! # Protocol
+//!
+//! | request | response |
+//! |---|---|
+//! | `{"op":"init","n":N,"k":K,"seed":S,"batch":B}` | `{"ok":true,"op":"init"}` |
+//! | `{"op":"tick"}` | `{"ok":true,"op":"tick","probes":P,"time_spent":T}` |
+//! | `{"op":"hint","row":R}` | `{"ok":true,"op":"hint","col":C,"latency":L}` |
+//! | `{"op":"status"}` | `{"ok":true,...,"event_index":E,"cells":C}` |
+//! | `{"op":"snapshot"}` | `{"ok":true,"op":"snapshot"}` |
+//! | `{"op":"trace"}` | `{"ok":true,"op":"trace","entries":[[r,c,"bits",0/1],…]}` |
+//! | `{"op":"shutdown"}` | `{"ok":true,"op":"shutdown"}` and the loop ends |
+//!
+//! Errors come back as `{"ok":false,"error":"…"}`; the daemon keeps
+//! serving. `trace` reports each entry's charged seconds as the hex
+//! [`f64::to_bits`] image, so two traces are equal if and only if the
+//! exploration histories are bit-identical — that is what the CI crash
+//! smoke diffs.
+
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use limeqo_bench::Json;
+use limeqo_core::explore::ExploreConfig;
+use limeqo_core::matrix::WorkloadMatrix;
+use limeqo_core::persist::{DurableConfig, DurableEngine, PersistError};
+use limeqo_core::policy::LimeQoPolicy;
+use limeqo_core::store::ObservationStore;
+use limeqo_core::{Action, Engine, Event};
+use limeqo_linalg::rng::SeededRng;
+use limeqo_linalg::Mat;
+
+/// The persisted service environment: shape and seeds of the simulated
+/// workload plus the exploration batch size. Everything the engine's
+/// static configuration derives from; stored as `svc-config.json` in the
+/// state directory and required to match on recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceConfig {
+    /// Queries (rows) in the simulated workload.
+    pub n: usize,
+    /// Hints (columns) per query.
+    pub k: usize,
+    /// Seed for the synthetic oracle, the policy's completer, and the
+    /// engine RNG.
+    pub seed: u64,
+    /// Probes issued per tick.
+    pub batch: usize,
+}
+
+impl ServiceConfig {
+    /// Serialize for `svc-config.json`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("n".into(), Json::Num(self.n as f64)),
+            ("k".into(), Json::Num(self.k as f64)),
+            ("seed".into(), Json::Num(self.seed as f64)),
+            ("batch".into(), Json::Num(self.batch as f64)),
+        ])
+    }
+
+    /// Parse from `svc-config.json` contents.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_num)
+                .filter(|x| x.is_finite() && *x >= 0.0 && x.fract() == 0.0)
+                .ok_or_else(|| format!("svc-config: missing or bad field {name:?}"))
+        };
+        Ok(ServiceConfig {
+            n: field("n")? as usize,
+            k: field("k")? as usize,
+            seed: field("seed")? as u64,
+            batch: field("batch")? as usize,
+        })
+    }
+
+    /// The configuration fingerprint stored in every snapshot; recovery
+    /// with a different configuration fails instead of silently diverging.
+    pub fn tag(&self) -> String {
+        format!("limeqo-svc offline {self:?}")
+    }
+}
+
+/// Deterministic synthetic latency oracle: a rank-3 product with the
+/// default column inflated so exploration has headroom to win (the same
+/// construction the core test suites use).
+pub fn synthetic_truth(cfg: &ServiceConfig) -> Mat {
+    let mut rng = SeededRng::new(cfg.seed ^ 0x51C0_FFEE);
+    let q = rng.uniform_mat(cfg.n, 3, 0.5, 2.0);
+    let h = rng.uniform_mat(cfg.k, 3, 0.2, 1.5);
+    let mut lat = q.matmul_t(&h).expect("rank dimensions agree");
+    for i in 0..cfg.n {
+        lat[(i, 0)] = lat[(i, 0)] * 2.0 + 0.5;
+    }
+    lat
+}
+
+fn build_engine(cfg: &ServiceConfig, truth: &Mat) -> Engine<'static> {
+    let defaults: Vec<f64> = (0..cfg.n).map(|i| truth[(i, WorkloadMatrix::DEFAULT_HINT)]).collect();
+    let store = ObservationStore::new(WorkloadMatrix::with_defaults(&defaults, cfg.k));
+    let ecfg = ExploreConfig { batch: cfg.batch, seed: cfg.seed, ..Default::default() };
+    Engine::offline(store, Box::new(LimeQoPolicy::with_als(cfg.seed)), None, &ecfg)
+}
+
+fn config_path(dir: &Path) -> PathBuf {
+    dir.join("svc-config.json")
+}
+
+/// One response from [`Service::handle`].
+pub enum Reply {
+    /// A response line; keep serving.
+    Line(String),
+    /// A response line after which the daemon should flush and exit.
+    Shutdown(String),
+}
+
+impl Reply {
+    /// The response line regardless of variant.
+    pub fn line(&self) -> &str {
+        match self {
+            Reply::Line(s) | Reply::Shutdown(s) => s,
+        }
+    }
+}
+
+/// The daemon state: the simulated oracle plus the durable engine, and an
+/// optional crash trigger for the CI kill-and-recover smoke.
+pub struct Service {
+    cfg: ServiceConfig,
+    truth: Mat,
+    de: DurableEngine<'static>,
+    /// Abort the process (SIGKILL-equivalent: no flush, no unwind) as soon
+    /// as this many events have been journaled. Used by the crash smoke to
+    /// die at a deterministic point *between* journal appends — typically
+    /// mid-tick, with probes in flight.
+    crash_at: Option<u64>,
+}
+
+impl Service {
+    /// Initialize a fresh state directory from an `init` request.
+    pub fn init(
+        dir: &Path,
+        cfg: ServiceConfig,
+        crash_at: Option<u64>,
+    ) -> Result<Self, PersistError> {
+        if cfg.n == 0 || cfg.k == 0 || cfg.batch == 0 {
+            return Err(PersistError::Corrupt("init: n, k and batch must be positive".into()));
+        }
+        let truth = synthetic_truth(&cfg);
+        let engine = build_engine(&cfg, &truth);
+        let de = DurableEngine::create(dir, engine, &cfg.tag(), DurableConfig::default())?;
+        fs::create_dir_all(dir)?;
+        fs::write(config_path(dir), cfg.to_json().render())?;
+        Ok(Service { cfg, truth, de, crash_at })
+    }
+
+    /// Resume an existing state directory: rebuild the simulated
+    /// environment from `svc-config.json`, recover the engine from its
+    /// newest valid snapshot + journal tail, and re-execute any probes
+    /// that were in flight at the kill point.
+    pub fn open(dir: &Path, crash_at: Option<u64>) -> Result<Self, PersistError> {
+        let text = fs::read_to_string(config_path(dir))?;
+        let cfg = Json::parse(&text)
+            .and_then(|v| ServiceConfig::from_json(&v))
+            .map_err(PersistError::Corrupt)?;
+        let truth = synthetic_truth(&cfg);
+        let engine = build_engine(&cfg, &truth);
+        let (de, outstanding) =
+            DurableEngine::recover(dir, engine, &cfg.tag(), DurableConfig::default())?;
+        let mut svc = Service { cfg, truth, de, crash_at };
+        // At-least-once re-execution: the journal recorded the tick but
+        // died before all its observations landed. The oracle is
+        // deterministic and observations idempotent, so replying again is
+        // safe and resumes the interrupted round exactly.
+        for p in outstanding {
+            svc.observe(p.row, p.col, p.timeout)?;
+        }
+        Ok(svc)
+    }
+
+    /// Whether `dir` holds an initialized service state.
+    pub fn exists(dir: &Path) -> bool {
+        config_path(dir).exists()
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// The wrapped engine (read-only).
+    pub fn engine(&self) -> &Engine<'static> {
+        self.de.engine()
+    }
+
+    fn durable_step(&mut self, event: Event) -> Result<Vec<Action>, PersistError> {
+        let actions = self.de.step(event)?;
+        if self.crash_at.is_some_and(|n| self.de.event_index() >= n) {
+            // Die like a SIGKILL: no journal flush beyond what step()
+            // already wrote, no destructors, no snapshot.
+            std::process::abort();
+        }
+        Ok(actions)
+    }
+
+    fn observe(&mut self, row: usize, col: usize, timeout: f64) -> Result<(), PersistError> {
+        let truth = self.truth[(row, col)];
+        let censored = truth > timeout;
+        let value = if censored { timeout } else { truth };
+        self.durable_step(Event::Observation { row, col, value, censored })?;
+        Ok(())
+    }
+
+    /// Run one exploration round: journal the tick, execute every probe
+    /// the policy issued against the simulated oracle, journal each
+    /// observation. Returns the number of probes executed.
+    pub fn tick(&mut self) -> Result<usize, PersistError> {
+        let actions = self.durable_step(Event::Tick)?;
+        let probes: Vec<(usize, usize, f64)> = actions
+            .iter()
+            .filter_map(|a| match *a {
+                Action::Probe { row, col, timeout } => Some((row, col, timeout)),
+                _ => None,
+            })
+            .collect();
+        for &(row, col, timeout) in &probes {
+            self.observe(row, col, timeout)?;
+        }
+        Ok(probes.len())
+    }
+
+    /// Handle one protocol line. Malformed requests produce an error
+    /// response, not a crash — a daemon must outlive its clients.
+    pub fn handle(&mut self, line: &str) -> Reply {
+        match self.dispatch(line) {
+            Ok(reply) => reply,
+            Err(msg) => Reply::Line(
+                Json::Obj(vec![("ok".into(), Json::Bool(false)), ("error".into(), Json::Str(msg))])
+                    .render(),
+            ),
+        }
+    }
+
+    fn dispatch(&mut self, line: &str) -> Result<Reply, String> {
+        let req = Json::parse(line)?;
+        let op = match req.get("op") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => return Err("missing op field".into()),
+        };
+        let ok = |mut fields: Vec<(String, Json)>| {
+            let mut all =
+                vec![("ok".into(), Json::Bool(true)), ("op".into(), Json::Str(op.clone()))];
+            all.append(&mut fields);
+            Reply::Line(Json::Obj(all).render())
+        };
+        match op.as_str() {
+            "init" => Err("already initialized (init is only valid on a fresh directory)".into()),
+            "tick" => {
+                let probes = self.tick().map_err(|e| e.to_string())?;
+                Ok(ok(vec![
+                    ("probes".into(), Json::Num(probes as f64)),
+                    ("time_spent".into(), Json::Num(self.engine().time_spent())),
+                ]))
+            }
+            "hint" => {
+                let row = req
+                    .get("row")
+                    .and_then(Json::as_num)
+                    .filter(|r| r.is_finite() && *r >= 0.0 && r.fract() == 0.0)
+                    .ok_or("hint: missing or bad row")? as usize;
+                if row >= self.cfg.n {
+                    return Err(format!("hint: row {row} out of range"));
+                }
+                let actions =
+                    self.durable_step(Event::HintRequest { row }).map_err(|e| e.to_string())?;
+                match actions.first() {
+                    Some(&Action::Recommend { col, latency, .. }) => Ok(ok(vec![
+                        ("col".into(), Json::Num(col as f64)),
+                        ("latency".into(), Json::Num(latency)),
+                    ])),
+                    _ => Err(format!("hint: row {row} has no verified plan yet")),
+                }
+            }
+            "status" => Ok(ok(vec![
+                ("event_index".into(), Json::Num(self.de.event_index() as f64)),
+                ("time_spent".into(), Json::Num(self.engine().time_spent())),
+                ("cells".into(), Json::Num(self.engine().cells_executed() as f64)),
+                ("trace_len".into(), Json::Num(self.engine().trace().len() as f64)),
+            ])),
+            "snapshot" => {
+                self.de.snapshot().map_err(|e| e.to_string())?;
+                Ok(ok(vec![]))
+            }
+            "trace" => {
+                let entries: Vec<Json> = self
+                    .engine()
+                    .trace()
+                    .iter()
+                    .map(|t| {
+                        Json::Arr(vec![
+                            Json::Num(t.row as f64),
+                            Json::Num(t.col as f64),
+                            Json::Str(format!("{:016x}", t.charged.to_bits())),
+                            Json::Num(t.censored as u64 as f64),
+                        ])
+                    })
+                    .collect();
+                Ok(ok(vec![("entries".into(), Json::Arr(entries))]))
+            }
+            "shutdown" => {
+                self.de.shutdown().map_err(|e| e.to_string())?;
+                let mut all =
+                    vec![("ok".into(), Json::Bool(true)), ("op".into(), Json::Str(op.clone()))];
+                all.push(("event_index".into(), Json::Num(self.de.event_index() as f64)));
+                Ok(Reply::Shutdown(Json::Obj(all).render()))
+            }
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+/// Handle the `init` request on a fresh directory (the one op
+/// [`Service::handle`] rejects, since it constructs the service).
+pub fn handle_init(
+    dir: &Path,
+    line: &str,
+    crash_at: Option<u64>,
+) -> Result<(Service, String), String> {
+    let req = Json::parse(line)?;
+    match req.get("op") {
+        Some(Json::Str(s)) if s == "init" => {}
+        _ => return Err("first request on a fresh directory must be init".into()),
+    }
+    let field = |name: &str, default: Option<f64>| match req
+        .get(name)
+        .map(|v| v.as_num().filter(|x| x.is_finite() && *x >= 0.0 && x.fract() == 0.0))
+    {
+        Some(Some(v)) => Ok(v),
+        Some(None) => Err(format!("init: bad field {name:?}")),
+        None => default.ok_or(format!("init: missing field {name:?}")),
+    };
+    let cfg = ServiceConfig {
+        n: field("n", None)? as usize,
+        k: field("k", None)? as usize,
+        seed: field("seed", Some(0.0))? as u64,
+        batch: field("batch", Some(8.0))? as usize,
+    };
+    let svc = Service::init(dir, cfg, crash_at).map_err(|e| e.to_string())?;
+    let reply =
+        Json::Obj(vec![("ok".into(), Json::Bool(true)), ("op".into(), Json::Str("init".into()))])
+            .render();
+    Ok((svc, reply))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("limeqo-svc-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn trace_of(svc: &mut Service) -> String {
+        svc.handle(r#"{"op":"trace"}"#).line().to_string()
+    }
+
+    #[test]
+    fn config_roundtrips_through_json() {
+        let cfg = ServiceConfig { n: 40, k: 9, seed: 7, batch: 4 };
+        let back =
+            ServiceConfig::from_json(&Json::parse(&cfg.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn init_tick_hint_status_shutdown_flow() {
+        let dir = test_dir("flow");
+        let (mut svc, reply) =
+            handle_init(&dir, r#"{"op":"init","n":24,"k":8,"seed":5,"batch":4}"#, None).unwrap();
+        assert!(reply.contains("\"ok\":true"));
+        for _ in 0..4 {
+            let r = svc.handle(r#"{"op":"tick"}"#);
+            assert!(r.line().contains("\"ok\":true"), "{}", r.line());
+        }
+        let hint = svc.handle(r#"{"op":"hint","row":0}"#);
+        assert!(hint.line().contains("\"col\":"), "{}", hint.line());
+        let status = svc.handle(r#"{"op":"status"}"#);
+        assert!(status.line().contains("\"event_index\":"), "{}", status.line());
+        match svc.handle(r#"{"op":"shutdown"}"#) {
+            Reply::Shutdown(line) => assert!(line.contains("\"ok\":true")),
+            Reply::Line(line) => panic!("shutdown must end the loop: {line}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_resumes_the_exact_trace() {
+        let dir_a = test_dir("resume-a");
+        let dir_b = test_dir("resume-b");
+        let init = r#"{"op":"init","n":24,"k":8,"seed":5,"batch":4}"#;
+
+        // Reference: 6 uninterrupted ticks.
+        let (mut reference, _) = handle_init(&dir_a, init, None).unwrap();
+        for _ in 0..6 {
+            reference.handle(r#"{"op":"tick"}"#);
+        }
+        let want = trace_of(&mut reference);
+
+        // Killed run: 3 ticks, drop without shutdown, reopen, 3 more.
+        let (mut svc, _) = handle_init(&dir_b, init, None).unwrap();
+        for _ in 0..3 {
+            svc.handle(r#"{"op":"tick"}"#);
+        }
+        drop(svc);
+        let mut svc = Service::open(&dir_b, None).unwrap();
+        for _ in 0..3 {
+            svc.handle(r#"{"op":"tick"}"#);
+        }
+        assert_eq!(trace_of(&mut svc), want);
+        let _ = fs::remove_dir_all(&dir_a);
+        let _ = fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn malformed_requests_do_not_kill_the_daemon() {
+        let dir = test_dir("malformed");
+        let (mut svc, _) =
+            handle_init(&dir, r#"{"op":"init","n":10,"k":5,"seed":1,"batch":2}"#, None).unwrap();
+        for bad in [
+            "",
+            "not json",
+            r#"{"op":"nope"}"#,
+            r#"{"op":"hint"}"#,
+            r#"{"op":"hint","row":99}"#,
+            r#"{"op":"init","n":1,"k":1}"#,
+        ] {
+            let r = svc.handle(bad);
+            assert!(r.line().contains("\"ok\":false"), "{bad:?} -> {}", r.line());
+        }
+        // Still alive.
+        assert!(svc.handle(r#"{"op":"tick"}"#).line().contains("\"ok\":true"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

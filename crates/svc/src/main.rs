@@ -1,0 +1,131 @@
+//! `limeqo-svc` — the always-on optimizer daemon.
+//!
+//! ```text
+//! limeqo-svc --dir STATE_DIR [--script FILE] [--crash-after-events N]
+//! ```
+//!
+//! Requests are newline-delimited JSON, one object per line, read from
+//! stdin (or `--script FILE`); responses go to stdout, one line per
+//! request (see the `limeqo_svc` crate docs for the protocol). On an
+//! existing state directory the daemon recovers from the journal before
+//! serving; on a fresh one the first request must be `init`.
+//!
+//! `--crash-after-events N` aborts the process — SIGKILL-style, no flush,
+//! no destructors — as soon as N events have been journaled. CI's crash
+//! smoke uses it to die mid-round at a deterministic point, then verifies
+//! a recovered run's trace is byte-identical to an unkilled one.
+
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+
+use limeqo_svc::{handle_init, Reply, Service};
+
+struct Args {
+    dir: PathBuf,
+    script: Option<PathBuf>,
+    crash_after: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut dir = None;
+    let mut script = None;
+    let mut crash_after = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dir" => dir = Some(PathBuf::from(it.next().ok_or("--dir needs a value")?)),
+            "--script" => script = Some(PathBuf::from(it.next().ok_or("--script needs a value")?)),
+            "--crash-after-events" => {
+                let v = it.next().ok_or("--crash-after-events needs a value")?;
+                crash_after = Some(v.parse().map_err(|_| format!("bad event count {v:?}"))?);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: limeqo-svc --dir STATE_DIR [--script FILE] [--crash-after-events N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Args { dir: dir.ok_or("--dir is required")?, script, crash_after })
+}
+
+fn serve(
+    mut svc: Option<Service>,
+    args: &Args,
+    lines: impl Iterator<Item = std::io::Result<String>>,
+) -> Result<(), String> {
+    let stdout = std::io::stdout();
+    for line in lines {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let reply = match &mut svc {
+            Some(s) => s.handle(line),
+            None => match handle_init(&args.dir, line, args.crash_after) {
+                Ok((s, reply)) => {
+                    svc = Some(s);
+                    Reply::Line(reply)
+                }
+                Err(msg) => Reply::Line(format!("{{\"ok\":false,\"error\":{:?}}}", msg)),
+            },
+        };
+        {
+            let mut out = stdout.lock();
+            writeln!(out, "{}", reply.line()).map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+        }
+        if matches!(reply, Reply::Shutdown(_)) {
+            return Ok(());
+        }
+    }
+    // EOF without a shutdown op: flush the journal anyway (graceful stop).
+    if let Some(mut s) = svc.take() {
+        s.handle(r#"{"op":"shutdown"}"#);
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("limeqo-svc: {e}");
+            std::process::exit(2);
+        }
+    };
+    let svc = if Service::exists(&args.dir) {
+        match Service::open(&args.dir, args.crash_after) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("limeqo-svc: recovery failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
+    let result = match &args.script {
+        Some(path) => {
+            let file = match std::fs::File::open(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("limeqo-svc: cannot open script {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            };
+            serve(svc, &args, std::io::BufReader::new(file).lines())
+        }
+        None => {
+            let stdin = std::io::stdin();
+            serve(svc, &args, stdin.lock().lines())
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("limeqo-svc: {e}");
+        std::process::exit(1);
+    }
+}

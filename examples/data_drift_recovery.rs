@@ -57,7 +57,7 @@ fn main() {
     );
     assert!(stale <= future_m.default_total * 1.001, "cached hints should still help");
 
-    let t0 = ex.time_spent;
+    let t0 = ex.time_spent();
     ex.run_until(t0 + 1.0 * future_m.default_total);
     println!(
         "after re-exploring for one workload time: {:.1}s (new optimal {:.1}s)",

@@ -38,7 +38,7 @@ fn main() {
         println!(
             "{name}: latency {:.1}s after {:.1}s exploration; probed the ETL query {etl_cells} times",
             ex.workload_latency(),
-            ex.time_spent
+            ex.time_spent()
         );
     }
     println!("\nGreedy keeps attacking the longest-running query — the unimprovable ETL —");

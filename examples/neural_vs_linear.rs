@@ -30,7 +30,7 @@ fn main() {
     println!(
         "LimeQO  (ALS):  latency {:.1}s, model overhead {:>8.3}s",
         linear.workload_latency(),
-        linear.overhead
+        linear.overhead()
     );
 
     // Neural: transductive TCNN (the paper's LimeQO+). Plan featurization
@@ -43,10 +43,10 @@ fn main() {
     println!(
         "LimeQO+ (TCNN): latency {:.1}s, model overhead {:>8.3}s",
         neural.workload_latency(),
-        neural.overhead
+        neural.overhead()
     );
 
-    let ratio = neural.overhead / linear.overhead.max(1e-9);
+    let ratio = neural.overhead() / linear.overhead().max(1e-9);
     println!("\nthe neural model costs {ratio:.0}x more compute for its predictions");
     println!("(the paper measured 360x on their CPU; the exact factor depends on");
     println!("network size and hardware, the ordering is what matters).");

@@ -44,7 +44,7 @@ fn main() {
         let mut online =
             OnlineExplorer::new(&oracle, Box::new(AlsCompleter::paper_default(5)), cfg);
         online.serve_trace(&trace);
-        let s = &online.stats;
+        let s = online.stats();
         println!(
             "{:>7.0}% {:>11.1}s {:>11.1}s {:>9.1}% {:>7} {:>9}",
             explore_prob * 100.0,

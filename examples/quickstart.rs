@@ -42,8 +42,8 @@ fn main() {
 
     println!(
         "after {:.1}s of offline exploration ({} plans executed, {} timed out):",
-        explorer.time_spent,
-        explorer.cells_executed,
+        explorer.time_spent(),
+        explorer.cells_executed(),
         explorer.wm().censored_count()
     );
     println!(
@@ -52,7 +52,7 @@ fn main() {
         explorer.workload_latency(),
         matrices.optimal_total
     );
-    println!("  model overhead: {:.0}ms\n", explorer.overhead * 1000.0);
+    println!("  model overhead: {:.0}ms\n", explorer.overhead() * 1000.0);
 
     // 3. The verified plan cache: best observed hint per query.
     println!("verified hint selections (queries with an improvement):");

@@ -94,7 +94,7 @@ fn data_shift_recovery_end_to_end() {
         fm.default_total
     );
     // Further exploration keeps improving on the new data.
-    let t = ex.time_spent;
+    let t = ex.time_spent();
     ex.run_until(t + 2.0 * fm.default_total);
     assert!(ex.workload_latency() <= after_shift + 1e-9);
 }

@@ -1,0 +1,178 @@
+//! Property test: kill the durable engine at *any* event boundary — with
+//! or without a torn/corrupt journal tail — and recovery must resume the
+//! run bit-identically.
+//!
+//! The driver here is honest about what survives a crash: the continuation
+//! after `DurableEngine::recover` uses only engine-visible state (the
+//! re-issued outstanding probes plus the tick loop's "no actions left"
+//! termination), never the killed run's private bookkeeping. The reference
+//! trajectory is an uninterrupted run of the identically-configured engine.
+
+use std::path::PathBuf;
+
+use limeqo_core::explore::ExploreConfig;
+use limeqo_core::matrix::WorkloadMatrix;
+use limeqo_core::policy::LimeQoPolicy;
+use limeqo_core::store::ObservationStore;
+use limeqo_core::{Action, DurableConfig, DurableEngine, Engine, Event};
+use limeqo_linalg::rng::SeededRng;
+use limeqo_linalg::Mat;
+use proptest::prelude::*;
+
+/// Safety net only — every case must exhaust the policy well below this.
+const MAX_TICKS: usize = 4096;
+
+fn truth_matrix(n: usize, k: usize, seed: u64) -> Mat {
+    let mut rng = SeededRng::new(seed);
+    let q = rng.uniform_mat(n, 3, 0.5, 2.0);
+    let h = rng.uniform_mat(k, 3, 0.2, 1.5);
+    let mut lat = q.matmul_t(&h).unwrap();
+    for i in 0..n {
+        lat[(i, 0)] = lat[(i, 0)] * 2.0 + 0.5;
+    }
+    lat
+}
+
+/// Reference, killed, and recovered engines must be configured identically
+/// — recovery rebuilds static config from code, not from the journal.
+fn fresh_engine(truth: &Mat) -> Engine<'static> {
+    let (n, k) = truth.shape();
+    let defaults: Vec<f64> = (0..n).map(|i| truth[(i, 0)]).collect();
+    let store = ObservationStore::new(WorkloadMatrix::with_defaults(&defaults, k));
+    let cfg = ExploreConfig { batch: 3, seed: 17, ..Default::default() };
+    Engine::offline(store, Box::new(LimeQoPolicy::with_als(17)), None, &cfg)
+}
+
+fn observe(truth: &Mat, row: usize, col: usize, timeout: f64) -> Event {
+    let t = truth[(row, col)];
+    let censored = t > timeout;
+    Event::Observation { row, col, value: if censored { timeout } else { t }, censored }
+}
+
+/// One trace entry as bit-comparable fields: (row, col, charged bits,
+/// censored).
+type TraceBits = Vec<(usize, usize, u64, bool)>;
+
+fn trace_bits(engine: &Engine<'_>) -> TraceBits {
+    engine.trace().iter().map(|t| (t.row, t.col, t.charged.to_bits(), t.censored)).collect()
+}
+
+/// Run the reference engine until the policy exhausts, recording every
+/// input event in order — the exact sequence a durable run would journal.
+fn reference_run(truth: &Mat) -> (Vec<Event>, TraceBits, f64, usize) {
+    let mut engine = fresh_engine(truth);
+    let mut events = Vec::new();
+    for _ in 0..MAX_TICKS {
+        events.push(Event::Tick);
+        let actions = engine.step(Event::Tick);
+        if actions.is_empty() {
+            return (events, trace_bits(&engine), engine.time_spent(), engine.cells_executed());
+        }
+        for a in actions {
+            if let Action::Probe { row, col, timeout } = a {
+                let ev = observe(truth, row, col, timeout);
+                events.push(ev.clone());
+                engine.step(ev);
+            }
+        }
+    }
+    panic!("reference engine did not exhaust within {MAX_TICKS} ticks");
+}
+
+fn newest_wal(dir: &PathBuf) -> PathBuf {
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if let Some(idx) = name
+            .strip_prefix("wal-")
+            .and_then(|r| r.strip_suffix(".log"))
+            .and_then(|n| n.parse().ok())
+        {
+            if best.as_ref().map_or(true, |(b, _)| idx > *b) {
+                best = Some((idx, path));
+            }
+        }
+    }
+    best.expect("a wal segment always exists").1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Journal the reference's event prefix, crash (drop without shutdown,
+    /// optionally mangling the journal tail), recover, re-execute the
+    /// re-issued outstanding probes, and run on to exhaustion: the final
+    /// trace, clock, and cell count must match the uninterrupted run bit
+    /// for bit.
+    #[test]
+    fn kill_anywhere_recovery_is_bit_identical(
+        seed in 0u64..64,
+        kill_frac in 0.0f64..1.0,
+        tail_kind in 0usize..4,
+        snapshot_every in 2usize..24,
+    ) {
+        let truth = truth_matrix(12, 6, seed);
+        let (events, ref_trace, ref_time, ref_cells) = reference_run(&truth);
+        let kill_at = ((events.len() as f64) * kill_frac) as usize;
+        let kill_at = kill_at.min(events.len());
+
+        let dir = std::env::temp_dir().join(format!(
+            "limeqo-crashprop-{}-{seed}-{kill_at}-{tail_kind}-{snapshot_every}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dcfg = DurableConfig { snapshot_every, keep_snapshots: 2 };
+
+        // The doomed run: journal the first `kill_at` events, then vanish.
+        // Dropping without `shutdown()` models the kill — every record was
+        // already flushed by `step`, matching the documented abort story.
+        {
+            let mut de =
+                DurableEngine::create(&dir, fresh_engine(&truth), "crash-prop-v1", dcfg.clone())
+                    .unwrap();
+            for ev in &events[..kill_at] {
+                de.step(ev.clone()).unwrap();
+            }
+        }
+
+        // Optionally mangle the tail past the last complete record, the way
+        // an OS-level crash can leave it.
+        let wal = newest_wal(&dir);
+        let garbage: &[u8] = match tail_kind {
+            0 => b"",                                  // clean boundary
+            1 => b"0123abcd T",                        // torn: no newline
+            2 => b"00000000 O 1 2 3ff0000000000000 0\n", // full line, bad crc
+            _ => b"\xff\xfe\x00 not a record at all\n", // binary junk
+        };
+        if !garbage.is_empty() {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&wal).unwrap();
+            f.write_all(garbage).unwrap();
+        }
+
+        // Recovery: rebuild the engine from code, replay snapshot + tail,
+        // re-execute whatever probes were in flight, then keep exploring.
+        let (mut de, outstanding) =
+            DurableEngine::recover(&dir, fresh_engine(&truth), "crash-prop-v1", dcfg).unwrap();
+        for cc in outstanding {
+            de.step(observe(&truth, cc.row, cc.col, cc.timeout)).unwrap();
+        }
+        for _ in 0..MAX_TICKS {
+            let actions = de.step(Event::Tick).unwrap();
+            if actions.is_empty() {
+                break;
+            }
+            for a in actions {
+                if let Action::Probe { row, col, timeout } = a {
+                    de.step(observe(&truth, row, col, timeout)).unwrap();
+                }
+            }
+        }
+
+        prop_assert_eq!(trace_bits(de.engine()), ref_trace);
+        prop_assert_eq!(de.engine().time_spent().to_bits(), ref_time.to_bits());
+        prop_assert_eq!(de.engine().cells_executed(), ref_cells);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

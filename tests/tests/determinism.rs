@@ -25,8 +25,8 @@ fn trace_bytes(
     let cfg = ExploreConfig { batch: 8, seed, ..Default::default() };
     let mut ex = Explorer::new(oracle, policy, cfg, workload.n());
     ex.run_until(budget);
-    assert!(ex.cells_executed > 0, "run must actually explore");
-    format!("{:?}", ex.trace).into_bytes()
+    assert!(ex.cells_executed() > 0, "run must actually explore");
+    format!("{:?}", ex.trace()).into_bytes()
 }
 
 fn build(n: usize, seed: u64) -> (Workload, MatOracle, f64) {
@@ -97,8 +97,8 @@ fn retention_data_shift_is_seed_deterministic() {
         ex.run_until(0.4 * budget);
         ex.data_shift(&oracle_b);
         ex.run_until(budget);
-        assert!(ex.store.epoch() == 1);
-        format!("{:?}", ex.trace).into_bytes()
+        assert!(ex.store().epoch() == 1);
+        format!("{:?}", ex.trace()).into_bytes()
     };
     assert_eq!(run(5), run(5));
     assert_ne!(run(5), run(6));

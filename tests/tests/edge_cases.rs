@@ -28,7 +28,7 @@ fn max_steps_safety_valve() {
     let cfg = ExploreConfig { batch: 1, seed: 2, max_steps: 3, ..Default::default() };
     let mut ex = Explorer::new(&oracle, Box::new(RandomPolicy), cfg, w.n());
     ex.run_until(1e12);
-    assert!(ex.cells_executed <= 3, "max_steps must bound work");
+    assert!(ex.cells_executed() <= 3, "max_steps must bound work");
 }
 
 #[test]
@@ -37,7 +37,7 @@ fn zero_budget_explores_nothing() {
     let cfg = ExploreConfig { batch: 8, seed: 3, ..Default::default() };
     let mut ex = Explorer::new(&oracle, Box::new(RandomPolicy), cfg, w.n());
     ex.run_until(0.0);
-    assert_eq!(ex.cells_executed, 0);
+    assert_eq!(ex.cells_executed(), 0);
     assert!((ex.workload_latency() - m.default_total).abs() < 1e-9);
 }
 
@@ -121,7 +121,7 @@ fn online_explorer_with_zero_rho_never_completes_gambles() {
     let mut ex = OnlineExplorer::new(&oracle, Box::new(AlsCompleter::paper_default(9)), cfg);
     for arrival in 0..300 {
         let row = arrival % w.n();
-        let incumbent = ex.wm.row_best(row).unwrap().1;
+        let incumbent = ex.wm().row_best(row).unwrap().1;
         let got = ex.serve(row);
         assert!(got <= 2.0 * incumbent + 1e-9);
     }

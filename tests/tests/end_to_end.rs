@@ -79,7 +79,7 @@ fn exploration_time_accounting_matches_eq3() {
         let cfg = ExploreConfig { batch: 4, seed, ..Default::default() };
         let mut ex = Explorer::new(&oracle, Box::new(LimeQoPolicy::with_als(9)), cfg, w.n());
         ex.run_until(30.0);
-        (ex.time_spent, ex.cells_executed, ex.workload_latency())
+        (ex.time_spent(), ex.cells_executed(), ex.workload_latency())
     };
     assert_eq!(run(5), run(5));
 }
@@ -111,5 +111,5 @@ fn qo_advisor_uses_est_cost_from_simulator() {
     let cfg = ExploreConfig { batch: 4, seed: 8, ..Default::default() };
     let mut ex = Explorer::new(&oracle, Box::new(QoAdvisorPolicy), cfg, w.n());
     assert!(ex.step(), "QO-Advisor should select cells");
-    assert!(ex.cells_executed > 0);
+    assert!(ex.cells_executed() > 0);
 }

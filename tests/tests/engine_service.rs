@@ -1,0 +1,47 @@
+//! Batch-vs-event equivalence: the tick-driven engine behind `limeqo-svc`
+//! must produce the *same bytes* as the legacy run-to-completion drivers.
+//!
+//! `verify_scenario_via_engine` replays a scenario twice — once through
+//! `Explorer`/`OnlineExplorer`, once through raw `Engine::step(Event)` —
+//! and compares the exploration trace entry-by-entry on
+//! `(row, col, charged.to_bits(), censored)` plus the derived totals.
+//! The fast tier pins one offline, one drifting, and one online scenario;
+//! the `#[ignore]`d test sweeps the whole registry (also exercised by
+//! `scenario --via-service` in CI).
+
+use limeqo_bench::scenario_runner::verify_scenario_via_engine;
+use limeqo_sim::scenario::registry;
+
+fn verify(name: &str) {
+    let specs = registry();
+    let spec = specs
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("scenario {name} missing from registry"));
+    verify_scenario_via_engine(spec).unwrap_or_else(|msg| panic!("{msg}"));
+}
+
+#[test]
+fn engine_events_match_offline_driver() {
+    verify("job-mini");
+}
+
+#[test]
+fn engine_events_match_drifting_driver() {
+    // Exercises AddQueries + DataShift events, including retained priors.
+    verify("data-shift-retained");
+    verify("growing-catalog");
+}
+
+#[test]
+fn engine_events_match_online_driver() {
+    verify("online-zipf");
+}
+
+#[test]
+#[ignore = "slow tier: full registry sweep (./ci.sh --ignored)"]
+fn engine_events_match_every_registry_scenario() {
+    for spec in &registry() {
+        verify_scenario_via_engine(spec).unwrap_or_else(|msg| panic!("{msg}"));
+    }
+}

@@ -21,7 +21,7 @@ fn limeqo_plus_explores_and_improves() {
         ex.workload_latency(),
         m.default_total
     );
-    assert!(ex.overhead > 0.0, "TCNN overhead must be metered");
+    assert!(ex.overhead() > 0.0, "TCNN overhead must be metered");
 }
 
 #[test]
@@ -33,7 +33,7 @@ fn bao_cache_explores_round_robin_with_tcnn() {
     let cfg = ExploreConfig { batch: 8, seed: 4, ..Default::default() };
     let mut ex = Explorer::new(&oracle, Box::new(policy), cfg, w.n());
     ex.run_until(1.0 * m.default_total);
-    assert!(ex.cells_executed >= 8);
+    assert!(ex.cells_executed() >= 8);
     assert!(ex.workload_latency() <= m.default_total);
 }
 
@@ -60,10 +60,10 @@ fn neural_overhead_exceeds_linear_overhead() {
     // overheads are wall-clock and this binary shares the machine with
     // the scenario suite's fan-out).
     assert!(
-        neural.overhead > linear.overhead * 2.0,
+        neural.overhead() > linear.overhead() * 2.0,
         "neural {} vs linear {}",
-        neural.overhead,
-        linear.overhead
+        neural.overhead(),
+        linear.overhead()
     );
 }
 

@@ -146,7 +146,7 @@ proptest! {
         }
         // Random policy timeouts are the current row best (≤ default), so
         // the total spend cannot exceed the default-timeout bound.
-        prop_assert!(ex.time_spent <= bound + 1e-6);
+        prop_assert!(ex.time_spent() <= bound + 1e-6);
     }
 
     /// LU with partial pivoting solves well-conditioned square systems:

@@ -16,30 +16,30 @@ fn one_limeqo_round_keeps_time_accounting_monotone() {
     let cfg = ExploreConfig { batch: 4, seed: 9, ..Default::default() };
     let mut ex = Explorer::new(&oracle, Box::new(LimeQoPolicy::with_als(9)), cfg, w.n());
 
-    assert_eq!(ex.time_spent, 0.0, "clock must start at zero");
+    assert_eq!(ex.time_spent(), 0.0, "clock must start at zero");
     let mut last_time = 0.0;
     let mut last_cells = 0usize;
     let mut rounds = 0usize;
     while rounds < 8 && ex.step() {
         // The simulated clock only moves forward, and only when cells run.
         assert!(
-            ex.time_spent > last_time,
+            ex.time_spent() > last_time,
             "round {rounds}: clock did not advance ({} -> {})",
             last_time,
-            ex.time_spent
+            ex.time_spent()
         );
-        assert!(ex.cells_executed > last_cells, "round {rounds}: no cells executed");
+        assert!(ex.cells_executed() > last_cells, "round {rounds}: no cells executed");
         // Each executed cell charges at most the default-hint latency (the
         // starting per-row timeout) and more than zero seconds.
-        let spent = ex.time_spent - last_time;
-        let ran = ex.cells_executed - last_cells;
+        let spent = ex.time_spent() - last_time;
+        let ran = ex.cells_executed() - last_cells;
         let max_default: f64 = (0..w.n()).map(|i| m.true_latency[(i, 0)]).fold(0.0, f64::max);
         assert!(
             spent <= ran as f64 * max_default + 1e-9,
             "round {rounds}: charged {spent} s for {ran} cells (max default {max_default})"
         );
-        last_time = ex.time_spent;
-        last_cells = ex.cells_executed;
+        last_time = ex.time_spent();
+        last_cells = ex.cells_executed();
         rounds += 1;
     }
     assert!(rounds > 0, "LimeQO made no exploration progress at all");
@@ -54,6 +54,6 @@ fn one_limeqo_round_keeps_time_accounting_monotone() {
     }
     // And the final point agrees with the explorer's own accounting.
     let last = pts.last().unwrap();
-    assert!((last.time - ex.time_spent).abs() < 1e-9);
+    assert!((last.time - ex.time_spent()).abs() < 1e-9);
     assert!((last.latency - ex.workload_latency()).abs() < 1e-9);
 }

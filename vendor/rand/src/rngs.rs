@@ -13,6 +13,23 @@ pub struct StdRng {
     s: [u64; 4],
 }
 
+impl StdRng {
+    /// Expose the raw xoshiro256++ state for persistence (shim extension,
+    /// not part of the upstream `rand` API). The four words fully describe
+    /// the generator position; [`StdRng::from_state`] restores it exactly.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a [`StdRng::state`] snapshot (shim
+    /// extension). The all-zero state is invalid for xoshiro and can only
+    /// be produced by a corrupted snapshot, so it is rejected loudly.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s != [0; 4], "xoshiro256++ state must be non-zero");
+        StdRng { s }
+    }
+}
+
 impl RngCore for StdRng {
     fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
