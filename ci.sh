@@ -53,6 +53,15 @@ cargo test --offline -q
 echo "==> scenario golden suite"
 cargo test --offline -q -p limeqo-integration-tests --test scenarios
 
+# The file corpus under scenarios/ must stay a byte-exact re-expression
+# of the code registry (canonical serializer form, spec-equal,
+# bit-identical metrics on the cheap pair), and every pinned
+# counterexample under scenarios/broken/ must still be caught by the
+# fuzzer's calibrated invariants.
+echo "==> scenario corpus + fuzzer gates"
+cargo test --offline -q -p limeqo-integration-tests \
+  --test scenario_corpus --test scenario_fuzz
+
 # Perf trajectory, smoke-sized: emits bench-results/BENCH_policy_smoke.json
 # (NOT the committed BENCH_policy.json — smoke never clobbers the tracked
 # full-size trajectory) and fails if the document does not parse or misses
@@ -72,6 +81,18 @@ if [[ "$FAST" == "0" ]]; then
       exit 1
     fi
   done
+fi
+
+# Corpus + fuzzer, through the real binary: load and run the whole
+# scenarios/ directory (exit 2 with the offending path on any
+# parse/validation failure), then a bounded property-based smoke —
+# 8 generated specs off the fixed CI seed, every calibrated invariant
+# checked, failures auto-minimized under bench-results/fuzz-failures/.
+if [[ "$FAST" == "0" ]]; then
+  echo "==> scenario corpus run (scenario --dir scenarios)"
+  cargo run --offline --release -q -p limeqo-bench --bin scenario -- --dir scenarios
+  echo "==> scenario fuzz smoke (seed 1, 8 cases)"
+  cargo run --offline --release -q -p limeqo-bench --bin scenario -- fuzz --seed 1 --count 8
 fi
 
 # Service-layer crash smoke: boot the daemon, kill it mid-round (abort
@@ -104,6 +125,27 @@ if [[ "$FAST" == "0" ]]; then
     exit 1
   fi
   echo "    killed at event 12 (exit $kill_status), recovered trace byte-identical"
+
+  # Protocol error-path smoke: every malformed request in
+  # crates/svc/smoke/errors.ndjson (pre-init ops, non-JSON, duplicate
+  # init, unknown op, bad/missing fields) must get an {"ok":false,...}
+  # reply while the daemon keeps serving — 7 errors, 4 successes, clean
+  # exit. tests in crates/svc/src/lib.rs pin the same paths in-process.
+  echo "==> limeqo-svc protocol error-path smoke"
+  "$SVC" --dir "$SMOKE_DIR/errors" --script crates/svc/smoke/errors.ndjson \
+    > "$SMOKE_DIR/errors.out"
+  err_count=$(grep -c '"ok":false' "$SMOKE_DIR/errors.out")
+  ok_count=$(grep -c '"ok":true' "$SMOKE_DIR/errors.out")
+  if [[ "$err_count" -ne 7 || "$ok_count" -ne 4 ]]; then
+    echo "ci.sh: svc error smoke expected 7 error + 4 ok replies, got $err_count + $ok_count:" >&2
+    cat "$SMOKE_DIR/errors.out" >&2
+    exit 1
+  fi
+  if ! tail -n 1 "$SMOKE_DIR/errors.out" | grep -q '"op":"shutdown"'; then
+    echo "ci.sh: svc error smoke: daemon did not survive to the final shutdown" >&2
+    exit 1
+  fi
+  echo "    7 error replies, 4 ok replies, daemon survived to shutdown"
 fi
 
 echo "==> benches type-check: cargo bench --no-run"

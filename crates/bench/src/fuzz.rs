@@ -1,0 +1,235 @@
+//! Scenario fuzzing: run generated specs through the real runner and
+//! assert the calibrated invariants of PRs 2–3 on each.
+//!
+//! The generator and shrinker live in `limeqo_sim::scenario_fuzz` (they
+//! only need the spec types); this module owns the expensive half — the
+//! invariant oracle [`check_outcome`] and the driver [`run_fuzz`] that
+//! generates N cases, minimizes any failure with the sim shrinker, and
+//! dumps the minimized spec as a corpus file under
+//! `bench-results/fuzz-failures/` so it can be replayed with
+//! `scenario fuzz --replay <file>` and, once understood, committed to
+//! `scenarios/broken/` as a regression fixture.
+//!
+//! Invariant tolerances are deliberately looser than the hand-calibrated
+//! registry's (`LIMEQO_VS_RANDOM_TOL` is 5 % here vs 2 % there): the
+//! registry scenarios were tuned to their budgets, while fuzzed specs draw
+//! budgets and matrices at random. The invariants asserted are the ones
+//! that must hold for *any* valid spec, not just friendly ones.
+
+use std::path::{Path, PathBuf};
+
+use limeqo_sim::scenario::ScenarioSpec;
+use limeqo_sim::scenario_fuzz::{generate, shrink};
+use limeqo_sim::to_json_string;
+
+use crate::scenario_runner::{run_scenario, ScenarioOutcome};
+
+/// Absolute slack for latency comparisons (float accumulation order).
+const ABS_TOL: f64 = 1e-9;
+
+/// LimeQO (censored or not) may trail Random by at most this factor on a
+/// drift-free workload it never saw. Looser than the registry's 2 %
+/// because fuzzed budgets are arbitrary, but tight enough that a policy
+/// regression (losing the low-rank signal entirely) still trips it.
+pub const LIMEQO_VS_RANDOM_TOL: f64 = 1.05;
+
+/// One confirmed fuzz failure: the generating seed (when the case came
+/// from the generator), the original and minimized specs, and why.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// Generator seed that produced the case; `None` for replayed files.
+    pub case_seed: Option<u64>,
+    /// The spec as generated/loaded.
+    pub original: ScenarioSpec,
+    /// The smallest spec the shrinker found that still fails.
+    pub minimized: ScenarioSpec,
+    /// First violated invariant of the *minimized* spec.
+    pub reason: String,
+    /// Where the minimized spec was dumped, when a dump dir was given.
+    pub dump_path: Option<PathBuf>,
+}
+
+/// Summary of one fuzzing run.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Cases generated and checked.
+    pub cases: usize,
+    /// Confirmed, minimized failures (empty on a green run).
+    pub failures: Vec<FuzzFailure>,
+}
+
+/// Assert every calibrated invariant on a finished scenario run. Returns
+/// the first violation as an actionable message.
+pub fn check_outcome(spec: &ScenarioSpec, o: &ScenarioOutcome) -> Result<(), String> {
+    let fail = |msg: String| Err(format!("{}: {msg}", spec.name));
+
+    // Ordering: the oracle optimum bounds everything from below, the
+    // default plan from above. `final` is the workload latency at budget
+    // exhaustion (offline) or after the trace (online).
+    if o.optimal_total > o.default_total + ABS_TOL {
+        return fail(format!(
+            "optimal {} exceeds default {} (oracle ordering broken)",
+            o.optimal_total, o.default_total
+        ));
+    }
+    let final_latency = o.online.as_ref().map(|on| on.final_latency).unwrap_or(o.final_latency);
+    if final_latency < o.optimal_total - ABS_TOL {
+        return fail(format!(
+            "final {} beat the oracle optimum {}",
+            final_latency, o.optimal_total
+        ));
+    }
+    if final_latency > o.default_total + ABS_TOL {
+        return fail(format!("final {} regressed past default {}", final_latency, o.default_total));
+    }
+
+    // Best-so-far is monotone non-increasing within every drift segment.
+    if !o.monotone_ok {
+        return fail("latency trajectory regressed within a segment".into());
+    }
+
+    // Censoring is bounded: a probe can be censored only by running.
+    if o.censored_cells > o.cells_executed + ABS_TOL {
+        return fail(format!(
+            "censored {} cells but only executed {}",
+            o.censored_cells, o.cells_executed
+        ));
+    }
+
+    // LimeQO must hold its own against Random at equal budget on
+    // drift-free workloads (the paper's core claim).
+    if spec.policy.expects_to_beat_random() && spec.drift.is_empty() {
+        let random = o
+            .random_final_latency
+            .ok_or_else(|| format!("{}: runner dropped the random reference", spec.name))?;
+        if o.final_latency > random * LIMEQO_VS_RANDOM_TOL + ABS_TOL {
+            return fail(format!(
+                "limeqo {} worse than random {} beyond the {LIMEQO_VS_RANDOM_TOL}x tolerance",
+                o.final_latency, random
+            ));
+        }
+    }
+
+    if let Some(online) = &o.online {
+        // Every arrival obeys experienced <= (rho + 1) x incumbent.
+        if !online.rho_bound_ok {
+            return fail("an arrival exceeded the rho regression bound".into());
+        }
+        let rho = match spec.policy {
+            limeqo_core::scenario::PolicySpec::OnlineAls { rho, .. } => rho,
+            _ => return fail("online outcome from a non-online policy".into()),
+        };
+        if online.max_regression_ratio > rho + 1.0 + ABS_TOL {
+            return fail(format!(
+                "max per-arrival regression {} exceeds rho + 1 = {}",
+                online.max_regression_ratio,
+                rho + 1.0
+            ));
+        }
+        // The same bound integrates over the trace.
+        if online.total_latency > (rho + 1.0) * online.default_latency + ABS_TOL {
+            return fail(format!(
+                "online total {} exceeds (rho + 1) x always-default {}",
+                online.total_latency,
+                (rho + 1.0) * online.default_latency
+            ));
+        }
+        // Open-loop queue accounting, present iff the spec sets a rate.
+        let expects_queue = spec.arrivals.as_ref().is_some_and(|a| a.rate > 0.0);
+        match (expects_queue, online.queue_wait_mean, online.queue_wait_max) {
+            (true, Some(mean), Some(max)) => {
+                if mean < 0.0 || max < mean - ABS_TOL {
+                    return fail(format!("queue waits inconsistent: mean {mean}, max {max}"));
+                }
+            }
+            (false, None, None) => {}
+            _ => return fail("queue-wait metrics present iff the spec sets a rate".into()),
+        }
+    }
+    Ok(())
+}
+
+/// Run one spec through the scenario runner and check every invariant.
+pub fn check_spec(spec: &ScenarioSpec) -> Result<(), String> {
+    spec.check()?;
+    let outcome = run_scenario(spec);
+    check_outcome(spec, &outcome)
+}
+
+/// Minimize a failing spec with the sim shrinker, re-running the full
+/// invariant check as the failure predicate.
+pub fn minimize(spec: &ScenarioSpec) -> (ScenarioSpec, String) {
+    let minimized = shrink(spec, &mut |candidate| check_spec(candidate).is_err());
+    let reason = check_spec(&minimized).expect_err("shrink only keeps failing specs");
+    (minimized, reason)
+}
+
+/// Generate `count` cases starting at `start_seed`, check each, and
+/// minimize + dump any failure. Deterministic for a fixed
+/// `(start_seed, count)`.
+pub fn run_fuzz(start_seed: u64, count: usize, dump_dir: Option<&Path>) -> FuzzReport {
+    let mut failures = Vec::new();
+    for i in 0..count {
+        let case_seed = start_seed.wrapping_add(i as u64);
+        let spec = generate(case_seed);
+        if check_spec(&spec).is_err() {
+            let (minimized, reason) = minimize(&spec);
+            let dump_path = dump_dir.map(|dir| dump_failure(dir, case_seed, &minimized, &reason));
+            failures.push(FuzzFailure {
+                case_seed: Some(case_seed),
+                original: spec,
+                minimized,
+                reason,
+                dump_path,
+            });
+        }
+    }
+    FuzzReport { cases: count, failures }
+}
+
+/// Write the minimized spec (as a replayable corpus file) and its failure
+/// reason next to each other under `dir`.
+fn dump_failure(dir: &Path, case_seed: u64, minimized: &ScenarioSpec, reason: &str) -> PathBuf {
+    std::fs::create_dir_all(dir).expect("create fuzz dump dir");
+    let spec_path = dir.join(format!("fuzz-{case_seed:016x}.json"));
+    std::fs::write(&spec_path, to_json_string(minimized)).expect("dump minimized spec");
+    std::fs::write(
+        dir.join(format!("fuzz-{case_seed:016x}.reason.txt")),
+        format!("{reason}\nreplay: scenario fuzz --replay {}\n", spec_path.display()),
+    )
+    .expect("dump failure reason");
+    spec_path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_seed_smoke_is_green() {
+        // The CI smoke uses seed 1, N=8; keep a 2-case prefix here so a
+        // generator or invariant regression fails in `cargo test` already.
+        let report = run_fuzz(1, 2, None);
+        assert_eq!(report.cases, 2);
+        assert!(
+            report.failures.is_empty(),
+            "fuzz smoke found failures: {:?}",
+            report.failures.iter().map(|f| &f.reason).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn invariant_checker_accepts_a_registry_scenario() {
+        let spec = limeqo_sim::scenario::by_name("censor-hostile").expect("registered");
+        check_spec(&spec).expect("registry scenario must satisfy every fuzz invariant");
+    }
+
+    #[test]
+    fn invariant_checker_rejects_a_doctored_outcome() {
+        let spec = limeqo_sim::scenario::by_name("censor-hostile").expect("registered");
+        let mut outcome = run_scenario(&spec);
+        outcome.final_latency = outcome.optimal_total * 0.5; // impossible: beats the oracle
+        let err = check_outcome(&spec, &outcome).unwrap_err();
+        assert!(err.contains("beat the oracle"), "{err}");
+    }
+}

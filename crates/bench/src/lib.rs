@@ -7,6 +7,9 @@
 //!   `limeqo-sim::scenario` (drift schedules, hint shapes, online
 //!   arrivals) and aggregates deterministic summaries for the golden
 //!   regression suite (`src/bin/scenario.rs` is the CLI),
+//! * [`fuzz`] — property-based scenario fuzzing: runs generated specs
+//!   (from `limeqo_sim::scenario_fuzz`) through the runner, asserts the
+//!   calibrated invariants, minimizes and dumps failures for replay,
 //! * [`report`] — text tables, CSV and JSON emission (now with a minimal
 //!   parser for self-checking emitted documents) under `bench-results/`,
 //! * [`perf`] — the tracked perf trajectory: one-shot hot-path
@@ -18,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod fuzz;
 pub mod harness;
 pub mod perf;
 pub mod report;

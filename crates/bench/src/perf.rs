@@ -335,7 +335,7 @@ pub fn run(opts: &PerfOpts) -> Json {
         ("svc.journal_events".into(), Json::Num(journal_events as f64)),
         ("svc.snapshot_s".into(), Json::Num(snapshot_s)),
         ("svc.recover_s".into(), Json::Num(recover_s)),
-        ("scenario.name".into(), Json::Str(spec.name.into())),
+        ("scenario.name".into(), Json::Str(spec.name.clone())),
         ("scenario.n".into(), Json::Num(outcome.n as f64)),
         ("scenario.end_to_end_s".into(), Json::Num(end_to_end)),
         ("scenario.final_latency".into(), Json::Num(outcome.final_latency)),

@@ -24,7 +24,7 @@ pub struct ScenarioOutcome {
     /// Policy display name.
     pub policy: &'static str,
     /// One-line scenario description.
-    pub summary: &'static str,
+    pub summary: String,
     /// Final matrix rows (after any `AddQueries` events).
     pub n: usize,
     /// Hint columns after the hint shape is applied.
@@ -75,6 +75,12 @@ pub struct OnlineOutcome {
     pub rho_bound_ok: bool,
     /// Workload latency if every query now ran its best verified hint.
     pub final_latency: f64,
+    /// Open-loop queue-wait mean per arrival (Lindley recursion over the
+    /// experienced service times), present iff the spec sets an arrival
+    /// `rate`. Seed mean.
+    pub queue_wait_mean: Option<f64>,
+    /// Worst queue wait across arrivals and seeds, present iff `rate` set.
+    pub queue_wait_max: Option<f64>,
 }
 
 impl ScenarioOutcome {
@@ -111,6 +117,14 @@ impl ScenarioOutcome {
                 (key("online_rho_bound_ok"), o.rho_bound_ok as u8 as f64),
                 (key("final_latency"), o.final_latency),
             ]);
+            // Open-loop metrics only exist when the spec sets a rate, so
+            // closed-loop goldens (every pre-corpus scenario) never move.
+            if let Some(w) = o.queue_wait_mean {
+                m.push((key("online_queue_wait_mean"), w));
+            }
+            if let Some(w) = o.queue_wait_max {
+                m.push((key("online_queue_wait_max"), w));
+            }
         }
         m
     }
@@ -120,7 +134,7 @@ impl ScenarioOutcome {
         let mut fields = vec![
             ("name".to_string(), Json::Str(self.name.clone())),
             ("policy".to_string(), Json::Str(self.policy.to_string())),
-            ("summary".to_string(), Json::Str(self.summary.to_string())),
+            ("summary".to_string(), Json::Str(self.summary.clone())),
         ];
         for (k, v) in self.metrics() {
             let short = k.split_once('.').map(|(_, rest)| rest.to_string()).unwrap_or(k);
@@ -236,6 +250,8 @@ struct OnlineSeed {
     /// than the incumbent.
     cells: usize,
     censored: usize,
+    /// `(mean, max)` open-loop queue wait, `None` for closed-loop specs.
+    queue_wait: Option<(f64, f64)>,
 }
 
 fn run_online_seed(spec: &ScenarioSpec, env: &Env, seed: u64) -> OnlineSeed {
@@ -243,17 +259,35 @@ fn run_online_seed(spec: &ScenarioSpec, env: &Env, seed: u64) -> OnlineSeed {
     let cfg = spec.policy.online_config(seed).expect("online policy spec");
     let rho = cfg.rho;
     let mut ex = OnlineExplorer::new(oracle, spec.policy.build_completer(seed), cfg);
-    let arrivals = spec.arrivals.expect("online scenario has arrivals");
+    let arrivals = spec.arrivals.as_ref().expect("online scenario has arrivals");
     let n = ex.wm().n_rows();
     let trace = arrivals.trace(n, seed);
     let mut max_ratio = 0.0f64;
     let mut rho_ok = true;
+    let mut served = Vec::with_capacity(trace.len());
     for &row in &trace {
         let incumbent = ex.wm().row_best(row).expect("default observed").1;
         let experienced = ex.serve(row);
         max_ratio = max_ratio.max(experienced / incumbent);
         rho_ok &= experienced <= (rho + 1.0) * incumbent + 1e-9;
+        served.push(experienced);
     }
+    // Open-loop queue accounting (rate > 0): a single-server queue where
+    // arrival i waits W_i = max(0, W_{i-1} + S_{i-1} - A_i) (Lindley), with
+    // exponential interarrival gaps A and the experienced latencies as
+    // service times S. Derived from quantities already pinned by goldens,
+    // and only emitted for specs that opt into a rate.
+    let gaps = arrivals.interarrival_gaps(seed);
+    let queue_wait = (!gaps.is_empty()).then(|| {
+        let mut wait = 0.0f64;
+        let (mut sum, mut max) = (0.0f64, 0.0f64);
+        for i in 1..served.len() {
+            wait = (wait + served[i - 1] - gaps[i]).max(0.0);
+            sum += wait;
+            max = max.max(wait);
+        }
+        (sum / served.len() as f64, max)
+    });
     let final_latency = (0..n)
         .map(|i| {
             let (col, _) = ex.wm().row_best(i).expect("default observed");
@@ -265,7 +299,15 @@ fn run_online_seed(spec: &ScenarioSpec, env: &Env, seed: u64) -> OnlineSeed {
     // cancellation was a distinct execution even when it re-probed an
     // already-censored cell.
     let cells = ex.wm().complete_count() - n + ex.stats().cancelled;
-    OnlineSeed { stats: ex.stats().clone(), max_ratio, rho_ok, final_latency, cells, censored }
+    OnlineSeed {
+        stats: ex.stats().clone(),
+        max_ratio,
+        rho_ok,
+        final_latency,
+        cells,
+        censored,
+        queue_wait,
+    }
 }
 
 fn mean(values: &[f64]) -> f64 {
@@ -287,7 +329,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
     let mut outcome = ScenarioOutcome {
         name: spec.name.to_string(),
         policy: spec.policy.name(),
-        summary: spec.summary,
+        summary: spec.summary.clone(),
         n,
         k,
         initial_default_total: env.oracles[0].default_total(),
@@ -328,6 +370,12 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
             max_regression_ratio: runs.iter().map(|r| r.max_ratio).fold(0.0, f64::max),
             rho_bound_ok: runs.iter().all(|r| r.rho_ok),
             final_latency: mean(&runs.iter().map(|r| r.final_latency).collect::<Vec<_>>()),
+            queue_wait_mean: runs[0].queue_wait.map(|_| {
+                mean(&runs.iter().filter_map(|r| r.queue_wait.map(|w| w.0)).collect::<Vec<_>>())
+            }),
+            queue_wait_max: runs[0]
+                .queue_wait
+                .map(|_| runs.iter().filter_map(|r| r.queue_wait.map(|w| w.1)).fold(0.0, f64::max)),
         });
         return outcome;
     }
@@ -523,7 +571,7 @@ fn online_seed_via_engine(
         (0..n).map(|i| oracle.true_latency(i, WorkloadMatrix::DEFAULT_HINT)).collect();
     let store = ObservationStore::with_defaults(&defaults, k);
     let mut engine = Engine::online(store, spec.policy.build_completer(seed), &cfg);
-    let trace = spec.arrivals.expect("online scenario has arrivals").trace(n, seed);
+    let trace = spec.arrivals.as_ref().expect("online scenario has arrivals").trace(n, seed);
     for &row in &trace {
         let actions = engine.step(Event::Arrival { row });
         for action in actions {
@@ -658,7 +706,7 @@ mod tests {
     fn online_outcome_has_bounded_regression() {
         let mut spec = by_name("online-uniform").expect("registered");
         spec.seeds = vec![3];
-        spec.arrivals = Some(ArrivalSpec { count: 600, model: ArrivalModel::Uniform });
+        spec.arrivals = Some(ArrivalSpec::new(600, ArrivalModel::Uniform));
         let out = run_scenario(&spec);
         let online = out.online.expect("online outcome");
         assert!(online.rho_bound_ok);

@@ -1113,4 +1113,77 @@ mod tests {
         );
         let _ = fs::remove_dir_all(&dir);
     }
+
+    #[test]
+    fn recovery_works_from_the_single_kept_snapshot() {
+        // keep_snapshots = 1 is the floor GC clamps to: after every
+        // snapshot, exactly one checkpoint survives and there is no older
+        // one to fall back to. Recovery must still resume bit-identically
+        // from that lone snapshot plus its journal tail.
+        let truth = truth_matrix(24, 8, 47);
+        let mut reference = fresh_engine(&truth);
+        drive_plain(&mut reference, &truth, 9);
+
+        let dir = test_dir("minkeep");
+        let dcfg = DurableConfig { snapshot_every: 0, keep_snapshots: 1 };
+        let mut de =
+            DurableEngine::create(&dir, fresh_engine(&truth), "tag", dcfg.clone()).unwrap();
+        drive_durable(&mut de, &truth, 3);
+        de.snapshot().unwrap();
+        drive_durable(&mut de, &truth, 3);
+        de.snapshot().unwrap();
+        drive_durable(&mut de, &truth, 2);
+        drop(de); // kill with a non-empty tail on the lone snapshot
+
+        let snaps = list_snapshots(&dir).unwrap();
+        assert_eq!(snaps.len(), 1, "gc must keep exactly the minimum: {snaps:?}");
+
+        let (mut de, outstanding) =
+            DurableEngine::recover(&dir, fresh_engine(&truth), "tag", dcfg).unwrap();
+        assert!(outstanding.is_empty());
+        drive_durable(&mut de, &truth, 1);
+        assert_eq!(trace_bits(de.engine()), trace_bits(&reference));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_at_the_snapshot_boundary_recovers_bit_identically() {
+        // Die immediately after snapshot(): the newest journal segment
+        // holds only its header — the durable history ends exactly at the
+        // snapshot record. Recovery must load that snapshot, replay zero
+        // events, and continue as if nothing happened.
+        let truth = truth_matrix(24, 8, 48);
+        let mut reference = fresh_engine(&truth);
+        drive_plain(&mut reference, &truth, 8);
+
+        let dir = test_dir("snapboundary");
+        let mut de =
+            DurableEngine::create(&dir, fresh_engine(&truth), "tag", DurableConfig::default())
+                .unwrap();
+        drive_durable(&mut de, &truth, 5);
+        let idx = de.event_index();
+        de.snapshot().unwrap();
+        drop(de); // nothing journaled after the snapshot
+
+        let wal = fs::read_to_string(wal_path(&dir, idx)).unwrap();
+        assert_eq!(
+            wal.lines().count(),
+            1,
+            "the post-snapshot segment must hold only its header: {wal:?}"
+        );
+
+        let (mut de, outstanding) =
+            DurableEngine::recover(&dir, fresh_engine(&truth), "tag", DurableConfig::default())
+                .unwrap();
+        assert!(outstanding.is_empty(), "no events past the snapshot, nothing in flight");
+        assert_eq!(de.event_index(), idx, "recovery resumes at the snapshot's event index");
+        drive_durable(&mut de, &truth, 3);
+        assert_eq!(trace_bits(de.engine()), trace_bits(&reference));
+        assert_eq!(
+            de.engine().time_spent().to_bits(),
+            reference.time_spent().to_bits(),
+            "clock recovers exactly across a snapshot-boundary kill"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
 }

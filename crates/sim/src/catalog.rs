@@ -60,7 +60,7 @@ pub struct Catalog {
 }
 
 /// Shape parameters for random catalog generation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CatalogSpec {
     /// Catalog name.
     pub name: String,

@@ -45,6 +45,8 @@ pub mod optimizer;
 pub mod plan;
 pub mod query;
 pub mod scenario;
+pub mod scenario_file;
+pub mod scenario_fuzz;
 pub mod workloads;
 
 pub use catalog::{Catalog, Column, Table};
@@ -59,4 +61,5 @@ pub use scenario::{
     ArrivalModel, ArrivalSpec, DriftEvent, DriftKind, HintShape, ScenarioSpec, ScenarioWorkload,
     SyntheticSpec,
 };
+pub use scenario_file::{load_corpus, load_scenario, to_json_string, to_toml_string, LoadError};
 pub use workloads::{OracleMatrices, Workload, WorkloadSpec};

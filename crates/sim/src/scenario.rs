@@ -26,7 +26,7 @@ use limeqo_linalg::rng::SeededRng;
 use limeqo_linalg::Mat;
 
 /// The environment a scenario explores.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ScenarioWorkload {
     /// A full simulated-DBMS workload (catalog, optimizer, executor).
     Sim(WorkloadSpec),
@@ -48,7 +48,7 @@ impl ScenarioWorkload {
 }
 
 /// Generator for a synthetic low-rank true-latency matrix.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyntheticSpec {
     /// Rows (queries).
     pub n: usize,
@@ -148,7 +148,7 @@ pub enum DriftKind {
 }
 
 /// Arrival process for online-exploration scenarios.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ArrivalModel {
     /// Every query equally likely per arrival.
     Uniform,
@@ -160,31 +160,109 @@ pub enum ArrivalModel {
         /// Skew exponent (1.0–1.3 is typical of production query logs).
         exponent: f64,
     },
+    /// Replay an explicit row trace — e.g. loaded from a CSV query log via
+    /// the scenario-file loader's `replay_csv` key. The trace cycles when
+    /// `count` exceeds its length, so a captured log can drive arbitrarily
+    /// long runs.
+    Replay {
+        /// Row indices in arrival order.
+        rows: Vec<usize>,
+    },
 }
 
 /// Arrival trace configuration for online scenarios.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArrivalSpec {
     /// Arrivals served per seeded run.
     pub count: usize,
     /// Which rows arrive how often.
     pub model: ArrivalModel,
+    /// Consecutive arrivals that repeat each drawn row (≥ 1). Models
+    /// clients that re-issue the same query in quick succession — bursts
+    /// concentrate observations even under a uniform row draw. `1` is the
+    /// historical one-draw-per-arrival behaviour and leaves traces
+    /// bit-identical to earlier releases.
+    pub burst: usize,
+    /// Independent client streams interleaved round-robin (≥ 1). Each
+    /// stream draws rows from its own derived RNG; stream 0 uses the
+    /// historical seed, so `1` reproduces the single-stream traces
+    /// bit for bit.
+    pub concurrency: usize,
+    /// Mean arrival rate in queries per simulated second for open-loop
+    /// queue-wait accounting; `0` is the historical closed loop (no
+    /// queueing metrics). The interarrival RNG is salted separately from
+    /// the row draws, so enabling a rate never changes which rows arrive.
+    pub rate: f64,
 }
 
 impl ArrivalSpec {
+    /// An arrival spec with the default knobs: single stream, no bursts,
+    /// closed loop. This is the shape every pre-corpus scenario used.
+    pub fn new(count: usize, model: ArrivalModel) -> Self {
+        ArrivalSpec { count, model, burst: 1, concurrency: 1, rate: 0.0 }
+    }
+
     /// Generate the deterministic arrival trace for one seeded run.
     pub fn trace(&self, n_rows: usize, seed: u64) -> Vec<usize> {
         assert!(n_rows > 0, "arrival trace needs at least one query");
-        let mut rng = SeededRng::new(seed ^ 0xA221_7AB5);
-        match self.model {
-            ArrivalModel::Uniform => (0..self.count).map(|_| rng.index(n_rows)).collect(),
+        if let ArrivalModel::Replay { rows } = &self.model {
+            // Replay is literal: the trace IS the data, cycled to `count`.
+            assert!(!rows.is_empty(), "replay trace must not be empty");
+            assert!(rows.iter().all(|&r| r < n_rows), "replay rows in range");
+            return (0..self.count).map(|i| rows[i % rows.len()]).collect();
+        }
+        if self.concurrency <= 1 {
+            return self.stream(n_rows, seed ^ 0xA221_7AB5, self.count);
+        }
+        // `concurrency` independent client streams with derived seeds,
+        // merged round-robin so the interleaving is deterministic. Extra
+        // arrivals (count % c) go to the earliest streams.
+        let c = self.concurrency;
+        let streams: Vec<Vec<usize>> = (0..c)
+            .map(|i| {
+                let len = self.count / c + usize::from(i < self.count % c);
+                let salt = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64);
+                self.stream(n_rows, seed ^ 0xA221_7AB5 ^ salt, len)
+            })
+            .collect();
+        let mut merged = Vec::with_capacity(self.count);
+        let mut idx = 0;
+        while merged.len() < self.count {
+            let (stream, pos) = (idx % c, idx / c);
+            if pos < streams[stream].len() {
+                merged.push(streams[stream][pos]);
+            }
+            idx += 1;
+        }
+        merged
+    }
+
+    /// One client stream: `count` arrivals drawn from `model`, repeating
+    /// each draw `burst` times. `burst == 1` performs exactly one RNG draw
+    /// per arrival — the historical trace sequence.
+    fn stream(&self, n_rows: usize, seed: u64, count: usize) -> Vec<usize> {
+        let mut rng = SeededRng::new(seed);
+        let burst = self.burst.max(1);
+        let mut out = Vec::with_capacity(count);
+        match &self.model {
+            ArrivalModel::Uniform => {
+                while out.len() < count {
+                    let row = rng.index(n_rows);
+                    for _ in 0..burst {
+                        if out.len() == count {
+                            break;
+                        }
+                        out.push(row);
+                    }
+                }
+            }
             ArrivalModel::Zipf { exponent } => {
                 // Popularity rank -> row via a seeded permutation, then
                 // inverse-CDF sampling over the Zipf weights.
                 let mut rows: Vec<usize> = (0..n_rows).collect();
                 rng.shuffle(&mut rows);
                 let weights: Vec<f64> =
-                    (0..n_rows).map(|r| 1.0 / ((r + 1) as f64).powf(exponent)).collect();
+                    (0..n_rows).map(|r| 1.0 / ((r + 1) as f64).powf(*exponent)).collect();
                 let total: f64 = weights.iter().sum();
                 let mut cdf = Vec::with_capacity(n_rows);
                 let mut acc = 0.0;
@@ -192,26 +270,43 @@ impl ArrivalSpec {
                     acc += w / total;
                     cdf.push(acc);
                 }
-                (0..self.count)
-                    .map(|_| {
-                        let x = rng.uniform(0.0, 1.0);
-                        let rank = cdf.partition_point(|&c| c < x).min(n_rows - 1);
-                        rows[rank]
-                    })
-                    .collect()
+                while out.len() < count {
+                    let x = rng.uniform(0.0, 1.0);
+                    let rank = cdf.partition_point(|&c| c < x).min(n_rows - 1);
+                    let row = rows[rank];
+                    for _ in 0..burst {
+                        if out.len() == count {
+                            break;
+                        }
+                        out.push(row);
+                    }
+                }
             }
+            ArrivalModel::Replay { .. } => unreachable!("replay handled in trace()"),
         }
+        out
+    }
+
+    /// Exponential interarrival gaps (simulated seconds) for the open-loop
+    /// queue model; empty when `rate == 0` (closed loop). Salted apart
+    /// from the row draws so turning the rate on never shifts the trace.
+    pub fn interarrival_gaps(&self, seed: u64) -> Vec<f64> {
+        if self.rate <= 0.0 {
+            return Vec::new();
+        }
+        let mut rng = SeededRng::new(seed ^ 0x0B5E_41E5);
+        (0..self.count).map(|_| -(1.0 - rng.uniform(0.0, 1.0)).ln() / self.rate).collect()
     }
 }
 
 /// A fully declarative scenario: everything the runner needs to reproduce
 /// a run bit for bit.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// Unique registry name (metrics keys derive from it).
-    pub name: &'static str,
+    pub name: String,
     /// One-line description shown by `scenario --list`.
-    pub summary: &'static str,
+    pub summary: String,
     /// The environment.
     pub workload: ScenarioWorkload,
     /// Hint-space shape applied before the oracle is built.
@@ -249,51 +344,181 @@ impl ScenarioSpec {
             .sum()
     }
 
-    /// Sanity-check the spec's internal consistency (panics on violation).
-    pub fn validate(&self) {
-        assert!(!self.seeds.is_empty(), "{}: at least one seed", self.name);
-        assert!(self.batch >= 1, "{}: batch >= 1", self.name);
-        assert!(self.max_steps >= 1, "{}: max_steps >= 1", self.name);
-        assert_eq!(
-            self.policy.is_online(),
-            self.arrivals.is_some(),
-            "{}: arrivals present iff the policy is online",
-            self.name
-        );
+    /// Number of hint columns the scenario's matrix will have after the
+    /// hint shape is applied, or an error when the shape is out of bounds
+    /// for the workload's full hint space.
+    pub fn shaped_columns(&self) -> Result<usize, String> {
+        let full_k = match &self.workload {
+            // The simulated DBMS always exposes the 49-hint interface.
+            ScenarioWorkload::Sim(_) => crate::hints::HintSpace::all().len(),
+            ScenarioWorkload::Synthetic(spec) => spec.k,
+        };
+        match self.hint_shape {
+            HintShape::Full => Ok(full_k),
+            HintShape::Prefix(n) => {
+                if n < 2 || n > full_k {
+                    Err(format!("hint_shape: prefix must keep >= 2 of {full_k} hints, got {n}"))
+                } else {
+                    Ok(n)
+                }
+            }
+            HintShape::Strided(stride) => {
+                if stride < 1 {
+                    Err("hint_shape: stride must be >= 1".into())
+                } else {
+                    Ok((0..full_k).step_by(stride).len())
+                }
+            }
+        }
+    }
+
+    /// Check the spec's internal consistency, returning an actionable
+    /// message that names the offending field. This is the load-time gate
+    /// for corpus files and the fuzzer's validity filter; [`Self::validate`]
+    /// is the panicking wrapper the registry uses.
+    pub fn check(&self) -> Result<(), String> {
+        let fail = |msg: String| -> Result<(), String> { Err(format!("{}: {msg}", self.name)) };
+        if self.name.is_empty() {
+            return Err("scenario name must not be empty".into());
+        }
+        if self.seeds.is_empty() {
+            return fail("seeds: at least one seed".into());
+        }
+        // JSON numbers are f64; a seed above 2^53 would not survive the
+        // spec -> file -> spec round trip exactly.
+        const MAX_EXACT: u64 = 1 << 53;
+        for &s in &self.seeds {
+            if s > MAX_EXACT {
+                return fail(format!("seeds: seed {s} exceeds 2^53 (not exact in a config file)"));
+            }
+        }
+        if self.batch < 1 {
+            return fail("batch: batch >= 1".into());
+        }
+        if self.max_steps < 1 {
+            return fail("max_steps: max_steps >= 1".into());
+        }
+        match &self.workload {
+            ScenarioWorkload::Sim(spec) => {
+                if spec.n_queries == 0 {
+                    return fail("workload: n_queries >= 1".into());
+                }
+                if spec.seed > MAX_EXACT {
+                    return fail("workload.seed: exceeds 2^53 (not exact in a config file)".into());
+                }
+            }
+            ScenarioWorkload::Synthetic(spec) => {
+                if spec.n == 0 {
+                    return fail("workload.n: n >= 1".into());
+                }
+                if spec.k < 2 {
+                    return fail("workload.k: need the default plus >= 1 hint column".into());
+                }
+                if spec.rank < 1 || spec.rank > spec.n.min(spec.k) {
+                    return fail(format!(
+                        "workload.rank: rank must be in 1..=min(n, k), got {}",
+                        spec.rank
+                    ));
+                }
+                if !spec.default_inflation.is_finite() || spec.default_inflation <= 0.0 {
+                    return fail("workload.default_inflation: must be finite and > 0".into());
+                }
+                if !spec.noise_sigma.is_finite() || spec.noise_sigma < 0.0 {
+                    return fail("workload.noise_sigma: must be finite and >= 0".into());
+                }
+                if spec.seed > MAX_EXACT {
+                    return fail("workload.seed: exceeds 2^53 (not exact in a config file)".into());
+                }
+            }
+        }
+        let n = self.workload.n_queries();
+        let shaped_k = match self.shaped_columns() {
+            Ok(k) => k,
+            Err(msg) => return fail(msg),
+        };
+        if self.batch > n * shaped_k {
+            return fail(format!(
+                "batch: batch {} exceeds the {n}x{shaped_k} matrix size",
+                self.batch
+            ));
+        }
+        if self.policy.is_online() != self.arrivals.is_some() {
+            return fail("arrivals: arrivals present iff the policy is online".into());
+        }
         if self.policy.is_online() {
             // The online runner is arrival-driven and does not process
             // drift schedules; a drift event there would be silently
             // ignored, which is worse than rejecting the spec.
-            assert!(
-                self.drift.is_empty(),
-                "{}: drift schedules are not supported for online policies",
-                self.name
-            );
-        } else {
-            assert!(self.budget_multiple > 0.0, "{}: positive budget", self.name);
+            if !self.drift.is_empty() {
+                return fail("drift: drift schedules are not supported for online policies".into());
+            }
+        } else if !self.budget_multiple.is_finite() || self.budget_multiple <= 0.0 {
+            return fail("budget_multiple: positive budget".into());
         }
-        let n = self.workload.n_queries();
-        assert!(
-            self.arriving_queries() < n,
-            "{}: arriving queries must leave an initial workload",
-            self.name
-        );
+        if let Some(arrivals) = &self.arrivals {
+            if arrivals.count == 0 {
+                return fail("arrivals.count: at least one arrival".into());
+            }
+            if arrivals.burst < 1 {
+                return fail("arrivals.burst: burst >= 1".into());
+            }
+            if arrivals.concurrency < 1 {
+                return fail("arrivals.concurrency: concurrency >= 1".into());
+            }
+            if !arrivals.rate.is_finite() || arrivals.rate < 0.0 {
+                return fail("arrivals.rate: must be finite and >= 0".into());
+            }
+            match &arrivals.model {
+                ArrivalModel::Uniform => {}
+                ArrivalModel::Zipf { exponent } => {
+                    if !exponent.is_finite() || *exponent <= 0.0 {
+                        return fail(
+                            "arrivals.model.exponent: zipf exponent must be finite and > 0".into(),
+                        );
+                    }
+                }
+                ArrivalModel::Replay { rows } => {
+                    if rows.is_empty() {
+                        return fail("arrivals.model.rows: replay trace must not be empty".into());
+                    }
+                    if let Some(&bad) = rows.iter().find(|&&r| r >= n) {
+                        return fail(format!(
+                            "arrivals.model.rows: replay row {bad} out of range for {n} queries"
+                        ));
+                    }
+                    if arrivals.burst != 1 || arrivals.concurrency != 1 {
+                        return fail(
+                            "arrivals.model: replay traces fix burst and concurrency at 1".into(),
+                        );
+                    }
+                }
+            }
+        }
+        if self.arriving_queries() >= n {
+            return fail("drift: arriving queries must leave an initial workload".into());
+        }
         let mut last = 0.0;
         for e in &self.drift {
-            assert!(
-                e.at_frac > 0.0 && e.at_frac < 1.0,
-                "{}: drift events fire strictly inside the budget",
-                self.name
-            );
-            assert!(e.at_frac >= last, "{}: drift events sorted by at_frac", self.name);
-            last = e.at_frac;
-            if matches!(e.kind, DriftKind::DataShift { .. }) {
-                assert!(
-                    matches!(self.workload, ScenarioWorkload::Sim(_)),
-                    "{}: data shift needs a simulated workload",
-                    self.name
-                );
+            if !(e.at_frac > 0.0 && e.at_frac < 1.0) {
+                return fail("drift: drift events fire strictly inside the budget".into());
             }
+            if e.at_frac < last {
+                return fail("drift: drift events sorted by at_frac".into());
+            }
+            last = e.at_frac;
+            if matches!(e.kind, DriftKind::DataShift { .. })
+                && !matches!(self.workload, ScenarioWorkload::Sim(_))
+            {
+                return fail("drift: data shift needs a simulated workload".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Sanity-check the spec's internal consistency (panics on violation).
+    pub fn validate(&self) {
+        if let Err(msg) = self.check() {
+            panic!("{msg}");
         }
     }
 }
@@ -378,8 +603,8 @@ fn tiny_headroom_spec(n_queries: usize, seed: u64) -> WorkloadSpec {
 pub fn registry() -> Vec<ScenarioSpec> {
     let specs = vec![
         ScenarioSpec {
-            name: "job-mini",
-            summary: "JOB-like mini workload, LimeQO at 2x default budget (paper baseline)",
+            name: "job-mini".into(),
+            summary: "JOB-like mini workload, LimeQO at 2x default budget (paper baseline)".into(),
             workload: ScenarioWorkload::Sim(WorkloadSpec::job().scaled(0.35)),
             hint_shape: HintShape::Full,
             drift: vec![],
@@ -391,8 +616,9 @@ pub fn registry() -> Vec<ScenarioSpec> {
             arrivals: None,
         },
         ScenarioSpec {
-            name: "heavy-tail",
-            summary: "heavy-tailed latency classes: a few huge snowflake joins over a cheap body",
+            name: "heavy-tail".into(),
+            summary: "heavy-tailed latency classes: a few huge snowflake joins over a cheap body"
+                .into(),
             workload: ScenarioWorkload::Sim(heavy_tail_spec(48, 0x4EA7)),
             hint_shape: HintShape::Full,
             drift: vec![],
@@ -404,8 +630,8 @@ pub fn registry() -> Vec<ScenarioSpec> {
             arrivals: None,
         },
         ScenarioSpec {
-            name: "tiny-headroom",
-            summary: "all queries well-estimated: almost nothing for exploration to win",
+            name: "tiny-headroom".into(),
+            summary: "all queries well-estimated: almost nothing for exploration to win".into(),
             workload: ScenarioWorkload::Sim(tiny_headroom_spec(40, 0x71D0)),
             hint_shape: HintShape::Full,
             drift: vec![],
@@ -417,8 +643,9 @@ pub fn registry() -> Vec<ScenarioSpec> {
             arrivals: None,
         },
         ScenarioSpec {
-            name: "template-drift",
-            summary: "templated workload; a third of the templates arrive mid-run (\u{a7}5.3)",
+            name: "template-drift".into(),
+            summary: "templated workload; a third of the templates arrive mid-run (\u{a7}5.3)"
+                .into(),
             workload: ScenarioWorkload::Sim({
                 let mut spec = WorkloadSpec::tiny(48, 0x7E3A);
                 spec.name = "template-drift".into();
@@ -435,8 +662,8 @@ pub fn registry() -> Vec<ScenarioSpec> {
             arrivals: None,
         },
         ScenarioSpec {
-            name: "data-shift",
-            summary: "complete data shift mid-run: two years of growth + drift (\u{a7}5.4)",
+            name: "data-shift".into(),
+            summary: "complete data shift mid-run: two years of growth + drift (\u{a7}5.4)".into(),
             workload: ScenarioWorkload::Sim(WorkloadSpec::tiny(36, 0xD5_1F7)),
             hint_shape: HintShape::Full,
             drift: vec![DriftEvent { at_frac: 0.4, kind: DriftKind::DataShift { days: 730.0 } }],
@@ -448,8 +675,8 @@ pub fn registry() -> Vec<ScenarioSpec> {
             arrivals: None,
         },
         ScenarioSpec {
-            name: "growing-catalog",
-            summary: "greedy explorer caught by a year of catalog growth under cached plans",
+            name: "growing-catalog".into(),
+            summary: "greedy explorer caught by a year of catalog growth under cached plans".into(),
             workload: ScenarioWorkload::Sim(WorkloadSpec::tiny(30, 0x69_0CA7)),
             hint_shape: HintShape::Full,
             drift: vec![DriftEvent { at_frac: 0.6, kind: DriftKind::DataShift { days: 365.0 } }],
@@ -461,8 +688,9 @@ pub fn registry() -> Vec<ScenarioSpec> {
             arrivals: None,
         },
         ScenarioSpec {
-            name: "hint-prefix-9",
-            summary: "restricted hint space: only the first 9 of 49 hint sets are deployable",
+            name: "hint-prefix-9".into(),
+            summary: "restricted hint space: only the first 9 of 49 hint sets are deployable"
+                .into(),
             workload: ScenarioWorkload::Sim(WorkloadSpec::tiny(30, 0x9F_0E11)),
             hint_shape: HintShape::Prefix(9),
             drift: vec![],
@@ -479,8 +707,9 @@ pub fn registry() -> Vec<ScenarioSpec> {
             arrivals: None,
         },
         ScenarioSpec {
-            name: "censor-hostile",
-            summary: "default nearly optimal per row: almost every probe times out (censored)",
+            name: "censor-hostile".into(),
+            summary: "default nearly optimal per row: almost every probe times out (censored)"
+                .into(),
             workload: ScenarioWorkload::Synthetic(SyntheticSpec {
                 n: 400,
                 k: 49,
@@ -499,8 +728,8 @@ pub fn registry() -> Vec<ScenarioSpec> {
             arrivals: None,
         },
         ScenarioSpec {
-            name: "large-matrix-10k",
-            summary: "10k-query synthetic low-rank matrix: the scale regime beyond Stack",
+            name: "large-matrix-10k".into(),
+            summary: "10k-query synthetic low-rank matrix: the scale regime beyond Stack".into(),
             workload: ScenarioWorkload::Synthetic(SyntheticSpec {
                 n: 10_000,
                 k: 49,
@@ -519,8 +748,9 @@ pub fn registry() -> Vec<ScenarioSpec> {
             arrivals: None,
         },
         ScenarioSpec {
-            name: "online-uniform",
-            summary: "online exploration (\u{a7}6): uniform arrivals, bounded \u{3c1}-regression",
+            name: "online-uniform".into(),
+            summary: "online exploration (\u{a7}6): uniform arrivals, bounded \u{3c1}-regression"
+                .into(),
             workload: ScenarioWorkload::Sim(WorkloadSpec::tiny(32, 0x0A11E)),
             hint_shape: HintShape::Full,
             drift: vec![],
@@ -535,11 +765,11 @@ pub fn registry() -> Vec<ScenarioSpec> {
             batch: 1,
             max_steps: 100_000,
             seeds: vec![101, 102],
-            arrivals: Some(ArrivalSpec { count: 2500, model: ArrivalModel::Uniform }),
+            arrivals: Some(ArrivalSpec::new(2500, ArrivalModel::Uniform)),
         },
         ScenarioSpec {
-            name: "online-zipf",
-            summary: "online exploration under zipf(1.1) query-frequency skew",
+            name: "online-zipf".into(),
+            summary: "online exploration under zipf(1.1) query-frequency skew".into(),
             workload: ScenarioWorkload::Sim(WorkloadSpec::tiny(48, 0x21FF)),
             hint_shape: HintShape::Full,
             drift: vec![],
@@ -554,14 +784,12 @@ pub fn registry() -> Vec<ScenarioSpec> {
             batch: 1,
             max_steps: 100_000,
             seeds: vec![111, 112],
-            arrivals: Some(ArrivalSpec {
-                count: 3000,
-                model: ArrivalModel::Zipf { exponent: 1.1 },
-            }),
+            arrivals: Some(ArrivalSpec::new(3000, ArrivalModel::Zipf { exponent: 1.1 })),
         },
         ScenarioSpec {
-            name: "data-shift-retained",
-            summary: "two compounding data shifts with stale observations kept as censored priors",
+            name: "data-shift-retained".into(),
+            summary: "two compounding data shifts with stale observations kept as censored priors"
+                .into(),
             workload: ScenarioWorkload::Sim(WorkloadSpec::tiny(36, 0xD5_1F7)),
             hint_shape: HintShape::Full,
             drift: vec![
@@ -596,8 +824,8 @@ pub fn registry() -> Vec<ScenarioSpec> {
             arrivals: None,
         },
         ScenarioSpec {
-            name: "zipf-cold-bonus",
-            summary: "zipf(1.1) arrivals with a strong cold-row exploration bonus",
+            name: "zipf-cold-bonus".into(),
+            summary: "zipf(1.1) arrivals with a strong cold-row exploration bonus".into(),
             workload: ScenarioWorkload::Sim(WorkloadSpec::tiny(48, 0x21FF)),
             hint_shape: HintShape::Full,
             drift: vec![],
@@ -612,10 +840,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
             batch: 1,
             max_steps: 100_000,
             seeds: vec![111, 112],
-            arrivals: Some(ArrivalSpec {
-                count: 3000,
-                model: ArrivalModel::Zipf { exponent: 1.1 },
-            }),
+            arrivals: Some(ArrivalSpec::new(3000, ArrivalModel::Zipf { exponent: 1.1 })),
         },
     ];
     for s in &specs {
@@ -640,8 +865,9 @@ pub fn scale_registry() -> Vec<ScenarioSpec> {
     };
     let specs = vec![
         ScenarioSpec {
-            name: "scale-100k",
-            summary: "100k queries x 49 hints offline: parallel ALS + incremental Eq. 6 ranking",
+            name: "scale-100k".into(),
+            summary: "100k queries x 49 hints offline: parallel ALS + incremental Eq. 6 ranking"
+                .into(),
             workload: ScenarioWorkload::Synthetic(scale_matrix.clone()),
             hint_shape: HintShape::Full,
             // 20k of the queries arrive mid-run, exercising row growth at
@@ -665,8 +891,9 @@ pub fn scale_registry() -> Vec<ScenarioSpec> {
             arrivals: None,
         },
         ScenarioSpec {
-            name: "scale-100k-zipf",
-            summary: "online zipf(1.1) arrivals over the 100k-query matrix, cold-row bonus on",
+            name: "scale-100k-zipf".into(),
+            summary: "online zipf(1.1) arrivals over the 100k-query matrix, cold-row bonus on"
+                .into(),
             workload: ScenarioWorkload::Synthetic(scale_matrix),
             hint_shape: HintShape::Full,
             drift: vec![],
@@ -681,10 +908,7 @@ pub fn scale_registry() -> Vec<ScenarioSpec> {
             batch: 1,
             max_steps: 100_000,
             seeds: vec![7],
-            arrivals: Some(ArrivalSpec {
-                count: 6000,
-                model: ArrivalModel::Zipf { exponent: 1.1 },
-            }),
+            arrivals: Some(ArrivalSpec::new(6000, ArrivalModel::Zipf { exponent: 1.1 })),
         },
     ];
     for s in &specs {
@@ -713,7 +937,7 @@ mod tests {
     fn registry_names_unique_and_enough() {
         let specs = registry();
         assert!(specs.len() >= 8, "registry must stay ahead of the paper's four workloads");
-        let mut names: Vec<&str> = specs.iter().map(|s| s.name).collect();
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), specs.len());
@@ -722,7 +946,7 @@ mod tests {
     #[test]
     fn by_name_roundtrip() {
         for spec in full_registry() {
-            assert_eq!(by_name(spec.name).expect("present").name, spec.name);
+            assert_eq!(by_name(&spec.name).expect("present").name, spec.name);
         }
         assert!(by_name("no-such-scenario").is_none());
     }
@@ -740,7 +964,8 @@ mod tests {
         assert!(offline.max_steps < 100_000);
         assert!(matches!(offline.policy, PolicySpec::LimeQoAls { incremental: true, .. }));
         // Names must stay unique across BOTH registries.
-        let mut names: Vec<&str> = full_registry().iter().map(|s| s.name).collect();
+        let names_owned = full_registry();
+        let mut names: Vec<&str> = names_owned.iter().map(|s| s.name.as_str()).collect();
         let total = names.len();
         names.sort_unstable();
         names.dedup();
@@ -773,7 +998,7 @@ mod tests {
 
     #[test]
     fn zipf_trace_is_skewed_and_seeded() {
-        let spec = ArrivalSpec { count: 4000, model: ArrivalModel::Zipf { exponent: 1.2 } };
+        let spec = ArrivalSpec::new(4000, ArrivalModel::Zipf { exponent: 1.2 });
         let a = spec.trace(30, 5);
         let b = spec.trace(30, 5);
         let c = spec.trace(30, 6);
@@ -791,7 +1016,7 @@ mod tests {
 
     #[test]
     fn uniform_trace_covers_rows() {
-        let spec = ArrivalSpec { count: 2000, model: ArrivalModel::Uniform };
+        let spec = ArrivalSpec::new(2000, ArrivalModel::Uniform);
         let t = spec.trace(20, 3);
         let mut seen = [false; 20];
         for &r in &t {
@@ -808,10 +1033,181 @@ mod tests {
     }
 
     #[test]
+    fn trace_knob_defaults_are_bit_compatible() {
+        // burst = 1, concurrency = 1 must reproduce the historical trace
+        // sequence exactly — the golden suite depends on it.
+        for model in [ArrivalModel::Uniform, ArrivalModel::Zipf { exponent: 1.1 }] {
+            let spec = ArrivalSpec::new(500, model);
+            let knobbed = ArrivalSpec { burst: 1, concurrency: 1, rate: 2.0, ..spec.clone() };
+            assert_eq!(spec.trace(40, 9), knobbed.trace(40, 9), "rate must not move the trace");
+        }
+    }
+
+    #[test]
+    fn burst_repeats_rows_in_blocks() {
+        let base = ArrivalSpec::new(300, ArrivalModel::Uniform);
+        let bursty = ArrivalSpec { burst: 3, ..base.clone() };
+        let t = bursty.trace(25, 4);
+        assert_eq!(t.len(), 300);
+        for chunk in t.chunks(3) {
+            assert!(chunk.iter().all(|&r| r == chunk[0]), "burst blocks repeat one row");
+        }
+        // The underlying draw sequence is the historical one: taking every
+        // 3rd element reproduces the burst-free trace's first 100 draws.
+        let plain = base.trace(25, 4);
+        let firsts: Vec<usize> = t.chunks(3).map(|c| c[0]).collect();
+        assert_eq!(firsts, plain[..100].to_vec());
+    }
+
+    #[test]
+    fn concurrency_interleaves_independent_streams() {
+        let base = ArrivalSpec::new(401, ArrivalModel::Uniform);
+        let multi = ArrivalSpec { concurrency: 3, ..base.clone() };
+        let t = multi.trace(30, 7);
+        assert_eq!(t.len(), 401);
+        assert!(t.iter().all(|&r| r < 30));
+        // Stream 0 keeps the historical seed: its draws are a prefix of
+        // the single-stream trace.
+        let solo = base.trace(30, 7);
+        let stream0: Vec<usize> = t.iter().copied().step_by(3).collect();
+        assert_eq!(stream0.len(), 134);
+        assert_eq!(stream0[..], solo[..134]);
+        // The derived streams are genuinely different draws.
+        let stream1: Vec<usize> = t.iter().copied().skip(1).step_by(3).collect();
+        assert_ne!(stream0[..133], stream1[..133]);
+    }
+
+    #[test]
+    fn replay_trace_cycles_and_is_literal() {
+        let spec = ArrivalSpec::new(7, ArrivalModel::Replay { rows: vec![3, 1, 4] });
+        assert_eq!(spec.trace(10, 99), vec![3, 1, 4, 3, 1, 4, 3]);
+        // Seed-independent: the trace is data, not a draw.
+        assert_eq!(spec.trace(10, 1), spec.trace(10, 2));
+    }
+
+    #[test]
+    fn interarrival_gaps_follow_rate() {
+        let closed = ArrivalSpec::new(1000, ArrivalModel::Uniform);
+        assert!(closed.interarrival_gaps(3).is_empty());
+        let open = ArrivalSpec { rate: 4.0, ..closed };
+        let gaps = open.interarrival_gaps(3);
+        assert_eq!(gaps.len(), 1000);
+        assert!(gaps.iter().all(|&g| g.is_finite() && g >= 0.0));
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!((mean - 0.25).abs() < 0.05, "mean gap {mean} should be ~1/rate");
+        assert_eq!(gaps, open.interarrival_gaps(3), "seeded and deterministic");
+    }
+
+    fn base_offline() -> ScenarioSpec {
+        by_name("censor-hostile").unwrap()
+    }
+
+    #[test]
+    fn check_rejects_empty_seeds() {
+        let mut spec = base_offline();
+        spec.seeds.clear();
+        assert!(spec.check().unwrap_err().contains("seeds"));
+    }
+
+    #[test]
+    fn check_rejects_nonpositive_budget() {
+        let mut spec = base_offline();
+        spec.budget_multiple = 0.0;
+        assert!(spec.check().unwrap_err().contains("budget"));
+        spec.budget_multiple = f64::NAN;
+        assert!(spec.check().unwrap_err().contains("budget"));
+    }
+
+    #[test]
+    fn check_rejects_bad_zipf_exponent() {
+        let mut spec = by_name("online-zipf").unwrap();
+        spec.arrivals = Some(ArrivalSpec::new(100, ArrivalModel::Zipf { exponent: 0.0 }));
+        assert!(spec.check().unwrap_err().contains("exponent"));
+        spec.arrivals = Some(ArrivalSpec::new(100, ArrivalModel::Zipf { exponent: f64::INFINITY }));
+        assert!(spec.check().unwrap_err().contains("exponent"));
+    }
+
+    #[test]
+    fn check_rejects_batch_larger_than_matrix() {
+        let mut spec = base_offline();
+        spec.batch = 400 * 49 + 1;
+        assert!(spec.check().unwrap_err().contains("batch"));
+        spec.batch = 400 * 49;
+        assert!(spec.check().is_ok());
+    }
+
+    #[test]
+    fn check_rejects_zero_batch_and_steps() {
+        let mut spec = base_offline();
+        spec.batch = 0;
+        assert!(spec.check().unwrap_err().contains("batch"));
+        let mut spec = base_offline();
+        spec.max_steps = 0;
+        assert!(spec.check().unwrap_err().contains("max_steps"));
+    }
+
+    #[test]
+    fn check_rejects_oversized_seed() {
+        let mut spec = base_offline();
+        spec.seeds = vec![(1u64 << 53) + 1];
+        assert!(spec.check().unwrap_err().contains("2^53"));
+    }
+
+    #[test]
+    fn check_rejects_bad_synthetic_fields() {
+        let synth = |f: &dyn Fn(&mut SyntheticSpec)| {
+            let mut spec = base_offline();
+            if let ScenarioWorkload::Synthetic(s) = &mut spec.workload {
+                f(s);
+            }
+            spec.check().unwrap_err()
+        };
+        assert!(synth(&|s| s.n = 0).contains("workload.n"));
+        assert!(synth(&|s| s.k = 1).contains("workload.k"));
+        assert!(synth(&|s| s.rank = 0).contains("rank"));
+        assert!(synth(&|s| s.rank = 50).contains("rank"));
+        assert!(synth(&|s| s.default_inflation = 0.0).contains("default_inflation"));
+        assert!(synth(&|s| s.noise_sigma = -0.1).contains("noise_sigma"));
+    }
+
+    #[test]
+    fn check_rejects_bad_hint_shape() {
+        let mut spec = base_offline();
+        spec.hint_shape = HintShape::Prefix(1);
+        assert!(spec.check().unwrap_err().contains("hint_shape"));
+        spec.hint_shape = HintShape::Prefix(50);
+        assert!(spec.check().unwrap_err().contains("hint_shape"));
+    }
+
+    #[test]
+    fn check_rejects_bad_arrival_knobs() {
+        let online = |f: &dyn Fn(&mut ArrivalSpec)| {
+            let mut spec = by_name("online-uniform").unwrap();
+            if let Some(a) = &mut spec.arrivals {
+                f(a);
+            }
+            spec.check().unwrap_err()
+        };
+        assert!(online(&|a| a.count = 0).contains("arrivals.count"));
+        assert!(online(&|a| a.burst = 0).contains("burst"));
+        assert!(online(&|a| a.concurrency = 0).contains("concurrency"));
+        assert!(online(&|a| a.rate = -1.0).contains("rate"));
+        assert!(online(&|a| a.model = ArrivalModel::Replay { rows: vec![] }).contains("replay"));
+        assert!(
+            online(&|a| a.model = ArrivalModel::Replay { rows: vec![32] }).contains("out of range")
+        );
+        assert!(online(&|a| {
+            a.model = ArrivalModel::Replay { rows: vec![0] };
+            a.burst = 2;
+        })
+        .contains("burst"));
+    }
+
+    #[test]
     #[should_panic(expected = "arrivals present iff")]
     fn validate_rejects_offline_spec_with_arrivals() {
         let mut spec = by_name("job-mini").unwrap();
-        spec.arrivals = Some(ArrivalSpec { count: 10, model: ArrivalModel::Uniform });
+        spec.arrivals = Some(ArrivalSpec::new(10, ArrivalModel::Uniform));
         spec.validate();
     }
 

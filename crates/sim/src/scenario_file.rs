@@ -1,0 +1,1857 @@
+//! Config-file loader for [`ScenarioSpec`]: scenarios as data, not code.
+//!
+//! A scenario file is JSON (`.json`) or a TOML subset (`.toml`) describing
+//! exactly the fields of [`ScenarioSpec`]. The loader is dependency-free:
+//! both parsers live here, track line numbers, and decode through a single
+//! strict schema so every error names the file, the line, and the field
+//! path (`scenarios/job-mini.json:14: policy.limeqo_als.rank: expected a
+//! non-negative integer`). Unknown keys are errors — a typoed knob must
+//! never be silently ignored.
+//!
+//! The serializers ([`to_json_string`], [`to_toml_string`]) emit canonical
+//! files whose round trip is *exact*: floats print through Rust's
+//! shortest-representation formatter, which re-parses bit for bit, and
+//! [`ScenarioSpec::check`] rejects seeds above 2^53 up front. The corpus
+//! test in `tests/tests/scenario_corpus.rs` holds `scenarios/` to this
+//! round trip against the code registry.
+//!
+//! The TOML dialect is the subset the serializer emits plus the obvious
+//! human conveniences: `[table]` / `[[array-of-tables]]` headers, dotted
+//! keys, basic strings, numbers (with `_` separators), booleans, arrays
+//! (multi-line allowed), inline tables, and `#` comments.
+
+use std::path::{Path, PathBuf};
+
+use crate::catalog::CatalogSpec;
+use crate::query::{JoinShape, QueryClass};
+use crate::scenario::{
+    ArrivalModel, ArrivalSpec, DriftEvent, DriftKind, HintShape, ScenarioSpec, ScenarioWorkload,
+    SyntheticSpec,
+};
+use crate::workloads::{ClassMix, WorkloadSpec};
+use limeqo_core::scenario::PolicySpec;
+use limeqo_core::store::DriftPolicy;
+
+/// A scenario-file load failure: file, line (when known), and message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadError {
+    /// The file being loaded.
+    pub path: PathBuf,
+    /// 1-based line the error was detected on, when attributable.
+    pub line: Option<usize>,
+    /// What went wrong, prefixed with the offending field path.
+    pub msg: String,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "{}:{line}: {}", self.path.display(), self.msg),
+            None => write!(f, "{}: {}", self.path.display(), self.msg),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+// ---------------------------------------------------------------------------
+// Value tree (shared by both parsers)
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Value {
+    node: Node,
+    line: usize,
+}
+
+impl Value {
+    fn new(node: Node, line: usize) -> Self {
+        Value { node, line }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self.node {
+            Node::Null => "null",
+            Node::Bool(_) => "a boolean",
+            Node::Num(_) => "a number",
+            Node::Str(_) => "a string",
+            Node::Arr(_) => "an array",
+            Node::Obj(_) => "a table",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser (line-tracking)
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+type ParseResult<T> = Result<T, (usize, String)>;
+
+impl<'a> JsonParser<'a> {
+    fn new(src: &'a str) -> Self {
+        JsonParser { bytes: src.as_bytes(), pos: 0, line: 1 }
+    }
+
+    fn parse(src: &str) -> ParseResult<Value> {
+        let mut p = JsonParser::new(src);
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err((p.line, "trailing content after the top-level value".into()));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> ParseResult<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err((self.line, format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> ParseResult<Value> {
+        self.skip_ws();
+        let line = self.line;
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::new(Node::Str(self.string()?), line)),
+            Some(b't') => self.keyword("true", Node::Bool(true)),
+            Some(b'f') => self.keyword("false", Node::Bool(false)),
+            Some(b'n') => self.keyword("null", Node::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err((line, format!("unexpected character {:?}", c as char))),
+            None => Err((line, "unexpected end of input".into())),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, node: Node) -> ParseResult<Value> {
+        let line = self.line;
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(Value::new(node, line))
+        } else {
+            Err((line, format!("expected {word:?}")))
+        }
+    }
+
+    fn number(&mut self) -> ParseResult<Value> {
+        let line = self.line;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        let v: f64 = text.parse().map_err(|_| (line, format!("invalid number {text:?}")))?;
+        Ok(Value::new(Node::Num(v), line))
+    }
+
+    fn string(&mut self) -> ParseResult<String> {
+        let line = self.line;
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err((line, "unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or((line, "unterminated escape".to_string()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => out.push(self.unicode_escape(line)?),
+                        other => return Err((line, format!("unknown escape \\{}", other as char))),
+                    }
+                }
+                Some(b'\n') => return Err((line, "unterminated string".into())),
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar verbatim.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| (line, "invalid UTF-8 in string".to_string()))?;
+                    let ch = rest.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self, line: usize) -> ParseResult<char> {
+        let hex4 = |p: &mut Self| -> ParseResult<u32> {
+            let end = p.pos + 4;
+            let s = p
+                .bytes
+                .get(p.pos..end)
+                .and_then(|b| std::str::from_utf8(b).ok())
+                .ok_or((line, "truncated \\u escape".to_string()))?;
+            let v = u32::from_str_radix(s, 16).map_err(|_| (line, "bad \\u escape".to_string()))?;
+            p.pos = end;
+            Ok(v)
+        };
+        let hi = hex4(self)?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // Surrogate pair.
+            if self.bytes.get(self.pos) == Some(&b'\\')
+                && self.bytes.get(self.pos + 1) == Some(&b'u')
+            {
+                self.pos += 2;
+                let lo = hex4(self)?;
+                let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                return char::from_u32(c).ok_or((line, "bad surrogate pair".into()));
+            }
+            return Err((line, "lone surrogate in \\u escape".into()));
+        }
+        char::from_u32(hi).ok_or((line, "bad \\u escape".into()))
+    }
+
+    fn object(&mut self) -> ParseResult<Value> {
+        let line = self.line;
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::new(Node::Obj(fields), line));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':').map_err(|_| (self.line, "expected ':' after key".to_string()))?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::new(Node::Obj(fields), line));
+                }
+                _ => return Err((self.line, "expected ',' or '}' in object".into())),
+            }
+        }
+    }
+
+    fn array(&mut self) -> ParseResult<Value> {
+        let line = self.line;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::new(Node::Arr(items), line));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::new(Node::Arr(items), line));
+                }
+                _ => return Err((self.line, "expected ',' or ']' in array".into())),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TOML parser (the documented subset, line-tracking)
+
+struct TomlParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    root: Value,
+    /// Path of the currently open `[table]` / `[[array-of-tables]]`.
+    current: Vec<String>,
+}
+
+impl<'a> TomlParser<'a> {
+    fn parse(src: &'a str) -> ParseResult<Value> {
+        let mut p = TomlParser {
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            root: Value::new(Node::Obj(Vec::new()), 1),
+            current: Vec::new(),
+        };
+        p.run()?;
+        Ok(p.root)
+    }
+
+    fn run(&mut self) -> ParseResult<()> {
+        loop {
+            self.skip_trivia();
+            match self.peek() {
+                None => return Ok(()),
+                Some(b'[') => self.header()?,
+                Some(_) => self.key_value()?,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Skip whitespace, newlines, and comments between statements.
+    fn skip_trivia(&mut self) {
+        while let Some(b) = self.peek() {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'#' => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Skip spaces/tabs only (within a statement line).
+    fn skip_inline_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t') | Some(b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_eol(&mut self) -> ParseResult<()> {
+        self.skip_inline_ws();
+        match self.peek() {
+            None | Some(b'\n') => Ok(()),
+            Some(b'#') => Ok(()), // comment runs to end of line
+            Some(c) => Err((self.line, format!("expected end of line, found {:?}", c as char))),
+        }
+    }
+
+    fn header(&mut self) -> ParseResult<()> {
+        let line = self.line;
+        self.pos += 1; // consume '['
+        let array = self.peek() == Some(b'[');
+        if array {
+            self.pos += 1;
+        }
+        self.skip_inline_ws();
+        let path = self.dotted_key()?;
+        self.skip_inline_ws();
+        if self.peek() != Some(b']') {
+            return Err((line, "expected ']' closing the table header".into()));
+        }
+        self.pos += 1;
+        if array {
+            if self.peek() != Some(b']') {
+                return Err((line, "expected ']]' closing the array-of-tables header".into()));
+            }
+            self.pos += 1;
+        }
+        self.expect_eol()?;
+        if array {
+            // Append a fresh element to the array at `path`.
+            let parent = navigate(&mut self.root, &path[..path.len() - 1], line)?;
+            let key = path.last().expect("non-empty header path");
+            let slot = match &mut parent.node {
+                Node::Obj(fields) => {
+                    if let Some(i) = fields.iter().position(|(k, _)| k == key) {
+                        &mut fields[i].1
+                    } else {
+                        fields.push((key.clone(), Value::new(Node::Arr(Vec::new()), line)));
+                        &mut fields.last_mut().expect("just pushed").1
+                    }
+                }
+                _ => return Err((line, format!("{key} is not a table"))),
+            };
+            match &mut slot.node {
+                Node::Arr(items) => items.push(Value::new(Node::Obj(Vec::new()), line)),
+                _ => return Err((line, format!("[[{key}]] conflicts with a non-array value"))),
+            }
+        } else {
+            navigate(&mut self.root, &path, line)?;
+        }
+        self.current = path;
+        Ok(())
+    }
+
+    fn key_value(&mut self) -> ParseResult<()> {
+        let line = self.line;
+        let key_path = self.dotted_key()?;
+        self.skip_inline_ws();
+        if self.peek() != Some(b'=') {
+            return Err((line, "expected '=' after key".into()));
+        }
+        self.pos += 1;
+        self.skip_inline_ws();
+        let value = self.value()?;
+        self.expect_eol()?;
+        let mut full = self.current.clone();
+        full.extend(key_path.iter().cloned());
+        let (leaf, parents) = full.split_last().expect("non-empty key");
+        let table = navigate(&mut self.root, parents, line)?;
+        match &mut table.node {
+            Node::Obj(fields) => {
+                if fields.iter().any(|(k, _)| k == leaf) {
+                    return Err((line, format!("duplicate key {leaf:?}")));
+                }
+                fields.push((leaf.clone(), value));
+            }
+            _ => return Err((line, format!("cannot set key inside non-table {leaf:?}"))),
+        }
+        Ok(())
+    }
+
+    fn dotted_key(&mut self) -> ParseResult<Vec<String>> {
+        let mut path = vec![self.key_segment()?];
+        loop {
+            self.skip_inline_ws();
+            if self.peek() == Some(b'.') {
+                self.pos += 1;
+                self.skip_inline_ws();
+                path.push(self.key_segment()?);
+            } else {
+                return Ok(path);
+            }
+        }
+    }
+
+    fn key_segment(&mut self) -> ParseResult<String> {
+        match self.peek() {
+            Some(b'"') => self.basic_string(),
+            Some(c) if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' => {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Ok(std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii").to_string())
+            }
+            _ => Err((self.line, "expected a key".into())),
+        }
+    }
+
+    fn value(&mut self) -> ParseResult<Value> {
+        let line = self.line;
+        match self.peek() {
+            Some(b'"') => Ok(Value::new(Node::Str(self.basic_string()?), line)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.inline_table(),
+            Some(b't') | Some(b'f') => {
+                let word = if self.peek() == Some(b't') { "true" } else { "false" };
+                if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                    self.pos += word.len();
+                    Ok(Value::new(Node::Bool(word == "true"), line))
+                } else {
+                    Err((line, "expected a boolean".into()))
+                }
+            }
+            Some(c) if c == b'-' || c == b'+' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err((line, format!("unexpected character {:?} in value", c as char))),
+            None => Err((line, "unexpected end of input in value".into())),
+        }
+    }
+
+    fn number(&mut self) -> ParseResult<Value> {
+        let line = self.line;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'_') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        let text: String = raw.chars().filter(|&c| c != '_').collect();
+        let v: f64 = text.parse().map_err(|_| (line, format!("invalid number {raw:?}")))?;
+        Ok(Value::new(Node::Num(v), line))
+    }
+
+    fn basic_string(&mut self) -> ParseResult<String> {
+        // Shares JSON's escape grammar, which covers TOML basic strings
+        // for every file the serializer emits.
+        let mut sub = JsonParser { bytes: self.bytes, pos: self.pos, line: self.line };
+        let s = sub.string()?;
+        self.pos = sub.pos;
+        self.line = sub.line;
+        Ok(s)
+    }
+
+    fn array(&mut self) -> ParseResult<Value> {
+        let line = self.line;
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia();
+            match self.peek() {
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::new(Node::Arr(items), line));
+                }
+                None => return Err((line, "unterminated array".into())),
+                _ => {
+                    items.push(self.value()?);
+                    self.skip_trivia();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {}
+                        _ => return Err((self.line, "expected ',' or ']' in array".into())),
+                    }
+                }
+            }
+        }
+    }
+
+    fn inline_table(&mut self) -> ParseResult<Value> {
+        let line = self.line;
+        self.pos += 1; // '{'
+        let mut fields = Vec::new();
+        self.skip_inline_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::new(Node::Obj(fields), line));
+        }
+        loop {
+            self.skip_inline_ws();
+            let key = self.key_segment()?;
+            self.skip_inline_ws();
+            if self.peek() != Some(b'=') {
+                return Err((self.line, "expected '=' in inline table".into()));
+            }
+            self.pos += 1;
+            self.skip_inline_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_inline_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::new(Node::Obj(fields), line));
+                }
+                _ => return Err((self.line, "expected ',' or '}' in inline table".into())),
+            }
+        }
+    }
+}
+
+/// Walk (and create) the table at `path`, descending into the *last*
+/// element of any array-of-tables on the way — the TOML rule that makes
+/// `[drift.kind]` after `[[drift]]` refer to the newest event.
+fn navigate<'v>(root: &'v mut Value, path: &[String], line: usize) -> ParseResult<&'v mut Value> {
+    let mut cur = root;
+    for seg in path {
+        cur = descend_one(cur, seg, line)?;
+    }
+    into_open_table(cur, line)
+}
+
+/// Descend through an array-of-tables to its open (last) element; tables
+/// pass through unchanged.
+fn into_open_table(v: &mut Value, line: usize) -> ParseResult<&mut Value> {
+    if matches!(v.node, Node::Arr(_)) {
+        let Node::Arr(items) = &mut v.node else { unreachable!() };
+        return items.last_mut().ok_or((line, "empty array of tables".to_string()));
+    }
+    Ok(v)
+}
+
+fn descend_one<'v>(v: &'v mut Value, seg: &str, line: usize) -> ParseResult<&'v mut Value> {
+    let v = into_open_table(v, line)?;
+    match &mut v.node {
+        Node::Obj(fields) => {
+            let idx = if let Some(i) = fields.iter().position(|(k, _)| k == seg) {
+                i
+            } else {
+                fields.push((seg.to_string(), Value::new(Node::Obj(Vec::new()), line)));
+                fields.len() - 1
+            };
+            Ok(&mut fields[idx].1)
+        }
+        _ => Err((line, format!("{seg} is inside a non-table value"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoder: Value -> ScenarioSpec, strict schema with path-qualified errors
+
+struct Dec<'a> {
+    file: &'a Path,
+    /// Directory replay_csv paths resolve against; `None` when parsing
+    /// from a string (replay_csv is then rejected).
+    base_dir: Option<&'a Path>,
+}
+
+impl<'a> Dec<'a> {
+    fn err(&self, line: usize, path: &str, msg: impl std::fmt::Display) -> LoadError {
+        LoadError {
+            path: self.file.to_path_buf(),
+            line: Some(line),
+            msg: if path.is_empty() { msg.to_string() } else { format!("{path}: {msg}") },
+        }
+    }
+
+    fn obj<'v>(&self, v: &'v Value, path: &str) -> Result<&'v [(String, Value)], LoadError> {
+        match &v.node {
+            Node::Obj(fields) => Ok(fields),
+            _ => Err(self.err(v.line, path, format!("expected a table, found {}", v.kind()))),
+        }
+    }
+
+    fn arr<'v>(&self, v: &'v Value, path: &str) -> Result<&'v [Value], LoadError> {
+        match &v.node {
+            Node::Arr(items) => Ok(items),
+            _ => Err(self.err(v.line, path, format!("expected an array, found {}", v.kind()))),
+        }
+    }
+
+    fn str<'v>(&self, v: &'v Value, path: &str) -> Result<&'v str, LoadError> {
+        match &v.node {
+            Node::Str(s) => Ok(s),
+            _ => Err(self.err(v.line, path, format!("expected a string, found {}", v.kind()))),
+        }
+    }
+
+    fn f64(&self, v: &Value, path: &str) -> Result<f64, LoadError> {
+        match v.node {
+            Node::Num(n) => Ok(n),
+            _ => Err(self.err(v.line, path, format!("expected a number, found {}", v.kind()))),
+        }
+    }
+
+    fn bool(&self, v: &Value, path: &str) -> Result<bool, LoadError> {
+        match v.node {
+            Node::Bool(b) => Ok(b),
+            _ => Err(self.err(v.line, path, format!("expected a boolean, found {}", v.kind()))),
+        }
+    }
+
+    fn usize(&self, v: &Value, path: &str) -> Result<usize, LoadError> {
+        let n = self.f64(v, path)?;
+        if n.fract() != 0.0 || n < 0.0 || n > (1u64 << 53) as f64 {
+            return Err(self.err(v.line, path, "expected a non-negative integer"));
+        }
+        Ok(n as usize)
+    }
+
+    fn u64(&self, v: &Value, path: &str) -> Result<u64, LoadError> {
+        Ok(self.usize(v, path)? as u64)
+    }
+
+    fn pair_f64(&self, v: &Value, path: &str) -> Result<(f64, f64), LoadError> {
+        let items = self.arr(v, path)?;
+        if items.len() != 2 {
+            return Err(self.err(v.line, path, "expected a 2-element array"));
+        }
+        Ok((self.f64(&items[0], path)?, self.f64(&items[1], path)?))
+    }
+
+    fn pair_usize(&self, v: &Value, path: &str) -> Result<(usize, usize), LoadError> {
+        let items = self.arr(v, path)?;
+        if items.len() != 2 {
+            return Err(self.err(v.line, path, "expected a 2-element array"));
+        }
+        Ok((self.usize(&items[0], path)?, self.usize(&items[1], path)?))
+    }
+
+    fn get<'v>(&self, fields: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+        fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn req<'v>(
+        &self,
+        owner: &Value,
+        fields: &'v [(String, Value)],
+        key: &str,
+        path: &str,
+    ) -> Result<&'v Value, LoadError> {
+        self.get(fields, key)
+            .ok_or_else(|| self.err(owner.line, path, format!("missing required key {key:?}")))
+    }
+
+    fn no_unknown(
+        &self,
+        fields: &[(String, Value)],
+        allowed: &[&str],
+        path: &str,
+    ) -> Result<(), LoadError> {
+        for (k, v) in fields {
+            if !allowed.contains(&k.as_str()) {
+                return Err(self.err(
+                    v.line,
+                    path,
+                    format!("unknown key {k:?} (expected one of: {})", allowed.join(", ")),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// A table that must contain exactly one of `variants` — the encoding
+    /// of every tagged enum in the schema.
+    fn single_variant<'v>(
+        &self,
+        v: &'v Value,
+        variants: &[&str],
+        path: &str,
+    ) -> Result<(&'v str, &'v Value), LoadError> {
+        let fields = self.obj(v, path)?;
+        self.no_unknown(fields, variants, path)?;
+        if fields.len() != 1 {
+            return Err(self.err(
+                v.line,
+                path,
+                format!("expected exactly one of: {}", variants.join(", ")),
+            ));
+        }
+        let (k, inner) = &fields[0];
+        Ok((k.as_str(), inner))
+    }
+
+    fn spec(&self, v: &Value) -> Result<ScenarioSpec, LoadError> {
+        let fields = self.obj(v, "")?;
+        self.no_unknown(
+            fields,
+            &[
+                "name",
+                "summary",
+                "workload",
+                "hint_shape",
+                "drift",
+                "policy",
+                "budget_multiple",
+                "batch",
+                "max_steps",
+                "seeds",
+                "arrivals",
+            ],
+            "",
+        )?;
+        let name = self.str(self.req(v, fields, "name", "")?, "name")?.to_string();
+        let summary = self.str(self.req(v, fields, "summary", "")?, "summary")?.to_string();
+        let workload = self.workload(self.req(v, fields, "workload", "")?)?;
+        let hint_shape = match self.get(fields, "hint_shape") {
+            None => HintShape::Full,
+            Some(hv) => self.hint_shape(hv)?,
+        };
+        let drift = match self.get(fields, "drift") {
+            None => Vec::new(),
+            Some(dv) => self
+                .arr(dv, "drift")?
+                .iter()
+                .map(|e| self.drift_event(e))
+                .collect::<Result<_, _>>()?,
+        };
+        let policy = self.policy(self.req(v, fields, "policy", "")?)?;
+        let budget_multiple = match self.get(fields, "budget_multiple") {
+            None => 0.0,
+            Some(bv) => self.f64(bv, "budget_multiple")?,
+        };
+        let batch = self.usize(self.req(v, fields, "batch", "")?, "batch")?;
+        let max_steps = self.usize(self.req(v, fields, "max_steps", "")?, "max_steps")?;
+        let seeds_v = self.req(v, fields, "seeds", "")?;
+        let seeds = self
+            .arr(seeds_v, "seeds")?
+            .iter()
+            .map(|s| self.u64(s, "seeds"))
+            .collect::<Result<_, _>>()?;
+        let arrivals = match self.get(fields, "arrivals") {
+            None => None,
+            Some(av) => Some(self.arrivals(av)?),
+        };
+        Ok(ScenarioSpec {
+            name,
+            summary,
+            workload,
+            hint_shape,
+            drift,
+            policy,
+            budget_multiple,
+            batch,
+            max_steps,
+            seeds,
+            arrivals,
+        })
+    }
+
+    fn workload(&self, v: &Value) -> Result<ScenarioWorkload, LoadError> {
+        let (tag, inner) = self.single_variant(v, &["sim", "synthetic"], "workload")?;
+        match tag {
+            "sim" => Ok(ScenarioWorkload::Sim(self.workload_sim(inner)?)),
+            _ => Ok(ScenarioWorkload::Synthetic(self.synthetic(inner)?)),
+        }
+    }
+
+    fn workload_sim(&self, v: &Value) -> Result<WorkloadSpec, LoadError> {
+        let p = "workload.sim";
+        let fields = self.obj(v, p)?;
+        self.no_unknown(
+            fields,
+            &[
+                "name",
+                "n_queries",
+                "catalog",
+                "class_mix",
+                "target_default_total",
+                "templates",
+                "seed",
+            ],
+            p,
+        )?;
+        let templates = match self.get(fields, "templates") {
+            None => None,
+            Some(Value { node: Node::Null, .. }) => None,
+            Some(tv) => Some(self.usize(tv, "workload.sim.templates")?),
+        };
+        Ok(WorkloadSpec {
+            name: self.str(self.req(v, fields, "name", p)?, "workload.sim.name")?.to_string(),
+            n_queries: self
+                .usize(self.req(v, fields, "n_queries", p)?, "workload.sim.n_queries")?,
+            catalog: self.catalog(self.req(v, fields, "catalog", p)?)?,
+            class_mix: self
+                .arr(self.req(v, fields, "class_mix", p)?, "workload.sim.class_mix")?
+                .iter()
+                .map(|c| self.class_mix(c))
+                .collect::<Result<_, _>>()?,
+            target_default_total: self.f64(
+                self.req(v, fields, "target_default_total", p)?,
+                "workload.sim.target_default_total",
+            )?,
+            templates,
+            seed: self.u64(self.req(v, fields, "seed", p)?, "workload.sim.seed")?,
+        })
+    }
+
+    fn catalog(&self, v: &Value) -> Result<CatalogSpec, LoadError> {
+        let p = "workload.sim.catalog";
+        let fields = self.obj(v, p)?;
+        self.no_unknown(
+            fields,
+            &["name", "n_tables", "rows_range", "width_range", "index_prob", "fact_fraction"],
+            p,
+        )?;
+        Ok(CatalogSpec {
+            name: self.str(self.req(v, fields, "name", p)?, "workload.sim.catalog.name")?.into(),
+            n_tables: self.usize(self.req(v, fields, "n_tables", p)?, "...catalog.n_tables")?,
+            rows_range: self
+                .pair_f64(self.req(v, fields, "rows_range", p)?, "...catalog.rows_range")?,
+            width_range: self
+                .pair_f64(self.req(v, fields, "width_range", p)?, "...catalog.width_range")?,
+            index_prob: self.f64(self.req(v, fields, "index_prob", p)?, "...catalog.index_prob")?,
+            fact_fraction: self
+                .f64(self.req(v, fields, "fact_fraction", p)?, "...catalog.fact_fraction")?,
+        })
+    }
+
+    fn class_mix(&self, v: &Value) -> Result<ClassMix, LoadError> {
+        let p = "workload.sim.class_mix";
+        let fields = self.obj(v, p)?;
+        self.no_unknown(
+            fields,
+            &["class", "weight", "shape", "n_tables", "pred_sel_range", "fanout", "pred_prob"],
+            p,
+        )?;
+        let class_v = self.req(v, fields, "class", p)?;
+        let class = match self.str(class_v, "...class_mix.class")? {
+            "nl-trap" => QueryClass::NestLoopTrap,
+            "idx-trap" => QueryClass::IndexTrap,
+            "missed-idx" => QueryClass::MissedIndex,
+            "well-est" => QueryClass::WellEstimated,
+            "etl" => QueryClass::Etl,
+            other => {
+                return Err(self.err(
+                    class_v.line,
+                    "...class_mix.class",
+                    format!(
+                        "unknown query class {other:?} \
+                         (nl-trap, idx-trap, missed-idx, well-est, etl)"
+                    ),
+                ))
+            }
+        };
+        let shape_v = self.req(v, fields, "shape", p)?;
+        let shape = match self.str(shape_v, "...class_mix.shape")? {
+            "chain" => JoinShape::Chain,
+            "star" => JoinShape::Star,
+            "snowflake" => JoinShape::Snowflake,
+            other => {
+                return Err(self.err(
+                    shape_v.line,
+                    "...class_mix.shape",
+                    format!("unknown join shape {other:?} (chain, star, snowflake)"),
+                ))
+            }
+        };
+        Ok(ClassMix {
+            class,
+            weight: self.f64(self.req(v, fields, "weight", p)?, "...class_mix.weight")?,
+            shape,
+            n_tables: self
+                .pair_usize(self.req(v, fields, "n_tables", p)?, "...class_mix.n_tables")?,
+            pred_sel_range: self.pair_f64(
+                self.req(v, fields, "pred_sel_range", p)?,
+                "...class_mix.pred_sel_range",
+            )?,
+            fanout: self.pair_f64(self.req(v, fields, "fanout", p)?, "...class_mix.fanout")?,
+            pred_prob: self.f64(self.req(v, fields, "pred_prob", p)?, "...class_mix.pred_prob")?,
+        })
+    }
+
+    fn synthetic(&self, v: &Value) -> Result<SyntheticSpec, LoadError> {
+        let p = "workload.synthetic";
+        let fields = self.obj(v, p)?;
+        self.no_unknown(
+            fields,
+            &["n", "k", "rank", "default_inflation", "noise_sigma", "seed"],
+            p,
+        )?;
+        Ok(SyntheticSpec {
+            n: self.usize(self.req(v, fields, "n", p)?, "workload.synthetic.n")?,
+            k: self.usize(self.req(v, fields, "k", p)?, "workload.synthetic.k")?,
+            rank: self.usize(self.req(v, fields, "rank", p)?, "workload.synthetic.rank")?,
+            default_inflation: self.f64(
+                self.req(v, fields, "default_inflation", p)?,
+                "workload.synthetic.default_inflation",
+            )?,
+            noise_sigma: self
+                .f64(self.req(v, fields, "noise_sigma", p)?, "workload.synthetic.noise_sigma")?,
+            seed: self.u64(self.req(v, fields, "seed", p)?, "workload.synthetic.seed")?,
+        })
+    }
+
+    fn hint_shape(&self, v: &Value) -> Result<HintShape, LoadError> {
+        if let Node::Str(s) = &v.node {
+            return match s.as_str() {
+                "full" => Ok(HintShape::Full),
+                other => Err(self.err(
+                    v.line,
+                    "hint_shape",
+                    format!("unknown hint shape {other:?} (\"full\", or a prefix/strided table)"),
+                )),
+            };
+        }
+        let (tag, inner) = self.single_variant(v, &["prefix", "strided"], "hint_shape")?;
+        match tag {
+            "prefix" => Ok(HintShape::Prefix(self.usize(inner, "hint_shape.prefix")?)),
+            _ => Ok(HintShape::Strided(self.usize(inner, "hint_shape.strided")?)),
+        }
+    }
+
+    fn drift_event(&self, v: &Value) -> Result<DriftEvent, LoadError> {
+        let p = "drift";
+        let fields = self.obj(v, p)?;
+        self.no_unknown(fields, &["at_frac", "kind"], p)?;
+        let at_frac = self.f64(self.req(v, fields, "at_frac", p)?, "drift.at_frac")?;
+        let kind_v = self.req(v, fields, "kind", p)?;
+        let (tag, inner) =
+            self.single_variant(kind_v, &["data_shift", "add_queries"], "drift.kind")?;
+        let kind = match tag {
+            "data_shift" => {
+                let inner_fields = self.obj(inner, "drift.kind.data_shift")?;
+                self.no_unknown(inner_fields, &["days"], "drift.kind.data_shift")?;
+                DriftKind::DataShift {
+                    days: self.f64(
+                        self.req(inner, inner_fields, "days", "drift.kind.data_shift")?,
+                        "drift.kind.data_shift.days",
+                    )?,
+                }
+            }
+            _ => {
+                let inner_fields = self.obj(inner, "drift.kind.add_queries")?;
+                self.no_unknown(inner_fields, &["count"], "drift.kind.add_queries")?;
+                DriftKind::AddQueries {
+                    count: self.usize(
+                        self.req(inner, inner_fields, "count", "drift.kind.add_queries")?,
+                        "drift.kind.add_queries.count",
+                    )?,
+                }
+            }
+        };
+        Ok(DriftEvent { at_frac, kind })
+    }
+
+    fn policy(&self, v: &Value) -> Result<PolicySpec, LoadError> {
+        if let Node::Str(s) = &v.node {
+            return match s.as_str() {
+                "random" => Ok(PolicySpec::Random),
+                "greedy" => Ok(PolicySpec::Greedy),
+                "qo-advisor" => Ok(PolicySpec::QoAdvisor),
+                "limeqo-wocensored" => Ok(PolicySpec::LimeQoAlsNoCensor),
+                other => Err(self.err(
+                    v.line,
+                    "policy",
+                    format!(
+                        "unknown policy {other:?} (random, greedy, qo-advisor, \
+                         limeqo-wocensored, or a limeqo_als/online_als table)"
+                    ),
+                )),
+            };
+        }
+        let (tag, inner) = self.single_variant(v, &["limeqo_als", "online_als"], "policy")?;
+        match tag {
+            "limeqo_als" => {
+                let p = "policy.limeqo_als";
+                let fields = self.obj(inner, p)?;
+                self.no_unknown(fields, &["rank", "drift", "incremental", "rescore_every"], p)?;
+                Ok(PolicySpec::LimeQoAls {
+                    rank: self
+                        .usize(self.req(inner, fields, "rank", p)?, "policy.limeqo_als.rank")?,
+                    drift: self.drift_policy(self.req(inner, fields, "drift", p)?)?,
+                    incremental: self.bool(
+                        self.req(inner, fields, "incremental", p)?,
+                        "policy.limeqo_als.incremental",
+                    )?,
+                    rescore_every: self.usize(
+                        self.req(inner, fields, "rescore_every", p)?,
+                        "policy.limeqo_als.rescore_every",
+                    )?,
+                })
+            }
+            _ => {
+                let p = "policy.online_als";
+                let fields = self.obj(inner, p)?;
+                self.no_unknown(
+                    fields,
+                    &["rank", "explore_prob", "rho", "refresh_every", "cold_bonus"],
+                    p,
+                )?;
+                Ok(PolicySpec::OnlineAls {
+                    rank: self
+                        .usize(self.req(inner, fields, "rank", p)?, "policy.online_als.rank")?,
+                    explore_prob: self.f64(
+                        self.req(inner, fields, "explore_prob", p)?,
+                        "policy.online_als.explore_prob",
+                    )?,
+                    rho: self.f64(self.req(inner, fields, "rho", p)?, "policy.online_als.rho")?,
+                    refresh_every: self.usize(
+                        self.req(inner, fields, "refresh_every", p)?,
+                        "policy.online_als.refresh_every",
+                    )?,
+                    cold_bonus: self.f64(
+                        self.req(inner, fields, "cold_bonus", p)?,
+                        "policy.online_als.cold_bonus",
+                    )?,
+                })
+            }
+        }
+    }
+
+    fn drift_policy(&self, v: &Value) -> Result<DriftPolicy, LoadError> {
+        let p = "policy.limeqo_als.drift";
+        let fields = self.obj(v, p)?;
+        self.no_unknown(
+            fields,
+            &[
+                "retain_priors",
+                "prior_decay",
+                "density_gate",
+                "cold_row_bonus",
+                "warm_start",
+                "reverify_runner_up",
+            ],
+            p,
+        )?;
+        let q = |key: &str| format!("{p}.{key}");
+        Ok(DriftPolicy {
+            retain_priors: self
+                .bool(self.req(v, fields, "retain_priors", p)?, &q("retain_priors"))?,
+            prior_decay: self.f64(self.req(v, fields, "prior_decay", p)?, &q("prior_decay"))?,
+            density_gate: self.f64(self.req(v, fields, "density_gate", p)?, &q("density_gate"))?,
+            cold_row_bonus: self
+                .f64(self.req(v, fields, "cold_row_bonus", p)?, &q("cold_row_bonus"))?,
+            warm_start: self.bool(self.req(v, fields, "warm_start", p)?, &q("warm_start"))?,
+            reverify_runner_up: self
+                .bool(self.req(v, fields, "reverify_runner_up", p)?, &q("reverify_runner_up"))?,
+        })
+    }
+
+    fn arrivals(&self, v: &Value) -> Result<ArrivalSpec, LoadError> {
+        let p = "arrivals";
+        let fields = self.obj(v, p)?;
+        self.no_unknown(fields, &["count", "model", "burst", "concurrency", "rate"], p)?;
+        let model = self.arrival_model(self.req(v, fields, "model", p)?)?;
+        Ok(ArrivalSpec {
+            count: self.usize(self.req(v, fields, "count", p)?, "arrivals.count")?,
+            model,
+            burst: match self.get(fields, "burst") {
+                None => 1,
+                Some(bv) => self.usize(bv, "arrivals.burst")?,
+            },
+            concurrency: match self.get(fields, "concurrency") {
+                None => 1,
+                Some(cv) => self.usize(cv, "arrivals.concurrency")?,
+            },
+            rate: match self.get(fields, "rate") {
+                None => 0.0,
+                Some(rv) => self.f64(rv, "arrivals.rate")?,
+            },
+        })
+    }
+
+    fn arrival_model(&self, v: &Value) -> Result<ArrivalModel, LoadError> {
+        if let Node::Str(s) = &v.node {
+            return match s.as_str() {
+                "uniform" => Ok(ArrivalModel::Uniform),
+                other => Err(self.err(
+                    v.line,
+                    "arrivals.model",
+                    format!(
+                        "unknown arrival model {other:?} \
+                         (\"uniform\", or a zipf/replay/replay_csv table)"
+                    ),
+                )),
+            };
+        }
+        let (tag, inner) =
+            self.single_variant(v, &["zipf", "replay", "replay_csv"], "arrivals.model")?;
+        match tag {
+            "zipf" => {
+                let fields = self.obj(inner, "arrivals.model.zipf")?;
+                self.no_unknown(fields, &["exponent"], "arrivals.model.zipf")?;
+                Ok(ArrivalModel::Zipf {
+                    exponent: self.f64(
+                        self.req(inner, fields, "exponent", "arrivals.model.zipf")?,
+                        "arrivals.model.zipf.exponent",
+                    )?,
+                })
+            }
+            "replay" => {
+                let fields = self.obj(inner, "arrivals.model.replay")?;
+                self.no_unknown(fields, &["rows"], "arrivals.model.replay")?;
+                let rows = self
+                    .arr(
+                        self.req(inner, fields, "rows", "arrivals.model.replay")?,
+                        "arrivals.model.replay.rows",
+                    )?
+                    .iter()
+                    .map(|r| self.usize(r, "arrivals.model.replay.rows"))
+                    .collect::<Result<_, _>>()?;
+                Ok(ArrivalModel::Replay { rows })
+            }
+            _ => {
+                let rel = self.str(inner, "arrivals.model.replay_csv")?;
+                let base = self.base_dir.ok_or_else(|| {
+                    self.err(
+                        inner.line,
+                        "arrivals.model.replay_csv",
+                        "replay_csv needs a file-based load (no base directory)",
+                    )
+                })?;
+                let csv_path = base.join(rel);
+                let rows = read_replay_csv(&csv_path).map_err(|e| LoadError {
+                    path: e.path,
+                    line: e.line,
+                    msg: format!("arrivals.model.replay_csv: {}", e.msg),
+                })?;
+                Ok(ArrivalModel::Replay { rows })
+            }
+        }
+    }
+}
+
+/// Read a replay trace CSV: one or more non-negative row indices per line,
+/// comma-separated; blank lines and `#` comments ignored.
+pub fn read_replay_csv(path: &Path) -> Result<Vec<usize>, LoadError> {
+    let text = std::fs::read_to_string(path).map_err(|e| LoadError {
+        path: path.to_path_buf(),
+        line: None,
+        msg: format!("cannot read replay CSV: {e}"),
+    })?;
+    let mut rows = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        for cell in line.split(',') {
+            let cell = cell.trim();
+            if cell.is_empty() {
+                continue;
+            }
+            let row: usize = cell.parse().map_err(|_| LoadError {
+                path: path.to_path_buf(),
+                line: Some(i + 1),
+                msg: format!("invalid row index {cell:?}"),
+            })?;
+            rows.push(row);
+        }
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
+// Public parse/load API
+
+fn decode(v: &Value, file: &Path, base_dir: Option<&Path>) -> Result<ScenarioSpec, LoadError> {
+    Dec { file, base_dir }.spec(v)
+}
+
+/// Parse a JSON scenario from a string; `file` labels errors, `base_dir`
+/// resolves `replay_csv` references (reject them when `None`).
+pub fn parse_scenario_json(
+    src: &str,
+    file: &Path,
+    base_dir: Option<&Path>,
+) -> Result<ScenarioSpec, LoadError> {
+    let v = JsonParser::parse(src).map_err(|(line, msg)| LoadError {
+        path: file.to_path_buf(),
+        line: Some(line),
+        msg,
+    })?;
+    decode(&v, file, base_dir)
+}
+
+/// Parse a TOML scenario from a string; `file` labels errors, `base_dir`
+/// resolves `replay_csv` references (reject them when `None`).
+pub fn parse_scenario_toml(
+    src: &str,
+    file: &Path,
+    base_dir: Option<&Path>,
+) -> Result<ScenarioSpec, LoadError> {
+    let v = TomlParser::parse(src).map_err(|(line, msg)| LoadError {
+        path: file.to_path_buf(),
+        line: Some(line),
+        msg,
+    })?;
+    decode(&v, file, base_dir)
+}
+
+/// Load one scenario file (`.json` or `.toml`), run
+/// [`ScenarioSpec::check`], and return the validated spec.
+pub fn load_scenario(path: &Path) -> Result<ScenarioSpec, LoadError> {
+    let text = std::fs::read_to_string(path).map_err(|e| LoadError {
+        path: path.to_path_buf(),
+        line: None,
+        msg: format!("cannot read scenario file: {e}"),
+    })?;
+    let base = path.parent();
+    let spec = match path.extension().and_then(|e| e.to_str()) {
+        Some("json") => parse_scenario_json(&text, path, base)?,
+        Some("toml") => parse_scenario_toml(&text, path, base)?,
+        _ => {
+            return Err(LoadError {
+                path: path.to_path_buf(),
+                line: None,
+                msg: "unknown extension (expected .json or .toml)".into(),
+            })
+        }
+    };
+    spec.check().map_err(|msg| LoadError { path: path.to_path_buf(), line: None, msg })?;
+    Ok(spec)
+}
+
+/// Load every `*.json` / `*.toml` directly inside `dir` (subdirectories
+/// such as `scenarios/broken/` are deliberately not descended into),
+/// sorted by file name for deterministic ordering.
+pub fn load_corpus(dir: &Path) -> Result<Vec<(PathBuf, ScenarioSpec)>, LoadError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| LoadError {
+        path: dir.to_path_buf(),
+        line: None,
+        msg: format!("cannot read corpus directory: {e}"),
+    })?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.is_file()
+                && matches!(p.extension().and_then(|e| e.to_str()), Some("json") | Some("toml"))
+        })
+        .collect();
+    paths.sort();
+    let mut corpus = Vec::with_capacity(paths.len());
+    for path in paths {
+        let spec = load_scenario(&path)?;
+        corpus.push((path, spec));
+    }
+    Ok(corpus)
+}
+
+// ---------------------------------------------------------------------------
+// Serializers (canonical form; exact round trip)
+
+fn num(v: f64) -> Node {
+    Node::Num(v)
+}
+
+fn s(v: &str) -> Node {
+    Node::Str(v.to_string())
+}
+
+fn obj(fields: Vec<(&str, Node)>) -> Node {
+    Node::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), Value::new(v, 0))).collect())
+}
+
+fn arr(items: Vec<Node>) -> Node {
+    Node::Arr(items.into_iter().map(|n| Value::new(n, 0)).collect())
+}
+
+fn spec_to_node(spec: &ScenarioSpec) -> Node {
+    let workload = match &spec.workload {
+        ScenarioWorkload::Sim(w) => {
+            let mut sim = vec![
+                ("name", s(&w.name)),
+                ("n_queries", num(w.n_queries as f64)),
+                (
+                    "catalog",
+                    obj(vec![
+                        ("name", s(&w.catalog.name)),
+                        ("n_tables", num(w.catalog.n_tables as f64)),
+                        (
+                            "rows_range",
+                            arr(vec![num(w.catalog.rows_range.0), num(w.catalog.rows_range.1)]),
+                        ),
+                        (
+                            "width_range",
+                            arr(vec![num(w.catalog.width_range.0), num(w.catalog.width_range.1)]),
+                        ),
+                        ("index_prob", num(w.catalog.index_prob)),
+                        ("fact_fraction", num(w.catalog.fact_fraction)),
+                    ]),
+                ),
+                (
+                    "class_mix",
+                    arr(w
+                        .class_mix
+                        .iter()
+                        .map(|c| {
+                            obj(vec![
+                                ("class", s(c.class.label())),
+                                ("weight", num(c.weight)),
+                                (
+                                    "shape",
+                                    s(match c.shape {
+                                        JoinShape::Chain => "chain",
+                                        JoinShape::Star => "star",
+                                        JoinShape::Snowflake => "snowflake",
+                                    }),
+                                ),
+                                (
+                                    "n_tables",
+                                    arr(vec![num(c.n_tables.0 as f64), num(c.n_tables.1 as f64)]),
+                                ),
+                                (
+                                    "pred_sel_range",
+                                    arr(vec![num(c.pred_sel_range.0), num(c.pred_sel_range.1)]),
+                                ),
+                                ("fanout", arr(vec![num(c.fanout.0), num(c.fanout.1)])),
+                                ("pred_prob", num(c.pred_prob)),
+                            ])
+                        })
+                        .collect()),
+                ),
+                ("target_default_total", num(w.target_default_total)),
+            ];
+            if let Some(t) = w.templates {
+                sim.push(("templates", num(t as f64)));
+            }
+            sim.push(("seed", num(w.seed as f64)));
+            obj(vec![("sim", obj(sim))])
+        }
+        ScenarioWorkload::Synthetic(w) => obj(vec![(
+            "synthetic",
+            obj(vec![
+                ("n", num(w.n as f64)),
+                ("k", num(w.k as f64)),
+                ("rank", num(w.rank as f64)),
+                ("default_inflation", num(w.default_inflation)),
+                ("noise_sigma", num(w.noise_sigma)),
+                ("seed", num(w.seed as f64)),
+            ]),
+        )]),
+    };
+    let hint_shape = match spec.hint_shape {
+        HintShape::Full => s("full"),
+        HintShape::Prefix(n) => obj(vec![("prefix", num(n as f64))]),
+        HintShape::Strided(n) => obj(vec![("strided", num(n as f64))]),
+    };
+    let drift = arr(spec
+        .drift
+        .iter()
+        .map(|e| {
+            let kind = match e.kind {
+                DriftKind::DataShift { days } => {
+                    obj(vec![("data_shift", obj(vec![("days", num(days))]))])
+                }
+                DriftKind::AddQueries { count } => {
+                    obj(vec![("add_queries", obj(vec![("count", num(count as f64))]))])
+                }
+            };
+            obj(vec![("at_frac", num(e.at_frac)), ("kind", kind)])
+        })
+        .collect());
+    let policy = match &spec.policy {
+        PolicySpec::Random => s("random"),
+        PolicySpec::Greedy => s("greedy"),
+        PolicySpec::QoAdvisor => s("qo-advisor"),
+        PolicySpec::LimeQoAlsNoCensor => s("limeqo-wocensored"),
+        PolicySpec::LimeQoAls { rank, drift, incremental, rescore_every } => obj(vec![(
+            "limeqo_als",
+            obj(vec![
+                ("rank", num(*rank as f64)),
+                (
+                    "drift",
+                    obj(vec![
+                        ("retain_priors", Node::Bool(drift.retain_priors)),
+                        ("prior_decay", num(drift.prior_decay)),
+                        ("density_gate", num(drift.density_gate)),
+                        ("cold_row_bonus", num(drift.cold_row_bonus)),
+                        ("warm_start", Node::Bool(drift.warm_start)),
+                        ("reverify_runner_up", Node::Bool(drift.reverify_runner_up)),
+                    ]),
+                ),
+                ("incremental", Node::Bool(*incremental)),
+                ("rescore_every", num(*rescore_every as f64)),
+            ]),
+        )]),
+        PolicySpec::OnlineAls { rank, explore_prob, rho, refresh_every, cold_bonus } => {
+            obj(vec![(
+                "online_als",
+                obj(vec![
+                    ("rank", num(*rank as f64)),
+                    ("explore_prob", num(*explore_prob)),
+                    ("rho", num(*rho)),
+                    ("refresh_every", num(*refresh_every as f64)),
+                    ("cold_bonus", num(*cold_bonus)),
+                ]),
+            )])
+        }
+    };
+    let mut fields = vec![
+        ("name", s(&spec.name)),
+        ("summary", s(&spec.summary)),
+        ("workload", workload),
+        ("hint_shape", hint_shape),
+        ("drift", drift),
+        ("policy", policy),
+        ("budget_multiple", num(spec.budget_multiple)),
+        ("batch", num(spec.batch as f64)),
+        ("max_steps", num(spec.max_steps as f64)),
+        ("seeds", arr(spec.seeds.iter().map(|&x| num(x as f64)).collect())),
+    ];
+    if let Some(a) = &spec.arrivals {
+        let model = match &a.model {
+            ArrivalModel::Uniform => s("uniform"),
+            ArrivalModel::Zipf { exponent } => {
+                obj(vec![("zipf", obj(vec![("exponent", num(*exponent))]))])
+            }
+            ArrivalModel::Replay { rows } => obj(vec![(
+                "replay",
+                obj(vec![("rows", arr(rows.iter().map(|&r| num(r as f64)).collect()))]),
+            )]),
+        };
+        fields.push((
+            "arrivals",
+            obj(vec![
+                ("count", num(a.count as f64)),
+                ("model", model),
+                ("burst", num(a.burst as f64)),
+                ("concurrency", num(a.concurrency as f64)),
+                ("rate", num(a.rate)),
+            ]),
+        ));
+    }
+    obj(fields)
+}
+
+fn escape_string(out: &mut String, v: &str) {
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_json(out: &mut String, node: &Node, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match node {
+        Node::Null => out.push_str("null"),
+        Node::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        // `{}` on f64 is Rust's shortest-round-trip formatting: the printed
+        // decimal re-parses to the identical bits, which is what makes the
+        // spec -> file -> spec round trip exact.
+        Node::Num(v) => out.push_str(&format!("{v}")),
+        Node::Str(v) => escape_string(out, v),
+        Node::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            let scalar = items.iter().all(|i| matches!(i.node, Node::Num(_) | Node::Str(_)));
+            if scalar {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_json(out, &item.node, indent);
+                }
+                out.push(']');
+            } else {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    write_json(out, &item.node, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+        }
+        Node::Obj(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, v)) in fields.iter().enumerate() {
+                out.push_str(&pad_in);
+                escape_string(out, k);
+                out.push_str(": ");
+                write_json(out, &v.node, indent + 1);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Serialize a spec to the canonical JSON form ([`parse_scenario_json`] of
+/// the result equals the input exactly).
+pub fn to_json_string(spec: &ScenarioSpec) -> String {
+    let mut out = String::new();
+    write_json(&mut out, &spec_to_node(spec), 0);
+    out.push('\n');
+    out
+}
+
+fn toml_key(k: &str) -> String {
+    let bare =
+        !k.is_empty() && k.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-');
+    if bare {
+        k.to_string()
+    } else {
+        let mut out = String::new();
+        escape_string(&mut out, k);
+        out
+    }
+}
+
+fn toml_scalar(out: &mut String, node: &Node) {
+    match node {
+        Node::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Node::Num(v) => out.push_str(&format!("{v}")),
+        Node::Str(v) => escape_string(out, v),
+        Node::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                toml_scalar(out, &item.node);
+            }
+            out.push(']');
+        }
+        Node::Null | Node::Obj(_) => unreachable!("handled by write_toml_table"),
+    }
+}
+
+fn write_toml_table(out: &mut String, prefix: &str, fields: &[(String, Value)]) {
+    // Scalars and scalar arrays first, then sub-tables, then arrays of
+    // tables — the order TOML requires to keep keys inside their table.
+    for (k, v) in fields {
+        match &v.node {
+            Node::Obj(_) => {}
+            Node::Arr(items) if items.iter().any(|i| matches!(i.node, Node::Obj(_))) => {}
+            Node::Null => {}
+            _ => {
+                out.push_str(&toml_key(k));
+                out.push_str(" = ");
+                toml_scalar(out, &v.node);
+                out.push('\n');
+            }
+        }
+    }
+    for (k, v) in fields {
+        let sub = if prefix.is_empty() { toml_key(k) } else { format!("{prefix}.{}", toml_key(k)) };
+        match &v.node {
+            Node::Obj(sub_fields) => {
+                out.push('\n');
+                out.push_str(&format!("[{sub}]\n"));
+                write_toml_table(out, &sub, sub_fields);
+            }
+            Node::Arr(items) if items.iter().any(|i| matches!(i.node, Node::Obj(_))) => {
+                for item in items {
+                    let Node::Obj(sub_fields) = &item.node else {
+                        unreachable!("mixed scalar/table array is never serialized")
+                    };
+                    out.push('\n');
+                    out.push_str(&format!("[[{sub}]]\n"));
+                    write_toml_table(out, &sub, sub_fields);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Serialize a spec to the canonical TOML form ([`parse_scenario_toml`] of
+/// the result equals the input exactly).
+pub fn to_toml_string(spec: &ScenarioSpec) -> String {
+    let Node::Obj(fields) = spec_to_node(spec) else { unreachable!("spec is a table") };
+    let mut out = String::new();
+    write_toml_table(&mut out, "", &fields);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::full_registry;
+    use std::path::Path;
+
+    fn label() -> &'static Path {
+        Path::new("<test>")
+    }
+
+    #[test]
+    fn json_round_trip_is_exact_for_every_registry_spec() {
+        for spec in full_registry() {
+            let text = to_json_string(&spec);
+            let back = parse_scenario_json(&text, label(), None)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert_eq!(back, spec, "JSON round trip diverged for {}", spec.name);
+        }
+    }
+
+    #[test]
+    fn toml_round_trip_is_exact_for_every_registry_spec() {
+        for spec in full_registry() {
+            let text = to_toml_string(&spec);
+            let back = parse_scenario_toml(&text, label(), None)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{text}", spec.name));
+            assert_eq!(back, spec, "TOML round trip diverged for {}", spec.name);
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_new_arrival_knobs_and_replay() {
+        let mut spec = crate::scenario::by_name("online-zipf").unwrap();
+        spec.arrivals = Some(ArrivalSpec {
+            count: 123,
+            model: ArrivalModel::Replay { rows: vec![0, 5, 2, 5] },
+            burst: 1,
+            concurrency: 1,
+            rate: 3.5,
+        });
+        let back = parse_scenario_json(&to_json_string(&spec), label(), None).unwrap();
+        assert_eq!(back, spec);
+        let back = parse_scenario_toml(&to_toml_string(&spec), label(), None).unwrap();
+        assert_eq!(back, spec);
+        spec.arrivals = Some(ArrivalSpec {
+            count: 400,
+            model: ArrivalModel::Zipf { exponent: 0.9 },
+            burst: 4,
+            concurrency: 3,
+            rate: 0.0,
+        });
+        let back = parse_scenario_toml(&to_toml_string(&spec), label(), None).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn json_errors_carry_line_and_field_path() {
+        let err = parse_scenario_json("{\n  \"name\": 3\n}", label(), None).unwrap_err();
+        assert_eq!(err.line, Some(2));
+        assert!(err.msg.contains("name"), "{err}");
+        assert!(err.msg.contains("expected a string"), "{err}");
+
+        let err =
+            parse_scenario_json("{\n  \"name\": \"x\",\n  oops\n}", label(), None).unwrap_err();
+        assert_eq!(err.line, Some(3), "{err}");
+    }
+
+    #[test]
+    fn unknown_keys_and_policies_are_rejected_with_location() {
+        let spec = crate::scenario::by_name("censor-hostile").unwrap();
+        let text = to_json_string(&spec).replace("\"batch\"", "\"batches\"");
+        let err = parse_scenario_json(&text, label(), None).unwrap_err();
+        assert!(err.msg.contains("batches"), "{err}");
+        assert!(err.line.is_some());
+
+        let text = to_json_string(&spec).replace("\"limeqo_als\"", "\"limeqo_ml\"");
+        let err = parse_scenario_json(&text, label(), None).unwrap_err();
+        assert!(err.msg.contains("policy"), "{err}");
+
+        let text = to_json_string(&PolicyProbe::greedy_spec()).replace("\"greedy\"", "\"greedo\"");
+        let err = parse_scenario_json(&text, label(), None).unwrap_err();
+        assert!(err.msg.contains("unknown policy"), "{err}");
+    }
+
+    struct PolicyProbe;
+    impl PolicyProbe {
+        fn greedy_spec() -> ScenarioSpec {
+            let mut spec = crate::scenario::by_name("censor-hostile").unwrap();
+            spec.policy = limeqo_core::scenario::PolicySpec::Greedy;
+            spec
+        }
+    }
+
+    #[test]
+    fn toml_errors_carry_line() {
+        let err = parse_scenario_toml("name = \"x\"\nbatch = oops\n", label(), None).unwrap_err();
+        assert_eq!(err.line, Some(2), "{err}");
+        let err = parse_scenario_toml("name = \"x\"\nname = \"y\"\n", label(), None).unwrap_err();
+        assert_eq!(err.line, Some(2), "{err}");
+        assert!(err.msg.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn toml_accepts_human_conveniences() {
+        // Underscored numbers, comments, inline tables, dotted keys,
+        // multi-line arrays — none emitted by the serializer, all legal
+        // input.
+        let text = r#"
+# a hand-written scenario
+name = "hand"
+summary = "hand-written"
+batch = 4
+max_steps = 100_000
+budget_multiple = 1.5
+seeds = [
+  1,
+  2, # second seed
+]
+hint_shape = "full"
+policy = "random"
+workload.synthetic = { n = 30, k = 8, rank = 2, default_inflation = 2.0, noise_sigma = 0.1, seed = 7 }
+"#;
+        let spec = parse_scenario_toml(text, label(), None).unwrap();
+        assert_eq!(spec.max_steps, 100_000);
+        assert_eq!(spec.seeds, vec![1, 2]);
+        assert!(matches!(spec.workload, ScenarioWorkload::Synthetic(ref s) if s.n == 30));
+        spec.check().unwrap();
+    }
+
+    #[test]
+    fn replay_csv_is_rejected_without_base_dir() {
+        let text = r#"{
+  "name": "r", "summary": "r",
+  "workload": {"synthetic": {"n": 10, "k": 4, "rank": 2, "default_inflation": 2.0, "noise_sigma": 0.0, "seed": 1}},
+  "policy": {"online_als": {"rank": 2, "explore_prob": 0.1, "rho": 1.2, "refresh_every": 16, "cold_bonus": 0.0}},
+  "batch": 1, "max_steps": 1000, "seeds": [1],
+  "arrivals": {"count": 10, "model": {"replay_csv": "trace.csv"}}
+}"#;
+        let err = parse_scenario_json(text, label(), None).unwrap_err();
+        assert!(err.msg.contains("replay_csv"), "{err}");
+    }
+
+    #[test]
+    fn replay_csv_loads_relative_to_spec_file() {
+        let dir = std::env::temp_dir().join(format!("limeqo-replay-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("trace.csv"), "# header comment\n0, 3\n2\n\n1\n").unwrap();
+        let text = r#"{
+  "name": "r", "summary": "r",
+  "workload": {"synthetic": {"n": 10, "k": 4, "rank": 2, "default_inflation": 2.0, "noise_sigma": 0.0, "seed": 1}},
+  "policy": {"online_als": {"rank": 2, "explore_prob": 0.1, "rho": 1.2, "refresh_every": 16, "cold_bonus": 0.0}},
+  "batch": 1, "max_steps": 1000, "seeds": [1],
+  "arrivals": {"count": 6, "model": {"replay_csv": "trace.csv"}}
+}"#;
+        let spec_path = dir.join("r.json");
+        std::fs::write(&spec_path, text).unwrap();
+        let spec = load_scenario(&spec_path).unwrap();
+        assert_eq!(spec.arrivals.unwrap().model, ArrivalModel::Replay { rows: vec![0, 3, 2, 1] });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_scenario_applies_bounds_checks() {
+        let dir = std::env::temp_dir().join(format!("limeqo-badspec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut spec = crate::scenario::by_name("censor-hostile").unwrap();
+        spec.seeds.clear();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, to_json_string(&spec)).unwrap();
+        let err = load_scenario(&path).unwrap_err();
+        assert!(err.msg.contains("seed"), "{err}");
+        assert_eq!(err.path, path);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -31,7 +31,7 @@ use limeqo_linalg::rng::SeededRng;
 use limeqo_linalg::Mat;
 
 /// One component of a workload's query-class mixture.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassMix {
     /// Query class (error profile).
     pub class: QueryClass,
@@ -50,7 +50,7 @@ pub struct ClassMix {
 }
 
 /// Specification of a synthetic workload.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Workload name (`job`, `ceb`, `stack`, `dsb`, ...).
     pub name: String,

@@ -29,7 +29,10 @@
 //! | `{"op":"shutdown"}` | `{"ok":true,"op":"shutdown"}` and the loop ends |
 //!
 //! Errors come back as `{"ok":false,"error":"…"}`; the daemon keeps
-//! serving. `trace` reports each entry's charged seconds as the hex
+//! serving. Requests are bounded at [`MAX_LINE_BYTES`] — an oversized
+//! line is answered with an error and never parsed, so a runaway client
+//! cannot balloon the daemon's memory. `trace` reports each entry's
+//! charged seconds as the hex
 //! [`f64::to_bits`] image, so two traces are equal if and only if the
 //! exploration histories are bit-identical — that is what the CI crash
 //! smoke diffs.
@@ -48,6 +51,28 @@ use limeqo_core::store::ObservationStore;
 use limeqo_core::{Action, Engine, Event};
 use limeqo_linalg::rng::SeededRng;
 use limeqo_linalg::Mat;
+
+/// Upper bound on one request line. Protocol requests are tiny (tens of
+/// bytes); anything past this is a broken or hostile client, and the
+/// daemon answers with an error instead of parsing it.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// `Some(error reply)` when `line` exceeds [`MAX_LINE_BYTES`].
+fn oversized_reply(line: &str) -> Option<String> {
+    (line.len() > MAX_LINE_BYTES).then(|| {
+        Json::Obj(vec![
+            ("ok".into(), Json::Bool(false)),
+            (
+                "error".into(),
+                Json::Str(format!(
+                    "request line of {} bytes exceeds the {MAX_LINE_BYTES}-byte limit",
+                    line.len()
+                )),
+            ),
+        ])
+        .render()
+    })
+}
 
 /// The persisted service environment: shape and seeds of the simulated
 /// workload plus the exploration batch size. Everything the engine's
@@ -248,9 +273,12 @@ impl Service {
         Ok(probes.len())
     }
 
-    /// Handle one protocol line. Malformed requests produce an error
-    /// response, not a crash — a daemon must outlive its clients.
+    /// Handle one protocol line. Malformed or oversized requests produce
+    /// an error response, not a crash — a daemon must outlive its clients.
     pub fn handle(&mut self, line: &str) -> Reply {
+        if let Some(reply) = oversized_reply(line) {
+            return Reply::Line(reply);
+        }
         match self.dispatch(line) {
             Ok(reply) => reply,
             Err(msg) => Reply::Line(
@@ -345,6 +373,12 @@ pub fn handle_init(
     line: &str,
     crash_at: Option<u64>,
 ) -> Result<(Service, String), String> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(format!(
+            "request line of {} bytes exceeds the {MAX_LINE_BYTES}-byte limit",
+            line.len()
+        ));
+    }
     let req = Json::parse(line)?;
     match req.get("op") {
         Some(Json::Str(s)) if s == "init" => {}
@@ -459,6 +493,45 @@ mod tests {
             assert!(r.line().contains("\"ok\":false"), "{bad:?} -> {}", r.line());
         }
         // Still alive.
+        assert!(svc.handle(r#"{"op":"tick"}"#).line().contains("\"ok\":true"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_without_parsing() {
+        let dir = test_dir("oversized");
+        let (mut svc, _) =
+            handle_init(&dir, r#"{"op":"init","n":10,"k":5,"seed":1,"batch":2}"#, None).unwrap();
+        // A syntactically valid request bloated past the cap: the length
+        // check must fire before the parser ever sees it.
+        let huge = format!(r#"{{"op":"tick","pad":"{}"}}"#, "x".repeat(MAX_LINE_BYTES));
+        let r = svc.handle(&huge);
+        assert!(r.line().contains("\"ok\":false"), "{}", r.line());
+        assert!(r.line().contains("exceeds"), "{}", r.line());
+        // Still alive, and the oversized request left no journal trace.
+        assert!(svc.handle(r#"{"op":"tick"}"#).line().contains("\"ok\":true"));
+        let _ = fs::remove_dir_all(&dir);
+
+        // The same cap guards the pre-init path.
+        let dir2 = test_dir("oversized-init");
+        let err = handle_init(&dir2, &huge, None).err().expect("oversized init must fail");
+        assert!(err.contains("exceeds"), "{err}");
+        let _ = fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn fresh_directory_rejects_everything_until_init() {
+        let dir = test_dir("tick-before-init");
+        for early in [r#"{"op":"tick"}"#, r#"{"op":"status"}"#, r#"{"op":"shutdown"}"#] {
+            let err = handle_init(&dir, early, None).err().expect("pre-init op must fail");
+            assert!(err.contains("must be init"), "{early} -> {err}");
+        }
+        // The rejections above must not have initialized or corrupted the
+        // directory: a proper init still succeeds afterwards.
+        assert!(!Service::exists(&dir));
+        let (mut svc, reply) =
+            handle_init(&dir, r#"{"op":"init","n":10,"k":5,"seed":1,"batch":2}"#, None).unwrap();
+        assert!(reply.contains("\"ok\":true"));
         assert!(svc.handle(r#"{"op":"tick"}"#).line().contains("\"ok\":true"));
         let _ = fs::remove_dir_all(&dir);
     }

@@ -1,0 +1,159 @@
+//! The checked-in `scenarios/` corpus re-expresses the code registry as
+//! files. This suite pins the two halves together:
+//!
+//! 1. **Spec equivalence** — every corpus file parses to a spec that is
+//!    `==` its code-registry twin, and every registry scenario has a
+//!    file. Since `run_scenario` is deterministic in the spec, spec
+//!    equality makes the corpus metrics bit-identical to the golden
+//!    suite's by construction; a direct bitwise metric comparison on the
+//!    cheap scenarios (and, under `--ignored`, the whole fast registry)
+//!    guards the construction itself.
+//! 2. **Serializer stability** — re-serializing each loaded file
+//!    reproduces its bytes, so `scenario export` is canonical and a
+//!    hand-edited file that drifts from canonical form shows up in
+//!    review as a rewrite, not a silent reformat.
+//! 3. **The extras** — `scenarios/extra/` holds hand-written specs for
+//!    the arrival knobs the registry does not exercise (bursts, bounded
+//!    concurrency, open-loop rates, CSV trace replay); they must parse,
+//!    validate, and name the knobs they claim to cover.
+//!
+//! The deliberately-broken fixtures under `scenarios/broken/` are valid,
+//! loadable specs that *violate the fuzzer's calibrated invariants*; they
+//! are exercised by `scenario_fuzz.rs`, not here.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use limeqo_bench::run_scenario;
+use limeqo_sim::scenario::{registry, scale_registry, ArrivalModel, ScenarioSpec};
+use limeqo_sim::{load_corpus, load_scenario, to_json_string, to_toml_string};
+
+/// Workspace-root path (the tests crate lives one level down).
+fn root(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(rel)
+}
+
+fn corpus() -> Vec<(PathBuf, ScenarioSpec)> {
+    load_corpus(&root("scenarios")).expect("scenarios/ corpus loads")
+}
+
+#[test]
+fn corpus_reexpresses_the_fast_registry_exactly() {
+    let by_name: BTreeMap<String, ScenarioSpec> =
+        corpus().into_iter().map(|(_, s)| (s.name.clone(), s)).collect();
+    let reg = registry();
+    assert_eq!(
+        by_name.keys().cloned().collect::<Vec<_>>(),
+        {
+            let mut names: Vec<String> = reg.iter().map(|s| s.name.clone()).collect();
+            names.sort();
+            names
+        },
+        "corpus files and registry scenarios must be the same set"
+    );
+    for spec in reg {
+        assert_eq!(
+            by_name[&spec.name], spec,
+            "scenarios/{}.* differs from its code-registry twin",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn scale_corpus_reexpresses_the_scale_registry_exactly() {
+    let by_name: BTreeMap<String, ScenarioSpec> = load_corpus(&root("scenarios/scale"))
+        .expect("scenarios/scale/ corpus loads")
+        .into_iter()
+        .map(|(_, s)| (s.name.clone(), s))
+        .collect();
+    let reg = scale_registry();
+    assert_eq!(by_name.len(), reg.len());
+    for spec in reg {
+        assert_eq!(by_name[&spec.name], spec, "scale corpus twin diverged for {}", spec.name);
+    }
+}
+
+#[test]
+fn corpus_files_are_in_canonical_form() {
+    for (path, spec) in corpus() {
+        let bytes = std::fs::read_to_string(&path).expect("corpus file readable");
+        let canonical = match path.extension().and_then(|e| e.to_str()) {
+            Some("toml") => to_toml_string(&spec),
+            _ => to_json_string(&spec),
+        };
+        assert_eq!(
+            bytes,
+            canonical,
+            "{} is not in canonical serializer form (regenerate with `scenario export`)",
+            path.display()
+        );
+    }
+}
+
+/// The direct half of the bit-identity claim: run two cheap scenarios
+/// from their files and from their code twins and require *exactly*
+/// equal metrics (no tolerance — same spec, same deterministic runner).
+#[test]
+fn cheap_corpus_files_produce_bit_identical_metrics() {
+    for name in ["tiny-headroom", "hint-prefix-9"] {
+        assert_bit_identical(name);
+    }
+}
+
+/// The full fast registry under `--ignored` (seconds per scenario).
+#[test]
+#[ignore = "runs the whole fast corpus twice; seconds per scenario"]
+fn every_corpus_file_produces_bit_identical_metrics() {
+    for spec in registry() {
+        assert_bit_identical(&spec.name);
+    }
+}
+
+fn assert_bit_identical(name: &str) {
+    let from_code = limeqo_sim::scenario::by_name(name).expect("registered scenario");
+    let (_, from_file) = corpus()
+        .into_iter()
+        .find(|(_, s)| s.name == name)
+        .unwrap_or_else(|| panic!("no corpus file for {name}"));
+    let (code_out, file_out) = (run_scenario(&from_code), run_scenario(&from_file));
+    let (code_metrics, file_metrics) = (code_out.metrics(), file_out.metrics());
+    assert_eq!(code_metrics.len(), file_metrics.len());
+    for ((k, code), (k2, file)) in code_metrics.iter().zip(file_metrics.iter()) {
+        assert_eq!(k, k2);
+        assert!(
+            code.to_bits() == file.to_bits(),
+            "{k}: corpus-file run {file} != code-registry run {code} (bitwise)"
+        );
+    }
+}
+
+#[test]
+fn extra_specs_cover_the_new_arrival_knobs() {
+    let burst =
+        load_scenario(&root("scenarios/extra/online-burst-queue.json")).expect("burst spec loads");
+    let a = burst.arrivals.as_ref().expect("online spec has arrivals");
+    assert_eq!((a.burst, a.concurrency), (4, 2), "burst spec must exercise batching + workers");
+    assert!(a.rate > 0.0, "burst spec must be open-loop (rate > 0)");
+
+    let replay = load_scenario(&root("scenarios/extra/online-replay-trace.toml"))
+        .expect("replay spec loads (TOML + replay_csv relative to the spec file)");
+    let a = replay.arrivals.as_ref().expect("online spec has arrivals");
+    let ArrivalModel::Replay { rows } = &a.model else {
+        panic!("replay spec must resolve replay_csv into an inline trace")
+    };
+    let n = replay.workload.n_queries();
+    assert!(!rows.is_empty() && rows.iter().all(|&r| r < n), "trace rows in range");
+}
+
+/// The extras run green end to end (they carry no beats-random claim,
+/// but every structural invariant must hold).
+#[test]
+#[ignore = "runs two online scenarios end to end"]
+fn extra_specs_hold_every_calibrated_invariant() {
+    for file in ["extra/online-burst-queue.json", "extra/online-replay-trace.toml"] {
+        let spec = load_scenario(&root("scenarios").join(file)).expect("extra spec loads");
+        limeqo_bench::fuzz::check_spec(&spec)
+            .unwrap_or_else(|e| panic!("scenarios/{file} violated an invariant: {e}"));
+    }
+}

@@ -67,7 +67,7 @@ const REL_TOL: f64 = 1e-6;
 fn registry_is_large_and_unique() {
     let specs = registry();
     assert!(specs.len() >= 8, "need >= 8 named scenarios, have {}", specs.len());
-    let mut names: Vec<&str> = specs.iter().map(|s| s.name).collect();
+    let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
     names.sort_unstable();
     names.dedup();
     assert_eq!(names.len(), specs.len(), "duplicate scenario names");
@@ -123,7 +123,7 @@ fn limeqo_no_worse_than_random_at_equal_budget() {
             continue;
         }
         covered += 1;
-        let o = outcome(spec.name);
+        let o = outcome(&spec.name);
         let random = o.random_final_latency.expect("offline scenarios run a random reference");
         assert!(
             o.final_latency <= random * 1.02 + 1e-9,
