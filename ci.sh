@@ -4,9 +4,11 @@
 #   ./ci.sh            # lint + tier-1 (build, tests, perf smoke, bench type-check)
 #   ./ci.sh --fast     # skip the release build (debug tests only)
 #   ./ci.sh --ignored  # slow tier only: tests marked #[ignore]
-#                      # (full-scale figure smokes and the 100k-query
-#                      # scale scenarios; > ~5 s each) + the full-size
-#                      # perf trajectory (bench-results/BENCH_policy.json)
+#                      # (full-scale figure smokes, the 100k-query scale
+#                      # scenarios, and the sharded 1M-row tier with its
+#                      # 256 MiB memory-budget assertion; > ~5 s each) +
+#                      # the full-size perf trajectory
+#                      # (bench-results/BENCH_policy.json)
 #
 # Everything runs offline: external deps are vendored under vendor/ (see
 # vendor/README.md), so no registry access is needed or attempted.
@@ -75,7 +77,9 @@ if [[ "$FAST" == "0" ]]; then
   # subsystem's metric keys must actually land in the emitted document
   # (a silently dropped emitter line would otherwise only fail in-process
   # tests, not the committed-trajectory workflow).
-  for key in policy.sample_s policy.topk_s svc.journal_append_s svc.snapshot_s svc.recover_s; do
+  for key in policy.sample_s policy.topk_s \
+    shard.select_s shard.merge_s shard.als_s shard.mem_bytes \
+    svc.journal_append_s svc.snapshot_s svc.recover_s; do
     if ! grep -q "\"$key\"" bench-results/BENCH_policy_smoke.json; then
       echo "ci.sh: BENCH_policy_smoke.json is missing \"$key\"" >&2
       exit 1

@@ -226,8 +226,11 @@ fn cmd_fuzz(args: &[String]) {
         eprintln!(
             "[scenario] fuzz FAIL seed {}: {}",
             f.case_seed.expect("generated case"),
-            f.reason
+            f.original_reason
         );
+        if f.reason != f.original_reason {
+            eprintln!("  minimized to: {}", f.reason);
+        }
         if let Some(p) = &f.dump_path {
             eprintln!("  minimized spec dumped to {} (replay with fuzz --replay)", p.display());
         }

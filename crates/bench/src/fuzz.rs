@@ -18,7 +18,7 @@
 
 use std::path::{Path, PathBuf};
 
-use limeqo_sim::scenario::ScenarioSpec;
+use limeqo_sim::scenario::{ScenarioSpec, ScenarioWorkload};
 use limeqo_sim::scenario_fuzz::{generate, shrink};
 use limeqo_sim::to_json_string;
 
@@ -33,6 +33,18 @@ const ABS_TOL: f64 = 1e-9;
 /// regression (losing the low-rank signal entirely) still trips it.
 pub const LIMEQO_VS_RANDOM_TOL: f64 = 1.05;
 
+/// The median bound for multi-seed *Sim* workloads. Sim oracles carry no
+/// low-rank ground truth, so on a tiny catalog LimeQO holds no structural
+/// edge and can legitimately trail Random by a modest median margin (the
+/// 1,200-seed calibration sweep measured honest losses up to ~1.26x at
+/// in-envelope ranks). This bound is therefore a *collapse detector*, not
+/// a competitiveness claim: the regressions the fuzzer exists to catch —
+/// the incremental-tunneling cliff, the no-censoring ablation — blow past
+/// 1.5x, while the honest model-mismatch losses stay well under it.
+/// Synthetic workloads keep [`LIMEQO_VS_RANDOM_TOL`] even on the median
+/// path: there the low-rank structure holds by construction.
+pub const SIM_MEDIAN_COLLAPSE_TOL: f64 = 1.5;
+
 /// One confirmed fuzz failure: the generating seed (when the case came
 /// from the generator), the original and minimized specs, and why.
 #[derive(Debug, Clone)]
@@ -41,6 +53,10 @@ pub struct FuzzFailure {
     pub case_seed: Option<u64>,
     /// The spec as generated/loaded.
     pub original: ScenarioSpec,
+    /// First violated invariant of the *original* spec — the shrinker may
+    /// land on a different (usually narrower) violation, so calibration
+    /// work needs both.
+    pub original_reason: String,
     /// The smallest spec the shrinker found that still fails.
     pub minimized: ScenarioSpec,
     /// First violated invariant of the *minimized* spec.
@@ -97,15 +113,38 @@ pub fn check_outcome(spec: &ScenarioSpec, o: &ScenarioOutcome) -> Result<(), Str
     }
 
     // LimeQO must hold its own against Random at equal budget on
-    // drift-free workloads (the paper's core claim).
+    // drift-free workloads (the paper's core claim). With >= 3 seeds the
+    // comparison is *median vs median* — the luck-robust form: on
+    // heavy-tailed workloads (tiny Sim catalogs) Random can genuinely win
+    // a single seed by luck, but a real policy regression shifts every
+    // seed, so the median still trips. Sim medians get the collapse bound
+    // (see [`SIM_MEDIAN_COLLAPSE_TOL`]); synthetic medians keep the tight
+    // competitive bound. Fewer than 3 seeds keeps the historic mean
+    // comparison (with 1–2 seeds a median is no more robust than a mean,
+    // and the pinned `scenarios/broken/` fixtures rely on the mean path
+    // to keep failing).
     if spec.policy.expects_to_beat_random() && spec.drift.is_empty() {
-        let random = o
-            .random_final_latency
+        let random_seeds = o
+            .random_seed_final_latencies
+            .as_deref()
             .ok_or_else(|| format!("{}: runner dropped the random reference", spec.name))?;
-        if o.final_latency > random * LIMEQO_VS_RANDOM_TOL + ABS_TOL {
+        let (ours, random, form, tol) = if spec.seeds.len() >= 3 {
+            let tol = if matches!(spec.workload, ScenarioWorkload::Sim(_)) {
+                SIM_MEDIAN_COLLAPSE_TOL
+            } else {
+                LIMEQO_VS_RANDOM_TOL
+            };
+            (median(&o.seed_final_latencies), median(random_seeds), "median", tol)
+        } else {
+            let random = o
+                .random_final_latency
+                .ok_or_else(|| format!("{}: runner dropped the random reference", spec.name))?;
+            (o.final_latency, random, "mean", LIMEQO_VS_RANDOM_TOL)
+        };
+        if ours > random * tol + ABS_TOL {
             return fail(format!(
-                "limeqo {} worse than random {} beyond the {LIMEQO_VS_RANDOM_TOL}x tolerance",
-                o.final_latency, random
+                "limeqo {form} {ours} worse than random {form} {random} beyond the {tol}x \
+                 tolerance"
             ));
         }
     }
@@ -149,6 +188,22 @@ pub fn check_outcome(spec: &ScenarioSpec, o: &ScenarioOutcome) -> Result<(), Str
     Ok(())
 }
 
+/// Seed-order-independent median (total order over f64 via `total_cmp`;
+/// even counts average the middle pair).
+fn median(values: &[f64]) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    if v.is_empty() {
+        return 0.0;
+    }
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        0.5 * (v[mid - 1] + v[mid])
+    }
+}
+
 /// Run one spec through the scenario runner and check every invariant.
 pub fn check_spec(spec: &ScenarioSpec) -> Result<(), String> {
     spec.check()?;
@@ -172,12 +227,15 @@ pub fn run_fuzz(start_seed: u64, count: usize, dump_dir: Option<&Path>) -> FuzzR
     for i in 0..count {
         let case_seed = start_seed.wrapping_add(i as u64);
         let spec = generate(case_seed);
-        if check_spec(&spec).is_err() {
+        if let Err(original_reason) = check_spec(&spec) {
             let (minimized, reason) = minimize(&spec);
-            let dump_path = dump_dir.map(|dir| dump_failure(dir, case_seed, &minimized, &reason));
+            let dump_path = dump_dir.map(|dir| {
+                dump_failure(dir, case_seed, &spec, &original_reason, &minimized, &reason)
+            });
             failures.push(FuzzFailure {
                 case_seed: Some(case_seed),
                 original: spec,
+                original_reason,
                 minimized,
                 reason,
                 dump_path,
@@ -187,15 +245,30 @@ pub fn run_fuzz(start_seed: u64, count: usize, dump_dir: Option<&Path>) -> FuzzR
     FuzzReport { cases: count, failures }
 }
 
-/// Write the minimized spec (as a replayable corpus file) and its failure
-/// reason next to each other under `dir`.
-fn dump_failure(dir: &Path, case_seed: u64, minimized: &ScenarioSpec, reason: &str) -> PathBuf {
+/// Write the minimized spec (as a replayable corpus file), the original
+/// spec, and both failure reasons next to each other under `dir`.
+fn dump_failure(
+    dir: &Path,
+    case_seed: u64,
+    original: &ScenarioSpec,
+    original_reason: &str,
+    minimized: &ScenarioSpec,
+    reason: &str,
+) -> PathBuf {
     std::fs::create_dir_all(dir).expect("create fuzz dump dir");
     let spec_path = dir.join(format!("fuzz-{case_seed:016x}.json"));
     std::fs::write(&spec_path, to_json_string(minimized)).expect("dump minimized spec");
     std::fs::write(
+        dir.join(format!("fuzz-{case_seed:016x}.original.json")),
+        to_json_string(original),
+    )
+    .expect("dump original spec");
+    std::fs::write(
         dir.join(format!("fuzz-{case_seed:016x}.reason.txt")),
-        format!("{reason}\nreplay: scenario fuzz --replay {}\n", spec_path.display()),
+        format!(
+            "original: {original_reason}\nminimized: {reason}\nreplay: scenario fuzz --replay {}\n",
+            spec_path.display()
+        ),
     )
     .expect("dump failure reason");
     spec_path

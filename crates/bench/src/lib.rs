@@ -33,5 +33,6 @@ pub use harness::{
 };
 pub use report::{write_csv, write_json, Json, Table};
 pub use scenario_runner::{
-    run_scenario, run_scenarios, verify_scenario_via_engine, ScenarioOutcome,
+    run_scenario, run_scenarios, verify_scenario_sharded, verify_scenario_via_engine,
+    ScenarioOutcome,
 };

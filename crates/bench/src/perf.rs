@@ -46,6 +46,10 @@ pub const REQUIRED_KEYS: &[&str] = &[
     "policy.rank_scan_s",
     "policy.sample_s",
     "policy.topk_s",
+    "shard.select_s",
+    "shard.merge_s",
+    "shard.als_s",
+    "shard.mem_bytes",
     "svc.journal_append_s",
     "svc.snapshot_s",
     "svc.recover_s",
@@ -90,8 +94,15 @@ fn time_min(reps: usize, mut f: impl FnMut()) -> f64 {
 /// the remaining cells observed (mixed complete/censored) — the
 /// `bench_store` shape.
 fn matured_store(n: usize, k: usize, seed: u64) -> ObservationStore {
+    matured_store_sharded(n, k, seed, 1)
+}
+
+/// [`matured_store`] over a sharded matrix layout. Cell content is
+/// identical at every shard count (sharding is layout, not semantics), so
+/// the `shard.*` measurements time the same data as the unsharded ones.
+fn matured_store_sharded(n: usize, k: usize, seed: u64, shards: usize) -> ObservationStore {
     let mut rng = SeededRng::new(seed);
-    let mut store = ObservationStore::new(WorkloadMatrix::new(n, k));
+    let mut store = ObservationStore::new(WorkloadMatrix::new_sharded(n, k, shards));
     for row in 0..n {
         store.record_complete(row, 0, rng.uniform(1.0, 10.0));
         for col in 1..k {
@@ -199,6 +210,53 @@ pub fn run(opts: &PerfOpts) -> Json {
         let items = topk_pools.pop().expect("one pre-cloned vector per rep");
         let picked = limeqo_core::select::top_m_by(items, topk_m, limeqo_core::select::score_desc);
         std::hint::black_box(picked);
+    });
+
+    // The sharded multi-tenant layer, at the 8-shard layout the scale-1m
+    // tier uses: one full policy `select` over a sharded store (per-shard
+    // Eq. 6 top-m + deterministic cross-shard merge), the k-way merge in
+    // isolation, the per-shard blocked ALS fit, and the sparse matrix
+    // footprint the memory-budget table in PERF.md quotes.
+    let shard_count = 8usize;
+    let sharded_store = matured_store_sharded(n, k, 0xBE9C, shard_count);
+    let swm = sharded_store.matrix();
+    let shard_mem = swm.mem_bytes();
+    let shard_als = time_min(reps, || {
+        let mut als = AlsCompleter::paper_default(1);
+        als.iters = iters;
+        als.threads = opts.threads;
+        std::hint::black_box(als.complete(swm));
+    });
+    let mut shard_policy =
+        LimeQoPolicy::new(Box::new(ConstCompleter(Mat::filled(n, k, 1.0))), "limeqo");
+    let shard_select = time_min(reps.max(3), || {
+        let ctx = PolicyCtx { wm: swm, est_cost: None, store: Some(&sharded_store) };
+        let mut rng = SeededRng::new(9);
+        std::hint::black_box(shard_policy.select(&ctx, 64, &mut rng));
+    });
+    // The cross-shard merge in isolation: one ranked top-m list per shard
+    // (the Eq. 6 ranking's shape), merged under the subsystem's total
+    // order. `merge_ranked` consumes its lists, so one pre-built set per
+    // rep keeps the clone out of the timed region.
+    let merge_reps = reps.max(3);
+    // (score, row, col, weight) — the Eq. 6 ranked-candidate shape.
+    type RankedList = Vec<(f64, usize, usize, f64)>;
+    let merge_lists: Vec<RankedList> = swm
+        .shard_ranges()
+        .into_iter()
+        .map(|(start, end)| {
+            let mut rng = SeededRng::new(0x3D ^ start as u64);
+            let scored = (start..end).map(|row| (rng.uniform(0.0, 4.0), row, rng.index(k), 1.0));
+            limeqo_core::select::top_m_by(scored, topk_m, limeqo_core::select::score_desc)
+        })
+        .collect();
+    let mut merge_pools: Vec<Vec<RankedList>> =
+        (0..merge_reps).map(|_| merge_lists.clone()).collect();
+    let shard_merge = time_min(merge_reps, || {
+        let lists = merge_pools.pop().expect("one pre-built list set per rep");
+        let merged =
+            limeqo_core::select::merge_ranked(lists, topk_m, limeqo_core::select::score_desc);
+        std::hint::black_box(merged);
     });
 
     // Service durability layer. Journal append is the per-event tax the
@@ -331,6 +389,11 @@ pub fn run(opts: &PerfOpts) -> Json {
         ("policy.sample_s".into(), Json::Num(sample)),
         ("policy.sample_batch".into(), Json::Num(sample_batch as f64)),
         ("policy.topk_s".into(), Json::Num(topk)),
+        ("shard.count".into(), Json::Num(shard_count as f64)),
+        ("shard.select_s".into(), Json::Num(shard_select)),
+        ("shard.merge_s".into(), Json::Num(shard_merge)),
+        ("shard.als_s".into(), Json::Num(shard_als)),
+        ("shard.mem_bytes".into(), Json::Num(shard_mem as f64)),
         ("svc.journal_append_s".into(), Json::Num(journal_append)),
         ("svc.journal_events".into(), Json::Num(journal_events as f64)),
         ("svc.snapshot_s".into(), Json::Num(snapshot_s)),
@@ -359,6 +422,9 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
         "als.serial_s",
         "als.parallel_s",
         "scenario.end_to_end_s",
+        "shard.select_s",
+        "shard.merge_s",
+        "shard.als_s",
         "svc.journal_append_s",
         "svc.snapshot_s",
         "svc.recover_s",
@@ -367,6 +433,12 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
             if v <= 0.0 {
                 errors.push(format!("{key:?} must be a positive duration, got {v}"));
             }
+        }
+    }
+    // The sharded matrix footprint is a real byte count, never a stub.
+    if let Some(v) = doc.get("shard.mem_bytes").and_then(Json::as_num) {
+        if v <= 0.0 {
+            errors.push(format!("\"shard.mem_bytes\" must be a positive byte count, got {v}"));
         }
     }
     // The always-on service journals every input event on the hot path;

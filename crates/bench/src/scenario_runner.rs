@@ -49,6 +49,21 @@ pub struct ScenarioOutcome {
     pub monotone_ok: bool,
     /// Online-exploration statistics, present iff the policy is online.
     pub online: Option<OnlineOutcome>,
+    /// Per-seed final latencies of the named policy, in seed order
+    /// (offline scenarios; empty for online ones). Diagnostic only —
+    /// deliberately kept out of [`ScenarioOutcome::metrics`] so goldens
+    /// pin the seed mean; the fuzzer's luck-robust median invariant
+    /// reads it.
+    pub seed_final_latencies: Vec<f64>,
+    /// Per-seed Random-reference finals, parallel to
+    /// `seed_final_latencies` (offline scenarios with a non-Random
+    /// policy only).
+    pub random_seed_final_latencies: Option<Vec<f64>>,
+    /// Peak workload-matrix resident bytes across the named policy's
+    /// seeded runs ([`limeqo_core::matrix::WorkloadMatrix::mem_bytes`]
+    /// accounting, allocator-independent). Not a golden metric; the
+    /// scale-tier memory-budget assertions read it.
+    pub mem_bytes: u64,
 }
 
 /// Aggregated online-exploration outcome (seed means; bounds hold for
@@ -194,6 +209,7 @@ struct OfflineSeed {
     cells: usize,
     censored: usize,
     monotone: bool,
+    mem_bytes: usize,
 }
 
 fn run_offline_seed(spec: &ScenarioSpec, env: &Env, policy: &PolicySpec, seed: u64) -> OfflineSeed {
@@ -205,6 +221,7 @@ fn run_offline_seed(spec: &ScenarioSpec, env: &Env, policy: &PolicySpec, seed: u
         seed,
         retention: policy.drift(),
         max_steps: spec.max_steps,
+        shards: spec.shards,
     };
     let mut ex = Explorer::new(&env.oracles[0], policy.build_policy(seed), cfg, env.initial_rows);
     let mut monotone = true;
@@ -235,6 +252,7 @@ fn run_offline_seed(spec: &ScenarioSpec, env: &Env, policy: &PolicySpec, seed: u
         cells: ex.cells_executed(),
         censored: ex.wm().censored_count(),
         monotone,
+        mem_bytes: ex.wm().mem_bytes(),
     }
 }
 
@@ -252,11 +270,13 @@ struct OnlineSeed {
     censored: usize,
     /// `(mean, max)` open-loop queue wait, `None` for closed-loop specs.
     queue_wait: Option<(f64, f64)>,
+    mem_bytes: usize,
 }
 
 fn run_online_seed(spec: &ScenarioSpec, env: &Env, seed: u64) -> OnlineSeed {
     let oracle = &env.oracles[0];
-    let cfg = spec.policy.online_config(seed).expect("online policy spec");
+    let mut cfg = spec.policy.online_config(seed).expect("online policy spec");
+    cfg.shards = spec.shards;
     let rho = cfg.rho;
     let mut ex = OnlineExplorer::new(oracle, spec.policy.build_completer(seed), cfg);
     let arrivals = spec.arrivals.as_ref().expect("online scenario has arrivals");
@@ -300,6 +320,7 @@ fn run_online_seed(spec: &ScenarioSpec, env: &Env, seed: u64) -> OnlineSeed {
     // already-censored cell.
     let cells = ex.wm().complete_count() - n + ex.stats().cancelled;
     OnlineSeed {
+        mem_bytes: ex.wm().mem_bytes(),
         stats: ex.stats().clone(),
         max_ratio,
         rho_ok,
@@ -341,6 +362,9 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
         censored_cells: 0.0,
         monotone_ok: true,
         online: None,
+        seed_final_latencies: Vec::new(),
+        random_seed_final_latencies: None,
+        mem_bytes: 0,
     };
 
     if spec.policy.is_online() {
@@ -353,6 +377,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
         })
         .expect("online seed fan-out");
         let runs: Vec<OnlineSeed> = slots.into_iter().map(|s| s.expect("seed ran")).collect();
+        outcome.mem_bytes = runs.iter().map(|r| r.mem_bytes).max().unwrap_or(0) as u64;
         outcome.cells_executed = mean(&runs.iter().map(|r| r.cells as f64).collect::<Vec<_>>());
         outcome.censored_cells = mean(&runs.iter().map(|r| r.censored as f64).collect::<Vec<_>>());
         outcome.online = Some(OnlineOutcome {
@@ -394,7 +419,9 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
         slots.into_iter().map(|s| s.expect("seed ran")).collect()
     };
     let runs = run_all(&spec.policy);
-    outcome.final_latency = mean(&runs.iter().map(|r| r.final_latency).collect::<Vec<_>>());
+    outcome.seed_final_latencies = runs.iter().map(|r| r.final_latency).collect();
+    outcome.mem_bytes = runs.iter().map(|r| r.mem_bytes).max().unwrap_or(0) as u64;
+    outcome.final_latency = mean(&outcome.seed_final_latencies);
     outcome.cells_executed = mean(&runs.iter().map(|r| r.cells as f64).collect::<Vec<_>>());
     outcome.censored_cells = mean(&runs.iter().map(|r| r.censored as f64).collect::<Vec<_>>());
     outcome.monotone_ok = runs.iter().all(|r| r.monotone);
@@ -403,8 +430,9 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
         // monotone_ok — that flag describes the named policy, and Random's
         // no-regression property is covered by core's property tests.
         let reference = run_all(&random);
-        outcome.random_final_latency =
-            Some(mean(&reference.iter().map(|r| r.final_latency).collect::<Vec<_>>()));
+        let finals: Vec<f64> = reference.iter().map(|r| r.final_latency).collect();
+        outcome.random_final_latency = Some(mean(&finals));
+        outcome.random_seed_final_latencies = Some(finals);
     }
     outcome
 }
@@ -436,6 +464,7 @@ fn offline_seed_via_explorer(
         seed,
         retention: policy.drift(),
         max_steps: spec.max_steps,
+        shards: spec.shards,
     };
     let mut ex = Explorer::new(&env.oracles[0], policy.build_policy(seed), cfg, env.initial_rows);
     let mut shift_idx = 1usize;
@@ -501,13 +530,14 @@ fn offline_seed_via_engine(
         seed,
         retention: policy.drift(),
         max_steps: spec.max_steps,
+        shards: spec.shards,
     };
     let mut oracle = &env.oracles[0];
     let (_, k) = oracle.shape();
     let defaults: Vec<f64> = (0..env.initial_rows)
         .map(|i| oracle.true_latency(i, WorkloadMatrix::DEFAULT_HINT))
         .collect();
-    let store = ObservationStore::with_defaults(&defaults, k);
+    let store = ObservationStore::with_defaults_sharded(&defaults, k, spec.shards);
     let mut engine = Engine::offline(store, policy.build_policy(seed), oracle.est_cost(), &cfg);
     let mut active_rows = env.initial_rows;
     let mut shift_idx = 1usize;
@@ -565,11 +595,12 @@ fn online_seed_via_engine(
     use limeqo_core::{Action, Engine, Event};
 
     let oracle = &env.oracles[0];
-    let cfg = spec.policy.online_config(seed).expect("online policy spec");
+    let mut cfg = spec.policy.online_config(seed).expect("online policy spec");
+    cfg.shards = spec.shards;
     let (n, k) = oracle.shape();
     let defaults: Vec<f64> =
         (0..n).map(|i| oracle.true_latency(i, WorkloadMatrix::DEFAULT_HINT)).collect();
-    let store = ObservationStore::with_defaults(&defaults, k);
+    let store = ObservationStore::with_defaults_sharded(&defaults, k, spec.shards);
     let mut engine = Engine::online(store, spec.policy.build_completer(seed), &cfg);
     let trace = spec.arrivals.as_ref().expect("online scenario has arrivals").trace(n, seed);
     for &row in &trace {
@@ -585,6 +616,50 @@ fn online_seed_via_engine(
     }
     let cells = engine.wm().complete_count() - n + engine.stats().cancelled;
     (engine.stats().clone(), cells, engine.wm().censored_count())
+}
+
+/// Bitwise comparison of two [`EngineRun`] trajectories: the full trace
+/// (row, column, charged-time bits, censored flag) plus the clock, cell
+/// counts, and final workload latency. `labels` names the two sides in
+/// the error message.
+fn compare_engine_runs(
+    name: &str,
+    seed: u64,
+    a: &EngineRun,
+    b: &EngineRun,
+    labels: (&str, &str),
+) -> Result<(), String> {
+    let (la, lb) = labels;
+    if a.trace.len() != b.trace.len() {
+        return Err(format!(
+            "{name} seed {seed}: trace length diverges ({la} {} vs {lb} {})",
+            a.trace.len(),
+            b.trace.len()
+        ));
+    }
+    for (i, (x, y)) in a.trace.iter().zip(b.trace.iter()).enumerate() {
+        let same = x.row == y.row
+            && x.col == y.col
+            && x.charged.to_bits() == y.charged.to_bits()
+            && x.censored == y.censored;
+        if !same {
+            return Err(format!(
+                "{name} seed {seed}: trace entry {i} diverges ({la} {x:?} vs {lb} {y:?})"
+            ));
+        }
+    }
+    let checks = [
+        ("time_spent", a.time_spent, b.time_spent),
+        ("cells", a.cells as f64, b.cells as f64),
+        ("censored", a.censored as f64, b.censored as f64),
+        ("final_latency", a.final_latency, b.final_latency),
+    ];
+    for (what, x, y) in checks {
+        if x.to_bits() != y.to_bits() {
+            return Err(format!("{name} seed {seed}: {what} diverges ({la} {x} vs {lb} {y})"));
+        }
+    }
+    Ok(())
 }
 
 /// Drive every seed of `spec` twice — once through the legacy harness
@@ -621,40 +696,57 @@ pub fn verify_scenario_via_engine(spec: &ScenarioSpec) -> Result<(), String> {
         } else {
             let a = offline_seed_via_explorer(spec, &env, &spec.policy, seed);
             let b = offline_seed_via_engine(spec, &env, &spec.policy, seed);
-            if a.trace.len() != b.trace.len() {
-                return Err(format!(
-                    "{} seed {seed}: trace length diverges ({} vs {})",
-                    spec.name,
-                    a.trace.len(),
-                    b.trace.len()
-                ));
-            }
-            for (i, (x, y)) in a.trace.iter().zip(b.trace.iter()).enumerate() {
-                let same = x.row == y.row
-                    && x.col == y.col
-                    && x.charged.to_bits() == y.charged.to_bits()
-                    && x.censored == y.censored;
-                if !same {
-                    return Err(format!(
-                        "{} seed {seed}: trace entry {i} diverges ({x:?} vs {y:?})",
-                        spec.name
-                    ));
-                }
-            }
-            let checks = [
-                ("time_spent", a.time_spent, b.time_spent),
+            compare_engine_runs(&spec.name, seed, &a, &b, ("harness", "engine"))?;
+        }
+    }
+    Ok(())
+}
+
+/// The sharded-equivalence oath: run every seed of `spec` once with the
+/// unsharded workload matrix and once partitioned into `shards` shards,
+/// and fail on the first bitwise divergence — trace entries, clocks,
+/// cell counts, censored counts, and the final workload latency (offline)
+/// or the full online statistics (online). The shard count must be a pure
+/// scale-out knob; this is the check that keeps it one.
+pub fn verify_scenario_sharded(spec: &ScenarioSpec, shards: usize) -> Result<(), String> {
+    spec.validate();
+    let mut base = spec.clone();
+    base.shards = 1;
+    let mut split = spec.clone();
+    split.shards = shards;
+    // The environment (oracle chain, budget) never depends on the shard
+    // layout, so it is built once and shared by both sides.
+    let env = build_env(spec);
+    for &seed in &spec.seeds {
+        if spec.policy.is_online() {
+            let a = run_online_seed(&base, &env, seed);
+            let b = run_online_seed(&split, &env, seed);
+            let (sa, sb) = (&a.stats, &b.stats);
+            let pairs = [
+                ("arrivals", sa.arrivals as f64, sb.arrivals as f64),
+                ("explored", sa.explored as f64, sb.explored as f64),
+                ("wins", sa.wins as f64, sb.wins as f64),
+                ("cancelled", sa.cancelled as f64, sb.cancelled as f64),
+                ("total_latency", sa.total_latency, sb.total_latency),
+                ("default_latency", sa.default_latency, sb.default_latency),
+                ("incumbent_latency", sa.incumbent_latency, sb.incumbent_latency),
+                ("max_regression_ratio", a.max_ratio, b.max_ratio),
+                ("final_latency", a.final_latency, b.final_latency),
                 ("cells", a.cells as f64, b.cells as f64),
                 ("censored", a.censored as f64, b.censored as f64),
-                ("final_latency", a.final_latency, b.final_latency),
             ];
-            for (what, x, y) in checks {
+            for (what, x, y) in pairs {
                 if x.to_bits() != y.to_bits() {
                     return Err(format!(
-                        "{} seed {seed}: {what} diverges (harness {x} vs engine {y})",
+                        "{} seed {seed}: {what} diverges (1 shard {x} vs {shards} shards {y})",
                         spec.name
                     ));
                 }
             }
+        } else {
+            let a = offline_seed_via_explorer(&base, &env, &spec.policy, seed);
+            let b = offline_seed_via_explorer(&split, &env, &spec.policy, seed);
+            compare_engine_runs(&spec.name, seed, &a, &b, ("1 shard", "sharded"))?;
         }
     }
     Ok(())

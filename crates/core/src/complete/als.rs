@@ -50,7 +50,7 @@
 use super::Completer;
 use crate::matrix::{Cell, WorkloadMatrix};
 use limeqo_linalg::rng::SeededRng;
-use limeqo_linalg::{par, ridge_solve_cols, ridge_solve_rows, Mat};
+use limeqo_linalg::{par, ridge_solve_cols, ridge_solve_rows_blocked, Mat};
 
 /// Censored non-negative ALS matrix completion.
 #[derive(Debug, Clone)]
@@ -197,6 +197,12 @@ impl AlsCompleter {
         let n = wm.n_rows();
         let k = wm.n_cols();
         let cells = GatheredCells::gather(wm, self.censored);
+        // The Q update runs as one ridge batch per shard against the shared
+        // factored normal matrix HᵀH + λI: per-shard solves feeding one
+        // factor model. Each query row's solve is independent of how its
+        // neighbours are batched, so any shard layout (including the
+        // single-shard default) produces byte-identical factors.
+        let shard_blocks = wm.shard_ranges();
 
         // Fresh random init per call, deterministic across runs. The
         // factors are scaled so the initial product QHᵀ matches the mean
@@ -234,8 +240,10 @@ impl AlsCompleter {
             let qh = par::matmul_t(&q, &h, threads).expect("QHᵀ shape");
             let w_hat = cells.fill(qh);
             // Q ← Ŵ H (HᵀH + λI)⁻¹: one independent r-dimensional ridge
-            // system per query row, fanned out across the workers.
-            q = ridge_solve_rows(&h, &w_hat, self.lambda, threads).expect("Q update");
+            // system per query row, batched per shard, fanned out across
+            // the workers.
+            q = ridge_solve_rows_blocked(&h, &w_hat, self.lambda, threads, &shard_blocks)
+                .expect("Q update");
             if self.nonneg {
                 q.clamp_min(0.0);
             }
@@ -452,6 +460,42 @@ mod tests {
                 reference.as_slice(),
                 "threads={threads} diverged from the dense serial reference"
             );
+        }
+    }
+
+    #[test]
+    fn sharded_matrix_completes_byte_identically() {
+        // Same logical cells, different shard layouts: the per-shard Q
+        // batches must feed the shared factor model without moving a bit.
+        let (_, mut wm) = synthetic_low_rank(40, 12, 3, 0.3, 41);
+        let planted: Vec<(usize, usize)> = wm.unobserved_cells().take(4).collect();
+        for (i, (r, c)) in planted.into_iter().enumerate() {
+            wm.set_censored(r, c, 0.5 + i as f64);
+        }
+        let reference = {
+            let mut als = AlsCompleter { rank: 3, iters: 10, ..AlsCompleter::paper_default(42) };
+            als.complete(&wm)
+        };
+        for shards in [2usize, 3, 8] {
+            let mut sharded = crate::matrix::WorkloadMatrix::new_sharded(40, 12, shards);
+            for i in 0..40 {
+                for j in 0..12 {
+                    match wm.cell(i, j) {
+                        Cell::Complete(v) => sharded.set_complete(i, j, v),
+                        Cell::Censored(b) => sharded.set_censored(i, j, b),
+                        Cell::Unobserved => {}
+                    }
+                }
+            }
+            for threads in [1usize, 8] {
+                let mut als =
+                    AlsCompleter { rank: 3, iters: 10, threads, ..AlsCompleter::paper_default(42) };
+                assert_eq!(
+                    als.complete(&sharded).as_slice(),
+                    reference.as_slice(),
+                    "shards={shards} threads={threads} diverged from the unsharded run"
+                );
+            }
         }
     }
 

@@ -120,11 +120,22 @@ pub struct ExploreConfig {
     /// the paper's §5.4 semantics; the scenario runner threads the policy's
     /// own knobs in here.
     pub retention: DriftPolicy,
+    /// Shard count for the workload matrix (1 = the unsharded layout).
+    /// A pure scale-out knob: every run is bit-identical at any value (the
+    /// sharded-equivalence contract — see ARCHITECTURE.md), sharding only
+    /// changes which per-shard indexes back the selection and ALS paths.
+    pub shards: usize,
 }
 
 impl Default for ExploreConfig {
     fn default() -> Self {
-        ExploreConfig { batch: 16, seed: 0, max_steps: 100_000, retention: DriftPolicy::legacy() }
+        ExploreConfig {
+            batch: 16,
+            seed: 0,
+            max_steps: 100_000,
+            retention: DriftPolicy::legacy(),
+            shards: 1,
+        }
     }
 }
 
@@ -179,7 +190,7 @@ impl<'a> Explorer<'a> {
         let defaults: Vec<f64> = (0..initial_rows)
             .map(|i| oracle.true_latency(i, WorkloadMatrix::DEFAULT_HINT))
             .collect();
-        let store = ObservationStore::with_defaults(&defaults, k);
+        let store = ObservationStore::with_defaults_sharded(&defaults, k, cfg.shards);
         let name = policy.name().to_string();
         let engine = Engine::offline(store, policy, oracle.est_cost(), &cfg);
         let mut explorer =
@@ -548,6 +559,35 @@ mod tests {
                 ex.wm().cell(i, 0),
                 crate::matrix::Cell::Complete(oracle_b.true_latency(i, 0))
             );
+        }
+    }
+
+    #[test]
+    fn shard_count_never_moves_a_run() {
+        // The sharded-equivalence contract at the harness level: identical
+        // trace (cells, charges, censor flags), clock, and curve at every
+        // shard count, for a policy that exercises completion + selection.
+        let oracle = toy_oracle(24, 7, 60);
+        let run = |shards: usize| {
+            let mut ex = Explorer::new(
+                &oracle,
+                Box::new(LimeQoPolicy::with_als(3)),
+                ExploreConfig { batch: 4, seed: 11, shards, ..Default::default() },
+                24,
+            );
+            ex.run_until(1e9);
+            let trace: Vec<(usize, usize, u64, bool)> = ex
+                .trace()
+                .iter()
+                .map(|t| (t.row, t.col, t.charged.to_bits(), t.censored))
+                .collect();
+            let curve: Vec<(u64, u64)> =
+                ex.curve().points.iter().map(|p| (p.time.to_bits(), p.latency.to_bits())).collect();
+            (trace, ex.time_spent().to_bits(), ex.cells_executed(), curve)
+        };
+        let reference = run(1);
+        for shards in [2usize, 8] {
+            assert_eq!(run(shards), reference, "shards={shards} diverged from unsharded run");
         }
     }
 

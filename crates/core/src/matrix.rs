@@ -13,35 +13,35 @@
 //! plan; exploration harnesses observe it for every query up front, because
 //! repetitive workloads execute the default plan in production anyway.
 //!
-//! ## The compact observed-cell index
+//! ## Sharded sparse storage
 //!
-//! At production scale (the `scale-100k` scenario: 100 000 queries × 49
-//! hints) the matrix is almost entirely unobserved, yet the original hot
-//! paths — ALS assembly, the Eq. 6 score scan, the density gate, the
-//! censored-fallback sweep — all walked every dense cell. The matrix now
-//! maintains a CSR-style per-row index of observed columns
-//! ([`WorkloadMatrix::observed_cols`], sorted ascending) alongside the
-//! dense cell store, plus an incrementally maintained per-row best-complete
-//! cache (so [`WorkloadMatrix::row_best`] is O(1)) and global
-//! complete/censored counters. Every mutation flows through
-//! [`WorkloadMatrix::set_complete`] / [`WorkloadMatrix::set_censored`] /
-//! [`WorkloadMatrix::add_rows`], which keep the index consistent; the
-//! index is pure acceleration — every accessor returns exactly what the
-//! dense scan used to return, which the unit tests pin against naive
-//! re-scans.
+//! The matrix is partitioned into contiguous row-range **shards** (one by
+//! default — the unsharded engine; N for the multi-tenant 1M-row tier,
+//! where each shard is an independent tenant's row block). Each shard owns
 //!
-//! ## The unobserved-count Fenwick index
+//! * a CSR-style per-row index of observed columns (sorted ascending) with
+//!   a parallel per-row value array — the only cells that cost memory,
+//! * a bit-packed censored mask (one bit per cell, addressed
+//!   `local_row * k + col`, so inserts never shift bits),
+//! * a per-row best-complete cache (O(1) [`WorkloadMatrix::row_best`]),
+//! * a [`Fenwick`] tree over per-row *unobserved* counts, giving
+//!   rank → (row, col) lookup in O(log rows + k) for uniform sampling
+//!   without materializing the unobserved set.
 //!
-//! Beside the CSR index the matrix maintains a [`Fenwick`] tree over the
-//! per-row *unobserved* counts (`k − observed_cols(row).len()`), updated
-//! on the same three mutation paths. It gives the selection subsystem
-//! ([`crate::select`]) global-rank → (row, col) lookup in O(log n + k):
-//! [`WorkloadMatrix::unobserved_at_rank`] descends the tree to the row
-//! holding the rank, then merge-walks the row's sorted observed columns
-//! to the offset-th unobserved column. That is what lets
-//! `sample_unobserved` draw uniform cells *without materializing* the
-//! unobserved set — at the 100k×49 scale tier the old materialize+shuffle
-//! path touched 4.9M tuples per step.
+//! There is **no dense cell array**: at the 1M × 25 tier the old
+//! 16-byte-per-cell dense store alone cost ~400 MB; the sparse layout costs
+//! ~12 bytes per *observed* cell plus ~3 MB of censored bitmap and per-row
+//! headers ([`WorkloadMatrix::mem_bytes`] reports the exact footprint).
+//! Values stay `f64`: an `f32` store would halve that term but break the
+//! bit-identity contract between sharded and unsharded runs, which is the
+//! headline invariant of the sharding layer.
+//!
+//! Shard boundaries are pure layout: every accessor returns exactly what
+//! the dense scan used to return regardless of the shard count (pinned by
+//! the unit tests and by the sharded-vs-unsharded engine equivalence
+//! tests). Global row-major rank order is preserved because shards are
+//! contiguous and ascending, so `unobserved_at_rank` walks shards in order
+//! subtracting each shard's Fenwick total.
 
 use limeqo_linalg::Fenwick;
 use limeqo_linalg::Mat;
@@ -64,21 +64,109 @@ impl Cell {
     }
 }
 
+/// One contiguous row-range partition of the matrix: its own observed-cell
+/// CSR index, values, censored bitmap, best cache, and unobserved Fenwick.
+#[derive(Debug, Clone)]
+struct Shard {
+    /// Global row index of this shard's local row 0.
+    start: usize,
+    /// Per-row observed (complete or censored) columns, sorted ascending.
+    obs: Vec<Vec<u32>>,
+    /// Per-row observed values, parallel to `obs`: the latency of a
+    /// complete cell or the bound of a censored one.
+    vals: Vec<Vec<f64>>,
+    /// Bit-packed censored mask, addressed `local_row * k + col`. A set
+    /// bit marks an *observed* cell as censored; bits of unobserved cells
+    /// are always clear.
+    cens: Vec<u64>,
+    /// Per-row cached best completed cell `(col, latency)`.
+    best: Vec<Option<(u32, f64)>>,
+    /// Fenwick tree over per-row unobserved counts (`k - obs[r].len()`).
+    unobs: Fenwick,
+    n_complete: usize,
+    n_censored: usize,
+}
+
+impl Shard {
+    fn new(start: usize, rows: usize, k: usize) -> Self {
+        Shard {
+            start,
+            obs: vec![Vec::new(); rows],
+            vals: vec![Vec::new(); rows],
+            cens: vec![0u64; (rows * k).div_ceil(64)],
+            best: vec![None; rows],
+            unobs: Fenwick::from_counts(&vec![k as i64; rows]),
+            n_complete: 0,
+            n_censored: 0,
+        }
+    }
+
+    fn rows(&self) -> usize {
+        self.obs.len()
+    }
+
+    #[inline]
+    fn cens_bit(&self, local: usize, col: usize, k: usize) -> bool {
+        let bit = local * k + col;
+        self.cens[bit / 64] & (1u64 << (bit % 64)) != 0
+    }
+
+    fn set_cens_bit(&mut self, local: usize, col: usize, k: usize, on: bool) {
+        let bit = local * k + col;
+        if on {
+            self.cens[bit / 64] |= 1u64 << (bit % 64);
+        } else {
+            self.cens[bit / 64] &= !(1u64 << (bit % 64));
+        }
+    }
+
+    /// Cell state of `(local, col)` via the CSR index + censored bitmap.
+    fn cell(&self, local: usize, col: usize, k: usize) -> Cell {
+        match self.obs[local].binary_search(&(col as u32)) {
+            Err(_) => Cell::Unobserved,
+            Ok(pos) => {
+                let v = self.vals[local][pos];
+                if self.cens_bit(local, col, k) {
+                    Cell::Censored(v)
+                } else {
+                    Cell::Complete(v)
+                }
+            }
+        }
+    }
+
+    fn add_rows(&mut self, count: usize, k: usize) {
+        let rows = self.rows() + count;
+        self.obs.extend(std::iter::repeat_with(Vec::new).take(count));
+        self.vals.extend(std::iter::repeat_with(Vec::new).take(count));
+        self.best.extend(std::iter::repeat(None).take(count));
+        self.cens.resize((rows * k).div_ceil(64), 0);
+        for _ in 0..count {
+            self.unobs.append(k as i64);
+        }
+    }
+
+    /// Heap footprint of this shard's indices in bytes (length-based, so
+    /// the figure is deterministic across runs).
+    fn mem_bytes(&self, _k: usize) -> usize {
+        use std::mem::size_of;
+        let per_row =
+            size_of::<Vec<u32>>() + size_of::<Vec<f64>>() + size_of::<Option<(u32, f64)>>();
+        let observed: usize = self.obs.iter().map(|o| o.len()).sum();
+        self.rows() * per_row
+            + observed * (size_of::<u32>() + size_of::<f64>())
+            + self.cens.len() * size_of::<u64>()
+            + (self.unobs.len() + 1) * size_of::<i64>()
+    }
+}
+
 /// The partially observed workload matrix.
 #[derive(Debug, Clone)]
 pub struct WorkloadMatrix {
     n: usize,
     k: usize,
-    cells: Vec<Cell>,
-    /// CSR-style index: per-row observed (complete or censored) column
-    /// indices, sorted ascending. Pure acceleration over `cells`.
-    obs: Vec<Vec<u32>>,
-    /// Per-row cached best completed cell `(col, latency)` — what a dense
-    /// ascending-column scan would return ([`WorkloadMatrix::row_best`]).
-    best: Vec<Option<(u32, f64)>>,
-    /// Fenwick tree over per-row unobserved counts (`k - obs[row].len()`),
-    /// the rank-selection index behind [`WorkloadMatrix::unobserved_at_rank`].
-    unobs: Fenwick,
+    /// Contiguous ascending row-range partitions; always at least one.
+    shards: Vec<Shard>,
     /// Global completed-cell count.
     n_complete: usize,
     /// Global censored-cell count.
@@ -89,29 +177,75 @@ impl WorkloadMatrix {
     /// Column index of the default hint.
     pub const DEFAULT_HINT: usize = 0;
 
-    /// Create an all-unobserved matrix.
+    /// Create an all-unobserved matrix with a single shard (the unsharded
+    /// engine's layout).
     pub fn new(n: usize, k: usize) -> Self {
-        WorkloadMatrix {
-            n,
-            k,
-            cells: vec![Cell::Unobserved; n * k],
-            obs: vec![Vec::new(); n],
-            best: vec![None; n],
-            unobs: Fenwick::from_counts(&vec![k as i64; n]),
-            n_complete: 0,
-            n_censored: 0,
+        Self::new_sharded(n, k, 1)
+    }
+
+    /// Create an all-unobserved matrix partitioned into `shards` contiguous
+    /// near-equal row ranges (the first `n % shards` shards get one extra
+    /// row). `shards` is clamped to at least 1; shards may be empty when
+    /// `shards > n`.
+    pub fn new_sharded(n: usize, k: usize, shards: usize) -> Self {
+        let s = shards.max(1);
+        let base = n / s;
+        let rem = n % s;
+        let mut out = Vec::with_capacity(s);
+        let mut start = 0usize;
+        for i in 0..s {
+            let rows = base + usize::from(i < rem);
+            out.push(Shard::new(start, rows, k));
+            start += rows;
         }
+        WorkloadMatrix { n, k, shards: out, n_complete: 0, n_censored: 0 }
+    }
+
+    /// Create a matrix partitioned at explicit tenant row counts: shard `i`
+    /// holds `tenant_rows[i]` rows. At least one tenant is required.
+    pub fn with_tenant_rows(tenant_rows: &[usize], k: usize) -> Self {
+        assert!(!tenant_rows.is_empty(), "at least one tenant shard is required");
+        let mut shards = Vec::with_capacity(tenant_rows.len());
+        let mut start = 0usize;
+        for &rows in tenant_rows {
+            shards.push(Shard::new(start, rows, k));
+            start += rows;
+        }
+        WorkloadMatrix { n: start, k, shards, n_complete: 0, n_censored: 0 }
     }
 
     /// Create a matrix with the default column (hint 0) observed at the
     /// given latencies — the paper's starting condition ("we initially
     /// reveal the entries corresponding to the default plan").
     pub fn with_defaults(defaults: &[f64], k: usize) -> Self {
-        let mut wm = WorkloadMatrix::new(defaults.len(), k);
+        Self::with_defaults_sharded(defaults, k, 1)
+    }
+
+    /// [`WorkloadMatrix::with_defaults`] over a sharded layout.
+    pub fn with_defaults_sharded(defaults: &[f64], k: usize, shards: usize) -> Self {
+        let mut wm = WorkloadMatrix::new_sharded(defaults.len(), k, shards);
         for (i, &d) in defaults.iter().enumerate() {
             wm.set_complete(i, Self::DEFAULT_HINT, d);
         }
         wm
+    }
+
+    /// A fresh all-unobserved matrix with this matrix's exact shape *and*
+    /// shard layout (used by the store's drift rebuilds, which must not
+    /// change the partitioning).
+    pub fn empty_like(&self) -> Self {
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            shards.push(Shard::new(s.start, s.rows(), self.k));
+        }
+        WorkloadMatrix { n: self.n, k: self.k, shards, n_complete: 0, n_censored: 0 }
+    }
+
+    /// A fresh all-unobserved matrix with `n` rows, this matrix's column
+    /// count, and the same *shard count* re-partitioned evenly (row counts
+    /// per shard change with `n`; the number of tenants does not).
+    pub fn empty_resized(&self, n: usize) -> Self {
+        WorkloadMatrix::new_sharded(n, self.k, self.shards.len())
     }
 
     /// Number of queries (rows).
@@ -124,46 +258,85 @@ impl WorkloadMatrix {
         self.k
     }
 
+    /// Number of shards (1 = the unsharded layout).
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Global `[start, end)` row range of every shard, ascending.
+    pub fn shard_ranges(&self) -> Vec<(usize, usize)> {
+        self.shards.iter().map(|s| (s.start, s.start + s.rows())).collect()
+    }
+
+    /// Heap footprint of the matrix's sparse indices in bytes: per-row
+    /// headers, observed-cell (col, value) pairs, censored bitmaps, best
+    /// caches, and Fenwick trees. Length-based (not capacity-based), so
+    /// the figure is deterministic; the `scale-1m` memory-budget test
+    /// asserts against it.
+    pub fn mem_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.mem_bytes(self.k)).sum()
+    }
+
+    /// Shard index holding global `row`.
+    #[inline]
+    fn shard_of(&self, row: usize) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        self.shards.partition_point(|s| s.start <= row) - 1
+    }
+
     /// Cell state at (row, col).
     #[inline]
     pub fn cell(&self, row: usize, col: usize) -> Cell {
-        self.cells[row * self.k + col]
+        let s = &self.shards[self.shard_of(row)];
+        s.cell(row - s.start, col, self.k)
     }
 
     /// Record a completed execution.
     pub fn set_complete(&mut self, row: usize, col: usize, latency: f64) {
         assert!(latency >= 0.0, "latency must be non-negative");
-        let idx = row * self.k + col;
-        let prev = self.cells[idx];
-        self.cells[idx] = Cell::Complete(latency);
-        match prev {
-            Cell::Unobserved => {
-                self.index_insert(row, col);
+        let k = self.k;
+        let si = self.shard_of(row);
+        let shard = &mut self.shards[si];
+        let local = row - shard.start;
+        let col32 = col as u32;
+        match shard.obs[local].binary_search(&col32) {
+            Err(pos) => {
+                shard.obs[local].insert(pos, col32);
+                shard.vals[local].insert(pos, latency);
+                shard.unobs.add(local, -1);
+                shard.n_complete += 1;
                 self.n_complete += 1;
             }
-            Cell::Censored(_) => {
-                self.n_censored -= 1;
-                self.n_complete += 1;
+            Ok(pos) => {
+                if shard.cens_bit(local, col, k) {
+                    shard.set_cens_bit(local, col, k, false);
+                    shard.n_censored -= 1;
+                    shard.n_complete += 1;
+                    self.n_censored -= 1;
+                    self.n_complete += 1;
+                }
+                shard.vals[local][pos] = latency;
             }
-            Cell::Complete(_) => {}
         }
         // Maintain the best-complete cache with the dense scan's exact
         // semantics: ascending columns, strictly-smaller replaces (so the
         // lowest column wins ties).
-        let col32 = col as u32;
-        match self.best[row] {
-            None => self.best[row] = Some((col32, latency)),
+        match shard.best[local] {
+            None => shard.best[local] = Some((col32, latency)),
             Some((bc, bv)) if bc == col32 => {
                 if latency <= bv {
-                    self.best[row] = Some((bc, latency));
+                    shard.best[local] = Some((bc, latency));
                 } else {
                     // The incumbent best got slower: rescan the row.
-                    self.best[row] = self.rescan_best(row);
+                    let rescanned = Self::rescan_best(shard, local, k);
+                    shard.best[local] = rescanned;
                 }
             }
             Some((bc, bv)) => {
                 if latency < bv || (latency == bv && col32 < bc) {
-                    self.best[row] = Some((col32, latency));
+                    shard.best[local] = Some((col32, latency));
                 }
             }
         }
@@ -174,29 +347,36 @@ impl WorkloadMatrix {
     /// observation is never downgraded to censored.
     pub fn set_censored(&mut self, row: usize, col: usize, bound: f64) {
         assert!(bound >= 0.0, "bound must be non-negative");
-        let idx = row * self.k + col;
-        match self.cells[idx] {
-            Cell::Complete(_) => {}
-            Cell::Censored(old) if old >= bound => {}
-            prev => {
-                if matches!(prev, Cell::Unobserved) {
-                    self.index_insert(row, col);
-                    self.n_censored += 1;
+        let k = self.k;
+        let si = self.shard_of(row);
+        let shard = &mut self.shards[si];
+        let local = row - shard.start;
+        let col32 = col as u32;
+        match shard.obs[local].binary_search(&col32) {
+            Err(pos) => {
+                shard.obs[local].insert(pos, col32);
+                shard.vals[local].insert(pos, bound);
+                shard.set_cens_bit(local, col, k, true);
+                shard.unobs.add(local, -1);
+                shard.n_censored += 1;
+                self.n_censored += 1;
+            }
+            Ok(pos) => {
+                if shard.cens_bit(local, col, k) && shard.vals[local][pos] < bound {
+                    shard.vals[local][pos] = bound;
                 }
-                self.cells[idx] = Cell::Censored(bound);
+                // Complete cells and tighter-or-equal bounds are kept.
             }
         }
     }
 
-    /// Append `count` unobserved rows (new queries arriving, §5.3).
+    /// Append `count` unobserved rows (new queries arriving, §5.3) to the
+    /// **last shard** — appended rows extend the final row range, exactly
+    /// as the unsharded matrix grew at its tail.
     pub fn add_rows(&mut self, count: usize) {
         self.n += count;
-        self.cells.extend(std::iter::repeat(Cell::Unobserved).take(count * self.k));
-        self.obs.extend(std::iter::repeat_with(Vec::new).take(count));
-        self.best.extend(std::iter::repeat(None).take(count));
-        for _ in 0..count {
-            self.unobs.append(self.k as i64);
-        }
+        let k = self.k;
+        self.shards.last_mut().expect("at least one shard").add_rows(count, k);
     }
 
     /// Best (minimum-latency) *completed* cell of a row, the hint the
@@ -204,7 +384,8 @@ impl WorkloadMatrix {
     /// plan is unverified and using it could regress). O(1) from the
     /// incrementally maintained cache.
     pub fn row_best(&self, row: usize) -> Option<(usize, f64)> {
-        self.best[row].map(|(c, v)| (c as usize, v))
+        let s = &self.shards[self.shard_of(row)];
+        s.best[row - s.start].map(|(c, v)| (c as usize, v))
     }
 
     /// Observed (complete or censored) column indices of `row`, sorted
@@ -213,20 +394,21 @@ impl WorkloadMatrix {
     /// dense row.
     #[inline]
     pub fn observed_cols(&self, row: usize) -> &[u32] {
-        &self.obs[row]
+        let s = &self.shards[self.shard_of(row)];
+        &s.obs[row - s.start]
     }
 
     /// Number of observed cells in `row` (O(1)).
     #[inline]
     pub fn row_observed_count(&self, row: usize) -> usize {
-        self.obs[row].len()
+        self.observed_cols(row).len()
     }
 
     /// Unobserved column indices of `row`, ascending — the complement of
     /// [`WorkloadMatrix::observed_cols`], produced by merge-walking the
     /// index rather than matching every dense cell.
     pub fn unobserved_in_row(&self, row: usize) -> impl Iterator<Item = usize> + '_ {
-        let observed = &self.obs[row];
+        let observed = self.observed_cols(row);
         let mut next_obs = 0usize;
         (0..self.k).filter(move |&c| {
             if observed.get(next_obs).is_some_and(|&o| o as usize == c) {
@@ -238,24 +420,13 @@ impl WorkloadMatrix {
         })
     }
 
-    fn index_insert(&mut self, row: usize, col: usize) {
-        let col = col as u32;
-        let list = &mut self.obs[row];
-        match list.binary_search(&col) {
-            Ok(_) => {}
-            Err(pos) => {
-                list.insert(pos, col);
-                self.unobs.add(row, -1);
-            }
-        }
-    }
-
     /// Dense-scan fallback for the best cache (only needed when the
     /// incumbent best cell is overwritten with a slower latency).
-    fn rescan_best(&self, row: usize) -> Option<(u32, f64)> {
+    fn rescan_best(shard: &Shard, local: usize, k: usize) -> Option<(u32, f64)> {
         let mut best: Option<(u32, f64)> = None;
-        for &col in &self.obs[row] {
-            if let Cell::Complete(v) = self.cell(row, col as usize) {
+        for (pos, &col) in shard.obs[local].iter().enumerate() {
+            if !shard.cens_bit(local, col as usize, k) {
+                let v = shard.vals[local][pos];
                 if best.map_or(true, |(_, b)| v < b) {
                     best = Some((col, v));
                 }
@@ -275,10 +446,12 @@ impl WorkloadMatrix {
     /// (pairs with [`WorkloadMatrix::mask`] in `M ⊙ W̃`).
     pub fn values(&self) -> Mat {
         let mut m = Mat::zeros(self.n, self.k);
-        for row in 0..self.n {
-            for &col in &self.obs[row] {
-                if let Cell::Complete(v) = self.cell(row, col as usize) {
-                    m[(row, col as usize)] = v;
+        for shard in &self.shards {
+            for local in 0..shard.rows() {
+                for (pos, &col) in shard.obs[local].iter().enumerate() {
+                    if !shard.cens_bit(local, col as usize, self.k) {
+                        m[(shard.start + local, col as usize)] = shard.vals[local][pos];
+                    }
                 }
             }
         }
@@ -288,10 +461,12 @@ impl WorkloadMatrix {
     /// The mask matrix `M`: 1 for completed cells, 0 otherwise.
     pub fn mask(&self) -> Mat {
         let mut m = Mat::zeros(self.n, self.k);
-        for row in 0..self.n {
-            for &col in &self.obs[row] {
-                if matches!(self.cell(row, col as usize), Cell::Complete(_)) {
-                    m[(row, col as usize)] = 1.0;
+        for shard in &self.shards {
+            for local in 0..shard.rows() {
+                for &col in &shard.obs[local] {
+                    if !shard.cens_bit(local, col as usize, self.k) {
+                        m[(shard.start + local, col as usize)] = 1.0;
+                    }
                 }
             }
         }
@@ -301,10 +476,12 @@ impl WorkloadMatrix {
     /// The timeout matrix `T`: censored bounds where known, 0 elsewhere.
     pub fn timeouts(&self) -> Mat {
         let mut m = Mat::zeros(self.n, self.k);
-        for row in 0..self.n {
-            for &col in &self.obs[row] {
-                if let Cell::Censored(b) = self.cell(row, col as usize) {
-                    m[(row, col as usize)] = b;
+        for shard in &self.shards {
+            for local in 0..shard.rows() {
+                for (pos, &col) in shard.obs[local].iter().enumerate() {
+                    if shard.cens_bit(local, col as usize, self.k) {
+                        m[(shard.start + local, col as usize)] = shard.vals[local][pos];
+                    }
                 }
             }
         }
@@ -335,21 +512,33 @@ impl WorkloadMatrix {
     /// Number of unobserved cells in `row` (O(1)).
     #[inline]
     pub fn row_unobserved_count(&self, row: usize) -> usize {
-        self.k - self.obs[row].len()
+        self.k - self.observed_cols(row).len()
     }
 
-    /// The `rank`-th unobserved cell in row-major order, in O(log n + k):
-    /// a Fenwick descent over the per-row unobserved counts finds the row,
-    /// then a merge-walk over the row's sorted observed columns finds the
-    /// offset-th unobserved column. Agrees exactly with
-    /// `unobserved_cells().nth(rank)` (pinned by the unit tests) without
-    /// materializing or scanning the unobserved set.
+    /// The `rank`-th unobserved cell in row-major order, in
+    /// O(shards + log rows + k): shards are walked in ascending row order
+    /// subtracting each one's Fenwick total, then a Fenwick descent inside
+    /// the owning shard finds the local row and a merge-walk over the
+    /// row's sorted observed columns finds the offset-th unobserved
+    /// column. Agrees exactly with `unobserved_cells().nth(rank)` (pinned
+    /// by the unit tests) at every shard count.
     ///
     /// # Panics
     /// Panics if `rank >= unobserved_count()`.
     pub fn unobserved_at_rank(&self, rank: usize) -> (usize, usize) {
-        let (row, offset) = self.unobs.rank_select(rank as i64);
-        (row, self.unobserved_col_at(row, offset as usize))
+        let total = self.unobserved_count();
+        assert!(rank < total, "rank {rank} out of {total}");
+        let mut rank = rank as i64;
+        for shard in &self.shards {
+            let t = shard.unobs.total();
+            if rank < t {
+                let (local, offset) = shard.unobs.rank_select(rank);
+                let row = shard.start + local;
+                return (row, self.unobserved_col_at(row, offset as usize));
+            }
+            rank -= t;
+        }
+        unreachable!("rank within total but not within any shard")
     }
 
     /// The `offset`-th unobserved column of `row` (ascending), via the
@@ -359,7 +548,7 @@ impl WorkloadMatrix {
     /// Panics if `offset >= row_unobserved_count(row)`.
     pub fn unobserved_col_at(&self, row: usize, offset: usize) -> usize {
         let mut remaining = offset;
-        let observed = &self.obs[row];
+        let observed = self.observed_cols(row);
         let mut next_obs = 0usize;
         for col in 0..self.k {
             if observed.get(next_obs).is_some_and(|&o| o as usize == col) {
@@ -378,13 +567,13 @@ impl WorkloadMatrix {
     /// skipping fully observed rows in O(1) via the index.
     pub fn unobserved_cells(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         (0..self.n)
-            .filter(move |&r| self.obs[r].len() < self.k)
+            .filter(move |&r| self.row_observed_count(r) < self.k)
             .flat_map(move |r| self.unobserved_in_row(r).map(move |c| (r, c)))
     }
 
     /// Rows that still have at least one unobserved cell.
     pub fn rows_with_unobserved(&self) -> Vec<usize> {
-        (0..self.n).filter(|&r| self.obs[r].len() < self.k).collect()
+        (0..self.n).filter(|&r| self.row_observed_count(r) < self.k).collect()
     }
 }
 
@@ -487,14 +676,28 @@ mod tests {
         best
     }
 
-    #[test]
-    fn index_matches_dense_scans_under_random_mutation() {
+    fn dense_counts(wm: &WorkloadMatrix) -> (usize, usize) {
+        let mut complete = 0;
+        let mut censored = 0;
+        for r in 0..wm.n_rows() {
+            for c in 0..wm.n_cols() {
+                match wm.cell(r, c) {
+                    Cell::Complete(_) => complete += 1,
+                    Cell::Censored(_) => censored += 1,
+                    Cell::Unobserved => {}
+                }
+            }
+        }
+        (complete, censored)
+    }
+
+    fn exercise_random_mutation(shards: usize) {
         use limeqo_linalg::rng::SeededRng;
         let mut rng = SeededRng::new(0xC5_11);
         let (n, k) = (17, 7);
-        let mut wm = WorkloadMatrix::new(n, k);
+        let mut wm = WorkloadMatrix::new_sharded(n, k, shards);
         for step in 0..600 {
-            let row = rng.index(n);
+            let row = rng.index(wm.n_rows());
             let col = rng.index(k);
             let v = rng.uniform(0.1, 10.0);
             if rng.chance(0.6) {
@@ -520,8 +723,7 @@ mod tests {
                 assert_eq!(unob, dense_unob);
             }
             // O(1) counters == dense counts.
-            let complete = wm.cells.iter().filter(|c| matches!(c, Cell::Complete(_))).count();
-            let censored = wm.cells.iter().filter(|c| matches!(c, Cell::Censored(_))).count();
+            let (complete, censored) = dense_counts(&wm);
             assert_eq!(wm.complete_count(), complete);
             assert_eq!(wm.censored_count(), censored);
             assert_eq!(wm.unobserved_count(), wm.n_rows() * k - complete - censored);
@@ -534,6 +736,93 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn index_matches_dense_scans_under_random_mutation() {
+        exercise_random_mutation(1);
+    }
+
+    #[test]
+    fn index_matches_dense_scans_under_random_mutation_sharded() {
+        exercise_random_mutation(3);
+        exercise_random_mutation(8);
+        // More shards than rows: trailing shards start empty.
+        exercise_random_mutation(23);
+    }
+
+    /// The same mutation sequence applied at different shard counts must
+    /// produce identical observable state — shard boundaries are layout,
+    /// not semantics.
+    #[test]
+    fn shard_count_is_invisible_to_every_accessor() {
+        use limeqo_linalg::rng::SeededRng;
+        let (n, k) = (29, 5);
+        let build = |shards: usize| {
+            let mut rng = SeededRng::new(0xABCD);
+            let mut wm = WorkloadMatrix::new_sharded(n, k, shards);
+            for step in 0..400 {
+                let row = rng.index(wm.n_rows());
+                let col = rng.index(k);
+                let v = rng.uniform(0.1, 10.0);
+                if rng.chance(0.55) {
+                    wm.set_complete(row, col, v);
+                } else {
+                    wm.set_censored(row, col, v);
+                }
+                if step % 131 == 0 {
+                    wm.add_rows(2);
+                }
+            }
+            wm
+        };
+        let reference = build(1);
+        for shards in [2, 3, 8] {
+            let wm = build(shards);
+            assert_eq!(wm.n_shards(), shards);
+            assert_eq!(wm.n_rows(), reference.n_rows());
+            assert_eq!(wm.complete_count(), reference.complete_count());
+            assert_eq!(wm.censored_count(), reference.censored_count());
+            assert_eq!(wm.total_best_latency().to_bits(), reference.total_best_latency().to_bits());
+            for r in 0..reference.n_rows() {
+                assert_eq!(wm.row_best(r), reference.row_best(r));
+                assert_eq!(wm.observed_cols(r), reference.observed_cols(r));
+                for c in 0..k {
+                    assert_eq!(wm.cell(r, c), reference.cell(r, c), "cell ({r},{c})");
+                }
+            }
+            for rank in 0..reference.unobserved_count() {
+                assert_eq!(wm.unobserved_at_rank(rank), reference.unobserved_at_rank(rank));
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_partition_and_rebuilds_preserve_layout() {
+        let wm = WorkloadMatrix::with_tenant_rows(&[3, 0, 5], 4);
+        assert_eq!(wm.n_rows(), 8);
+        assert_eq!(wm.n_shards(), 3);
+        assert_eq!(wm.shard_ranges(), vec![(0, 3), (3, 3), (3, 8)]);
+        let like = wm.empty_like();
+        assert_eq!(like.shard_ranges(), wm.shard_ranges());
+        assert_eq!(like.unobserved_count(), 8 * 4);
+        let resized = wm.empty_resized(9);
+        assert_eq!(resized.n_shards(), 3);
+        assert_eq!(resized.n_rows(), 9);
+        assert_eq!(resized.shard_ranges(), vec![(0, 3), (3, 6), (6, 9)]);
+    }
+
+    #[test]
+    fn mem_bytes_tracks_observed_cells() {
+        let mut wm = WorkloadMatrix::new_sharded(64, 8, 4);
+        let empty = wm.mem_bytes();
+        assert!(empty > 0);
+        for r in 0..64 {
+            wm.set_complete(r, 0, 1.0);
+        }
+        let filled = wm.mem_bytes();
+        assert!(filled > empty, "observed cells must cost memory");
+        assert_eq!(filled - empty, 64 * 12, "12 bytes per observed cell");
     }
 
     #[test]

@@ -41,11 +41,22 @@ pub struct OnlineConfig {
     pub cold_bonus: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Workload-matrix shard count (1 = the unsharded layout). A pure
+    /// scale-out knob — any value serves bit-identical arrivals (the
+    /// sharded equivalence contract).
+    pub shards: usize,
 }
 
 impl Default for OnlineConfig {
     fn default() -> Self {
-        OnlineConfig { explore_prob: 0.1, rho: 1.2, refresh_every: 64, cold_bonus: 0.0, seed: 0 }
+        OnlineConfig {
+            explore_prob: 0.1,
+            rho: 1.2,
+            refresh_every: 64,
+            cold_bonus: 0.0,
+            seed: 0,
+            shards: 1,
+        }
     }
 }
 
@@ -103,7 +114,7 @@ impl<'a> OnlineExplorer<'a> {
         let (n, k) = oracle.shape();
         let defaults: Vec<f64> =
             (0..n).map(|i| oracle.true_latency(i, WorkloadMatrix::DEFAULT_HINT)).collect();
-        let store = ObservationStore::with_defaults(&defaults, k);
+        let store = ObservationStore::with_defaults_sharded(&defaults, k, cfg.shards);
         OnlineExplorer { oracle, engine: Engine::online(store, completer, &cfg) }
     }
 

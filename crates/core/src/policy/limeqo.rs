@@ -111,6 +111,15 @@ struct CachedScore {
     /// [`crate::store::ObservationStore::row_rev`] at scoring time;
     /// `u64::MAX` = never scored.
     rev: u64,
+    /// [`crate::store::ObservationStore::completion_epoch`] at scoring
+    /// time. A completion landing *anywhere* moves the shared factor
+    /// model and with it every row's predicted minimum, so a cached score
+    /// is only valid while the completion epoch is unchanged — keying on
+    /// `row_rev` alone let untouched rows tunnel on stale predictions
+    /// (the `incremental-tunnel` counterexample: at tiny batches the
+    /// stale argmins systematically under-price timeouts and LimeQO
+    /// probed worse than Random).
+    cepoch: u64,
     /// `(score, argmin column, predicted minimum)`; `None` when the row
     /// produced no candidate.
     entry: Option<(f64, u32, f64)>,
@@ -118,7 +127,7 @@ struct CachedScore {
 
 impl Default for CachedScore {
     fn default() -> Self {
-        CachedScore { rev: u64::MAX, entry: None }
+        CachedScore { rev: u64::MAX, cepoch: u64::MAX, entry: None }
     }
 }
 
@@ -257,28 +266,40 @@ impl Policy for LimeQoPolicy {
         // refreshed against the current completion.
         let force_full = self.rescore_every > 0 && self.rounds % self.rescore_every as u64 == 0;
         self.rounds += 1;
-        let mut scored: Vec<(f64, usize, usize, f64)> = Vec::new(); // (score, row, col, pred)
-        for row in 0..wm.n_rows() {
-            let entry = if incremental {
-                let store = ctx.store.expect("incremental requires a store");
-                let rev = store.row_rev(row);
-                let cached = &mut self.cache[row];
-                if cached.rev != rev || force_full {
-                    *cached = CachedScore { rev, entry: score_row(row) };
+        // Lines 3–7, shard by shard: each shard scores its own row range
+        // and keeps a bounded top-`batch`, then the per-shard winners are
+        // k-way merged under the same named total order (score desc, then
+        // global row/col asc). Any global top-`batch` candidate is by
+        // definition inside its own shard's top-`batch`, and the order is
+        // total, so the merged result is *identical* to ranking all rows
+        // in one pass — the single-shard layout takes exactly that path.
+        let ranges = wm.shard_ranges();
+        let mut shard_tops: Vec<Vec<(f64, usize, usize, f64)>> = Vec::with_capacity(ranges.len());
+        for &(start, end) in &ranges {
+            let mut scored: Vec<(f64, usize, usize, f64)> = Vec::new(); // (score, row, col, pred)
+            for row in start..end {
+                let entry = if incremental {
+                    let store = ctx.store.expect("incremental requires a store");
+                    let rev = store.row_rev(row);
+                    let cepoch = store.completion_epoch();
+                    let cached = &mut self.cache[row];
+                    if cached.rev != rev || cached.cepoch != cepoch || force_full {
+                        *cached = CachedScore { rev, cepoch, entry: score_row(row) };
+                    }
+                    cached.entry
+                } else {
+                    score_row(row)
+                };
+                if let Some((score, col, pred)) = entry {
+                    scored.push((score, row, col as usize, pred));
                 }
-                cached.entry
-            } else {
-                score_row(row)
-            };
-            if let Some((score, col, pred)) = entry {
-                scored.push((score, row, col as usize, pred));
             }
+            // Bounded heap selection under the subsystem's named total
+            // order, which reproduces the stable full sort's tie-breaks at
+            // O(n log m) instead of O(n log n).
+            shard_tops.push(crate::select::top_m_by(scored, batch, crate::select::score_desc));
         }
-        // Line 7: top-m by score (the pure Eq. 6 ratio when no bonus) —
-        // bounded heap selection under the subsystem's named total order
-        // (score desc, then row/col asc), which reproduces the stable
-        // full sort's tie-breaks at O(n log m) instead of O(n log n).
-        let top = crate::select::top_m_by(scored, batch, crate::select::score_desc);
+        let top = crate::select::merge_ranked(shard_tops, batch, crate::select::score_desc);
         let mut out: Vec<CellChoice> = Vec::with_capacity(batch);
         for (_, row, col, pred) in top {
             let observed_min = wm.row_best(row).map(|(_, v)| v).unwrap_or(f64::INFINITY);
@@ -300,27 +321,36 @@ impl Policy for LimeQoPolicy {
         // raises the bound to the row best, so exploration terminates at
         // the true row optimum.
         if out.len() < batch {
+            let want = batch - out.len();
             let chosen: std::collections::HashSet<(usize, usize)> =
                 out.iter().map(|c| (c.row, c.col)).collect();
-            let mut candidates: Vec<(f64, usize, usize, f64)> = Vec::new();
-            for row in 0..wm.n_rows() {
-                let Some((_, row_best)) = wm.row_best(row) else { continue };
-                // Only observed cells can be censored: sweep the compact
-                // index (ascending columns — the dense scan's order).
-                for &col in wm.observed_cols(row) {
-                    let col = col as usize;
-                    if let Cell::Censored(bound) = wm.cell(row, col) {
-                        if bound < row_best * 0.999 && !chosen.contains(&(row, col)) {
-                            candidates.push((row_best - bound, row, col, row_best));
+            let mut shard_gaps: Vec<Vec<(f64, usize, usize, f64)>> =
+                Vec::with_capacity(ranges.len());
+            for &(start, end) in &ranges {
+                let mut candidates: Vec<(f64, usize, usize, f64)> = Vec::new();
+                for row in start..end {
+                    let Some((_, row_best)) = wm.row_best(row) else { continue };
+                    // Only observed cells can be censored: sweep the compact
+                    // index (ascending columns — the dense scan's order).
+                    for &col in wm.observed_cols(row) {
+                        let col = col as usize;
+                        if let Cell::Censored(bound) = wm.cell(row, col) {
+                            if bound < row_best * 0.999 && !chosen.contains(&(row, col)) {
+                                candidates.push((row_best - bound, row, col, row_best));
+                            }
                         }
                     }
                 }
+                // Bounded heap pick under the same named total order as the
+                // Eq. 6 ranking: gap desc, then row/col asc (the stable full
+                // sort's tie-break — candidates were pushed row-major).
+                shard_gaps.push(crate::select::top_m_by(
+                    candidates,
+                    want,
+                    crate::select::score_desc,
+                ));
             }
-            // Bounded heap pick under the same named total order as the
-            // Eq. 6 ranking: gap desc, then row/col asc (the stable full
-            // sort's tie-break — candidates were pushed row-major).
-            let picked =
-                crate::select::top_m_by(candidates, batch - out.len(), crate::select::score_desc);
+            let picked = crate::select::merge_ranked(shard_gaps, want, crate::select::score_desc);
             for (_, row, col, row_best) in picked {
                 out.push(CellChoice { row, col, timeout: row_best });
             }
@@ -336,6 +366,7 @@ impl Policy for LimeQoPolicy {
         enc.i(self.cache.len());
         for c in &self.cache {
             enc.u(c.rev);
+            enc.u(c.cepoch);
             match c.entry {
                 Some((score, col, pred)) => {
                     enc.b(true);
@@ -355,8 +386,9 @@ impl Policy for LimeQoPolicy {
         self.cache = Vec::with_capacity(n.min(1 << 24));
         for _ in 0..n {
             let rev = dec.u()?;
+            let cepoch = dec.u()?;
             let entry = if dec.b()? { Some((dec.f()?, dec.u()? as u32, dec.f()?)) } else { None };
-            self.cache.push(CachedScore { rev, entry });
+            self.cache.push(CachedScore { rev, cepoch, entry });
         }
         self.completer.load_state(dec)
     }
@@ -572,9 +604,13 @@ mod tests {
     #[test]
     fn incremental_rescoring_reuses_cached_scores_for_untouched_rows() {
         use crate::store::ObservationStore;
+        // Nothing lands between rounds: revisions and the completion epoch
+        // are unchanged, so the cache may serve every row. (Any landed
+        // observation — completed *or* censored — moves the epoch and
+        // invalidates everything; see the two tests below.)
         let base = ObservationStore::with_defaults(&[10.0, 10.0], 3);
         let run = |incremental: bool| -> Vec<CellChoice> {
-            let mut store = base.clone();
+            let store = base.clone();
             let mut p = LimeQoPolicy::new(Box::new(ShiftingCompleter { calls: 0 }), "limeqo");
             p.rescore_changed_only = incremental;
             p.alpha = 1.0;
@@ -585,32 +621,58 @@ mod tests {
                 p.select(&ctx, 1, &mut rng)
             };
             assert_eq!((sel1[0].row, sel1[0].col), (0, 1));
-            // Probe only row 0; row 1's observation set is untouched.
-            store.record_complete(0, 1, 5.0);
+            let _ = store; // probe never recorded: the store is untouched
             let ctx = PolicyCtx { wm: store.matrix(), est_cost: None, store: Some(&store) };
             p.select(&ctx, 1, &mut rng)
         };
-        // Both modes pick row 1 next — but the incremental path prices its
-        // timeout off the *cached* round-1 prediction (5 → timeout 5),
-        // while full re-scoring uses the fresh round-2 prediction (10/3).
+        // Both modes pick the same cell again — but the incremental path
+        // prices its timeout off the *cached* round-1 prediction (5 →
+        // timeout 5), while full re-scoring uses the fresh round-2
+        // prediction (10/3).
         let incremental = run(true);
-        assert_eq!((incremental[0].row, incremental[0].col), (1, 1));
+        assert_eq!((incremental[0].row, incremental[0].col), (0, 1));
         assert!((incremental[0].timeout - 5.0).abs() < 1e-12, "cached prediction must price");
         let full = run(false);
-        assert_eq!((full[0].row, full[0].col), (1, 1));
+        assert_eq!((full[0].row, full[0].col), (0, 1));
         assert!((full[0].timeout - 10.0 / 3.0).abs() < 1e-12, "fresh prediction must price");
+    }
+
+    #[test]
+    fn completion_epoch_invalidates_every_cached_score() {
+        use crate::store::ObservationStore;
+        // The incremental-tunnel counterexample in miniature: row 1 is
+        // never probed (its row_rev never moves), but a completion landing
+        // in row 0 refits the shared model — row 1's cached prediction
+        // must not survive it.
+        let mut store = ObservationStore::with_defaults(&[10.0, 10.0], 3);
+        let mut p = LimeQoPolicy::new(Box::new(ShiftingCompleter { calls: 0 }), "limeqo");
+        p.rescore_changed_only = true;
+        p.alpha = 1.0;
+        let mut rng = SeededRng::new(34);
+        {
+            let ctx = PolicyCtx { wm: store.matrix(), est_cost: None, store: Some(&store) };
+            let sel = p.select(&ctx, 1, &mut rng);
+            assert_eq!((sel[0].row, sel[0].col), (0, 1));
+        }
+        store.record_complete(0, 1, 5.0);
+        let ctx = PolicyCtx { wm: store.matrix(), est_cost: None, store: Some(&store) };
+        let sel = p.select(&ctx, 1, &mut rng);
+        assert_eq!((sel[0].row, sel[0].col), (1, 1));
+        assert!(
+            (sel[0].timeout - 10.0 / 3.0).abs() < 1e-12,
+            "a landed completion must re-price untouched rows off the fresh fit"
+        );
     }
 
     #[test]
     fn rescore_every_refreshes_untouched_rows_periodically() {
         use crate::store::ObservationStore;
-        // Same shape as the cached-score test above: row 1 is never
-        // probed, so the pure incremental path would keep pricing its
-        // timeout off the stale round-1 prediction (5) forever. With
-        // rescore_every = 2, call 3 (rounds counted from 0: 0, 1, 2 —
-        // round 2 forces a full re-score) must re-price row 1 off the
-        // fresh prediction instead.
-        let mut store = ObservationStore::with_defaults(&[10.0, 10.0], 3);
+        // No probe ever lands, so neither revisions nor the completion
+        // epoch move and the pure incremental path would serve the stale
+        // round-0 prediction (5) forever. With rescore_every = 2, round 2
+        // (rounds counted from 0: 0, 1, 2 — round 2 forces a full
+        // re-score) must re-price off the fresh prediction instead.
+        let store = ObservationStore::with_defaults(&[10.0, 10.0], 3);
         let mut p = LimeQoPolicy::new(Box::new(ShiftingCompleter { calls: 0 }), "limeqo");
         p.rescore_changed_only = true;
         p.rescore_every = 2;
@@ -622,25 +684,29 @@ mod tests {
             let sel = p.select(&ctx, 1, &mut rng);
             assert_eq!((sel[0].row, sel[0].col), (0, 1));
         }
-        store.record_complete(0, 1, 5.0);
-        // Round 1 (cached): row 1 still priced off round-1's prediction 5.
+        // Round 1 (cached): still priced off round-0's prediction 5.
         {
             let ctx = PolicyCtx { wm: store.matrix(), est_cost: None, store: Some(&store) };
             let sel = p.select(&ctx, 1, &mut rng);
-            assert_eq!((sel[0].row, sel[0].col), (1, 1));
+            assert_eq!((sel[0].row, sel[0].col), (0, 1));
             assert!((sel[0].timeout - 5.0).abs() < 1e-12, "round 1 serves the cached pred");
         }
-        // Round 2 (forced full): row 1 untouched, but the periodic full
-        // re-score refreshes it against the fresh prediction 2.5.
+        // Round 2 (forced full): nothing changed, but the periodic full
+        // re-score refreshes everything against the fresh prediction 2.5.
         let ctx = PolicyCtx { wm: store.matrix(), est_cost: None, store: Some(&store) };
         let sel = p.select(&ctx, 1, &mut rng);
-        assert_eq!((sel[0].row, sel[0].col), (1, 1));
+        assert_eq!((sel[0].row, sel[0].col), (0, 1));
         assert!((sel[0].timeout - 2.5).abs() < 1e-12, "round 2 must re-score untouched rows");
     }
 
     #[test]
-    fn incremental_rescoring_refreshes_probed_rows() {
+    fn censored_probes_invalidate_cached_scores_too() {
         use crate::store::ObservationStore;
+        // The second half of the incremental-tunnel bug: rounds where only
+        // *censored* probes land must still refresh untouched rows —
+        // censored bounds clamp the censored ALS fit, so they move the
+        // shared model exactly as completions do. Row 0 is never probed;
+        // the censored probe lands in row 1.
         let mut store = ObservationStore::with_defaults(&[10.0, 10.0], 3);
         let mut p = LimeQoPolicy::new(Box::new(ShiftingCompleter { calls: 0 }), "limeqo");
         p.rescore_changed_only = true;
@@ -650,14 +716,15 @@ mod tests {
             let ctx = PolicyCtx { wm: store.matrix(), est_cost: None, store: Some(&store) };
             p.select(&ctx, 1, &mut rng);
         }
-        // Probing a row bumps its revision: the next call re-scores it
-        // against the fresh completion instead of serving the stale entry.
-        store.record_complete(1, 2, 8.0);
+        store.record_censored(1, 2, 0.5);
         let ctx = PolicyCtx { wm: store.matrix(), est_cost: None, store: Some(&store) };
         let sel = p.select(&ctx, 2, &mut rng);
-        let row1 = sel.iter().find(|c| c.row == 1).expect("row 1 re-ranked");
+        let row0 = sel.iter().find(|c| c.row == 0).expect("row 0 re-ranked");
         // Fresh round-2 prediction is 10/3; the stale round-1 one was 5.
-        assert!((row1.timeout - 10.0 / 3.0).abs() < 1e-12, "probed row must be re-scored");
+        assert!(
+            (row0.timeout - 10.0 / 3.0).abs() < 1e-12,
+            "a censored-only round must re-score untouched rows"
+        );
     }
 
     #[test]

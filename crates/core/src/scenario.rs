@@ -173,6 +173,7 @@ impl PolicySpec {
                     refresh_every: *refresh_every,
                     cold_bonus: *cold_bonus,
                     seed,
+                    ..OnlineConfig::default()
                 })
             }
             _ => None,

@@ -22,6 +22,8 @@
 //! row's observed density recovers) and the cold-row exploration bonus
 //! (`bonus / √(row observation count)` added to the Eq. 6 score).
 
+use std::collections::HashMap;
+
 use crate::matrix::{Cell, WorkloadMatrix};
 
 /// Drift-adaptation knobs, threaded from `PolicySpec` through the scenario
@@ -120,11 +122,12 @@ pub enum PriorKind {
 #[derive(Debug, Clone)]
 pub struct ObservationStore {
     wm: WorkloadMatrix,
-    /// Per-cell prior confidence weight; 0.0 for fresh observations and
-    /// unobserved cells, the cumulative decay product for demoted priors.
-    prior_weight: Vec<f64>,
-    /// Per-cell prior provenance, parallel to `prior_weight`.
-    prior_kind: Vec<PriorKind>,
+    /// Sparse prior bookkeeping: `(row, col) → (weight, kind)` for demoted
+    /// priors only. The invariant is `weight > 0.0 ∧ kind ≠ None` for every
+    /// entry — fresh observations and unobserved cells are simply absent.
+    /// (Dense parallel vectors cost `n·k` floats — ~400 MB at the 1M-row
+    /// tier — for a set that demotion bounds by the *observed* cell count.)
+    priors: HashMap<(u32, u32), (f64, PriorKind)>,
     /// Per-row count of completed cells observed against the *current*
     /// data (priors never count).
     fresh_complete: Vec<u32>,
@@ -136,12 +139,19 @@ pub struct ObservationStore {
     /// last changed. Incremental consumers (the Eq. 6 re-ranking) compare
     /// it with their cached value to skip untouched rows.
     row_rev: Vec<u64>,
+    /// Global completion epoch: bumps whenever a *completed* value lands
+    /// or the matrix is rebuilt (demotion/discard) — i.e. whenever the ALS
+    /// input set changes in a way that moves *every* row's Eq. 6 score,
+    /// not just the probed row's. The incremental re-ranking invalidates
+    /// its whole cache on this counter (a censored-only round leaves it
+    /// unchanged, so those rounds still reuse cached scores).
+    completion_epoch: u64,
 }
 
 impl ObservationStore {
     /// Wrap an existing matrix; every completed cell counts as fresh.
     pub fn new(wm: WorkloadMatrix) -> Self {
-        let (n, k) = (wm.n_rows(), wm.n_cols());
+        let n = wm.n_rows();
         let mut fresh = vec![0u32; n];
         for (row, fresh_count) in fresh.iter_mut().enumerate() {
             for &col in wm.observed_cols(row) {
@@ -151,12 +161,12 @@ impl ObservationStore {
             }
         }
         ObservationStore {
-            prior_weight: vec![0.0; n * k],
-            prior_kind: vec![PriorKind::None; n * k],
+            priors: HashMap::new(),
             fresh_complete: fresh,
             epoch: 0,
             rev: 0,
             row_rev: vec![0; n],
+            completion_epoch: 0,
             wm,
         }
     }
@@ -167,6 +177,11 @@ impl ObservationStore {
         Self::new(WorkloadMatrix::with_defaults(defaults, k))
     }
 
+    /// [`ObservationStore::with_defaults`] over a sharded matrix layout.
+    pub fn with_defaults_sharded(defaults: &[f64], k: usize, shards: usize) -> Self {
+        Self::new(WorkloadMatrix::with_defaults_sharded(defaults, k, shards))
+    }
+
     /// The wrapped partially observed matrix.
     pub fn matrix(&self) -> &WorkloadMatrix {
         &self.wm
@@ -175,6 +190,19 @@ impl ObservationStore {
     /// Number of data-shift demotions applied so far.
     pub fn epoch(&self) -> u32 {
         self.epoch
+    }
+
+    /// Global completion epoch: the number of times the observation set
+    /// feeding the ALS fit has changed (a completed probe, a censored
+    /// probe — censored bounds clamp the censored fit — a demotion, a
+    /// discard). Row appends leave it untouched. The incremental Eq. 6
+    /// re-ranking keys its whole cache on this: any landed observation
+    /// moves the shared factor model, which moves every row's predicted
+    /// minimum, not just the probed row's. Keying on `row_rev` alone was
+    /// the incremental-tunnel bug — a cached `None` locked an untouched
+    /// row out of the candidate set for good.
+    pub fn completion_epoch(&self) -> u64 {
+        self.completion_epoch
     }
 
     /// Revision of `row`'s observation set: a monotone stamp that changes
@@ -199,13 +227,12 @@ impl ObservationStore {
     /// Record a completed execution: the cell becomes a fresh observation
     /// (clearing any prior flag) and the row's fresh count grows.
     pub fn record_complete(&mut self, row: usize, col: usize, latency: f64) {
-        let idx = row * self.wm.n_cols() + col;
         if !matches!(self.wm.cell(row, col), Cell::Complete(_)) {
             self.fresh_complete[row] += 1;
         }
         self.wm.set_complete(row, col, latency);
-        self.prior_weight[idx] = 0.0;
-        self.prior_kind[idx] = PriorKind::None;
+        self.priors.remove(&(row as u32, col as u32));
+        self.completion_epoch += 1;
         self.bump_row(row);
     }
 
@@ -222,10 +249,9 @@ impl ObservationStore {
         };
         self.wm.set_censored(row, col, bound);
         if superseded {
-            let idx = row * self.wm.n_cols() + col;
-            self.prior_weight[idx] = 0.0;
-            self.prior_kind[idx] = PriorKind::None;
+            self.priors.remove(&(row as u32, col as u32));
         }
+        self.completion_epoch += 1;
         self.bump_row(row);
     }
 
@@ -233,8 +259,6 @@ impl ObservationStore {
     pub fn add_rows(&mut self, count: usize) {
         self.wm.add_rows(count);
         self.fresh_complete.extend(std::iter::repeat(0).take(count));
-        self.prior_weight.extend(std::iter::repeat(0.0).take(count * self.wm.n_cols()));
-        self.prior_kind.extend(std::iter::repeat(PriorKind::None).take(count * self.wm.n_cols()));
         self.rev += 1;
         self.row_rev.extend(std::iter::repeat(self.rev).take(count));
     }
@@ -251,22 +275,22 @@ impl ObservationStore {
 
     /// Whether the cell holds a demoted prior rather than a measurement.
     pub fn is_prior(&self, row: usize, col: usize) -> bool {
-        self.prior_weight[row * self.wm.n_cols() + col] > 0.0
+        self.priors.contains_key(&(row as u32, col as u32))
     }
 
     /// The cell's prior provenance ([`PriorKind::None`] for fresh cells).
     pub fn prior_kind(&self, row: usize, col: usize) -> PriorKind {
-        self.prior_kind[row * self.wm.n_cols() + col]
+        self.priors.get(&(row as u32, col as u32)).map_or(PriorKind::None, |&(_, k)| k)
     }
 
     /// The cell's cumulative prior confidence weight (0 for fresh cells).
     pub fn prior_weight(&self, row: usize, col: usize) -> f64 {
-        self.prior_weight[row * self.wm.n_cols() + col]
+        self.priors.get(&(row as u32, col as u32)).map_or(0.0, |&(w, _)| w)
     }
 
-    /// Count of demoted-prior cells currently in the matrix.
+    /// Count of demoted-prior cells currently in the matrix (O(1)).
     pub fn prior_count(&self) -> usize {
-        self.prior_weight.iter().filter(|&&w| w > 0.0).count()
+        self.priors.len()
     }
 
     /// Apply a data shift (§5.4) to the store — the drift-aware
@@ -290,32 +314,29 @@ impl ObservationStore {
     /// stale value, otherwise the prior would overclaim on the new data.
     pub fn demote_to_priors(&mut self, decay: f64) {
         assert!(decay > 0.0 && decay <= 1.0, "prior decay must be in (0, 1]");
-        let (n, k) = (self.wm.n_rows(), self.wm.n_cols());
-        let mut demoted = WorkloadMatrix::new(n, k);
+        let n = self.wm.n_rows();
+        // Same shape *and* shard layout: drift must not repartition.
+        let mut demoted = self.wm.empty_like();
         // Walk only the observed cells via the compact index — a demotion
         // sweep is O(observed), not O(n·k), which matters when a nightly
         // statistics refresh demotes a 100k-row matrix at once.
         for row in 0..n {
             for &col32 in self.wm.observed_cols(row) {
                 let col = col32 as usize;
-                let idx = row * k + col;
+                let key = (row as u32, col32);
                 match self.wm.cell(row, col) {
                     Cell::Unobserved => unreachable!("indexed cell is observed"),
                     Cell::Complete(v) => {
                         demoted.set_censored(row, col, decay * v);
-                        self.prior_weight[idx] = decay;
-                        self.prior_kind[idx] = PriorKind::Value;
+                        self.priors.insert(key, (decay, PriorKind::Value));
                     }
                     Cell::Censored(b) => {
                         demoted.set_censored(row, col, decay * b);
                         // A surviving prior compounds; a stale measured
                         // bound starts its prior life at `decay`. Value
                         // provenance survives repeated shifts.
-                        let w = self.prior_weight[idx];
-                        self.prior_weight[idx] = if w > 0.0 { w * decay } else { decay };
-                        if self.prior_kind[idx] == PriorKind::None {
-                            self.prior_kind[idx] = PriorKind::Bound;
-                        }
+                        let entry = self.priors.entry(key).or_insert((1.0, PriorKind::Bound));
+                        entry.0 *= decay;
                     }
                 }
             }
@@ -323,6 +344,7 @@ impl ObservationStore {
         self.wm = demoted;
         self.fresh_complete.iter_mut().for_each(|c| *c = 0);
         self.epoch += 1;
+        self.completion_epoch += 1;
         self.bump_all();
     }
 
@@ -339,12 +361,12 @@ impl ObservationStore {
     /// The epoch advances here too — a post-shift matrix is a starved one
     /// regardless of whether it also shrank.
     pub fn discard_resized(&mut self, n: usize) {
-        let k = self.wm.n_cols();
-        self.wm = WorkloadMatrix::new(n, k);
-        self.prior_weight = vec![0.0; n * k];
-        self.prior_kind = vec![PriorKind::None; n * k];
+        // Keep the shard *count*, re-partitioned evenly over `n` rows.
+        self.wm = self.wm.empty_resized(n);
+        self.priors.clear();
         self.fresh_complete = vec![0; n];
         self.epoch += 1;
+        self.completion_epoch += 1;
         self.rev += 1;
         self.row_rev = vec![self.rev; n];
     }
@@ -358,8 +380,16 @@ impl ObservationStore {
         let (n, k) = (self.wm.n_rows(), self.wm.n_cols());
         enc.i(n);
         enc.i(k);
+        // Shard layout travels with the snapshot: a recovered store must
+        // partition identically or its merge order could diverge.
+        let ranges = self.wm.shard_ranges();
+        enc.i(ranges.len());
+        for &(start, end) in &ranges {
+            enc.i(end - start);
+        }
         enc.u(self.epoch as u64);
         enc.u(self.rev);
+        enc.u(self.completion_epoch);
         for row in 0..n {
             enc.u(self.fresh_complete[row] as u64);
             enc.u(self.row_rev[row]);
@@ -379,9 +409,8 @@ impl ObservationStore {
                     }
                     Cell::Unobserved => unreachable!("indexed cell must be observed"),
                 }
-                let idx = row * k + c;
-                enc.f(self.prior_weight[idx]);
-                enc.u(match self.prior_kind[idx] {
+                enc.f(self.prior_weight(row, c));
+                enc.u(match self.prior_kind(row, c) {
                     PriorKind::None => 0,
                     PriorKind::Value => 1,
                     PriorKind::Bound => 2,
@@ -398,15 +427,25 @@ impl ObservationStore {
         use crate::persist::PersistError;
         let n = dec.i()?;
         let k = dec.i()?;
-        let cells = n
-            .checked_mul(k)
+        n.checked_mul(k)
             .filter(|&c| c <= 1 << 30)
             .ok_or_else(|| PersistError::Corrupt("implausible store shape".into()))?;
+        let shard_count = dec.i()?;
+        if shard_count == 0 || shard_count > 1 << 20 {
+            return Err(PersistError::Corrupt(format!("implausible shard count {shard_count}")));
+        }
+        let mut tenant_rows = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            tenant_rows.push(dec.i()?);
+        }
+        if tenant_rows.iter().sum::<usize>() != n {
+            return Err(PersistError::Corrupt("shard row counts do not sum to n".into()));
+        }
         let epoch = dec.u()? as u32;
         let rev = dec.u()?;
-        let mut wm = WorkloadMatrix::new(n, k);
-        let mut prior_weight = vec![0.0; cells];
-        let mut prior_kind = vec![PriorKind::None; cells];
+        let completion_epoch = dec.u()?;
+        let mut wm = WorkloadMatrix::with_tenant_rows(&tenant_rows, k);
+        let mut priors = HashMap::new();
         let mut fresh_complete = vec![0u32; n];
         let mut row_rev = vec![0u64; n];
         for row in 0..n {
@@ -431,17 +470,19 @@ impl ObservationStore {
                 } else {
                     wm.set_complete(row, col, value);
                 }
-                let idx = row * k + col;
-                prior_weight[idx] = dec.f()?;
-                prior_kind[idx] = match dec.u()? {
+                let weight = dec.f()?;
+                let kind = match dec.u()? {
                     0 => PriorKind::None,
                     1 => PriorKind::Value,
                     2 => PriorKind::Bound,
                     t => return Err(PersistError::Corrupt(format!("bad prior kind {t}"))),
                 };
+                if weight > 0.0 && kind != PriorKind::None {
+                    priors.insert((row as u32, col as u32), (weight, kind));
+                }
             }
         }
-        Ok(ObservationStore { wm, prior_weight, prior_kind, fresh_complete, epoch, rev, row_rev })
+        Ok(ObservationStore { wm, priors, fresh_complete, epoch, rev, row_rev, completion_epoch })
     }
 }
 
@@ -606,6 +647,59 @@ mod tests {
         let newest = store.row_rev(0);
         store.add_rows(1);
         assert!(store.row_rev(2) > newest);
+    }
+
+    #[test]
+    fn completion_epoch_tracks_every_fit_input_change() {
+        let mut store = seeded_store();
+        let e = store.completion_epoch();
+        store.record_censored(0, 3, 1.0);
+        assert_eq!(store.completion_epoch(), e + 1, "censored bounds feed the censored fit");
+        store.record_complete(0, 3, 2.0);
+        assert_eq!(store.completion_epoch(), e + 2);
+        store.add_rows(1);
+        assert_eq!(store.completion_epoch(), e + 2, "appended rows leave the epoch");
+        store.demote_to_priors(0.5);
+        assert_eq!(store.completion_epoch(), e + 3);
+        store.discard_all();
+        assert_eq!(store.completion_epoch(), e + 4);
+    }
+
+    #[test]
+    fn demotion_preserves_shard_layout() {
+        let mut store = ObservationStore::with_defaults_sharded(&[1.0; 7], 2, 3);
+        let ranges = store.matrix().shard_ranges();
+        store.demote_to_priors(0.5);
+        assert_eq!(store.matrix().shard_ranges(), ranges);
+        store.discard_resized(9);
+        assert_eq!(store.matrix().n_shards(), 3);
+        assert_eq!(store.matrix().n_rows(), 9);
+    }
+
+    #[test]
+    fn sharded_store_roundtrips_layout_and_epochs() {
+        let mut store = ObservationStore::with_defaults_sharded(&[1.0, 2.0, 3.0, 4.0, 5.0], 3, 2);
+        store.record_censored(3, 1, 0.5);
+        store.demote_to_priors(0.5);
+        store.record_complete(0, 2, 1.0);
+        let mut enc = crate::persist::Enc::new();
+        store.save_state(&mut enc);
+        let line = enc.finish();
+        let mut dec = crate::persist::Dec::new(&line);
+        let back = ObservationStore::load_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(back.matrix().shard_ranges(), store.matrix().shard_ranges());
+        assert_eq!(back.completion_epoch(), store.completion_epoch());
+        assert_eq!(back.epoch(), store.epoch());
+        assert_eq!(back.prior_count(), store.prior_count());
+        for r in 0..5 {
+            assert_eq!(back.row_rev(r), store.row_rev(r));
+            for c in 0..3 {
+                assert_eq!(back.matrix().cell(r, c), store.matrix().cell(r, c));
+                assert_eq!(back.prior_weight(r, c).to_bits(), store.prior_weight(r, c).to_bits());
+                assert_eq!(back.prior_kind(r, c), store.prior_kind(r, c));
+            }
+        }
     }
 
     #[test]

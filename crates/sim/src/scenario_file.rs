@@ -786,6 +786,7 @@ impl<'a> Dec<'a> {
                 "max_steps",
                 "seeds",
                 "arrivals",
+                "shards",
             ],
             "",
         )?;
@@ -821,6 +822,12 @@ impl<'a> Dec<'a> {
             None => None,
             Some(av) => Some(self.arrivals(av)?),
         };
+        // Optional: absent means the unsharded layout (the only layout
+        // that existed before the sharded tier), keeping old files valid.
+        let shards = match self.get(fields, "shards") {
+            None => 1,
+            Some(sv) => self.usize(sv, "shards")?,
+        };
         Ok(ScenarioSpec {
             name,
             summary,
@@ -833,6 +840,7 @@ impl<'a> Dec<'a> {
             max_steps,
             seeds,
             arrivals,
+            shards,
         })
     }
 
@@ -1511,6 +1519,11 @@ fn spec_to_node(spec: &ScenarioSpec) -> Node {
             ]),
         ));
     }
+    // Canonical form omits the default so pre-sharding files stay
+    // byte-stable; any other value is load-bearing and must round-trip.
+    if spec.shards != 1 {
+        fields.push(("shards", num(spec.shards as f64)));
+    }
     obj(fields)
 }
 
@@ -1731,6 +1744,19 @@ mod tests {
             concurrency: 3,
             rate: 0.0,
         });
+        let back = parse_scenario_toml(&to_toml_string(&spec), label(), None).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn shards_round_trips_and_the_default_is_omitted() {
+        let mut spec = crate::scenario::by_name("censor-hostile").unwrap();
+        assert!(!to_json_string(&spec).contains("shards"), "default layout must stay implicit");
+        spec.shards = 8;
+        let text = to_json_string(&spec);
+        assert!(text.contains("shards"), "{text}");
+        let back = parse_scenario_json(&text, label(), None).unwrap();
+        assert_eq!(back, spec);
         let back = parse_scenario_toml(&to_toml_string(&spec), label(), None).unwrap();
         assert_eq!(back, spec);
     }

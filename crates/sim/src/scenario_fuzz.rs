@@ -11,7 +11,11 @@
 //! Generated specs are *calibrated*: synthetic workloads keep
 //! `default_inflation >= 1.4` so the "LimeQO beats Random drift-free"
 //! invariant has real headroom to assert against, mirroring how the
-//! hand-written registry scenarios were tuned in PRs 2–3.
+//! hand-written registry scenarios were tuned in PRs 2–3. Claim-carrying
+//! Sim workloads run 3–5 seeds so the checker can compare *medians* —
+//! the luck-robust form of the invariant. The generator also fuzzes the
+//! workload-matrix shard count ([`ScenarioSpec::shards`]), continuously
+//! spot-checking the sharded-equivalence contract.
 //!
 //! The shrinker ([`shrink`]) is a fixed candidate ladder, not generic
 //! structural shrinking: each rung proposes a strictly simpler spec
@@ -52,15 +56,21 @@ fn gen_workload(rng: &mut StdRng, calibrated: bool) -> ScenarioWorkload {
     // stay tiny; synthetic matrices are cheap and carry the size range.
     //
     // `calibrated` marks specs whose policy carries the LimeQO-beats-
-    // Random claim: those draw from the regime the claim was calibrated
-    // in (PRs 2–3) — synthetic matrices, where the low-rank structure
-    // holds by construction and n is big enough for the signal to beat
-    // sampling noise. Tiny sim workloads have heavy-tailed defaults (one
-    // row can carry half the workload), so at fuzz sizes Random genuinely
-    // wins by luck there — a false alarm, not a found bug; the registry's
-    // claim-carrying sim scenarios were budget-tuned by hand, which the
-    // generator cannot do. Sim workloads still fuzz every structural
-    // invariant under the baseline policies.
+    // Random claim. Synthetic matrices are the claim's home regime (the
+    // low-rank structure holds by construction, n is big enough for the
+    // signal to beat sampling noise). Tiny sim workloads have heavy-tailed
+    // defaults — one row can carry half the workload, so on any *single*
+    // seed Random genuinely wins by luck. They still carry the claim now,
+    // but only under the luck-robust multi-seed-median invariant (see
+    // `gen_offline`): the median over >= 3 seeds washes out single-seed
+    // luck while a policy regression (losing the low-rank signal entirely)
+    // still shifts every seed and trips it.
+    if calibrated && rng.gen_range(0..10u32) < 3 {
+        return ScenarioWorkload::Sim(WorkloadSpec::tiny(
+            rng.gen_range(24..=48usize),
+            rng.gen_range(1..=1u64 << 32),
+        ));
+    }
     if calibrated || rng.gen_range(0..10u32) < 7 {
         let k = rng.gen_range(6..=16usize);
         ScenarioWorkload::Synthetic(SyntheticSpec {
@@ -77,6 +87,16 @@ fn gen_workload(rng: &mut StdRng, calibrated: bool) -> ScenarioWorkload {
             rng.gen_range(1..=1u64 << 32),
         ))
     }
+}
+
+/// The shard-count axis: mostly unsharded (the historical layout), with
+/// the sharded layouts mixed in. Sharding is pinned bit-identical to the
+/// unsharded engine, so any invariant failure found at `shards > 1` is a
+/// real policy/runner bug, not a sharding artifact — and the fuzzer
+/// doubles as a continuous spot-check of that equivalence (the runner's
+/// monotone/ordering invariants would catch a divergent trajectory).
+fn gen_shards(rng: &mut StdRng) -> usize {
+    [1usize, 1, 2, 4][rng.gen_range(0..4usize)]
 }
 
 fn gen_hint_shape(rng: &mut StdRng, workload: &ScenarioWorkload) -> HintShape {
@@ -106,25 +126,40 @@ fn gen_offline(case_seed: u64, rng: &mut StdRng) -> ScenarioSpec {
         1 => PolicySpec::Greedy,
         2 => PolicySpec::QoAdvisor,
         3 => PolicySpec::limeqo_legacy(),
-        // `rescore_every: 1` forces a full re-score each round, so the
-        // incremental cache plumbing is exercised while the ranking stays
-        // paper-exact. Lazier cadences (e.g. 8) are outside the feature's
-        // design envelope at fuzz-sized batches: a cached `None` locks a
-        // row out of the candidate set until its own observations change,
-        // which never happens for a row the ranking ignores, and the
-        // policy tunnels on a handful of rows at full-row-best timeouts —
-        // the fuzzer found that collapse, and it is pinned as
-        // scenarios/broken/incremental-tunnel.json.
+        // Incremental Eq. 6 re-ranking at fuzzed cadences. Cached per-row
+        // scores are invalidated on the store's global *completion epoch*
+        // (bumped whenever any cell completes), so lazy cadences no longer
+        // tunnel on a stale argmin. The fuzzer originally found that
+        // collapse at `rescore_every: 8`: the cache keyed on `row_rev`
+        // alone, so a cached `None` locked a row out of the candidate set
+        // until its own observations changed — which never happened for a
+        // row the ranking ignored. The reproducer graduated from
+        // scenarios/broken/incremental-tunnel.json to the registry
+        // regression scenario `incremental-tunnel` when the epoch fix
+        // landed; every cadence here is in the design envelope now.
         4 => PolicySpec::LimeQoAls {
             rank: rng.gen_range(2..=5usize),
             drift: DriftPolicy::default(),
             incremental: true,
-            rescore_every: 1,
+            rescore_every: [1usize, 2, 4, 8][rng.gen_range(0..4usize)],
         },
         _ => PolicySpec::limeqo(),
     };
     let calibrated = policy.expects_to_beat_random();
     let workload = gen_workload(rng, calibrated);
+    // Rank 4–5 on a tiny Sim catalog is outside the calibrated envelope:
+    // with ~30 rows and no low-rank ground truth, the over-parameterized
+    // factor model fits noise and loses to Random by *median* margins
+    // (the 1,200-seed sweep measured up to 2.15x) that no meaningful
+    // collapse bound could absorb. Clamping after the draw keeps the RNG
+    // stream — and so every other generated case — unchanged.
+    let policy = match (&workload, policy) {
+        (
+            ScenarioWorkload::Sim(_),
+            PolicySpec::LimeQoAls { rank, drift, incremental, rescore_every },
+        ) => PolicySpec::LimeQoAls { rank: rank.min(3), drift, incremental, rescore_every },
+        (_, p) => p,
+    };
     let hint_shape = gen_hint_shape(rng, &workload);
     // Drift only on simulated workloads (data shift needs a catalog), and
     // only sometimes — drift-free cases keep the LimeQO-vs-Random
@@ -155,10 +190,16 @@ fn gen_offline(case_seed: u64, rng: &mut StdRng) -> ScenarioSpec {
             max_steps: 1,
             seeds: vec![1],
             arrivals: None,
+            shards: 1,
         };
         probe.shaped_columns().expect("generated shape is in bounds")
     };
     let cells = workload.n_queries() * shaped;
+    // Claim-carrying Sim workloads are luck-prone per seed (heavy-tailed
+    // defaults), so they run 3–5 seeds and the checker compares medians;
+    // synthetic claim-carriers keep the historic 2-seed mean comparison.
+    let claim_seeds =
+        if matches!(workload, ScenarioWorkload::Sim(_)) { rng.gen_range(3..=5usize) } else { 2 };
     ScenarioSpec {
         name: format!("fuzz-{case_seed:016x}"),
         summary: format!("fuzzer case {case_seed:#x} (offline)"),
@@ -179,11 +220,12 @@ fn gen_offline(case_seed: u64, rng: &mut StdRng) -> ScenarioSpec {
         },
         max_steps: 100_000,
         seeds: if calibrated {
-            vec![rng.gen_range(1..10_000u64), rng.gen_range(1..10_000u64)]
+            (0..claim_seeds).map(|_| rng.gen_range(1..10_000u64)).collect()
         } else {
             gen_seeds(rng)
         },
         arrivals: None,
+        shards: gen_shards(rng),
     }
 }
 
@@ -224,6 +266,7 @@ fn gen_online(case_seed: u64, rng: &mut StdRng) -> ScenarioSpec {
         max_steps: 100_000,
         seeds: gen_seeds(rng),
         arrivals: Some(arrivals),
+        shards: gen_shards(rng),
     }
 }
 
@@ -244,6 +287,16 @@ fn rungs() -> Vec<Rung> {
             (!s.drift.is_empty()).then(|| {
                 let mut t = s.clone();
                 t.drift.clear();
+                t
+            })
+        },
+        // Sharding is bit-identical by contract, so a failure should
+        // reproduce unsharded; if it does not, the rung is rejected and
+        // the reproducer keeps its shard count — itself a loud signal.
+        |s| {
+            (s.shards > 1).then(|| {
+                let mut t = s.clone();
+                t.shards = 1;
                 t
             })
         },

@@ -20,7 +20,7 @@
 //!
 //! | request | response |
 //! |---|---|
-//! | `{"op":"init","n":N,"k":K,"seed":S,"batch":B}` | `{"ok":true,"op":"init"}` |
+//! | `{"op":"init","n":N,"k":K,"seed":S,"batch":B[,"shards":T]}` | `{"ok":true,"op":"init"}` |
 //! | `{"op":"tick"}` | `{"ok":true,"op":"tick","probes":P,"time_spent":T}` |
 //! | `{"op":"hint","row":R}` | `{"ok":true,"op":"hint","col":C,"latency":L}` |
 //! | `{"op":"status"}` | `{"ok":true,...,"event_index":E,"cells":C}` |
@@ -89,6 +89,10 @@ pub struct ServiceConfig {
     pub seed: u64,
     /// Probes issued per tick.
     pub batch: usize,
+    /// Row-range shards of the workload matrix (1 = the unsharded engine;
+    /// N = the multi-tenant tier). A pure scale-out knob: the exploration
+    /// trace is bit-identical at every value.
+    pub shards: usize,
 }
 
 impl ServiceConfig {
@@ -99,6 +103,7 @@ impl ServiceConfig {
             ("k".into(), Json::Num(self.k as f64)),
             ("seed".into(), Json::Num(self.seed as f64)),
             ("batch".into(), Json::Num(self.batch as f64)),
+            ("shards".into(), Json::Num(self.shards as f64)),
         ])
     }
 
@@ -110,11 +115,18 @@ impl ServiceConfig {
                 .filter(|x| x.is_finite() && *x >= 0.0 && x.fract() == 0.0)
                 .ok_or_else(|| format!("svc-config: missing or bad field {name:?}"))
         };
+        // Pre-sharding state directories have no "shards" field; they are
+        // single-shard by construction.
+        let shards = match v.get("shards") {
+            None => 1,
+            Some(_) => field("shards")? as usize,
+        };
         Ok(ServiceConfig {
             n: field("n")? as usize,
             k: field("k")? as usize,
             seed: field("seed")? as u64,
             batch: field("batch")? as usize,
+            shards,
         })
     }
 
@@ -141,8 +153,14 @@ pub fn synthetic_truth(cfg: &ServiceConfig) -> Mat {
 
 fn build_engine(cfg: &ServiceConfig, truth: &Mat) -> Engine<'static> {
     let defaults: Vec<f64> = (0..cfg.n).map(|i| truth[(i, WorkloadMatrix::DEFAULT_HINT)]).collect();
-    let store = ObservationStore::new(WorkloadMatrix::with_defaults(&defaults, cfg.k));
-    let ecfg = ExploreConfig { batch: cfg.batch, seed: cfg.seed, ..Default::default() };
+    let store =
+        ObservationStore::new(WorkloadMatrix::with_defaults_sharded(&defaults, cfg.k, cfg.shards));
+    let ecfg = ExploreConfig {
+        batch: cfg.batch,
+        seed: cfg.seed,
+        shards: cfg.shards,
+        ..Default::default()
+    };
     Engine::offline(store, Box::new(LimeQoPolicy::with_als(cfg.seed)), None, &ecfg)
 }
 
@@ -187,8 +205,10 @@ impl Service {
         cfg: ServiceConfig,
         crash_at: Option<u64>,
     ) -> Result<Self, PersistError> {
-        if cfg.n == 0 || cfg.k == 0 || cfg.batch == 0 {
-            return Err(PersistError::Corrupt("init: n, k and batch must be positive".into()));
+        if cfg.n == 0 || cfg.k == 0 || cfg.batch == 0 || cfg.shards == 0 {
+            return Err(PersistError::Corrupt(
+                "init: n, k, batch and shards must be positive".into(),
+            ));
         }
         let truth = synthetic_truth(&cfg);
         let engine = build_engine(&cfg, &truth);
@@ -397,6 +417,7 @@ pub fn handle_init(
         k: field("k", None)? as usize,
         seed: field("seed", Some(0.0))? as u64,
         batch: field("batch", Some(8.0))? as usize,
+        shards: field("shards", Some(1.0))? as usize,
     };
     let svc = Service::init(dir, cfg, crash_at).map_err(|e| e.to_string())?;
     let reply =
@@ -421,10 +442,54 @@ mod tests {
 
     #[test]
     fn config_roundtrips_through_json() {
-        let cfg = ServiceConfig { n: 40, k: 9, seed: 7, batch: 4 };
+        let cfg = ServiceConfig { n: 40, k: 9, seed: 7, batch: 4, shards: 3 };
         let back =
             ServiceConfig::from_json(&Json::parse(&cfg.to_json().render()).unwrap()).unwrap();
         assert_eq!(back, cfg);
+        // Pre-sharding config files (no "shards" field) stay readable as
+        // single-shard deployments.
+        let legacy = Json::parse(r#"{"n":40,"k":9,"seed":7,"batch":4}"#).unwrap();
+        assert_eq!(ServiceConfig::from_json(&legacy).unwrap().shards, 1);
+    }
+
+    #[test]
+    fn sharded_service_replays_the_unsharded_trace() {
+        // The shards knob is pure scale-out: the multi-tenant daemon's
+        // exploration trace is bit-identical to the unsharded one, and
+        // crash recovery preserves the sharded layout.
+        let dir_a = test_dir("shard-a");
+        let dir_b = test_dir("shard-b");
+        let (mut plain, _) =
+            handle_init(&dir_a, r#"{"op":"init","n":24,"k":8,"seed":5,"batch":4}"#, None).unwrap();
+        let init_sharded = r#"{"op":"init","n":24,"k":8,"seed":5,"batch":4,"shards":8}"#;
+        let (mut sharded, _) = handle_init(&dir_b, init_sharded, None).unwrap();
+        assert_eq!(sharded.config().shards, 8);
+        for _ in 0..4 {
+            plain.handle(r#"{"op":"tick"}"#);
+            sharded.handle(r#"{"op":"tick"}"#);
+        }
+        assert_eq!(trace_of(&mut sharded), trace_of(&mut plain));
+        // Kill the sharded daemon without shutdown and resume: the shard
+        // count survives via svc-config.json and the trace still matches.
+        drop(sharded);
+        let mut sharded = Service::open(&dir_b, None).unwrap();
+        assert_eq!(sharded.config().shards, 8);
+        plain.handle(r#"{"op":"tick"}"#);
+        sharded.handle(r#"{"op":"tick"}"#);
+        assert_eq!(trace_of(&mut sharded), trace_of(&mut plain));
+        let _ = fs::remove_dir_all(&dir_a);
+        let _ = fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn zero_shards_is_rejected_at_init() {
+        let dir = test_dir("shard-zero");
+        let err = handle_init(&dir, r#"{"op":"init","n":8,"k":4,"shards":0}"#, None)
+            .err()
+            .expect("zero shards must fail");
+        assert!(err.contains("positive"), "{err}");
+        assert!(!Service::exists(&dir));
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

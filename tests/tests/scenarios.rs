@@ -24,7 +24,9 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::OnceLock;
 
-use limeqo_bench::scenario_runner::{run_scenario, run_scenarios, ScenarioOutcome};
+use limeqo_bench::scenario_runner::{
+    run_scenario, run_scenarios, verify_scenario_sharded, ScenarioOutcome,
+};
 use limeqo_sim::scenario::{registry, scale_registry};
 
 /// Run the whole registry exactly once, shared by every #[test] below.
@@ -357,6 +359,44 @@ fn check_golden(file: &str, registry_desc: &str, got: &BTreeMap<String, f64>) {
 }
 
 #[test]
+fn sharded_engine_is_bit_identical_on_every_fast_scenario() {
+    // The sharding layer's headline contract: the shard count is a pure
+    // scale-out knob. For every fast-registry scenario, a sharded run must
+    // reproduce the single-shard run bit for bit — exploration traces,
+    // charged clocks, executed/censored cell counts, and final workload
+    // latency all compared exactly (online scenarios additionally compare
+    // the arrival-level economics). One verification thread per
+    // (scenario, shard count); each builds its environment once and runs
+    // both engines per seed.
+    let specs = registry();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .iter()
+            .flat_map(|spec| {
+                [2usize, 8].map(|shards| {
+                    (
+                        spec.name.clone(),
+                        shards,
+                        scope.spawn(move || verify_scenario_sharded(spec, shards)),
+                    )
+                })
+            })
+            .collect();
+        let mut failures = Vec::new();
+        for (name, shards, handle) in handles {
+            if let Err(e) = handle.join().expect("verification thread panicked") {
+                failures.push(format!("{name} at {shards} shards: {e}"));
+            }
+        }
+        assert!(
+            failures.is_empty(),
+            "sharded runs diverged from the unsharded engine:\n{}",
+            failures.join("\n")
+        );
+    });
+}
+
+#[test]
 fn golden_summary_matches() {
     let mut got: BTreeMap<String, f64> = BTreeMap::new();
     for o in outcomes() {
@@ -406,6 +446,77 @@ fn scale_goldens_match() {
         got.extend(o.metrics());
     }
     check_golden("scale.golden", "limeqo_sim::scenario::scale_registry()", &got);
+}
+
+/// The `scale-1m` memory budget (PERF.md's budget table): the sparse
+/// workload-matrix indices — per-row headers, observed (col, value) pairs,
+/// censored bitmaps, best caches and Fenwick trees — must fit in 256 MiB
+/// at 1M × 17 with the defaults column plus the ~90k budgeted probes
+/// observed. The old dense 16-byte-per-cell store alone was ~272 MB.
+const SCALE_1M_MEM_BUDGET_BYTES: u64 = 256 * 1024 * 1024;
+
+#[test]
+#[ignore = "scale tier: the 1M-row scenarios take minutes; run via ./ci.sh --ignored"]
+fn scale_1m_limeqo_beats_random_within_the_memory_budget() {
+    for name in ["scale-1m", "scale-1m-tenants"] {
+        let o = scale_outcome(name);
+        assert_eq!(o.n, 1_000_000);
+        assert_eq!(o.k, 17);
+        assert!(o.monotone_ok, "{name}: latency regressed within a segment");
+        assert!(o.optimal_total <= o.final_latency + 1e-9);
+        assert!(o.final_latency <= o.default_total + 1e-9);
+        let random = o.random_final_latency.expect("offline scenario runs a random reference");
+        assert!(
+            o.final_latency <= random + 1e-9,
+            "{name}: limeqo {} worse than random {} at equal budget",
+            o.final_latency,
+            random
+        );
+        assert!(o.mem_bytes > 0, "{name}: runner must report the matrix footprint");
+        assert!(
+            o.mem_bytes <= SCALE_1M_MEM_BUDGET_BYTES,
+            "{name}: sparse matrix cost {} bytes, budget is {}",
+            o.mem_bytes,
+            SCALE_1M_MEM_BUDGET_BYTES
+        );
+    }
+}
+
+#[test]
+#[ignore = "scale tier: the 1M-row scenarios take minutes; run via ./ci.sh --ignored"]
+fn scale_1m_tenant_count_never_moves_the_outcome() {
+    // scale-1m (8 shards) and scale-1m-tenants (64 shards) are the same
+    // spec apart from the partitioning, so every deterministic metric must
+    // agree EXACTLY between them — the bit-identity contract demonstrated
+    // at the full 1M-row scale without a third run.
+    let a = scale_outcome("scale-1m");
+    let b = scale_outcome("scale-1m-tenants");
+    let strip = |o: &ScenarioOutcome| -> Vec<(String, u64)> {
+        o.metrics()
+            .into_iter()
+            .map(|(k, v)| {
+                (k.split_once('.').expect("namespaced metric").1.to_string(), v.to_bits())
+            })
+            .collect()
+    };
+    assert_eq!(strip(a), strip(b), "8-shard and 64-tenant metrics diverged at 1M rows");
+}
+
+#[test]
+#[ignore = "scale tier: the 1M-row scenarios take minutes; run via ./ci.sh --ignored"]
+fn scale_1m_metrics_stable_across_two_runs() {
+    // Determinism at the 1M tier: a second, fresh run (its own environment
+    // build and per-shard ALS fan-out) must reproduce every metric and the
+    // reported matrix footprint EXACTLY.
+    let first = scale_outcome("scale-1m");
+    let spec = limeqo_sim::scenario::by_name("scale-1m").expect("registered");
+    let second = run_scenario(&spec);
+    let a: Vec<(String, u64)> =
+        first.metrics().into_iter().map(|(k, v)| (k, v.to_bits())).collect();
+    let b: Vec<(String, u64)> =
+        second.metrics().into_iter().map(|(k, v)| (k, v.to_bits())).collect();
+    assert_eq!(a, b, "scale-1m metrics differ between two runs");
+    assert_eq!(first.mem_bytes, second.mem_bytes, "scale-1m footprint differs between two runs");
 }
 
 #[test]

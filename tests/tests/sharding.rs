@@ -1,0 +1,142 @@
+//! Sharded-vs-unsharded bit-identity under adversarial interleavings.
+//!
+//! The sharding layer's contract is that the shard count is pure layout:
+//! every observable — cells, caches, counters, revision clocks, the ALS
+//! completion, and the policy's selection — is bit-identical at any
+//! partitioning. The unit tests pin that for hand-written sequences; this
+//! suite drives *arbitrary* interleavings of the four mutating operations
+//! (observe-complete, observe-censored, add_rows, data-shift demotion)
+//! through the [`ObservationStore`] at 1/2/8 shards, crossing shard
+//! boundaries at random, and requires exact agreement — including the ALS
+//! factor solve at 1/2/8 worker threads (the thread and shard knobs must
+//! compose without moving a bit) and the LimeQO policy's probe selection.
+
+use limeqo_core::complete::{AlsCompleter, Completer};
+use limeqo_core::matrix::WorkloadMatrix;
+use limeqo_core::policy::{LimeQoPolicy, Policy, PolicyCtx};
+use limeqo_core::store::ObservationStore;
+use limeqo_linalg::rng::SeededRng;
+use proptest::prelude::*;
+
+/// Apply a deterministic random operation sequence to `store`. The
+/// sequence depends only on `seed`/`steps` (plus the row count, which
+/// evolves identically at every shard count), so two stores driven with
+/// the same arguments see the same interleaving regardless of layout.
+fn drive(store: &mut ObservationStore, seed: u64, steps: usize) {
+    let mut rng = SeededRng::new(seed);
+    for _ in 0..steps {
+        let n = store.matrix().n_rows();
+        let k = store.matrix().n_cols();
+        let row = rng.index(n);
+        let col = rng.index(k);
+        let v = rng.uniform(0.05, 8.0);
+        match rng.index(20) {
+            0 => store.add_rows(1 + rng.index(3)),
+            1 => store.demote_to_priors(0.5),
+            2..=6 => store.record_censored(row, col, v),
+            _ => store.record_complete(row, col, v),
+        }
+    }
+}
+
+fn driven_store(n: usize, k: usize, shards: usize, seed: u64, steps: usize) -> ObservationStore {
+    let mut store = ObservationStore::new(WorkloadMatrix::new_sharded(n, k, shards));
+    drive(&mut store, seed, steps);
+    store
+}
+
+/// Bitwise image of the ALS completion of `store` at `threads` workers.
+fn als_bits(store: &ObservationStore, threads: usize, seed: u64) -> Vec<u64> {
+    let mut als = AlsCompleter::paper_default(seed);
+    als.iters = 4;
+    als.threads = threads;
+    als.complete(store.matrix()).as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// Store state after an arbitrary interleaving is layout-invariant:
+    /// every cell, the best caches, the O(1) counters, the unobserved rank
+    /// index, and both revision clocks agree exactly with the single-shard
+    /// reference.
+    #[test]
+    fn interleaved_store_state_is_shard_invariant(
+        seed in 0u64..1_000_000,
+        n in 8usize..32,
+        k in 4usize..10,
+        steps in 40usize..160,
+    ) {
+        let reference = driven_store(n, k, 1, seed, steps);
+        for shards in [2usize, 8] {
+            let sharded = driven_store(n, k, shards, seed, steps);
+            prop_assert_eq!(sharded.matrix().n_shards(), shards);
+            prop_assert_eq!(sharded.matrix().n_rows(), reference.matrix().n_rows());
+            prop_assert_eq!(sharded.epoch(), reference.epoch());
+            prop_assert_eq!(sharded.completion_epoch(), reference.completion_epoch());
+            prop_assert_eq!(
+                sharded.matrix().complete_count(),
+                reference.matrix().complete_count()
+            );
+            prop_assert_eq!(
+                sharded.matrix().censored_count(),
+                reference.matrix().censored_count()
+            );
+            prop_assert_eq!(sharded.prior_count(), reference.prior_count());
+            for r in 0..reference.matrix().n_rows() {
+                prop_assert_eq!(sharded.row_rev(r), reference.row_rev(r));
+                prop_assert_eq!(sharded.matrix().row_best(r), reference.matrix().row_best(r));
+                for c in 0..k {
+                    prop_assert_eq!(sharded.matrix().cell(r, c), reference.matrix().cell(r, c));
+                    prop_assert_eq!(sharded.is_prior(r, c), reference.is_prior(r, c));
+                }
+            }
+            for rank in 0..reference.matrix().unobserved_count() {
+                prop_assert_eq!(
+                    sharded.matrix().unobserved_at_rank(rank),
+                    reference.matrix().unobserved_at_rank(rank)
+                );
+            }
+        }
+    }
+
+    /// The ALS factor solve over an interleaving-built store is
+    /// bit-identical across the full shard-count × thread-count grid, and
+    /// the LimeQO policy issues the same probes from every layout.
+    #[test]
+    fn als_and_selection_are_shard_and_thread_invariant(
+        seed in 0u64..1_000_000,
+        n in 8usize..28,
+        k in 4usize..9,
+        steps in 40usize..120,
+    ) {
+        let reference = driven_store(n, k, 1, seed, steps);
+        let want_bits = als_bits(&reference, 1, seed);
+        let want_picks = {
+            let mut policy = LimeQoPolicy::with_als(seed);
+            let ctx = PolicyCtx {
+                wm: reference.matrix(),
+                est_cost: None,
+                store: Some(&reference),
+            };
+            policy.select(&ctx, 4, &mut SeededRng::new(seed ^ 0x5E1))
+        };
+        for shards in [1usize, 2, 8] {
+            let sharded = driven_store(n, k, shards, seed, steps);
+            for threads in [1usize, 2, 8] {
+                prop_assert_eq!(
+                    als_bits(&sharded, threads, seed),
+                    want_bits.clone(),
+                    "ALS diverged at {} shards x {} threads",
+                    shards,
+                    threads
+                );
+            }
+            let mut policy = LimeQoPolicy::with_als(seed);
+            let ctx =
+                PolicyCtx { wm: sharded.matrix(), est_cost: None, store: Some(&sharded) };
+            let picks = policy.select(&ctx, 4, &mut SeededRng::new(seed ^ 0x5E1));
+            prop_assert_eq!(picks, want_picks.clone(), "selection diverged at {} shards", shards);
+        }
+    }
+}
