@@ -55,6 +55,15 @@ cargo test --offline -q
 echo "==> scenario golden suite"
 cargo test --offline -q -p limeqo-integration-tests --test scenarios
 
+# Kernel-equivalence differential suite: blocked kernels bit-identical to
+# naive at every tile/thread combination, incremental factor updates exact
+# when all rows are dirty and deviation-bounded otherwise, and the
+# LimeQO-vs-Random invariant with incremental updates on. Re-run under its
+# own gate line (like the golden suite) so a kernel divergence is named in
+# CI output; the large-shape sweep rides the --ignored tier.
+echo "==> kernel-equivalence differential suite"
+cargo test --offline -q -p limeqo-integration-tests --test kernels
+
 # The file corpus under scenarios/ must stay a byte-exact re-expression
 # of the code registry (canonical serializer form, spec-equal,
 # bit-identical metrics on the cheap pair), and every pinned
@@ -78,6 +87,7 @@ if [[ "$FAST" == "0" ]]; then
   # (a silently dropped emitter line would otherwise only fail in-process
   # tests, not the committed-trajectory workflow).
   for key in policy.sample_s policy.topk_s \
+    als.blocked_s als.block_speedup als.incremental_s \
     shard.select_s shard.merge_s shard.als_s shard.mem_bytes \
     svc.journal_append_s svc.snapshot_s svc.recover_s; do
     if ! grep -q "\"$key\"" bench-results/BENCH_policy_smoke.json; then

@@ -38,6 +38,9 @@ fn main() {
         "als.serial_s",
         "als.parallel_s",
         "als.speedup",
+        "als.blocked_s",
+        "als.block_speedup",
+        "als.incremental_s",
         "store.demote_s",
         "store.gate_scan_s",
         "policy.rank_scan_s",
@@ -46,21 +49,46 @@ fn main() {
         "scenario.end_to_end_s",
     ] {
         if let Some(v) = doc.get(key).and_then(Json::as_num) {
-            if key == "als.speedup" {
+            if key.ends_with("speedup") {
                 println!("[perf]   {key} = {v:.2}x");
             } else {
                 println!("[perf]   {key} = {}", fmt_secs(v));
             }
         }
     }
+    let full = doc.get("smoke") == Some(&Json::Bool(false));
     if let (Some(cores), Some(speedup)) =
         (doc.get("cores").and_then(Json::as_num), doc.get("als.speedup").and_then(Json::as_num))
     {
         // The acceptance bar: >= 2x ALS speedup at 10k×49 on >= 4 cores.
-        // On smaller machines the parallel path must simply not regress.
-        if cores >= 4.0 && doc.get("smoke") == Some(&Json::Bool(false)) && speedup < 2.0 {
-            eprintln!("[perf] FAIL: {cores} cores but ALS speedup only {speedup:.2}x (< 2x)");
-            std::process::exit(1);
+        // On smaller machines the parallel fit cannot possibly hit 2x, so
+        // the gate is SKIPPED with a visible reason — never silently
+        // passed as if it had been checked (`cores` is recorded in the
+        // report so the skip is auditable after the fact).
+        if full {
+            if cores < 4.0 {
+                println!(
+                    "[perf] SKIP: als.speedup >= 2x gate needs >= 4 cores, this container \
+                     has {cores} (speedup measured {speedup:.2}x)"
+                );
+            } else if speedup < 2.0 {
+                eprintln!("[perf] FAIL: {cores} cores but ALS speedup only {speedup:.2}x (< 2x)");
+                std::process::exit(1);
+            }
+        }
+    }
+    // The blocked-kernel floor is serial-vs-serial, so it is armed on
+    // every --full run regardless of core count: cache blocking that
+    // loses to the naive kernel at 10k×49 is a regression.
+    if full {
+        if let Some(block_speedup) = doc.get("als.block_speedup").and_then(Json::as_num) {
+            if block_speedup < 1.0 {
+                eprintln!(
+                    "[perf] FAIL: blocked ALS slower than the naive serial kernel \
+                     (als.block_speedup = {block_speedup:.2}x < 1x)"
+                );
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -10,7 +10,7 @@ pub mod als;
 pub mod nuc;
 pub mod svt;
 
-pub use als::AlsCompleter;
+pub use als::{AlsCompleter, AlsKernel};
 pub use nuc::NucCompleter;
 pub use svt::SvtCompleter;
 
@@ -29,6 +29,16 @@ pub trait Completer {
     /// Complete the matrix. Called once per exploration step; the harness
     /// wall-clocks this call as the model's overhead (Figs. 7/13).
     fn complete(&mut self, wm: &WorkloadMatrix) -> Mat;
+
+    /// [`Completer::complete`] with a dirty-row hint: `dirty` lists
+    /// (sorted, unique) the rows whose observations changed since the
+    /// previous call, `None` means "no tracking available". Models that
+    /// can exploit the hint (incremental ALS) override this; the default
+    /// ignores it and runs a full completion, so the hint is always safe
+    /// to pass.
+    fn complete_dirty(&mut self, wm: &WorkloadMatrix, _dirty: Option<&[usize]>) -> Mat {
+        self.complete(wm)
+    }
 
     /// Serialize mutable run state (call counters, warm-started factors)
     /// into a snapshot. Default no-op for stateless models.

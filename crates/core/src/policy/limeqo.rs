@@ -97,12 +97,26 @@ pub struct LimeQoPolicy {
     /// re-score; irrelevant unless [`LimeQoPolicy::rescore_changed_only`]
     /// is on.
     pub rescore_every: usize,
+    /// Incremental *model fitting* (distinct from the incremental
+    /// re-ranking above, which caches scores): hand the completer the set
+    /// of rows whose observations changed since the last fit
+    /// ([`crate::store::ObservationStore::row_rev`]), so a completer that
+    /// supports dirty-row hints (incremental ALS) can re-solve only those
+    /// rows against its retained factors. Requires drift bookkeeping in
+    /// [`PolicyCtx::store`] (the completer sees `None` and fits fully
+    /// otherwise). Off by default.
+    pub incremental_als: bool,
     /// Per-row score cache for the incremental path: the store revision
     /// the row was last scored at, and the scored candidate
     /// (`None` = nothing worth exploring in that row).
     cache: Vec<CachedScore>,
     /// Calls to `select` so far (drives the periodic full re-score).
     rounds: u64,
+    /// First store row revision the completer has *not* been fitted
+    /// against (drives the dirty-row scan for `incremental_als`): a row is
+    /// dirty when `row_rev ≥ fit_rev`. Starts at 0, so a never-fitted
+    /// policy reports every row dirty.
+    fit_rev: u64,
 }
 
 /// One cached Eq. 6 scoring decision.
@@ -144,8 +158,10 @@ impl LimeQoPolicy {
             cold_row_bonus: 0.0,
             rescore_changed_only: false,
             rescore_every: 0,
+            incremental_als: false,
             cache: Vec::new(),
             rounds: 0,
+            fit_rev: 0,
         }
     }
 
@@ -208,8 +224,31 @@ impl Policy for LimeQoPolicy {
                 }
             }
         }
-        // Line 2: Ŵ ← pred(W̃, M, T).
-        let w_hat = self.completer.complete(wm);
+        // Line 2: Ŵ ← pred(W̃, M, T). With incremental model fitting on
+        // and drift bookkeeping available, hand the completer the rows
+        // whose observations changed since the last fit (one O(n) pass
+        // over the row revisions) — an ALS completer in incremental mode
+        // re-solves only those rows against its retained factors.
+        let w_hat = if self.incremental_als {
+            match ctx.store {
+                Some(store) => {
+                    let mut dirty: Vec<usize> = Vec::new();
+                    let mut max_rev = 0;
+                    for row in 0..wm.n_rows() {
+                        let rev = store.row_rev(row);
+                        if rev >= self.fit_rev {
+                            dirty.push(row);
+                        }
+                        max_rev = max_rev.max(rev);
+                    }
+                    self.fit_rev = max_rev + 1;
+                    self.completer.complete_dirty(wm, Some(&dirty))
+                }
+                None => self.completer.complete_dirty(wm, None),
+            }
+        } else {
+            self.completer.complete(wm)
+        };
 
         // Lines 3–6: expected improvement ratio per query (plus the
         // optional cold-row bonus). `score_row` is the single source of
@@ -359,10 +398,12 @@ impl Policy for LimeQoPolicy {
     }
 
     fn save_state(&self, enc: &mut crate::persist::Enc) {
-        // The rounds counter drives the periodic full-rescore cadence and
-        // the score cache skips untouched rows; both (plus the completer's
-        // own state) must survive a restart bit-identically.
+        // The rounds counter drives the periodic full-rescore cadence, the
+        // fitted revision drives the dirty-row scan, and the score cache
+        // skips untouched rows; all three (plus the completer's own state)
+        // must survive a restart bit-identically.
         enc.u(self.rounds);
+        enc.u(self.fit_rev);
         enc.i(self.cache.len());
         for c in &self.cache {
             enc.u(c.rev);
@@ -382,6 +423,7 @@ impl Policy for LimeQoPolicy {
 
     fn load_state(&mut self, dec: &mut crate::persist::Dec<'_>) -> crate::persist::Result<()> {
         self.rounds = dec.u()?;
+        self.fit_rev = dec.u()?;
         let n = dec.i()?;
         self.cache = Vec::with_capacity(n.min(1 << 24));
         for _ in 0..n {
@@ -725,6 +767,90 @@ mod tests {
             (row0.timeout - 10.0 / 3.0).abs() < 1e-12,
             "a censored-only round must re-score untouched rows"
         );
+    }
+
+    /// Records the dirty-row hints it receives, predicting a flat fill.
+    struct DirtyRecordingCompleter {
+        seen: std::sync::Arc<std::sync::Mutex<Vec<Option<Vec<usize>>>>>,
+    }
+
+    impl Completer for DirtyRecordingCompleter {
+        fn name(&self) -> &'static str {
+            "dirty-recorder"
+        }
+        fn complete(&mut self, wm: &WorkloadMatrix) -> Mat {
+            self.complete_dirty(wm, None)
+        }
+        fn complete_dirty(&mut self, wm: &WorkloadMatrix, dirty: Option<&[usize]>) -> Mat {
+            self.seen.lock().unwrap().push(dirty.map(|d| d.to_vec()));
+            Mat::filled(wm.n_rows(), wm.n_cols(), 1.0)
+        }
+    }
+
+    #[test]
+    fn incremental_als_hands_the_completer_exactly_the_changed_rows() {
+        use crate::store::ObservationStore;
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut store = ObservationStore::with_defaults(&[10.0, 10.0, 10.0], 3);
+        let mut p =
+            LimeQoPolicy::new(Box::new(DirtyRecordingCompleter { seen: seen.clone() }), "limeqo");
+        p.incremental_als = true;
+        let mut rng = SeededRng::new(41);
+        // Round 1: every row's revision is above the never-fitted mark.
+        {
+            let ctx = PolicyCtx { wm: store.matrix(), est_cost: None, store: Some(&store) };
+            p.select(&ctx, 1, &mut rng);
+        }
+        // Rounds 2/3: only the probed rows are reported dirty; an idle
+        // round reports none.
+        store.record_complete(2, 1, 3.0);
+        {
+            let ctx = PolicyCtx { wm: store.matrix(), est_cost: None, store: Some(&store) };
+            p.select(&ctx, 1, &mut rng);
+        }
+        {
+            let ctx = PolicyCtx { wm: store.matrix(), est_cost: None, store: Some(&store) };
+            p.select(&ctx, 1, &mut rng);
+        }
+        // Without a store there is no tracking: the hint must be `None`.
+        {
+            let ctx = PolicyCtx { wm: store.matrix(), est_cost: None, store: None };
+            p.select(&ctx, 1, &mut rng);
+        }
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen[0], Some(vec![0, 1, 2]), "first fit sees every row dirty");
+        assert_eq!(seen[1], Some(vec![2]), "only the probed row is dirty");
+        assert_eq!(seen[2], Some(vec![]), "an idle round reports no dirty rows");
+        assert_eq!(seen[3], None, "no store ⇒ no tracking signal");
+    }
+
+    #[test]
+    fn incremental_als_fit_rev_survives_save_load() {
+        use crate::store::ObservationStore;
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut store = ObservationStore::with_defaults(&[10.0, 10.0], 3);
+        let mut p =
+            LimeQoPolicy::new(Box::new(DirtyRecordingCompleter { seen: seen.clone() }), "limeqo");
+        p.incremental_als = true;
+        let mut rng = SeededRng::new(42);
+        {
+            let ctx = PolicyCtx { wm: store.matrix(), est_cost: None, store: Some(&store) };
+            p.select(&ctx, 1, &mut rng);
+        }
+        let mut enc = crate::persist::Enc::new();
+        p.save_state(&mut enc);
+        let state = enc.finish();
+        // A restarted twin must not re-report clean rows as dirty.
+        let mut q =
+            LimeQoPolicy::new(Box::new(DirtyRecordingCompleter { seen: seen.clone() }), "limeqo");
+        q.incremental_als = true;
+        let mut dec = crate::persist::Dec::new(&state);
+        q.load_state(&mut dec).expect("state round-trips");
+        store.record_complete(1, 2, 4.0);
+        let ctx = PolicyCtx { wm: store.matrix(), est_cost: None, store: Some(&store) };
+        q.select(&ctx, 1, &mut rng);
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.last().unwrap(), &Some(vec![1]), "restored fit_rev masks clean rows");
     }
 
     #[test]

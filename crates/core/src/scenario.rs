@@ -49,6 +49,13 @@ pub enum PolicySpec {
         /// round bypasses the per-row cache, bounding argmin staleness.
         /// 0 never forces one; ignored unless `incremental` is on.
         rescore_every: usize,
+        /// Incremental *model fitting*
+        /// ([`crate::policy::LimeQoPolicy::incremental_als`], distinct
+        /// from `incremental`, which caches Eq. 6 scores): re-solve only
+        /// the dirty query rows against the retained hint factor when few
+        /// rows changed between rounds. Implies ALS warm starting (the
+        /// retained factors are what the dirty rows refit against).
+        incremental_als: bool,
     },
     /// LimeQO with censored handling disabled (the Fig. 16 ablation).
     LimeQoAlsNoCensor,
@@ -82,6 +89,7 @@ impl PolicySpec {
             drift: DriftPolicy::default(),
             incremental: false,
             rescore_every: 0,
+            incremental_als: false,
         }
     }
 
@@ -93,6 +101,7 @@ impl PolicySpec {
             drift: DriftPolicy::legacy(),
             incremental: false,
             rescore_every: 0,
+            incremental_als: false,
         }
     }
 
@@ -143,14 +152,18 @@ impl PolicySpec {
             PolicySpec::Random => Box::new(RandomPolicy),
             PolicySpec::Greedy => Box::new(GreedyPolicy),
             PolicySpec::QoAdvisor => Box::new(QoAdvisorPolicy),
-            PolicySpec::LimeQoAls { rank, drift, incremental, rescore_every } => {
+            PolicySpec::LimeQoAls { rank, drift, incremental, rescore_every, incremental_als } => {
                 let mut als = AlsCompleter::with_rank(*rank, seed);
-                als.warm_start = drift.warm_start;
+                // Incremental fitting refits dirty rows against the
+                // retained factors, so the mode implies warm starting.
+                als.warm_start = drift.warm_start || *incremental_als;
+                als.incremental = *incremental_als;
                 let mut policy = LimeQoPolicy::new(Box::new(als), "limeqo");
                 policy.density_gate = drift.density_gate;
                 policy.cold_row_bonus = drift.cold_row_bonus;
                 policy.rescore_changed_only = *incremental;
                 policy.rescore_every = *rescore_every;
+                policy.incremental_als = *incremental_als;
                 Box::new(policy)
             }
             PolicySpec::LimeQoAlsNoCensor => Box::new(LimeQoPolicy::new(
@@ -247,6 +260,7 @@ mod tests {
                 drift: DriftPolicy::default(),
                 incremental: false,
                 rescore_every: 0,
+                incremental_als: false,
             },
             PolicySpec::LimeQoAlsNoCensor,
         ] {

@@ -1,0 +1,465 @@
+//! Cache-blocked (tiled) variants of the batched kernels behind ALS.
+//!
+//! The unblocked batched solvers
+//! ([`ridge_solve_rows_blocked`](crate::ridge_solve_rows_blocked),
+//! [`ridge_solve_cols`](crate::ridge_solve_cols)) materialize their whole
+//! right-hand-side panel per worker chunk — a `row_block().transpose()` or
+//! `col_block()` copy the size of the full workload matrix — and then
+//! stream an output panel that outgrows L1 through every step of the inner
+//! accumulation. At the 10k×49 acceptance shape that traffic, not the
+//! arithmetic, is the serial ALS wall. The tiled kernels here cut the panel
+//! into L1-sized slices of `tile` right-hand sides, gather nothing (they
+//! read the operands' contiguous rows in place), and keep the per-tile
+//! accumulator resident across the whole reduction.
+//!
+//! **Determinism contract** (the same one `limeqo_linalg::par` and PERF.md
+//! pin): every output element is computed with *exactly* the floating-point
+//! operation sequence of the unblocked kernel — same additions, same order,
+//! same zero-operand skips — so the result is byte-identical to the naive
+//! path at **any** tile size and any thread count. Tiling, like threading,
+//! only decides which slots are computed together; it never reorders a
+//! reduction. The `tests/tests/kernels.rs` differential suite holds the
+//! blocked kernels to this bit for bit.
+
+use crate::error::{LinalgError, Result};
+use crate::lstsq::RidgeFactor;
+use crate::matrix::Mat;
+use crate::par::{effective_threads, par_chunks};
+
+/// L1 data-cache budget (bytes) the auto tile targets. A deliberate
+/// constant, not a machine probe: the tile size must be a pure function of
+/// the problem shape so every machine runs the identical partition.
+const L1_TARGET_BYTES: usize = 32 * 1024;
+
+/// Smallest tile auto mode will pick; below this the per-tile solve
+/// dispatch overhead dominates.
+const MIN_AUTO_TILE: usize = 8;
+
+/// Largest tile auto mode will pick; beyond this the output panel itself
+/// outgrows L1 and blocking stops paying.
+const MAX_AUTO_TILE: usize = 256;
+
+/// The auto tile size for right-hand sides of `row_len` elements: the
+/// largest tile whose operand panel (`tile × row_len` doubles) fits the L1
+/// budget, clamped to `[8, 256]`.
+///
+/// Pure function of the shape — no machine introspection — so the chosen
+/// partition (and therefore the wall-clock profile, though never the bits)
+/// is reproducible everywhere.
+///
+/// ```
+/// use limeqo_linalg::block::auto_tile;
+/// assert_eq!(auto_tile(49), 83);   // the hint-dimension shape
+/// assert_eq!(auto_tile(1), 256);   // clamped above
+/// assert_eq!(auto_tile(100_000), 8); // clamped below
+/// ```
+pub fn auto_tile(row_len: usize) -> usize {
+    (L1_TARGET_BYTES / (row_len.max(1) * std::mem::size_of::<f64>()))
+        .clamp(MIN_AUTO_TILE, MAX_AUTO_TILE)
+}
+
+/// Resolve a tile-size knob: `0` means "auto" ([`auto_tile`] for
+/// right-hand sides of `row_len` elements), anything else is taken
+/// literally.
+pub fn resolve_tile(tile: usize, row_len: usize) -> usize {
+    if tile == 0 {
+        auto_tile(row_len)
+    } else {
+        tile
+    }
+}
+
+/// `a * bᵀ`, row-partitioned across `threads` workers with the columns of
+/// each output chunk computed in `tile`-column slices (`0` = auto) so the
+/// active rows of `b` stay cache-resident across the chunk.
+///
+/// Byte-identical to [`Mat::matmul_t`] and [`crate::par::matmul_t`] at any
+/// tile size and thread count: each output element is the same
+/// left-to-right dot product into a fresh accumulator; tiling only decides
+/// the order elements are *visited*, which no element's value depends on.
+///
+/// ```
+/// use limeqo_linalg::block::matmul_t_tiled;
+/// use limeqo_linalg::rng::SeededRng;
+///
+/// let mut rng = SeededRng::new(5);
+/// let a = rng.uniform_mat(13, 4, -1.0, 1.0);
+/// let b = rng.uniform_mat(7, 4, -1.0, 1.0);
+/// let naive = a.matmul_t(&b).unwrap();
+/// for tile in [1, 3, 0] {
+///     let tiled = matmul_t_tiled(&a, &b, 2, tile).unwrap();
+///     assert_eq!(tiled.as_slice(), naive.as_slice());
+/// }
+/// ```
+pub fn matmul_t_tiled(a: &Mat, b: &Mat, threads: usize, tile: usize) -> Result<Mat> {
+    if a.cols() != b.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "blocked matmul_t",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut out = Mat::zeros(a.rows(), b.rows());
+    let width = b.rows();
+    if width == 0 {
+        return Ok(out);
+    }
+    let tile = resolve_tile(tile, a.cols());
+    let threads = effective_threads(threads, a.rows() * b.rows() * a.cols());
+    par_chunks(out.as_mut_slice(), width, threads, |r0, chunk| {
+        let mut j0 = 0;
+        while j0 < width {
+            let j1 = (j0 + tile).min(width);
+            for (i, out_row) in chunk.chunks_mut(width).enumerate() {
+                let a_row = a.row(r0 + i);
+                for (j, o) in out_row[j0..j1].iter_mut().enumerate() {
+                    let b_row = b.row(j0 + j);
+                    let mut acc = 0.0;
+                    for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                        acc += x * y;
+                    }
+                    *o = acc;
+                }
+            }
+            j0 = j1;
+        }
+    });
+    Ok(out)
+}
+
+/// [`ridge_solve_rows_blocked`] with the right-hand sides of each block
+/// solved in `tile`-row slices (`0` = auto), and the `GᵀB` product of each
+/// slice computed in place — no `row_block().transpose()` gather.
+///
+/// `G`'s columns are hoisted once into contiguous buffers (copying `G`
+/// changes no floating-point value), and each right-hand side's `Gᵀbᵢ`
+/// entry is then the identical k-ascending accumulation [`Mat::t_matmul`]
+/// performs, including its skip of exact-zero `G` entries. The factored
+/// normal matrix solves each right-hand-side column independently, so
+/// slice width cannot move a bit either. Byte-identical to
+/// [`ridge_solve_rows_blocked`] (and so to the serial
+/// [`crate::ridge_solve`]) at any tile size, block partition and thread
+/// count.
+///
+/// ```
+/// use limeqo_linalg::block::ridge_solve_rows_tiled;
+/// use limeqo_linalg::ridge_solve_rows;
+/// use limeqo_linalg::rng::SeededRng;
+///
+/// let mut rng = SeededRng::new(6);
+/// let g = rng.uniform_mat(9, 4, 0.0, 1.0);
+/// let b = rng.uniform_mat(21, 9, 0.0, 1.0);
+/// let naive = ridge_solve_rows(&g, &b, 0.2, 1).unwrap();
+/// for tile in [1, 5, 0] {
+///     let tiled =
+///         ridge_solve_rows_tiled(&g, &b, 0.2, 2, &[(0, 21)], tile).unwrap();
+///     assert_eq!(tiled.as_slice(), naive.as_slice());
+/// }
+/// ```
+///
+/// [`ridge_solve_rows_blocked`]: crate::ridge_solve_rows_blocked
+pub fn ridge_solve_rows_tiled(
+    g: &Mat,
+    b_rows: &Mat,
+    lambda: f64,
+    threads: usize,
+    blocks: &[(usize, usize)],
+    tile: usize,
+) -> Result<Mat> {
+    if g.rows() != b_rows.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "ridge_solve_rows",
+            lhs: g.shape(),
+            rhs: b_rows.shape(),
+        });
+    }
+    let q = b_rows.rows();
+    let mut expect = 0usize;
+    for &(start, end) in blocks {
+        assert!(
+            start == expect && end >= start,
+            "blocks must partition 0..{q} contiguously: got ({start}, {end}) after {expect}"
+        );
+        expect = end;
+    }
+    assert!(expect == q, "blocks must cover 0..{q}: ended at {expect}");
+    let factor = RidgeFactor::new(g, lambda)?;
+    let p = g.cols();
+    let m = g.rows();
+    let mut out = Mat::zeros(q, p);
+    if p == 0 {
+        return Ok(out);
+    }
+    let tile = resolve_tile(tile, m);
+    // Hoist G's columns into contiguous buffers once, outside the fan-out:
+    // the per-tile GᵀB kernel then streams both operands stride-1.
+    let gcols: Vec<Vec<f64>> = (0..p).map(|j| g.col(j)).collect();
+    for &(start, end) in blocks {
+        if start == end {
+            continue;
+        }
+        // The dominant per-chunk cost is the GᵀB product: m·p per RHS.
+        let t = effective_threads(threads, (end - start) * m * p);
+        let sub = &mut out.as_mut_slice()[start * p..end * p];
+        par_chunks(sub, p, t, |r0, chunk| {
+            let rows = chunk.len() / p;
+            let mut t0 = 0;
+            while t0 < rows {
+                let t1 = (t0 + tile).min(rows);
+                let mut gtb = Mat::zeros(p, t1 - t0);
+                for i in t0..t1 {
+                    let b_row = b_rows.row(start + r0 + i);
+                    for (jp, gcol) in gcols.iter().enumerate() {
+                        // t_matmul's accumulation, element-local: k
+                        // ascending, exact zeros of G skipped, into a
+                        // zero-initialized accumulator.
+                        let mut acc = 0.0;
+                        for (&gk, &bk) in gcol.iter().zip(b_row.iter()) {
+                            if gk != 0.0 {
+                                acc += gk * bk;
+                            }
+                        }
+                        gtb[(jp, i - t0)] = acc;
+                    }
+                }
+                let x = factor.solve(&gtb).expect("shape pre-validated");
+                for (i, out_row) in chunk[t0 * p..t1 * p].chunks_mut(p).enumerate() {
+                    for (j, o) in out_row.iter_mut().enumerate() {
+                        *o = x[(j, i)];
+                    }
+                }
+                t0 = t1;
+            }
+        });
+    }
+    Ok(out)
+}
+
+/// [`ridge_solve_cols`](crate::ridge_solve_cols) with each worker's columns
+/// solved in `tile`-column slices (`0` = auto), and the `GᵀB` product of
+/// each slice reading `B`'s rows in place — no `col_block` gather.
+///
+/// The slice kernel is [`Mat::t_matmul`]'s k-outer loop verbatim (same
+/// k-ascending accumulation into zero-initialized slots, same exact-zero
+/// skip of `G` entries), applied to a column window of each `B` row
+/// instead of a materialized copy. Byte-identical to
+/// [`ridge_solve_cols`](crate::ridge_solve_cols) at any tile size and
+/// thread count.
+///
+/// ```
+/// use limeqo_linalg::block::ridge_solve_cols_tiled;
+/// use limeqo_linalg::ridge_solve_cols;
+/// use limeqo_linalg::rng::SeededRng;
+///
+/// let mut rng = SeededRng::new(7);
+/// let g = rng.uniform_mat(20, 3, 0.0, 1.0);
+/// let b = rng.uniform_mat(20, 11, 0.0, 1.0);
+/// let naive = ridge_solve_cols(&g, &b, 0.2, 1).unwrap();
+/// for tile in [1, 4, 0] {
+///     let tiled = ridge_solve_cols_tiled(&g, &b, 0.2, 2, tile).unwrap();
+///     assert_eq!(tiled.as_slice(), naive.as_slice());
+/// }
+/// ```
+pub fn ridge_solve_cols_tiled(
+    g: &Mat,
+    b: &Mat,
+    lambda: f64,
+    threads: usize,
+    tile: usize,
+) -> Result<Mat> {
+    if g.rows() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "ridge_solve_cols",
+            lhs: g.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let factor = RidgeFactor::new(g, lambda)?;
+    let p = g.cols();
+    let m = g.rows();
+    let mut out = Mat::zeros(b.cols(), p);
+    if p == 0 {
+        return Ok(out);
+    }
+    // The k-outer reduction streams G and B once per tile, so what must
+    // stay L1-resident across the whole m-long loop is the `p × tile`
+    // accumulator — the tile resolves against `p`, not `m`. (Resolving
+    // against `m` would shrink the tile as the matrix grows and re-stream
+    // G ⌈cols/tile⌉ times; at 10k×49 that re-reads a 400 KB operand seven
+    // times per solve.)
+    let tile = resolve_tile(tile, p);
+    // The dominant per-chunk cost is the GᵀB product: m·p per RHS column.
+    let threads = effective_threads(threads, b.cols() * m * p);
+    par_chunks(out.as_mut_slice(), p, threads, |c0, chunk| {
+        let cols = chunk.len() / p;
+        let mut t0 = 0;
+        while t0 < cols {
+            let t1 = (t0 + tile).min(cols);
+            let (lo, hi) = (c0 + t0, c0 + t1);
+            // t_matmul's k-outer accumulation, reading B's row windows in
+            // place instead of a col_block copy.
+            let mut gtb = Mat::zeros(p, hi - lo);
+            let gtb_width = hi - lo;
+            for k in 0..m {
+                let g_row = g.row(k);
+                let b_row = &b.row(k)[lo..hi];
+                for (i, &g_ki) in g_row.iter().enumerate() {
+                    if g_ki == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut gtb.as_mut_slice()[i * gtb_width..(i + 1) * gtb_width];
+                    for (o, &b_kj) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += g_ki * b_kj;
+                    }
+                }
+            }
+            let x = factor.solve(&gtb).expect("shape pre-validated");
+            for (i, out_row) in chunk[t0 * p..t1 * p].chunks_mut(p).enumerate() {
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    *o = x[(j, i)];
+                }
+            }
+            t0 = t1;
+        }
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lstsq::{ridge_solve, ridge_solve_cols, ridge_solve_rows};
+    use crate::rng::SeededRng;
+
+    #[test]
+    fn auto_tile_is_shape_monotone_and_clamped() {
+        assert_eq!(auto_tile(0), MAX_AUTO_TILE);
+        assert_eq!(auto_tile(1), MAX_AUTO_TILE);
+        assert_eq!(auto_tile(49), 83);
+        assert_eq!(auto_tile(1 << 20), MIN_AUTO_TILE);
+        let mut prev = auto_tile(1);
+        for row_len in 2..2048 {
+            let t = auto_tile(row_len);
+            assert!(t <= prev, "auto_tile must shrink as rows widen");
+            assert!((MIN_AUTO_TILE..=MAX_AUTO_TILE).contains(&t));
+            prev = t;
+        }
+        assert_eq!(resolve_tile(0, 49), auto_tile(49));
+        assert_eq!(resolve_tile(17, 49), 17);
+    }
+
+    #[test]
+    fn tiled_matmul_t_matches_naive_bit_for_bit() {
+        let mut rng = SeededRng::new(31);
+        // 23 is deliberately coprime to every tested tile size.
+        let a = rng.uniform_mat(23, 5, -1.0, 1.0);
+        let b = rng.uniform_mat(11, 5, -1.0, 1.0);
+        let naive = a.matmul_t(&b).unwrap();
+        for tile in [1, 3, 7, 11, 64, 0] {
+            for threads in [1, 2, 8] {
+                let tiled = matmul_t_tiled(&a, &b, threads, tile).unwrap();
+                assert_eq!(tiled.as_slice(), naive.as_slice(), "tile={tile} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_rows_solve_matches_serial_bit_for_bit() {
+        let mut rng = SeededRng::new(32);
+        let g = rng.uniform_mat(9, 4, 0.0, 2.0);
+        let b_rows = rng.uniform_mat(31, 9, 0.0, 5.0);
+        let serial = ridge_solve(&g, &b_rows.transpose(), 0.2).unwrap().transpose();
+        for tile in [1, 7, 31, 64, 0] {
+            for threads in [1, 2, 8] {
+                let tiled =
+                    ridge_solve_rows_tiled(&g, &b_rows, 0.2, threads, &[(0, 31)], tile).unwrap();
+                assert_eq!(tiled.as_slice(), serial.as_slice(), "tile={tile} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_rows_solve_matches_for_any_block_partition() {
+        let mut rng = SeededRng::new(33);
+        let g = rng.uniform_mat(9, 4, 0.0, 2.0);
+        let b_rows = rng.uniform_mat(31, 9, 0.0, 5.0);
+        let whole = ridge_solve_rows(&g, &b_rows, 0.2, 1).unwrap();
+        for case in 0..20 {
+            let mut cuts = vec![0usize, 31];
+            for _ in 0..rng.index(5) {
+                cuts.push(rng.index(32));
+            }
+            cuts.sort_unstable();
+            let blocks: Vec<(usize, usize)> = cuts.windows(2).map(|w| (w[0], w[1])).collect();
+            for tile in [1, 7, 0] {
+                let tiled = ridge_solve_rows_tiled(&g, &b_rows, 0.2, 3, &blocks, tile).unwrap();
+                assert_eq!(
+                    tiled.as_slice(),
+                    whole.as_slice(),
+                    "case {case} blocks {blocks:?} tile {tile}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_cols_solve_matches_serial_bit_for_bit() {
+        let mut rng = SeededRng::new(34);
+        let g = rng.uniform_mat(40, 3, 0.0, 2.0);
+        let b = rng.uniform_mat(40, 17, 0.0, 5.0);
+        let serial = ridge_solve(&g, &b, 0.2).unwrap().transpose();
+        for tile in [1, 7, 17, 64, 0] {
+            for threads in [1, 2, 8] {
+                let tiled = ridge_solve_cols_tiled(&g, &b, 0.2, threads, tile).unwrap();
+                assert_eq!(tiled.as_slice(), serial.as_slice(), "tile={tile} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_zeros_in_g_keep_the_skip_semantics() {
+        // t_matmul skips exact-zero G entries, which matters bit-wise when
+        // a right-hand side holds a negative zero or an infinity (an
+        // unskipped 0·∞ term would inject a NaN). The tiled kernels must
+        // skip the very same terms; NaNs compare by bit pattern here.
+        let bits = |m: &Mat| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        let g = Mat::from_rows(&[&[0.0, 1.0], &[-0.0, 2.0], &[3.0, 0.0]]);
+        let b_rows = Mat::from_rows(&[&[-0.0, f64::INFINITY, 1.0], &[1.0, -0.0, f64::INFINITY]]);
+        let naive = ridge_solve_rows(&g, &b_rows, 0.5, 1).unwrap();
+        for tile in [1, 2, 0] {
+            let tiled = ridge_solve_rows_tiled(&g, &b_rows, 0.5, 1, &[(0, 2)], tile).unwrap();
+            assert_eq!(bits(&tiled), bits(&naive), "tile={tile}");
+        }
+        let b = b_rows.transpose();
+        let naive_cols = ridge_solve_cols(&g, &b, 0.5, 1).unwrap();
+        for tile in [1, 2, 0] {
+            let tiled = ridge_solve_cols_tiled(&g, &b, 0.5, 1, tile).unwrap();
+            assert_eq!(bits(&tiled), bits(&naive_cols), "tile={tile}");
+        }
+    }
+
+    #[test]
+    fn tiled_kernels_reject_shape_mismatch() {
+        let g = Mat::zeros(4, 2);
+        assert!(matmul_t_tiled(&Mat::zeros(2, 3), &Mat::zeros(2, 4), 1, 2).is_err());
+        assert!(ridge_solve_rows_tiled(&g, &Mat::zeros(3, 5), 0.1, 1, &[(0, 3)], 2).is_err());
+        assert!(ridge_solve_cols_tiled(&g, &Mat::zeros(5, 3), 0.1, 1, 2).is_err());
+    }
+
+    #[test]
+    fn tiled_solvers_propagate_singular_factor_errors() {
+        let g = Mat::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[2.0, 2.0]]);
+        let b_rows = Mat::from_rows(&[&[1.0, 1.0, 2.0], &[0.5, 0.5, 1.0]]);
+        assert!(ridge_solve_rows_tiled(&g, &b_rows, 0.0, 1, &[(0, 2)], 1).is_err());
+        assert!(ridge_solve_cols_tiled(&g, &b_rows.transpose(), 0.0, 1, 1).is_err());
+        assert!(ridge_solve_rows_tiled(&g, &b_rows, 0.1, 1, &[(0, 2)], 1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "blocks must cover")]
+    fn tiled_rows_solve_rejects_short_partition() {
+        let g = Mat::zeros(3, 2);
+        let b_rows = Mat::zeros(5, 3);
+        let _ = ridge_solve_rows_tiled(&g, &b_rows, 0.1, 1, &[(0, 3)], 2);
+    }
+}

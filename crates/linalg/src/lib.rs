@@ -21,6 +21,8 @@
 //! * [`par`] — deterministic fork-join helpers (contiguous output chunks,
 //!   one scoped worker per chunk, no cross-chunk reductions) behind the
 //!   batched ridge solvers [`ridge_solve_rows`] / [`ridge_solve_cols`],
+//! * [`block`] — cache-blocked (tiled) variants of the batched ALS kernels,
+//!   byte-identical to the naive paths at any tile size and thread count,
 //! * [`mod@fenwick`] — a Fenwick (binary indexed) tree over integer counts,
 //!   the rank-selection substrate of the sublinear candidate-selection
 //!   subsystem in `limeqo_core`.
@@ -32,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod cholesky;
 pub mod eigen;
 pub mod error;
@@ -44,6 +47,7 @@ pub mod par;
 pub mod rng;
 pub mod svd;
 
+pub use block::{matmul_t_tiled, ridge_solve_cols_tiled, ridge_solve_rows_tiled};
 pub use cholesky::{cholesky, cholesky_solve, CholeskyFactor};
 pub use eigen::{eigen_sym, EigenSym};
 pub use error::{LinalgError, Result};

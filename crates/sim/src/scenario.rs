@@ -714,6 +714,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
                 drift: DriftPolicy::default(),
                 incremental: false,
                 rescore_every: 0,
+                incremental_als: false,
             },
             budget_multiple: 3.0,
             batch: 4,
@@ -823,6 +824,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
                 rank: 5,
                 incremental: false,
                 rescore_every: 0,
+                incremental_als: false,
                 drift: DriftPolicy {
                     retain_priors: true,
                     prior_decay: 0.5,
@@ -867,6 +869,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
                 drift: DriftPolicy::default(),
                 incremental: true,
                 rescore_every: 8,
+                incremental_als: false,
             },
             budget_multiple: 3.1123988138271734,
             batch: 2,
@@ -893,6 +896,39 @@ pub fn registry() -> Vec<ScenarioSpec> {
             max_steps: 100_000,
             seeds: vec![111, 112],
             arrivals: Some(ArrivalSpec::new(3000, ArrivalModel::Zipf { exponent: 1.1 })),
+            shards: 1,
+        },
+        ScenarioSpec {
+            name: "incremental-als".into(),
+            summary: "incremental ALS factor updates: only dirty Q rows re-solved between rounds"
+                .into(),
+            // Pins the incremental-factor-update path (PERF.md §Kernels):
+            // after the first full fit, each round re-solves only the rows
+            // whose observations changed, against retained H. The golden
+            // certifies the bounded-deviation contract holds end to end —
+            // LimeQO with incremental updates must still beat Random here.
+            workload: ScenarioWorkload::Synthetic(SyntheticSpec {
+                n: 300,
+                k: 25,
+                rank: 4,
+                default_inflation: 2.0,
+                noise_sigma: 0.2,
+                seed: 0x1AC5,
+            }),
+            hint_shape: HintShape::Full,
+            drift: vec![],
+            policy: PolicySpec::LimeQoAls {
+                rank: 4,
+                drift: DriftPolicy { warm_start: true, ..DriftPolicy::default() },
+                incremental: false,
+                rescore_every: 0,
+                incremental_als: true,
+            },
+            budget_multiple: 1.5,
+            batch: 16,
+            max_steps: 100_000,
+            seeds: vec![121, 122],
+            arrivals: None,
             shards: 1,
         },
     ];
@@ -936,6 +972,7 @@ pub fn scale_registry() -> Vec<ScenarioSpec> {
                 drift: DriftPolicy::default(),
                 incremental: true,
                 rescore_every: 0,
+                incremental_als: false,
             },
             budget_multiple: 0.05,
             batch: 4096,
@@ -984,6 +1021,7 @@ pub fn scale_registry() -> Vec<ScenarioSpec> {
                 drift: DriftPolicy::default(),
                 incremental: true,
                 rescore_every: 0,
+                incremental_als: false,
             },
             budget_multiple: 0.02,
             batch: 8192,
@@ -1004,6 +1042,7 @@ pub fn scale_registry() -> Vec<ScenarioSpec> {
                 drift: DriftPolicy::default(),
                 incremental: true,
                 rescore_every: 0,
+                incremental_als: false,
             },
             budget_multiple: 0.02,
             batch: 8192,

@@ -1062,7 +1062,11 @@ impl<'a> Dec<'a> {
             "limeqo_als" => {
                 let p = "policy.limeqo_als";
                 let fields = self.obj(inner, p)?;
-                self.no_unknown(fields, &["rank", "drift", "incremental", "rescore_every"], p)?;
+                self.no_unknown(
+                    fields,
+                    &["rank", "drift", "incremental", "rescore_every", "incremental_als"],
+                    p,
+                )?;
                 Ok(PolicySpec::LimeQoAls {
                     rank: self
                         .usize(self.req(inner, fields, "rank", p)?, "policy.limeqo_als.rank")?,
@@ -1075,6 +1079,12 @@ impl<'a> Dec<'a> {
                         self.req(inner, fields, "rescore_every", p)?,
                         "policy.limeqo_als.rescore_every",
                     )?,
+                    // Optional with default false so pre-existing corpus
+                    // files need no edit (same pattern as `shards`).
+                    incremental_als: match self.get(fields, "incremental_als") {
+                        None => false,
+                        Some(sv) => self.bool(sv, "policy.limeqo_als.incremental_als")?,
+                    },
                 })
             }
             _ => {
@@ -1453,9 +1463,8 @@ fn spec_to_node(spec: &ScenarioSpec) -> Node {
         PolicySpec::Greedy => s("greedy"),
         PolicySpec::QoAdvisor => s("qo-advisor"),
         PolicySpec::LimeQoAlsNoCensor => s("limeqo-wocensored"),
-        PolicySpec::LimeQoAls { rank, drift, incremental, rescore_every } => obj(vec![(
-            "limeqo_als",
-            obj(vec![
+        PolicySpec::LimeQoAls { rank, drift, incremental, rescore_every, incremental_als } => {
+            let mut policy_fields = vec![
                 ("rank", num(*rank as f64)),
                 (
                     "drift",
@@ -1470,8 +1479,14 @@ fn spec_to_node(spec: &ScenarioSpec) -> Node {
                 ),
                 ("incremental", Node::Bool(*incremental)),
                 ("rescore_every", num(*rescore_every as f64)),
-            ]),
-        )]),
+            ];
+            // Default omitted so pre-existing corpus files stay byte-stable
+            // (same policy as `shards`).
+            if *incremental_als {
+                policy_fields.push(("incremental_als", Node::Bool(true)));
+            }
+            obj(vec![("limeqo_als", obj(policy_fields))])
+        }
         PolicySpec::OnlineAls { rank, explore_prob, rho, refresh_every, cold_bonus } => {
             obj(vec![(
                 "online_als",
@@ -1755,6 +1770,28 @@ mod tests {
         spec.shards = 8;
         let text = to_json_string(&spec);
         assert!(text.contains("shards"), "{text}");
+        let back = parse_scenario_json(&text, label(), None).unwrap();
+        assert_eq!(back, spec);
+        let back = parse_scenario_toml(&to_toml_string(&spec), label(), None).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn incremental_als_round_trips_and_the_default_is_omitted() {
+        let mut spec = crate::scenario::by_name("hint-prefix-9").unwrap();
+        assert!(
+            !to_json_string(&spec).contains("incremental_als"),
+            "default kernel path must stay implicit"
+        );
+        if let limeqo_core::scenario::PolicySpec::LimeQoAls { incremental_als, .. } =
+            &mut spec.policy
+        {
+            *incremental_als = true;
+        } else {
+            panic!("hint-prefix-9 should carry a LimeQoAls policy");
+        }
+        let text = to_json_string(&spec);
+        assert!(text.contains("incremental_als"), "{text}");
         let back = parse_scenario_json(&text, label(), None).unwrap();
         assert_eq!(back, spec);
         let back = parse_scenario_toml(&to_toml_string(&spec), label(), None).unwrap();

@@ -142,6 +142,7 @@ fn gen_offline(case_seed: u64, rng: &mut StdRng) -> ScenarioSpec {
             drift: DriftPolicy::default(),
             incremental: true,
             rescore_every: [1usize, 2, 4, 8][rng.gen_range(0..4usize)],
+            incremental_als: false,
         },
         _ => PolicySpec::limeqo(),
     };
@@ -156,8 +157,14 @@ fn gen_offline(case_seed: u64, rng: &mut StdRng) -> ScenarioSpec {
     let policy = match (&workload, policy) {
         (
             ScenarioWorkload::Sim(_),
-            PolicySpec::LimeQoAls { rank, drift, incremental, rescore_every },
-        ) => PolicySpec::LimeQoAls { rank: rank.min(3), drift, incremental, rescore_every },
+            PolicySpec::LimeQoAls { rank, drift, incremental, rescore_every, incremental_als },
+        ) => PolicySpec::LimeQoAls {
+            rank: rank.min(3),
+            drift,
+            incremental,
+            rescore_every,
+            incremental_als,
+        },
         (_, p) => p,
     };
     let hint_shape = gen_hint_shape(rng, &workload);
@@ -200,7 +207,7 @@ fn gen_offline(case_seed: u64, rng: &mut StdRng) -> ScenarioSpec {
     // synthetic claim-carriers keep the historic 2-seed mean comparison.
     let claim_seeds =
         if matches!(workload, ScenarioWorkload::Sim(_)) { rng.gen_range(3..=5usize) } else { 2 };
-    ScenarioSpec {
+    let mut spec = ScenarioSpec {
         name: format!("fuzz-{case_seed:016x}"),
         summary: format!("fuzzer case {case_seed:#x} (offline)"),
         workload,
@@ -226,7 +233,23 @@ fn gen_offline(case_seed: u64, rng: &mut StdRng) -> ScenarioSpec {
         },
         arrivals: None,
         shards: gen_shards(rng),
+    };
+    // Incremental-ALS axis: the flag is drawn *after* every existing
+    // offline draw, so all previously generated cases keep their specs
+    // (the same stream-preserving discipline as the rank clamp above).
+    // Incremental updates carry the same LimeQO-beats-Random claim as the
+    // full refit — the bounded-deviation contract (PERF.md §Kernels) says
+    // a dirty-row re-solve must not move the outcome past the tolerance —
+    // so the fuzzer keeps the invariant armed on that path too.
+    if let PolicySpec::LimeQoAls { drift, incremental_als, .. } = &mut spec.policy {
+        if rng.gen_range(0..4u32) == 0 {
+            *incremental_als = true;
+            // Incremental fitting implies warm starting; mirror that in
+            // the spec so serialized reproducers read literally.
+            drift.warm_start = true;
+        }
     }
+    spec
 }
 
 fn gen_online(case_seed: u64, rng: &mut StdRng) -> ScenarioSpec {
@@ -299,6 +322,20 @@ fn rungs() -> Vec<Rung> {
                 t.shards = 1;
                 t
             })
+        },
+        // Incremental factor updates are bounded-deviation by contract, so
+        // a failure should normally reproduce on the full-refit path; a
+        // reproducer that keeps the flag through this rung is itself a
+        // loud signal (the incremental path diverged past its bound).
+        |s| match &s.policy {
+            PolicySpec::LimeQoAls { incremental_als: true, .. } => {
+                let mut t = s.clone();
+                if let PolicySpec::LimeQoAls { incremental_als, .. } = &mut t.policy {
+                    *incremental_als = false;
+                }
+                Some(t)
+            }
+            _ => None,
         },
         |s| {
             (s.hint_shape != HintShape::Full).then(|| {

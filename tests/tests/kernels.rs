@@ -1,0 +1,348 @@
+//! Kernel-equivalence differential suite: the cache-blocked kernels in
+//! `limeqo_linalg::block` and the incremental factor-update path in
+//! `AlsCompleter` against their reference implementations.
+//!
+//! Two contracts are pinned here (PERF.md §Kernels):
+//!
+//! 1. **Bit-identity** — the tiled kernels replicate the naive kernels'
+//!    per-element floating-point operation sequence exactly, so any tile
+//!    size at any thread count produces byte-identical output. This is
+//!    what lets `AlsKernel::Blocked` be the default without moving a
+//!    single golden.
+//! 2. **Bounded deviation** — the incremental path (re-solve only dirty
+//!    `Q` rows against retained `H`) is *exactly* the full path when every
+//!    row is dirty, and stays within the documented relative-Frobenius
+//!    bound for arbitrary dirty subsets on in-model workloads.
+//!
+//! The `#[ignore]`d tests sweep production-sized shapes and the full
+//! registry (slow tier, `./ci.sh --ignored`).
+
+use limeqo_bench::scenario_runner::run_scenario;
+use limeqo_core::complete::{AlsCompleter, AlsKernel, Completer};
+use limeqo_core::matrix::WorkloadMatrix;
+use limeqo_core::scenario::PolicySpec;
+use limeqo_linalg::rng::SeededRng;
+use limeqo_linalg::{
+    frobenius_norm, matmul_t_tiled, par, ridge_solve_cols, ridge_solve_cols_tiled,
+    ridge_solve_rows_blocked, ridge_solve_rows_tiled, Mat,
+};
+use limeqo_sim::scenario::registry;
+use proptest::prelude::*;
+
+/// The tile sizes every differential test sweeps: degenerate (1), prime
+/// (7, never divides the tested shapes evenly), large (64, usually wider
+/// than the whole RHS panel), and auto (0).
+const TILES: [usize; 4] = [1, 7, 64, 0];
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Bit-exact view of a matrix: `f64::to_bits` per element, so NaN slots
+/// and signed zeros compare exactly instead of by IEEE equality.
+fn bits(m: &Mat) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Synthetic exactly-rank-`r` workload matrix observing roughly `frac` of
+/// its cells plus the full default column; mirrors the core crate's
+/// private test_support builder.
+fn synthetic_wm(n: usize, k: usize, r: usize, frac: f64, seed: u64) -> WorkloadMatrix {
+    let mut rng = SeededRng::new(seed);
+    let q = rng.uniform_mat(n, r, 0.1, 2.0);
+    let h = rng.uniform_mat(k, r, 0.1, 2.0);
+    let truth = q.matmul_t(&h).expect("shape");
+    let mut wm = WorkloadMatrix::new(n, k);
+    for i in 0..n {
+        wm.set_complete(i, 0, truth[(i, 0)]);
+        for j in 1..k {
+            if rng.chance(frac) {
+                wm.set_complete(i, j, truth[(i, j)]);
+            }
+        }
+    }
+    wm
+}
+
+/// An `AlsCompleter` warm-fitted once on `wm`, ready for incremental
+/// calls: low iteration count keeps the proptest sweeps fast.
+fn fitted_incremental(wm: &WorkloadMatrix, rank: usize, seed: u64) -> AlsCompleter {
+    let mut als = AlsCompleter::warm_started(rank, seed);
+    als.iters = 10;
+    als.incremental = true;
+    als.incremental_threshold = 1.0;
+    als.incremental_full_every = 0;
+    let _ = als.complete(wm);
+    als
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// `matmul_t_tiled` replicates the serial `Mat::matmul_t` FP sequence
+    /// at every tile size and thread count, including shapes no tile
+    /// divides evenly.
+    #[test]
+    fn tiled_matmul_is_bit_identical_to_naive(
+        dims in (1usize..40, 1usize..20, 1usize..8),
+        seed in 0u64..500,
+    ) {
+        let (n, k, r) = dims;
+        let mut rng = SeededRng::new(seed ^ 0xB10C);
+        let a = rng.gaussian_mat(n, r, 0.0, 2.0);
+        let b = rng.gaussian_mat(k, r, 0.0, 2.0);
+        let naive = a.matmul_t(&b).unwrap();
+        for tile in TILES {
+            for threads in THREADS {
+                let tiled = matmul_t_tiled(&a, &b, threads, tile).unwrap();
+                prop_assert_eq!(
+                    bits(&tiled), bits(&naive),
+                    "matmul_t diverged at tile {} threads {}", tile, threads
+                );
+            }
+        }
+        // The parallel naive kernel shares the same contract.
+        prop_assert_eq!(bits(&par::matmul_t(&a, &b, 4).unwrap()), bits(&naive));
+    }
+
+    /// `ridge_solve_rows_tiled` matches `ridge_solve_rows_blocked` on the
+    /// same block partition, bit for bit — including partitions with empty
+    /// and uneven blocks.
+    #[test]
+    fn tiled_row_solve_is_bit_identical_to_blocked(
+        dims in (2usize..24, 1usize..6, 1usize..30),
+        lambda in 0.0f64..2.0,
+        seed in 0u64..500,
+    ) {
+        let (m, p, q) = dims;
+        let mut rng = SeededRng::new(seed ^ 0x50_1E);
+        let g = rng.uniform_mat(m, p, 0.0, 1.5);
+        let b_rows = rng.uniform_mat(q, m, 0.0, 2.0);
+        let split = q / 2;
+        for blocks in [vec![(0, q)], vec![(0, split), (split, split), (split, q)]] {
+            let naive = ridge_solve_rows_blocked(&g, &b_rows, lambda, 1, &blocks).unwrap();
+            for tile in TILES {
+                for threads in THREADS {
+                    let tiled =
+                        ridge_solve_rows_tiled(&g, &b_rows, lambda, threads, &blocks, tile)
+                            .unwrap();
+                    prop_assert_eq!(
+                        bits(&tiled), bits(&naive),
+                        "row solve diverged at tile {} threads {}", tile, threads
+                    );
+                }
+            }
+        }
+    }
+
+    /// `ridge_solve_cols_tiled` matches `ridge_solve_cols` bit for bit:
+    /// the in-place row-window reads replicate the strided `col_block`
+    /// gather's FP sequence exactly, zero-skip semantics included.
+    #[test]
+    fn tiled_col_solve_is_bit_identical_to_naive(
+        dims in (2usize..24, 1usize..6, 1usize..16),
+        lambda in 0.0f64..2.0,
+        seed in 0u64..500,
+    ) {
+        let (m, p, cols) = dims;
+        let mut rng = SeededRng::new(seed ^ 0xC0_15);
+        let mut g = rng.uniform_mat(m, p, 0.0, 1.5);
+        // Plant exact zeros so the skip predicate is exercised.
+        if m > 2 {
+            for j in 0..p {
+                g[(2, j)] = 0.0;
+            }
+        }
+        let b = rng.uniform_mat(m, cols, 0.0, 2.0);
+        let naive = ridge_solve_cols(&g, &b, lambda, 1).unwrap();
+        for tile in TILES {
+            for threads in THREADS {
+                let tiled = ridge_solve_cols_tiled(&g, &b, lambda, threads, tile).unwrap();
+                prop_assert_eq!(
+                    bits(&tiled), bits(&naive),
+                    "col solve diverged at tile {} threads {}", tile, threads
+                );
+            }
+        }
+    }
+
+    /// End to end through Algorithm 2: an `AlsCompleter` on the blocked
+    /// kernels reproduces the naive-kernel completer byte for byte at any
+    /// tile size and thread count, censored clamps and all.
+    #[test]
+    fn als_blocked_kernel_is_bit_identical_to_naive(
+        dims in (4usize..30, 3usize..12),
+        frac in 0.2f64..0.8,
+        seed in 0u64..500,
+    ) {
+        let (n, k) = dims;
+        let mut wm = synthetic_wm(n, k, 3, frac, seed);
+        let first_unobserved = wm.unobserved_cells().next();
+        if let Some((ci, cj)) = first_unobserved {
+            wm.set_censored(ci, cj, 42.0);
+        }
+        let reference = {
+            let mut als = AlsCompleter::with_rank(3, seed);
+            als.iters = 5;
+            als.kernel = AlsKernel::Naive;
+            als.complete(&wm)
+        };
+        for tile in TILES {
+            for threads in THREADS {
+                let mut als = AlsCompleter::with_rank(3, seed);
+                als.iters = 5;
+                als.threads = threads;
+                als.kernel = AlsKernel::Blocked { tile };
+                prop_assert_eq!(
+                    bits(&als.complete(&wm)), bits(&reference),
+                    "ALS diverged at tile {} threads {}", tile, threads
+                );
+            }
+        }
+    }
+
+    /// When every row is dirty the incremental path must be *exactly* the
+    /// full alternation — same factors, same completion, bit for bit.
+    #[test]
+    fn incremental_with_all_rows_dirty_is_exactly_the_full_path(
+        dims in (4usize..24, 3usize..10),
+        frac in 0.2f64..0.7,
+        seed in 0u64..500,
+    ) {
+        let (n, k) = dims;
+        let wm = synthetic_wm(n, k, 3, frac, seed);
+        let mut incremental = fitted_incremental(&wm, 3, seed);
+        // The documented threshold contract: an all-dirty call exceeds the
+        // default 0.5 dirty fraction and falls through to the exact full
+        // alternation — not an approximation of it.
+        incremental.incremental_threshold = 0.5;
+        let mut full = fitted_incremental(&wm, 3, seed);
+        let all: Vec<usize> = (0..n).collect();
+        let got = incremental.complete_dirty(&wm, Some(&all));
+        let want = full.complete(&wm);
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+
+    /// Arbitrary dirty subsets: the incremental completion stays within
+    /// the documented relative-Frobenius bound of the full refit when the
+    /// new observations come from the same low-rank ground truth
+    /// (the convergence contract in PERF.md §Kernels).
+    #[test]
+    fn incremental_deviation_from_full_stays_bounded(
+        dims in (8usize..24, 4usize..10),
+        frac in 0.3f64..0.7,
+        subset_seed in 0u64..1_000,
+        seed in 0u64..500,
+    ) {
+        let (n, k) = dims;
+        let mut rng = SeededRng::new(seed);
+        let qt = rng.uniform_mat(n, 3, 0.1, 2.0);
+        let ht = rng.uniform_mat(k, 3, 0.1, 2.0);
+        let truth = qt.matmul_t(&ht).unwrap();
+        let mut wm = WorkloadMatrix::new(n, k);
+        for i in 0..n {
+            wm.set_complete(i, 0, truth[(i, 0)]);
+            for j in 1..k {
+                if rng.chance(frac) {
+                    wm.set_complete(i, j, truth[(i, j)]);
+                }
+            }
+        }
+        let mut incremental = fitted_incremental(&wm, 3, seed);
+        let mut full = fitted_incremental(&wm, 3, seed);
+        // Reveal one more truth cell in an arbitrary subset of rows.
+        let mut sub_rng = SeededRng::new(subset_seed ^ 0xD127);
+        let mut dirty = Vec::new();
+        for i in 0..n {
+            if !sub_rng.chance(0.3) {
+                continue;
+            }
+            let next_unobserved = wm.unobserved_cells().find(|&(r, _)| r == i).map(|(_, j)| j);
+            if let Some(j) = next_unobserved {
+                wm.set_complete(i, j, truth[(i, j)]);
+                dirty.push(i);
+            }
+        }
+        let got = incremental.complete_dirty(&wm, Some(&dirty));
+        let want = full.complete(&wm);
+        let mut diff = got.clone();
+        diff.axpy(-1.0, &want).unwrap();
+        let rel = frobenius_norm(&diff) / frobenius_norm(&want).max(1e-12);
+        prop_assert!(rel < 0.25, "incremental deviated {rel} from the full refit");
+    }
+}
+
+/// Fast-tier registry sweep: LimeQO stays no worse than Random (at the
+/// golden suite's 2 % tolerance) on every drift-free LimeQoAls scenario
+/// with incremental factor updates switched on. The big 10k-row scenario
+/// joins in the `#[ignore]`d full sweep below.
+#[test]
+fn registry_holds_limeqo_vs_random_with_incremental_updates() {
+    sweep_registry_with_incremental(1_000);
+}
+
+#[test]
+#[ignore = "slow tier: the full registry incl. large-matrix-10k; run via ./ci.sh --ignored"]
+fn full_registry_holds_limeqo_vs_random_with_incremental_updates() {
+    sweep_registry_with_incremental(usize::MAX);
+}
+
+fn sweep_registry_with_incremental(max_rows: usize) {
+    let mut covered = 0;
+    for mut spec in registry() {
+        if spec.workload.n_queries() > max_rows {
+            continue;
+        }
+        let PolicySpec::LimeQoAls { ref mut incremental_als, .. } = spec.policy else {
+            continue;
+        };
+        if !spec.drift.is_empty() {
+            continue;
+        }
+        *incremental_als = true;
+        let o = run_scenario(&spec);
+        let random = o.random_final_latency.expect("offline scenarios run a random reference");
+        assert!(
+            o.final_latency <= random * 1.02 + 1e-9,
+            "{}: limeqo with incremental updates {} worse than random {}",
+            spec.name,
+            o.final_latency,
+            random
+        );
+        covered += 1;
+    }
+    assert!(covered >= 3, "expected >= 3 drift-free LimeQoAls scenarios, found {covered}");
+}
+
+/// Production-sized shapes for the bit-identity contract: panels far
+/// larger than any cache level, deliberately non-divisible by every tile.
+#[test]
+#[ignore = "slow tier: large-shape kernel sweep; run via ./ci.sh --ignored"]
+fn large_shape_kernels_stay_bit_identical() {
+    let mut rng = SeededRng::new(0xB16_5EED);
+    let a = rng.gaussian_mat(2_003, 7, 0.0, 2.0);
+    let b = rng.gaussian_mat(53, 7, 0.0, 2.0);
+    let naive = a.matmul_t(&b).unwrap();
+    for tile in [1, 83, 256, 0] {
+        for threads in [1, 3, 8] {
+            let tiled = matmul_t_tiled(&a, &b, threads, tile).unwrap();
+            assert_eq!(bits(&tiled), bits(&naive), "matmul tile {tile} threads {threads}");
+        }
+    }
+    let g = rng.uniform_mat(53, 7, 0.0, 1.5);
+    let b_rows = rng.uniform_mat(2_003, 53, 0.0, 2.0);
+    let blocks = [(0usize, 997usize), (997, 2_003)];
+    let naive = ridge_solve_rows_blocked(&g, &b_rows, 0.2, 1, &blocks).unwrap();
+    for tile in [1, 83, 256, 0] {
+        for threads in [1, 3, 8] {
+            let tiled = ridge_solve_rows_tiled(&g, &b_rows, 0.2, threads, &blocks, tile).unwrap();
+            assert_eq!(bits(&tiled), bits(&naive), "row solve tile {tile} threads {threads}");
+        }
+    }
+    let g2 = rng.uniform_mat(2_003, 7, 0.0, 1.5);
+    let b2 = rng.uniform_mat(2_003, 53, 0.0, 2.0);
+    let naive = ridge_solve_cols(&g2, &b2, 0.2, 1).unwrap();
+    for tile in [1, 83, 256, 0] {
+        for threads in [1, 3, 8] {
+            let tiled = ridge_solve_cols_tiled(&g2, &b2, 0.2, threads, tile).unwrap();
+            assert_eq!(bits(&tiled), bits(&naive), "col solve tile {tile} threads {threads}");
+        }
+    }
+}
