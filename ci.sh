@@ -33,6 +33,18 @@ fi
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+# Robustness gate: the durability layer and the daemon must not panic on
+# I/O failures — any unwrap/expect in their non-test code is a potential
+# daemon-killer, so production paths carry typed errors only (code below
+# the #[cfg(test)] marker is exempt).
+echo "==> no-unwrap gate (persist.rs + svc non-test code)"
+for f in crates/core/src/persist.rs crates/svc/src/lib.rs; do
+  if awk '/#\[cfg\(test\)\]/{exit} {print}' "$f" | grep -nE '\.unwrap\(\)|\.expect\('; then
+    echo "ci.sh: $f has unwrap/expect in non-test code (use typed errors)" >&2
+    exit 1
+  fi
+done
+
 echo "==> cargo clippy (workspace, all targets, warnings are errors)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
@@ -89,7 +101,8 @@ if [[ "$FAST" == "0" ]]; then
   for key in policy.sample_s policy.topk_s \
     als.blocked_s als.block_speedup als.incremental_s \
     shard.select_s shard.merge_s shard.als_s shard.mem_bytes \
-    svc.journal_append_s svc.snapshot_s svc.recover_s; do
+    svc.journal_append_s svc.snapshot_s svc.recover_s \
+    svc.retry_backoff_s fault.injected_total; do
     if ! grep -q "\"$key\"" bench-results/BENCH_policy_smoke.json; then
       echo "ci.sh: BENCH_policy_smoke.json is missing \"$key\"" >&2
       exit 1
@@ -160,6 +173,36 @@ if [[ "$FAST" == "0" ]]; then
     exit 1
   fi
   echo "    7 error replies, 4 ok replies, daemon survived to shutdown"
+
+  # Chaos smoke: a scripted append failure (--fault-at 20, mid tick 4)
+  # inside a live daemon. The daemon must degrade rather than die: keep
+  # ticking from memory, answer status with degraded:true + the persist
+  # error, still serve hint, and exit 0. A fault-free restart on the same
+  # state directory must then come up clean (degraded:false) — the
+  # journal is valid up to the fault point. crash_recovery.rs proves the
+  # same guarantees in-process across a 5-kind × 300-op fault grid.
+  echo "==> limeqo-svc chaos smoke (--fault-at 20)"
+  "$SVC" --dir "$SMOKE_DIR/chaos" --script crates/svc/smoke/chaos.ndjson \
+    --fault-at 20 > "$SMOKE_DIR/chaos.out"
+  if ! grep '"op":"status"' "$SMOKE_DIR/chaos.out" | grep -q '"degraded":true'; then
+    echo "ci.sh: chaos smoke: status after the injected fault must report degraded:true" >&2
+    cat "$SMOKE_DIR/chaos.out" >&2
+    exit 1
+  fi
+  if ! grep '"op":"hint"' "$SMOKE_DIR/chaos.out" | grep -q '"ok":true'; then
+    echo "ci.sh: chaos smoke: hint must keep serving in degraded mode" >&2
+    cat "$SMOKE_DIR/chaos.out" >&2
+    exit 1
+  fi
+  printf '{"op":"status"}\n{"op":"shutdown"}\n' > "$SMOKE_DIR/chaos-restart.ndjson"
+  "$SVC" --dir "$SMOKE_DIR/chaos" --script "$SMOKE_DIR/chaos-restart.ndjson" \
+    > "$SMOKE_DIR/chaos2.out"
+  if ! grep '"op":"status"' "$SMOKE_DIR/chaos2.out" | grep -q '"degraded":false'; then
+    echo "ci.sh: chaos smoke: fault-free restart must come up clean" >&2
+    cat "$SMOKE_DIR/chaos2.out" >&2
+    exit 1
+  fi
+  echo "    degraded daemon kept serving, exited 0, clean restart recovered"
 fi
 
 echo "==> benches type-check: cargo bench --no-run"

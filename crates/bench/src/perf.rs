@@ -23,7 +23,10 @@ use limeqo_core::explore::ExploreConfig;
 use limeqo_core::matrix::WorkloadMatrix;
 use limeqo_core::policy::{LimeQoPolicy, Policy, PolicyCtx, RandomPolicy};
 use limeqo_core::store::ObservationStore;
-use limeqo_core::{Action, DurableConfig, DurableEngine, Engine, Event};
+use limeqo_core::{
+    Action, DurableConfig, DurableEngine, Engine, Event, FaultAt, FaultKind, FaultScript,
+    FaultStorage, FsStorage, OpClass,
+};
 use limeqo_linalg::par::auto_threads;
 use limeqo_linalg::rng::SeededRng;
 use limeqo_linalg::Mat;
@@ -56,6 +59,8 @@ pub const REQUIRED_KEYS: &[&str] = &[
     "svc.journal_append_s",
     "svc.snapshot_s",
     "svc.recover_s",
+    "svc.retry_backoff_s",
+    "fault.injected_total",
     "scenario.name",
     "scenario.end_to_end_s",
 ];
@@ -388,6 +393,71 @@ pub fn run(opts: &PerfOpts) -> Json {
                 .expect("recover matured engine");
         std::hint::black_box((de.event_index(), outstanding.len()));
     });
+
+    // Probe-retry bookkeeping: the same cheap-policy run but every probe's
+    // first attempt fails (`Event::ProbeFailed`), waits out its backoff in
+    // the retry queue and is re-issued. The per-cycle cost covers queue
+    // insert, due-scan on each tick, and re-issue — the tax the engine
+    // pays per transient probe failure.
+    let mut retry_cycles = 1usize;
+    let retry_run_s = time_min(svc_reps, || {
+        let mut engine = append_engine();
+        let mut seen: std::collections::HashSet<(usize, usize)> = Default::default();
+        // Double the tick budget: each failed probe needs a later tick
+        // (backoff_base = 1) before its retry becomes due.
+        for _ in 0..jticks * 2 {
+            let actions = engine.step(Event::Tick);
+            for a in actions {
+                if let Action::Probe { row, col, timeout } = a {
+                    if seen.insert((row, col)) {
+                        engine.step(Event::ProbeFailed { row, col });
+                    } else {
+                        let t = probe_truth(row, col);
+                        let censored = t > timeout;
+                        let value = if censored { timeout } else { t };
+                        engine.step(Event::Observation { row, col, value, censored });
+                    }
+                }
+            }
+        }
+        retry_cycles = engine.probe_retries().max(1);
+        std::hint::black_box(engine.cells_executed());
+    });
+    let retry_backoff = (retry_run_s / retry_cycles as f64).max(1e-9);
+
+    // Fault-injection accounting: a FaultStorage-wrapped durable run with
+    // one scripted append failure. The probe's injected-op counter lands
+    // in the trajectory so chaos coverage is visible (ci.sh greps it).
+    let fault_dir = svc_dir.join("fault");
+    let script = FaultScript::single(FaultAt::Class(OpClass::Append, 4), FaultKind::FailOp);
+    let storage = FaultStorage::new(Box::new(FsStorage), script);
+    let fault_probe = storage.probe();
+    let mut de_f = DurableEngine::create_with(
+        Box::new(storage),
+        &fault_dir,
+        append_engine(),
+        "perf",
+        dcfg.clone(),
+    )
+    .expect("create faulted dir: fault targets a later append");
+    'fault: for _ in 0..jticks {
+        let actions = match de_f.step(Event::Tick) {
+            Ok(actions) => actions,
+            Err(_) => break 'fault,
+        };
+        for a in actions {
+            if let Action::Probe { row, col, timeout } = a {
+                let t = probe_truth(row, col);
+                let censored = t > timeout;
+                let value = if censored { timeout } else { t };
+                if de_f.step(Event::Observation { row, col, value, censored }).is_err() {
+                    break 'fault;
+                }
+            }
+        }
+    }
+    let fault_injected = fault_probe.injected_total();
+    drop(de_f);
     let _ = std::fs::remove_dir_all(&svc_dir);
 
     // End-to-end scenario wall-clock. Smoke shrinks the 10k scenario so
@@ -432,6 +502,8 @@ pub fn run(opts: &PerfOpts) -> Json {
         ("svc.journal_events".into(), Json::Num(journal_events as f64)),
         ("svc.snapshot_s".into(), Json::Num(snapshot_s)),
         ("svc.recover_s".into(), Json::Num(recover_s)),
+        ("svc.retry_backoff_s".into(), Json::Num(retry_backoff)),
+        ("fault.injected_total".into(), Json::Num(fault_injected as f64)),
         ("scenario.name".into(), Json::Str(spec.name.clone())),
         ("scenario.n".into(), Json::Num(outcome.n as f64)),
         ("scenario.end_to_end_s".into(), Json::Num(end_to_end)),
@@ -464,6 +536,7 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
         "svc.journal_append_s",
         "svc.snapshot_s",
         "svc.recover_s",
+        "svc.retry_backoff_s",
     ] {
         if let Some(v) = doc.get(key).and_then(Json::as_num) {
             if v <= 0.0 {
@@ -475,6 +548,12 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
     if let Some(v) = doc.get("shard.mem_bytes").and_then(Json::as_num) {
         if v <= 0.0 {
             errors.push(format!("\"shard.mem_bytes\" must be a positive byte count, got {v}"));
+        }
+    }
+    // Chaos coverage is real: the scripted storage fault must have fired.
+    if let Some(v) = doc.get("fault.injected_total").and_then(Json::as_num) {
+        if v < 1.0 {
+            errors.push(format!("\"fault.injected_total\" must be at least 1, got {v}"));
         }
     }
     // The always-on service journals every input event on the hot path;

@@ -222,6 +222,9 @@ fn run_offline_seed(spec: &ScenarioSpec, env: &Env, policy: &PolicySpec, seed: u
         retention: policy.drift(),
         max_steps: spec.max_steps,
         shards: spec.shards,
+        retry: Default::default(),
+        probe_fail_rate: spec.probe_fail_rate,
+        probe_fail_seed: spec.probe_fail_seed,
     };
     let mut ex = Explorer::new(&env.oracles[0], policy.build_policy(seed), cfg, env.initial_rows);
     let mut monotone = true;
@@ -465,6 +468,9 @@ fn offline_seed_via_explorer(
         retention: policy.drift(),
         max_steps: spec.max_steps,
         shards: spec.shards,
+        retry: Default::default(),
+        probe_fail_rate: spec.probe_fail_rate,
+        probe_fail_seed: spec.probe_fail_seed,
     };
     let mut ex = Explorer::new(&env.oracles[0], policy.build_policy(seed), cfg, env.initial_rows);
     let mut shift_idx = 1usize;
@@ -502,13 +508,24 @@ fn offline_seed_via_engine(
     use limeqo_core::store::ObservationStore;
     use limeqo_core::{Action, Engine, Event};
 
-    fn tick(engine: &mut Engine<'_>, oracle: &MatOracle) -> bool {
+    // Mirrors `Explorer::step` exactly — including the fault draw order
+    // and the idle-tick-through-backoff rule — so the `--via-service`
+    // equivalence check stays bitwise even under injected probe failures.
+    struct FaultKnob {
+        rate: f64,
+        rng: limeqo_linalg::rng::SeededRng,
+    }
+    fn tick(engine: &mut Engine<'_>, oracle: &MatOracle, fault: &mut FaultKnob) -> bool {
         let actions = engine.step(Event::Tick);
         if actions.is_empty() {
-            return false;
+            return engine.retry_pending() > 0;
         }
         for action in actions {
             let Action::Probe { row, col, timeout } = action else { continue };
+            if fault.rate > 0.0 && fault.rng.chance(fault.rate) {
+                engine.step(Event::ProbeFailed { row, col });
+                continue;
+            }
             let truth = oracle.true_latency(row, col);
             let censored = truth > timeout;
             let value = if censored { timeout } else { truth };
@@ -516,10 +533,10 @@ fn offline_seed_via_engine(
         }
         true
     }
-    fn run_until(engine: &mut Engine<'_>, oracle: &MatOracle, budget: f64) {
+    fn run_until(engine: &mut Engine<'_>, oracle: &MatOracle, fault: &mut FaultKnob, budget: f64) {
         engine.scheduler_mut().start_run();
         while engine.admit_round(budget) {
-            if !tick(engine, oracle) {
+            if !tick(engine, oracle, fault) {
                 break;
             }
         }
@@ -531,6 +548,9 @@ fn offline_seed_via_engine(
         retention: policy.drift(),
         max_steps: spec.max_steps,
         shards: spec.shards,
+        retry: Default::default(),
+        probe_fail_rate: spec.probe_fail_rate,
+        probe_fail_seed: spec.probe_fail_seed,
     };
     let mut oracle = &env.oracles[0];
     let (_, k) = oracle.shape();
@@ -539,10 +559,11 @@ fn offline_seed_via_engine(
         .collect();
     let store = ObservationStore::with_defaults_sharded(&defaults, k, spec.shards);
     let mut engine = Engine::offline(store, policy.build_policy(seed), oracle.est_cost(), &cfg);
+    let mut fault = FaultKnob { rate: cfg.probe_fail_rate, rng: cfg.fault_rng() };
     let mut active_rows = env.initial_rows;
     let mut shift_idx = 1usize;
     for ev in &spec.drift {
-        run_until(&mut engine, oracle, ev.at_frac * env.budget);
+        run_until(&mut engine, oracle, &mut fault, ev.at_frac * env.budget);
         match ev.kind {
             DriftKind::AddQueries { count } => {
                 let new_active = (active_rows + count).min(oracle.shape().0);
@@ -568,7 +589,7 @@ fn offline_seed_via_engine(
         }
     }
     let _ = active_rows;
-    run_until(&mut engine, oracle, env.budget);
+    run_until(&mut engine, oracle, &mut fault, env.budget);
     let wm = engine.wm();
     let final_latency = (0..wm.n_rows())
         .filter_map(|i| wm.row_best(i).map(|(col, _)| oracle.true_latency(i, col)))

@@ -86,6 +86,18 @@ pub enum Event {
         /// the new data, recorded after retention is applied.
         observations: Vec<(usize, usize, f64)>,
     },
+    /// A probe errored or timed out at the transport level — no latency,
+    /// not even a censored bound, came back. The engine schedules a
+    /// bounded retry with deterministic exponential backoff (counted in
+    /// ticks, see [`RetryPolicy`]); an online gamble falls back to its
+    /// incumbent immediately. Journaled like any other mutating event so
+    /// recovery replays the same retry schedule bit for bit.
+    ProbeFailed {
+        /// Query (row) whose probe failed.
+        row: usize,
+        /// Hint (column) whose probe failed.
+        col: usize,
+    },
     /// Read-only request for the current best hint of a query. Never
     /// journaled: it mutates nothing, not even the RNG.
     HintRequest {
@@ -202,6 +214,38 @@ pub(crate) struct PendingGamble {
     pub(crate) incumbent_lat: f64,
 }
 
+/// Bounded-retry policy for failed probes ([`Event::ProbeFailed`]).
+///
+/// Backoff is *deterministic and tick-denominated*: a probe that has
+/// failed `k` times is re-issued `backoff_base << (k - 1)` ticks after the
+/// failure (1, 2, 4, … ticks with the default base), never by wall clock.
+/// Because the schedule is a pure function of journaled events, crash
+/// recovery replays the exact same retries at the exact same ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Give up on a cell after this many failed attempts beyond the first
+    /// (the cell stays unobserved; the policy may re-select it later).
+    pub max_retries: usize,
+    /// Base backoff in ticks; doubles per consecutive failure.
+    pub backoff_base: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 3, backoff_base: 1 }
+    }
+}
+
+/// A failed probe waiting out its backoff before re-issue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct RetryProbe {
+    pub(crate) row: usize,
+    pub(crate) col: usize,
+    pub(crate) timeout: f64,
+    /// Re-issue at the first tick where `ticks >= due_tick`.
+    pub(crate) due_tick: u64,
+}
+
 /// The event-driven exploration engine. See the module docs for the
 /// mechanism/driver split; construct with [`Engine::offline`] or
 /// [`Engine::online`].
@@ -230,6 +274,20 @@ pub struct Engine<'a> {
     pub(crate) predictions: Option<Mat>,
     pub(crate) gamble: Option<PendingGamble>,
     pub(crate) stats: OnlineStats,
+    /// Static retry configuration (not persisted; part of the config tag).
+    pub(crate) retry: RetryPolicy,
+    /// Ticks processed — the denomination retry backoff counts in.
+    pub(crate) ticks: u64,
+    /// Failed probes waiting out their backoff.
+    pub(crate) retry_queue: Vec<RetryProbe>,
+    /// Consecutive-failure counts per cell still being retried.
+    pub(crate) fail_counts: Vec<(usize, usize, u32)>,
+    /// Total [`Event::ProbeFailed`]s accepted.
+    pub(crate) probe_failures: usize,
+    /// Probes re-issued after backoff.
+    pub(crate) probe_retries: usize,
+    /// Probes abandoned after exhausting `retry.max_retries`.
+    pub(crate) probes_dropped: usize,
 }
 
 impl<'a> Engine<'a> {
@@ -260,6 +318,13 @@ impl<'a> Engine<'a> {
             predictions: None,
             gamble: None,
             stats: OnlineStats::default(),
+            retry: cfg.retry,
+            ticks: 0,
+            retry_queue: Vec::new(),
+            fail_counts: Vec::new(),
+            probe_failures: 0,
+            probe_retries: 0,
+            probes_dropped: 0,
         }
     }
 
@@ -289,6 +354,13 @@ impl<'a> Engine<'a> {
             predictions: None,
             gamble: None,
             stats: OnlineStats::default(),
+            retry: RetryPolicy::default(),
+            ticks: 0,
+            retry_queue: Vec::new(),
+            fail_counts: Vec::new(),
+            probe_failures: 0,
+            probe_retries: 0,
+            probes_dropped: 0,
         }
     }
 
@@ -304,13 +376,30 @@ impl<'a> Engine<'a> {
             Event::DataShift { new_rows, observations } => {
                 self.on_data_shift(new_rows, &observations)
             }
+            Event::ProbeFailed { row, col } => self.on_probe_failed(row, col),
             Event::HintRequest { row } => self.on_hint_request(row),
         }
     }
 
     fn on_tick(&mut self) -> Vec<Action> {
+        self.ticks += 1;
+        // Re-issue retries whose backoff has elapsed, in schedule order.
+        // Fault-free this queue is always empty, so the legacy tick is
+        // reproduced exactly (no extra RNG draws, no action reordering).
+        let mut actions = Vec::new();
+        let mut i = 0;
+        while i < self.retry_queue.len() {
+            if self.retry_queue[i].due_tick <= self.ticks {
+                let r = self.retry_queue.remove(i);
+                self.pending.push(CellChoice { row: r.row, col: r.col, timeout: r.timeout });
+                self.probe_retries += 1;
+                actions.push(Action::Probe { row: r.row, col: r.col, timeout: r.timeout });
+            } else {
+                i += 1;
+            }
+        }
         let started = std::time::Instant::now();
-        let selection = {
+        let mut selection = {
             let ctx = PolicyCtx {
                 wm: self.store.matrix(),
                 est_cost: self.est_cost,
@@ -323,11 +412,21 @@ impl<'a> Engine<'a> {
             )
         };
         self.overhead += started.elapsed().as_secs_f64();
+        // A cell already in flight or awaiting retry must not be probed a
+        // second time (a duplicate observation would double-charge the
+        // clock). No-op fault-free: both lists are empty at tick time in
+        // the synchronous drivers.
+        selection.retain(|c| {
+            !self.pending.iter().any(|p| p.row == c.row && p.col == c.col)
+                && !self.retry_queue.iter().any(|r| r.row == c.row && r.col == c.col)
+        });
         self.pending.extend_from_slice(&selection);
-        selection
-            .into_iter()
-            .map(|c| Action::Probe { row: c.row, col: c.col, timeout: c.timeout })
-            .collect()
+        actions.extend(selection.into_iter().map(|c| Action::Probe {
+            row: c.row,
+            col: c.col,
+            timeout: c.timeout,
+        }));
+        actions
     }
 
     fn on_observation(
@@ -337,6 +436,12 @@ impl<'a> Engine<'a> {
         value: f64,
         censored: bool,
     ) -> Vec<Action> {
+        // A non-finite or negative latency is a transport failure wearing
+        // an observation's clothes — route it through the failure path
+        // before it can poison the store (and the ALS factors downstream).
+        if !value.is_finite() || value < 0.0 {
+            return self.on_probe_failed(row, col);
+        }
         if let Some(g) = self.gamble {
             if g.row == row && g.col == col {
                 self.gamble = None;
@@ -346,6 +451,7 @@ impl<'a> Engine<'a> {
         if let Some(pos) = self.pending.iter().position(|c| c.row == row && c.col == col) {
             self.pending.remove(pos);
         }
+        self.clear_fail_count(row, col);
         if censored {
             self.store.record_censored(row, col, value);
         } else {
@@ -355,6 +461,54 @@ impl<'a> Engine<'a> {
         self.trace.push(TraceEntry { row, col, charged: value, censored });
         self.cells_executed += 1;
         Vec::new()
+    }
+
+    fn on_probe_failed(&mut self, row: usize, col: usize) -> Vec<Action> {
+        if let Some(g) = self.gamble {
+            if g.row == row && g.col == col {
+                // A failed gamble reruns the incumbent: the arrival paid
+                // the incumbent's latency, nothing enters the matrix.
+                self.gamble = None;
+                self.probe_failures += 1;
+                self.stats.total_latency += g.incumbent_lat;
+                return vec![Action::Recommend {
+                    row: g.row,
+                    col: g.incumbent_col,
+                    latency: g.incumbent_lat,
+                }];
+            }
+        }
+        let Some(pos) = self.pending.iter().position(|c| c.row == row && c.col == col) else {
+            // Unknown probe (stale or duplicate failure report): ignore.
+            return Vec::new();
+        };
+        let choice = self.pending.remove(pos);
+        self.probe_failures += 1;
+        let failures = self.bump_fail_count(row, col);
+        if (failures as usize) <= self.retry.max_retries {
+            let shift = u32::min(failures - 1, 32);
+            let due = self.ticks + (self.retry.backoff_base << shift);
+            self.retry_queue.push(RetryProbe { row, col, timeout: choice.timeout, due_tick: due });
+        } else {
+            // Out of retries: abandon the cell (it stays unobserved, so
+            // the policy is free to re-select it in a later round).
+            self.probes_dropped += 1;
+            self.clear_fail_count(row, col);
+        }
+        Vec::new()
+    }
+
+    fn bump_fail_count(&mut self, row: usize, col: usize) -> u32 {
+        if let Some(e) = self.fail_counts.iter_mut().find(|(r, c, _)| *r == row && *c == col) {
+            e.2 += 1;
+            return e.2;
+        }
+        self.fail_counts.push((row, col, 1));
+        1
+    }
+
+    fn clear_fail_count(&mut self, row: usize, col: usize) {
+        self.fail_counts.retain(|&(r, c, _)| r != row || c != col);
     }
 
     fn resolve_gamble(&mut self, g: PendingGamble, value: f64, censored: bool) -> Vec<Action> {
@@ -475,8 +629,11 @@ impl<'a> Engine<'a> {
         }
         // Queued probes describe the old data; in the legacy driver order
         // every batch is fully observed before a shift, so this is a no-op
-        // there — it only matters for a service shifted mid-round.
+        // there — it only matters for a service shifted mid-round. Retries
+        // and their failure counts describe the old data too.
         self.pending.clear();
+        self.retry_queue.clear();
+        self.fail_counts.clear();
         self.predictions = None;
         Vec::new()
     }
@@ -540,6 +697,28 @@ impl<'a> Engine<'a> {
     /// recorded the tick but lost some of its observations).
     pub fn pending(&self) -> &[CellChoice] {
         &self.pending
+    }
+
+    /// Failed probes still waiting out their backoff. A driver whose tick
+    /// produced no actions should keep ticking while this is non-zero —
+    /// the retries become due within the bounded backoff horizon.
+    pub fn retry_pending(&self) -> usize {
+        self.retry_queue.len()
+    }
+
+    /// Total [`Event::ProbeFailed`]s accepted (gamble and offline).
+    pub fn probe_failures(&self) -> usize {
+        self.probe_failures
+    }
+
+    /// Probes re-issued after their backoff elapsed.
+    pub fn probe_retries(&self) -> usize {
+        self.probe_retries
+    }
+
+    /// Probes abandoned after exhausting [`RetryPolicy::max_retries`].
+    pub fn probes_dropped(&self) -> usize {
+        self.probes_dropped
     }
 
     /// All probes the engine is waiting on, including an online gamble in
@@ -612,4 +791,127 @@ pub fn data_shift_observations(
         }
     }
     obs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::RandomPolicy;
+
+    fn offline_engine(retry: RetryPolicy) -> Engine<'static> {
+        let store = ObservationStore::with_defaults(&[10.0, 8.0, 12.0], 4);
+        let cfg = ExploreConfig { batch: 1, seed: 9, retry, ..Default::default() };
+        Engine::offline(store, Box::new(RandomPolicy), None, &cfg)
+    }
+
+    fn first_probe(actions: &[Action]) -> Option<(usize, usize, f64)> {
+        actions.iter().find_map(|a| match *a {
+            Action::Probe { row, col, timeout } => Some((row, col, timeout)),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn failed_probes_retry_on_the_exponential_backoff_schedule() {
+        let mut e = offline_engine(RetryPolicy { max_retries: 3, backoff_base: 1 });
+        let (row, col, timeout) = first_probe(&e.step(Event::Tick)).expect("batch of 1");
+        // Failure #1 at tick 1: due at 1 + (1 << 0) = tick 2.
+        assert!(e.step(Event::ProbeFailed { row, col }).is_empty());
+        assert_eq!((e.probe_failures(), e.retry_pending()), (1, 1));
+        let actions = e.step(Event::Tick); // tick 2: due
+        assert_eq!(actions.first(), Some(&Action::Probe { row, col, timeout }));
+        assert_eq!(e.probe_retries(), 1);
+        // Failure #2 at tick 2: due at 2 + (1 << 1) = tick 4.
+        e.step(Event::ProbeFailed { row, col });
+        let tick3 = e.step(Event::Tick);
+        assert_ne!(first_probe(&tick3).map(|(r, c, _)| (r, c)), Some((row, col)));
+        assert_eq!(e.probe_retries(), 1, "backoff not elapsed at tick 3");
+        let tick4 = e.step(Event::Tick);
+        assert_eq!(tick4.first(), Some(&Action::Probe { row, col, timeout }));
+        assert_eq!(e.probe_retries(), 2);
+    }
+
+    #[test]
+    fn probes_drop_after_max_retries_and_the_cell_stays_selectable() {
+        let mut e = offline_engine(RetryPolicy { max_retries: 1, backoff_base: 1 });
+        let (row, col, _) = first_probe(&e.step(Event::Tick)).expect("batch of 1");
+        e.step(Event::ProbeFailed { row, col });
+        e.step(Event::Tick); // re-issue the single allowed retry
+        assert_eq!(e.probe_retries(), 1);
+        e.step(Event::ProbeFailed { row, col });
+        assert_eq!(e.probes_dropped(), 1);
+        assert_eq!(e.retry_pending(), 0);
+        // Abandoned, not poisoned: the cell is still unobserved, so the
+        // policy may pick it again from scratch in a later round.
+        assert_eq!(e.wm().cell(row, col), Cell::Unobserved);
+        assert!(e.fail_counts.is_empty(), "drop must clear the failure count");
+    }
+
+    #[test]
+    fn non_finite_observations_take_the_failure_path() {
+        let mut e = offline_engine(RetryPolicy::default());
+        let (row, col, _) = first_probe(&e.step(Event::Tick)).expect("batch of 1");
+        let (spent, cells) = (e.time_spent(), e.cells_executed());
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            e.step(Event::Observation { row, col, value: bad, censored: false });
+        }
+        // Only the first report hit a pending probe; the rest were stale
+        // duplicates. Nothing was charged, recorded, or traced.
+        assert_eq!(e.probe_failures(), 1);
+        assert_eq!(e.retry_pending(), 1);
+        assert_eq!(e.wm().cell(row, col), Cell::Unobserved);
+        assert_eq!((e.time_spent(), e.cells_executed()), (spent, cells));
+        assert!(e.trace().is_empty());
+    }
+
+    #[test]
+    fn unknown_probe_failures_are_ignored() {
+        let mut e = offline_engine(RetryPolicy::default());
+        e.step(Event::Tick);
+        assert!(e.step(Event::ProbeFailed { row: 2, col: 3 }).is_empty());
+        assert_eq!(e.probe_failures(), 0);
+        assert_eq!(e.retry_pending(), 0);
+    }
+
+    #[test]
+    fn a_successful_retry_clears_the_failure_count() {
+        let mut e = offline_engine(RetryPolicy { max_retries: 2, backoff_base: 1 });
+        let (row, col, timeout) = first_probe(&e.step(Event::Tick)).expect("batch of 1");
+        e.step(Event::ProbeFailed { row, col });
+        e.step(Event::Tick);
+        e.step(Event::Observation { row, col, value: timeout.min(1.0), censored: false });
+        assert!(e.fail_counts.is_empty());
+        assert!(matches!(e.wm().cell(row, col), Cell::Complete(_)));
+    }
+
+    /// A fixed-prediction completer: makes the online gamble decision
+    /// deterministic without an ALS fit.
+    struct FlatCompleter(f64);
+    impl Completer for FlatCompleter {
+        fn complete(&mut self, wm: &WorkloadMatrix) -> Mat {
+            Mat::from_fn(wm.n_rows(), wm.n_cols(), |_, _| self.0)
+        }
+        fn name(&self) -> &'static str {
+            "flat"
+        }
+    }
+
+    #[test]
+    fn a_failed_gamble_serves_the_incumbent() {
+        let store = ObservationStore::with_defaults(&[10.0], 3);
+        let cfg = OnlineConfig { explore_prob: 1.0, ..Default::default() };
+        let mut e = Engine::online(store, Box::new(FlatCompleter(1.0)), &cfg);
+        let actions = e.step(Event::Arrival { row: 0 });
+        let (row, col, _) = first_probe(&actions).expect("prediction 1.0 < incumbent 10.0");
+        let out = e.step(Event::ProbeFailed { row, col });
+        assert_eq!(
+            out,
+            vec![Action::Recommend { row: 0, col: WorkloadMatrix::DEFAULT_HINT, latency: 10.0 }]
+        );
+        assert_eq!(e.probe_failures(), 1);
+        // The arrival paid the incumbent; nothing entered the matrix.
+        assert_eq!(e.stats().total_latency, 10.0);
+        assert_eq!(e.wm().cell(0, col), Cell::Unobserved);
+        assert_eq!(e.retry_pending(), 0, "gambles fall back, they do not retry");
+    }
 }

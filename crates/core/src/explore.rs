@@ -125,6 +125,29 @@ pub struct ExploreConfig {
     /// sharded-equivalence contract — see ARCHITECTURE.md), sharding only
     /// changes which per-shard indexes back the selection and ALS paths.
     pub shards: usize,
+    /// Bounded-retry policy for probes that fail at the transport level
+    /// ([`Event::ProbeFailed`]). A no-op while no probe ever fails, so the
+    /// default changes nothing fault-free.
+    pub retry: crate::engine::RetryPolicy,
+    /// Probability that the harness *injects* a transport failure for an
+    /// issued probe (chaos knob; 0 = off). At 0 the fault RNG is never
+    /// drawn, so fault-free runs are bit-identical to builds without the
+    /// knob.
+    pub probe_fail_rate: f64,
+    /// Seed component for the injected-fault stream (kept separate from
+    /// `seed` so fault placement can vary against a fixed policy stream).
+    pub probe_fail_seed: u64,
+}
+
+impl ExploreConfig {
+    /// The deterministic RNG stream probe-fault injection draws from —
+    /// separate from the policy stream, and derived identically by every
+    /// driver (harness and raw-engine) so their trajectories agree.
+    pub fn fault_rng(&self) -> limeqo_linalg::rng::SeededRng {
+        limeqo_linalg::rng::SeededRng::new(
+            self.seed ^ self.probe_fail_seed.rotate_left(17) ^ 0xFA17_1CED,
+        )
+    }
 }
 
 impl Default for ExploreConfig {
@@ -135,6 +158,9 @@ impl Default for ExploreConfig {
             max_steps: 100_000,
             retention: DriftPolicy::legacy(),
             shards: 1,
+            retry: crate::engine::RetryPolicy::default(),
+            probe_fail_rate: 0.0,
+            probe_fail_seed: 0,
         }
     }
 }
@@ -172,6 +198,10 @@ pub struct Explorer<'a> {
     active_rows: usize,
     engine: Engine<'a>,
     curve: Curve,
+    /// Injected probe-failure probability (chaos knob; 0 = off).
+    probe_fail_rate: f64,
+    /// Dedicated stream for fault placement; never drawn at rate 0.
+    fault_rng: limeqo_linalg::rng::SeededRng,
 }
 
 impl<'a> Explorer<'a> {
@@ -192,9 +222,17 @@ impl<'a> Explorer<'a> {
             .collect();
         let store = ObservationStore::with_defaults_sharded(&defaults, k, cfg.shards);
         let name = policy.name().to_string();
+        let probe_fail_rate = cfg.probe_fail_rate;
+        let fault_rng = cfg.fault_rng();
         let engine = Engine::offline(store, policy, oracle.est_cost(), &cfg);
-        let mut explorer =
-            Explorer { oracle, active_rows: initial_rows, engine, curve: Curve::new(name) };
+        let mut explorer = Explorer {
+            oracle,
+            active_rows: initial_rows,
+            engine,
+            curve: Curve::new(name),
+            probe_fail_rate,
+            fault_rng,
+        };
         explorer.record_point();
         explorer
     }
@@ -261,11 +299,21 @@ impl<'a> Explorer<'a> {
         // completion by returning an empty selection.
         let actions = self.engine.step(Event::Tick);
         if actions.is_empty() {
-            return false;
+            // Probes may still be waiting out a retry backoff: idle-tick
+            // through the (bounded) horizon rather than declaring the run
+            // complete. `max_steps` remains the safety valve.
+            return self.engine.retry_pending() > 0;
         }
         for action in actions {
             let Action::Probe { row, col, timeout } = action else { continue };
             debug_assert!(row < self.active_rows);
+            // Chaos knob: fail this probe at the transport level instead
+            // of executing it. The rate-0 guard keeps the fault stream
+            // un-drawn on fault-free runs (bit-identical goldens).
+            if self.probe_fail_rate > 0.0 && self.fault_rng.chance(self.probe_fail_rate) {
+                self.engine.step(Event::ProbeFailed { row, col });
+                continue;
+            }
             let truth = self.oracle.true_latency(row, col);
             let censored = truth > timeout;
             // Timed out: charge the timeout, learn the lower bound.
@@ -589,6 +637,63 @@ mod tests {
         for shards in [2usize, 8] {
             assert_eq!(run(shards), reference, "shards={shards} diverged from unsharded run");
         }
+    }
+
+    #[test]
+    fn fault_free_runs_ignore_the_retry_knobs() {
+        // Bit-identity discipline for the fault axis: with no injected
+        // failures the retry machinery must be fully inert — no RNG
+        // draws, no action reordering — whatever the retry policy says.
+        // This is what keeps every pre-fault golden in place.
+        let oracle = toy_oracle(24, 7, 60);
+        let run = |retry: crate::engine::RetryPolicy, probe_fail_seed: u64| {
+            let cfg =
+                ExploreConfig { batch: 4, seed: 11, retry, probe_fail_seed, ..Default::default() };
+            let mut ex = Explorer::new(&oracle, Box::new(LimeQoPolicy::with_als(3)), cfg, 24);
+            ex.run_until(1e9);
+            let trace: Vec<(usize, usize, u64, bool)> = ex
+                .trace()
+                .iter()
+                .map(|t| (t.row, t.col, t.charged.to_bits(), t.censored))
+                .collect();
+            (trace, ex.time_spent().to_bits(), ex.cells_executed())
+        };
+        let reference = run(crate::engine::RetryPolicy::default(), 0);
+        // Different retry budget, different backoff, different fault seed
+        // (rate stays 0): all bit-identical.
+        let knobs = crate::engine::RetryPolicy { max_retries: 9, backoff_base: 7 };
+        assert_eq!(run(knobs, 0xDEAD_BEEF), reference);
+    }
+
+    #[test]
+    fn injected_probe_failures_still_converge() {
+        // Chaos at the transport level: a double-digit failure rate slows
+        // exploration (retries burn ticks) but must neither panic nor
+        // wedge the run — and the same (seed, fault seed) pair replays
+        // the exact same degraded trajectory.
+        let oracle = toy_oracle(24, 7, 60);
+        let run = || {
+            let cfg = ExploreConfig {
+                batch: 4,
+                seed: 11,
+                probe_fail_rate: 0.2,
+                probe_fail_seed: 5,
+                ..Default::default()
+            };
+            let mut ex = Explorer::new(&oracle, Box::new(LimeQoPolicy::with_als(3)), cfg, 24);
+            ex.run_until(1e9);
+            let trace: Vec<(usize, usize, u64, bool)> = ex
+                .trace()
+                .iter()
+                .map(|t| (t.row, t.col, t.charged.to_bits(), t.censored))
+                .collect();
+            (trace, ex.engine().probe_failures(), ex.engine().probe_retries())
+        };
+        let (trace, failures, retries) = run();
+        assert!(failures > 0, "a 20% rate over a full run must fire");
+        assert!(retries > 0, "failed probes must be re-issued");
+        assert!(!trace.is_empty(), "the run still explores");
+        assert_eq!(run(), (trace, failures, retries), "fault injection must be replayable");
     }
 
     #[test]

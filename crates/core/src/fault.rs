@@ -1,0 +1,528 @@
+//! Deterministic fault injection for the persistence layer.
+//!
+//! [`crate::persist`] talks to disk exclusively through the small
+//! [`Storage`] / [`StorageFile`] traits defined here. Production code uses
+//! [`FsStorage`] (plain `std::fs`); chaos tests wrap it in
+//! [`FaultStorage`], which counts every operation and injects *scripted*
+//! faults — fail op #k, short-write n bytes, fail fsync, fail rename,
+//! ENOSPC — at deterministic points. A fault script is plain data
+//! ([`FaultScript`]), derivable from a seed ([`FaultScript::from_seed`]),
+//! so every chaos run is replayable from its parameters alone: the same
+//! script against the same event sequence injects the same fault at the
+//! same byte.
+//!
+//! The trait is deliberately minimal — exactly the operations the journal
+//! and snapshot code paths perform, no more. [`StorageFile::append`] takes
+//! the whole record in one call, which is what makes [`FaultKind::ShortWrite`]
+//! meaningful: the injected tear leaves a well-defined prefix of one
+//! record on disk, the case the journal's CRC-per-record format is built
+//! to detect and truncate.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Seek as _, Write as _};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use limeqo_linalg::rng::SeededRng;
+
+/// The class of a storage operation, used to target scripted faults at a
+/// specific kind of I/O (e.g. "the 20th journal append") independent of
+/// how many unrelated operations surround it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Create-or-truncate a file for writing ([`Storage::create`]).
+    Create,
+    /// Reopen an existing file truncated to a length ([`Storage::open_truncated`]).
+    Open,
+    /// Whole-file read ([`Storage::read`]).
+    Read,
+    /// Directory listing ([`Storage::list_dir`]).
+    List,
+    /// Atomic rename ([`Storage::rename`]).
+    Rename,
+    /// File removal ([`Storage::remove`]).
+    Remove,
+    /// Record append ([`StorageFile::append`]).
+    Append,
+    /// Flush + fsync ([`StorageFile::sync`]).
+    Sync,
+}
+
+/// Number of [`OpClass`] variants (sizes the per-class counters).
+const OP_CLASSES: usize = 8;
+
+/// What an injected fault does when its trigger fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation fails outright with an injected I/O error.
+    FailOp,
+    /// An append writes only the first `n` bytes to the underlying
+    /// storage, then fails — the torn-write case. On non-append
+    /// operations it degrades to [`FaultKind::FailOp`].
+    ShortWrite(usize),
+    /// The fsync fails (data may or may not be durable — the caller must
+    /// treat the segment as suspect).
+    FailSync,
+    /// The rename fails (the temp file stays, the target is untouched).
+    FailRename,
+    /// The write fails with out-of-space semantics, writing nothing.
+    Enospc,
+}
+
+/// When a scripted fault fires. Operation indices are 0-based and count
+/// from the construction of the [`FaultStorage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAt {
+    /// The `n`th storage operation overall, of any class.
+    Op(u64),
+    /// The `n`th operation of the given class.
+    Class(OpClass, u64),
+}
+
+/// One scripted fault: a trigger point plus the failure to inject there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScriptedFault {
+    /// When the fault fires.
+    pub at: FaultAt,
+    /// What happens when it does.
+    pub kind: FaultKind,
+}
+
+/// A replayable fault script: a plain list of [`ScriptedFault`]s. Scripts
+/// are data, not state — the same script always injects the same faults at
+/// the same operation indices.
+#[derive(Debug, Clone, Default)]
+pub struct FaultScript {
+    /// The scripted faults, checked in order at every operation.
+    pub faults: Vec<ScriptedFault>,
+}
+
+impl FaultScript {
+    /// A script with a single fault.
+    pub fn single(at: FaultAt, kind: FaultKind) -> Self {
+        FaultScript { faults: vec![ScriptedFault { at, kind }] }
+    }
+
+    /// Derive a script of `count` faults at operation indices below
+    /// `op_range`, deterministically from `seed` — the replayable chaos
+    /// run. The same `(seed, count, op_range)` always yields the same
+    /// script.
+    pub fn from_seed(seed: u64, count: usize, op_range: u64) -> Self {
+        let mut rng = SeededRng::new(seed ^ 0xFA01_7FA0);
+        let kinds = [
+            FaultKind::FailOp,
+            FaultKind::ShortWrite(5),
+            FaultKind::FailSync,
+            FaultKind::FailRename,
+            FaultKind::Enospc,
+        ];
+        let faults = (0..count)
+            .map(|_| ScriptedFault {
+                at: FaultAt::Op(rng.index(op_range.max(1) as usize) as u64),
+                kind: kinds[rng.index(kinds.len())],
+            })
+            .collect();
+        FaultScript { faults }
+    }
+}
+
+/// The filesystem surface [`crate::persist`] needs — nothing more. Every
+/// operation maps 1:1 onto an `std::fs` call in [`FsStorage`]; the
+/// abstraction exists so [`FaultStorage`] can interpose.
+pub trait Storage: Send {
+    /// Create `dir` and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// File names (not paths) directly inside `dir`.
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>>;
+    /// The whole file's bytes.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Whether `path` exists (never counted, never faulted: a pure check).
+    fn exists(&self, path: &Path) -> bool;
+    /// Create or truncate `path`, opened for appending.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+    /// Reopen an existing `path` truncated to `len` bytes, positioned at
+    /// its new end (the journal-tail truncation after replay).
+    fn open_truncated(&self, path: &Path, len: u64) -> io::Result<Box<dyn StorageFile>>;
+    /// Atomically rename `from` to `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Remove the file at `path`.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+}
+
+/// An open writable file handle from a [`Storage`].
+pub trait StorageFile: Send {
+    /// Append the whole buffer. Callers pass one complete record per call
+    /// so a short-write fault tears at a record boundary's interior, never
+    /// across records.
+    fn append(&mut self, data: &[u8]) -> io::Result<()>;
+    /// Flush to the OS and fsync.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+// ---------------------------------------------------------------------------
+// Real filesystem.
+
+/// The production [`Storage`]: plain `std::fs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FsStorage;
+
+struct FsFile(File);
+
+impl StorageFile for FsFile {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        self.0.write_all(data)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.flush()?;
+        self.0.sync_all()
+    }
+}
+
+impl Storage for FsStorage {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            out.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        Ok(out)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        let file = OpenOptions::new().create(true).write(true).truncate(true).open(path)?;
+        Ok(Box::new(FsFile(file)))
+    }
+
+    fn open_truncated(&self, path: &Path, len: u64) -> io::Result<Box<dyn StorageFile>> {
+        let mut file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(len)?;
+        file.seek(io::SeekFrom::End(0))?;
+        Ok(Box::new(FsFile(file)))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injecting wrapper.
+
+#[derive(Debug, Default)]
+struct FaultState {
+    script: Vec<ScriptedFault>,
+    total_ops: u64,
+    class_ops: [u64; OP_CLASSES],
+    injected: u64,
+}
+
+impl FaultState {
+    /// Count one operation of `class`; return the fault to inject, if a
+    /// scripted trigger matches this exact operation index.
+    fn tick(&mut self, class: OpClass) -> Option<FaultKind> {
+        let total = self.total_ops;
+        let of_class = self.class_ops[class as usize];
+        self.total_ops += 1;
+        self.class_ops[class as usize] += 1;
+        let hit = self.script.iter().find(|f| match f.at {
+            FaultAt::Op(n) => n == total,
+            FaultAt::Class(c, n) => c == class && n == of_class,
+        });
+        let kind = hit.map(|f| f.kind);
+        if kind.is_some() {
+            self.injected += 1;
+        }
+        kind
+    }
+}
+
+fn injected_error(kind: FaultKind) -> io::Error {
+    let msg = match kind {
+        FaultKind::FailOp => "injected fault: operation failed",
+        FaultKind::ShortWrite(_) => "injected fault: short write",
+        FaultKind::FailSync => "injected fault: fsync failed",
+        FaultKind::FailRename => "injected fault: rename failed",
+        FaultKind::Enospc => "injected fault: no space left on device",
+    };
+    io::Error::other(msg)
+}
+
+/// Shared read-only view of a [`FaultStorage`]'s counters, usable after
+/// the storage itself has been boxed into a
+/// [`crate::persist::DurableEngine`].
+#[derive(Clone)]
+pub struct FaultProbe {
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultProbe {
+    /// Total operations observed so far (every class).
+    pub fn total_ops(&self) -> u64 {
+        self.state.lock().expect("fault state lock").total_ops
+    }
+
+    /// Faults injected so far.
+    pub fn injected_total(&self) -> u64 {
+        self.state.lock().expect("fault state lock").injected
+    }
+}
+
+/// A [`Storage`] wrapper that injects the faults of a [`FaultScript`] at
+/// their scripted operation indices and passes everything else through to
+/// the wrapped storage. Operation counting is shared between the storage
+/// and every file handle it has produced, so `FaultAt::Op(k)` means "the
+/// k-th operation this wrapper has seen anywhere".
+pub struct FaultStorage {
+    inner: Box<dyn Storage>,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultStorage {
+    /// Wrap `inner` with the given fault script.
+    pub fn new(inner: Box<dyn Storage>, script: FaultScript) -> Self {
+        FaultStorage {
+            inner,
+            state: Arc::new(Mutex::new(FaultState { script: script.faults, ..Default::default() })),
+        }
+    }
+
+    /// A counter handle that stays valid after the storage is moved.
+    pub fn probe(&self) -> FaultProbe {
+        FaultProbe { state: Arc::clone(&self.state) }
+    }
+
+    fn tick(&self, class: OpClass) -> Option<FaultKind> {
+        self.state.lock().expect("fault state lock").tick(class)
+    }
+}
+
+struct FaultFile {
+    inner: Box<dyn StorageFile>,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultFile {
+    fn tick(&self, class: OpClass) -> Option<FaultKind> {
+        self.state.lock().expect("fault state lock").tick(class)
+    }
+}
+
+impl StorageFile for FaultFile {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        match self.tick(OpClass::Append) {
+            None => self.inner.append(data),
+            Some(FaultKind::ShortWrite(n)) => {
+                // The torn write: a prefix of the record reaches the
+                // underlying storage before the failure surfaces.
+                let n = n.min(data.len());
+                self.inner.append(&data[..n])?;
+                Err(injected_error(FaultKind::ShortWrite(n)))
+            }
+            Some(kind) => Err(injected_error(kind)),
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        match self.tick(OpClass::Sync) {
+            None => self.inner.sync(),
+            Some(kind) => Err(injected_error(kind)),
+        }
+    }
+}
+
+impl Storage for FaultStorage {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        // Never faulted: directory creation happens once, before any state
+        // exists worth corrupting.
+        self.inner.create_dir_all(dir)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        match self.tick(OpClass::List) {
+            None => self.inner.list_dir(dir),
+            Some(kind) => Err(injected_error(kind)),
+        }
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        match self.tick(OpClass::Read) {
+            None => self.inner.read(path),
+            Some(kind) => Err(injected_error(kind)),
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        match self.tick(OpClass::Create) {
+            None => {
+                let inner = self.inner.create(path)?;
+                Ok(Box::new(FaultFile { inner, state: Arc::clone(&self.state) }))
+            }
+            Some(kind) => Err(injected_error(kind)),
+        }
+    }
+
+    fn open_truncated(&self, path: &Path, len: u64) -> io::Result<Box<dyn StorageFile>> {
+        match self.tick(OpClass::Open) {
+            None => {
+                let inner = self.inner.open_truncated(path, len)?;
+                Ok(Box::new(FaultFile { inner, state: Arc::clone(&self.state) }))
+            }
+            Some(kind) => Err(injected_error(kind)),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.tick(OpClass::Rename) {
+            None => self.inner.rename(from, to),
+            Some(kind) => Err(injected_error(kind)),
+        }
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        match self.tick(OpClass::Remove) {
+            None => self.inner.remove(path),
+            Some(kind) => Err(injected_error(kind)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("limeqo-fault-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn fs_storage_roundtrips_appends_and_truncation() {
+        let dir = test_dir("fs");
+        let path = dir.join("a.log");
+        let s = FsStorage;
+        {
+            let mut f = s.create(&path).unwrap();
+            f.append(b"hello ").unwrap();
+            f.append(b"world").unwrap();
+            f.sync().unwrap();
+        }
+        assert_eq!(s.read(&path).unwrap(), b"hello world");
+        {
+            let mut f = s.open_truncated(&path, 5).unwrap();
+            f.append(b"!").unwrap();
+        }
+        assert_eq!(s.read(&path).unwrap(), b"hello!");
+        assert!(s.exists(&path));
+        s.rename(&path, &dir.join("b.log")).unwrap();
+        assert!(!s.exists(&path));
+        assert_eq!(s.list_dir(&dir).unwrap(), vec!["b.log".to_string()]);
+        s.remove(&dir.join("b.log")).unwrap();
+        assert!(s.list_dir(&dir).unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_write_fault_leaves_exactly_the_prefix() {
+        let dir = test_dir("short");
+        let path = dir.join("a.log");
+        let script =
+            FaultScript::single(FaultAt::Class(OpClass::Append, 1), FaultKind::ShortWrite(3));
+        let s = FaultStorage::new(Box::new(FsStorage), script);
+        let probe = s.probe();
+        let mut f = s.create(&path).unwrap();
+        f.append(b"first\n").unwrap();
+        let err = f.append(b"second\n").unwrap_err();
+        assert!(err.to_string().contains("short write"), "{err}");
+        drop(f);
+        assert_eq!(s.read(&path).unwrap(), b"first\nsec");
+        assert_eq!(probe.injected_total(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn global_op_index_targets_any_class_deterministically() {
+        let dir = test_dir("global");
+        // Ops: create(0), append(1), append(2), rename(3).
+        let script = FaultScript::single(FaultAt::Op(3), FaultKind::FailRename);
+        let s = FaultStorage::new(Box::new(FsStorage), script);
+        let mut f = s.create(&dir.join("a")).unwrap();
+        f.append(b"x").unwrap();
+        f.append(b"y").unwrap();
+        drop(f);
+        let err = s.rename(&dir.join("a"), &dir.join("b")).unwrap_err();
+        assert!(err.to_string().contains("rename"), "{err}");
+        // The rename must not have happened.
+        assert!(s.exists(&dir.join("a")));
+        assert!(!s.exists(&dir.join("b")));
+        assert_eq!(s.probe().total_ops(), 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_fault_writes_nothing() {
+        let dir = test_dir("enospc");
+        let script = FaultScript::single(FaultAt::Class(OpClass::Append, 1), FaultKind::Enospc);
+        let s = FaultStorage::new(Box::new(FsStorage), script);
+        let mut f = s.create(&dir.join("a")).unwrap();
+        f.append(b"kept").unwrap();
+        let err = f.append(b"lost").unwrap_err();
+        assert!(err.to_string().contains("no space"), "{err}");
+        drop(f);
+        assert_eq!(s.read(&dir.join("a")).unwrap(), b"kept");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seeded_scripts_are_replayable() {
+        let a = FaultScript::from_seed(42, 4, 100);
+        let b = FaultScript::from_seed(42, 4, 100);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.faults.len(), 4);
+        for f in &a.faults {
+            match f.at {
+                FaultAt::Op(n) => assert!(n < 100),
+                FaultAt::Class(..) => panic!("from_seed scripts target global op indices"),
+            }
+        }
+        assert_ne!(
+            FaultScript::from_seed(1, 4, 100).faults,
+            FaultScript::from_seed(2, 4, 100).faults,
+            "different seeds must give different scripts"
+        );
+    }
+
+    #[test]
+    fn unmatched_scripts_inject_nothing() {
+        let dir = test_dir("none");
+        let script = FaultScript::single(FaultAt::Op(1_000_000), FaultKind::FailOp);
+        let s = FaultStorage::new(Box::new(FsStorage), script);
+        let mut f = s.create(&dir.join("a")).unwrap();
+        f.append(b"fine").unwrap();
+        f.sync().unwrap();
+        assert_eq!(s.probe().injected_total(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -19,6 +19,10 @@
 //!   accounting (each executed cell charges `min(true latency, timeout)`
 //!   seconds, Eq. 3), wall-clock overhead metering for the predictive
 //!   models, workload shift (§5.3) and data shift (§5.4) events,
+//! * [`fault`] — deterministic fault injection: the [`fault::Storage`]
+//!   trait persist talks to disk through, the real [`fault::FsStorage`],
+//!   and the scripted [`fault::FaultStorage`] wrapper chaos tests use to
+//!   inject replayable I/O failures,
 //! * [`persist`] — durable engine state: an append-only, checksummed
 //!   journal of input events plus periodic full-state snapshots with GC;
 //!   [`persist::DurableEngine`] recovers from any kill point and resumes
@@ -49,6 +53,7 @@
 pub mod complete;
 pub mod engine;
 pub mod explore;
+pub mod fault;
 pub mod matrix;
 pub mod metrics;
 pub mod online;
@@ -59,12 +64,16 @@ pub mod select;
 pub mod store;
 
 pub use complete::{AlsCompleter, Completer, NucCompleter, SvtCompleter};
-pub use engine::{Action, AdmissionScheduler, Engine, Event};
+pub use engine::{Action, AdmissionScheduler, Engine, Event, RetryPolicy};
 pub use explore::{ExploreConfig, Explorer, MatOracle, Oracle, TraceEntry};
+pub use fault::{
+    FaultAt, FaultKind, FaultProbe, FaultScript, FaultStorage, FsStorage, OpClass, ScriptedFault,
+    Storage, StorageFile,
+};
 pub use matrix::{Cell, WorkloadMatrix};
 pub use metrics::{Curve, CurvePoint};
 pub use online::{OnlineConfig, OnlineExplorer, OnlineStats};
 pub use persist::{DurableConfig, DurableEngine, PersistError};
 pub use policy::{CellChoice, Policy, PolicyCtx};
 pub use scenario::PolicySpec;
-pub use store::{DriftPolicy, ObservationStore, PriorKind};
+pub use store::{DriftPolicy, ObservationError, ObservationStore, PriorKind};

@@ -46,14 +46,26 @@
 //! under. Snapshots are fsynced and renamed into place atomically. This
 //! keeps the append amortized cost well under the perf gate (< 5 % of
 //! `policy.sample_s`, enforced by `limeqo-bench perf`).
+//!
+//! # Fault tolerance
+//!
+//! All file I/O goes through the [`crate::fault::Storage`] trait
+//! ([`crate::fault::FsStorage`] in production, a scripted
+//! [`crate::fault::FaultStorage`] in chaos tests). When an append or the
+//! post-snapshot segment swap fails, the journal is *poisoned*
+//! ([`DurableEngine::poisoned`]): [`DurableEngine::step`] refuses further
+//! events with [`PersistError::Poisoned`] rather than journaling into a
+//! segment recovery would ignore. A degraded caller can keep the engine
+//! advancing in memory with [`DurableEngine::step_degraded`] and restore
+//! durability with [`DurableEngine::rearm`], which snapshots the current
+//! in-memory state and opens a fresh segment.
 
 use std::fmt::Write as _;
-use std::fs::{self, File, OpenOptions};
-use std::io::{BufWriter, Seek as _, Write as _};
 use std::path::{Path, PathBuf};
 
-use crate::engine::{Action, Engine, Event, PendingGamble};
+use crate::engine::{Action, Engine, Event, PendingGamble, RetryProbe};
 use crate::explore::TraceEntry;
+use crate::fault::{FsStorage, Storage, StorageFile};
 use crate::policy::CellChoice;
 use crate::store::ObservationStore;
 use limeqo_linalg::rng::SeededRng;
@@ -66,6 +78,10 @@ pub enum PersistError {
     Io(std::io::Error),
     /// Structurally invalid or checksum-failing data.
     Corrupt(String),
+    /// The journal was poisoned by an earlier persist failure; only
+    /// [`DurableEngine::step_degraded`] / [`DurableEngine::rearm`] make
+    /// progress from here. Carries the original failure's message.
+    Poisoned(String),
 }
 
 impl std::fmt::Display for PersistError {
@@ -73,6 +89,7 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "persist I/O error: {e}"),
             PersistError::Corrupt(msg) => write!(f, "corrupt persistent state: {msg}"),
+            PersistError::Poisoned(msg) => write!(f, "journal poisoned by earlier failure: {msg}"),
         }
     }
 }
@@ -321,6 +338,11 @@ pub fn encode_event(event: &Event) -> String {
                 e.f(v);
             }
         }
+        Event::ProbeFailed { row, col } => {
+            e.s("F");
+            e.i(*row);
+            e.i(*col);
+        }
         Event::HintRequest { .. } => unreachable!("read-only events are never journaled"),
     }
     e.finish()
@@ -351,6 +373,7 @@ pub fn decode_event(body: &str) -> Result<Event> {
             }
             Event::DataShift { new_rows, observations }
         }
+        "F" => Event::ProbeFailed { row: d.i()?, col: d.i()? },
         t => return Err(PersistError::Corrupt(format!("unknown event tag {t:?}"))),
     };
     d.finish()?;
@@ -432,6 +455,25 @@ fn save_engine(enc: &mut Enc, engine: &Engine<'_>) {
     enc.f(s.total_latency);
     enc.f(s.default_latency);
     enc.f(s.incumbent_latency);
+    // Retry machinery: the tick clock the backoff counts in, the queue of
+    // probes waiting out their backoff, and the per-cell failure counts.
+    enc.u(engine.ticks);
+    enc.i(engine.retry_queue.len());
+    for r in &engine.retry_queue {
+        enc.i(r.row);
+        enc.i(r.col);
+        enc.f(r.timeout);
+        enc.u(r.due_tick);
+    }
+    enc.i(engine.fail_counts.len());
+    for &(row, col, n) in &engine.fail_counts {
+        enc.i(row);
+        enc.i(col);
+        enc.u(n as u64);
+    }
+    enc.i(engine.probe_failures);
+    enc.i(engine.probe_retries);
+    enc.i(engine.probes_dropped);
     // Model state lives with whichever component the engine owns.
     enc.b(engine.policy.is_some());
     if let Some(p) = &engine.policy {
@@ -485,6 +527,25 @@ fn load_engine(dec: &mut Dec<'_>, engine: &mut Engine<'_>) -> Result<()> {
     engine.stats.total_latency = dec.f()?;
     engine.stats.default_latency = dec.f()?;
     engine.stats.incumbent_latency = dec.f()?;
+    engine.ticks = dec.u()?;
+    let n = dec.i()?;
+    engine.retry_queue = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        engine.retry_queue.push(RetryProbe {
+            row: dec.i()?,
+            col: dec.i()?,
+            timeout: dec.f()?,
+            due_tick: dec.u()?,
+        });
+    }
+    let n = dec.i()?;
+    engine.fail_counts = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        engine.fail_counts.push((dec.i()?, dec.i()?, dec.u()? as u32));
+    }
+    engine.probe_failures = dec.i()?;
+    engine.probe_retries = dec.i()?;
+    engine.probes_dropped = dec.i()?;
     let has_policy = dec.b()?;
     if has_policy != engine.policy.is_some() {
         return Err(PersistError::Corrupt("snapshot/engine policy mode mismatch".into()));
@@ -533,13 +594,19 @@ impl Default for DurableConfig {
 /// with a mismatched build fails loudly instead of diverging silently.
 pub struct DurableEngine<'a> {
     engine: Engine<'a>,
+    storage: Box<dyn Storage>,
     dir: PathBuf,
     config_tag: String,
     dcfg: DurableConfig,
-    wal: BufWriter<File>,
+    wal: Box<dyn StorageFile>,
     events_since_snapshot: usize,
     /// Mutating events applied since creation (== snapshot/wal indices).
     event_index: u64,
+    /// Set when a persist failure made the current journal segment
+    /// unusable; cleared by a successful [`DurableEngine::rearm`].
+    poisoned: bool,
+    /// Message of the most recent persist failure, if any.
+    last_persist_error: Option<String>,
 }
 
 fn snap_path(dir: &Path, index: u64) -> PathBuf {
@@ -550,21 +617,20 @@ fn wal_path(dir: &Path, index: u64) -> PathBuf {
     dir.join(format!("wal-{index}.log"))
 }
 
-fn open_wal(dir: &Path, index: u64) -> std::io::Result<BufWriter<File>> {
-    let file =
-        OpenOptions::new().create(true).write(true).truncate(true).open(wal_path(dir, index))?;
-    let mut w = BufWriter::new(file);
-    writeln!(w, "{WAL_MAGIC} {index}")?;
-    w.flush()?;
+fn open_wal(
+    storage: &dyn Storage,
+    dir: &Path,
+    index: u64,
+) -> std::io::Result<Box<dyn StorageFile>> {
+    let mut w = storage.create(&wal_path(dir, index))?;
+    w.append(format!("{WAL_MAGIC} {index}\n").as_bytes())?;
     Ok(w)
 }
 
 /// List snapshot indices present in `dir`, ascending.
-fn list_snapshots(dir: &Path) -> std::io::Result<Vec<u64>> {
+fn list_snapshots(storage: &dyn Storage, dir: &Path) -> std::io::Result<Vec<u64>> {
     let mut out = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let name = entry?.file_name();
-        let name = name.to_string_lossy();
+    for name in storage.list_dir(dir)? {
         if let Some(idx) = name.strip_prefix("snap-").and_then(|s| s.strip_suffix(".snap")) {
             if let Ok(i) = idx.parse() {
                 out.push(i);
@@ -577,6 +643,7 @@ fn list_snapshots(dir: &Path) -> std::io::Result<Vec<u64>> {
 
 /// Write `snap-<index>.snap` atomically (tmp + fsync + rename).
 fn write_snapshot_file(
+    storage: &dyn Storage,
     dir: &Path,
     index: u64,
     config_tag: &str,
@@ -586,22 +653,23 @@ fn write_snapshot_file(
     enc.s(config_tag);
     save_engine(&mut enc, engine);
     let payload = enc.finish();
+    let crc = crc32(payload.as_bytes());
+    let content = format!("{SNAP_MAGIC} {index}\n{payload}\ncrc {crc:08x}\n");
     let tmp = dir.join(format!("snap-{index}.tmp"));
     {
-        let mut f = BufWriter::new(File::create(&tmp)?);
-        writeln!(f, "{SNAP_MAGIC} {index}")?;
-        writeln!(f, "{payload}")?;
-        writeln!(f, "crc {:08x}", crc32(payload.as_bytes()))?;
-        f.flush()?;
-        f.get_ref().sync_all()?;
+        let mut f = storage.create(&tmp)?;
+        f.append(content.as_bytes())?;
+        f.sync()?;
     }
-    fs::rename(&tmp, snap_path(dir, index))?;
+    storage.rename(&tmp, &snap_path(dir, index))?;
     Ok(())
 }
 
 /// Read and validate `snap-<index>.snap`, returning its payload line.
-fn read_snapshot(dir: &Path, index: u64) -> Result<String> {
-    let text = fs::read_to_string(snap_path(dir, index))?;
+fn read_snapshot(storage: &dyn Storage, dir: &Path, index: u64) -> Result<String> {
+    let bytes = storage.read(&snap_path(dir, index))?;
+    let text = String::from_utf8(bytes)
+        .map_err(|_| PersistError::Corrupt(format!("snapshot {index} is not UTF-8")))?;
     let mut lines = text.lines();
     let header = lines.next().unwrap_or("");
     if header != format!("{SNAP_MAGIC} {index}") {
@@ -624,13 +692,18 @@ fn read_snapshot(dir: &Path, index: u64) -> Result<String> {
 /// Replay `wal-<index>.log` into `engine`, truncating any torn or corrupt
 /// tail. Returns the replayed event count and the journal reopened for
 /// appending at the end of its valid prefix.
-fn replay_wal(dir: &Path, index: u64, engine: &mut Engine<'_>) -> Result<(u64, BufWriter<File>)> {
+fn replay_wal(
+    storage: &dyn Storage,
+    dir: &Path,
+    index: u64,
+    engine: &mut Engine<'_>,
+) -> Result<(u64, Box<dyn StorageFile>)> {
     let path = wal_path(dir, index);
-    if !path.exists() {
+    if !storage.exists(&path) {
         // Segment never created (killed inside snapshot()); start fresh.
-        return Ok((0, open_wal(dir, index)?));
+        return Ok((0, open_wal(storage, dir, index)?));
     }
-    let bytes = fs::read(&path)?;
+    let bytes = storage.read(&path)?;
     let header_end = bytes.iter().position(|&b| b == b'\n');
     let expected_header = format!("{WAL_MAGIC} {index}");
     let mut pos = match header_end {
@@ -642,7 +715,7 @@ fn replay_wal(dir: &Path, index: u64, engine: &mut Engine<'_>) -> Result<(u64, B
         }
         None => {
             // Torn mid-header: rewrite the segment from scratch.
-            return Ok((0, open_wal(dir, index)?));
+            return Ok((0, open_wal(storage, dir, index)?));
         }
     };
     let mut replayed = 0u64;
@@ -666,11 +739,8 @@ fn replay_wal(dir: &Path, index: u64, engine: &mut Engine<'_>) -> Result<(u64, B
         replayed += 1;
         pos += nl + 1;
     }
-    let file = OpenOptions::new().write(true).open(&path)?;
-    file.set_len(pos as u64)?;
-    let mut file = file;
-    file.seek(std::io::SeekFrom::End(0))?;
-    Ok((replayed, BufWriter::new(file)))
+    let file = storage.open_truncated(&path, pos as u64)?;
+    Ok((replayed, file))
 }
 
 impl<'a> DurableEngine<'a> {
@@ -683,24 +753,40 @@ impl<'a> DurableEngine<'a> {
         config_tag: &str,
         dcfg: DurableConfig,
     ) -> Result<Self> {
+        Self::create_with(Box::new(FsStorage), dir, engine, config_tag, dcfg)
+    }
+
+    /// [`DurableEngine::create`] against an explicit [`Storage`]
+    /// implementation (production uses [`FsStorage`]; chaos tests inject
+    /// a [`crate::fault::FaultStorage`]).
+    pub fn create_with(
+        storage: Box<dyn Storage>,
+        dir: impl Into<PathBuf>,
+        engine: Engine<'a>,
+        config_tag: &str,
+        dcfg: DurableConfig,
+    ) -> Result<Self> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
-        if !list_snapshots(&dir)?.is_empty() {
+        storage.create_dir_all(&dir)?;
+        if !list_snapshots(storage.as_ref(), &dir)?.is_empty() {
             return Err(PersistError::Corrupt(format!(
                 "state directory {} already initialized; use recover",
                 dir.display()
             )));
         }
-        write_snapshot_file(&dir, 0, config_tag, &engine)?;
-        let wal = open_wal(&dir, 0)?;
+        write_snapshot_file(storage.as_ref(), &dir, 0, config_tag, &engine)?;
+        let wal = open_wal(storage.as_ref(), &dir, 0)?;
         Ok(DurableEngine {
             engine,
+            storage,
             dir,
             config_tag: config_tag.to_string(),
             dcfg,
             wal,
             events_since_snapshot: 0,
             event_index: 0,
+            poisoned: false,
+            last_persist_error: None,
         })
     }
 
@@ -713,12 +799,24 @@ impl<'a> DurableEngine<'a> {
     /// outstanding at the kill point, which the driver must re-execute.
     pub fn recover(
         dir: impl Into<PathBuf>,
+        engine: Engine<'a>,
+        config_tag: &str,
+        dcfg: DurableConfig,
+    ) -> Result<(Self, Vec<CellChoice>)> {
+        Self::recover_with(Box::new(FsStorage), dir, engine, config_tag, dcfg)
+    }
+
+    /// [`DurableEngine::recover`] against an explicit [`Storage`]
+    /// implementation.
+    pub fn recover_with(
+        storage: Box<dyn Storage>,
+        dir: impl Into<PathBuf>,
         mut engine: Engine<'a>,
         config_tag: &str,
         dcfg: DurableConfig,
     ) -> Result<(Self, Vec<CellChoice>)> {
         let dir = dir.into();
-        let snaps = list_snapshots(&dir)?;
+        let snaps = list_snapshots(storage.as_ref(), &dir)?;
         if snaps.is_empty() {
             return Err(PersistError::Corrupt(format!(
                 "no snapshots in {} (use create for a fresh directory)",
@@ -728,7 +826,7 @@ impl<'a> DurableEngine<'a> {
         let mut chosen = None;
         let mut last_err = None;
         for &idx in snaps.iter().rev() {
-            match read_snapshot(&dir, idx) {
+            match read_snapshot(storage.as_ref(), &dir, idx) {
                 Ok(payload) => {
                     chosen = Some((idx, payload));
                     break;
@@ -738,7 +836,10 @@ impl<'a> DurableEngine<'a> {
         }
         let (snap_idx, payload) = match chosen {
             Some(c) => c,
-            None => return Err(last_err.expect("at least one snapshot was tried")),
+            None => {
+                return Err(last_err
+                    .unwrap_or_else(|| PersistError::Corrupt("no readable snapshot found".into())))
+            }
         };
         let mut dec = Dec::new(&payload);
         let tag = dec.s()?;
@@ -750,16 +851,19 @@ impl<'a> DurableEngine<'a> {
         }
         load_engine(&mut dec, &mut engine)?;
         dec.finish()?;
-        let (replayed, wal) = replay_wal(&dir, snap_idx, &mut engine)?;
+        let (replayed, wal) = replay_wal(storage.as_ref(), &dir, snap_idx, &mut engine)?;
         let pending = engine.outstanding_probes();
         let de = DurableEngine {
             engine,
+            storage,
             dir,
             config_tag: config_tag.to_string(),
             dcfg,
             wal,
             events_since_snapshot: replayed as usize,
             event_index: snap_idx + replayed,
+            poisoned: false,
+            last_persist_error: None,
         };
         Ok((de, pending))
     }
@@ -774,55 +878,164 @@ impl<'a> DurableEngine<'a> {
         self.event_index
     }
 
+    /// Whether the journal is poisoned (a persist failure left the
+    /// current segment unusable). While poisoned, [`DurableEngine::step`]
+    /// refuses events; use [`DurableEngine::step_degraded`] /
+    /// [`DurableEngine::rearm`].
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Message of the most recent persist failure, if any. Cleared by a
+    /// successful [`DurableEngine::rearm`].
+    pub fn last_persist_error(&self) -> Option<&str> {
+        self.last_persist_error.as_deref()
+    }
+
     /// Journal (write-ahead) and apply one event. Read-only events bypass
-    /// the journal entirely.
+    /// the journal entirely. On `Err` the event has **not** been applied:
+    /// a failed append returns [`PersistError::Io`] and poisons the
+    /// journal; further calls return [`PersistError::Poisoned`] until
+    /// [`DurableEngine::rearm`] succeeds.
     pub fn step(&mut self, event: Event) -> Result<Vec<Action>> {
         if event.is_read_only() {
             return Ok(self.engine.step(event));
         }
+        if self.poisoned {
+            return Err(PersistError::Poisoned(
+                self.last_persist_error.clone().unwrap_or_else(|| "journal poisoned".into()),
+            ));
+        }
         let body = encode_event(&event);
-        writeln!(self.wal, "{:08x} {body}", crc32(body.as_bytes()))?;
-        self.wal.flush()?;
+        let record = format!("{:08x} {body}\n", crc32(body.as_bytes()));
+        if let Err(e) = self.wal.append(record.as_bytes()) {
+            // The segment now ends in an undefined prefix of this record;
+            // the CRC framing makes that recoverable on disk, but further
+            // appends here would interleave garbage — poison the WAL.
+            let err = PersistError::Io(e);
+            self.poisoned = true;
+            self.last_persist_error = Some(err.to_string());
+            return Err(err);
+        }
         let actions = self.engine.step(event);
         self.event_index += 1;
         self.events_since_snapshot += 1;
         if self.dcfg.snapshot_every > 0 && self.events_since_snapshot >= self.dcfg.snapshot_every {
-            self.snapshot()?;
+            if let Err(e) = self.snapshot() {
+                // The event itself is journaled; a failed snapshot write
+                // retries at the next boundary (the counter keeps
+                // growing). The one unrecoverable case — snapshot written
+                // but no fresh segment — has already poisoned the WAL
+                // inside snapshot(), which the next step() surfaces.
+                self.last_persist_error = Some(e.to_string());
+            }
         }
         Ok(actions)
+    }
+
+    /// Apply one event **without journaling** — degraded mode after a
+    /// persist failure. The in-memory engine keeps advancing (and stays
+    /// deterministic); at each snapshot-cadence boundary a
+    /// [`DurableEngine::rearm`] is attempted automatically. Returns the
+    /// engine's actions and whether this step re-armed durability.
+    pub fn step_degraded(&mut self, event: Event) -> (Vec<Action>, bool) {
+        if event.is_read_only() {
+            return (self.engine.step(event), false);
+        }
+        // Bypassing the journal makes the current segment incomplete by
+        // definition, even if the caller degraded for another reason.
+        self.poisoned = true;
+        let actions = self.engine.step(event);
+        self.event_index += 1;
+        self.events_since_snapshot += 1;
+        let mut rearmed = false;
+        if self.dcfg.snapshot_every > 0 && self.events_since_snapshot >= self.dcfg.snapshot_every {
+            match self.rearm() {
+                Ok(()) => rearmed = true,
+                Err(e) => self.last_persist_error = Some(e.to_string()),
+            }
+        }
+        (actions, rearmed)
+    }
+
+    /// Attempt to restore durability after a persist failure: snapshot
+    /// the *current* in-memory state (capturing everything applied while
+    /// degraded) and open a fresh journal segment. On success the engine
+    /// is fully durable again and the poisoned flag clears.
+    pub fn rearm(&mut self) -> Result<()> {
+        // No sync of the old segment: it is poisoned and may well be the
+        // thing that errors. The snapshot supersedes it entirely.
+        write_snapshot_file(
+            self.storage.as_ref(),
+            &self.dir,
+            self.event_index,
+            &self.config_tag,
+            &self.engine,
+        )?;
+        let wal = open_wal(self.storage.as_ref(), &self.dir, self.event_index)?;
+        self.wal = wal;
+        self.events_since_snapshot = 0;
+        self.poisoned = false;
+        self.last_persist_error = None;
+        let _ = self.gc();
+        Ok(())
     }
 
     /// Snapshot now: flush + fsync the current journal segment, write the
     /// snapshot atomically, start a fresh segment, GC old checkpoints.
     pub fn snapshot(&mut self) -> Result<()> {
-        self.wal.flush()?;
-        self.wal.get_ref().sync_all()?;
-        write_snapshot_file(&self.dir, self.event_index, &self.config_tag, &self.engine)?;
-        self.wal = open_wal(&self.dir, self.event_index)?;
-        self.events_since_snapshot = 0;
-        self.gc()?;
+        if self.poisoned {
+            return Err(PersistError::Poisoned(
+                self.last_persist_error.clone().unwrap_or_else(|| "journal poisoned".into()),
+            ));
+        }
+        self.wal.sync()?;
+        write_snapshot_file(
+            self.storage.as_ref(),
+            &self.dir,
+            self.event_index,
+            &self.config_tag,
+            &self.engine,
+        )?;
+        match open_wal(self.storage.as_ref(), &self.dir, self.event_index) {
+            Ok(wal) => {
+                self.wal = wal;
+                self.events_since_snapshot = 0;
+            }
+            Err(e) => {
+                // The snapshot is durable but no fresh segment accepts
+                // appends. Journaling into the superseded segment would
+                // silently drop events on recovery (recovery replays
+                // wal-<newest snap>), so poison instead.
+                let err = PersistError::Io(e);
+                self.poisoned = true;
+                self.last_persist_error = Some(err.to_string());
+                return Err(err);
+            }
+        }
+        // GC is best-effort: a failed delete costs disk, not correctness.
+        let _ = self.gc();
         Ok(())
     }
 
     fn gc(&self) -> Result<()> {
-        let snaps = list_snapshots(&self.dir)?;
+        let storage = self.storage.as_ref();
+        let snaps = list_snapshots(storage, &self.dir)?;
         let keep = self.dcfg.keep_snapshots.max(1);
         if snaps.len() <= keep {
             return Ok(());
         }
         let cutoff = snaps[snaps.len() - keep];
         for &i in &snaps[..snaps.len() - keep] {
-            let _ = fs::remove_file(snap_path(&self.dir, i));
+            let _ = storage.remove(&snap_path(&self.dir, i));
         }
         // A wal segment wal-<i> is only replayable on top of snap-<i>;
         // segments below the oldest kept snapshot are dead.
-        for entry in fs::read_dir(&self.dir)? {
-            let name = entry?.file_name();
-            let name = name.to_string_lossy().into_owned();
+        for name in storage.list_dir(&self.dir)? {
             if let Some(idx) = name.strip_prefix("wal-").and_then(|s| s.strip_suffix(".log")) {
                 if let Ok(i) = idx.parse::<u64>() {
                     if i < cutoff {
-                        let _ = fs::remove_file(self.dir.join(&name));
+                        let _ = storage.remove(&self.dir.join(&name));
                     }
                 }
             }
@@ -832,8 +1045,12 @@ impl<'a> DurableEngine<'a> {
 
     /// Flush the journal to the OS and fsync it (graceful shutdown).
     pub fn shutdown(&mut self) -> Result<()> {
-        self.wal.flush()?;
-        self.wal.get_ref().sync_all()?;
+        if self.poisoned {
+            return Err(PersistError::Poisoned(
+                self.last_persist_error.clone().unwrap_or_else(|| "journal poisoned".into()),
+            ));
+        }
+        self.wal.sync()?;
         Ok(())
     }
 }
@@ -845,6 +1062,8 @@ mod tests {
     use crate::matrix::WorkloadMatrix;
     use crate::policy::LimeQoPolicy;
     use limeqo_linalg::rng::SeededRng;
+    use std::fs::{self, OpenOptions};
+    use std::io::Write as _;
 
     fn test_dir(name: &str) -> PathBuf {
         let dir =
@@ -955,6 +1174,7 @@ mod tests {
             Event::Arrival { row: 11 },
             Event::AddQueries { defaults: vec![1.0, 2.5, 0.75] },
             Event::DataShift { new_rows: 20, observations: vec![(0, 0, 1.5), (1, 3, 0.25)] },
+            Event::ProbeFailed { row: 5, col: 2 },
         ];
         for e in events {
             let body = encode_event(&e);
@@ -1095,7 +1315,7 @@ mod tests {
             DurableEngine::create(&dir, fresh_engine(&truth), "tag-a", dcfg.clone()).unwrap();
         drive_durable(&mut de, &truth, 12);
         drop(de);
-        let snaps = list_snapshots(&dir).unwrap();
+        let snaps = list_snapshots(&FsStorage, &dir).unwrap();
         assert!(snaps.len() <= 2, "gc must keep at most keep_snapshots: {snaps:?}");
         let wal_count = fs::read_dir(&dir)
             .unwrap()
@@ -1135,7 +1355,7 @@ mod tests {
         drive_durable(&mut de, &truth, 2);
         drop(de); // kill with a non-empty tail on the lone snapshot
 
-        let snaps = list_snapshots(&dir).unwrap();
+        let snaps = list_snapshots(&FsStorage, &dir).unwrap();
         assert_eq!(snaps.len(), 1, "gc must keep exactly the minimum: {snaps:?}");
 
         let (mut de, outstanding) =

@@ -23,8 +23,67 @@
 //! (`bonus / √(row observation count)` added to the Eq. 6 score).
 
 use std::collections::HashMap;
+use std::fmt;
 
 use crate::matrix::{Cell, WorkloadMatrix};
+
+/// A poisoned measurement rejected at the observation layer.
+///
+/// NaN or infinite latencies must never reach the workload matrix: the
+/// ALS normal equations average observed entries, so a single NaN cell
+/// poisons the shared factors and every prediction derived from them —
+/// silently, rounds after the bad insert. The typed rejection pins the
+/// blast radius to the one probe that produced the garbage (the engine
+/// turns it into a probe failure and retries).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ObservationError {
+    /// The measured latency was NaN or ±∞ (carries the exact bit
+    /// pattern, since NaN payloads do not survive `{:?}` formatting).
+    NotFinite {
+        /// Query row of the rejected probe.
+        row: usize,
+        /// Hint column of the rejected probe.
+        col: usize,
+        /// `f64::to_bits` of the offending value.
+        bits: u64,
+    },
+    /// The measured latency was negative — a broken transport, not a
+    /// measurement.
+    Negative {
+        /// Query row of the rejected probe.
+        row: usize,
+        /// Hint column of the rejected probe.
+        col: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ObservationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObservationError::NotFinite { row, col, bits } => write!(
+                f,
+                "observation ({row},{col}): non-finite latency (bits {bits:016x}) rejected"
+            ),
+            ObservationError::Negative { row, col, value } => {
+                write!(f, "observation ({row},{col}): negative latency {value} rejected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObservationError {}
+
+fn check_latency(row: usize, col: usize, v: f64) -> Result<(), ObservationError> {
+    if !v.is_finite() {
+        return Err(ObservationError::NotFinite { row, col, bits: v.to_bits() });
+    }
+    if v < 0.0 {
+        return Err(ObservationError::Negative { row, col, value: v });
+    }
+    Ok(())
+}
 
 /// Drift-adaptation knobs, threaded from `PolicySpec` through the scenario
 /// runner into the harness and Algorithm 1.
@@ -222,6 +281,33 @@ impl ObservationStore {
         self.rev += 1;
         let rev = self.rev;
         self.row_rev.iter_mut().for_each(|r| *r = rev);
+    }
+
+    /// [`ObservationStore::record_complete`] with the poisoned-value
+    /// guard: a NaN, infinite, or negative latency is rejected with a
+    /// typed error and the matrix is left untouched.
+    pub fn try_record_complete(
+        &mut self,
+        row: usize,
+        col: usize,
+        latency: f64,
+    ) -> Result<(), ObservationError> {
+        check_latency(row, col, latency)?;
+        self.record_complete(row, col, latency);
+        Ok(())
+    }
+
+    /// [`ObservationStore::record_censored`] with the poisoned-value
+    /// guard of [`ObservationStore::try_record_complete`].
+    pub fn try_record_censored(
+        &mut self,
+        row: usize,
+        col: usize,
+        bound: f64,
+    ) -> Result<(), ObservationError> {
+        check_latency(row, col, bound)?;
+        self.record_censored(row, col, bound);
+        Ok(())
     }
 
     /// Record a completed execution: the cell becomes a fresh observation
@@ -496,6 +582,46 @@ mod tests {
         store.record_censored(0, 2, 5.0);
         store.record_complete(1, 3, 4.0);
         store
+    }
+
+    #[test]
+    fn poisoned_observations_are_rejected_and_leave_no_trace() {
+        let mut store = seeded_store();
+        let rev = store.row_rev(0);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = store.try_record_complete(0, 3, bad).unwrap_err();
+            assert!(matches!(err, ObservationError::NotFinite { row: 0, col: 3, .. }), "{err}");
+            let err = store.try_record_censored(0, 3, bad).unwrap_err();
+            assert!(matches!(err, ObservationError::NotFinite { .. }), "{err}");
+        }
+        let err = store.try_record_complete(0, 3, -1.0).unwrap_err();
+        assert!(matches!(err, ObservationError::Negative { row: 0, col: 3, .. }), "{err}");
+        // Rejections are side-effect free: no cell written, no revision
+        // bumped, no completion epoch advanced.
+        assert_eq!(store.matrix().cell(0, 3), Cell::Unobserved);
+        assert_eq!(store.row_rev(0), rev);
+        // A clean value on the same cell still lands.
+        store.try_record_complete(0, 3, 1.25).unwrap();
+        assert_eq!(store.matrix().cell(0, 3), Cell::Complete(1.25));
+    }
+
+    #[test]
+    fn nan_guard_returns_typed_error_where_unchecked_insert_panics() {
+        // A NaN cell reaching the matrix would poison the censored-ALS
+        // normal equations (the factors average observed entries), so the
+        // matrix hard-asserts at insert. That assert is a daemon-killer:
+        // a broken transport feeding one garbage latency would take the
+        // whole service down. Regression contract: the unchecked path
+        // still dies loudly, the checked path turns the same input into a
+        // recoverable typed error the engine converts to a probe failure.
+        let died = std::panic::catch_unwind(|| {
+            let mut store = seeded_store();
+            store.record_complete(0, 3, f64::NAN);
+        });
+        assert!(died.is_err(), "unchecked insert must reject NaN loudly");
+        let mut store = seeded_store();
+        let err = store.try_record_complete(0, 3, f64::NAN).unwrap_err();
+        assert!(matches!(err, ObservationError::NotFinite { .. }), "{err}");
     }
 
     #[test]

@@ -336,6 +336,15 @@ pub struct ScenarioSpec {
     /// this never moves a golden — it only changes which per-shard indexes
     /// and ALS batches back the run.
     pub shards: usize,
+    /// Probability that an issued offline probe fails at the transport
+    /// level instead of returning a latency (chaos knob; 0 = off, the
+    /// default, under which runs are bit-identical to specs written
+    /// before the knob existed). Failed probes are retried with bounded
+    /// deterministic backoff; see `ExploreConfig::probe_fail_rate`.
+    pub probe_fail_rate: f64,
+    /// Seed component for the injected-fault stream, letting fault
+    /// placement vary independently of the policy seed.
+    pub probe_fail_seed: u64,
 }
 
 impl ScenarioSpec {
@@ -406,6 +415,21 @@ impl ScenarioSpec {
         }
         if self.shards < 1 || self.shards > 1 << 16 {
             return fail(format!("shards: shards must be in 1..=65536, got {}", self.shards));
+        }
+        if !self.probe_fail_rate.is_finite()
+            || self.probe_fail_rate < 0.0
+            || self.probe_fail_rate > 0.9
+        {
+            return fail(format!(
+                "probe_fail_rate: must be finite and in 0.0..=0.9, got {}",
+                self.probe_fail_rate
+            ));
+        }
+        if self.probe_fail_rate > 0.0 && self.policy.is_online() {
+            return fail("probe_fail_rate: offline probe-fault injection only".into());
+        }
+        if self.probe_fail_seed > MAX_EXACT {
+            return fail("probe_fail_seed: exceeds 2^53 (not exact in a config file)".into());
         }
         match &self.workload {
             ScenarioWorkload::Sim(spec) => {
@@ -624,6 +648,8 @@ pub fn registry() -> Vec<ScenarioSpec> {
             seeds: vec![11, 12],
             arrivals: None,
             shards: 1,
+            probe_fail_rate: 0.0,
+            probe_fail_seed: 0,
         },
         ScenarioSpec {
             name: "heavy-tail".into(),
@@ -639,6 +665,8 @@ pub fn registry() -> Vec<ScenarioSpec> {
             seeds: vec![21, 22],
             arrivals: None,
             shards: 1,
+            probe_fail_rate: 0.0,
+            probe_fail_seed: 0,
         },
         ScenarioSpec {
             name: "tiny-headroom".into(),
@@ -653,6 +681,8 @@ pub fn registry() -> Vec<ScenarioSpec> {
             seeds: vec![31, 32],
             arrivals: None,
             shards: 1,
+            probe_fail_rate: 0.0,
+            probe_fail_seed: 0,
         },
         ScenarioSpec {
             name: "template-drift".into(),
@@ -673,6 +703,8 @@ pub fn registry() -> Vec<ScenarioSpec> {
             seeds: vec![41, 42],
             arrivals: None,
             shards: 1,
+            probe_fail_rate: 0.0,
+            probe_fail_seed: 0,
         },
         ScenarioSpec {
             name: "data-shift".into(),
@@ -687,6 +719,8 @@ pub fn registry() -> Vec<ScenarioSpec> {
             seeds: vec![51, 52],
             arrivals: None,
             shards: 1,
+            probe_fail_rate: 0.0,
+            probe_fail_seed: 0,
         },
         ScenarioSpec {
             name: "growing-catalog".into(),
@@ -701,6 +735,8 @@ pub fn registry() -> Vec<ScenarioSpec> {
             seeds: vec![61],
             arrivals: None,
             shards: 1,
+            probe_fail_rate: 0.0,
+            probe_fail_seed: 0,
         },
         ScenarioSpec {
             name: "hint-prefix-9".into(),
@@ -722,6 +758,8 @@ pub fn registry() -> Vec<ScenarioSpec> {
             seeds: vec![71, 72, 73],
             arrivals: None,
             shards: 1,
+            probe_fail_rate: 0.0,
+            probe_fail_seed: 0,
         },
         ScenarioSpec {
             name: "censor-hostile".into(),
@@ -744,6 +782,8 @@ pub fn registry() -> Vec<ScenarioSpec> {
             seeds: vec![81, 82],
             arrivals: None,
             shards: 1,
+            probe_fail_rate: 0.0,
+            probe_fail_seed: 0,
         },
         ScenarioSpec {
             name: "large-matrix-10k".into(),
@@ -765,6 +805,8 @@ pub fn registry() -> Vec<ScenarioSpec> {
             seeds: vec![91],
             arrivals: None,
             shards: 1,
+            probe_fail_rate: 0.0,
+            probe_fail_seed: 0,
         },
         ScenarioSpec {
             name: "online-uniform".into(),
@@ -786,6 +828,8 @@ pub fn registry() -> Vec<ScenarioSpec> {
             seeds: vec![101, 102],
             arrivals: Some(ArrivalSpec::new(2500, ArrivalModel::Uniform)),
             shards: 1,
+            probe_fail_rate: 0.0,
+            probe_fail_seed: 0,
         },
         ScenarioSpec {
             name: "online-zipf".into(),
@@ -806,6 +850,8 @@ pub fn registry() -> Vec<ScenarioSpec> {
             seeds: vec![111, 112],
             arrivals: Some(ArrivalSpec::new(3000, ArrivalModel::Zipf { exponent: 1.1 })),
             shards: 1,
+            probe_fail_rate: 0.0,
+            probe_fail_seed: 0,
         },
         ScenarioSpec {
             name: "data-shift-retained".into(),
@@ -845,6 +891,8 @@ pub fn registry() -> Vec<ScenarioSpec> {
             seeds: (51..=66).collect(),
             arrivals: None,
             shards: 1,
+            probe_fail_rate: 0.0,
+            probe_fail_seed: 0,
         },
         ScenarioSpec {
             name: "incremental-tunnel".into(),
@@ -877,6 +925,8 @@ pub fn registry() -> Vec<ScenarioSpec> {
             seeds: vec![1, 2, 3, 4, 5],
             arrivals: None,
             shards: 1,
+            probe_fail_rate: 0.0,
+            probe_fail_seed: 0,
         },
         ScenarioSpec {
             name: "zipf-cold-bonus".into(),
@@ -897,6 +947,8 @@ pub fn registry() -> Vec<ScenarioSpec> {
             seeds: vec![111, 112],
             arrivals: Some(ArrivalSpec::new(3000, ArrivalModel::Zipf { exponent: 1.1 })),
             shards: 1,
+            probe_fail_rate: 0.0,
+            probe_fail_seed: 0,
         },
         ScenarioSpec {
             name: "incremental-als".into(),
@@ -930,6 +982,8 @@ pub fn registry() -> Vec<ScenarioSpec> {
             seeds: vec![121, 122],
             arrivals: None,
             shards: 1,
+            probe_fail_rate: 0.0,
+            probe_fail_seed: 0,
         },
     ];
     for s in &specs {
@@ -980,6 +1034,8 @@ pub fn scale_registry() -> Vec<ScenarioSpec> {
             seeds: vec![1],
             arrivals: None,
             shards: 1,
+            probe_fail_rate: 0.0,
+            probe_fail_seed: 0,
         },
         ScenarioSpec {
             name: "scale-100k-zipf".into(),
@@ -1001,6 +1057,8 @@ pub fn scale_registry() -> Vec<ScenarioSpec> {
             seeds: vec![7],
             arrivals: Some(ArrivalSpec::new(6000, ArrivalModel::Zipf { exponent: 1.1 })),
             shards: 1,
+            probe_fail_rate: 0.0,
+            probe_fail_seed: 0,
         },
         ScenarioSpec {
             name: "scale-1m".into(),
@@ -1029,6 +1087,8 @@ pub fn scale_registry() -> Vec<ScenarioSpec> {
             seeds: vec![1],
             arrivals: None,
             shards: 8,
+            probe_fail_rate: 0.0,
+            probe_fail_seed: 0,
         },
         ScenarioSpec {
             name: "scale-1m-tenants".into(),
@@ -1050,6 +1110,8 @@ pub fn scale_registry() -> Vec<ScenarioSpec> {
             seeds: vec![1],
             arrivals: None,
             shards: 64,
+            probe_fail_rate: 0.0,
+            probe_fail_seed: 0,
         },
     ];
     for s in &specs {

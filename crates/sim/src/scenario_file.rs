@@ -787,6 +787,8 @@ impl<'a> Dec<'a> {
                 "seeds",
                 "arrivals",
                 "shards",
+                "probe_fail_rate",
+                "probe_fail_seed",
             ],
             "",
         )?;
@@ -828,6 +830,17 @@ impl<'a> Dec<'a> {
             None => 1,
             Some(sv) => self.usize(sv, "shards")?,
         };
+        // Optional fault-injection knobs: absent means no injected probe
+        // failures, the only behaviour that existed before the fault axis,
+        // keeping old files valid (same policy as `shards`).
+        let probe_fail_rate = match self.get(fields, "probe_fail_rate") {
+            None => 0.0,
+            Some(rv) => self.f64(rv, "probe_fail_rate")?,
+        };
+        let probe_fail_seed = match self.get(fields, "probe_fail_seed") {
+            None => 0,
+            Some(sv) => self.u64(sv, "probe_fail_seed")?,
+        };
         Ok(ScenarioSpec {
             name,
             summary,
@@ -841,6 +854,8 @@ impl<'a> Dec<'a> {
             seeds,
             arrivals,
             shards,
+            probe_fail_rate,
+            probe_fail_seed,
         })
     }
 
@@ -1539,6 +1554,14 @@ fn spec_to_node(spec: &ScenarioSpec) -> Node {
     if spec.shards != 1 {
         fields.push(("shards", num(spec.shards as f64)));
     }
+    // Same omit-the-default policy: fault injection off is the pre-knob
+    // canonical form, so the corpus stays byte-stable.
+    if spec.probe_fail_rate != 0.0 {
+        fields.push(("probe_fail_rate", num(spec.probe_fail_rate)));
+    }
+    if spec.probe_fail_seed != 0 {
+        fields.push(("probe_fail_seed", num(spec.probe_fail_seed as f64)));
+    }
     obj(fields)
 }
 
@@ -1770,6 +1793,24 @@ mod tests {
         spec.shards = 8;
         let text = to_json_string(&spec);
         assert!(text.contains("shards"), "{text}");
+        let back = parse_scenario_json(&text, label(), None).unwrap();
+        assert_eq!(back, spec);
+        let back = parse_scenario_toml(&to_toml_string(&spec), label(), None).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn probe_fault_knobs_round_trip_and_the_defaults_are_omitted() {
+        let mut spec = crate::scenario::by_name("censor-hostile").unwrap();
+        assert!(
+            !to_json_string(&spec).contains("probe_fail"),
+            "fault-free must stay the implicit canonical form"
+        );
+        spec.probe_fail_rate = 0.125;
+        spec.probe_fail_seed = 42;
+        let text = to_json_string(&spec);
+        assert!(text.contains("probe_fail_rate"), "{text}");
+        assert!(text.contains("probe_fail_seed"), "{text}");
         let back = parse_scenario_json(&text, label(), None).unwrap();
         assert_eq!(back, spec);
         let back = parse_scenario_toml(&to_toml_string(&spec), label(), None).unwrap();

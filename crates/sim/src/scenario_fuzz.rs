@@ -198,6 +198,8 @@ fn gen_offline(case_seed: u64, rng: &mut StdRng) -> ScenarioSpec {
             seeds: vec![1],
             arrivals: None,
             shards: 1,
+            probe_fail_rate: 0.0,
+            probe_fail_seed: 0,
         };
         probe.shaped_columns().expect("generated shape is in bounds")
     };
@@ -233,6 +235,8 @@ fn gen_offline(case_seed: u64, rng: &mut StdRng) -> ScenarioSpec {
         },
         arrivals: None,
         shards: gen_shards(rng),
+        probe_fail_rate: 0.0,
+        probe_fail_seed: 0,
     };
     // Incremental-ALS axis: the flag is drawn *after* every existing
     // offline draw, so all previously generated cases keep their specs
@@ -248,6 +252,15 @@ fn gen_offline(case_seed: u64, rng: &mut StdRng) -> ScenarioSpec {
             // the spec so serialized reproducers read literally.
             drift.warm_start = true;
         }
+    }
+    // Probe-fault axis: drawn after every existing offline draw (same
+    // stream-preserving discipline as the incremental-ALS flag above).
+    // Rare and mild — the claim checker still has to pass under injected
+    // failures because retries re-issue the probes, but a heavy rate on a
+    // tight budget would turn claim checks into coin flips.
+    if rng.gen_range(0..5u32) == 0 {
+        spec.probe_fail_rate = rng.gen_range(0.02..0.15);
+        spec.probe_fail_seed = rng.gen_range(1..1_000_000u64);
     }
     spec
 }
@@ -290,6 +303,8 @@ fn gen_online(case_seed: u64, rng: &mut StdRng) -> ScenarioSpec {
         seeds: gen_seeds(rng),
         arrivals: Some(arrivals),
         shards: gen_shards(rng),
+        probe_fail_rate: 0.0,
+        probe_fail_seed: 0,
     }
 }
 
@@ -320,6 +335,17 @@ fn rungs() -> Vec<Rung> {
             (s.shards > 1).then(|| {
                 let mut t = s.clone();
                 t.shards = 1;
+                t
+            })
+        },
+        // Injected probe failures perturb the exploration order, so try
+        // the fault-free run early; a reproducer that keeps the rate means
+        // the bug only shows under faults — worth knowing immediately.
+        |s| {
+            (s.probe_fail_rate != 0.0).then(|| {
+                let mut t = s.clone();
+                t.probe_fail_rate = 0.0;
+                t.probe_fail_seed = 0;
                 t
             })
         },

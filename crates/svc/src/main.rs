@@ -14,22 +14,58 @@
 //! no destructors — as soon as N events have been journaled. CI's crash
 //! smoke uses it to die mid-round at a deterministic point, then verifies
 //! a recovered run's trace is byte-identical to an unkilled one.
+//!
+//! `--fault-at N[:KIND]` is the chaos dev flag: it wraps the state
+//! directory in a fault-injecting storage layer that fails the N-th
+//! journal append (0-based; KIND one of `fail`, `short`, `sync`,
+//! `enospc`, default `fail`). The daemon is expected to keep serving
+//! degraded — CI's chaos smoke asserts `status` reports
+//! `"degraded":true`, hints still work, and a restart comes up clean.
 
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 
-use limeqo_svc::{handle_init, Reply, Service};
+use limeqo_core::{FaultAt, FaultKind, FaultScript, FaultStorage, FsStorage, OpClass, Storage};
+use limeqo_svc::{handle_init_with, Reply, Service};
 
 struct Args {
     dir: PathBuf,
     script: Option<PathBuf>,
     crash_after: Option<u64>,
+    fault: Option<FaultScript>,
+}
+
+/// `N[:KIND]` — fail the N-th journal append with KIND.
+fn parse_fault(v: &str) -> Result<FaultScript, String> {
+    let (at, kind) = match v.split_once(':') {
+        Some((at, kind)) => (at, kind),
+        None => (v, "fail"),
+    };
+    let at: u64 = at.parse().map_err(|_| format!("bad fault op index {at:?}"))?;
+    let kind = match kind {
+        "fail" => FaultKind::FailOp,
+        // Half a CRC header: enough to tear the record, not enough to
+        // accidentally form a valid one.
+        "short" => FaultKind::ShortWrite(4),
+        "sync" => FaultKind::FailSync,
+        "enospc" => FaultKind::Enospc,
+        other => return Err(format!("unknown fault kind {other:?}")),
+    };
+    Ok(FaultScript::single(FaultAt::Class(OpClass::Append, at), kind))
+}
+
+fn storage_for(args: &Args) -> Box<dyn Storage> {
+    match &args.fault {
+        Some(script) => Box::new(FaultStorage::new(Box::new(FsStorage), script.clone())),
+        None => Box::new(FsStorage),
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut dir = None;
     let mut script = None;
     let mut crash_after = None;
+    let mut fault = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -39,16 +75,21 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--crash-after-events needs a value")?;
                 crash_after = Some(v.parse().map_err(|_| format!("bad event count {v:?}"))?);
             }
+            "--fault-at" => {
+                let v = it.next().ok_or("--fault-at needs a value (N or N:KIND)")?;
+                fault = Some(parse_fault(&v)?);
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: limeqo-svc --dir STATE_DIR [--script FILE] [--crash-after-events N]"
+                    "usage: limeqo-svc --dir STATE_DIR [--script FILE] \
+[--crash-after-events N] [--fault-at N[:KIND]]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    Ok(Args { dir: dir.ok_or("--dir is required")?, script, crash_after })
+    Ok(Args { dir: dir.ok_or("--dir is required")?, script, crash_after, fault })
 }
 
 fn serve(
@@ -65,7 +106,7 @@ fn serve(
         }
         let reply = match &mut svc {
             Some(s) => s.handle(line),
-            None => match handle_init(&args.dir, line, args.crash_after) {
+            None => match handle_init_with(storage_for(args), &args.dir, line, args.crash_after) {
                 Ok((s, reply)) => {
                     svc = Some(s);
                     Reply::Line(reply)
@@ -98,7 +139,7 @@ fn main() {
         }
     };
     let svc = if Service::exists(&args.dir) {
-        match Service::open(&args.dir, args.crash_after) {
+        match Service::open_with(storage_for(&args), &args.dir, args.crash_after) {
             Ok(s) => Some(s),
             Err(e) => {
                 eprintln!("limeqo-svc: recovery failed: {e}");
